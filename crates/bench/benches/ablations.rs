@@ -1,0 +1,83 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. launch overhead: the baseline channel's bandwidth tracks it, the
+//!    synchronized channel's does not;
+//! 2. per-scheduler isolation: on a hypothetical single-scheduler device
+//!    the Table-3 per-scheduler parallelism collapses;
+//! 3. jitter: drives the Figure-5 error knee.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::parallel::ParallelSfuChannel;
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let msg = Message::pseudo_random(48, 19);
+
+    // 1. Launch-overhead sweep.
+    println!("ablation: launch overhead sweep (cycles -> baseline Kbps, sync Kbps)");
+    let mut baseline_span = (f64::INFINITY, 0.0f64);
+    let mut sync_span = (f64::INFINITY, 0.0f64);
+    for overhead in [2_000, 8_000, 32_000] {
+        let mut spec = presets::tesla_k40c();
+        spec.launch_overhead_cycles = overhead;
+        let b = L1Channel::new(spec.clone()).transmit(&msg).unwrap().bandwidth_kbps;
+        let s = SyncChannel::new(spec).transmit(&msg).unwrap().bandwidth_kbps;
+        println!("  {overhead:>6} -> baseline {b:>7.1}, sync {s:>7.1}");
+        baseline_span = (baseline_span.0.min(b), baseline_span.1.max(b));
+        sync_span = (sync_span.0.min(s), sync_span.1.max(s));
+    }
+    let baseline_swing = baseline_span.1 / baseline_span.0;
+    let sync_swing = sync_span.1 / sync_span.0;
+    assert!(
+        baseline_swing > 2.0 && sync_swing < 1.5,
+        "baseline must track launch overhead (swing {baseline_swing:.1}x), sync must not ({sync_swing:.1}x)"
+    );
+
+    // 2. Scheduler isolation: a single-scheduler Kepler has no per-scheduler
+    // lanes left (1 bit per SM per round instead of 4).
+    let mut mono = presets::tesla_k40c();
+    mono.sm.num_warp_schedulers = 1;
+    mono.sm.dispatch_units = 2;
+    let four = ParallelSfuChannel::new(presets::tesla_k40c());
+    let one = ParallelSfuChannel::new(mono);
+    println!(
+        "ablation: bits/round with 4 schedulers = {}, with 1 scheduler = {}",
+        four.bits_per_round(),
+        one.bits_per_round()
+    );
+    assert_eq!(four.bits_per_round(), 4);
+    assert_eq!(one.bits_per_round(), 1);
+
+    // 3. Jitter drives the error knee: without jitter even 1 iteration is
+    // error-free; with jitter it is not.
+    let quiet = L1Channel::new(presets::tesla_k40c())
+        .with_iterations(1)
+        .with_jitter(None)
+        .transmit(&msg)
+        .unwrap();
+    let noisy = L1Channel::new(presets::tesla_k40c())
+        .with_iterations(1)
+        .transmit(&msg)
+        .unwrap();
+    println!(
+        "ablation: 1-iteration BER without jitter {:.1}%, with jitter {:.1}%",
+        quiet.ber * 100.0,
+        noisy.ber * 100.0
+    );
+    assert_eq!(quiet.ber, 0.0);
+    assert!(noisy.ber > 0.0);
+
+    c.bench_function("ablation_sync_channel_48bits", |b| {
+        b.iter(|| SyncChannel::new(presets::tesla_k40c()).transmit(&msg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 2: L1 constant-cache characterization sweep (stride 64 B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::count_steps;
+use gpgpu_covert::microbench::{cache_sweep, fig2_sizes, recover_cache_geometry};
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure once and validate its shape.
+    let series = gpgpu_bench::data::fig02();
+    let steps = count_steps(&series, 3.0);
+    println!("fig02: {} points, {} steps (paper: 8 sets)", series.len(), steps);
+    assert_eq!(steps, 8);
+    let sweep = cache_sweep(&presets::tesla_k40c(), 64, &fig2_sizes()).unwrap();
+    let g = recover_cache_geometry(&sweep).unwrap();
+    assert_eq!((g.size_bytes, g.line_bytes, g.num_sets, g.ways), (2048, 64, 8, 4));
+
+    let sizes: Vec<u64> = fig2_sizes().into_iter().step_by(8).collect();
+    c.bench_function("fig02_l1_stride_sweep", |b| {
+        b.iter(|| cache_sweep(&presets::tesla_k40c(), 64, &sizes).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3: L2 constant-cache characterization sweep (stride 256 B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::count_steps;
+use gpgpu_covert::microbench::{cache_sweep, fig3_sizes, recover_cache_geometry};
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let series = gpgpu_bench::data::fig03();
+    let steps = count_steps(&series, 3.0);
+    println!("fig03: {} points, {} steps (paper: 16 sets)", series.len(), steps);
+    assert_eq!(steps, 16);
+    let sweep = cache_sweep(&presets::tesla_k40c(), 256, &fig3_sizes()).unwrap();
+    let g = recover_cache_geometry(&sweep).unwrap();
+    assert_eq!((g.size_bytes, g.line_bytes, g.num_sets, g.ways), (32 * 1024, 256, 16, 8));
+
+    let sizes: Vec<u64> = fig3_sizes().into_iter().step_by(8).collect();
+    c.bench_function("fig03_l2_stride_sweep", |b| {
+        b.iter(|| cache_sweep(&presets::tesla_k40c(), 256, &sizes).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 4: baseline cache-channel bandwidth on all three GPUs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::render_rows;
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let rows = gpgpu_bench::data::fig04(64);
+    println!("{}", render_rows("Figure 4", &rows));
+    // Shape: L1 beats L2 on every device.
+    for pair in rows.chunks(2) {
+        assert!(pair[0].measured > pair[1].measured, "{pair:?}");
+    }
+
+    let msg = Message::pseudo_random(16, 7);
+    c.bench_function("fig04_l1_channel_16bits_kepler", |b| {
+        b.iter(|| L1Channel::new(presets::tesla_k40c()).transmit(&msg).unwrap())
+    });
+    c.bench_function("fig04_l2_channel_16bits_kepler", |b| {
+        b.iter(|| L2Channel::new(presets::tesla_k40c()).transmit(&msg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 5: bit-error rate vs bandwidth as iterations per bit shrink.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    for (name, ch) in [
+        ("Kepler L1", L1Channel::new(presets::tesla_k40c())),
+        ("Kepler L2", L2Channel::new(presets::tesla_k40c())),
+        ("Maxwell L1", L1Channel::new(presets::quadro_m4000())),
+        ("Maxwell L2", L2Channel::new(presets::quadro_m4000())),
+    ] {
+        let pts = gpgpu_bench::data::fig05(ch, 64, &[20, 8, 4, 2, 1]);
+        println!("fig05 {name}: {pts:?}");
+        // Shape: error-free at the paper operating point, errors at the top
+        // bandwidth, bandwidth strictly rising.
+        assert_eq!(pts[0].1, 0.0);
+        assert!(pts.last().unwrap().1 > 0.0);
+        assert!(pts.windows(2).all(|w| w[1].0 > w[0].0));
+    }
+
+    let ch = L1Channel::new(presets::tesla_k40c());
+    let msg = gpgpu_covert::bits::Message::pseudo_random(24, 3);
+    c.bench_function("fig05_iteration_sweep_24bits", |b| {
+        b.iter(|| ch.error_rate_sweep(&msg, &[20, 4, 1]).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

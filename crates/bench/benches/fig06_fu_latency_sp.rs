@@ -1,0 +1,33 @@
+//! Figure 6: single-precision FU latency vs warp count, all architectures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_covert::microbench::fu_latency_sweep;
+use gpgpu_spec::{presets, FuOpKind};
+
+fn bench(c: &mut Criterion) {
+    for spec in presets::all() {
+        for op in [FuOpKind::SpSinf, FuOpKind::SpSqrt, FuOpKind::SpAdd, FuOpKind::SpMul] {
+            let curve = gpgpu_bench::data::fu_curve(&spec, op, 32);
+            println!(
+                "fig06 {} {}: 1w {:.1} -> 32w {:.1}",
+                spec.name, op, curve[0].1, curve[31].1
+            );
+            // Monotonic non-decreasing within tolerance.
+            assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1 - 1.5), "{}/{op}", spec.name);
+        }
+        // Shape: __sinf and sqrt step up; the step reflects scheduler count.
+        let sinf = gpgpu_bench::data::fu_curve(&spec, FuOpKind::SpSinf, 32);
+        assert!(sinf[31].1 > sinf[0].1 * 1.5, "{}", spec.name);
+    }
+
+    c.bench_function("fig06_sinf_sweep_kepler", |b| {
+        b.iter(|| fu_latency_sweep(&presets::tesla_k40c(), FuOpKind::SpSinf, &[1, 8, 16, 32]).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

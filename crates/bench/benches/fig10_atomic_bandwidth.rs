@@ -1,0 +1,34 @@
+//! Figure 10: global atomic channel bandwidth, scenarios 1-3 x 3 GPUs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::render_rows;
+use gpgpu_covert::atomic_channel::{AtomicChannel, AtomicScenario};
+use gpgpu_covert::bits::Message;
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let rows = gpgpu_bench::data::fig10(32);
+    println!("{}", render_rows("Figure 10", &rows));
+    // Shapes: scenario 3 slowest per device; Fermi far below Kepler/Maxwell.
+    for device_rows in rows.chunks(3) {
+        assert!(device_rows[2].measured < device_rows[0].measured, "{device_rows:?}");
+        assert!(device_rows[2].measured < device_rows[1].measured, "{device_rows:?}");
+    }
+    assert!(rows[3].measured > 3.0 * rows[0].measured, "Kepler >> Fermi");
+
+    let msg = Message::pseudo_random(8, 5);
+    c.bench_function("fig10_one_address_8bits_kepler", |b| {
+        b.iter(|| {
+            AtomicChannel::new(presets::tesla_k40c(), AtomicScenario::OneAddress)
+                .transmit(&msg)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

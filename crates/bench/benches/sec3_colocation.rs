@@ -1,0 +1,24 @@
+//! Section 3: reverse engineering the block and warp schedulers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_covert::colocation::reverse_engineer_block_scheduler;
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", gpgpu_bench::data::sec3_summary());
+    for spec in presets::all() {
+        let r = reverse_engineer_block_scheduler(&spec).unwrap();
+        assert!(r.is_leftover_policy(), "{}", spec.name);
+    }
+
+    c.bench_function("sec3_block_scheduler_probe_kepler", |b| {
+        b.iter(|| reverse_engineer_block_scheduler(&presets::tesla_k40c()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

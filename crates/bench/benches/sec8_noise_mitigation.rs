@@ -1,0 +1,33 @@
+//! Section 8: interference from Rodinia-like workloads and the exclusive
+//! co-location defense.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::render_rows;
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let rows = gpgpu_bench::data::sec8(24);
+    println!("{}", render_rows("Section 8", &rows));
+    for pair in rows.chunks(2) {
+        assert!(pair[0].measured > 0.0, "undefended channel must be corrupted: {pair:?}");
+        assert_eq!(pair[1].measured, 0.0, "defended channel must be clean: {pair:?}");
+    }
+
+    let msg = Message::pseudo_random(16, 17);
+    c.bench_function("sec8_exclusive_under_mixture_kepler", |b| {
+        b.iter(|| {
+            let e = run_sync_with_noise(&presets::tesla_k40c(), &msg, &NoiseKind::ALL, true)
+                .unwrap();
+            assert_eq!(e.outcome.ber, 0.0);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1: per-SM resource counts of the three device presets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::render_rows;
+use gpgpu_covert::colocation::reverse_engineer_warp_scheduler;
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let rows = gpgpu_bench::data::table1();
+    println!("{}", render_rows("Table 1", &rows));
+    for row in &rows {
+        assert_eq!(row.paper, Some(row.measured), "{row:?}");
+    }
+
+    // The scheduler counts are also *measurable* from latency steps alone.
+    c.bench_function("table1_infer_scheduler_count_kepler", |b| {
+        b.iter(|| {
+            let r = reverse_engineer_warp_scheduler(&presets::tesla_k40c()).unwrap();
+            assert_eq!(r.inferred_num_schedulers, 4);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

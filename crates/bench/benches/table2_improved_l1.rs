@@ -1,0 +1,52 @@
+//! Table 2: the improved L1 channel (baseline / +sync / +multi-bit /
+//! +all-SMs) plus the Section-7 multi-bit scaling sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::render_rows;
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let rows = gpgpu_bench::data::table2(180);
+    println!("{}", render_rows("Table 2", &rows));
+    // Shape: strictly increasing across the four columns, per device.
+    for device_rows in rows.chunks(4) {
+        for w in device_rows.windows(2) {
+            assert!(w[1].measured > w[0].measured, "{w:?}");
+        }
+    }
+    let scaling = gpgpu_bench::data::table2_multibit_scaling(180);
+    println!("{}", render_rows("multi-bit scaling", &scaling));
+    // Sublinear but increasing with the set count.
+    assert!(scaling.windows(2).all(|w| w[1].measured > w[0].measured));
+
+    let msg = Message::pseudo_random(90, 11);
+    c.bench_function("table2_sync_multibit_90bits_kepler", |b| {
+        b.iter(|| {
+            SyncChannel::new(presets::tesla_k40c())
+                .with_data_sets(6)
+                .unwrap()
+                .transmit(&msg)
+                .unwrap()
+        })
+    });
+    c.bench_function("table2_full_parallel_90bits_kepler", |b| {
+        b.iter(|| {
+            SyncChannel::new(presets::tesla_k40c())
+                .with_data_sets(6)
+                .unwrap()
+                .with_parallel_sms(15)
+                .unwrap()
+                .transmit(&msg)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 3: the SFU channel parallelized across warp schedulers and SMs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::report::render_rows;
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::parallel::ParallelSfuChannel;
+use gpgpu_spec::presets;
+
+fn bench(c: &mut Criterion) {
+    let rows = gpgpu_bench::data::table3(120);
+    println!("{}", render_rows("Table 3", &rows));
+    for device_rows in rows.chunks(3) {
+        for w in device_rows.windows(2) {
+            assert!(w[1].measured > w[0].measured, "{w:?}");
+        }
+    }
+    let combined = gpgpu_bench::data::combined_rows(32);
+    println!("{}", render_rows("combined L1+SFU", &combined));
+
+    let msg = Message::pseudo_random(60, 13);
+    c.bench_function("table3_parallel_sfu_60bits_kepler", |b| {
+        b.iter(|| {
+            ParallelSfuChannel::new(presets::tesla_k40c())
+                .with_parallel_sms(15)
+                .unwrap()
+                .transmit(&msg)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

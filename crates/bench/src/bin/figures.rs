@@ -1,0 +1,89 @@
+//! Prints every table and figure of the paper's evaluation, measured on the
+//! simulator, with the paper's published values beside ours.
+//!
+//! ```text
+//! cargo run --release -p gpgpu-bench --bin figures
+//! ```
+
+use gpgpu_bench::data;
+use gpgpu_bench::report::{count_steps, render_rows, render_series};
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_spec::{presets, FuOpKind};
+
+fn main() {
+    println!("{}", render_series("Figure 2: Kepler constant L1, stride 64 B", "bytes", "cycles", &data::fig02()));
+    let f2 = data::fig02();
+    println!("  steps counted: {} (paper: 8 sets)\n", count_steps(&f2, 3.0));
+
+    println!("{}", render_series("Figure 3: constant L2, stride 256 B", "bytes", "cycles", &data::fig03()));
+    let f3 = data::fig03();
+    println!("  steps counted: {} (paper: 16 sets)\n", count_steps(&f3, 3.0));
+
+    println!("{}", render_rows("Figure 4: cache channel bandwidth", &data::fig04(96)));
+
+    println!("== Figure 5: error rate vs bandwidth (iterations sweep) ==");
+    for (name, ch) in [
+        ("Kepler L1", L1Channel::new(presets::tesla_k40c())),
+        ("Kepler L2", L2Channel::new(presets::tesla_k40c())),
+        ("Maxwell L1", L1Channel::new(presets::quadro_m4000())),
+        ("Maxwell L2", L2Channel::new(presets::quadro_m4000())),
+    ] {
+        let pts = data::fig05(ch, 64, &[20, 12, 8, 4, 2, 1]);
+        print!("  {name:<12}");
+        for (bw, ber) in pts {
+            print!("  {bw:.0}Kbps/{:.0}%", ber * 100.0);
+        }
+        println!();
+    }
+    println!();
+
+    println!("== Figure 6: single-precision op latency vs warps ==");
+    for spec in presets::all() {
+        for op in [FuOpKind::SpSinf, FuOpKind::SpSqrt, FuOpKind::SpAdd, FuOpKind::SpMul] {
+            let curve = data::fu_curve(&spec, op, 32);
+            let pick = |w: usize| curve[w - 1].1;
+            println!(
+                "  {:<14} {:<12} 1w {:>6.1}  8w {:>6.1}  16w {:>6.1}  24w {:>6.1}  32w {:>6.1}",
+                spec.name,
+                op.to_string(),
+                pick(1),
+                pick(8),
+                pick(16),
+                pick(24),
+                pick(32)
+            );
+        }
+    }
+    println!("{}", render_rows("Figure 6 spot check: __sinf base latency", &data::fig06_base_latency_rows()));
+
+    println!("== Figure 7: double-precision op latency vs warps (no DPUs on Maxwell) ==");
+    for spec in [presets::tesla_c2075(), presets::tesla_k40c()] {
+        for op in [FuOpKind::DpAdd, FuOpKind::DpMul] {
+            let curve = data::fu_curve(&spec, op, 32);
+            let pick = |w: usize| curve[w - 1].1;
+            println!(
+                "  {:<14} {:<12} 1w {:>6.1}  8w {:>6.1}  16w {:>6.1}  32w {:>6.1}",
+                spec.name,
+                op.to_string(),
+                pick(1),
+                pick(8),
+                pick(16),
+                pick(32)
+            );
+        }
+    }
+    println!();
+
+    println!("{}", render_rows("Table 1: per-SM resources", &data::table1()));
+    println!("{}", render_rows("Figure 10: atomic channel bandwidth", &data::fig10(48)));
+    println!("{}", render_rows("Table 2: improved L1 channels", &data::table2(240)));
+    println!("{}", render_rows("Section 7: multi-bit scaling (Kepler)", &data::table2_multibit_scaling(240)));
+    println!("{}", render_rows("Table 3: improved SFU channels", &data::table3(240)));
+    println!("{}", render_rows("Section 7: combined two-resource channel", &data::combined_rows(48)));
+
+    println!("== Section 3: scheduler reverse engineering ==");
+    print!("{}", data::sec3_summary());
+    println!();
+
+    println!("{}", render_rows("Section 8: noise and exclusive co-location", &data::sec8(48)));
+}

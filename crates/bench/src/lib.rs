@@ -1,0 +1,16 @@
+//! Benchmark harness regenerating every table and figure of
+//! *Constructing and Characterizing Covert Channels on GPGPUs*
+//! (Naghibijouybari et al., MICRO-50 2017).
+//!
+//! Each experiment of the paper's evaluation has a data-generation function
+//! in [`data`] returning the same rows/series the paper plots, shared by
+//! the Criterion benches under `benches/` (one per table/figure) and by the
+//! `figures` report binary, which prints everything with paper-reference
+//! values side by side:
+//!
+//! ```text
+//! cargo run --release -p gpgpu-bench --bin figures
+//! ```
+
+pub mod data;
+pub mod report;

@@ -1,0 +1,119 @@
+//! Plain-text report rendering: fixed-width tables and ASCII sparklines for
+//! latency series, with paper-reference values beside measurements.
+
+use std::fmt::Write as _;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. `"Kepler L1 baseline"`).
+    pub label: String,
+    /// The value the paper reports, if it gives one.
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit string for both values.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: f64, unit: &'static str) -> Self {
+        Row { label: label.into(), paper, measured, unit }
+    }
+
+    /// measured / paper, when a paper value exists.
+    pub fn ratio(&self) -> Option<f64> {
+        self.paper.filter(|&p| p != 0.0).map(|p| self.measured / p)
+    }
+}
+
+/// Renders a paper-vs-measured table.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "  {:<44} {:>12} {:>12} {:>8}",
+        "experiment", "paper", "measured", "ratio"
+    );
+    for r in rows {
+        let paper = r
+            .paper
+            .map(|p| format!("{p:.1} {}", r.unit))
+            .unwrap_or_else(|| "-".to_string());
+        let ratio = r
+            .ratio()
+            .map(|x| format!("{x:.2}x"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>12} {:>9.1} {} {:>6}",
+            r.label, paper, r.measured, r.unit, ratio
+        );
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as an aligned two-column listing plus a crude
+/// ASCII sparkline (enough to see the staircases of Figures 2/3/6/7).
+pub fn render_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if series.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let (min, max) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+    let span = (max - min).max(1e-9);
+    let _ = writeln!(out, "  {x_label:>12}  {y_label:>12}");
+    for &(x, y) in series {
+        let fill = (((y - min) / span) * 40.0).round() as usize;
+        let _ = writeln!(out, "  {x:>12.0}  {y:>12.1}  |{}", "#".repeat(fill));
+    }
+    out
+}
+
+/// Counts upward steps (rises above `eps`) in a series — the paper reads
+/// the set count of a cache straight off this number.
+pub fn count_steps(series: &[(f64, f64)], eps: f64) -> usize {
+    series.windows(2).filter(|w| w[1].1 > w[0].1 + eps).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_with_and_without_paper_values() {
+        let rows = vec![
+            Row::new("a", Some(42.0), 43.8, "Kbps"),
+            Row::new("b", None, 7.0, "Kbps"),
+        ];
+        let s = render_rows("t", &rows);
+        assert!(s.contains("42.0 Kbps"));
+        assert!(s.contains("1.04x"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn ratio_handles_missing_paper_value() {
+        assert!(Row::new("x", None, 1.0, "").ratio().is_none());
+        assert_eq!(Row::new("x", Some(2.0), 4.0, "").ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn series_rendering_is_total() {
+        let s = render_series("t", "x", "y", &[(1.0, 49.0), (2.0, 112.0)]);
+        assert!(s.contains("49.0"));
+        assert!(render_series("t", "x", "y", &[]).contains("no data"));
+    }
+
+    #[test]
+    fn step_counting() {
+        let series = vec![(0.0, 49.0), (1.0, 49.0), (2.0, 60.0), (3.0, 70.0), (4.0, 70.0)];
+        assert_eq!(count_steps(&series, 3.0), 2);
+    }
+}

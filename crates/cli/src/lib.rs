@@ -1,0 +1,335 @@
+//! Library backing the `gpgpu-covert` command-line tool: argument parsing
+//! and subcommand execution, kept in a library so the logic is testable.
+
+#![deny(missing_docs)]
+
+use gpgpu_covert::atomic_channel::{AtomicChannel, AtomicScenario};
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_covert::colocation::{reverse_engineer_block_scheduler, reverse_engineer_warp_scheduler};
+use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::mitigations::{
+    contention_detection_margin, evaluate_against_l1, evaluate_against_parallel_sfu, Mitigation,
+};
+use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
+use gpgpu_covert::parallel::ParallelSfuChannel;
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_spec::{presets, DeviceSpec};
+use std::fmt::Write as _;
+
+/// Usage text printed on argument errors and `help`.
+pub const USAGE: &str = "\
+usage: gpgpu-covert <command> [options]
+
+commands:
+  devices                     list the simulated GPU presets
+  chat <message>              exfiltrate an ASCII message over the fastest channel
+  zoo                         run every channel family once and summarize
+  recon                       reverse engineer the schedulers and caches
+  noise                       run the channel under Rodinia-like interference
+  mitigations                 evaluate the Section-9 defenses
+
+options:
+  --device <fermi|kepler|maxwell>   target preset (default kepler)
+  --bits <n>                        message length for zoo (default 24)
+  --exclusive                       enable exclusive co-location (noise command)
+";
+
+/// Which subcommand to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// List device presets.
+    Devices,
+    /// Send an ASCII message over the full-parallel synchronized channel.
+    Chat(String),
+    /// One-line summary of every channel family.
+    Zoo,
+    /// Scheduler/cache reverse engineering.
+    Recon,
+    /// Interference experiment.
+    Noise,
+    /// Mitigation evaluation.
+    Mitigations,
+    /// Print usage.
+    Help,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand.
+    pub command: Command,
+    /// Target device preset.
+    pub device: String,
+    /// Message bits for `zoo`.
+    pub bits: usize,
+    /// Exclusive co-location for `noise`.
+    pub exclusive: bool,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown commands, unknown
+    /// options, or missing option values.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            command: Command::Help,
+            device: "kepler".to_string(),
+            bits: 24,
+            exclusive: false,
+        };
+        let mut it = argv.iter().peekable();
+        let cmd = it.next().ok_or("missing command")?;
+        let mut positional: Vec<String> = Vec::new();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--device" => {
+                    args.device = it.next().ok_or("--device needs a value")?.clone();
+                }
+                "--bits" => {
+                    let v = it.next().ok_or("--bits needs a value")?;
+                    args.bits = v.parse().map_err(|_| format!("invalid --bits value {v:?}"))?;
+                }
+                "--exclusive" => args.exclusive = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option {other:?}"));
+                }
+                other => positional.push(other.to_string()),
+            }
+        }
+        args.command = match cmd.as_str() {
+            "devices" => Command::Devices,
+            "chat" => {
+                let msg = positional.first().ok_or("chat needs a message argument")?;
+                Command::Chat(msg.clone())
+            }
+            "zoo" => Command::Zoo,
+            "recon" => Command::Recon,
+            "noise" => Command::Noise,
+            "mitigations" => Command::Mitigations,
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(format!("unknown command {other:?}")),
+        };
+        if args.bits == 0 {
+            return Err("--bits must be positive".to_string());
+        }
+        Ok(args)
+    }
+
+    /// Resolves the device preset.
+    ///
+    /// # Errors
+    ///
+    /// Unknown device names.
+    pub fn spec(&self) -> Result<DeviceSpec, String> {
+        match self.device.to_ascii_lowercase().as_str() {
+            "fermi" | "c2075" | "tesla-c2075" => Ok(presets::tesla_c2075()),
+            "kepler" | "k40c" | "tesla-k40c" => Ok(presets::tesla_k40c()),
+            "maxwell" | "m4000" | "quadro-m4000" => Ok(presets::quadro_m4000()),
+            other => Err(format!("unknown device {other:?} (fermi|kepler|maxwell)")),
+        }
+    }
+}
+
+/// Executes the parsed command, returning the report text.
+///
+/// # Errors
+///
+/// Propagates channel/simulator failures as strings.
+pub fn run(args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    match &args.command {
+        Command::Help => out.push_str(USAGE),
+        Command::Devices => {
+            for d in presets::all() {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:?}: {} SMs x {} schedulers, {} MHz, L1 {} B / L2 {} B",
+                    d.name,
+                    d.architecture,
+                    d.num_sms,
+                    d.sm.num_warp_schedulers,
+                    d.clock_hz / 1_000_000,
+                    d.const_l1.geometry.size_bytes(),
+                    d.const_l2.geometry.size_bytes(),
+                );
+            }
+        }
+        Command::Chat(text) => {
+            let spec = args.spec()?;
+            let msg = Message::from_bytes(text.as_bytes());
+            let data_sets = (spec.const_l1.geometry.num_sets() - 2).min(6) as u32;
+            let ch = SyncChannel::new(spec.clone())
+                .with_data_sets(data_sets)
+                .map_err(|e| e.to_string())?
+                .with_parallel_sms(spec.num_sms)
+                .map_err(|e| e.to_string())?;
+            let o = ch.transmit(&msg).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "sent {} bits over {} ({} data sets x {} SMs)",
+                msg.len(),
+                spec.name,
+                data_sets,
+                spec.num_sms
+            );
+            let _ = writeln!(out, "received: {:?}", String::from_utf8_lossy(&o.received.to_bytes()));
+            let _ = writeln!(out, "bandwidth: {:.0} Kbps, BER {:.2}%", o.bandwidth_kbps, o.ber * 100.0);
+        }
+        Command::Zoo => {
+            let spec = args.spec()?;
+            let msg = Message::pseudo_random(args.bits, 0xC11);
+            let mut row = |name: &str, o: gpgpu_covert::ChannelOutcome| {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} {:>9.1} Kbps   BER {:>5.1}%",
+                    o.bandwidth_kbps,
+                    o.ber * 100.0
+                );
+            };
+            row("L1 cache (baseline)", L1Channel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            row("L2 cache (cross-SM)", L2Channel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            row("SFU __sinf", SfuChannel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            for s in AtomicScenario::ALL {
+                row(
+                    &format!("atomic: {}", s.label()),
+                    AtomicChannel::new(spec.clone(), s).transmit(&msg).map_err(|e| e.to_string())?,
+                );
+            }
+            row("L1 synchronized", SyncChannel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            row("L2 synchronized", SyncChannel::new_l2(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            row(
+                "SFU parallel (sched x SMs)",
+                ParallelSfuChannel::new(spec.clone())
+                    .with_parallel_sms(spec.num_sms)
+                    .map_err(|e| e.to_string())?
+                    .transmit(&msg)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        Command::Recon => {
+            let spec = args.spec()?;
+            let b = reverse_engineer_block_scheduler(&spec).map_err(|e| e.to_string())?;
+            let w = reverse_engineer_warp_scheduler(&spec).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "device: {}", spec.name);
+            let _ = writeln!(out, "block scheduler: leftover policy = {}", b.is_leftover_policy());
+            let _ = writeln!(out, "  round robin {}, leftover co-location {}, queues when full {}",
+                b.round_robin, b.leftover_colocation, b.queues_when_full);
+            let _ = writeln!(out, "warp scheduler: assignment {:?}", w.assignment);
+            let _ = writeln!(out, "  schedulers inferred from latency steps: {}", w.inferred_num_schedulers);
+        }
+        Command::Noise => {
+            let spec = args.spec()?;
+            let msg = Message::pseudo_random(args.bits, 0xC12);
+            let exp = run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], args.exclusive)
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "constant-cache noise, exclusive co-location = {}: noise co-located = {}, BER = {:.1}%",
+                args.exclusive,
+                exp.noise_overlapped,
+                exp.outcome.ber * 100.0
+            );
+        }
+        Command::Mitigations => {
+            let spec = args.spec()?;
+            let msg = Message::pseudo_random(16, 0xC13);
+            for m in [
+                Mitigation::CachePartitioning { partitions: 2 },
+                Mitigation::ClockFuzzing { granularity: 4096 },
+            ] {
+                let r = evaluate_against_l1(&spec, m, &msg).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "{m}: BER {:.1}% -> {:.1}%",
+                    r.baseline.ber * 100.0,
+                    r.mitigated.ber * 100.0
+                );
+            }
+            let m = Mitigation::RandomizedWarpScheduling { seed: 0xD1CE };
+            let r = evaluate_against_parallel_sfu(&spec, m, &msg).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{m}: BER {:.1}% -> {:.1}%", r.baseline.ber * 100.0, r.mitigated.ber * 100.0);
+            let (chan, benign) = contention_detection_margin(&spec, &msg).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "contention detector: channel score {chan} vs benign {benign}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_commands_and_options() {
+        let a = Args::parse(&argv("zoo --device fermi --bits 8")).unwrap();
+        assert_eq!(a.command, Command::Zoo);
+        assert_eq!(a.device, "fermi");
+        assert_eq!(a.bits, 8);
+
+        let a = Args::parse(&argv("chat hello --device maxwell")).unwrap();
+        assert_eq!(a.command, Command::Chat("hello".to_string()));
+
+        let a = Args::parse(&argv("noise --exclusive")).unwrap();
+        assert!(a.exclusive);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("frobnicate")).is_err());
+        assert!(Args::parse(&argv("zoo --bits")).is_err());
+        assert!(Args::parse(&argv("zoo --bits zero")).is_err());
+        assert!(Args::parse(&argv("zoo --bits 0")).is_err());
+        assert!(Args::parse(&argv("zoo --wat")).is_err());
+        assert!(Args::parse(&argv("chat")).is_err());
+    }
+
+    #[test]
+    fn device_aliases_resolve() {
+        for (alias, name) in [
+            ("fermi", "Tesla C2075"),
+            ("K40C", "Tesla K40C"),
+            ("quadro-m4000", "Quadro M4000"),
+        ] {
+            let mut a = Args::parse(&argv("devices")).unwrap();
+            a.device = alias.to_string();
+            assert_eq!(a.spec().unwrap().name, name);
+        }
+        let mut a = Args::parse(&argv("devices")).unwrap();
+        a.device = "voodoo2".to_string();
+        assert!(a.spec().is_err());
+    }
+
+    #[test]
+    fn devices_and_help_reports() {
+        let a = Args::parse(&argv("devices")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("Tesla K40C"));
+        let a = Args::parse(&argv("help")).unwrap();
+        assert!(run(&a).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn recon_runs_end_to_end() {
+        let a = Args::parse(&argv("recon --device kepler")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("leftover policy = true"), "{out}");
+        assert!(out.contains("latency steps: 4"), "{out}");
+    }
+
+    #[test]
+    fn chat_round_trips() {
+        let a = Args::parse(&argv("chat hi")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("\"hi\""), "{out}");
+        assert!(out.contains("BER 0.00%"), "{out}");
+    }
+}

@@ -1,0 +1,36 @@
+//! `gpgpu-covert` — command-line front end for the covert-channel
+//! workbench.
+//!
+//! ```text
+//! gpgpu-covert devices
+//! gpgpu-covert chat --device k40c "the secret"
+//! gpgpu-covert zoo --bits 24
+//! gpgpu-covert recon
+//! gpgpu-covert noise --exclusive
+//! gpgpu-covert mitigations
+//! ```
+
+use gpgpu_covert_cli::{run, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", gpgpu_covert_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Global-memory atomic covert channels (paper Section 6).
+//!
+//! Plain global loads cannot create measurable contention (the bandwidth is
+//! too high — a negative result this crate's tests reproduce), but atomic
+//! operations are serviced by a small number of atomic units and queue
+//! visibly. The paper defines three access-pattern scenarios whose
+//! coalescing behaviour orders the achievable bandwidth (Figure 10):
+//!
+//! 1. [`AtomicScenario::OneAddress`] — each thread hammers one fixed
+//!    address; a warp's 32 ops coalesce into one segment.
+//! 2. [`AtomicScenario::Strided`] — addresses advance by one segment per
+//!    iteration; still coalesced within the warp.
+//! 3. [`AtomicScenario::Consecutive`] — each thread walks consecutive
+//!    addresses but lanes are a segment apart, so every warp op is fully
+//!    un-coalesced (32 transactions) — the slowest channel.
+
+use crate::bits::Message;
+use crate::channel::{decode_from_latencies, transmit_per_bit, ChannelOutcome};
+use crate::CovertError;
+use gpgpu_isa::{LanePattern, ProgramBuilder, Reg};
+use gpgpu_spec::{DeviceSpec, LaunchConfig};
+
+/// Default atomic warp-ops per timed iteration.
+pub const DEFAULT_OPS_PER_ITER: u64 = 8;
+
+/// Default timed iterations per bit.
+pub const DEFAULT_ITERATIONS: u64 = 12;
+
+/// The paper's three global-memory access scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicScenario {
+    /// Scenario 1: fixed per-thread addresses (fully coalesced, L2-merged).
+    OneAddress,
+    /// Scenario 2: strided, advancing one segment per op (coalesced).
+    Strided,
+    /// Scenario 3: consecutive per-thread, un-coalesced across the warp.
+    Consecutive,
+}
+
+impl AtomicScenario {
+    /// All scenarios in paper order.
+    pub const ALL: [AtomicScenario; 3] =
+        [AtomicScenario::OneAddress, AtomicScenario::Strided, AtomicScenario::Consecutive];
+
+    /// Paper label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomicScenario::OneAddress => "One address",
+            AtomicScenario::Strided => "Strided, coalesced",
+            AtomicScenario::Consecutive => "Consecutive, un-coalesced",
+        }
+    }
+}
+
+/// A baseline (per-bit relaunch) atomic-contention channel.
+#[derive(Debug, Clone)]
+pub struct AtomicChannel {
+    spec: DeviceSpec,
+    /// Which access-pattern scenario to use.
+    pub scenario: AtomicScenario,
+    /// Atomic warp-ops per timed iteration.
+    pub ops_per_iter: u64,
+    /// Timed iterations per bit.
+    pub iterations: u64,
+    /// Launch jitter `(max_cycles, seed)`.
+    pub jitter: Option<(u64, u64)>,
+}
+
+impl AtomicChannel {
+    /// A Section-6 channel for `scenario` with default parameters.
+    pub fn new(spec: DeviceSpec, scenario: AtomicScenario) -> Self {
+        AtomicChannel {
+            spec,
+            scenario,
+            ops_per_iter: DEFAULT_OPS_PER_ITER,
+            iterations: DEFAULT_ITERATIONS,
+            jitter: Some((crate::cache_channel::DEFAULT_JITTER, 0x5EED)),
+        }
+    }
+
+    /// Sets the iteration count.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets or disables launch jitter.
+    pub fn with_jitter(mut self, jitter: Option<(u64, u64)>) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The device this channel targets.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Emits the per-iteration atomic access loop for one party.
+    ///
+    /// `array_base` is the party's array; each *block* works in its own
+    /// slice (`block_id * 4 KiB`) so the grid collectively covers all the
+    /// atomic units.
+    fn build_program(&self, array_base: u64, timed: bool, iterations: u64) -> gpgpu_isa::Program {
+        let seg = self.spec.mem.coalesce_segment;
+        let (addr, t0, t1, lat) = (Reg(16), Reg(17), Reg(18), Reg(19));
+        let mut b = ProgramBuilder::new();
+        // addr = array_base + block_id * (4 KiB + one segment). The extra
+        // segment staggers the blocks across the address-interleaved atomic
+        // units, so the grid collectively exercises all of them (a stride
+        // that is a multiple of units*segment would pin every block to one
+        // unit and the two kernels might never collide).
+        b.read_special(addr, gpgpu_isa::Special::BlockId);
+        b.mul_imm(addr, addr, 4096 + seg);
+        b.add_imm(addr, addr, array_base);
+        let ops = self.ops_per_iter;
+        let scenario = self.scenario;
+        b.repeat(Reg(20), iterations, move |b| {
+            if timed {
+                b.read_clock(t0);
+            }
+            for _ in 0..ops {
+                match scenario {
+                    AtomicScenario::OneAddress => {
+                        b.atomic_add(addr, LanePattern::Consecutive { elem_bytes: 4 });
+                    }
+                    AtomicScenario::Strided => {
+                        b.atomic_add(addr, LanePattern::Consecutive { elem_bytes: 4 });
+                        b.add_imm(addr, addr, seg);
+                    }
+                    AtomicScenario::Consecutive => {
+                        b.atomic_add(addr, LanePattern::Spread { stride_bytes: seg });
+                        b.add_imm(addr, addr, 4);
+                    }
+                }
+            }
+            if timed {
+                b.read_clock(t1);
+                b.sub(lat, t1, t0);
+                b.push_result(lat);
+            }
+        });
+        b.build().expect("atomic program assembles")
+    }
+
+    /// Calibrates the decode threshold by measuring one idle and one
+    /// contended iteration batch on a scratch device, returning the midpoint
+    /// of the observed means. This mirrors what a real attacker does before
+    /// transmitting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn calibrate_threshold(&self) -> Result<u64, CovertError> {
+        let mean = |samples: &[u64]| -> u64 {
+            if samples.is_empty() {
+                0
+            } else {
+                samples.iter().sum::<u64>() / samples.len() as u64
+            }
+        };
+        let launch = LaunchConfig::new(self.spec.num_sms, 32);
+        let trojan_launch = LaunchConfig::new(self.spec.num_sms, 256);
+        let mut idle_mean = 0;
+        let mut hot_mean = 0;
+        for contended in [false, true] {
+            let mut dev = gpgpu_sim::Device::new(self.spec.clone());
+            let spy_base = dev.alloc_global(1 << 20);
+            let trojan_base = dev.alloc_global(1 << 20);
+            let spy = dev.launch(
+                0,
+                gpgpu_sim::KernelSpec::new(
+                    "spy-cal",
+                    self.build_program(spy_base, true, self.iterations),
+                    launch,
+                ),
+            )?;
+            if contended {
+                dev.launch(
+                    1,
+                    gpgpu_sim::KernelSpec::new(
+                        "trojan-cal",
+                        self.build_program(trojan_base, false, self.iterations * 3 / 2),
+                        trojan_launch,
+                    ),
+                )?;
+            }
+            dev.run_until_idle(500_000_000)?;
+            let r = dev.results(spy)?;
+            let samples = r.warp_results(0, 0).unwrap_or(&[]).to_vec();
+            if contended {
+                hot_mean = mean(&samples);
+            } else {
+                idle_mean = mean(&samples);
+            }
+        }
+        Ok((idle_mean + hot_mean) / 2)
+    }
+
+    /// Transmits `msg` over the atomic channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures from calibration or transmission.
+    pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        let threshold = self.calibrate_threshold()?;
+        let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
+        // Array bases must match the calibration device's allocator layout:
+        // recreate deterministically.
+        let mut probe_dev = gpgpu_sim::Device::new(self.spec.clone());
+        let spy_base = probe_dev.alloc_global(1 << 20);
+        let trojan_base = probe_dev.alloc_global(1 << 20);
+        drop(probe_dev);
+
+        let iterations = self.iterations;
+        let me = self.clone();
+        let spy_program = move || me.build_program(spy_base, true, iterations);
+        let me2 = self.clone();
+        let trojan_program = move |bit: bool| {
+            if bit {
+                me2.build_program(trojan_base, false, iterations * 3 / 2)
+            } else {
+                let mut b = ProgramBuilder::new();
+                crate::kernels::emit_idle_spin(&mut b, iterations * 16, Reg(20));
+                b.build().expect("idle program assembles")
+            }
+        };
+        let decode =
+            move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
+        let launch = LaunchConfig::new(self.spec.num_sms, 32);
+        // Four trojan warps per block saturate the atomic units; one is not
+        // enough to queue visibly behind the ~200-cycle round trip.
+        let trojan_launch = LaunchConfig::new(self.spec.num_sms, 256);
+        let (outcome, _dev) = transmit_per_bit(
+            &self.spec,
+            gpgpu_sim::DeviceTuning::none(),
+            self.jitter,
+            msg,
+            &trojan_program,
+            &spy_program,
+            (launch, trojan_launch),
+            (0, 0),
+            &decode,
+            500_000_000,
+        )?;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn calibration_separates_idle_from_contended() {
+        for scenario in AtomicScenario::ALL {
+            let ch = AtomicChannel::new(presets::tesla_k40c(), scenario);
+            let thr = ch.calibrate_threshold().unwrap();
+            assert!(thr > 0, "{scenario:?} produced zero threshold");
+        }
+    }
+
+    #[test]
+    fn kepler_one_address_channel_error_free() {
+        let ch = AtomicChannel::new(presets::tesla_k40c(), AtomicScenario::OneAddress);
+        let msg = Message::from_bits([true, false, true, false]);
+        let o = ch.transmit(&msg).unwrap();
+        assert_eq!(o.received, msg, "got {} want {}", o.received, o.sent);
+    }
+
+    #[test]
+    fn uncoalesced_scenario_is_slowest() {
+        let msg = Message::from_bits([true, false, true, false]);
+        let spec = presets::tesla_k40c();
+        let bw = |s: AtomicScenario| {
+            AtomicChannel::new(spec.clone(), s).transmit(&msg).unwrap().bandwidth_kbps
+        };
+        let coalesced = bw(AtomicScenario::Strided);
+        let uncoalesced = bw(AtomicScenario::Consecutive);
+        assert!(
+            uncoalesced < coalesced,
+            "scenario 3 should be slowest: {uncoalesced} vs {coalesced}"
+        );
+    }
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(AtomicScenario::OneAddress.label(), "One address");
+        assert_eq!(AtomicScenario::ALL.len(), 3);
+    }
+}

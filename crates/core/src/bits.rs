@@ -1,0 +1,224 @@
+//! Messages, bit-error-rate measurement and error correction.
+//!
+//! The paper reports *error-free* bandwidth for its channels (Figure 4,
+//! Tables 2-3) and characterizes the error rate as channels are pushed
+//! faster (Figure 5). This module provides the message plumbing for both,
+//! plus the Hamming(7,4) forward-error-correction option the paper proposes
+//! ("transmit error correcting codes with the data, sacrificing some of the
+//! bandwidth") for environments where exclusive co-location is impossible.
+
+use std::fmt;
+
+/// A bit sequence being covertly transmitted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    bits: Vec<bool>,
+}
+
+impl Message {
+    /// A message from explicit bits.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        Message { bits: bits.into_iter().collect() }
+    }
+
+    /// A message from bytes, most-significant bit first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Message {
+            bits: bytes
+                .iter()
+                .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// A deterministic pseudo-random message of `n` bits (xorshift), for
+    /// benchmarking without a RNG dependency in hot paths.
+    pub fn pseudo_random(n: usize, mut seed: u64) -> Self {
+        let mut bits = Vec::with_capacity(n);
+        for _ in 0..n {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            bits.push(seed & 1 == 1);
+        }
+        Message { bits }
+    }
+
+    /// The alternating `1010...` pattern (worst case for drift).
+    pub fn alternating(n: usize) -> Self {
+        Message { bits: (0..n).map(|i| i % 2 == 0).collect() }
+    }
+
+    /// The bits, in transmission order.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Reassembles bytes (MSB first); a trailing partial byte is dropped.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.bits
+            .chunks_exact(8)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+            .collect()
+    }
+
+    /// Fraction of positions that differ from `other`, comparing the common
+    /// prefix; missing bits (length mismatch) count as errors.
+    pub fn bit_error_rate(&self, other: &Message) -> f64 {
+        let n = self.bits.len().max(other.bits.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let common = self.bits.len().min(other.bits.len());
+        let mut errors = n - common;
+        errors += (0..common).filter(|&i| self.bits[i] != other.bits[i]).count();
+        errors as f64 / n as f64
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Message {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Message::from_bits(iter)
+    }
+}
+
+/// Encodes a message with Hamming(7,4): every 4 data bits become 7 channel
+/// bits that tolerate one bit error per codeword. The message is padded to a
+/// multiple of 4 bits with zeros.
+pub fn hamming_encode(msg: &Message) -> Message {
+    let mut bits = msg.bits().to_vec();
+    while bits.len() % 4 != 0 {
+        bits.push(false);
+    }
+    let mut out = Vec::with_capacity(bits.len() / 4 * 7);
+    for c in bits.chunks_exact(4) {
+        let (d1, d2, d3, d4) = (c[0], c[1], c[2], c[3]);
+        let p1 = d1 ^ d2 ^ d4;
+        let p2 = d1 ^ d3 ^ d4;
+        let p3 = d2 ^ d3 ^ d4;
+        out.extend_from_slice(&[p1, p2, d1, p3, d2, d3, d4]);
+    }
+    Message::from_bits(out)
+}
+
+/// Decodes a Hamming(7,4) stream, correcting single-bit errors per codeword.
+/// Trailing bits that do not fill a codeword are discarded.
+pub fn hamming_decode(coded: &Message) -> Message {
+    let mut out = Vec::with_capacity(coded.len() / 7 * 4);
+    for c in coded.bits().chunks_exact(7) {
+        let mut w = [c[0], c[1], c[2], c[3], c[4], c[5], c[6]];
+        let s1 = w[0] ^ w[2] ^ w[4] ^ w[6];
+        let s2 = w[1] ^ w[2] ^ w[5] ^ w[6];
+        let s3 = w[3] ^ w[4] ^ w[5] ^ w[6];
+        let syndrome = (u8::from(s1)) | (u8::from(s2) << 1) | (u8::from(s3) << 2);
+        if syndrome != 0 {
+            let pos = (syndrome - 1) as usize;
+            w[pos] = !w[pos];
+        }
+        out.extend_from_slice(&[w[2], w[4], w[5], w[6]]);
+    }
+    Message::from_bits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let m = Message::from_bytes(b"GPU");
+        assert_eq!(m.len(), 24);
+        assert_eq!(m.to_bytes(), b"GPU");
+    }
+
+    #[test]
+    fn msb_first_bit_order() {
+        let m = Message::from_bytes(&[0b1000_0001]);
+        assert_eq!(m.to_string(), "10000001");
+    }
+
+    #[test]
+    fn ber_identical_is_zero() {
+        let m = Message::pseudo_random(100, 1);
+        assert_eq!(m.bit_error_rate(&m), 0.0);
+    }
+
+    #[test]
+    fn ber_counts_flips_and_truncation() {
+        let a = Message::from_bits([true, true, true, true]);
+        let b = Message::from_bits([true, false, true, true]);
+        assert!((a.bit_error_rate(&b) - 0.25).abs() < 1e-12);
+        let short = Message::from_bits([true, true]);
+        assert!((a.bit_error_rate(&short) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_empty_messages() {
+        assert_eq!(Message::default().bit_error_rate(&Message::default()), 0.0);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_balanced() {
+        let a = Message::pseudo_random(1000, 42);
+        assert_eq!(a, Message::pseudo_random(1000, 42));
+        let ones = a.bits().iter().filter(|&&b| b).count();
+        assert!((300..=700).contains(&ones), "suspiciously unbalanced: {ones}");
+    }
+
+    #[test]
+    fn alternating_pattern() {
+        assert_eq!(Message::alternating(4).to_string(), "1010");
+    }
+
+    #[test]
+    fn hamming_round_trip_clean() {
+        let m = Message::pseudo_random(64, 3);
+        assert_eq!(hamming_decode(&hamming_encode(&m)), m);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_bit_error_per_codeword() {
+        let m = Message::from_bits([true, false, true, true]);
+        let coded = hamming_encode(&m);
+        assert_eq!(coded.len(), 7);
+        for flip in 0..7 {
+            let mut bits = coded.bits().to_vec();
+            bits[flip] = !bits[flip];
+            let corrupted = Message::from_bits(bits);
+            assert_eq!(hamming_decode(&corrupted), m, "flip at {flip} not corrected");
+        }
+    }
+
+    #[test]
+    fn hamming_pads_to_codeword_multiple() {
+        let m = Message::from_bits([true]);
+        let coded = hamming_encode(&m);
+        assert_eq!(coded.len(), 7);
+        assert_eq!(hamming_decode(&coded).bits()[0], true);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let m: Message = [true, false].into_iter().collect();
+        assert_eq!(m.len(), 2);
+    }
+}

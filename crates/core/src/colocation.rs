@@ -1,0 +1,268 @@
+//! Establishing co-location (paper Section 3) and forcing *exclusive*
+//! co-location (Section 8).
+//!
+//! The first step of the attack: reverse engineer where the hardware places
+//! blocks and warps, then choose launch configurations so the spy and the
+//! trojan share the resources the channel needs — and, for noise immunity,
+//! so that *nothing else* can share them.
+
+use crate::CovertError;
+use gpgpu_isa::{ProgramBuilder, Reg, Special};
+use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_spec::{DeviceSpec, FuOpKind, LaunchConfig};
+
+/// What the Section-3.1 experiments conclude about the block scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSchedulerReport {
+    /// Blocks of a single kernel visit SMs in round-robin order.
+    pub round_robin: bool,
+    /// A second kernel's blocks reuse leftover capacity on occupied SMs.
+    pub leftover_colocation: bool,
+    /// When no SM has capacity, later blocks queue until one is released.
+    pub queues_when_full: bool,
+    /// Observed SM order of the probe kernel's blocks.
+    pub first_kernel_sms: Vec<u32>,
+}
+
+impl BlockSchedulerReport {
+    /// Whether the observations match the leftover policy the paper
+    /// reverse engineered on real GPUs.
+    pub fn is_leftover_policy(&self) -> bool {
+        self.round_robin && self.leftover_colocation && self.queues_when_full
+    }
+}
+
+/// What the warp-scheduler experiments conclude.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpSchedulerReport {
+    /// Warp index -> scheduler assignment observed architecturally.
+    pub assignment: Vec<u32>,
+    /// Number of schedulers inferred purely from `__sinf` latency steps
+    /// (no architectural oracle), as the paper does.
+    pub inferred_num_schedulers: u32,
+}
+
+impl WarpSchedulerReport {
+    /// Whether the assignment is round-robin over `n` schedulers.
+    pub fn is_round_robin(&self, n: u32) -> bool {
+        self.assignment
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| s == (i as u32) % n)
+    }
+}
+
+fn smid_probe(extra_work: u64) -> gpgpu_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.read_special(Reg(0), Special::SmId);
+    b.push_result(Reg(0));
+    if extra_work > 0 {
+        b.repeat(Reg(20), extra_work, |b| {
+            b.fu(FuOpKind::SpAdd);
+        });
+    }
+    b.build().expect("smid probe assembles")
+}
+
+/// Runs the paper's Section-3.1 methodology against a device: launch kernels
+/// with varying block configurations, read back `%smid` and block start/stop
+/// times, and characterize the placement policy.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn reverse_engineer_block_scheduler(
+    spec: &DeviceSpec,
+) -> Result<BlockSchedulerReport, CovertError> {
+    let n = spec.num_sms;
+
+    // Experiment 1: one kernel, one block per SM — observe the visit order.
+    let mut dev = Device::new(spec.clone());
+    let k = dev.launch(0, KernelSpec::new("probe", smid_probe(0), LaunchConfig::new(n, 32)))?;
+    dev.run_until_idle(10_000_000)?;
+    let first_kernel_sms: Vec<u32> =
+        dev.results(k)?.blocks.iter().map(|b| b.sm_id).collect();
+    let round_robin = first_kernel_sms
+        .iter()
+        .enumerate()
+        .all(|(i, &sm)| u64::from(sm) == (i as u64) % u64::from(n));
+
+    // Experiment 2: two kernels on different streams — do their blocks
+    // co-locate on the same SMs?
+    let mut dev = Device::new(spec.clone());
+    let a = dev.launch(0, KernelSpec::new("a", smid_probe(400), LaunchConfig::new(n, 32)))?;
+    let b = dev.launch(1, KernelSpec::new("b", smid_probe(400), LaunchConfig::new(n, 32)))?;
+    dev.run_until_idle(50_000_000)?;
+    let sms_a = dev.results(a)?.sms_used();
+    let sms_b = dev.results(b)?.sms_used();
+    let leftover_colocation = sms_a == sms_b && sms_a.len() as u32 == n;
+
+    // Experiment 3: saturate every SM's threads, then launch a second
+    // kernel — its block must start only after a first-kernel block ends.
+    let mut dev = Device::new(spec.clone());
+    let hog = dev.launch(
+        0,
+        KernelSpec::new(
+            "hog",
+            smid_probe(600),
+            LaunchConfig::new(n, spec.sm.max_threads).with_registers_per_thread(8),
+        ),
+    )?;
+    let late = dev.launch(1, KernelSpec::new("late", smid_probe(0), LaunchConfig::new(1, 32)))?;
+    dev.run_until_idle(100_000_000)?;
+    let hog_first_end = dev
+        .results(hog)?
+        .blocks
+        .iter()
+        .map(|b| b.end_cycle)
+        .min()
+        .unwrap_or(0);
+    let late_start = dev.results(late)?.blocks[0].start_cycle;
+    let queues_when_full = late_start >= hog_first_end;
+
+    Ok(BlockSchedulerReport { round_robin, leftover_colocation, queues_when_full, first_kernel_sms })
+}
+
+/// Reverse engineers the warp -> warp-scheduler assignment: architecturally
+/// (via `%schedid`) and behaviourally (via the positions of the `__sinf`
+/// latency steps as warps are added, which reveal the scheduler count
+/// without any oracle).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn reverse_engineer_warp_scheduler(
+    spec: &DeviceSpec,
+) -> Result<WarpSchedulerReport, CovertError> {
+    // Architectural assignment for one max-size block.
+    let warps = 2 * spec.sm.num_warp_schedulers;
+    let mut b = ProgramBuilder::new();
+    b.read_special(Reg(0), Special::SchedulerId);
+    b.push_result(Reg(0));
+    let mut dev = Device::new(spec.clone());
+    let k = dev.launch(
+        0,
+        KernelSpec::new("sched-probe", b.build().expect("assembles"), LaunchConfig::new(1, warps * 32)),
+    )?;
+    dev.run_until_idle(10_000_000)?;
+    let r = dev.results(k)?;
+    let assignment: Vec<u32> = (0..warps)
+        .map(|w| r.warp_results(0, w).map(|v| v[0] as u32).unwrap_or(u32::MAX))
+        .collect();
+
+    // Behavioural inference: warp-0 __sinf latency vs warp count. The first
+    // latency rise happens when a scheduler receives its second contending
+    // warp — i.e. at warp count `num_schedulers + 1` once demand exceeds the
+    // pipeline depth; more robustly, the step *period* equals the scheduler
+    // count.
+    let sweep = crate::microbench::fu_latency_sweep(
+        spec,
+        FuOpKind::SpSinf,
+        (1..=warps * 4).collect::<Vec<u32>>().as_slice(),
+    )?;
+    let latencies: Vec<f64> = sweep.iter().map(|p| p.latency).collect();
+    let mut rise_gaps = Vec::new();
+    let mut last_rise: Option<usize> = None;
+    for i in 1..latencies.len() {
+        if latencies[i] > latencies[i - 1] + 0.5 {
+            if let Some(prev) = last_rise {
+                rise_gaps.push(i - prev);
+            }
+            last_rise = Some(i);
+        }
+    }
+    // The most common gap between successive latency steps is the number of
+    // warp schedulers.
+    let inferred = most_common(&rise_gaps).unwrap_or(0) as u32;
+    Ok(WarpSchedulerReport { assignment, inferred_num_schedulers: inferred })
+}
+
+fn most_common(xs: &[usize]) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for &x in xs {
+        let count = xs.iter().filter(|&&y| y == x).count();
+        if best.map_or(true, |(_, c)| count > c) {
+            best = Some((x, count));
+        }
+    }
+    best.map(|(x, _)| x)
+}
+
+/// The Section-3.1 co-residency recipe: each kernel launches one block per
+/// SM with one warp per warp scheduler, guaranteeing a warp of each kernel
+/// on every scheduler of every SM.
+pub fn coresident_recipe(spec: &DeviceSpec) -> (LaunchConfig, LaunchConfig) {
+    let cfg = LaunchConfig::new(spec.num_sms, spec.sm.num_warp_schedulers * 32);
+    (cfg, cfg)
+}
+
+/// The Section-8 *exclusive* co-location recipe: the spy's blocks claim the
+/// maximum shared memory per block and the trojan's blocks claim all
+/// remaining threads, so no third kernel can place a block anywhere.
+///
+/// On Fermi/Kepler one spy block saturates the SM's shared memory; on
+/// Maxwell (SM capacity = 2x block max) the trojan also claims a full block
+/// worth of shared memory, exactly as the paper prescribes.
+pub fn exclusive_recipe(spec: &DeviceSpec) -> (LaunchConfig, LaunchConfig) {
+    let spy = LaunchConfig::new(spec.num_sms, 128)
+        .with_shared_mem(spec.sm.max_shared_mem_per_block);
+    let leftover_shared =
+        spec.sm.shared_mem_bytes - spec.sm.max_shared_mem_per_block;
+    let trojan_threads = spec.sm.max_threads - 128;
+    let trojan =
+        LaunchConfig::new(spec.num_sms, trojan_threads).with_shared_mem(leftover_shared);
+    (spy, trojan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn block_scheduler_report_matches_leftover_policy() {
+        let r = reverse_engineer_block_scheduler(&presets::tesla_k40c()).unwrap();
+        assert!(r.round_robin, "sms: {:?}", r.first_kernel_sms);
+        assert!(r.leftover_colocation);
+        assert!(r.queues_when_full);
+        assert!(r.is_leftover_policy());
+    }
+
+    #[test]
+    fn warp_scheduler_is_round_robin_and_inferable() {
+        let spec = presets::tesla_k40c();
+        let r = reverse_engineer_warp_scheduler(&spec).unwrap();
+        assert!(r.is_round_robin(4), "assignment: {:?}", r.assignment);
+        assert_eq!(r.inferred_num_schedulers, 4, "inferred from latency steps");
+    }
+
+    #[test]
+    fn fermi_has_two_schedulers_by_inference() {
+        let r = reverse_engineer_warp_scheduler(&presets::tesla_c2075()).unwrap();
+        assert!(r.is_round_robin(2));
+        assert_eq!(r.inferred_num_schedulers, 2);
+    }
+
+    #[test]
+    fn exclusive_recipe_saturates_threads_and_shared_memory() {
+        for spec in presets::all() {
+            let (spy, trojan) = exclusive_recipe(&spec);
+            assert!(spy.validate(&spec.sm).is_ok());
+            assert!(trojan.validate(&spec.sm).is_ok());
+            assert_eq!(spy.block.threads + trojan.block.threads, spec.sm.max_threads);
+            assert_eq!(
+                spy.block.shared_mem_bytes + trojan.block.shared_mem_bytes,
+                spec.sm.shared_mem_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn coresident_recipe_covers_every_scheduler() {
+        let spec = presets::tesla_k40c();
+        let (a, b) = coresident_recipe(&spec);
+        assert_eq!(a.grid_blocks, 15);
+        assert_eq!(a.block.warps(), 4);
+        assert_eq!(a, b);
+    }
+}

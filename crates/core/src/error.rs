@@ -1,0 +1,67 @@
+//! Error type for the covert-channel library.
+
+use gpgpu_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by channel construction and transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CovertError {
+    /// The underlying simulator rejected or failed a run.
+    Sim(SimError),
+    /// A channel was configured inconsistently (e.g. more parallel bit lanes
+    /// than the resource has isolated domains).
+    Config {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A protocol run produced fewer received values than expected — the
+    /// kernels lost synchronization beyond what the timeout logic recovered.
+    ProtocolDesync {
+        /// Bits expected.
+        expected: usize,
+        /// Bits actually recovered.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CovertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CovertError::Sim(e) => write!(f, "simulator error: {e}"),
+            CovertError::Config { reason } => write!(f, "channel misconfigured: {reason}"),
+            CovertError::ProtocolDesync { expected, got } => {
+                write!(f, "protocol desynchronized: expected {expected} bits, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for CovertError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CovertError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CovertError {
+    fn from(e: SimError) -> Self {
+        CovertError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CovertError::Config { reason: "x".into() };
+        assert!(e.to_string().contains("misconfigured"));
+        assert!(e.source().is_none());
+        let e = CovertError::Sim(SimError::SchedulerStuck);
+        assert!(e.source().is_some());
+    }
+}

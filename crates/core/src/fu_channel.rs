@@ -1,0 +1,207 @@
+//! Functional-unit covert channels (paper Section 5).
+//!
+//! The trojan creates contention for the issue bandwidth of the special
+//! function units; the spy observes its own `__sinf` bursts slow down.
+//! Contention is isolated to warps on the *same warp scheduler*, so the spy
+//! and trojan choose warp counts that place one warp of each on every
+//! scheduler (the per-architecture counts of Section 5.2), and the parallel
+//! variant in [`crate::parallel`] sends one bit per scheduler.
+
+use crate::bits::Message;
+use crate::channel::{decode_from_latencies, transmit_per_bit, ChannelOutcome};
+use crate::kernels::emit_timed_fu_burst;
+use crate::CovertError;
+use gpgpu_isa::{ProgramBuilder, Reg};
+use gpgpu_spec::{Architecture, DeviceSpec, FuOpKind, FuTiming, LaunchConfig};
+
+/// Default `__sinf` ops per timed spy burst.
+pub const DEFAULT_OPS_PER_ITER: u64 = 96;
+
+/// Default timed bursts (iterations) per bit.
+pub const DEFAULT_ITERATIONS: u64 = 10;
+
+/// The Section-5.2 per-block warp counts: "each block of the spy and the
+/// trojan use 3 warps, 12 warps and 10 warps, for the Fermi, Kepler and
+/// Maxwell architectures respectively".
+pub fn paper_warps_per_block(arch: Architecture) -> u32 {
+    match arch {
+        Architecture::Fermi => 3,
+        Architecture::Kepler => 12,
+        Architecture::Maxwell => 10,
+    }
+}
+
+/// A baseline (per-bit relaunch) SFU contention channel.
+#[derive(Debug, Clone)]
+pub struct SfuChannel {
+    spec: DeviceSpec,
+    /// Operation measured (default `__sinf`; `sqrt` works too but is slower).
+    pub op: FuOpKind,
+    /// Ops per timed burst.
+    pub ops_per_iter: u64,
+    /// Timed bursts per bit.
+    pub iterations: u64,
+    /// Warps per block for both kernels.
+    pub warps_per_block: u32,
+    /// Launch jitter `(max_cycles, seed)`.
+    pub jitter: Option<(u64, u64)>,
+}
+
+impl SfuChannel {
+    /// A Section-5.2 channel with the paper's parameters for the device's
+    /// architecture.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let warps = paper_warps_per_block(spec.architecture);
+        SfuChannel {
+            spec,
+            op: FuOpKind::SpSinf,
+            ops_per_iter: DEFAULT_OPS_PER_ITER,
+            iterations: DEFAULT_ITERATIONS,
+            warps_per_block: warps,
+            jitter: Some((crate::cache_channel::DEFAULT_JITTER, 0x5EED)),
+        }
+    }
+
+    /// Sets the iteration count (bandwidth/robustness knob).
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets or disables launch jitter.
+    pub fn with_jitter(mut self, jitter: Option<(u64, u64)>) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The device this channel targets.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Expected per-op latency with only the spy running (cycles).
+    pub fn idle_latency(&self) -> u64 {
+        let t = FuTiming::for_op(self.spec.architecture, self.op);
+        let occ = u64::from(self.spec.sm.pools.issue_occupancy(
+            self.op.unit(),
+            self.spec.sm.num_warp_schedulers,
+        )) * u64::from(t.micro_ops);
+        let per_sched =
+            u64::from(self.warps_per_block.div_ceil(self.spec.sm.num_warp_schedulers));
+        (u64::from(t.pipeline_depth) + occ).max(per_sched * occ)
+    }
+
+    /// Expected per-op latency with spy + trojan contending (cycles).
+    pub fn contended_latency(&self) -> u64 {
+        let t = FuTiming::for_op(self.spec.architecture, self.op);
+        let occ = u64::from(self.spec.sm.pools.issue_occupancy(
+            self.op.unit(),
+            self.spec.sm.num_warp_schedulers,
+        )) * u64::from(t.micro_ops);
+        let per_sched =
+            u64::from((2 * self.warps_per_block).div_ceil(self.spec.sm.num_warp_schedulers));
+        (u64::from(t.pipeline_depth) + occ).max(per_sched * occ)
+    }
+
+    /// The decode threshold: total burst cycles halfway between the idle and
+    /// contended expectations.
+    fn burst_threshold(&self) -> u64 {
+        self.ops_per_iter * (self.idle_latency() + self.contended_latency()) / 2
+    }
+
+    /// Transmits `msg` over the SFU channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures, including
+    /// [`gpgpu_sim::SimError::Launch`] for ops the device cannot execute.
+    pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        self.spec.supports_op(self.op).map_err(gpgpu_sim::SimError::from)?;
+        let (op, ops, iterations) = (self.op, self.ops_per_iter, self.iterations);
+        let spy_program = move || {
+            let mut b = ProgramBuilder::new();
+            b.repeat(Reg(20), iterations, |b| {
+                emit_timed_fu_burst(b, op, ops, Reg(21));
+                b.push_result(Reg(21));
+            });
+            b.build().expect("spy program assembles")
+        };
+        let trojan_program = move |bit: bool| {
+            let mut b = ProgramBuilder::new();
+            if bit {
+                // Run ~1.5x the spy's work so contention covers the spy's
+                // whole measurement window despite jitter.
+                b.repeat(Reg(20), iterations * 3 / 2, |b| {
+                    for _ in 0..ops {
+                        b.fu(op);
+                    }
+                });
+            } else {
+                crate::kernels::emit_idle_spin(&mut b, iterations * ops / 2, Reg(20));
+            }
+            b.build().expect("trojan program assembles")
+        };
+        let threshold = self.burst_threshold();
+        let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
+        let decode =
+            move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
+        let launch = LaunchConfig::new(self.spec.num_sms, self.warps_per_block * 32);
+        let (outcome, _dev) = transmit_per_bit(
+            &self.spec,
+            gpgpu_sim::DeviceTuning::none(),
+            self.jitter,
+            msg,
+            &trojan_program,
+            &spy_program,
+            (launch, launch),
+            (0, 0),
+            &decode,
+            120_000_000,
+        )?;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn paper_warp_counts() {
+        assert_eq!(paper_warps_per_block(Architecture::Fermi), 3);
+        assert_eq!(paper_warps_per_block(Architecture::Kepler), 12);
+        assert_eq!(paper_warps_per_block(Architecture::Maxwell), 10);
+    }
+
+    #[test]
+    fn latency_model_matches_section_5_2_numbers() {
+        // "The latency in this case is about 41 clock cycles for Fermi (18
+        // for Kepler and 15 for Maxwell) ... For sending 1 ... latency is
+        // increased to 48 clock cycles for Fermi (24 for Kepler and 20 for
+        // Maxwell)."
+        let f = SfuChannel::new(presets::tesla_c2075());
+        assert_eq!((f.idle_latency(), f.contended_latency()), (41, 48));
+        let k = SfuChannel::new(presets::tesla_k40c());
+        assert_eq!((k.idle_latency(), k.contended_latency()), (18, 24));
+        let m = SfuChannel::new(presets::quadro_m4000());
+        assert_eq!((m.idle_latency(), m.contended_latency()), (15, 20));
+    }
+
+    #[test]
+    fn kepler_sfu_channel_is_error_free() {
+        let ch = SfuChannel::new(presets::tesla_k40c());
+        let msg = Message::from_bits([true, false, true, false, false, true]);
+        let o = ch.transmit(&msg).unwrap();
+        assert_eq!(o.received, msg, "got {} want {}", o.received, o.sent);
+        assert!(o.bandwidth_kbps > 2.0);
+    }
+
+    #[test]
+    fn rejects_double_precision_on_maxwell() {
+        let mut ch = SfuChannel::new(presets::quadro_m4000());
+        ch.op = FuOpKind::DpAdd;
+        let msg = Message::from_bits([true]);
+        assert!(ch.transmit(&msg).is_err());
+    }
+}

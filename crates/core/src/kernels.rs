@@ -1,0 +1,363 @@
+//! Reusable attack-kernel building blocks.
+//!
+//! Every kernel in the paper is assembled from a handful of primitives:
+//! *fill a cache set*, *probe a cache set while timing each line*, *spin
+//! until a set shows misses*, *burst N functional-unit ops under a timer*.
+//! This module emits those primitives into a [`ProgramBuilder`].
+//!
+//! # Register conventions
+//!
+//! The emitters clobber the low scratch registers [`R_ADDR`], [`R_T0`],
+//! [`R_T1`] and [`R_LAT`]. Callers keep their own state (loop counters,
+//! accumulators) in registers `r16` and above.
+
+use gpgpu_isa::{Cond, Label, Operand, ProgramBuilder, Reg};
+use gpgpu_spec::{CacheGeometry, FuOpKind};
+
+/// Scratch: current load address.
+pub const R_ADDR: Reg = Reg(0);
+/// Scratch: timer start.
+pub const R_T0: Reg = Reg(1);
+/// Scratch: timer end.
+pub const R_T1: Reg = Reg(2);
+/// Scratch: last measured latency.
+pub const R_LAT: Reg = Reg(3);
+/// Scratch: miss counter used by [`emit_spin_wait`] (distinct from
+/// [`R_LAT`], which the probe emitter clobbers per line).
+pub const R_MISSES: Reg = Reg(4);
+
+/// The addresses of one cache set as seen from one party's array.
+///
+/// `addr(k) = base + set_index * line + k * same_set_stride` for
+/// `k in 0..ways`: exactly the paper's trick of loading "with a stride of
+/// 512 bytes to make the accesses hash into the same set" (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetRef {
+    /// Base address of the party's array (way-span aligned).
+    pub base: u64,
+    /// Which set of the cache is targeted.
+    pub set_index: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Stride between consecutive same-set addresses.
+    pub stride: u64,
+    /// Number of ways (= number of addresses needed to fill the set).
+    pub ways: u64,
+}
+
+impl SetRef {
+    /// Builds the reference for `set_index` of a cache with `geometry`,
+    /// using the party's array at `base`.
+    pub fn new(geometry: &CacheGeometry, base: u64, set_index: u64) -> Self {
+        SetRef {
+            base,
+            set_index: set_index % geometry.num_sets(),
+            line_bytes: geometry.line_bytes(),
+            stride: geometry.same_set_stride(),
+            ways: geometry.ways(),
+        }
+    }
+
+    /// The `k`-th same-set address.
+    pub fn addr(&self, k: u64) -> u64 {
+        self.base + self.set_index * self.line_bytes + k * self.stride
+    }
+}
+
+/// Emits an untimed fill of every way of `set` (the *prime* primitive; also
+/// the signalling primitive of the synchronized protocol).
+pub fn emit_fill(b: &mut ProgramBuilder, set: &SetRef) {
+    for k in 0..set.ways {
+        b.mov_imm(R_ADDR, set.addr(k));
+        b.const_load(R_ADDR);
+    }
+}
+
+/// Emits a probe of every way of `set`, counting into `dst_misses` how many
+/// lines exceeded `miss_threshold` cycles (the *probe* primitive).
+/// `dst_misses` is zeroed first.
+pub fn emit_probe_count_misses(
+    b: &mut ProgramBuilder,
+    set: &SetRef,
+    miss_threshold: u64,
+    dst_misses: Reg,
+) {
+    b.mov_imm(dst_misses, 0);
+    for k in 0..set.ways {
+        b.mov_imm(R_ADDR, set.addr(k));
+        b.read_clock(R_T0);
+        b.const_load(R_ADDR);
+        b.read_clock(R_T1);
+        b.sub(R_LAT, R_T1, R_T0);
+        let hit = b.label();
+        b.branch(Cond::Lt, R_LAT, Operand::Imm(miss_threshold), hit);
+        b.add_imm(dst_misses, dst_misses, 1);
+        b.bind(hit);
+    }
+}
+
+/// Emits a timed probe of every way of `set`, accumulating total latency
+/// into `dst_total` (zeroed first). Used by the characterization benches
+/// where the raw latency, not a hit/miss verdict, is the datum.
+pub fn emit_probe_total_latency(b: &mut ProgramBuilder, set: &SetRef, dst_total: Reg) {
+    b.mov_imm(dst_total, 0);
+    for k in 0..set.ways {
+        b.mov_imm(R_ADDR, set.addr(k));
+        b.read_clock(R_T0);
+        b.const_load(R_ADDR);
+        b.read_clock(R_T1);
+        b.sub(R_LAT, R_T1, R_T0);
+        b.add(dst_total, dst_total, R_LAT);
+    }
+}
+
+/// Emits a bounded spin-wait on `set`: probes repeatedly until at least one
+/// way misses (someone filled the set) or `max_iters` probes elapse.
+/// `dst_got` ends as 1 on signal, 0 on timeout. `counter` is clobbered.
+///
+/// This is the `wait(S)` primitive of the paper's Figure-11 protocol, with
+/// the timeout bound the paper adds to break deadlocks.
+pub fn emit_spin_wait(
+    b: &mut ProgramBuilder,
+    set: &SetRef,
+    miss_threshold: u64,
+    max_iters: u64,
+    counter: Reg,
+    dst_got: Reg,
+) {
+    b.mov_imm(dst_got, 0);
+    b.mov_imm(counter, max_iters.max(1));
+    let top = b.label();
+    let done = b.label();
+    b.bind(top);
+    emit_probe_count_misses(b, set, miss_threshold, R_MISSES);
+    let no_signal = b.label();
+    b.branch(Cond::Eq, R_MISSES, Operand::Imm(0), no_signal);
+    b.mov_imm(dst_got, 1);
+    b.jump(done);
+    b.bind(no_signal);
+    b.add_imm(counter, counter, u64::MAX);
+    b.branch(Cond::Ne, counter, Operand::Imm(0), top);
+    b.bind(done);
+    // Drain: the signaller's fill may still be in flight when the first
+    // miss is observed; keep probing until a clean all-hit pass so leftover
+    // evictions cannot masquerade as the *next* signal. Bounded to stay
+    // deadlock-free under interfering workloads.
+    b.mov_imm(counter, 16);
+    let drain_top = b.label();
+    let drain_done = b.label();
+    b.bind(drain_top);
+    emit_probe_count_misses(b, set, miss_threshold, R_MISSES);
+    b.branch(Cond::Eq, R_MISSES, Operand::Imm(0), drain_done);
+    b.add_imm(counter, counter, u64::MAX);
+    b.branch(Cond::Ne, counter, Operand::Imm(0), drain_top);
+    b.bind(drain_done);
+}
+
+/// Emits `n_ops` back-to-back functional-unit operations bracketed by clock
+/// reads; `dst_total` receives the elapsed cycles. The paper's spy measures
+/// the per-op average of exactly such a burst (Section 5.2).
+pub fn emit_timed_fu_burst(b: &mut ProgramBuilder, op: FuOpKind, n_ops: u64, dst_total: Reg) {
+    b.read_clock(R_T0);
+    for _ in 0..n_ops {
+        b.fu(op);
+    }
+    b.read_clock(R_T1);
+    b.sub(dst_total, R_T1, R_T0);
+}
+
+/// Emits a busy-wait of roughly `iterations` cheap ALU iterations that
+/// touches no shared resource — the trojan's "do nothing" arm when
+/// transmitting a 0, kept busy so both arms have similar duration.
+pub fn emit_idle_spin(b: &mut ProgramBuilder, iterations: u64, counter: Reg) {
+    b.mov_imm(counter, iterations.max(1));
+    let top = b.label();
+    b.bind(top);
+    b.add_imm(counter, counter, u64::MAX);
+    b.branch(Cond::Ne, counter, Operand::Imm(0), top);
+}
+
+/// Emits a dispatch table on `%ctaid`: blocks jump to their own section.
+/// Returns one label per block; the caller binds each and terminates each
+/// section with `halt`. Blocks beyond `num_blocks` fall through to a halt.
+pub fn emit_block_dispatch(b: &mut ProgramBuilder, num_blocks: u32) -> Vec<Label> {
+    b.read_special(R_ADDR, gpgpu_isa::Special::BlockId);
+    let labels: Vec<Label> = (0..num_blocks).map(|_| b.label()).collect();
+    for (i, &l) in labels.iter().enumerate() {
+        b.branch(Cond::Eq, R_ADDR, Operand::Imm(i as u64), l);
+    }
+    b.halt();
+    labels
+}
+
+/// The per-line miss threshold separating an L1 hit from an L1 miss, given
+/// the two plateau latencies: halfway between them.
+pub fn miss_threshold(hit_latency: u64, next_level_latency: u64) -> u64 {
+    hit_latency + (next_level_latency - hit_latency) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_sim::{Device, KernelSpec};
+    use gpgpu_spec::{presets, LaunchConfig};
+
+    fn run_one_warp(program: gpgpu_isa::Program) -> Vec<u64> {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let k = dev
+            .launch(0, KernelSpec::new("t", program, LaunchConfig::new(1, 32)))
+            .unwrap();
+        dev.run_until_idle(10_000_000).unwrap();
+        dev.results(k).unwrap().flat_results()
+    }
+
+    #[test]
+    fn set_ref_addresses_hash_to_one_set() {
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        let s = SetRef::new(&g, 0, 3);
+        for k in 0..s.ways {
+            assert_eq!(g.set_of_addr(s.addr(k)), 3);
+        }
+        // Distinct lines.
+        let lines: std::collections::BTreeSet<u64> =
+            (0..s.ways).map(|k| g.line_of_addr(s.addr(k))).collect();
+        assert_eq!(lines.len() as u64, s.ways);
+    }
+
+    #[test]
+    fn set_ref_wraps_set_index() {
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        assert_eq!(SetRef::new(&g, 0, 9).set_index, 1);
+    }
+
+    #[test]
+    fn probe_after_fill_sees_all_hits() {
+        let spec = presets::tesla_k40c();
+        let g = spec.const_l1.geometry;
+        let set = SetRef::new(&g, 0, 0);
+        let thr = miss_threshold(spec.const_l1.hit_latency, spec.const_l2.hit_latency);
+        let mut b = ProgramBuilder::new();
+        emit_fill(&mut b, &set);
+        emit_probe_count_misses(&mut b, &set, thr, Reg(20));
+        b.push_result(Reg(20));
+        let r = run_one_warp(b.build().unwrap());
+        assert_eq!(r, vec![0], "own fill then probe must be all hits");
+    }
+
+    #[test]
+    fn probe_cold_sees_all_misses() {
+        let spec = presets::tesla_k40c();
+        let set = SetRef::new(&spec.const_l1.geometry, 0, 0);
+        let thr = miss_threshold(spec.const_l1.hit_latency, spec.const_l2.hit_latency);
+        let mut b = ProgramBuilder::new();
+        emit_probe_count_misses(&mut b, &set, thr, Reg(20));
+        b.push_result(Reg(20));
+        let r = run_one_warp(b.build().unwrap());
+        assert_eq!(r, vec![4]);
+    }
+
+    #[test]
+    fn spin_wait_times_out_when_nobody_signals() {
+        let spec = presets::tesla_k40c();
+        let set = SetRef::new(&spec.const_l1.geometry, 0, 0);
+        let thr = miss_threshold(spec.const_l1.hit_latency, spec.const_l2.hit_latency);
+        let mut b = ProgramBuilder::new();
+        emit_fill(&mut b, &set); // prime so later probes hit
+        emit_spin_wait(&mut b, &set, thr, 5, Reg(21), Reg(20));
+        b.push_result(Reg(20));
+        let r = run_one_warp(b.build().unwrap());
+        assert_eq!(r, vec![0], "no signaller -> timeout");
+    }
+
+    #[test]
+    fn timed_fu_burst_measures_kepler_sinf_base_latency() {
+        let mut b = ProgramBuilder::new();
+        emit_timed_fu_burst(&mut b, FuOpKind::SpSinf, 16, Reg(20));
+        b.push_result(Reg(20));
+        let r = run_one_warp(b.build().unwrap());
+        let per_op = r[0] as f64 / 16.0;
+        // Kepler __sinf base latency is 18 cycles (Figure 6).
+        assert!((17.0..=20.0).contains(&per_op), "per-op {per_op}");
+    }
+
+    #[test]
+    fn block_dispatch_routes_each_block() {
+        let mut b = ProgramBuilder::new();
+        let labels = emit_block_dispatch(&mut b, 3);
+        for (i, l) in labels.into_iter().enumerate() {
+            b.bind(l);
+            b.mov_imm(Reg(20), 100 + i as u64);
+            b.push_result(Reg(20));
+            b.halt();
+        }
+        let mut dev = Device::new(presets::tesla_k40c());
+        let k = dev
+            .launch(0, KernelSpec::new("d", b.build().unwrap(), LaunchConfig::new(3, 32)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let r = dev.results(k).unwrap();
+        for blk in 0..3u32 {
+            assert_eq!(r.warp_results(blk, 0).unwrap(), &[100 + u64::from(blk)]);
+        }
+    }
+
+    #[test]
+    fn miss_threshold_is_midpoint() {
+        assert_eq!(miss_threshold(49, 112), 49 + 31);
+    }
+
+    #[test]
+    fn probe_total_latency_matches_hit_plateau() {
+        let spec = presets::tesla_k40c();
+        let set = SetRef::new(&spec.const_l1.geometry, 0, 0);
+        let mut b = ProgramBuilder::new();
+        emit_fill(&mut b, &set);
+        emit_probe_total_latency(&mut b, &set, Reg(20));
+        b.push_result(Reg(20));
+        let r = run_one_warp(b.build().unwrap());
+        // 4 warm hits at ~49-51 cycles each.
+        let total = r[0];
+        assert!((4 * 49..=4 * 53).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn idle_spin_takes_roughly_two_cycles_per_iteration() {
+        let mut b = ProgramBuilder::new();
+        let (t0, t1) = (Reg(20), Reg(21));
+        b.read_clock(t0);
+        emit_idle_spin(&mut b, 100, Reg(22));
+        b.read_clock(t1);
+        b.sub(t1, t1, t0);
+        b.push_result(t1);
+        let r = run_one_warp(b.build().unwrap());
+        assert!((180..=260).contains(&r[0]), "spin of 100 took {} cycles", r[0]);
+    }
+
+    #[test]
+    fn fermi_sets_span_the_larger_l1() {
+        let spec = presets::tesla_c2075();
+        let g = spec.const_l1.geometry;
+        assert_eq!(g.num_sets(), 16);
+        let s = SetRef::new(&g, 0, 15);
+        for k in 0..s.ways {
+            assert_eq!(g.set_of_addr(s.addr(k)), 15);
+        }
+        // Fermi's same-set stride is 1024 (16 sets x 64 B), not 512.
+        assert_eq!(s.stride, 1024);
+    }
+
+    #[test]
+    fn spin_wait_detects_a_prefilled_signal_immediately() {
+        // If the set already contains someone else's lines, the first probe
+        // misses and the wait returns got=1 without timing out.
+        let spec = presets::tesla_k40c();
+        let set = SetRef::new(&spec.const_l1.geometry, 0, 0);
+        let thr = miss_threshold(spec.const_l1.hit_latency, spec.const_l2.hit_latency);
+        let mut b = ProgramBuilder::new();
+        // No pre-fill: cold lines look like a signal (compulsory misses).
+        emit_spin_wait(&mut b, &set, thr, 50, Reg(21), Reg(20));
+        b.push_result(Reg(20));
+        let r = run_one_warp(b.build().unwrap());
+        assert_eq!(r, vec![1]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline characterization microbenchmarks.
+//!
+//! * [`cache_sweep`] / [`recover_cache_geometry`] — the Wong-style strided
+//!   latency sweep of the paper's Section 4.1 (Figures 2 and 3), plus the
+//!   analysis that recovers cache size, line size, set count and
+//!   associativity from the latency staircase.
+//! * [`fu_latency_sweep`] — the warp-count latency sweeps of Section 5.1
+//!   (Figures 6 and 7) that expose the number of warp schedulers and the
+//!   per-scheduler contention domains.
+
+use crate::CovertError;
+use gpgpu_isa::{ProgramBuilder, Reg};
+use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_spec::{DeviceSpec, FuOpKind, LaunchConfig};
+
+/// One point of a cache latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSweepPoint {
+    /// Array size walked, in bytes.
+    pub array_bytes: u64,
+    /// Average access latency in cycles (steady-state walk).
+    pub latency: f64,
+}
+
+/// One point of a functional-unit latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuLatencyPoint {
+    /// Number of resident warps.
+    pub warps: u32,
+    /// Average per-op latency observed by warp 0, in cycles.
+    pub latency: f64,
+}
+
+/// Cache parameters recovered from a latency staircase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredGeometry {
+    /// Cache capacity: the largest array that still fits.
+    pub size_bytes: u64,
+    /// Line size: the width of each latency step.
+    pub line_bytes: u64,
+    /// Set count: the number of latency steps.
+    pub num_sets: u64,
+    /// Associativity: `size / (sets * line)`.
+    pub ways: u64,
+}
+
+/// Walks `ceil(size/stride)` addresses at `stride` through constant memory,
+/// returning the steady-state average access latency for each requested
+/// array size. "The cache is first warmed by accessing the array, which is
+/// subsequently accessed again while timing the accesses" (Section 4.1).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn cache_sweep(
+    spec: &DeviceSpec,
+    stride: u64,
+    sizes: &[u64],
+) -> Result<Vec<CacheSweepPoint>, CovertError> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let n = size.div_ceil(stride).max(1);
+        let mut b = ProgramBuilder::new();
+        let (addr, t0, t1, total) = (Reg(0), Reg(1), Reg(2), Reg(3));
+        // Warm walk.
+        for k in 0..n {
+            b.mov_imm(addr, k * stride);
+            b.const_load(addr);
+        }
+        // Two timed walks; the second is steady-state under LRU.
+        for _ in 0..2 {
+            b.read_clock(t0);
+            for k in 0..n {
+                b.mov_imm(addr, k * stride);
+                b.const_load(addr);
+            }
+            b.read_clock(t1);
+            b.sub(total, t1, t0);
+            b.push_result(total);
+        }
+        let mut dev = Device::new(spec.clone());
+        dev.alloc_constant(size);
+        let k = dev.launch(
+            0,
+            KernelSpec::new("cache-sweep", b.build().expect("assembles"), LaunchConfig::new(1, 32)),
+        )?;
+        dev.run_until_idle(200_000_000)?;
+        let r = dev.results(k)?;
+        let samples = r.warp_results(0, 0).unwrap_or(&[]);
+        let steady = *samples.last().unwrap_or(&0);
+        out.push(CacheSweepPoint { array_bytes: size, latency: steady as f64 / n as f64 });
+    }
+    Ok(out)
+}
+
+/// The sizes the paper plots in Figure 2 (L1, stride 64, 1800-3000 bytes).
+pub fn fig2_sizes() -> Vec<u64> {
+    (0..=38).map(|i| 1800 + i * 32).collect()
+}
+
+/// The sizes the paper plots in Figure 3 (L2, stride 256, 31-38 KB).
+pub fn fig3_sizes() -> Vec<u64> {
+    (0..=56).map(|i| 31_000 + i * 128).collect()
+}
+
+/// Recovers cache geometry from a latency staircase, mirroring the paper's
+/// analysis: "While the latency remains constant, the array fits in cache...
+/// the number of steps in the figure is equal to the number of cache sets.
+/// The cache line size corresponds to the width of each step."
+///
+/// Returns `None` when the sweep shows no staircase (e.g. the sampled range
+/// misses the cache size entirely).
+pub fn recover_cache_geometry(points: &[CacheSweepPoint]) -> Option<RecoveredGeometry> {
+    if points.len() < 4 {
+        return None;
+    }
+    let base = points.first()?.latency;
+    const EPS: f64 = 3.0;
+    // Cache size: the largest array still at base latency.
+    let size_bytes = points
+        .iter()
+        .take_while(|p| p.latency <= base + EPS)
+        .last()?
+        .array_bytes;
+    // Rising edges of the staircase.
+    let mut rises: Vec<u64> = Vec::new();
+    for w in points.windows(2) {
+        if w[1].latency > w[0].latency + EPS {
+            rises.push(w[1].array_bytes);
+        }
+    }
+    if rises.len() < 2 {
+        return None;
+    }
+    let num_sets = rises.len() as u64;
+    // Step width: the median gap between consecutive rises.
+    let mut gaps: Vec<u64> = rises.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_unstable();
+    let line_bytes = gaps[gaps.len() / 2];
+    if line_bytes == 0 || num_sets == 0 {
+        return None;
+    }
+    // Snap the size to the nearest line multiple (the sampling grid rarely
+    // lands exactly on the capacity boundary).
+    let size_snapped = (size_bytes + line_bytes / 2) / line_bytes * line_bytes;
+    let ways = size_snapped / (num_sets * line_bytes);
+    Some(RecoveredGeometry { size_bytes: size_snapped, line_bytes, num_sets, ways })
+}
+
+/// Measures warp-0's average per-op latency for `op` at each warp count —
+/// the Figures 6/7 sweep. All warps run identical op loops; only warp 0's
+/// measurement is reported, as in the paper.
+///
+/// # Errors
+///
+/// Propagates simulator failures, including launch rejection for
+/// double-precision ops on Maxwell.
+pub fn fu_latency_sweep(
+    spec: &DeviceSpec,
+    op: FuOpKind,
+    warp_counts: &[u32],
+) -> Result<Vec<FuLatencyPoint>, CovertError> {
+    const BURST: u64 = 32;
+    const ITERS: u64 = 16; // matches the paper's spirit of many-iteration averages
+    let mut out = Vec::with_capacity(warp_counts.len());
+    for &warps in warp_counts {
+        let mut b = ProgramBuilder::new();
+        b.repeat(Reg(20), ITERS, |b| {
+            crate::kernels::emit_timed_fu_burst(b, op, BURST, Reg(21));
+            b.push_result(Reg(21));
+        });
+        let mut dev = Device::new(spec.clone());
+        let k = dev.launch(
+            0,
+            KernelSpec::new("fu-sweep", b.build().expect("assembles"), LaunchConfig::new(1, warps * 32)),
+        )?;
+        dev.run_until_idle(500_000_000)?;
+        let r = dev.results(k)?;
+        let samples = r.warp_results(0, 0).unwrap_or(&[]);
+        // Steady state: skip the first half (pipeline warm-up, stragglers).
+        let tail = &samples[samples.len() / 2..];
+        let avg_total: f64 =
+            tail.iter().map(|&t| t as f64).sum::<f64>() / tail.len().max(1) as f64;
+        out.push(FuLatencyPoint { warps, latency: avg_total / BURST as f64 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn fig2_recovers_kepler_l1_geometry() {
+        let spec = presets::tesla_k40c();
+        let sweep = cache_sweep(&spec, 64, &fig2_sizes()).unwrap();
+        // Latency starts at the L1 plateau.
+        assert!((sweep[0].latency - 49.0).abs() < 2.0, "base {}", sweep[0].latency);
+        let g = recover_cache_geometry(&sweep).expect("staircase detected");
+        assert_eq!(g.size_bytes, 2048);
+        assert_eq!(g.line_bytes, 64);
+        assert_eq!(g.num_sets, 8);
+        assert_eq!(g.ways, 4);
+    }
+
+    #[test]
+    fn fig3_recovers_l2_geometry() {
+        let spec = presets::tesla_k40c();
+        let sweep = cache_sweep(&spec, 256, &fig3_sizes()).unwrap();
+        assert!((sweep[0].latency - 112.0).abs() < 4.0, "base {}", sweep[0].latency);
+        let g = recover_cache_geometry(&sweep).expect("staircase detected");
+        assert_eq!(g.size_bytes, 32 * 1024);
+        assert_eq!(g.line_bytes, 256);
+        assert_eq!(g.num_sets, 16);
+        assert_eq!(g.ways, 8);
+    }
+
+    #[test]
+    fn fermi_l1_is_4kb() {
+        let spec = presets::tesla_c2075();
+        let sizes: Vec<u64> = (0..=40).map(|i| 3800 + i * 32).collect();
+        let sweep = cache_sweep(&spec, 64, &sizes).unwrap();
+        let g = recover_cache_geometry(&sweep).expect("staircase detected");
+        assert_eq!(g.size_bytes, 4096);
+        assert_eq!(g.num_sets, 16);
+        assert_eq!(g.ways, 4);
+    }
+
+    #[test]
+    fn fu_sweep_shows_kepler_sinf_shape() {
+        let spec = presets::tesla_k40c();
+        let sweep =
+            fu_latency_sweep(&spec, FuOpKind::SpSinf, &[1, 4, 8, 16, 24, 32]).unwrap();
+        // Base latency ~18 at low warp counts; rises once demand saturates
+        // the per-scheduler SFU ports.
+        assert!((sweep[0].latency - 18.0).abs() < 2.0, "base {}", sweep[0].latency);
+        let last = sweep.last().unwrap();
+        assert!(last.latency > 28.0, "32-warp latency {}", last.latency);
+        // Monotonic non-decreasing (within tolerance).
+        for w in sweep.windows(2) {
+            assert!(w[1].latency >= w[0].latency - 1.0);
+        }
+    }
+
+    #[test]
+    fn fu_sweep_add_is_flat_on_kepler() {
+        let spec = presets::tesla_k40c();
+        let sweep = fu_latency_sweep(&spec, FuOpKind::SpAdd, &[1, 8, 16, 32]).unwrap();
+        let spread = sweep.last().unwrap().latency - sweep[0].latency;
+        assert!(
+            spread < 3.0,
+            "Kepler single-precision Add should show no visible steps, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn fu_sweep_rejects_dp_on_maxwell() {
+        let spec = presets::quadro_m4000();
+        assert!(fu_latency_sweep(&spec, FuOpKind::DpAdd, &[1]).is_err());
+    }
+
+    #[test]
+    fn recover_geometry_needs_a_staircase() {
+        let flat: Vec<CacheSweepPoint> = (0..10)
+            .map(|i| CacheSweepPoint { array_bytes: 1000 + i * 64, latency: 49.0 })
+            .collect();
+        assert_eq!(recover_cache_geometry(&flat), None);
+        assert_eq!(recover_cache_geometry(&[]), None);
+    }
+}

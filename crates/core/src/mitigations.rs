@@ -1,0 +1,288 @@
+//! Mitigation evaluation (paper Section 9).
+//!
+//! The paper sketches three mitigation families and leaves their evaluation
+//! to future work; the simulator implements all three (see
+//! [`gpgpu_sim::DeviceTuning`]) and this module measures what each does to
+//! the channels:
+//!
+//! * **spatial cache partitioning** — kernels get disjoint cache-set
+//!   regions, so prime+probe eviction signalling is impossible;
+//! * **randomized warp scheduling** — warps land on schedulers by keyed
+//!   hash, destroying the per-scheduler bit lanes of the Table-3 channel;
+//! * **clock fuzzing** (TimeWarp) — quantized `clock()` reads hide the
+//!   hit/miss latency difference every cache channel decodes with.
+
+use crate::bits::Message;
+use crate::cache_channel::L1Channel;
+use crate::channel::ChannelOutcome;
+use crate::parallel::ParallelSfuChannel;
+use crate::sync_channel::SyncChannel;
+use crate::CovertError;
+use gpgpu_sim::DeviceTuning;
+use gpgpu_spec::{DeviceSpec, LaunchConfig};
+use std::fmt;
+
+/// One of the paper's Section-9 mitigation classes, parameterized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mitigation {
+    /// Static cache partitioning into `partitions` per-kernel regions.
+    CachePartitioning {
+        /// Number of partitions (>= 2 to have any effect).
+        partitions: u32,
+    },
+    /// Keyed-hash warp -> scheduler assignment.
+    RandomizedWarpScheduling {
+        /// Hash seed (changes per boot on a real implementation).
+        seed: u64,
+    },
+    /// Quantized `clock()` reads.
+    ClockFuzzing {
+        /// Quantum in cycles; must exceed the hit/miss latency gap to be
+        /// effective.
+        granularity: u64,
+    },
+}
+
+impl Mitigation {
+    /// The device tuning implementing this mitigation.
+    pub fn tuning(self) -> DeviceTuning {
+        match self {
+            Mitigation::CachePartitioning { partitions } => DeviceTuning {
+                cache_partitions: partitions,
+                ..DeviceTuning::none()
+            },
+            Mitigation::RandomizedWarpScheduling { seed } => DeviceTuning {
+                random_warp_scheduler: Some(seed),
+                ..DeviceTuning::none()
+            },
+            Mitigation::ClockFuzzing { granularity } => DeviceTuning {
+                clock_granularity: granularity,
+                ..DeviceTuning::none()
+            },
+        }
+    }
+}
+
+impl fmt::Display for Mitigation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mitigation::CachePartitioning { partitions } => {
+                write!(f, "cache partitioning ({partitions} regions)")
+            }
+            Mitigation::RandomizedWarpScheduling { seed } => {
+                write!(f, "randomized warp scheduling (seed {seed:#x})")
+            }
+            Mitigation::ClockFuzzing { granularity } => {
+                write!(f, "clock fuzzing ({granularity}-cycle quantum)")
+            }
+        }
+    }
+}
+
+/// The before/after picture of a mitigation against one channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationReport {
+    /// The evaluated mitigation.
+    pub mitigation: Mitigation,
+    /// Channel outcome on the unprotected device.
+    pub baseline: ChannelOutcome,
+    /// Channel outcome with the mitigation active.
+    pub mitigated: ChannelOutcome,
+}
+
+impl MitigationReport {
+    /// Whether the mitigation broke the channel (pushed its error rate to
+    /// at least `min_ber`).
+    pub fn is_effective(&self, min_ber: f64) -> bool {
+        self.baseline.is_error_free() && self.mitigated.ber >= min_ber
+    }
+}
+
+/// Evaluates a mitigation against the baseline L1 prime+probe channel.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn evaluate_against_l1(
+    spec: &DeviceSpec,
+    mitigation: Mitigation,
+    msg: &Message,
+) -> Result<MitigationReport, CovertError> {
+    let baseline = L1Channel::new(spec.clone()).transmit(msg)?;
+    let mitigated = L1Channel::new(spec.clone())
+        .with_tuning(mitigation.tuning())
+        .transmit(msg)?;
+    Ok(MitigationReport { mitigation, baseline, mitigated })
+}
+
+/// Evaluates a mitigation against the synchronized L1 channel (which also
+/// exercises the handshake's robustness machinery).
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn evaluate_against_sync(
+    spec: &DeviceSpec,
+    mitigation: Mitigation,
+    msg: &Message,
+) -> Result<MitigationReport, CovertError> {
+    let baseline = SyncChannel::new(spec.clone()).transmit(msg)?;
+    let mitigated = SyncChannel::new(spec.clone())
+        .with_tuning(mitigation.tuning())
+        .transmit(msg)?;
+    Ok(MitigationReport { mitigation, baseline, mitigated })
+}
+
+/// Evaluates a mitigation against the per-scheduler parallel SFU channel —
+/// the natural target of scheduler randomization.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn evaluate_against_parallel_sfu(
+    spec: &DeviceSpec,
+    mitigation: Mitigation,
+    msg: &Message,
+) -> Result<MitigationReport, CovertError> {
+    let baseline = ParallelSfuChannel::new(spec.clone()).transmit(msg)?;
+    let mitigated = ParallelSfuChannel::new(spec.clone())
+        .with_tuning(mitigation.tuning())
+        .transmit(msg)?;
+    Ok(MitigationReport { mitigation, baseline, mitigated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn cache_partitioning_kills_the_l1_channel() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(16, 0x91);
+        let r = evaluate_against_l1(
+            &spec,
+            Mitigation::CachePartitioning { partitions: 2 },
+            &msg,
+        )
+        .unwrap();
+        assert!(r.is_effective(0.2), "baseline {} mitigated {}", r.baseline.ber, r.mitigated.ber);
+    }
+
+    #[test]
+    fn clock_fuzzing_kills_the_l1_channel() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(16, 0x92);
+        // Quantum far above the 49-vs-112-cycle gap.
+        let r = evaluate_against_l1(
+            &spec,
+            Mitigation::ClockFuzzing { granularity: 4096 },
+            &msg,
+        )
+        .unwrap();
+        assert!(r.is_effective(0.2), "baseline {} mitigated {}", r.baseline.ber, r.mitigated.ber);
+    }
+
+    #[test]
+    fn fine_grained_clock_fuzzing_is_insufficient() {
+        // A quantum below the latency gap leaves the channel intact — the
+        // defense must be sized to the signal it hides.
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(12, 0x93);
+        let r = evaluate_against_l1(&spec, Mitigation::ClockFuzzing { granularity: 8 }, &msg)
+            .unwrap();
+        assert!(r.mitigated.is_error_free(), "ber {}", r.mitigated.ber);
+    }
+
+    #[test]
+    fn scheduler_randomization_scrambles_the_parallel_sfu_lanes() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(16, 0x94);
+        let r = evaluate_against_parallel_sfu(
+            &spec,
+            Mitigation::RandomizedWarpScheduling { seed: 0xD1CE },
+            &msg,
+        )
+        .unwrap();
+        assert!(r.baseline.is_error_free());
+        assert!(r.mitigated.ber > 0.1, "randomization should corrupt lanes: {}", r.mitigated.ber);
+    }
+
+    #[test]
+    fn partitioning_defeats_even_the_synchronized_protocol() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(8, 0x95);
+        let r = evaluate_against_sync(
+            &spec,
+            Mitigation::CachePartitioning { partitions: 2 },
+            &msg,
+        )
+        .unwrap();
+        assert!(r.baseline.is_error_free());
+        assert!(r.mitigated.ber > 0.2, "ber {}", r.mitigated.ber);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert!(Mitigation::CachePartitioning { partitions: 2 }.to_string().contains("2 regions"));
+        assert!(Mitigation::ClockFuzzing { granularity: 512 }.to_string().contains("512"));
+    }
+}
+
+/// Contention-anomaly detection (the paper's other Section-9 direction:
+/// "attempt to detect anomalous contention [CC-Hunter]"). Returns the
+/// eviction-alternation counts of (a) a covert-channel run and (b) a benign
+/// mix of two independent constant-memory workloads of similar intensity —
+/// the gap between them is the detector's margin.
+///
+/// # Errors
+///
+/// Propagates channel and simulator failures.
+pub fn contention_detection_margin(
+    spec: &DeviceSpec,
+    msg: &Message,
+) -> Result<(u64, u64), CovertError> {
+    // (a) The synchronized channel: constant ping-pong evictions.
+    let run = SyncChannel::new(spec.clone()).transmit_with_noise(msg, Vec::new())?;
+    let channel_score = run.eviction_alternations;
+
+    // (b) Benign: two kernels streaming their own constant arrays. Their
+    // working sets collide in the cache occasionally but never alternate.
+    let mut dev = gpgpu_sim::Device::new(spec.clone());
+    let g = spec.const_l1.geometry;
+    let make = |base: u64| {
+        let mut b = gpgpu_isa::ProgramBuilder::new();
+        let lines = g.size_bytes() / g.line_bytes();
+        b.repeat(gpgpu_isa::Reg(20), 40, move |b| {
+            for k in 0..lines {
+                b.mov_imm(gpgpu_isa::Reg(0), base + k * g.line_bytes());
+                b.const_load(gpgpu_isa::Reg(0));
+            }
+        });
+        b.build().expect("benign workload assembles")
+    };
+    let launch = LaunchConfig::new(spec.num_sms, 32);
+    let span = g.same_set_stride() * g.ways();
+    dev.launch(0, gpgpu_sim::KernelSpec::new("benign-a", make(0), launch))?;
+    dev.launch(1, gpgpu_sim::KernelSpec::new("benign-b", make(span), launch))?;
+    dev.run_until_idle(200_000_000)?;
+    let (_, benign_score) = dev.cache_contention_counters();
+    Ok((channel_score, benign_score))
+}
+
+#[cfg(test)]
+mod detection_tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn channel_contention_is_detectably_anomalous() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(16, 0x96);
+        let (channel, benign) = contention_detection_margin(&spec, &msg).unwrap();
+        assert!(
+            channel > 10 * benign.max(1),
+            "detector margin too small: channel {channel} vs benign {benign}"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Interfering workloads and noise mitigation (paper Section 8).
+//!
+//! The paper evaluates its channels against Rodinia benchmark applications
+//! running on a third stream. We model the Rodinia mixes by their resource
+//! footprints — which is all that matters for interference:
+//!
+//! * [`NoiseKind::ConstantCacheHog`] — walks constant memory continuously,
+//!   stomping every L1 set (the paper calls out *Heart Wall*, "that uses
+//!   constant memory and that would interfere with the L1 covert channel").
+//! * [`NoiseKind::SharedMemHog`] — claims a block of shared memory and does
+//!   global-memory work (*hotspot*-like).
+//! * [`NoiseKind::FuBound`] — saturates the SFUs (*lavaMD*-like).
+//! * [`NoiseKind::MemoryBound`] — streams global memory (*streamcluster*-like).
+//!
+//! With the default (non-exclusive) launch recipe these co-locate with the
+//! channel kernels and corrupt it; with the Section-8 **exclusive
+//! co-location** recipe the channel saturates shared memory and threads so
+//! the noise queues behind it, and communication stays error-free.
+
+use crate::bits::Message;
+use crate::channel::ChannelOutcome;
+use crate::sync_channel::SyncChannel;
+use crate::CovertError;
+use gpgpu_isa::{LanePattern, ProgramBuilder, Reg};
+use gpgpu_sim::KernelSpec;
+use gpgpu_spec::{DeviceSpec, FuOpKind, LaunchConfig};
+
+/// Resource footprint of a synthetic interfering workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// Walks the whole constant L1 continuously (Heart-Wall-like).
+    ConstantCacheHog,
+    /// Claims shared memory, streams global memory (hotspot-like).
+    SharedMemHog,
+    /// Saturates the special function units (lavaMD-like).
+    FuBound,
+    /// Streams global memory with un-coalesced accesses (streamcluster-like).
+    MemoryBound,
+}
+
+impl NoiseKind {
+    /// All kinds, for mixture experiments.
+    pub const ALL: [NoiseKind; 4] = [
+        NoiseKind::ConstantCacheHog,
+        NoiseKind::SharedMemHog,
+        NoiseKind::FuBound,
+        NoiseKind::MemoryBound,
+    ];
+}
+
+/// Builds a launchable noise kernel of the given kind running for roughly
+/// `iterations` inner loops on every SM.
+pub fn noise_kernel(spec: &DeviceSpec, kind: NoiseKind, iterations: u64) -> KernelSpec {
+    let mut b = ProgramBuilder::new();
+    let name;
+    let mut launch = LaunchConfig::new(spec.num_sms, 64);
+    match kind {
+        NoiseKind::ConstantCacheHog => {
+            name = "noise-heartwall";
+            // A third constant array, beyond the spy's and trojan's.
+            let g = &spec.const_l1.geometry;
+            let base = 2 * g.same_set_stride() * g.ways();
+            let lines = g.size_bytes() / g.line_bytes();
+            b.repeat(Reg(20), iterations, |b| {
+                for k in 0..lines {
+                    b.mov_imm(Reg(0), base + k * g.line_bytes());
+                    b.const_load(Reg(0));
+                }
+            });
+        }
+        NoiseKind::SharedMemHog => {
+            name = "noise-hotspot";
+            launch = launch.with_shared_mem(spec.sm.max_shared_mem_per_block.min(16 * 1024));
+            b.mov_imm(Reg(0), 0x4000_0000);
+            b.repeat(Reg(20), iterations, |b| {
+                b.global_load(Reg(0), LanePattern::Consecutive { elem_bytes: 4 });
+                b.add_imm(Reg(0), Reg(0), 128);
+                b.fu(FuOpKind::SpAdd);
+                b.fu(FuOpKind::SpMul);
+            });
+        }
+        NoiseKind::FuBound => {
+            name = "noise-lavamd";
+            b.repeat(Reg(20), iterations, |b| {
+                for _ in 0..16 {
+                    b.fu(FuOpKind::SpSinf);
+                }
+            });
+        }
+        NoiseKind::MemoryBound => {
+            name = "noise-streamcluster";
+            b.mov_imm(Reg(0), 0x5000_0000);
+            b.repeat(Reg(20), iterations, |b| {
+                b.global_load(Reg(0), LanePattern::Spread { stride_bytes: 128 });
+                b.add_imm(Reg(0), Reg(0), 4096);
+            });
+        }
+    }
+    KernelSpec::new(name, b.build().expect("noise kernel assembles"), launch)
+}
+
+/// Outcome of a Section-8 interference experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseExperiment {
+    /// The channel's transmission outcome under (attempted) interference.
+    pub outcome: ChannelOutcome,
+    /// Whether any noise kernel's first block started before the channel
+    /// finished — i.e. whether the noise actually ran concurrently.
+    pub noise_overlapped: bool,
+}
+
+/// Runs the synchronized L1 channel beside the given noise kinds, with or
+/// without the exclusive co-location defense.
+///
+/// # Errors
+///
+/// Propagates channel and simulator failures.
+pub fn run_sync_with_noise(
+    spec: &DeviceSpec,
+    msg: &Message,
+    kinds: &[NoiseKind],
+    exclusive: bool,
+) -> Result<NoiseExperiment, CovertError> {
+    run_sync_with_noise_intensity(spec, msg, kinds, exclusive, 40 + 30 * msg.len() as u64)
+}
+
+/// As [`run_sync_with_noise`], but with an explicit noise-kernel iteration
+/// count — lighter noise produces the moderate error rates where forward
+/// error correction (the paper's fallback mitigation) is effective.
+///
+/// # Errors
+///
+/// Propagates channel and simulator failures.
+pub fn run_sync_with_noise_intensity(
+    spec: &DeviceSpec,
+    msg: &Message,
+    kinds: &[NoiseKind],
+    exclusive: bool,
+    noise_iters: u64,
+) -> Result<NoiseExperiment, CovertError> {
+    let mut channel = SyncChannel::new(spec.clone());
+    if exclusive {
+        channel = channel.with_exclusive();
+    }
+    let noise: Vec<KernelSpec> =
+        kinds.iter().map(|&k| noise_kernel(spec, k, noise_iters)).collect();
+    let run = channel.transmit_with_noise(msg, noise)?;
+    // Interference requires sharing an SM with an *active* channel block
+    // while the channel is live.
+    let noise_overlapped = run.noise.iter().any(|r| {
+        r.blocks.iter().any(|blk| {
+            run.active_sms.contains(&blk.sm_id) && blk.start_cycle < run.channel_completed_at
+        })
+    });
+    Ok(NoiseExperiment { outcome: run.outcome, noise_overlapped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn constant_cache_noise_corrupts_unprotected_channel() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(16, 4);
+        let exp =
+            run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], false).unwrap();
+        assert!(exp.noise_overlapped, "noise should co-locate without the defense");
+        assert!(exp.outcome.ber > 0.0, "expected corruption, ber={}", exp.outcome.ber);
+    }
+
+    #[test]
+    fn exclusive_colocation_locks_noise_out() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(16, 4);
+        let exp =
+            run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], true).unwrap();
+        assert!(exp.outcome.is_error_free(), "ber={}", exp.outcome.ber);
+    }
+
+    #[test]
+    fn exclusive_colocation_survives_a_noise_mixture() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(12, 8);
+        let exp = run_sync_with_noise(&spec, &msg, &NoiseKind::ALL, true).unwrap();
+        assert!(exp.outcome.is_error_free(), "ber={}", exp.outcome.ber);
+    }
+
+    #[test]
+    fn non_cache_noise_does_not_break_the_channel() {
+        // FU/memory noise does not touch the constant cache; the channel
+        // survives even without the defense.
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(12, 8);
+        let exp = run_sync_with_noise(&spec, &msg, &[NoiseKind::MemoryBound], false).unwrap();
+        assert!(exp.outcome.is_error_free(), "ber={}", exp.outcome.ber);
+    }
+
+    #[test]
+    fn noise_kernels_are_launchable_everywhere() {
+        for spec in presets::all() {
+            for kind in NoiseKind::ALL {
+                let k = noise_kernel(&spec, kind, 2);
+                assert!(k.launch.validate(&spec.sm).is_ok(), "{kind:?} on {}", spec.name);
+            }
+        }
+    }
+}

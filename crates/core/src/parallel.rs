@@ -1,0 +1,396 @@
+//! Parallelized channels (paper Section 7.2 and Table 3).
+//!
+//! * [`ParallelSfuChannel`] — one bit per warp scheduler per SM per round.
+//!   "Contention is isolated among the different warp schedulers", so warp
+//!   `s` of the trojan modulates load on scheduler `s` while warp `s` of
+//!   the spy times its own `__sinf` bursts there; background warps keep
+//!   every scheduler near its contention step so one warp's presence or
+//!   absence is measurable.
+//! * [`CombinedChannel`] — two bits per round through two *different*
+//!   resources at once (L1 constant cache + SFUs), the Section 7
+//!   multi-resource experiment (56 Kbps on Kepler in the paper).
+
+use crate::bits::Message;
+use crate::channel::ChannelOutcome;
+use crate::kernels::{
+    emit_block_dispatch, emit_fill, emit_idle_spin, emit_probe_count_misses,
+    emit_timed_fu_burst, miss_threshold, SetRef,
+};
+use crate::CovertError;
+use gpgpu_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
+use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_spec::{Architecture, DeviceSpec, FuOpKind, FuTiming, FuUnit, LaunchConfig};
+
+/// Warps per kernel per block for the parallel SFU channel: enough to sit
+/// just below the first contention step alone, and on a step together.
+pub fn sfu_warps_per_block(arch: Architecture) -> u32 {
+    match arch {
+        Architecture::Fermi => 4,    // 2 per scheduler
+        Architecture::Kepler => 12,  // 3 per scheduler
+        Architecture::Maxwell => 12, // 3 per scheduler
+    }
+}
+
+/// Per-op latency with `per_sched` warps contending on one scheduler.
+fn sfu_latency(spec: &DeviceSpec, per_sched: u64) -> u64 {
+    let t = FuTiming::for_op(spec.architecture, FuOpKind::SpSinf);
+    let occ = u64::from(spec.sm.pools.issue_occupancy(FuUnit::Sfu, spec.sm.num_warp_schedulers))
+        * u64::from(t.micro_ops);
+    (u64::from(t.pipeline_depth) + occ).max(per_sched * occ)
+}
+
+/// The Table-3 parallel SFU channel: `num_warp_schedulers x parallel_sms`
+/// bits per kernel-pair launch.
+#[derive(Debug, Clone)]
+pub struct ParallelSfuChannel {
+    spec: DeviceSpec,
+    /// SMs carrying independent lanes (1 ..= num_sms).
+    pub parallel_sms: u32,
+    /// `__sinf` ops per timed burst.
+    pub ops_per_iter: u64,
+    /// Timed bursts per round.
+    pub iterations: u64,
+    /// Device tuning (mitigations / placement policy).
+    pub tuning: gpgpu_sim::DeviceTuning,
+}
+
+impl ParallelSfuChannel {
+    /// A per-scheduler-parallel channel on one SM (Table 3, column 2).
+    pub fn new(spec: DeviceSpec) -> Self {
+        ParallelSfuChannel {
+            spec,
+            parallel_sms: 1,
+            ops_per_iter: 96,
+            iterations: 8,
+            tuning: gpgpu_sim::DeviceTuning::none(),
+        }
+    }
+
+    /// Applies device tuning (mitigations / placement policy).
+    pub fn with_tuning(mut self, tuning: gpgpu_sim::DeviceTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Extends the channel across `sms` SMs (Table 3, column 3).
+    ///
+    /// # Errors
+    ///
+    /// [`CovertError::Config`] if the device has fewer SMs.
+    pub fn with_parallel_sms(mut self, sms: u32) -> Result<Self, CovertError> {
+        if sms == 0 || sms > self.spec.num_sms {
+            return Err(CovertError::Config {
+                reason: format!("device has {} SMs", self.spec.num_sms),
+            });
+        }
+        self.parallel_sms = sms;
+        Ok(self)
+    }
+
+    /// The device this channel targets.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Bits per kernel-pair launch.
+    pub fn bits_per_round(&self) -> usize {
+        (self.spec.sm.num_warp_schedulers * self.parallel_sms) as usize
+    }
+
+    fn warps(&self) -> u32 {
+        sfu_warps_per_block(self.spec.architecture)
+    }
+
+    /// Spy program: lane warps (one per scheduler) time bursts; background
+    /// warps apply steady load; inactive blocks exit.
+    fn spy_program(&self) -> gpgpu_isa::Program {
+        let nsched = u64::from(self.spec.sm.num_warp_schedulers);
+        let (ops, iters) = (self.ops_per_iter, self.iterations);
+        let mut b = ProgramBuilder::new();
+        b.read_special(Reg(29), Special::BlockId);
+        let active = b.label();
+        b.branch(Cond::Lt, Reg(29), Operand::Imm(u64::from(self.parallel_sms)), active);
+        b.halt();
+        b.bind(active);
+        b.read_special(Reg(29), Special::WarpIdInBlock);
+        let lane = b.label();
+        b.branch(Cond::Lt, Reg(29), Operand::Imm(nsched), lane);
+        // Background warps: steady untimed load, slightly longer than the
+        // lanes' measurement window.
+        b.repeat(Reg(20), iters * 3 / 2, |b| {
+            for _ in 0..ops {
+                b.fu(FuOpKind::SpSinf);
+            }
+        });
+        b.halt();
+        // Lane warps: timed bursts.
+        b.bind(lane);
+        b.repeat(Reg(20), iters, |b| {
+            emit_timed_fu_burst(b, FuOpKind::SpSinf, ops, Reg(21));
+            b.push_result(Reg(21));
+        });
+        b.halt();
+        b.build().expect("spy program assembles")
+    }
+
+    /// Trojan program for one round: lane warp `s` of block `b` works iff
+    /// its bit is 1; background warps always work.
+    fn trojan_program(&self, round_bits: &[bool]) -> gpgpu_isa::Program {
+        let nsched = self.spec.sm.num_warp_schedulers as usize;
+        let (ops, iters) = (self.ops_per_iter, self.iterations);
+        let mut b = ProgramBuilder::new();
+        let labels = emit_block_dispatch(&mut b, self.spec.num_sms);
+        for (blk, l) in labels.into_iter().enumerate() {
+            b.bind(l);
+            if blk >= self.parallel_sms as usize {
+                b.halt();
+                continue;
+            }
+            b.read_special(Reg(29), Special::WarpIdInBlock);
+            let mut lane_labels = Vec::new();
+            for s in 0..nsched {
+                let ll = b.label();
+                b.branch(Cond::Eq, Reg(29), Operand::Imm(s as u64), ll);
+                lane_labels.push(ll);
+            }
+            // Background warps.
+            b.repeat(Reg(20), iters * 2, |b| {
+                for _ in 0..ops {
+                    b.fu(FuOpKind::SpSinf);
+                }
+            });
+            b.halt();
+            for (s, ll) in lane_labels.into_iter().enumerate() {
+                b.bind(ll);
+                let bit = round_bits.get(blk * nsched + s).copied().unwrap_or(false);
+                if bit {
+                    b.repeat(Reg(20), iters * 2, |b| {
+                        for _ in 0..ops {
+                            b.fu(FuOpKind::SpSinf);
+                        }
+                    });
+                } else {
+                    emit_idle_spin(&mut b, iters * ops / 2, Reg(20));
+                }
+                b.halt();
+            }
+        }
+        b.build().expect("trojan program assembles")
+    }
+
+    /// Transmits `msg`: `bits_per_round` bits per kernel-pair launch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        let nsched = self.spec.sm.num_warp_schedulers as usize;
+        let per_round = self.bits_per_round();
+        let warps = self.warps();
+        let per_sched = u64::from(warps / self.spec.sm.num_warp_schedulers);
+        // Spy contributes `per_sched` warps per scheduler; the trojan
+        // contributes `per_sched` with the lane active, `per_sched - 1`
+        // without.
+        let hot = sfu_latency(&self.spec, 2 * per_sched);
+        let cold = sfu_latency(&self.spec, 2 * per_sched - 1);
+        let threshold = self.ops_per_iter * (hot + cold) / 2;
+        let min_hot = ((self.iterations as usize) / 4).max(2);
+
+        let launch = LaunchConfig::new(self.spec.num_sms, warps * 32);
+        let mut dev = Device::with_tuning(self.spec.clone(), self.tuning);
+        let mut received = vec![false; msg.len()];
+        let mut idx = 0;
+        while idx < msg.len() {
+            let round: Vec<bool> = (0..per_round)
+                .map(|i| msg.bits().get(idx + i).copied().unwrap_or(false))
+                .collect();
+            let spy =
+                dev.launch(0, KernelSpec::new("spy", self.spy_program(), launch))?;
+            dev.launch(1, KernelSpec::new("trojan", self.trojan_program(&round), launch))?;
+            dev.run_until_idle(200_000_000)?;
+            let r = dev.results(spy)?;
+            for blk in 0..self.parallel_sms {
+                for s in 0..nsched {
+                    let i = blk as usize * nsched + s;
+                    if idx + i >= msg.len() {
+                        continue;
+                    }
+                    let samples = r.warp_results(blk, s as u32).ok_or(
+                        CovertError::ProtocolDesync { expected: self.iterations as usize, got: 0 },
+                    )?;
+                    received[idx + i] =
+                        samples.iter().filter(|&&l| l > threshold).count() >= min_hot;
+                }
+            }
+            idx += per_round;
+        }
+        let cycles = dev.now().max(1);
+        Ok(ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles))
+    }
+}
+
+/// The Section-7 multi-resource channel: each round carries one bit through
+/// the L1 constant cache and one through the SFUs, simultaneously.
+#[derive(Debug, Clone)]
+pub struct CombinedChannel {
+    spec: DeviceSpec,
+    /// Prime/probe and burst iterations per round.
+    pub iterations: u64,
+    /// `__sinf` ops per timed burst.
+    pub ops_per_iter: u64,
+}
+
+impl CombinedChannel {
+    /// A combined L1+SFU channel with default parameters.
+    pub fn new(spec: DeviceSpec) -> Self {
+        CombinedChannel { spec, iterations: 12, ops_per_iter: 96 }
+    }
+
+    /// The device this channel targets.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Transmits `msg` two bits per kernel-pair launch (cache bit first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        let g = self.spec.const_l1.geometry;
+        let spy_set = SetRef::new(&g, 0, 0);
+        let trojan_set = SetRef::new(&g, g.same_set_stride() * g.ways(), 0);
+        let cache_thr = miss_threshold(self.spec.const_l1.hit_latency, self.spec.const_l2.hit_latency);
+        let fu_warps = u64::from(sfu_warps_per_block(self.spec.architecture));
+        let nsched = u64::from(self.spec.sm.num_warp_schedulers);
+        let per_sched = fu_warps / nsched;
+        let hot = sfu_latency(&self.spec, 2 * per_sched);
+        let cold = sfu_latency(&self.spec, per_sched);
+        let fu_thr = self.ops_per_iter * (hot + cold) / 2;
+        let (iters, ops) = (self.iterations, self.ops_per_iter);
+        let min_hot = ((iters as usize) / 4).max(2);
+
+        // Warp 0: cache lane. Warps 1..=fu_warps: SFU lanes (warp 1 timed).
+        let spy_prog = {
+            let mut b = ProgramBuilder::new();
+            b.read_special(Reg(29), Special::WarpIdInBlock);
+            let cache = b.label();
+            b.branch(Cond::Eq, Reg(29), Operand::Imm(0), cache);
+            b.repeat(Reg(20), iters, |b| {
+                emit_timed_fu_burst(b, FuOpKind::SpSinf, ops, Reg(21));
+                b.push_result(Reg(21));
+            });
+            b.halt();
+            b.bind(cache);
+            emit_fill(&mut b, &spy_set);
+            b.repeat(Reg(20), iters, |b| {
+                emit_probe_count_misses(b, &spy_set, cache_thr, Reg(21));
+                b.push_result(Reg(21));
+            });
+            b.halt();
+            b.build().expect("spy assembles")
+        };
+        let trojan_prog = |cache_bit: bool, fu_bit: bool| {
+            let mut b = ProgramBuilder::new();
+            b.read_special(Reg(29), Special::WarpIdInBlock);
+            let cache = b.label();
+            b.branch(Cond::Eq, Reg(29), Operand::Imm(0), cache);
+            if fu_bit {
+                b.repeat(Reg(20), iters * 3 / 2, |b| {
+                    for _ in 0..ops {
+                        b.fu(FuOpKind::SpSinf);
+                    }
+                });
+            } else {
+                emit_idle_spin(&mut b, iters * ops / 2, Reg(20));
+            }
+            b.halt();
+            b.bind(cache);
+            if cache_bit {
+                b.repeat(Reg(20), iters * 2, |b| {
+                    emit_fill(b, &trojan_set);
+                });
+            } else {
+                emit_idle_spin(&mut b, iters * 16, Reg(20));
+            }
+            b.halt();
+            b.build().expect("trojan assembles")
+        };
+
+        let launch =
+            LaunchConfig::new(self.spec.num_sms, (1 + fu_warps as u32) * 32);
+        let mut dev = Device::new(self.spec.clone());
+        dev.alloc_constant(g.size_bytes());
+        dev.alloc_constant(g.size_bytes());
+        let mut received = vec![false; msg.len()];
+        let mut idx = 0;
+        while idx < msg.len() {
+            let cache_bit = msg.bits()[idx];
+            let fu_bit = msg.bits().get(idx + 1).copied().unwrap_or(false);
+            let spy = dev.launch(0, KernelSpec::new("spy", spy_prog.clone(), launch))?;
+            dev.launch(1, KernelSpec::new("trojan", trojan_prog(cache_bit, fu_bit), launch))?;
+            dev.run_until_idle(200_000_000)?;
+            let r = dev.results(spy)?;
+            let cache_samples = r.warp_results(0, 0).unwrap_or(&[]);
+            received[idx] =
+                cache_samples.iter().filter(|&&c| c > 0).count() >= min_hot;
+            if idx + 1 < msg.len() {
+                let fu_samples = r.warp_results(0, 1).unwrap_or(&[]);
+                received[idx + 1] =
+                    fu_samples.iter().filter(|&&l| l > fu_thr).count() >= min_hot;
+            }
+            idx += 2;
+        }
+        let cycles = dev.now().max(1);
+        Ok(ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn parallel_sfu_single_sm_round_trip() {
+        let ch = ParallelSfuChannel::new(presets::tesla_k40c());
+        assert_eq!(ch.bits_per_round(), 4);
+        let msg = Message::pseudo_random(8, 21);
+        let o = ch.transmit(&msg).unwrap();
+        assert_eq!(o.received, msg, "got {} want {}", o.received, o.sent);
+    }
+
+    #[test]
+    fn parallel_sfu_multi_sm_scales_bandwidth() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(60, 31);
+        let one = ParallelSfuChannel::new(spec.clone()).transmit(&msg).unwrap();
+        let many = ParallelSfuChannel::new(spec)
+            .with_parallel_sms(15)
+            .unwrap()
+            .transmit(&msg)
+            .unwrap();
+        assert!(many.is_error_free(), "multi-SM BER {}", many.ber);
+        assert!(
+            many.bandwidth_kbps > 5.0 * one.bandwidth_kbps,
+            "expected ~15x scaling: {} vs {}",
+            many.bandwidth_kbps,
+            one.bandwidth_kbps
+        );
+    }
+
+    #[test]
+    fn combined_channel_round_trip() {
+        let ch = CombinedChannel::new(presets::tesla_k40c());
+        let msg = Message::pseudo_random(12, 77);
+        let o = ch.transmit(&msg).unwrap();
+        assert_eq!(o.received, msg, "got {} want {}", o.received, o.sent);
+    }
+
+    #[test]
+    fn parallel_sms_bounds_checked() {
+        let ch = ParallelSfuChannel::new(presets::tesla_k40c());
+        assert!(ch.clone().with_parallel_sms(16).is_err());
+        assert!(ch.with_parallel_sms(15).is_ok());
+    }
+}

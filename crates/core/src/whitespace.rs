@@ -1,0 +1,220 @@
+//! Dynamic idle-resource discovery ("whitespace communication").
+//!
+//! When exclusive co-location is impossible, the paper's Section 8 proposes
+//! borrowing from white-space wireless networking: "the sender may scan
+//! through available resources (e.g. cache sets) in a pre-agreed on order
+//! until it discovers idle ones and transmits a beacon pattern on them. The
+//! receiver follows by scanning sets until it observes the beacon."
+//!
+//! This module implements that scheme over the L1 constant cache:
+//!
+//! 1. **Scan** — each party runs a discovery kernel that, for every cache
+//!    set in the pre-agreed order, establishes its own lines and then
+//!    probes repeatedly; sets being hammered by a third workload show
+//!    sustained misses, idle sets show none.
+//! 2. **Select** — both parties independently pick the first idle set (same
+//!    rule + same order = same choice, no out-of-band agreement needed).
+//! 3. **Communicate** — the ordinary prime+probe channel runs on the chosen
+//!    set while the noise keeps hammering its own sets.
+
+use crate::bits::Message;
+use crate::channel::{decode_from_miss_counts, ChannelOutcome};
+use crate::kernels::{emit_fill, emit_idle_spin, emit_probe_count_misses, miss_threshold, SetRef};
+use crate::CovertError;
+use gpgpu_isa::{ProgramBuilder, Reg};
+use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_spec::{DeviceSpec, LaunchConfig};
+
+/// Result of a whitespace discovery + transmission experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhitespaceOutcome {
+    /// Per-set miss totals observed by the trojan's scan.
+    pub trojan_scan: Vec<u64>,
+    /// Per-set miss totals observed by the spy's scan.
+    pub spy_scan: Vec<u64>,
+    /// The set each party selected (first idle in pre-agreed order).
+    pub trojan_choice: Option<u64>,
+    /// The spy's selection.
+    pub spy_choice: Option<u64>,
+    /// The transmission outcome on the agreed set (when both agreed).
+    pub outcome: Option<ChannelOutcome>,
+}
+
+/// Builds the discovery kernel: for every L1 set, fill with own lines, let
+/// the dust settle, then probe `reps` times counting misses; pushes one
+/// total per set.
+fn discovery_program(spec: &DeviceSpec, base: u64, reps: u64) -> gpgpu_isa::Program {
+    let geom = spec.const_l1.geometry;
+    let thr = miss_threshold(spec.const_l1.hit_latency, spec.const_l2.hit_latency);
+    let (acc, _i) = (Reg(22), Reg(23));
+    let mut b = ProgramBuilder::new();
+    for set in 0..geom.num_sets() {
+        let sref = SetRef::new(&geom, base, set);
+        emit_fill(&mut b, &sref);
+        emit_idle_spin(&mut b, 64, Reg(20));
+        b.mov_imm(acc, 0);
+        for _ in 0..reps {
+            emit_probe_count_misses(&mut b, &sref, thr, Reg(21));
+            b.add(acc, acc, Reg(21));
+            emit_idle_spin(&mut b, 32, Reg(20));
+        }
+        b.push_result(acc);
+    }
+    b.build().expect("discovery program assembles")
+}
+
+/// Builds a noise kernel hammering exactly `sets` of the L1, for roughly
+/// `iterations` passes.
+fn set_noise_program(spec: &DeviceSpec, base: u64, sets: &[u64], iterations: u64) -> gpgpu_isa::Program {
+    let geom = spec.const_l1.geometry;
+    let mut b = ProgramBuilder::new();
+    let sets = sets.to_vec();
+    b.repeat(Reg(20), iterations, move |b| {
+        for &s in &sets {
+            emit_fill(b, &SetRef::new(&geom, base, s));
+        }
+    });
+    b.build().expect("noise program assembles")
+}
+
+/// First set whose scan total is zero (the pre-agreed selection rule).
+fn first_idle(scan: &[u64]) -> Option<u64> {
+    scan.iter().position(|&m| m == 0).map(|i| i as u64)
+}
+
+/// Runs the full whitespace scheme on one device: a third workload hammers
+/// `noisy_sets`; the trojan and the spy scan (staggered on one stream, so
+/// their scans do not perturb each other), independently select the first
+/// idle set, and — when their choices agree — transmit `msg` over it with
+/// the per-bit-relaunch channel while the noise continues.
+///
+/// # Errors
+///
+/// Propagates simulator failures; returns `Ok` with `outcome: None` when
+/// the parties failed to agree on a set (no idle set exists).
+pub fn discover_and_transmit(
+    spec: &DeviceSpec,
+    msg: &Message,
+    noisy_sets: &[u64],
+    iterations_per_bit: u64,
+) -> Result<WhitespaceOutcome, CovertError> {
+    let geom = spec.const_l1.geometry;
+    let num_sets = geom.num_sets();
+    let span = geom.same_set_stride() * geom.ways();
+    let (spy_base, trojan_base, noise_base) = (0, span, 2 * span);
+    let launch = LaunchConfig::new(spec.num_sms, 32);
+
+    let mut dev = Device::new(spec.clone());
+    // Enough noise passes to cover discovery and the whole transmission.
+    let noise_iters = 600 + 40 * msg.len() as u64 * iterations_per_bit;
+    dev.launch(
+        2,
+        KernelSpec::new("set-noise", set_noise_program(spec, noise_base, noisy_sets, noise_iters), launch),
+    )?;
+    // Staggered scans on one stream: the trojan scans, then the spy.
+    let t_scan = dev.launch(
+        0,
+        KernelSpec::new("trojan-scan", discovery_program(spec, trojan_base, 6), launch),
+    )?;
+    let s_scan = dev.launch(
+        0,
+        KernelSpec::new("spy-scan", discovery_program(spec, spy_base, 6), launch),
+    )?;
+    // Run until the scans complete (the noise kernel may still be running).
+    dev.run_until_complete(s_scan, 400_000_000)?;
+    let trojan_scan_res = dev.results(t_scan)?;
+    let spy_scan_res = dev.results(s_scan)?;
+    let trojan_scan = trojan_scan_res.warp_results(0, 0).unwrap_or(&[]).to_vec();
+    let spy_scan = spy_scan_res.warp_results(0, 0).unwrap_or(&[]).to_vec();
+    let trojan_choice = first_idle(&trojan_scan);
+    let spy_choice = first_idle(&spy_scan);
+
+    let mut outcome = None;
+    if let (Some(tc), Some(sc)) = (trojan_choice, spy_choice) {
+        if tc == sc && tc < num_sets {
+            // Transmit on the agreed set with per-bit relaunch, alongside
+            // the still-running noise.
+            let thr = miss_threshold(spec.const_l1.hit_latency, spec.const_l2.hit_latency);
+            let spy_set = SetRef::new(&geom, spy_base, tc);
+            let trojan_set = SetRef::new(&geom, trojan_base, tc);
+            let start_cycle = dev.now();
+            let mut received = Vec::with_capacity(msg.len());
+            for &bit in msg.bits() {
+                let mut sb = ProgramBuilder::new();
+                emit_fill(&mut sb, &spy_set);
+                sb.repeat(Reg(20), iterations_per_bit, |b| {
+                    emit_probe_count_misses(b, &spy_set, thr, Reg(21));
+                    b.push_result(Reg(21));
+                });
+                let spy = dev.launch(0, KernelSpec::new("spy", sb.build().expect("assembles"), launch))?;
+                let mut tb = ProgramBuilder::new();
+                if bit {
+                    tb.repeat(Reg(20), iterations_per_bit, |b| {
+                        emit_fill(b, &trojan_set);
+                    });
+                } else {
+                    emit_idle_spin(&mut tb, iterations_per_bit * 64, Reg(20));
+                }
+                dev.launch(1, KernelSpec::new("trojan", tb.build().expect("assembles"), launch))?;
+                // Drain just the channel kernels (noise may persist).
+                dev.run_until_complete(spy, 100_000_000)?;
+                let r = dev.results(spy)?;
+                let samples = r.warp_results(0, 0).unwrap_or(&[]);
+                received.push(decode_from_miss_counts(samples, (iterations_per_bit as usize / 4).max(2)));
+            }
+            let cycles = dev.now() - start_cycle;
+            outcome = Some(ChannelOutcome::from_run(
+                spec,
+                msg.clone(),
+                Message::from_bits(received),
+                cycles.max(1),
+            ));
+        }
+    }
+    Ok(WhitespaceOutcome { trojan_scan, spy_scan, trojan_choice, spy_choice, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    #[test]
+    fn parties_agree_on_the_first_idle_set() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::from_bits([true, false, true, true]);
+        // Noise occupies sets 0-2; set 3 is the first idle one.
+        let w = discover_and_transmit(&spec, &msg, &[0, 1, 2], 20).unwrap();
+        assert_eq!(w.trojan_choice, Some(3), "trojan scan: {:?}", w.trojan_scan);
+        assert_eq!(w.spy_choice, Some(3), "spy scan: {:?}", w.spy_scan);
+        let o = w.outcome.expect("agreement reached");
+        assert_eq!(o.received, msg, "transmission on discovered set failed");
+    }
+
+    #[test]
+    fn scan_identifies_exactly_the_noisy_sets() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::from_bits([true]);
+        let w = discover_and_transmit(&spec, &msg, &[1, 4, 6], 20).unwrap();
+        for (s, &misses) in w.spy_scan.iter().enumerate() {
+            let noisy = [1usize, 4, 6].contains(&s);
+            if noisy {
+                assert!(misses > 0, "set {s} should look busy: {:?}", w.spy_scan);
+            } else {
+                assert_eq!(misses, 0, "set {s} should look idle: {:?}", w.spy_scan);
+            }
+        }
+        assert_eq!(w.spy_choice, Some(0));
+    }
+
+    #[test]
+    fn no_idle_set_means_no_agreement() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::from_bits([true]);
+        let all: Vec<u64> = (0..spec.const_l1.geometry.num_sets()).collect();
+        let w = discover_and_transmit(&spec, &msg, &all, 8).unwrap();
+        assert_eq!(w.trojan_choice, None);
+        assert_eq!(w.spy_choice, None);
+        assert!(w.outcome.is_none());
+    }
+}

@@ -1,0 +1,321 @@
+//! Assembler: builds [`Program`]s with forward-referenceable labels.
+
+use crate::instr::{Cond, Instr, LanePattern, Operand, Reg, Special};
+use crate::program::{Program, ProgramError};
+use gpgpu_spec::FuOpKind;
+use std::collections::HashMap;
+
+/// An opaque jump target handle. Created with [`ProgramBuilder::label`],
+/// positioned with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Incremental program assembler.
+///
+/// Emission methods append one instruction each and return `&mut self` for
+/// chaining. Branches may reference labels bound later; targets are patched
+/// at [`ProgramBuilder::build`] time.
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_isa::{ProgramBuilder, Reg, Cond, Operand};
+///
+/// // for (i = 4; i != 0; i--) { __sinf; }
+/// let mut b = ProgramBuilder::new();
+/// let i = Reg(0);
+/// b.mov_imm(i, 4);
+/// let top = b.label();
+/// b.bind(top);
+/// b.fu(gpgpu_spec::FuOpKind::SpSinf);
+/// b.add_imm(i, i, u64::MAX); // i -= 1 (wrapping)
+/// b.branch(Cond::Ne, i, Operand::Imm(0), top);
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 5); // 4 + implicit halt
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    next_label: u32,
+    bound: HashMap<u32, u32>,
+    /// (instruction index, label) pairs awaiting patching.
+    fixups: Vec<(u32, u32)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the position of the *next* emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound — rebinding is always an
+    /// assembler-programming bug.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let pos = self.instrs.len() as u32;
+        let prev = self.bound.insert(label.0, pos);
+        assert!(prev.is_none(), "label {} bound twice", label.0);
+        self
+    }
+
+    fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Emits `rd = imm`.
+    pub fn mov_imm(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.emit(Instr::MovImm { rd, imm })
+    }
+
+    /// Emits `rd = rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mov { rd, rs })
+    }
+
+    /// Emits `rd = ra + rb`.
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Instr::Add { rd, ra, rb })
+    }
+
+    /// Emits `rd = ra - rb`.
+    pub fn sub(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.emit(Instr::Sub { rd, ra, rb })
+    }
+
+    /// Emits `rd = ra + imm` (wrapping; pass `u64::MAX` to subtract one).
+    pub fn add_imm(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.emit(Instr::AddImm { rd, ra, imm })
+    }
+
+    /// Emits `rd = ra * imm`.
+    pub fn mul_imm(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.emit(Instr::MulImm { rd, ra, imm })
+    }
+
+    /// Emits `rd = ra & imm`.
+    pub fn and_imm(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.emit(Instr::AndImm { rd, ra, imm })
+    }
+
+    /// Emits a functional-unit operation.
+    pub fn fu(&mut self, op: FuOpKind) -> &mut Self {
+        self.emit(Instr::Fu { op })
+    }
+
+    /// Emits a constant-memory load from the address in `addr`.
+    pub fn const_load(&mut self, addr: Reg) -> &mut Self {
+        self.emit(Instr::ConstLoad { addr })
+    }
+
+    /// Emits a global load.
+    pub fn global_load(&mut self, base: Reg, pattern: LanePattern) -> &mut Self {
+        self.emit(Instr::GlobalLoad { base, pattern })
+    }
+
+    /// Emits a global store.
+    pub fn global_store(&mut self, base: Reg, pattern: LanePattern) -> &mut Self {
+        self.emit(Instr::GlobalStore { base, pattern })
+    }
+
+    /// Emits a global atomic add.
+    pub fn atomic_add(&mut self, base: Reg, pattern: LanePattern) -> &mut Self {
+        self.emit(Instr::AtomicAdd { base, pattern })
+    }
+
+    /// Emits a shared-memory load.
+    pub fn shared_load(&mut self, base: Reg, pattern: LanePattern) -> &mut Self {
+        self.emit(Instr::SharedLoad { base, pattern })
+    }
+
+    /// Emits a shared-memory store.
+    pub fn shared_store(&mut self, base: Reg, pattern: LanePattern) -> &mut Self {
+        self.emit(Instr::SharedStore { base, pattern })
+    }
+
+    /// Emits `rd = clock()`.
+    pub fn read_clock(&mut self, rd: Reg) -> &mut Self {
+        self.emit(Instr::ReadClock { rd })
+    }
+
+    /// Emits `rd = special`.
+    pub fn read_special(&mut self, rd: Reg, special: Special) -> &mut Self {
+        self.emit(Instr::ReadSpecial { rd, special })
+    }
+
+    /// Emits a push of `value` to the warp's result buffer.
+    pub fn push_result(&mut self, value: Reg) -> &mut Self {
+        self.emit(Instr::PushResult { value })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Operand, label: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len() as u32, label.0));
+        self.emit(Instr::Branch { cond, a, b, target: u32::MAX })
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len() as u32, label.0));
+        self.emit(Instr::Jump { target: u32::MAX })
+    }
+
+    /// Emits a block-level barrier.
+    pub fn bar_sync(&mut self) -> &mut Self {
+        self.emit(Instr::BarSync)
+    }
+
+    /// Emits an explicit halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Emits a counted loop around `body`: executes it `count` times using
+    /// `counter` as the induction register (clobbered). `count` must be
+    /// positive; a zero count still executes once (do-while semantics, as
+    /// with the paper's measurement loops).
+    pub fn repeat<F>(&mut self, counter: Reg, count: u64, body: F) -> &mut Self
+    where
+        F: FnOnce(&mut Self),
+    {
+        self.mov_imm(counter, count.max(1));
+        let top = self.label();
+        self.bind(top);
+        body(self);
+        self.add_imm(counter, counter, u64::MAX);
+        self.branch(Cond::Ne, counter, Operand::Imm(0), top);
+        self
+    }
+
+    /// Assembles the final [`Program`]: patches label fixups, appends a
+    /// trailing [`Instr::Halt`] if the last instruction can fall through,
+    /// and validates.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProgramError::UnboundLabel`] if a referenced label was never bound.
+    /// * Any validation error from [`Program::from_instrs`].
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        for &(at, label) in &self.fixups {
+            let target = *self
+                .bound
+                .get(&label)
+                .ok_or(ProgramError::UnboundLabel { label })?;
+            match &mut self.instrs[at as usize] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
+                other => unreachable!("fixup at non-branch instruction {other:?}"),
+            }
+        }
+        if !matches!(self.instrs.last(), Some(Instr::Halt | Instr::Jump { .. })) {
+            self.instrs.push(Instr::Halt);
+        }
+        Program::from_instrs(self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut b = ProgramBuilder::new();
+        let done = b.label();
+        b.jump(done);
+        b.fu(FuOpKind::SpAdd); // skipped
+        b.bind(done);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0), &Instr::Jump { target: 2 });
+    }
+
+    #[test]
+    fn backward_label_is_patched() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.fu(FuOpKind::SpAdd);
+        b.branch(Cond::Eq, Reg(0), Operand::Imm(0), top);
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(1).branch_target(), Some(0));
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let nowhere = b.label();
+        b.jump(nowhere);
+        assert_eq!(b.build(), Err(ProgramError::UnboundLabel { label: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.halt();
+        b.bind(l);
+    }
+
+    #[test]
+    fn implicit_halt_appended_only_when_needed() {
+        let mut b = ProgramBuilder::new();
+        b.fu(FuOpKind::SpMul);
+        assert_eq!(b.build().unwrap().len(), 2); // op + implicit halt
+
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        assert_eq!(b.build().unwrap().len(), 1); // explicit halt only
+    }
+
+    #[test]
+    fn repeat_builds_do_while_loop() {
+        let mut b = ProgramBuilder::new();
+        b.repeat(Reg(10), 5, |b| {
+            b.fu(FuOpKind::SpSinf);
+        });
+        let p = b.build().unwrap();
+        // mov, fu, add_imm, branch, implicit halt
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.fetch(3).branch_target(), Some(1));
+    }
+
+    #[test]
+    fn repeat_zero_count_runs_once() {
+        let mut b = ProgramBuilder::new();
+        b.repeat(Reg(0), 0, |b| {
+            b.fu(FuOpKind::SpAdd);
+        });
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0), &Instr::MovImm { rd: Reg(0), imm: 1 });
+    }
+
+    #[test]
+    fn chaining_api() {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(Reg(0), 1).add_imm(Reg(0), Reg(0), 2).push_result(Reg(0));
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

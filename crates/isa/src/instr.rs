@@ -1,0 +1,431 @@
+//! Instruction and operand definitions.
+
+use gpgpu_spec::FuOpKind;
+use std::fmt;
+
+/// A warp-scalar register index (`R0` .. `R63`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Second operand of compare/branch instructions: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(u64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(i: u64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+/// Branch condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b` (unsigned)
+    Lt,
+    /// `a >= b` (unsigned)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Warp-visible special values readable via [`Instr::ReadSpecial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// The `%smid` register: ID of the SM the block runs on. Reading it per
+    /// block is how the paper reverse engineers the block scheduler
+    /// (Section 3.1).
+    SmId,
+    /// Linear block index within the kernel's grid.
+    BlockId,
+    /// Warp index within the block (0-based).
+    WarpIdInBlock,
+    /// ID of the warp scheduler this warp was assigned to. On real hardware
+    /// this is inferred from `WarpIdInBlock` and the reverse-engineered
+    /// round-robin rule; the simulator also exposes it directly so tests can
+    /// confirm the inference.
+    SchedulerId,
+    /// Number of blocks in the kernel's grid.
+    GridBlocks,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::SmId => "%smid",
+            Special::BlockId => "%ctaid",
+            Special::WarpIdInBlock => "%warpid",
+            Special::SchedulerId => "%schedid",
+            Special::GridBlocks => "%nctaid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the 32 lane addresses of a warp-level global-memory instruction are
+/// derived from the base address register.
+///
+/// The pattern determines how many memory transactions the coalescer emits,
+/// which is the mechanism behind the paper's Section 6 scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LanePattern {
+    /// All 32 lanes access the same address (one transaction; on Kepler+
+    /// same-address atomics are combined at the L2 at one op per cycle).
+    Uniform,
+    /// Lane `i` accesses `base + i * elem_bytes`. With a small element size
+    /// the warp's accesses fall into one or two 128-byte segments — the
+    /// *coalesced* pattern of scenarios 1-2.
+    Consecutive {
+        /// Per-lane element size in bytes.
+        elem_bytes: u64,
+    },
+    /// Lane `i` accesses `base + i * stride_bytes` with a large stride, so
+    /// every lane falls into a different segment — the *un-coalesced*
+    /// pattern of scenario 3 (32 transactions per warp instruction).
+    Spread {
+        /// Per-lane stride in bytes (>= the coalescing segment for full
+        /// serialization).
+        stride_bytes: u64,
+    },
+}
+
+impl LanePattern {
+    /// The 32 lane addresses for a given base address.
+    pub fn lane_addrs(self, base: u64) -> impl Iterator<Item = u64> {
+        let step = match self {
+            LanePattern::Uniform => 0,
+            LanePattern::Consecutive { elem_bytes } => elem_bytes,
+            LanePattern::Spread { stride_bytes } => stride_bytes,
+        };
+        (0..u64::from(gpgpu_spec::WARP_SIZE)).map(move |lane| base + lane * step)
+    }
+}
+
+impl fmt::Display for LanePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LanePattern::Uniform => write!(f, "uniform"),
+            LanePattern::Consecutive { elem_bytes } => write!(f, "consec:{elem_bytes}"),
+            LanePattern::Spread { stride_bytes } => write!(f, "spread:{stride_bytes}"),
+        }
+    }
+}
+
+/// One warp-level instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = imm`
+    MovImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `rd = rs`
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd = ra + rb` (wrapping)
+    Add {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = ra - rb` (wrapping)
+    Sub {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = ra + imm` (wrapping)
+    AddImm {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Immediate addend.
+        imm: u64,
+    },
+    /// `rd = ra * imm` (wrapping)
+    MulImm {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Immediate factor.
+        imm: u64,
+    },
+    /// `rd = ra & imm` — used for cheap power-of-two modulo, e.g. computing
+    /// `warp_id % num_schedulers` when targeting a specific warp scheduler.
+    AndImm {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Immediate mask.
+        imm: u64,
+    },
+    /// A functional-unit operation (the paper's `__sinf`, `sqrt`, `Add`,
+    /// `Mul` in single or double precision). Blocking: the warp resumes when
+    /// the operation completes, so a timed loop of these measures the
+    /// contention-dependent latency of Figures 6-7.
+    Fu {
+        /// Which operation to issue.
+        op: FuOpKind,
+    },
+    /// Load through the constant-memory cache hierarchy (L1 -> L2 -> memory).
+    /// The address is warp-uniform (constant memory broadcasts). Blocking.
+    ConstLoad {
+        /// Register holding the byte address.
+        addr: Reg,
+    },
+    /// Global-memory load; lane addresses derived via `pattern`. Blocking.
+    GlobalLoad {
+        /// Register holding the base byte address.
+        base: Reg,
+        /// Per-lane address derivation.
+        pattern: LanePattern,
+    },
+    /// Global-memory store; fire-and-forget timing-wise but still consumes
+    /// coalescer/memory bandwidth.
+    GlobalStore {
+        /// Register holding the base byte address.
+        base: Reg,
+        /// Per-lane address derivation.
+        pattern: LanePattern,
+    },
+    /// Shared-memory load; per-lane addresses via `pattern`. Latency is
+    /// governed by bank conflicts (32 word-interleaved banks). Blocking.
+    SharedLoad {
+        /// Register holding the base byte address (block-local).
+        base: Reg,
+        /// Per-lane address derivation.
+        pattern: LanePattern,
+    },
+    /// Shared-memory store; same banking behaviour as loads.
+    SharedStore {
+        /// Register holding the base byte address (block-local).
+        base: Reg,
+        /// Per-lane address derivation.
+        pattern: LanePattern,
+    },
+    /// Global-memory atomic add (the paper's Section 6 channel primitive).
+    /// Blocking; serialized at the atomic units.
+    AtomicAdd {
+        /// Register holding the base byte address.
+        base: Reg,
+        /// Per-lane address derivation.
+        pattern: LanePattern,
+    },
+    /// `rd = clock()` — the SM cycle counter.
+    ReadClock {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `rd = special`
+    ReadSpecial {
+        /// Destination register.
+        rd: Reg,
+        /// Which special value to read.
+        special: Special,
+    },
+    /// Append the value of `value` to this warp's result buffer (host-visible
+    /// after the kernel completes; stands in for a store to a results array).
+    PushResult {
+        /// Register whose value is recorded.
+        value: Reg,
+    },
+    /// Conditional branch: `if cond(a, b) goto target`.
+    Branch {
+        /// Condition code.
+        cond: Cond,
+        /// Left-hand operand register.
+        a: Reg,
+        /// Right-hand operand (register or immediate).
+        b: Operand,
+        /// Absolute instruction index to jump to.
+        target: u32,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jump {
+        /// Absolute instruction index to jump to.
+        target: u32,
+    },
+    /// Block-level barrier (`__syncthreads`): the warp stalls until every
+    /// non-halted warp of its block reaches a barrier. Used by the paper's
+    /// multi-bit synchronized channel, where one warp per cache set fills or
+    /// probes "in parallel" and a control warp runs the handshake.
+    BarSync,
+    /// Terminate this warp.
+    Halt,
+}
+
+impl Instr {
+    /// The branch target, if this instruction is a control transfer.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Branch { target, .. } | Instr::Jump { target } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::MovImm { rd, imm } => write!(f, "mov   {rd}, #{imm}"),
+            Instr::Mov { rd, rs } => write!(f, "mov   {rd}, {rs}"),
+            Instr::Add { rd, ra, rb } => write!(f, "add   {rd}, {ra}, {rb}"),
+            Instr::Sub { rd, ra, rb } => write!(f, "sub   {rd}, {ra}, {rb}"),
+            Instr::AddImm { rd, ra, imm } => write!(f, "add   {rd}, {ra}, #{imm}"),
+            Instr::MulImm { rd, ra, imm } => write!(f, "mul   {rd}, {ra}, #{imm}"),
+            Instr::AndImm { rd, ra, imm } => write!(f, "and   {rd}, {ra}, #{imm}"),
+            Instr::Fu { op } => write!(f, "fu    {op}"),
+            Instr::ConstLoad { addr } => write!(f, "ld.const [{addr}]"),
+            Instr::GlobalLoad { base, pattern } => write!(f, "ld.global [{base}] {pattern}"),
+            Instr::GlobalStore { base, pattern } => write!(f, "st.global [{base}] {pattern}"),
+            Instr::SharedLoad { base, pattern } => write!(f, "ld.shared [{base}] {pattern}"),
+            Instr::SharedStore { base, pattern } => write!(f, "st.shared [{base}] {pattern}"),
+            Instr::AtomicAdd { base, pattern } => write!(f, "atom.add [{base}] {pattern}"),
+            Instr::ReadClock { rd } => write!(f, "mov   {rd}, %clock"),
+            Instr::ReadSpecial { rd, special } => write!(f, "mov   {rd}, {special}"),
+            Instr::PushResult { value } => write!(f, "push  {value}"),
+            Instr::Branch { cond, a, b, target } => write!(f, "b.{cond}  {a}, {b} -> @{target}"),
+            Instr::Jump { target } => write!(f, "jmp   @{target}"),
+            Instr::BarSync => write!(f, "bar.sync"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_table() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(3, 4));
+        assert!(!Cond::Lt.eval(4, 4));
+        assert!(Cond::Ge.eval(4, 4));
+        assert!(Cond::Ge.eval(5, 4));
+    }
+
+    #[test]
+    fn lane_pattern_uniform_is_one_address() {
+        let addrs: Vec<u64> = LanePattern::Uniform.lane_addrs(0x100).collect();
+        assert_eq!(addrs.len(), 32);
+        assert!(addrs.iter().all(|&a| a == 0x100));
+    }
+
+    #[test]
+    fn lane_pattern_consecutive_is_dense() {
+        let addrs: Vec<u64> =
+            LanePattern::Consecutive { elem_bytes: 4 }.lane_addrs(0x100).collect();
+        assert_eq!(addrs[0], 0x100);
+        assert_eq!(addrs[31], 0x100 + 31 * 4);
+        // All within a single 128-byte segment.
+        assert!(addrs.iter().all(|&a| a / 128 == 0x100 / 128));
+    }
+
+    #[test]
+    fn lane_pattern_spread_hits_distinct_segments() {
+        let addrs: Vec<u64> =
+            LanePattern::Spread { stride_bytes: 128 }.lane_addrs(0).collect();
+        let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
+        segments.dedup();
+        assert_eq!(segments.len(), 32);
+    }
+
+    #[test]
+    fn branch_target_extraction() {
+        let b = Instr::Branch { cond: Cond::Eq, a: Reg(0), b: Operand::Imm(0), target: 7 };
+        assert_eq!(b.branch_target(), Some(7));
+        assert_eq!(Instr::Jump { target: 3 }.branch_target(), Some(3));
+        assert_eq!(Instr::Halt.branch_target(), None);
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_distinct() {
+        let instrs = [
+            Instr::MovImm { rd: Reg(1), imm: 42 },
+            Instr::Fu { op: FuOpKind::SpSinf },
+            Instr::ConstLoad { addr: Reg(2) },
+            Instr::Halt,
+        ];
+        let texts: Vec<String> = instrs.iter().map(|i| i.to_string()).collect();
+        assert!(texts.iter().all(|t| !t.is_empty()));
+        let mut dedup = texts.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), texts.len());
+        assert_eq!(texts[1], "fu    __sinf");
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
+        assert_eq!(Operand::from(9u64), Operand::Imm(9));
+    }
+}

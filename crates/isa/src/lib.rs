@@ -1,0 +1,54 @@
+//! Warp-level SIMT instruction set for the `gpgpu-covert` simulator.
+//!
+//! Every attack kernel in the paper (Naghibijouybari et al., MICRO-50 2017)
+//! is, at its core, a loop of timed loads, functional-unit operations,
+//! atomics and spin-waits. This crate defines a small instruction set that
+//! expresses exactly those kernels, plus a [`ProgramBuilder`] assembler with
+//! labels and a disassembler ([`std::fmt::Display`] on [`Instr`] and
+//! [`Program`]).
+//!
+//! # Execution model
+//!
+//! * Instructions execute at **warp granularity** (SIMT, 32 threads in
+//!   lockstep). Control flow is warp-uniform — none of the paper's kernels
+//!   diverge within a warp.
+//! * Each warp owns [`NUM_REGS`] scalar `u64` registers. Per-lane addresses
+//!   for global-memory instructions are derived from a base register via a
+//!   [`LanePattern`], which is what determines coalescing behaviour
+//!   (paper Section 6, scenarios 1-3).
+//! * `ReadClock` reads the SM cycle counter, the direct analogue of CUDA's
+//!   `clock()` used throughout the paper for latency measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use gpgpu_isa::{ProgramBuilder, Reg};
+//!
+//! // Time a constant load: t0 = clock(); load; t1 = clock(); push(t1 - t0).
+//! let mut b = ProgramBuilder::new();
+//! let addr = Reg(0);
+//! let t0 = Reg(1);
+//! let t1 = Reg(2);
+//! b.mov_imm(addr, 0x40);
+//! b.read_clock(t0);
+//! b.const_load(addr);
+//! b.read_clock(t1);
+//! b.sub(t1, t1, t0);
+//! b.push_result(t1);
+//! let program = b.build().expect("program assembles");
+//! assert_eq!(program.len(), 7); // includes the implicit trailing halt
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod builder;
+mod instr;
+mod program;
+
+pub use builder::{Label, ProgramBuilder};
+pub use instr::{Cond, Instr, LanePattern, Operand, Reg, Special};
+pub use program::{Program, ProgramError};
+
+/// Number of scalar registers per warp.
+pub const NUM_REGS: u16 = 64;

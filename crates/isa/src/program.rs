@@ -1,0 +1,205 @@
+//! Validated instruction sequences.
+
+use crate::instr::{Instr, Reg};
+use crate::NUM_REGS;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when assembling or validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A branch or jump targets an instruction index outside the program.
+    TargetOutOfRange {
+        /// Index of the offending instruction.
+        at: u32,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length.
+        len: u32,
+    },
+    /// An instruction names a register index `>= NUM_REGS`.
+    RegisterOutOfRange {
+        /// Index of the offending instruction.
+        at: u32,
+        /// The offending register.
+        reg: Reg,
+    },
+    /// A label was created but never bound to a position
+    /// (builder-level error).
+    UnboundLabel {
+        /// The label's numeric id.
+        label: u32,
+    },
+    /// A label was bound more than once (builder-level error).
+    ReboundLabel {
+        /// The label's numeric id.
+        label: u32,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::TargetOutOfRange { at, target, len } => {
+                write!(f, "instruction {at} branches to {target}, beyond program length {len}")
+            }
+            ProgramError::RegisterOutOfRange { at, reg } => {
+                write!(f, "instruction {at} uses register {reg}, beyond r{}", NUM_REGS - 1)
+            }
+            ProgramError::UnboundLabel { label } => {
+                write!(f, "label {label} referenced but never bound")
+            }
+            ProgramError::ReboundLabel { label } => write!(f, "label {label} bound twice"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A validated, immutable warp program.
+///
+/// Construct via [`crate::ProgramBuilder`]; the validation invariants
+/// (non-empty, all branch targets in range, all registers in range) are
+/// established at build time and relied upon by the simulator's fetch loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Validates a raw instruction sequence into a `Program`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`] variants `Empty`, `TargetOutOfRange` and
+    /// `RegisterOutOfRange`.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Result<Self, ProgramError> {
+        if instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = instrs.len() as u32;
+        for (i, instr) in instrs.iter().enumerate() {
+            let at = i as u32;
+            if let Some(target) = instr.branch_target() {
+                if target >= len {
+                    return Err(ProgramError::TargetOutOfRange { at, target, len });
+                }
+            }
+            for reg in regs_of(instr) {
+                if reg.0 >= NUM_REGS {
+                    return Err(ProgramError::RegisterOutOfRange { at, reg });
+                }
+            }
+        }
+        Ok(Program { instrs })
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for a validated program).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range; the simulator only produces in-range
+    /// PCs because validation guarantees branch targets are in range and
+    /// execution stops at `Halt`.
+    pub fn fetch(&self, pc: u32) -> &Instr {
+        &self.instrs[pc as usize]
+    }
+
+    /// Iterates over the instructions in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "{i:4}: {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All register operands named by an instruction.
+fn regs_of(instr: &Instr) -> Vec<Reg> {
+    match *instr {
+        Instr::MovImm { rd, .. } => vec![rd],
+        Instr::Mov { rd, rs } => vec![rd, rs],
+        Instr::Add { rd, ra, rb } | Instr::Sub { rd, ra, rb } => vec![rd, ra, rb],
+        Instr::AddImm { rd, ra, .. }
+        | Instr::MulImm { rd, ra, .. }
+        | Instr::AndImm { rd, ra, .. } => vec![rd, ra],
+        Instr::Fu { .. } | Instr::Jump { .. } | Instr::BarSync | Instr::Halt => vec![],
+        Instr::ConstLoad { addr } => vec![addr],
+        Instr::GlobalLoad { base, .. }
+        | Instr::GlobalStore { base, .. }
+        | Instr::SharedLoad { base, .. }
+        | Instr::SharedStore { base, .. }
+        | Instr::AtomicAdd { base, .. } => vec![base],
+        Instr::ReadClock { rd } => vec![rd],
+        Instr::ReadSpecial { rd, .. } => vec![rd],
+        Instr::PushResult { value } => vec![value],
+        Instr::Branch { a, b, .. } => match b {
+            crate::instr::Operand::Reg(rb) => vec![a, rb],
+            crate::instr::Operand::Imm(_) => vec![a],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Operand};
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Program::from_instrs(vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let p = Program::from_instrs(vec![Instr::Jump { target: 5 }, Instr::Halt]);
+        assert_eq!(p, Err(ProgramError::TargetOutOfRange { at: 0, target: 5, len: 2 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let p = Program::from_instrs(vec![Instr::MovImm { rd: Reg(64), imm: 0 }, Instr::Halt]);
+        assert_eq!(p, Err(ProgramError::RegisterOutOfRange { at: 0, reg: Reg(64) }));
+    }
+
+    #[test]
+    fn checks_branch_register_operand() {
+        let p = Program::from_instrs(vec![
+            Instr::Branch { cond: Cond::Eq, a: Reg(0), b: Operand::Reg(Reg(99)), target: 0 },
+            Instr::Halt,
+        ]);
+        assert!(matches!(p, Err(ProgramError::RegisterOutOfRange { reg: Reg(99), .. })));
+    }
+
+    #[test]
+    fn accepts_self_loop() {
+        let p = Program::from_instrs(vec![Instr::Jump { target: 0 }]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.fetch(0), &Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    fn display_numbers_lines() {
+        let p = Program::from_instrs(vec![Instr::Halt]).unwrap();
+        assert_eq!(p.to_string(), "   0: halt\n");
+    }
+}

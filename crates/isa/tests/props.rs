@@ -1,0 +1,120 @@
+//! Property tests for the ISA: the builder only ever produces valid
+//! programs, validation catches all malformed inputs, and the disassembler
+//! is total.
+
+use gpgpu_isa::{Cond, Instr, LanePattern, Operand, Program, ProgramBuilder, Reg, NUM_REGS};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u16..NUM_REGS).prop_map(Reg)
+}
+
+fn any_instr(max_target: u32) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), any::<u64>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, ra, rb)| Instr::Add { rd, ra, rb }),
+        (any_reg(), any_reg(), any::<u64>()).prop_map(|(rd, ra, imm)| Instr::AddImm { rd, ra, imm }),
+        any_reg().prop_map(|rd| Instr::ReadClock { rd }),
+        any_reg().prop_map(|value| Instr::PushResult { value }),
+        (any_reg(), 0..=255u64).prop_map(|(base, s)| Instr::GlobalLoad {
+            base,
+            pattern: LanePattern::Consecutive { elem_bytes: s + 1 },
+        }),
+        (0..max_target).prop_map(|target| Instr::Jump { target }),
+        (any_reg(), any::<u64>(), 0..max_target).prop_map(|(a, imm, target)| Instr::Branch {
+            cond: Cond::Ne,
+            a,
+            b: Operand::Imm(imm),
+            target,
+        }),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// The builder's output always validates.
+    #[test]
+    fn builder_output_always_validates(
+        ops in proptest::collection::vec(0u8..6, 1..64),
+    ) {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        for (i, op) in ops.iter().enumerate() {
+            let r = Reg((i % NUM_REGS as usize) as u16);
+            match op {
+                0 => { b.mov_imm(r, i as u64); }
+                1 => { b.add_imm(r, r, 1); }
+                2 => { b.read_clock(r); }
+                3 => { b.push_result(r); }
+                4 => { b.fu(gpgpu_spec::FuOpKind::SpAdd); }
+                _ => { b.branch(Cond::Eq, r, Operand::Imm(u64::MAX), top); }
+            }
+        }
+        let p = b.build().expect("builder output must validate");
+        prop_assert!(p.len() >= ops.len());
+    }
+
+    /// Validation accepts exactly the well-formed programs.
+    #[test]
+    fn arbitrary_valid_instruction_sequences_validate(
+        n in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let _ = seed;
+        let mut instrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let instr = any_instr(n as u32)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            instrs.push(instr);
+        }
+        let p = Program::from_instrs(instrs);
+        prop_assert!(p.is_ok(), "{p:?}");
+    }
+
+    /// Out-of-range registers are always rejected.
+    #[test]
+    fn oversized_registers_rejected(r in NUM_REGS..u16::MAX) {
+        let p = Program::from_instrs(vec![Instr::MovImm { rd: Reg(r), imm: 0 }]);
+        prop_assert!(p.is_err());
+    }
+
+    /// Out-of-range branch targets are always rejected.
+    #[test]
+    fn oversized_targets_rejected(extra in 0u32..1000) {
+        let p = Program::from_instrs(vec![Instr::Jump { target: 1 + extra }, Instr::Halt]);
+        prop_assert!(p.is_err());
+    }
+
+    /// Disassembly is total and non-empty for every instruction.
+    #[test]
+    fn disassembly_is_total(n in 1usize..32) {
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        for _ in 0..n {
+            let instr = any_instr(64).new_tree(&mut runner).unwrap().current();
+            prop_assert!(!instr.to_string().is_empty());
+        }
+    }
+
+    /// Lane patterns always produce exactly 32 addresses, first = base.
+    #[test]
+    fn lane_patterns_produce_warp_width_addresses(
+        base in 0u64..1 << 40,
+        stride in 1u64..4096,
+    ) {
+        for pattern in [
+            LanePattern::Uniform,
+            LanePattern::Consecutive { elem_bytes: stride },
+            LanePattern::Spread { stride_bytes: stride },
+        ] {
+            let addrs: Vec<u64> = pattern.lane_addrs(base).collect();
+            prop_assert_eq!(addrs.len(), 32);
+            prop_assert_eq!(addrs[0], base);
+        }
+    }
+}

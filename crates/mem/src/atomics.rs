@@ -1,0 +1,198 @@
+//! Atomic-operation units.
+//!
+//! The paper's Section 6 channel works because atomic units are few and
+//! slow enough to produce measurable queueing between kernels. Two
+//! generation-specific behaviours are modelled (both from the paper):
+//!
+//! * **Fermi** services atomics at the memory controller at ~9 cycles per
+//!   lane operation.
+//! * **Kepler/Maxwell** service atomics at the L2 at one lane operation per
+//!   clock — but only for *coalesced* traffic; a lane alone in its segment
+//!   misses the merged fast path and pays a slow-path penalty.
+
+use crate::coalesce::coalesce;
+use gpgpu_spec::MemorySpec;
+
+/// Fixed per-transaction turnaround (cycles) of memory-side atomic units.
+const FERMI_TXN_TURNAROUND: u64 = 24;
+
+/// The device's pool of address-interleaved atomic units.
+///
+/// Occupancy model: every lane's read-modify-write costs `service_cycles`
+/// at its unit (1 on Kepler/Maxwell — "one operation per clock" — and ~9 on
+/// Fermi). On L2-atomic devices a *lone* lane in its segment misses the
+/// merged fast path and is charged a slow-path penalty instead — the
+/// paper's observation that "poor coalescing significantly reduces the
+/// possibility of using the faster L2-level atomic operation support".
+#[derive(Debug, Clone)]
+pub struct AtomicSystem {
+    /// busy-until time per unit.
+    units: Vec<u64>,
+    service_cycles: u64,
+    base_latency: u64,
+    segment: u64,
+    /// Whether this device has L2-side atomics with same-segment merging
+    /// (Kepler+). When false (Fermi) every lane pays `service_cycles` with
+    /// no fast/slow distinction.
+    merges_same_segment: bool,
+    /// Slow-path multiplier for un-merged single-lane groups on L2-atomic
+    /// devices.
+    uncoalesced_penalty: u64,
+}
+
+impl AtomicSystem {
+    /// Builds the atomic system from a device memory spec.
+    pub fn new(mem: &MemorySpec, merges_same_segment: bool) -> Self {
+        AtomicSystem {
+            units: vec![0; mem.atomic_units as usize],
+            service_cycles: mem.atomic_service_cycles,
+            base_latency: mem.atomic_base_latency,
+            segment: mem.coalesce_segment,
+            merges_same_segment,
+            uncoalesced_penalty: mem.atomic_uncoalesced_penalty,
+        }
+    }
+
+    /// Issues a warp-level atomic whose lanes touch `lane_addrs`, starting
+    /// at cycle `now`. Returns the cycle at which the *last* lane completes
+    /// (the warp resumes then; atomics are blocking in the paper's kernels).
+    pub fn access<I>(&mut self, lane_addrs: I, now: u64) -> u64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let lane_addrs: Vec<u64> = lane_addrs.into_iter().collect();
+        let mut groups: Vec<(u64, u64)> = Vec::new(); // (segment base, lane count)
+        for seg in coalesce(lane_addrs.iter().copied(), self.segment) {
+            let count = lane_addrs
+                .iter()
+                .filter(|&&a| a - (a % self.segment) == seg)
+                .count() as u64;
+            groups.push((seg, count));
+        }
+        let mut last = now;
+        for (seg, count) in groups {
+            let unit = ((seg / self.segment) % self.units.len() as u64) as usize;
+            let occupancy = if self.merges_same_segment {
+                if count == 1 {
+                    // Lone lane: the merged L2 fast path does not apply.
+                    self.service_cycles * self.uncoalesced_penalty
+                } else {
+                    self.service_cycles * count
+                }
+            } else {
+                // Memory-side atomics (Fermi): each *transaction* pays a
+                // fixed read-modify-write turnaround at the controller on
+                // top of the per-lane service, so poorly coalesced traffic
+                // costs more total unit time even though it spreads over
+                // more units.
+                self.service_cycles * count + FERMI_TXN_TURNAROUND
+            };
+            let start = now.max(self.units[unit]);
+            self.units[unit] = start + occupancy;
+            last = last.max(start + occupancy + self.base_latency);
+        }
+        last
+    }
+
+    /// Earliest cycle at which all units are idle (diagnostics).
+    pub fn drained_at(&self) -> u64 {
+        self.units.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Frees all units.
+    pub fn reset(&mut self) {
+        self.units.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler_mem() -> MemorySpec {
+        MemorySpec {
+            global_load_latency: 450,
+            const_mem_latency: 250,
+            atomic_base_latency: 180,
+            atomic_service_cycles: 1,
+            atomic_uncoalesced_penalty: 9,
+            atomic_units: 8,
+            coalesce_segment: 128,
+            transactions_per_cycle: 6,
+        }
+    }
+
+    fn fermi_mem() -> MemorySpec {
+        MemorySpec {
+            global_load_latency: 520,
+            const_mem_latency: 245,
+            atomic_base_latency: 340,
+            atomic_service_cycles: 9,
+            atomic_uncoalesced_penalty: 1,
+            atomic_units: 4,
+            coalesce_segment: 128,
+            transactions_per_cycle: 4,
+        }
+    }
+
+    #[test]
+    fn kepler_same_address_warp_is_one_lane_per_clock() {
+        let mut a = AtomicSystem::new(&kepler_mem(), true);
+        let done = a.access(std::iter::repeat(0x1000).take(32), 0);
+        assert_eq!(done, 32 + 180); // one op per clock + round trip
+    }
+
+    #[test]
+    fn fermi_same_address_warp_serializes_lanes() {
+        let mut a = AtomicSystem::new(&fermi_mem(), false);
+        let done = a.access(std::iter::repeat(0x1000).take(32), 0);
+        // 32 lanes x 9 cycles + per-transaction turnaround + round trip.
+        assert_eq!(done, 32 * 9 + 24 + 340);
+    }
+
+    #[test]
+    fn uncoalesced_spread_pays_the_slow_path() {
+        let mut a = AtomicSystem::new(&kepler_mem(), true);
+        // 32 lone lanes, one per 128 B segment; 8 units x 4 groups each at
+        // the 9-cycle slow path -> 36 cycles of queueing on every unit.
+        let done = a.access((0..32u64).map(|i| i * 128), 0);
+        assert_eq!(done, 4 * 9 + 180);
+        // Compare: coalesced consecutive lanes ride the fast path.
+        let mut b = AtomicSystem::new(&kepler_mem(), true);
+        let done_coalesced = b.access((0..32u64).map(|i| i * 4), 0);
+        assert!(done_coalesced < done, "{done_coalesced} vs {done}");
+    }
+
+    #[test]
+    fn contention_between_two_warps_is_observable() {
+        let mut a = AtomicSystem::new(&kepler_mem(), true);
+        let alone = a.access(std::iter::repeat(0x0).take(32), 0) ;
+        a.reset();
+        // A trojan warp hammers the same segment first.
+        for _ in 0..16 {
+            a.access(std::iter::repeat(0x0).take(32), 0);
+        }
+        let contended = a.access(std::iter::repeat(0x0).take(32), 0);
+        assert!(contended > alone, "trojan queueing must delay the spy: {contended} vs {alone}");
+    }
+
+    #[test]
+    fn different_segments_use_different_units() {
+        let mut a = AtomicSystem::new(&kepler_mem(), true);
+        let d1 = a.access(std::iter::repeat(0u64).take(32), 0);
+        // Different unit: no queueing even though issued at the same cycle.
+        let d2 = a.access(std::iter::repeat(128u64).take(32), 0);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut a = AtomicSystem::new(&kepler_mem(), true);
+        for _ in 0..100 {
+            a.access([0u64], 0);
+        }
+        assert!(a.drained_at() > 0);
+        a.reset();
+        assert_eq!(a.drained_at(), 0);
+    }
+}

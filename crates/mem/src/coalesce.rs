@@ -1,0 +1,140 @@
+//! The memory-access coalescer.
+
+/// Merges a warp's lane addresses into the set of unique memory segments
+/// ("transactions") of `segment_bytes` each, returned as sorted segment base
+/// addresses.
+///
+/// This is the behaviour CUDA hardware applies to every warp memory
+/// instruction; the number of transactions it produces is what separates the
+/// paper's coalesced (scenarios 1-2) from un-coalesced (scenario 3) atomic
+/// channels in Figure 10.
+///
+/// # Panics
+///
+/// Panics if `segment_bytes` is zero.
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_mem::coalesce;
+///
+/// // 32 consecutive 4-byte accesses: one 128-byte transaction.
+/// let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+/// assert_eq!(coalesce(addrs.iter().copied(), 128).len(), 1);
+///
+/// // 32 accesses strided by 128 bytes: 32 transactions.
+/// let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 128).collect();
+/// assert_eq!(coalesce(addrs.iter().copied(), 128).len(), 32);
+/// ```
+pub fn coalesce<I>(lane_addrs: I, segment_bytes: u64) -> Vec<u64>
+where
+    I: IntoIterator<Item = u64>,
+{
+    assert!(segment_bytes > 0, "coalescing segment must be positive");
+    let mut segments: Vec<u64> = lane_addrs
+        .into_iter()
+        .map(|a| a - (a % segment_bytes))
+        .collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_address_is_one_transaction() {
+        let addrs = std::iter::repeat(0x2000u64).take(32);
+        assert_eq!(coalesce(addrs, 128), vec![0x2000]);
+    }
+
+    #[test]
+    fn straddling_accesses_produce_two_transactions() {
+        // 32 x 4-byte accesses starting 64 bytes into a segment.
+        let addrs = (0..32u64).map(|i| 64 + i * 4);
+        assert_eq!(coalesce(addrs, 128), vec![0, 128]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(coalesce(std::iter::empty(), 128).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_deduplicated() {
+        let addrs = [300u64, 10, 300, 200, 130];
+        assert_eq!(coalesce(addrs, 128), vec![0, 128, 256]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment must be positive")]
+    fn zero_segment_panics() {
+        coalesce([1u64], 0);
+    }
+}
+
+/// Shared-memory bank conflict degree of a warp access: lane addresses map
+/// to `num_banks` word-interleaved banks; the degree is the largest number
+/// of *distinct words* any one bank must serve (same-word lanes broadcast).
+/// Degree 1 is conflict-free; degree 32 fully serializes the warp.
+///
+/// The paper's Section 10 discusses Jiang et al.'s bank-conflict timing
+/// side channel and reports the negative result that these conflicts do
+/// not transfer to a *competing* kernel — which this workspace reproduces.
+///
+/// # Panics
+///
+/// Panics if `num_banks` or `word_bytes` is zero.
+pub fn bank_conflict_degree<I>(lane_addrs: I, num_banks: u32, word_bytes: u64) -> u32
+where
+    I: IntoIterator<Item = u64>,
+{
+    assert!(num_banks > 0 && word_bytes > 0, "banks and word size must be positive");
+    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); num_banks as usize];
+    for addr in lane_addrs {
+        let word = addr / word_bytes;
+        let bank = (word % u64::from(num_banks)) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(|w| w.len() as u32).max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod bank_tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_words_are_conflict_free() {
+        let addrs = (0..32u64).map(|i| i * 4);
+        assert_eq!(bank_conflict_degree(addrs, 32, 4), 1);
+    }
+
+    #[test]
+    fn same_word_broadcasts() {
+        let addrs = std::iter::repeat(128u64).take(32);
+        assert_eq!(bank_conflict_degree(addrs, 32, 4), 1);
+    }
+
+    #[test]
+    fn stride_of_num_banks_fully_serializes() {
+        // Lane i -> word i*32: every lane in bank 0.
+        let addrs = (0..32u64).map(|i| i * 32 * 4);
+        assert_eq!(bank_conflict_degree(addrs, 32, 4), 32);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        // Lane i -> word 2i: the 16 even banks each serve 2 distinct words.
+        let addrs = (0..32u64).map(|i| i * 2 * 4);
+        assert_eq!(bank_conflict_degree(addrs, 32, 4), 2);
+    }
+
+    #[test]
+    fn empty_input_degree_is_one() {
+        assert_eq!(bank_conflict_degree(std::iter::empty(), 32, 4), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! The constant-memory cache hierarchy: per-SM L1s over a shared L2.
+//!
+//! This is the substrate of the paper's Section 4 covert channels and the
+//! Figure 2/3 characterization microbenchmarks. Latencies are configured as
+//! *end-to-end* values per hit level — e.g. on the K40C an L1 hit observes
+//! 49 cycles, an L1-miss/L2-hit 112 cycles, and a full miss 250 cycles —
+//! matching the plateaus of the paper's latency plots directly.
+
+use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::ports::PortSet;
+use gpgpu_spec::{CacheSpec, MemorySpec};
+
+/// Which level of the hierarchy serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstLevel {
+    /// Hit in the SM-local L1.
+    L1,
+    /// Missed L1, hit the shared L2.
+    L2,
+    /// Missed both caches; serviced by device memory.
+    Memory,
+}
+
+/// Outcome of one constant-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstAccess {
+    /// Cycle at which the loaded value is available to the warp.
+    pub completes_at: u64,
+    /// The servicing level.
+    pub level: ConstLevel,
+}
+
+/// Per-SM constant L1 caches over one device-wide constant L2.
+#[derive(Debug, Clone)]
+pub struct ConstHierarchy {
+    l1: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    l1_ports: Vec<PortSet>,
+    l2_ports: PortSet,
+    l1_hit_latency: u64,
+    l2_hit_latency: u64,
+    mem_latency: u64,
+    /// Static cache partitions (0 or 1 = disabled). With `P` partitions,
+    /// security domain `d` may only occupy sets of region `d % P` in both
+    /// levels — the Section-9 spatial-partitioning mitigation.
+    partitions: u32,
+}
+
+impl ConstHierarchy {
+    /// Builds the hierarchy for `num_sms` SMs from the device's cache and
+    /// memory specifications.
+    pub fn new(num_sms: u32, l1_spec: &CacheSpec, l2_spec: &CacheSpec, mem: &MemorySpec) -> Self {
+        Self::new_partitioned(num_sms, l1_spec, l2_spec, mem, 0)
+    }
+
+    /// As [`ConstHierarchy::new`], with static partitioning enabled when
+    /// `partitions > 1`.
+    pub fn new_partitioned(
+        num_sms: u32,
+        l1_spec: &CacheSpec,
+        l2_spec: &CacheSpec,
+        mem: &MemorySpec,
+        partitions: u32,
+    ) -> Self {
+        ConstHierarchy {
+            l1: (0..num_sms).map(|_| SetAssocCache::new(l1_spec.geometry)).collect(),
+            l2: SetAssocCache::new(l2_spec.geometry),
+            l1_ports: (0..num_sms).map(|_| PortSet::new(l1_spec.ports_per_cycle)).collect(),
+            l2_ports: PortSet::new(l2_spec.ports_per_cycle),
+            l1_hit_latency: l1_spec.hit_latency,
+            l2_hit_latency: l2_spec.hit_latency,
+            mem_latency: mem.const_mem_latency,
+            partitions,
+        }
+    }
+
+    /// The set a `domain`'s access to `addr` indexes in a cache of
+    /// `num_sets` sets: the geometric set when unpartitioned, otherwise
+    /// folded into the domain's region.
+    fn effective_set(&self, num_sets: u64, geometric_set: u64, domain: u32) -> u64 {
+        if self.partitions <= 1 {
+            return geometric_set;
+        }
+        let parts = u64::from(self.partitions).min(num_sets);
+        let region = (num_sets / parts).max(1);
+        let base = (u64::from(domain) % parts) * region;
+        base + geometric_set % region
+    }
+
+    /// Performs a warp-level constant load on SM `sm` at cycle `now` on
+    /// behalf of security domain `domain` (the kernel id; only meaningful
+    /// under partitioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn access(&mut self, sm: usize, addr: u64, now: u64, domain: u32) -> ConstAccess {
+        // One L1 lookup per cycle per SM (single constant-cache port).
+        let start = self.l1_ports[sm].acquire(now, 1);
+        let l1_set = self.effective_set(
+            self.l1[sm].geometry().num_sets(),
+            self.l1[sm].geometry().set_of_addr(addr),
+            domain,
+        );
+        match self.l1[sm].access_in_set(addr, l1_set, start, domain) {
+            AccessOutcome::Hit => {
+                ConstAccess { completes_at: start + self.l1_hit_latency, level: ConstLevel::L1 }
+            }
+            AccessOutcome::Miss => {
+                // L2 lookup contends on the shared L2 ports. Port occupancy
+                // of 1 cycle models the paper's observation that parallel
+                // per-set L2 channels scale ~8x (ports), not 16x (sets).
+                let l2_start = self.l2_ports.acquire(start + 1, 1);
+                let queue_delay = l2_start - (start + 1);
+                let l2_set = self.effective_set(
+                    self.l2.geometry().num_sets(),
+                    self.l2.geometry().set_of_addr(addr),
+                    domain,
+                );
+                match self.l2.access_in_set(addr, l2_set, l2_start, domain) {
+                    AccessOutcome::Hit => ConstAccess {
+                        completes_at: start + self.l2_hit_latency + queue_delay,
+                        level: ConstLevel::L2,
+                    },
+                    AccessOutcome::Miss => ConstAccess {
+                        completes_at: start + self.mem_latency + queue_delay,
+                        level: ConstLevel::Memory,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Total cross-domain eviction alternations across every L1 and the
+    /// L2 — the CC-Hunter-style anomaly score (paper Section 9).
+    pub fn eviction_alternations(&self) -> u64 {
+        self.l1.iter().map(|c| c.eviction_alternations()).sum::<u64>()
+            + self.l2.eviction_alternations()
+    }
+
+    /// Total cross-domain evictions across every cache level.
+    pub fn cross_domain_evictions(&self) -> u64 {
+        self.l1.iter().map(|c| c.cross_domain_evictions()).sum::<u64>()
+            + self.l2.cross_domain_evictions()
+    }
+
+    /// Read-only view of one SM's L1 (for tests and diagnostics).
+    pub fn l1(&self, sm: usize) -> &SetAssocCache {
+        &self.l1[sm]
+    }
+
+    /// Read-only view of the shared L2.
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+
+    /// Flushes every cache level and frees all ports (used between kernel
+    /// launches in experiments that require a cold hierarchy).
+    pub fn flush(&mut self) {
+        for c in &mut self.l1 {
+            c.flush();
+        }
+        self.l2.flush();
+        for p in &mut self.l1_ports {
+            p.reset();
+        }
+        self.l2_ports.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_spec::presets;
+
+    fn hierarchy() -> ConstHierarchy {
+        let d = presets::tesla_k40c();
+        ConstHierarchy::new(d.num_sms, &d.const_l1, &d.const_l2, &d.mem)
+    }
+
+    #[test]
+    fn latency_plateaus_match_k40c_calibration() {
+        let mut h = hierarchy();
+        // Cold: full miss -> 250 cycles.
+        let a = h.access(0, 0x40, 0, 0);
+        assert_eq!(a.level, ConstLevel::Memory);
+        assert_eq!(a.completes_at, 250);
+        // Warm L1 -> 49 cycles.
+        let a = h.access(0, 0x40, 1000, 0);
+        assert_eq!(a.level, ConstLevel::L1);
+        assert_eq!(a.completes_at, 1000 + 49);
+        // Another SM misses its own L1 but hits the shared L2 -> 112.
+        let a = h.access(1, 0x40, 2000, 0);
+        assert_eq!(a.level, ConstLevel::L2);
+        assert_eq!(a.completes_at, 2000 + 112);
+    }
+
+    #[test]
+    fn l1s_are_private_per_sm() {
+        let mut h = hierarchy();
+        h.access(0, 0x80, 0, 0);
+        assert!(h.l1(0).probe(0x80));
+        assert!(!h.l1(1).probe(0x80));
+        assert!(h.l2().probe(0x80));
+    }
+
+    #[test]
+    fn l1_port_serializes_same_cycle_accesses() {
+        let mut h = hierarchy();
+        h.access(0, 0x0, 0, 0);
+        h.access(0, 0x0, 500, 0); // warm
+        let a = h.access(0, 0x0, 1000, 0);
+        let b = h.access(0, 0x40, 1000, 0); // same cycle, same SM
+        assert_eq!(a.completes_at, 1049);
+        assert!(b.completes_at > a.completes_at, "port should serialize");
+    }
+
+    #[test]
+    fn l1_eviction_creates_l2_latency_signal() {
+        // The prime+probe primitive: trojan fills set 0, spy's next probe of
+        // its own set-0 lines observes L2 latency instead of L1.
+        let mut h = hierarchy();
+        let stride = 512; // same-set stride of the 2 KB 4-way L1
+        // Spy warms 4 lines of set 0 (addresses 0,512,1024,1536).
+        for w in 0..4u64 {
+            h.access(0, w * stride, w, 0);
+        }
+        for w in 0..4u64 {
+            let a = h.access(0, w * stride, 100 + w, 0);
+            assert_eq!(a.level, ConstLevel::L1);
+        }
+        // Trojan (same SM, different array at 1 MB offset) fills set 0.
+        let trojan_base = 1 << 20;
+        for w in 0..4u64 {
+            h.access(0, trojan_base + w * stride, 200 + w, 0);
+        }
+        // Spy probes again: all four lines were evicted -> L2 level.
+        for w in 0..4u64 {
+            let a = h.access(0, w * stride, 300 + w, 0);
+            assert_eq!(a.level, ConstLevel::L2, "line {w} should have been evicted");
+        }
+    }
+
+    #[test]
+    fn flush_restores_cold_state() {
+        let mut h = hierarchy();
+        h.access(0, 0x40, 0, 0);
+        h.flush();
+        let a = h.access(0, 0x40, 10, 0);
+        assert_eq!(a.level, ConstLevel::Memory);
+    }
+}

@@ -1,0 +1,42 @@
+//! Memory hierarchy models for the `gpgpu-covert` simulator.
+//!
+//! Everything in this crate is a *passive timing model*: callers (the cycle
+//! engine in `gpgpu-sim`) pass in the current cycle and receive completion
+//! times back. No component keeps its own clock.
+//!
+//! Because every covert channel in the paper is a **timing** channel, the
+//! models track *which lines are cached* and *when ports/units are busy*,
+//! but not data values — no kernel in the paper consumes loaded data, only
+//! latencies.
+//!
+//! Components:
+//!
+//! * [`SetAssocCache`] — LRU set-associative cache (used for constant L1/L2).
+//! * [`ConstHierarchy`] — per-SM constant L1s in front of a shared constant
+//!   L2, with port contention; the substrate of the paper's Section 4
+//!   channels and Figure 2/3 characterization.
+//! * [`coalesce`] — merges a warp's 32 lane addresses into memory
+//!   transactions (128-byte segments), the mechanism behind Section 6's
+//!   scenario ordering.
+//! * [`AtomicSystem`] — address-interleaved atomic units with
+//!   generation-dependent service (memory-side on Fermi, L2-side merging on
+//!   Kepler/Maxwell).
+//! * [`GlobalMemory`] — plain global load/store timing with a
+//!   transactions-per-cycle bandwidth limit.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod atomics;
+mod cache;
+mod coalesce;
+mod constmem;
+mod gmem;
+mod ports;
+
+pub use atomics::AtomicSystem;
+pub use cache::{AccessOutcome, SetAssocCache};
+pub use coalesce::{bank_conflict_degree, coalesce};
+pub use constmem::{ConstAccess, ConstHierarchy, ConstLevel};
+pub use gmem::GlobalMemory;
+pub use ports::PortSet;

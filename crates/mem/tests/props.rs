@@ -1,0 +1,110 @@
+//! Property tests for the memory-hierarchy models.
+
+use gpgpu_mem::{coalesce, AccessOutcome, PortSet, SetAssocCache};
+use gpgpu_spec::CacheGeometry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Coalescing: output count never exceeds input count, every input
+    /// address falls inside some output segment, outputs are sorted/unique.
+    #[test]
+    fn coalesce_covers_and_dedups(
+        addrs in proptest::collection::vec(0u64..1 << 20, 0..64),
+        seg_log in 5u32..10,
+    ) {
+        let seg = 1u64 << seg_log;
+        let out = coalesce(addrs.iter().copied(), seg);
+        prop_assert!(out.len() <= addrs.len().max(1));
+        for &a in &addrs {
+            prop_assert!(out.contains(&(a - a % seg)));
+        }
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        for &s in &out {
+            prop_assert_eq!(s % seg, 0);
+        }
+    }
+
+    /// PortSet: service start is never before the request, and with one
+    /// port, starts are strictly serialized by occupancy.
+    #[test]
+    fn single_port_serializes_strictly(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..100), 1..64),
+    ) {
+        let mut p = PortSet::new(1);
+        let mut prev_end = 0u64;
+        // Issue in nondecreasing time order (as the engine does).
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        for (now, occ) in sorted {
+            let start = p.acquire(now, occ);
+            prop_assert!(start >= now);
+            prop_assert!(start >= prev_end);
+            prev_end = start + occ;
+        }
+    }
+
+    /// PortSet with n ports never runs more than n services concurrently.
+    #[test]
+    fn port_capacity_respected(
+        n in 1u32..8,
+        reqs in proptest::collection::vec(1u64..50, 1..64),
+    ) {
+        let mut p = PortSet::new(n);
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for occ in reqs {
+            let start = p.acquire(0, occ);
+            intervals.push((start, start + occ));
+        }
+        // At any service start, count overlapping intervals.
+        for &(s, _) in &intervals {
+            let overlapping = intervals.iter().filter(|&&(a, b)| a <= s && s < b).count();
+            prop_assert!(overlapping <= n as usize, "{overlapping} > {n}");
+        }
+    }
+
+    /// Cache: occupancy bounded by ways; hit after access; flush empties.
+    #[test]
+    fn cache_fundamentals(
+        addrs in proptest::collection::vec(0u64..64 * 1024, 1..200),
+    ) {
+        let geom = CacheGeometry::new(4096, 64, 4).unwrap();
+        let mut c = SetAssocCache::new(geom);
+        for (i, &a) in addrs.iter().enumerate() {
+            c.access(a, i as u64);
+            prop_assert!(c.probe(a), "just-accessed line must be present");
+        }
+        for s in 0..geom.num_sets() {
+            prop_assert!(c.set_occupancy(s) <= geom.ways() as usize);
+        }
+        c.flush();
+        for s in 0..geom.num_sets() {
+            prop_assert_eq!(c.set_occupancy(s), 0);
+        }
+    }
+
+    /// Filling a set with `ways` fresh lines evicts all previous tenants —
+    /// the prime+probe primitive the whole paper rests on.
+    #[test]
+    fn full_set_fill_always_evicts(
+        set in 0u64..8,
+        victim_base in 0u64..4,
+        attacker_base in 4u64..8,
+    ) {
+        let geom = CacheGeometry::new(2048, 64, 4).unwrap();
+        let mut c = SetAssocCache::new(geom);
+        let span = geom.same_set_stride() * geom.ways();
+        let addr = |base: u64, way: u64| base * span + set * geom.line_bytes() + way * geom.same_set_stride();
+        // Victim fills the set.
+        for w in 0..geom.ways() {
+            c.access(addr(victim_base, w), w);
+        }
+        // Attacker fills the same set with distinct tags.
+        for w in 0..geom.ways() {
+            prop_assert_eq!(c.access(addr(attacker_base, w), 100 + w), AccessOutcome::Miss);
+        }
+        // Every victim line is gone.
+        for w in 0..geom.ways() {
+            prop_assert!(!c.probe(addr(victim_base, w)));
+        }
+    }
+}

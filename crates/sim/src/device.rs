@@ -1,0 +1,910 @@
+//! The device: host API, block scheduler, streams and the cycle engine.
+
+use crate::error::SimError;
+use crate::kernel::{KernelId, KernelResults, KernelSpec, KernelState};
+use crate::sm::{Sm, Subsystems};
+use crate::StreamId;
+use gpgpu_isa::Instr;
+use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory};
+use gpgpu_spec::DeviceSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated GPGPU device with a CUDA-stream-like host API.
+///
+/// See the crate-level docs for an end-to-end example. Lifecycle:
+///
+/// 1. [`Device::launch`] any number of kernels on streams — kernels on the
+///    same stream serialize, kernels on different streams run concurrently.
+/// 2. [`Device::run_until_idle`] advances the clock until every launched
+///    kernel completes.
+/// 3. [`Device::results`] retrieves per-block placement records and warp
+///    result buffers.
+#[derive(Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    now: u64,
+    sms: Vec<Sm>,
+    const_mem: ConstHierarchy,
+    atomics: AtomicSystem,
+    gmem: GlobalMemory,
+    kernels: Vec<KernelState>,
+    /// Block-placement policy (leftover by default; see
+    /// [`PlacementPolicy`] for the Section-3.2 alternatives).
+    policy: crate::PlacementPolicy,
+    /// Round-robin cursor of the leftover-policy block scheduler.
+    rr_cursor: usize,
+    /// Bump allocator for global memory (bytes).
+    next_global: u64,
+    /// Bump allocator for constant memory (bytes), way-span aligned.
+    next_const: u64,
+    jitter_max: u64,
+    rng: StdRng,
+}
+
+impl Device {
+    /// Creates an idle device from its specification (no mitigations,
+    /// leftover placement policy).
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_tuning(spec, crate::DeviceTuning::none())
+    }
+
+    /// Creates a device with explicit [`crate::DeviceTuning`] — placement
+    /// policy and the Section-9 mitigation knobs.
+    pub fn with_tuning(spec: DeviceSpec, tuning: crate::DeviceTuning) -> Self {
+        let sms = (0..spec.num_sms)
+            .map(|i| {
+                Sm::new_tuned(
+                    i,
+                    spec.sm,
+                    spec.architecture,
+                    tuning.clock_quantum(),
+                    tuning.random_warp_scheduler,
+                )
+            })
+            .collect();
+        let const_mem = ConstHierarchy::new_partitioned(
+            spec.num_sms,
+            &spec.const_l1,
+            &spec.const_l2,
+            &spec.mem,
+            tuning.cache_partitions,
+        );
+        let atomics = AtomicSystem::new(&spec.mem, spec.architecture.has_l2_atomics());
+        let gmem = GlobalMemory::new(&spec.mem);
+        Device {
+            spec,
+            now: 0,
+            sms,
+            const_mem,
+            atomics,
+            gmem,
+            kernels: Vec::new(),
+            policy: tuning.policy,
+            rr_cursor: 0,
+            next_global: 0x1000_0000, // distinct from constant space for clarity
+            next_const: 0,
+            jitter_max: 0,
+            rng: StdRng::seed_from_u64(0xC0DE_C0DE),
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Selects the block-placement policy. Call before launching kernels;
+    /// switching policies mid-flight is allowed but blocks already placed
+    /// stay where they are.
+    pub fn set_placement_policy(&mut self, policy: crate::PlacementPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active placement policy.
+    pub fn placement_policy(&self) -> crate::PlacementPolicy {
+        self.policy
+    }
+
+    /// Contention-anomaly counters of the constant-cache hierarchy:
+    /// `(cross_domain_evictions, eviction_alternations)`. The alternation
+    /// count is the CC-Hunter-style detection signal of the paper's
+    /// Section 9 — near zero under benign sharing, large when two kernels
+    /// ping-pong evictions to signal bits.
+    pub fn cache_contention_counters(&self) -> (u64, u64) {
+        (
+            self.const_mem.cross_domain_evictions(),
+            self.const_mem.eviction_alternations(),
+        )
+    }
+
+    /// Enables random launch-arrival jitter of up to `max_cycles`, seeded
+    /// deterministically. This models the host-side scheduling variability
+    /// that makes the paper's *unsynchronized* channels lose bit alignment
+    /// when the per-bit iteration count is reduced (Figure 5).
+    pub fn set_launch_jitter(&mut self, max_cycles: u64, seed: u64) {
+        self.jitter_max = max_cycles;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Allocates `bytes` of global memory, returning the base address.
+    /// 256-byte aligned so distinct arrays never share a coalescing segment.
+    pub fn alloc_global(&mut self, bytes: u64) -> u64 {
+        let base = self.next_global;
+        self.next_global += bytes.div_ceil(256) * 256 + 256;
+        base
+    }
+
+    /// Allocates `bytes` of constant memory, returning the base address.
+    /// Aligned to the L1 way span so every allocation starts at set 0 —
+    /// which is also how `cudaMemcpyToSymbol` arrays end up aligned in
+    /// practice, and why the spy's and trojan's arrays collide in the cache
+    /// even though they are distinct allocations.
+    pub fn alloc_constant(&mut self, bytes: u64) -> u64 {
+        let span = self.spec.const_l1.geometry.same_set_stride()
+            * self.spec.const_l1.geometry.ways();
+        let base = self.next_const;
+        self.next_const += bytes.div_ceil(span).max(1) * span;
+        base
+    }
+
+    /// Submits a kernel on `stream`. The kernel's blocks become eligible for
+    /// placement after the launch overhead (plus jitter, if enabled) and
+    /// after every earlier kernel on the same stream has completed.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Launch`] if the launch configuration cannot fit on this
+    ///   device or the program uses an unavailable unit class (e.g.
+    ///   double-precision on Maxwell).
+    pub fn launch(&mut self, stream: StreamId, spec: KernelSpec) -> Result<KernelId, SimError> {
+        spec.launch.validate(&self.spec.sm)?;
+        for instr in spec.program.iter() {
+            if let Instr::Fu { op } = instr {
+                self.spec.supports_op(*op)?;
+            }
+        }
+        let jitter = if self.jitter_max > 0 {
+            self.rng.gen_range(0..=self.jitter_max)
+        } else {
+            0
+        };
+        let id = KernelId(self.kernels.len() as u32);
+        let grid = spec.launch.grid_blocks as usize;
+        self.kernels.push(KernelState {
+            spec,
+            stream,
+            submitted_at: self.now,
+            arrival: self.now + self.spec.launch_overhead_cycles + jitter,
+            next_block: 0,
+            retry_blocks: Vec::new(),
+            blocks_done: 0,
+            records: Vec::with_capacity(grid),
+            completed_at: None,
+        });
+        Ok(id)
+    }
+
+    /// Whether every launched kernel has completed.
+    pub fn is_idle(&self) -> bool {
+        self.kernels.iter().all(|k| k.is_complete())
+    }
+
+    /// Advances the clock until the device is idle, or errors after
+    /// `max_cycles` additional cycles.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::CycleLimitExceeded`] if the workload does not drain in
+    ///   time (including protocol deadlocks in covert-channel handshakes).
+    /// * [`SimError::SchedulerStuck`] if queued blocks can never be placed.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        let limit = self.now.saturating_add(max_cycles);
+        while !self.is_idle() {
+            if self.now >= limit {
+                return Err(SimError::CycleLimitExceeded { limit });
+            }
+            let worked = self.step_cycle();
+            if worked {
+                self.now += 1;
+            } else {
+                self.now = self.next_event_time()?.max(self.now + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs exactly one cycle (also placing any eligible blocks). Primarily
+    /// for tests that need cycle-level control.
+    pub fn step(&mut self) {
+        self.step_cycle();
+        self.now += 1;
+    }
+
+    /// Advances the clock until the given kernel completes, leaving other
+    /// kernels (e.g. a long-running interference workload) in flight.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownKernel`] for an id not launched here.
+    /// * [`SimError::CycleLimitExceeded`] / [`SimError::SchedulerStuck`] as
+    ///   for [`Device::run_until_idle`].
+    pub fn run_until_complete(&mut self, id: KernelId, max_cycles: u64) -> Result<(), SimError> {
+        if self.kernels.get(id.0 as usize).is_none() {
+            return Err(SimError::UnknownKernel(id));
+        }
+        let limit = self.now.saturating_add(max_cycles);
+        while !self.kernels[id.0 as usize].is_complete() {
+            if self.now >= limit {
+                return Err(SimError::CycleLimitExceeded { limit });
+            }
+            let worked = self.step_cycle();
+            if worked {
+                self.now += 1;
+            } else {
+                self.now = self.next_event_time()?.max(self.now + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Retrieves the results of a completed kernel.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownKernel`] for an id not launched here.
+    /// * [`SimError::KernelNotComplete`] if it has not finished.
+    pub fn results(&self, id: KernelId) -> Result<KernelResults, SimError> {
+        let k = self.kernels.get(id.0 as usize).ok_or(SimError::UnknownKernel(id))?;
+        let completed_at = k.completed_at.ok_or(SimError::KernelNotComplete(id))?;
+        let mut blocks = k.records.clone();
+        blocks.sort_by_key(|b| b.block_id);
+        Ok(KernelResults {
+            id,
+            name: k.spec.name.clone(),
+            submitted_at: k.submitted_at,
+            arrived_at: k.arrival,
+            completed_at,
+            blocks,
+        })
+    }
+
+    // ---- engine internals ------------------------------------------------
+
+    fn kernel_eligible(&self, idx: usize) -> bool {
+        let k = &self.kernels[idx];
+        if k.all_blocks_placed() || k.arrival > self.now {
+            return false;
+        }
+        // Stream ordering: every earlier kernel on the same stream must have
+        // completed.
+        self.kernels[..idx]
+            .iter()
+            .all(|prev| prev.stream != k.stream || prev.is_complete())
+    }
+
+    /// Whether `sm` may host a block of `kernel` with resources `res` under
+    /// the active placement policy.
+    fn sm_admits(&self, sm: usize, kernel: KernelId, res: &gpgpu_spec::BlockResources) -> bool {
+        if !self.sms[sm].block_fits(res) {
+            return false;
+        }
+        match self.policy {
+            crate::PlacementPolicy::InterSmPartition => {
+                // Whole-SM granularity: no intra-SM sharing between kernels.
+                !self.sms[sm].hosts_other_kernel(kernel)
+            }
+            _ => true,
+        }
+    }
+
+    /// Chooses the target SM for a block of `kernel` under the active
+    /// policy, or `None` when nothing admits it.
+    fn choose_sm(&self, kernel: KernelId, res: &gpgpu_spec::BlockResources) -> Option<usize> {
+        let n = self.sms.len();
+        match self.policy {
+            crate::PlacementPolicy::WarpedSlicer => {
+                // Best-fit: the admitting SM with the most free capacity
+                // (Xu et al.'s compatibility-driven intra-SM partitioning).
+                (0..n)
+                    .filter(|&sm| self.sm_admits(sm, kernel, res))
+                    .max_by(|&a, &b| {
+                        self.sms[a]
+                            .free_capacity_score()
+                            .total_cmp(&self.sms[b].free_capacity_score())
+                    })
+            }
+            _ => {
+                // Round-robin first fit (leftover policy and friends).
+                (0..n)
+                    .map(|off| (self.rr_cursor + off) % n)
+                    .find(|&sm| self.sm_admits(sm, kernel, res))
+            }
+        }
+    }
+
+    /// SMK preemption (Wang et al.): find an SM where evicting the highest
+    /// -usage block of a multi-block kernel makes room for `res`.
+    fn try_preempt_for(&mut self, kernel: KernelId, res: &gpgpu_spec::BlockResources) -> Option<usize> {
+        let n = self.sms.len();
+        for off in 0..n {
+            let sm = (self.rr_cursor + off) % n;
+            if let Some((victim_kernel, victim_block)) = self.sms[sm].preemption_victim(kernel) {
+                self.sms[sm].preempt_block(victim_kernel, victim_block);
+                self.kernels[victim_kernel.0 as usize].push_back_block(victim_block);
+                if self.sm_admits(sm, kernel, res) {
+                    return Some(sm);
+                }
+                // Preemption did not make enough room; the victim restarts
+                // later either way (as on real SMK, preemption decisions
+                // are not transactional).
+            }
+        }
+        None
+    }
+
+    /// Places queued blocks according to the active policy: kernels in
+    /// arrival order, each block onto an admitting SM.
+    fn place_blocks(&mut self) {
+        let mut order: Vec<usize> = (0..self.kernels.len())
+            .filter(|&i| self.kernel_eligible(i))
+            .collect();
+        order.sort_by_key(|&i| (self.kernels[i].arrival, i));
+        for ki in order {
+            let kernel = KernelId(ki as u32);
+            'blocks: while !self.kernels[ki].all_blocks_placed() {
+                let res = self.kernels[ki].spec.launch.block;
+                let mut target = self.choose_sm(kernel, &res);
+                if target.is_none()
+                    && self.policy == crate::PlacementPolicy::SmkPreemptive
+                {
+                    target = self.try_preempt_for(kernel, &res);
+                }
+                match target {
+                    Some(sm) => {
+                        let block_id = self
+                            .kernels[ki]
+                            .pop_next_block()
+                            .expect("unplaced blocks remain");
+                        let grid = self.kernels[ki].spec.launch.grid_blocks;
+                        let program = std::sync::Arc::clone(&self.kernels[ki].spec.program);
+                        self.sms[sm].place_block(kernel, block_id, grid, res, &program, self.now);
+                        self.rr_cursor = (sm + 1) % self.sms.len();
+                    }
+                    None => break 'blocks, // queue the rest until resources free
+                }
+            }
+        }
+    }
+
+    fn step_cycle(&mut self) -> bool {
+        self.place_blocks();
+        let mut worked = false;
+        let mut subs = Subsystems {
+            const_mem: &mut self.const_mem,
+            atomics: &mut self.atomics,
+            gmem: &mut self.gmem,
+        };
+        let mut finished = Vec::new();
+        for sm in &mut self.sms {
+            let (issued, fin) = sm.step(self.now, &mut subs);
+            worked |= issued;
+            finished.extend(fin);
+        }
+        let now = self.now;
+        for (kernel, record) in finished {
+            let k = &mut self.kernels[kernel.0 as usize];
+            k.records.push(record);
+            k.blocks_done += 1;
+            if k.is_complete() {
+                k.completed_at = Some(now);
+            }
+            worked = true;
+        }
+        worked
+    }
+
+    fn next_event_time(&self) -> Result<u64, SimError> {
+        let mut next: Option<u64> = None;
+        for sm in &self.sms {
+            if let Some(t) = sm.next_wake(self.now + 1) {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        for (i, k) in self.kernels.iter().enumerate() {
+            if !k.all_blocks_placed() && k.arrival > self.now {
+                // Future arrival.
+                next = Some(next.map_or(k.arrival, |n| n.min(k.arrival)));
+            } else if !k.all_blocks_placed() && self.kernel_eligible(i) {
+                // Eligible but queued: progress requires a block completion,
+                // i.e. a warp wake, already accounted above. If no warp is
+                // live anywhere, the scheduler is stuck.
+                if self.sms.iter().all(|sm| sm.next_wake(self.now).is_none()) {
+                    return Err(SimError::SchedulerStuck);
+                }
+            }
+        }
+        next.ok_or(SimError::SchedulerStuck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
+    use gpgpu_spec::{presets, FuOpKind, LaunchConfig};
+
+    fn smid_probe() -> gpgpu_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.read_special(Reg(0), Special::SmId);
+        b.push_result(Reg(0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn first_kernel_blocks_placed_round_robin() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let k = dev
+            .launch(0, KernelSpec::new("probe", smid_probe(), LaunchConfig::new(15, 128)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let r = dev.results(k).unwrap();
+        // 15 blocks over 15 SMs: one each, in round-robin order.
+        let sms: Vec<u32> = r.blocks.iter().map(|b| b.sm_id).collect();
+        assert_eq!(sms, (0..15).collect::<Vec<u32>>());
+        // Every block observed its own smid.
+        for b in &r.blocks {
+            assert_eq!(b.warp_results[0], vec![u64::from(b.sm_id)]);
+        }
+    }
+
+    #[test]
+    fn two_kernels_colocate_via_leftover_policy() {
+        // The paper's Section 3.1 recipe: both kernels launch num_sms blocks
+        // of 4 warps; every SM ends up hosting one block of each.
+        let mut dev = Device::new(presets::tesla_k40c());
+        let a = dev
+            .launch(0, KernelSpec::new("spy", smid_probe(), LaunchConfig::new(15, 128)))
+            .unwrap();
+        let b = dev
+            .launch(1, KernelSpec::new("trojan", smid_probe(), LaunchConfig::new(15, 128)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let (ra, rb) = (dev.results(a).unwrap(), dev.results(b).unwrap());
+        assert_eq!(ra.sms_used(), (0..15).collect::<Vec<u32>>());
+        assert_eq!(rb.sms_used(), (0..15).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn oversubscribed_blocks_queue_until_release() {
+        // Kernel A saturates every SM's shared memory; kernel B's blocks
+        // (which also want shared memory) must wait for A to finish.
+        let mut dev = Device::new(presets::tesla_k40c());
+        // A long-ish program so A is clearly still running when B arrives.
+        let mut pb = ProgramBuilder::new();
+        pb.repeat(Reg(1), 200, |b| {
+            b.fu(FuOpKind::SpSinf);
+        });
+        let long = pb.build().unwrap();
+        let a = dev
+            .launch(
+                0,
+                KernelSpec::new(
+                    "hog",
+                    long,
+                    LaunchConfig::new(15, 128).with_shared_mem(48 * 1024),
+                ),
+            )
+            .unwrap();
+        let b = dev
+            .launch(
+                1,
+                KernelSpec::new(
+                    "late",
+                    smid_probe(),
+                    LaunchConfig::new(1, 32).with_shared_mem(1024),
+                ),
+            )
+            .unwrap();
+        dev.run_until_idle(10_000_000).unwrap();
+        let (ra, rb) = (dev.results(a).unwrap(), dev.results(b).unwrap());
+        let a_first_end = ra.blocks.iter().map(|bl| bl.end_cycle).min().unwrap();
+        let b_start = rb.blocks[0].start_cycle;
+        assert!(
+            b_start >= a_first_end,
+            "B placed at {b_start}, before any A block finished at {a_first_end}"
+        );
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let a = dev
+            .launch(0, KernelSpec::new("first", smid_probe(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        let b = dev
+            .launch(0, KernelSpec::new("second", smid_probe(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let (ra, rb) = (dev.results(a).unwrap(), dev.results(b).unwrap());
+        assert!(rb.blocks[0].start_cycle >= ra.completed_at);
+    }
+
+    #[test]
+    fn clock_measures_const_load_latency() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let addr = dev.alloc_constant(64);
+        let mut b = ProgramBuilder::new();
+        let (ra, t0, t1) = (Reg(0), Reg(1), Reg(2));
+        b.mov_imm(ra, addr);
+        b.const_load(ra); // warm: memory-level fill
+        b.read_clock(t0);
+        b.const_load(ra); // timed: L1 hit
+        b.read_clock(t1);
+        b.sub(t1, t1, t0);
+        b.push_result(t1);
+        let k = dev
+            .launch(0, KernelSpec::new("timer", b.build().unwrap(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let r = dev.results(k).unwrap();
+        let measured = r.blocks[0].warp_results[0][0];
+        // L1 hit is 49 cycles; the clock reads straddle the issue cycles, so
+        // allow a small skew.
+        assert!((49..=52).contains(&measured), "measured {measured}");
+    }
+
+    #[test]
+    fn cycle_limit_is_reported() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.fu(FuOpKind::SpAdd);
+        b.jump(top); // infinite loop
+        dev.launch(0, KernelSpec::new("spin", b.build().unwrap(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        assert!(matches!(
+            dev.run_until_idle(10_000),
+            Err(SimError::CycleLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn double_precision_rejected_on_maxwell() {
+        let mut dev = Device::new(presets::quadro_m4000());
+        let mut b = ProgramBuilder::new();
+        b.fu(FuOpKind::DpAdd);
+        let err = dev
+            .launch(0, KernelSpec::new("dp", b.build().unwrap(), LaunchConfig::new(1, 32)))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Launch(_)));
+    }
+
+    #[test]
+    fn launch_jitter_is_deterministic_per_seed() {
+        let arrivals = |seed: u64| -> Vec<u64> {
+            let mut dev = Device::new(presets::tesla_k40c());
+            dev.set_launch_jitter(3000, seed);
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                let k = dev
+                    .launch(0, KernelSpec::new("k", smid_probe(), LaunchConfig::new(1, 32)))
+                    .unwrap();
+                out.push(k);
+            }
+            dev.run_until_idle(10_000_000).unwrap();
+            out.iter().map(|&k| dev.results(k).unwrap().arrived_at).collect()
+        };
+        assert_eq!(arrivals(7), arrivals(7));
+        assert_ne!(arrivals(7), arrivals(8));
+    }
+
+    #[test]
+    fn results_errors() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        assert!(matches!(dev.results(KernelId(0)), Err(SimError::UnknownKernel(_))));
+        let k = dev
+            .launch(0, KernelSpec::new("k", smid_probe(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        assert!(matches!(dev.results(k), Err(SimError::KernelNotComplete(_))));
+    }
+
+    #[test]
+    fn branch_loop_executes_correct_iteration_count() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let mut b = ProgramBuilder::new();
+        let (i, acc) = (Reg(0), Reg(1));
+        b.mov_imm(acc, 0);
+        b.mov_imm(i, 10);
+        let top = b.label();
+        b.bind(top);
+        b.add_imm(acc, acc, 3);
+        b.add_imm(i, i, u64::MAX);
+        b.branch(Cond::Ne, i, Operand::Imm(0), top);
+        b.push_result(acc);
+        let k = dev
+            .launch(0, KernelSpec::new("loop", b.build().unwrap(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        assert_eq!(dev.results(k).unwrap().flat_results(), vec![30]);
+    }
+
+    #[test]
+    fn alloc_constant_is_way_span_aligned() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let a = dev.alloc_constant(64);
+        let b = dev.alloc_constant(2048);
+        let span = dev.spec().const_l1.geometry.same_set_stride()
+            * dev.spec().const_l1.geometry.ways();
+        assert_eq!(a % span, 0);
+        assert_eq!(b % span, 0);
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::PlacementPolicy;
+    use gpgpu_isa::{ProgramBuilder, Reg, Special};
+    use gpgpu_spec::{presets, FuOpKind, LaunchConfig};
+
+    fn busy_probe(iters: u64) -> gpgpu_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.read_special(Reg(0), Special::SmId);
+        b.push_result(Reg(0));
+        b.repeat(Reg(20), iters, |b| {
+            b.fu(FuOpKind::SpAdd);
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inter_sm_partition_keeps_kernels_on_disjoint_sms() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.set_placement_policy(PlacementPolicy::InterSmPartition);
+        // 8 blocks each: under partitioning the two kernels may not share
+        // any SM even though every SM has leftover capacity.
+        let a = dev
+            .launch(0, KernelSpec::new("a", busy_probe(300), LaunchConfig::new(8, 64)))
+            .unwrap();
+        let b = dev
+            .launch(1, KernelSpec::new("b", busy_probe(300), LaunchConfig::new(8, 64)))
+            .unwrap();
+        dev.run_until_idle(50_000_000).unwrap();
+        let (ra, rb) = (dev.results(a).unwrap(), dev.results(b).unwrap());
+        // While running concurrently, SM sets are disjoint (blocks that ran
+        // strictly after the other kernel finished may reuse SMs; overlap in
+        // time is what matters).
+        for blk_a in &ra.blocks {
+            for blk_b in &rb.blocks {
+                if blk_a.sm_id == blk_b.sm_id {
+                    let disjoint_in_time = blk_a.end_cycle <= blk_b.start_cycle
+                        || blk_b.end_cycle <= blk_a.start_cycle;
+                    assert!(
+                        disjoint_in_time,
+                        "kernels shared SM {} concurrently under InterSmPartition",
+                        blk_a.sm_id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warped_slicer_coloctes_without_preemption() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.set_placement_policy(PlacementPolicy::WarpedSlicer);
+        let a = dev
+            .launch(0, KernelSpec::new("a", busy_probe(300), LaunchConfig::new(15, 128)))
+            .unwrap();
+        let b = dev
+            .launch(1, KernelSpec::new("b", busy_probe(300), LaunchConfig::new(15, 128)))
+            .unwrap();
+        dev.run_until_idle(50_000_000).unwrap();
+        // Both kernels cover all SMs (co-residency achieved).
+        assert_eq!(dev.results(a).unwrap().sms_used().len(), 15);
+        assert_eq!(dev.results(b).unwrap().sms_used().len(), 15);
+    }
+
+    #[test]
+    fn smk_preempts_multi_block_kernels_to_admit_newcomers() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.set_placement_policy(PlacementPolicy::SmkPreemptive);
+        // Hog: two full-size blocks per SM; nothing is left for B.
+        let hog = dev
+            .launch(
+                0,
+                KernelSpec::new(
+                    "hog",
+                    busy_probe(2_000),
+                    LaunchConfig::new(30, 1024).with_registers_per_thread(8),
+                ),
+            )
+            .unwrap();
+        let newcomer = dev
+            .launch(1, KernelSpec::new("new", busy_probe(10), LaunchConfig::new(1, 64)))
+            .unwrap();
+        dev.run_until_idle(200_000_000).unwrap();
+        let hog_done = dev.results(hog).unwrap();
+        let new_res = dev.results(newcomer).unwrap();
+        // The newcomer ran *before* the hog finished: preemption made room.
+        assert!(
+            new_res.blocks[0].end_cycle < hog_done.completed_at,
+            "newcomer waited for the hog: {} vs {}",
+            new_res.blocks[0].end_cycle,
+            hog_done.completed_at
+        );
+        // The hog still completes all 30 blocks (preempted ones restarted).
+        assert_eq!(hog_done.blocks.len(), 30);
+    }
+
+    #[test]
+    fn smk_never_preempts_single_block_kernels() {
+        // The paper: "By using just one thread block for each spy and
+        // trojan on each SM, the spy and trojan will be guaranteed not to
+        // be preempted."
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.set_placement_policy(PlacementPolicy::SmkPreemptive);
+        let protected = dev
+            .launch(
+                0,
+                KernelSpec::new(
+                    "spy",
+                    busy_probe(2_000),
+                    LaunchConfig::new(15, 2048).with_registers_per_thread(8),
+                ),
+            )
+            .unwrap();
+        // A newcomer that cannot fit and cannot preempt (every resident
+        // kernel holds exactly one block per SM) must queue.
+        let newcomer = dev
+            .launch(1, KernelSpec::new("new", busy_probe(10), LaunchConfig::new(1, 64)))
+            .unwrap();
+        dev.run_until_idle(200_000_000).unwrap();
+        let first_protected_end = dev
+            .results(protected)
+            .unwrap()
+            .blocks
+            .iter()
+            .map(|b| b.end_cycle)
+            .min()
+            .unwrap();
+        let new_start = dev.results(newcomer).unwrap().blocks[0].start_cycle;
+        assert!(new_start >= first_protected_end, "protected block was preempted");
+    }
+
+    #[test]
+    fn leftover_and_slicer_results_agree_architecturally() {
+        // The policy affects placement and timing, never correctness.
+        let run = |policy: PlacementPolicy| -> Vec<u64> {
+            let mut dev = Device::new(presets::tesla_k40c());
+            dev.set_placement_policy(policy);
+            let k = dev
+                .launch(0, KernelSpec::new("k", busy_probe(50), LaunchConfig::new(6, 64)))
+                .unwrap();
+            dev.run_until_idle(50_000_000).unwrap();
+            let mut out = dev.results(k).unwrap().flat_results();
+            out.sort_unstable();
+            out
+        };
+        // Block -> SM mapping differs, so compare multiset cardinality only.
+        assert_eq!(
+            run(PlacementPolicy::Leftover).len(),
+            run(PlacementPolicy::WarpedSlicer).len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tuning_tests {
+    use super::*;
+    use crate::DeviceTuning;
+    use gpgpu_isa::{ProgramBuilder, Reg, Special};
+    use gpgpu_spec::{presets, FuOpKind, LaunchConfig};
+
+    #[test]
+    fn clock_fuzzing_quantizes_reads() {
+        let tuning = DeviceTuning { clock_granularity: 256, ..DeviceTuning::none() };
+        let mut dev = Device::with_tuning(presets::tesla_k40c(), tuning);
+        let mut b = ProgramBuilder::new();
+        for _ in 0..4 {
+            b.fu(FuOpKind::SpSinf); // advance time between reads
+            b.read_clock(Reg(0));
+            b.push_result(Reg(0));
+        }
+        let k = dev
+            .launch(0, KernelSpec::new("t", b.build().unwrap(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        for v in dev.results(k).unwrap().flat_results() {
+            assert_eq!(v % 256, 0, "clock read {v} not quantized");
+        }
+    }
+
+    #[test]
+    fn randomized_scheduler_differs_from_round_robin_and_is_seeded() {
+        let assignment = |seed: Option<u64>| -> Vec<u64> {
+            let tuning = DeviceTuning { random_warp_scheduler: seed, ..DeviceTuning::none() };
+            let mut dev = Device::with_tuning(presets::tesla_k40c(), tuning);
+            let mut b = ProgramBuilder::new();
+            b.read_special(Reg(0), Special::SchedulerId);
+            b.push_result(Reg(0));
+            let k = dev
+                .launch(0, KernelSpec::new("t", b.build().unwrap(), LaunchConfig::new(1, 512)))
+                .unwrap();
+            dev.run_until_idle(1_000_000).unwrap();
+            dev.results(k).unwrap().flat_results()
+        };
+        let rr = assignment(None);
+        assert_eq!(rr, (0..16).map(|w| w % 4).collect::<Vec<u64>>());
+        let rand1 = assignment(Some(1));
+        let rand1_again = assignment(Some(1));
+        let rand2 = assignment(Some(2));
+        assert_eq!(rand1, rand1_again, "seeded assignment must be deterministic");
+        assert_ne!(rand1, rr, "randomized assignment should differ from round-robin");
+        assert_ne!(rand1, rand2, "different seeds should differ");
+        // Every scheduler id stays in range.
+        assert!(rand1.iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn cache_partitioning_isolates_kernels_in_the_l1() {
+        // Kernel 0 fills a set; kernel 1 (other partition) fills the same
+        // geometric set; kernel 0's re-probe must still hit.
+        let tuning = DeviceTuning { cache_partitions: 2, ..DeviceTuning::none() };
+        let mut dev = Device::with_tuning(presets::tesla_k40c(), tuning);
+        let fill_then_probe = |base: u64, wait: u64| {
+            let (a, t0, t1, lat) = (Reg(0), Reg(1), Reg(2), Reg(3));
+            let mut b = ProgramBuilder::new();
+            for k in 0..4u64 {
+                b.mov_imm(a, base + k * 512);
+                b.const_load(a);
+            }
+            b.repeat(Reg(20), wait, |b| {
+                b.fu(FuOpKind::SpAdd);
+            });
+            // timed probe of the first line
+            b.mov_imm(a, base);
+            b.read_clock(t0);
+            b.const_load(a);
+            b.read_clock(t1);
+            b.sub(lat, t1, t0);
+            b.push_result(lat);
+            b.build().unwrap()
+        };
+        let victim = dev
+            .launch(0, KernelSpec::new("victim", fill_then_probe(0, 800), LaunchConfig::new(1, 32)))
+            .unwrap();
+        // Attacker fills the same set from its own array while the victim waits.
+        dev.launch(1, KernelSpec::new("attacker", fill_then_probe(2048, 1), LaunchConfig::new(15, 32)))
+            .unwrap();
+        dev.run_until_idle(10_000_000).unwrap();
+        let lat = dev.results(victim).unwrap().flat_results()[0];
+        assert!(lat < 80, "partitioned victim must still hit its lines, got {lat}");
+    }
+
+    #[test]
+    fn instruction_stats_count_exactly() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let mut b = ProgramBuilder::new();
+        b.fu(FuOpKind::SpAdd); // 1 fu
+        b.fu(FuOpKind::SpSinf); // 2 fu
+        b.mov_imm(Reg(0), 64);
+        b.const_load(Reg(0)); // 1 mem
+        b.push_result(Reg(0));
+        // + implicit halt: total 6 instructions per warp, 2 warps.
+        let k = dev
+            .launch(0, KernelSpec::new("t", b.build().unwrap(), LaunchConfig::new(1, 64)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let r = dev.results(k).unwrap();
+        assert_eq!(r.instruction_mix(), (12, 4, 2));
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulator error type.
+
+use crate::kernel::KernelId;
+use gpgpu_spec::SpecError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulator host API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A launch configuration failed validation against the device.
+    Launch(SpecError),
+    /// `run_until_idle` hit its cycle limit before the device drained —
+    /// either the workload is larger than expected or two kernels
+    /// deadlocked (e.g. a covert-channel handshake without timeouts).
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Blocks remain queued but every resident warp has halted and no block
+    /// can ever be placed (a block demands more than an idle SM's capacity
+    /// combined with the current residency). Cannot normally happen because
+    /// launches are validated, but guards the engine loop.
+    SchedulerStuck,
+    /// The queried kernel ID was never launched on this device.
+    UnknownKernel(KernelId),
+    /// The queried kernel has not completed yet.
+    KernelNotComplete(KernelId),
+    /// An instruction requires a unit class this device lacks (e.g. a
+    /// double-precision op on the Maxwell Quadro M4000).
+    UnsupportedInstruction {
+        /// Description of the unsupported operation.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Launch(e) => write!(f, "launch rejected: {e}"),
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "device did not drain within {limit} cycles")
+            }
+            SimError::SchedulerStuck => {
+                write!(f, "blocks remain queued but no progress is possible")
+            }
+            SimError::UnknownKernel(id) => write!(f, "unknown kernel id {id:?}"),
+            SimError::KernelNotComplete(id) => write!(f, "kernel {id:?} has not completed"),
+            SimError::UnsupportedInstruction { what } => {
+                write!(f, "unsupported instruction: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Launch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Launch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Launch(SpecError::ZeroLaunchField { field: "threads" });
+        assert!(e.to_string().contains("launch rejected"));
+        assert!(e.source().is_some());
+        assert!(SimError::SchedulerStuck.source().is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Kernel launch descriptors, lifecycle state and host-visible results.
+
+use gpgpu_isa::Program;
+use gpgpu_spec::LaunchConfig;
+use std::sync::Arc;
+
+/// Opaque handle to a launched kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub u32);
+
+/// What the host submits: a name (for diagnostics), a program and a launch
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Diagnostic name (e.g. `"spy"` / `"trojan"` / `"rodinia-hotspot"`).
+    pub name: String,
+    /// The warp program every warp of the grid executes.
+    pub program: Arc<Program>,
+    /// Grid/block shape and per-block resources.
+    pub launch: LaunchConfig,
+}
+
+impl KernelSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, program: Program, launch: LaunchConfig) -> Self {
+        KernelSpec { name: name.into(), program: Arc::new(program), launch }
+    }
+}
+
+/// Completion record of one thread block: where it ran and when — the
+/// observables the paper uses to reverse engineer the block scheduler
+/// (Section 3.1: "we read the SM ID register (smid) for each block ... and
+/// use the clock() function to measure the start time and stop time").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Linear block index within the grid.
+    pub block_id: u32,
+    /// SM the block executed on.
+    pub sm_id: u32,
+    /// Cycle the block was placed on its SM.
+    pub start_cycle: u64,
+    /// Cycle the block's last warp halted.
+    pub end_cycle: u64,
+    /// Total instructions executed by the block's warps.
+    pub instructions: u64,
+    /// Functional-unit operations executed.
+    pub fu_ops: u64,
+    /// Memory operations executed (constant/global/shared/atomic).
+    pub mem_ops: u64,
+    /// Result buffers of the block's warps, indexed by warp-in-block.
+    pub warp_results: Vec<Vec<u64>>,
+}
+
+/// Host-visible outcome of a completed kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelResults {
+    /// The kernel's id.
+    pub id: KernelId,
+    /// The kernel's diagnostic name.
+    pub name: String,
+    /// Cycle the launch command was submitted.
+    pub submitted_at: u64,
+    /// Cycle the kernel became eligible for block dispatch (submission plus
+    /// launch overhead and jitter).
+    pub arrived_at: u64,
+    /// Cycle the last block completed.
+    pub completed_at: u64,
+    /// Per-block records, ordered by block id.
+    pub blocks: Vec<BlockRecord>,
+}
+
+impl KernelResults {
+    /// All result values pushed by all warps, ordered by
+    /// (block, warp-in-block, push order).
+    pub fn flat_results(&self) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.warp_results.iter().flatten().copied())
+            .collect()
+    }
+
+    /// The set of SM ids this kernel's blocks ran on, sorted, deduplicated.
+    pub fn sms_used(&self) -> Vec<u32> {
+        let mut sms: Vec<u32> = self.blocks.iter().map(|b| b.sm_id).collect();
+        sms.sort_unstable();
+        sms.dedup();
+        sms
+    }
+
+    /// Total instructions executed by the kernel.
+    pub fn total_instructions(&self) -> u64 {
+        self.blocks.iter().map(|b| b.instructions).sum()
+    }
+
+    /// `(instructions, fu_ops, mem_ops)` across the kernel.
+    pub fn instruction_mix(&self) -> (u64, u64, u64) {
+        self.blocks.iter().fold((0, 0, 0), |(i, f, m), b| {
+            (i + b.instructions, f + b.fu_ops, m + b.mem_ops)
+        })
+    }
+
+    /// Results of one block's warp, if present.
+    pub fn warp_results(&self, block_id: u32, warp_in_block: u32) -> Option<&[u64]> {
+        self.blocks
+            .iter()
+            .find(|b| b.block_id == block_id)
+            .and_then(|b| b.warp_results.get(warp_in_block as usize))
+            .map(|v| v.as_slice())
+    }
+}
+
+/// Lifecycle state of a launched kernel (simulator-internal).
+#[derive(Debug)]
+pub(crate) struct KernelState {
+    pub spec: KernelSpec,
+    pub stream: crate::StreamId,
+    pub submitted_at: u64,
+    /// When the kernel's blocks become eligible for dispatch.
+    pub arrival: u64,
+    /// Next block index awaiting placement.
+    pub next_block: u32,
+    /// Blocks that were preempted and await re-placement (SMK policy).
+    pub retry_blocks: Vec<u32>,
+    /// Number of blocks that have fully completed.
+    pub blocks_done: u32,
+    /// Per-block completion records (filled as blocks finish).
+    pub records: Vec<BlockRecord>,
+    pub completed_at: Option<u64>,
+}
+
+impl KernelState {
+    pub fn all_blocks_placed(&self) -> bool {
+        self.next_block >= self.spec.launch.grid_blocks && self.retry_blocks.is_empty()
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.blocks_done >= self.spec.launch.grid_blocks
+    }
+
+    /// Takes the next block awaiting placement (preempted blocks first).
+    pub fn pop_next_block(&mut self) -> Option<u32> {
+        if let Some(b) = self.retry_blocks.pop() {
+            return Some(b);
+        }
+        if self.next_block < self.spec.launch.grid_blocks {
+            let b = self.next_block;
+            self.next_block += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a block to the placement queue without consuming it (used
+    /// when no SM can host it yet).
+    pub fn push_back_block(&mut self, block_id: u32) {
+        if block_id + 1 == self.next_block && self.retry_blocks.is_empty() {
+            self.next_block = block_id;
+        } else {
+            self.retry_blocks.push(block_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_isa::ProgramBuilder;
+
+    fn results() -> KernelResults {
+        KernelResults {
+            id: KernelId(3),
+            name: "t".into(),
+            submitted_at: 0,
+            arrived_at: 10,
+            completed_at: 100,
+            blocks: vec![
+                BlockRecord {
+                    block_id: 0,
+                    sm_id: 2,
+                    start_cycle: 10,
+                    end_cycle: 50,
+                    instructions: 12,
+                    fu_ops: 3,
+                    mem_ops: 2,
+                    warp_results: vec![vec![1, 2], vec![3]],
+                },
+                BlockRecord {
+                    block_id: 1,
+                    sm_id: 0,
+                    start_cycle: 11,
+                    end_cycle: 60,
+                    instructions: 8,
+                    fu_ops: 1,
+                    mem_ops: 4,
+                    warp_results: vec![vec![4]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn flat_results_preserve_order() {
+        assert_eq!(results().flat_results(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sms_used_is_sorted_dedup() {
+        assert_eq!(results().sms_used(), vec![0, 2]);
+    }
+
+    #[test]
+    fn warp_results_lookup() {
+        let r = results();
+        assert_eq!(r.warp_results(0, 1), Some(&[3u64][..]));
+        assert_eq!(r.warp_results(1, 0), Some(&[4u64][..]));
+        assert_eq!(r.warp_results(1, 9), None);
+        assert_eq!(r.warp_results(9, 0), None);
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let r = results();
+        assert_eq!(r.total_instructions(), 20);
+        assert_eq!(r.instruction_mix(), (20, 4, 6));
+    }
+
+    #[test]
+    fn kernel_spec_constructor() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let s = KernelSpec::new("x", b.build().unwrap(), gpgpu_spec::LaunchConfig::new(1, 32));
+        assert_eq!(s.name, "x");
+        assert_eq!(s.launch.grid_blocks, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Cycle-level GPGPU simulator for the `gpgpu-covert` workspace.
+//!
+//! This crate is the execution substrate standing in for the three physical
+//! NVIDIA GPUs of the paper (see `DESIGN.md` for the substitution argument).
+//! It models exactly the microarchitectural structures the paper's covert
+//! channels exploit:
+//!
+//! * a **leftover-policy block scheduler**: blocks are placed round-robin
+//!   over SMs with per-SM accounting of threads, blocks, shared memory and
+//!   registers; blocks that do not fit queue until resources free
+//!   (paper Section 3.1);
+//! * **round-robin warp → warp-scheduler assignment** within each SM;
+//! * **per-warp-scheduler functional-unit issue ports**, so FU contention is
+//!   isolated to warps on the same scheduler (paper Section 5);
+//! * the **constant cache hierarchy**, **atomic units** and **global memory**
+//!   from `gpgpu-mem`;
+//! * **multi-stream host API** with a configurable kernel-launch overhead
+//!   and optional launch jitter (the noise source behind the paper's
+//!   Figure 5 error-rate curves).
+//!
+//! # Example
+//!
+//! ```
+//! use gpgpu_sim::{Device, KernelSpec};
+//! use gpgpu_spec::{presets, LaunchConfig};
+//! use gpgpu_isa::{ProgramBuilder, Reg, Special};
+//!
+//! // Read %smid from every block of a 15-block kernel (the paper's
+//! // block-scheduler reverse-engineering probe).
+//! let mut b = ProgramBuilder::new();
+//! b.read_special(Reg(0), Special::SmId);
+//! b.push_result(Reg(0));
+//! let program = b.build()?;
+//!
+//! let mut dev = Device::new(presets::tesla_k40c());
+//! let k = dev.launch(0, KernelSpec::new("probe", program, LaunchConfig::new(15, 128)))?;
+//! dev.run_until_idle(1_000_000)?;
+//! let results = dev.results(k)?;
+//! assert_eq!(results.blocks.len(), 15);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod device;
+mod error;
+mod kernel;
+mod policy;
+mod sm;
+mod tuning;
+mod warp;
+
+pub use device::Device;
+pub use error::SimError;
+pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
+pub use policy::PlacementPolicy;
+pub use tuning::DeviceTuning;
+pub use warp::{Warp, WarpState};
+
+/// Stream identifier. Kernels launched on the same stream execute in launch
+/// order; kernels on different streams may execute concurrently — the
+/// multiprogramming mechanism the paper uses ("we utilized streams for
+/// multiprogramming on GPU", Section 2).
+pub type StreamId = u32;

@@ -1,0 +1,77 @@
+//! Block-placement policies.
+//!
+//! The paper's Section 3.2 analyzes how its co-location techniques carry
+//! over to multiprogramming schedulers proposed in the literature. The
+//! simulator implements all four families so those claims are testable:
+//!
+//! * [`PlacementPolicy::Leftover`] — current GPUs (the default): blocks are
+//!   placed round-robin wherever leftover capacity allows; strictly
+//!   non-preemptive; blocks queue when nothing fits.
+//! * [`PlacementPolicy::SmkPreemptive`] — Wang et al.'s *Simultaneous
+//!   Multikernel*: a newly arrived kernel may preempt resident blocks of
+//!   kernels holding more than one block on the victim SM ("those thread
+//!   blocks of previously scheduled kernels that have the highest resource
+//!   usage on the victim SM may be preempted"). A kernel with a single
+//!   block per SM is never preempted — the guarantee the paper's spy and
+//!   trojan exploit.
+//! * [`PlacementPolicy::WarpedSlicer`] — Xu et al.'s intra-SM partitioning:
+//!   non-preemptive like leftover, but placement is best-fit (the SM with
+//!   the most free capacity) instead of round-robin, co-scheduling kernels
+//!   whose resource profiles are compatible.
+//! * [`PlacementPolicy::InterSmPartition`] — Adriaens et al. / Tanasic et
+//!   al.: multiprogramming at whole-SM granularity; an SM hosts blocks of
+//!   at most one kernel at a time, so intra-SM channels are impossible and
+//!   only the inter-SM (L2, atomic) channels remain.
+/// A block-placement policy (see the module docs for the literature each
+/// variant models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Non-preemptive leftover policy (current GPUs).
+    #[default]
+    Leftover,
+    /// Wang et al. simultaneous multikernel with block-granularity
+    /// preemption.
+    SmkPreemptive,
+    /// Xu et al. Warped-Slicer: non-preemptive best-fit intra-SM sharing.
+    WarpedSlicer,
+    /// Whole-SM spatial partitioning (Adriaens et al., Tanasic et al.).
+    InterSmPartition,
+}
+
+impl PlacementPolicy {
+    /// All policies, for sweep experiments.
+    pub const ALL: [PlacementPolicy; 4] = [
+        PlacementPolicy::Leftover,
+        PlacementPolicy::SmkPreemptive,
+        PlacementPolicy::WarpedSlicer,
+        PlacementPolicy::InterSmPartition,
+    ];
+
+    /// Whether the policy ever evicts a resident block.
+    pub fn is_preemptive(self) -> bool {
+        matches!(self, PlacementPolicy::SmkPreemptive)
+    }
+
+    /// Whether two kernels can ever share an SM under this policy.
+    pub fn allows_intra_sm_sharing(self) -> bool {
+        !matches!(self, PlacementPolicy::InterSmPartition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_leftover() {
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::Leftover);
+    }
+
+    #[test]
+    fn property_flags() {
+        assert!(PlacementPolicy::SmkPreemptive.is_preemptive());
+        assert!(!PlacementPolicy::WarpedSlicer.is_preemptive());
+        assert!(!PlacementPolicy::InterSmPartition.allows_intra_sm_sharing());
+        assert!(PlacementPolicy::Leftover.allows_intra_sm_sharing());
+    }
+}

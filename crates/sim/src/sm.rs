@@ -1,0 +1,747 @@
+//! The streaming-multiprocessor model: resident warps, warp schedulers with
+//! per-scheduler functional-unit ports, and per-SM resource accounting.
+
+use crate::kernel::{BlockRecord, KernelId};
+use crate::warp::{Warp, WarpState};
+use gpgpu_isa::{Instr, LanePattern, Operand, Special};
+use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory, PortSet};
+use gpgpu_spec::{Architecture, BlockResources, FuOpKind, FuTiming, FuUnit, SmSpec};
+use std::sync::Arc;
+
+/// Mutable references to the device-wide memory subsystems, threaded through
+/// the per-SM step so a single `&mut Device` borrow can be split.
+#[derive(Debug)]
+pub(crate) struct Subsystems<'a> {
+    pub const_mem: &'a mut ConstHierarchy,
+    pub atomics: &'a mut AtomicSystem,
+    pub gmem: &'a mut GlobalMemory,
+}
+
+/// A thread block currently resident on this SM.
+#[derive(Debug)]
+pub(crate) struct ResidentBlock {
+    pub kernel: KernelId,
+    pub block_id: u32,
+    pub warps_total: u32,
+    pub warps_halted: u32,
+    /// Warps currently parked at a `bar.sync`.
+    pub at_barrier: u32,
+    pub start_cycle: u64,
+    /// Resources to release at completion.
+    pub res: BlockResources,
+}
+
+/// Shared-memory banking constants (uniform across the modelled
+/// generations): 32 four-byte-word-interleaved banks, ~26-cycle base
+/// latency, 2 extra cycles per additional conflicting word.
+const SHARED_BANKS: u32 = 32;
+const SHARED_WORD_BYTES: u64 = 4;
+const SHARED_BASE_LATENCY: u64 = 26;
+const SHARED_CONFLICT_PENALTY: u64 = 2;
+
+fn unit_index(unit: FuUnit) -> usize {
+    match unit {
+        FuUnit::Sp => 0,
+        FuUnit::Dpu => 1,
+        FuUnit::Sfu => 2,
+        FuUnit::LdSt => 3,
+    }
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub(crate) struct Sm {
+    pub id: u32,
+    spec: SmSpec,
+    arch: Architecture,
+    pub warps: Vec<Warp>,
+    /// `fu_ports[scheduler][unit]`: issue ports for each scheduler's share
+    /// of each unit class. Contention through these ports is isolated per
+    /// scheduler — the paper's central Section 5 observation.
+    fu_ports: Vec<[PortSet; 4]>,
+    /// Per-scheduler round-robin cursor into `warps`.
+    cursor: Vec<usize>,
+    pub used_threads: u32,
+    pub used_blocks: u32,
+    pub used_shared: u64,
+    pub used_regs: u64,
+    pub resident: Vec<ResidentBlock>,
+    /// Per-SM shared-memory access port (bank conflicts serialize on it).
+    shared_port: PortSet,
+    /// `clock()` quantization (1 = exact) — Section-9 time fuzzing.
+    clock_quantum: u64,
+    /// Keyed-hash warp->scheduler assignment seed — Section-9 scheduler
+    /// randomization. `None` = round-robin (real hardware).
+    sched_seed: Option<u64>,
+}
+
+impl Sm {
+    #[cfg(test)]
+    pub fn new(id: u32, spec: SmSpec, arch: Architecture) -> Self {
+        Self::new_tuned(id, spec, arch, 1, None)
+    }
+
+    pub fn new_tuned(
+        id: u32,
+        spec: SmSpec,
+        arch: Architecture,
+        clock_quantum: u64,
+        sched_seed: Option<u64>,
+    ) -> Self {
+        let nsched = spec.num_warp_schedulers as usize;
+        let ports_for = |unit: FuUnit| -> PortSet {
+            PortSet::new(spec.pools.scheduler_ports(unit, spec.num_warp_schedulers))
+        };
+        let fu_ports = (0..nsched)
+            .map(|_| {
+                [
+                    ports_for(FuUnit::Sp),
+                    ports_for(FuUnit::Dpu),
+                    ports_for(FuUnit::Sfu),
+                    ports_for(FuUnit::LdSt),
+                ]
+            })
+            .collect();
+        Sm {
+            id,
+            spec,
+            arch,
+            warps: Vec::new(),
+            fu_ports,
+            cursor: vec![0; nsched],
+            used_threads: 0,
+            used_blocks: 0,
+            used_shared: 0,
+            used_regs: 0,
+            resident: Vec::new(),
+            shared_port: PortSet::new(1),
+            clock_quantum: clock_quantum.max(1),
+            sched_seed,
+        }
+    }
+
+    /// Whether a block with resources `res` fits in the current leftover
+    /// capacity (leftover policy, paper Section 3.1).
+    pub fn block_fits(&self, res: &BlockResources) -> bool {
+        self.used_blocks < self.spec.max_blocks
+            && self.used_threads + res.threads <= self.spec.max_threads
+            && self.used_shared + res.shared_mem_bytes <= self.spec.shared_mem_bytes
+            && self.used_regs + res.total_registers() <= u64::from(self.spec.registers)
+    }
+
+    /// Places one block: charges resources and creates its warps, assigning
+    /// them to warp schedulers round-robin by warp index.
+    pub fn place_block(
+        &mut self,
+        kernel: KernelId,
+        block_id: u32,
+        grid_blocks: u32,
+        res: BlockResources,
+        program: &Arc<gpgpu_isa::Program>,
+        now: u64,
+    ) {
+        debug_assert!(self.block_fits(&res));
+        self.used_blocks += 1;
+        self.used_threads += res.threads;
+        self.used_shared += res.shared_mem_bytes;
+        self.used_regs += res.total_registers();
+        let warps = res.warps();
+        self.resident.push(ResidentBlock {
+            kernel,
+            block_id,
+            warps_total: warps,
+            warps_halted: 0,
+            at_barrier: 0,
+            start_cycle: now,
+            res,
+        });
+        for w in 0..warps {
+            let mut regs = [0u64; gpgpu_isa::NUM_REGS as usize];
+            // r63 is conventionally preloaded with the grid block count so
+            // programs can size loops without an extra instruction.
+            regs[(gpgpu_isa::NUM_REGS - 1) as usize] = u64::from(grid_blocks);
+            let scheduler = match self.sched_seed {
+                // Round-robin, as reverse engineered on real GPUs (§3.1).
+                None => w % self.spec.num_warp_schedulers,
+                // Randomized assignment (§9 mitigation): keyed hash over
+                // (seed, kernel, block, warp).
+                Some(seed) => {
+                    let key = seed
+                        ^ (u64::from(kernel.0) << 40)
+                        ^ (u64::from(block_id) << 20)
+                        ^ u64::from(w);
+                    (crate::tuning::splitmix64(key) % u64::from(self.spec.num_warp_schedulers))
+                        as u32
+                }
+            };
+            self.warps.push(Warp {
+                pc: 0,
+                regs,
+                state: WarpState::Ready,
+                results: Vec::new(),
+                instructions: 0,
+                fu_ops: 0,
+                mem_ops: 0,
+                kernel,
+                block_id,
+                warp_in_block: w,
+                scheduler,
+                program: Arc::clone(program),
+            });
+        }
+    }
+
+    /// Runs one cycle: each scheduler issues up to its dispatch width of
+    /// ready warps. Returns `(issued_any, finished_blocks)`.
+    pub fn step(
+        &mut self,
+        now: u64,
+        subs: &mut Subsystems<'_>,
+    ) -> (bool, Vec<(KernelId, BlockRecord)>) {
+        let nsched = self.spec.num_warp_schedulers as usize;
+        let dispatch = self.spec.dispatch_per_scheduler() as usize;
+        let n = self.warps.len();
+        let mut issued_any = false;
+        if n > 0 {
+            for sched in 0..nsched {
+                let mut issued = 0;
+                let start = self.cursor[sched] % n;
+                for k in 0..n {
+                    let idx = (start + k) % n;
+                    if self.warps[idx].scheduler as usize == sched
+                        && self.warps[idx].is_ready(now)
+                    {
+                        self.execute(idx, now, subs);
+                        issued_any = true;
+                        issued += 1;
+                        if issued >= dispatch {
+                            self.cursor[sched] = (idx + 1) % n;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let finished = self.collect_finished_blocks(now);
+        (issued_any, finished)
+    }
+
+    /// Whether the SM hosts blocks of any kernel other than `kernel`.
+    pub fn hosts_other_kernel(&self, kernel: KernelId) -> bool {
+        self.resident.iter().any(|r| r.kernel != kernel)
+    }
+
+    /// Number of resident blocks belonging to `kernel`.
+    pub fn blocks_of(&self, kernel: KernelId) -> u32 {
+        self.resident.iter().filter(|r| r.kernel == kernel).count() as u32
+    }
+
+    /// A free-capacity score in [0, 2]: the fraction of free threads plus
+    /// the fraction of free shared memory (Warped-Slicer best-fit metric).
+    pub fn free_capacity_score(&self) -> f64 {
+        let threads =
+            1.0 - f64::from(self.used_threads) / f64::from(self.spec.max_threads);
+        let smem = 1.0 - self.used_shared as f64 / self.spec.shared_mem_bytes as f64;
+        threads + smem
+    }
+
+    /// SMK preemption victim selection: among resident blocks whose kernel
+    /// holds *more than one* block on this SM (single-block kernels are
+    /// protected — the guarantee the paper's attack relies on) and is not
+    /// `requester`, the block with the highest resource usage.
+    pub fn preemption_victim(&self, requester: KernelId) -> Option<(KernelId, u32)> {
+        self.resident
+            .iter()
+            .filter(|r| r.kernel != requester && self.blocks_of(r.kernel) > 1)
+            .max_by_key(|r| {
+                (r.res.shared_mem_bytes, r.res.threads, r.res.total_registers())
+            })
+            .map(|r| (r.kernel, r.block_id))
+    }
+
+    /// Evicts a resident block (block-granularity preemption, Wang et al.):
+    /// frees its resources and discards its warps. The caller re-queues the
+    /// block; on re-placement it restarts from scratch — an approximation
+    /// of SMK's context save/restore that is exact for the idempotent probe
+    /// kernels used throughout this workspace.
+    pub fn preempt_block(&mut self, kernel: KernelId, block_id: u32) {
+        let pos = self
+            .resident
+            .iter()
+            .position(|r| r.kernel == kernel && r.block_id == block_id)
+            .expect("preemption victim is resident");
+        let rb = self.resident.swap_remove(pos);
+        self.used_blocks -= 1;
+        self.used_threads -= rb.res.threads;
+        self.used_shared -= rb.res.shared_mem_bytes;
+        self.used_regs -= rb.res.total_registers();
+        self.warps
+            .retain(|w| !(w.kernel == kernel && w.block_id == block_id));
+        for c in &mut self.cursor {
+            *c = 0;
+        }
+    }
+
+    /// Earliest wake time among resident warps, if any warp is still live.
+    pub fn next_wake(&self, now: u64) -> Option<u64> {
+        self.warps
+            .iter()
+            .filter_map(|w| w.wake_time())
+            .map(|t| t.max(now))
+            .min()
+    }
+
+    fn collect_finished_blocks(&mut self, now: u64) -> Vec<(KernelId, BlockRecord)> {
+        let mut records = Vec::new();
+        let mut b = 0;
+        while b < self.resident.len() {
+            if self.resident[b].warps_halted >= self.resident[b].warps_total {
+                let rb = self.resident.swap_remove(b);
+                // Release resources.
+                self.used_blocks -= 1;
+                self.used_threads -= rb.res.threads;
+                self.used_shared -= rb.res.shared_mem_bytes;
+                self.used_regs -= rb.res.total_registers();
+                // Harvest warp results (ordered by warp-in-block) and drop
+                // the block's warps from the residency list.
+                let mut warp_results = vec![Vec::new(); rb.warps_total as usize];
+                let (mut instructions, mut fu_ops, mut mem_ops) = (0u64, 0u64, 0u64);
+                let mut w = 0;
+                while w < self.warps.len() {
+                    let wp = &self.warps[w];
+                    if wp.kernel == rb.kernel && wp.block_id == rb.block_id {
+                        let warp = self.warps.remove(w);
+                        instructions += warp.instructions;
+                        fu_ops += warp.fu_ops;
+                        mem_ops += warp.mem_ops;
+                        warp_results[warp.warp_in_block as usize] = warp.results;
+                    } else {
+                        w += 1;
+                    }
+                }
+                records.push((
+                    rb.kernel,
+                    BlockRecord {
+                        block_id: rb.block_id,
+                        sm_id: self.id,
+                        start_cycle: rb.start_cycle,
+                        end_cycle: now,
+                        instructions,
+                        fu_ops,
+                        mem_ops,
+                        warp_results,
+                    },
+                ));
+            } else {
+                b += 1;
+            }
+        }
+        if !records.is_empty() {
+            // Warp indices shifted; reset cursors defensively.
+            for c in &mut self.cursor {
+                *c = 0;
+            }
+        }
+        records
+    }
+
+    fn execute(&mut self, idx: usize, now: u64, subs: &mut Subsystems<'_>) {
+        let instr = *self.warps[idx].program.fetch(self.warps[idx].pc);
+        self.warps[idx].instructions += 1;
+        match instr {
+            Instr::Fu { .. } => self.warps[idx].fu_ops += 1,
+            Instr::ConstLoad { .. }
+            | Instr::GlobalLoad { .. }
+            | Instr::GlobalStore { .. }
+            | Instr::SharedLoad { .. }
+            | Instr::SharedStore { .. }
+            | Instr::AtomicAdd { .. } => self.warps[idx].mem_ops += 1,
+            _ => {}
+        }
+        // Default: consume this issue slot; one instruction per cycle.
+        let mut next_state = WarpState::Blocked { until: now + 1 };
+        let mut next_pc = self.warps[idx].pc + 1;
+        match instr {
+            Instr::MovImm { rd, imm } => self.warps[idx].regs[rd.0 as usize] = imm,
+            Instr::Mov { rd, rs } => {
+                self.warps[idx].regs[rd.0 as usize] = self.warps[idx].regs[rs.0 as usize]
+            }
+            Instr::Add { rd, ra, rb } => {
+                let v = self.warps[idx].regs[ra.0 as usize]
+                    .wrapping_add(self.warps[idx].regs[rb.0 as usize]);
+                self.warps[idx].regs[rd.0 as usize] = v;
+            }
+            Instr::Sub { rd, ra, rb } => {
+                let v = self.warps[idx].regs[ra.0 as usize]
+                    .wrapping_sub(self.warps[idx].regs[rb.0 as usize]);
+                self.warps[idx].regs[rd.0 as usize] = v;
+            }
+            Instr::AddImm { rd, ra, imm } => {
+                self.warps[idx].regs[rd.0 as usize] =
+                    self.warps[idx].regs[ra.0 as usize].wrapping_add(imm);
+            }
+            Instr::MulImm { rd, ra, imm } => {
+                self.warps[idx].regs[rd.0 as usize] =
+                    self.warps[idx].regs[ra.0 as usize].wrapping_mul(imm);
+            }
+            Instr::AndImm { rd, ra, imm } => {
+                self.warps[idx].regs[rd.0 as usize] = self.warps[idx].regs[ra.0 as usize] & imm;
+            }
+            Instr::Fu { op } => {
+                next_state = self.issue_fu(idx, op, now);
+            }
+            Instr::ConstLoad { addr } => {
+                let a = self.warps[idx].regs[addr.0 as usize];
+                let domain = self.warps[idx].kernel.0;
+                let access = subs.const_mem.access(self.id as usize, a, now, domain);
+                next_state = WarpState::Blocked { until: access.completes_at };
+            }
+            Instr::GlobalLoad { base, pattern } => {
+                let addrs = self.lane_addrs(idx, base, pattern);
+                // LD/ST replay: the instruction re-issues once per coalesced
+                // transaction, so poorly coalesced accesses serialize at the
+                // warp's own LD/ST port (the self-timing artifact of the
+                // paper's Section 10 / Jiang et al.).
+                let replays = subs.gmem.transactions(addrs.iter().copied());
+                let start = self.acquire_ldst_n(idx, now, replays);
+                let done = subs.gmem.load(addrs, start);
+                next_state = WarpState::Blocked { until: done };
+            }
+            Instr::GlobalStore { base, pattern } => {
+                let addrs = self.lane_addrs(idx, base, pattern);
+                let replays = subs.gmem.transactions(addrs.iter().copied());
+                let start = self.acquire_ldst_n(idx, now, replays);
+                let issue_done = subs.gmem.store(addrs, start);
+                next_state = WarpState::Blocked { until: issue_done };
+            }
+            Instr::SharedLoad { base, pattern } | Instr::SharedStore { base, pattern } => {
+                let start = self.acquire_ldst(idx, now);
+                let addrs = self.lane_addrs(idx, base, pattern);
+                let degree = u64::from(gpgpu_mem::bank_conflict_degree(
+                    addrs,
+                    SHARED_BANKS,
+                    SHARED_WORD_BYTES,
+                ));
+                // The banks are pipelined: a conflicted access serializes
+                // *its own* warp (latency tail) but occupies the SM's
+                // shared-memory port for only one issue slot, so competing
+                // warps barely notice — the mechanism behind the paper's
+                // Section-10 negative result that bank conflicts do not
+                // transfer into a covert channel.
+                let port_start = self.shared_port.acquire(start, 1);
+                next_state = WarpState::Blocked {
+                    until: port_start + SHARED_BASE_LATENCY
+                        + (degree - 1) * SHARED_CONFLICT_PENALTY,
+                };
+            }
+            Instr::AtomicAdd { base, pattern } => {
+                let start = self.acquire_ldst(idx, now);
+                let addrs = self.lane_addrs(idx, base, pattern);
+                let done = subs.atomics.access(addrs, start);
+                next_state = WarpState::Blocked { until: done };
+            }
+            Instr::ReadClock { rd } => {
+                // Quantized under time fuzzing (exact when quantum = 1).
+                self.warps[idx].regs[rd.0 as usize] = now - now % self.clock_quantum;
+            }
+            Instr::ReadSpecial { rd, special } => {
+                let v = match special {
+                    Special::SmId => u64::from(self.id),
+                    Special::BlockId => u64::from(self.warps[idx].block_id),
+                    Special::WarpIdInBlock => u64::from(self.warps[idx].warp_in_block),
+                    Special::SchedulerId => u64::from(self.warps[idx].scheduler),
+                    Special::GridBlocks => {
+                        self.warps[idx].regs[(gpgpu_isa::NUM_REGS - 1) as usize]
+                    }
+                };
+                self.warps[idx].regs[rd.0 as usize] = v;
+            }
+            Instr::PushResult { value } => {
+                let v = self.warps[idx].regs[value.0 as usize];
+                self.warps[idx].results.push(v);
+            }
+            Instr::Branch { cond, a, b, target } => {
+                let av = self.warps[idx].regs[a.0 as usize];
+                let bv = match b {
+                    Operand::Reg(r) => self.warps[idx].regs[r.0 as usize],
+                    Operand::Imm(i) => i,
+                };
+                if cond.eval(av, bv) {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => next_pc = target,
+            Instr::BarSync => {
+                let (kernel, block_id) = (self.warps[idx].kernel, self.warps[idx].block_id);
+                let rb = self
+                    .resident
+                    .iter_mut()
+                    .find(|r| r.kernel == kernel && r.block_id == block_id)
+                    .expect("warp at barrier belongs to a resident block");
+                rb.at_barrier += 1;
+                if rb.at_barrier >= rb.warps_total - rb.warps_halted {
+                    // Last arrival: release the whole block.
+                    rb.at_barrier = 0;
+                    for w in &mut self.warps {
+                        if w.kernel == kernel
+                            && w.block_id == block_id
+                            && w.state == WarpState::AtBarrier
+                        {
+                            w.state = WarpState::Blocked { until: now + 1 };
+                        }
+                    }
+                    next_state = WarpState::Blocked { until: now + 1 };
+                } else {
+                    next_state = WarpState::AtBarrier;
+                }
+            }
+            Instr::Halt => {
+                next_state = WarpState::Halted;
+                let (kernel, block_id) = (self.warps[idx].kernel, self.warps[idx].block_id);
+                let rb = self
+                    .resident
+                    .iter_mut()
+                    .find(|r| r.kernel == kernel && r.block_id == block_id)
+                    .expect("halting warp belongs to a resident block");
+                rb.warps_halted += 1;
+                // A halting warp may be the last one a barrier was waiting
+                // for.
+                if rb.warps_halted < rb.warps_total
+                    && rb.at_barrier >= rb.warps_total - rb.warps_halted
+                {
+                    rb.at_barrier = 0;
+                    for w in &mut self.warps {
+                        if w.kernel == kernel
+                            && w.block_id == block_id
+                            && w.state == WarpState::AtBarrier
+                        {
+                            w.state = WarpState::Blocked { until: now + 1 };
+                        }
+                    }
+                }
+            }
+        }
+        self.warps[idx].pc = next_pc;
+        self.warps[idx].state = next_state;
+    }
+
+    fn issue_fu(&mut self, idx: usize, op: FuOpKind, now: u64) -> WarpState {
+        let unit = op.unit();
+        let sched = self.warps[idx].scheduler as usize;
+        let nsched = self.spec.num_warp_schedulers;
+        let timing = FuTiming::for_op(self.arch, op);
+        let occupancy =
+            u64::from(self.spec.pools.issue_occupancy(unit, nsched)) * u64::from(timing.micro_ops);
+        let start = self.fu_ports[sched][unit_index(unit)].acquire(now, occupancy);
+        WarpState::Blocked { until: start + occupancy + u64::from(timing.pipeline_depth) }
+    }
+
+    fn acquire_ldst(&mut self, idx: usize, now: u64) -> u64 {
+        self.acquire_ldst_n(idx, now, 1)
+    }
+
+    /// Issues a memory instruction that replays `replays` times (once per
+    /// coalesced transaction). The replays serialize the *issuing warp* —
+    /// each re-issue waits its turn — but they are interleaved fairly with
+    /// other warps' accesses by the scheduler, so the port is charged only
+    /// one base occupancy: the self-timing cost of poor coalescing is
+    /// large while the cost to competitors stays negligible (the paper's
+    /// Section-10 observation).
+    fn acquire_ldst_n(&mut self, idx: usize, now: u64, replays: u64) -> u64 {
+        let sched = self.warps[idx].scheduler as usize;
+        let occupancy = u64::from(
+            self.spec.pools.issue_occupancy(FuUnit::LdSt, self.spec.num_warp_schedulers),
+        );
+        let start = self.fu_ports[sched][unit_index(FuUnit::LdSt)].acquire(now, occupancy);
+        start + occupancy * replays.max(1)
+    }
+
+    fn lane_addrs(
+        &self,
+        idx: usize,
+        base: gpgpu_isa::Reg,
+        pattern: LanePattern,
+    ) -> Vec<u64> {
+        let b = self.warps[idx].regs[base.0 as usize];
+        pattern.lane_addrs(b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_isa::ProgramBuilder;
+    use gpgpu_spec::presets;
+
+    fn subsystems(dev: &gpgpu_spec::DeviceSpec) -> (ConstHierarchy, AtomicSystem, GlobalMemory) {
+        (
+            ConstHierarchy::new(dev.num_sms, &dev.const_l1, &dev.const_l2, &dev.mem),
+            AtomicSystem::new(&dev.mem, dev.architecture.has_l2_atomics()),
+            GlobalMemory::new(&dev.mem),
+        )
+    }
+
+    #[test]
+    fn warps_assigned_round_robin_to_schedulers() {
+        let dev = presets::tesla_k40c();
+        let mut sm = Sm::new(0, dev.sm, dev.architecture);
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let res = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 16 };
+        sm.place_block(KernelId(0), 0, 1, res, &p, 0);
+        let scheds: Vec<u32> = sm.warps.iter().map(|w| w.scheduler).collect();
+        assert_eq!(scheds, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn resources_charged_and_released() {
+        let dev = presets::tesla_k40c();
+        let mut sm = Sm::new(0, dev.sm, dev.architecture);
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let res =
+            BlockResources { threads: 128, shared_mem_bytes: 1024, registers_per_thread: 16 };
+        sm.place_block(KernelId(0), 0, 1, res, &p, 0);
+        assert_eq!(sm.used_threads, 128);
+        assert_eq!(sm.used_shared, 1024);
+        let (c, a, g) = &mut subsystems(&dev);
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
+        let (_, finished) = sm.step(0, &mut subs);
+        assert_eq!(finished.len(), 1);
+        assert_eq!(sm.used_threads, 0);
+        assert_eq!(sm.used_shared, 0);
+        assert!(sm.warps.is_empty());
+    }
+
+    #[test]
+    fn block_fits_respects_every_limit() {
+        let dev = presets::tesla_k40c();
+        let sm = Sm::new(0, dev.sm, dev.architecture);
+        let fits = |t, s, r| {
+            sm.block_fits(&BlockResources {
+                threads: t,
+                shared_mem_bytes: s,
+                registers_per_thread: r,
+            })
+        };
+        assert!(fits(2048, 48 * 1024, 16));
+        assert!(!fits(2049, 0, 0));
+        assert!(!fits(32, 48 * 1024 + 1, 0));
+        assert!(!fits(1024, 0, 128)); // 131072 regs > 65536
+    }
+
+    #[test]
+    fn fu_contention_isolated_to_same_scheduler() {
+        // Two warps on different schedulers issuing __sinf in the same cycle
+        // both observe base latency; two on the same scheduler queue.
+        let dev = presets::tesla_k40c();
+        let mut sm = Sm::new(0, dev.sm, dev.architecture);
+        let mut b = ProgramBuilder::new();
+        b.fu(gpgpu_spec::FuOpKind::SpSinf);
+        let p = Arc::new(b.build().unwrap());
+        // 8 warps: schedulers 0..3,0..3.
+        let res = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 16 };
+        sm.place_block(KernelId(0), 0, 1, res, &p, 0);
+        let (c, a, g) = &mut subsystems(&dev);
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
+        sm.step(0, &mut subs);
+        // Kepler dispatches 2 warps/scheduler/cycle: warps 0..7 all issued in
+        // cycle 0. Same-scheduler pairs (0,4), (1,5)... queue on the SFU port.
+        let until: Vec<u64> = sm
+            .warps
+            .iter()
+            .map(|w| match w.state {
+                WarpState::Blocked { until } => until,
+                _ => 0,
+            })
+            .collect();
+        // First warp of each scheduler: occupancy 4 + depth 14 = 18.
+        assert_eq!(until[0], 18);
+        assert_eq!(until[1], 18);
+        // Second warp on the same scheduler starts after the first's
+        // occupancy: 4 + 4 + 14 = 22.
+        assert_eq!(until[4], 22);
+        assert_eq!(until[5], 22);
+    }
+
+    #[test]
+    fn halt_completes_block_once_all_warps_halt() {
+        let dev = presets::tesla_k40c();
+        let mut sm = Sm::new(0, dev.sm, dev.architecture);
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let res = BlockResources { threads: 64, shared_mem_bytes: 0, registers_per_thread: 16 };
+        sm.place_block(KernelId(0), 0, 1, res, &p, 0);
+        let (c, a, g) = &mut subsystems(&dev);
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
+        // Both warps are on different schedulers; both halt in cycle 0.
+        let (_, finished) = sm.step(0, &mut subs);
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].0, KernelId(0));
+        assert_eq!(finished[0].1.warp_results.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use crate::{Device, KernelSpec};
+    use gpgpu_isa::{ProgramBuilder, Reg, Special};
+    use gpgpu_spec::{presets, FuOpKind, LaunchConfig};
+
+    #[test]
+    fn barrier_synchronizes_warps_of_a_block() {
+        // Warp 0 does a long FU burst before the barrier; warp 1 reads the
+        // clock after the barrier — it must observe a time >= warp 0's
+        // pre-barrier work.
+        let mut b = ProgramBuilder::new();
+        let (w, t) = (Reg(10), Reg(11));
+        b.read_special(w, Special::WarpIdInBlock);
+        let skip = b.label();
+        b.branch(gpgpu_isa::Cond::Ne, w, gpgpu_isa::Operand::Imm(0), skip);
+        for _ in 0..20 {
+            b.fu(FuOpKind::SpSinf); // ~18 cycles each on Kepler
+        }
+        b.bind(skip);
+        b.bar_sync();
+        b.read_clock(t);
+        b.push_result(t);
+        let mut dev = Device::new(presets::tesla_k40c());
+        let k = dev
+            .launch(0, KernelSpec::new("bar", b.build().unwrap(), LaunchConfig::new(1, 64)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let r = dev.results(k).unwrap();
+        let t0 = r.warp_results(0, 0).unwrap()[0];
+        let t1 = r.warp_results(0, 1).unwrap()[0];
+        // Both released within a cycle of each other, after warp 0's burst.
+        assert!(t0.abs_diff(t1) <= 2, "barrier release skew: {t0} vs {t1}");
+        let arrival = r.arrived_at;
+        assert!(t1 - arrival >= 20 * 18, "warp 1 did not wait for warp 0's burst");
+    }
+
+    #[test]
+    fn halting_warp_releases_waiting_barrier() {
+        // Warp 0 halts immediately; warp 1 hits a barrier that only warp 1
+        // participates in (live warps = 1) — it must not deadlock.
+        let mut b = ProgramBuilder::new();
+        let w = Reg(10);
+        b.read_special(w, Special::WarpIdInBlock);
+        let go = b.label();
+        b.branch(gpgpu_isa::Cond::Eq, w, gpgpu_isa::Operand::Imm(1), go);
+        b.halt(); // warp 0 exits
+        b.bind(go);
+        b.fu(FuOpKind::SpAdd); // give warp 0 time to halt first
+        b.fu(FuOpKind::SpAdd);
+        b.bar_sync();
+        b.push_result(w);
+        let mut dev = Device::new(presets::tesla_k40c());
+        let k = dev
+            .launch(0, KernelSpec::new("bar2", b.build().unwrap(), LaunchConfig::new(1, 64)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        assert_eq!(dev.results(k).unwrap().warp_results(0, 1).unwrap(), &[1]);
+    }
+}

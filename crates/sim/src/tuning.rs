@@ -1,0 +1,92 @@
+//! Optional device hardening knobs — the mitigation classes of the paper's
+//! Section 9, implemented so their effect on each channel can be measured:
+//!
+//! * **cache partitioning** ("partitioning the cache [9, 17, 39]"): the
+//!   constant caches are statically divided among kernels, so one kernel's
+//!   fills can never evict another's lines;
+//! * **randomized warp scheduling** ("add entropy to the assignment of the
+//!   resources [40]"): warps are assigned to warp schedulers by a keyed
+//!   hash instead of round-robin, breaking the per-scheduler contention
+//!   alignment;
+//! * **clock fuzzing** ("add entropy ... to the measurement of time [20]",
+//!   TimeWarp): `clock()` reads are quantized to a coarse granularity,
+//!   hiding the hit/miss latency difference.
+
+/// Configuration knobs applied at [`crate::Device`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceTuning {
+    /// Block-placement policy.
+    pub policy: crate::PlacementPolicy,
+    /// Number of static cache partitions (0 or 1 disables). Kernel `k` may
+    /// only occupy sets of region `k % partitions` in both constant cache
+    /// levels.
+    pub cache_partitions: u32,
+    /// When set, warps are assigned to schedulers by a keyed hash of
+    /// (seed, kernel, block, warp) instead of round-robin.
+    pub random_warp_scheduler: Option<u64>,
+    /// `clock()` quantization in cycles (0 or 1 disables).
+    pub clock_granularity: u64,
+}
+
+impl Default for DeviceTuning {
+    fn default() -> Self {
+        DeviceTuning {
+            policy: crate::PlacementPolicy::default(),
+            cache_partitions: 0,
+            random_warp_scheduler: None,
+            clock_granularity: 0,
+        }
+    }
+}
+
+impl DeviceTuning {
+    /// Untuned device (no mitigations, leftover policy).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The effective clock quantum (1 = exact clock).
+    pub fn clock_quantum(&self) -> u64 {
+        self.clock_granularity.max(1)
+    }
+}
+
+/// SplitMix64: a tiny keyed hash used for randomized warp-scheduler
+/// assignment (deterministic per seed, uncorrelated across inputs).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_no_mitigation() {
+        let t = DeviceTuning::none();
+        assert_eq!(t.cache_partitions, 0);
+        assert_eq!(t.random_warp_scheduler, None);
+        assert_eq!(t.clock_quantum(), 1);
+    }
+
+    #[test]
+    fn clock_quantum_clamps() {
+        let t = DeviceTuning { clock_granularity: 256, ..DeviceTuning::none() };
+        assert_eq!(t.clock_quantum(), 256);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Rough spread check over schedulers.
+        let buckets: Vec<u64> = (0..100).map(|i| splitmix64(i) % 4).collect();
+        for s in 0..4 {
+            assert!(buckets.iter().filter(|&&b| b == s).count() > 10);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Resident warp state.
+
+use gpgpu_isa::NUM_REGS;
+use std::sync::Arc;
+
+/// Execution state of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Eligible for issue.
+    Ready,
+    /// Stalled on a long-latency operation until the given cycle.
+    Blocked {
+        /// Cycle at which the warp becomes ready again.
+        until: u64,
+    },
+    /// Waiting at a block-level barrier for the rest of its block.
+    AtBarrier,
+    /// Executed `Halt`; never scheduled again.
+    Halted,
+}
+
+/// One resident warp: architectural registers, PC, result buffer and
+/// placement identity.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Program counter (index into the program).
+    pub pc: u32,
+    /// Warp-scalar register file.
+    pub regs: [u64; NUM_REGS as usize],
+    /// Execution state.
+    pub state: WarpState,
+    /// Values pushed by `PushResult`, host-visible after kernel completion.
+    pub results: Vec<u64>,
+    /// Total instructions executed by this warp.
+    pub instructions: u64,
+    /// Functional-unit operations executed.
+    pub fu_ops: u64,
+    /// Memory operations executed (constant, global, shared, atomic).
+    pub mem_ops: u64,
+    /// Which launched kernel this warp belongs to.
+    pub kernel: crate::kernel::KernelId,
+    /// Linear block index within the kernel's grid.
+    pub block_id: u32,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+    /// Warp scheduler this warp was assigned to (round-robin by
+    /// `warp_in_block`, per the paper's Section 3.1 reverse engineering).
+    pub scheduler: u32,
+    /// The program all warps of the kernel execute.
+    pub program: Arc<gpgpu_isa::Program>,
+}
+
+impl Warp {
+    /// Whether the warp can issue at cycle `now`.
+    pub fn is_ready(&self, now: u64) -> bool {
+        match self.state {
+            WarpState::Ready => true,
+            WarpState::Blocked { until } => until <= now,
+            WarpState::AtBarrier | WarpState::Halted => false,
+        }
+    }
+
+    /// The next cycle at which this warp could issue, if any. A warp parked
+    /// at a barrier has no self-wake time — it is released by the arrival of
+    /// its block's last warp, which is itself a tracked wake event.
+    pub fn wake_time(&self) -> Option<u64> {
+        match self.state {
+            WarpState::Ready => Some(0),
+            WarpState::Blocked { until } => Some(until),
+            WarpState::AtBarrier | WarpState::Halted => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelId;
+    use gpgpu_isa::ProgramBuilder;
+
+    fn warp() -> Warp {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        Warp {
+            pc: 0,
+            regs: [0; NUM_REGS as usize],
+            state: WarpState::Ready,
+            results: Vec::new(),
+            instructions: 0,
+            fu_ops: 0,
+            mem_ops: 0,
+            kernel: KernelId(0),
+            block_id: 0,
+            warp_in_block: 0,
+            scheduler: 0,
+            program: Arc::new(b.build().unwrap()),
+        }
+    }
+
+    #[test]
+    fn readiness_transitions() {
+        let mut w = warp();
+        assert!(w.is_ready(0));
+        w.state = WarpState::Blocked { until: 10 };
+        assert!(!w.is_ready(9));
+        assert!(w.is_ready(10));
+        assert_eq!(w.wake_time(), Some(10));
+        w.state = WarpState::Halted;
+        assert!(!w.is_ready(u64::MAX));
+        assert_eq!(w.wake_time(), None);
+    }
+}

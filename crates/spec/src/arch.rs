@@ -1,0 +1,196 @@
+//! Architecture generations, functional-unit classes and warp-level ALU
+//! operation kinds.
+
+use std::fmt;
+
+/// NVIDIA microarchitecture generation.
+///
+/// The paper demonstrates every channel on one GPU from each of these three
+/// generations; a few behaviours differ by generation (double-precision
+/// support, atomic-unit placement, warp-scheduler/functional-unit coupling)
+/// and the simulator dispatches on this enum for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Architecture {
+    /// Fermi (e.g. Tesla C2075): 2 warp schedulers per SM, soft-shared
+    /// functional units, memory-side atomic units.
+    Fermi,
+    /// Kepler (e.g. Tesla K40C): 4 warp schedulers, 8 dispatch units,
+    /// soft-shared functional units, L2-side atomic units (~9x Fermi
+    /// atomic throughput).
+    Kepler,
+    /// Maxwell (e.g. Quadro M4000): SM split into four quadrants, each warp
+    /// scheduler owns dedicated functional units; no double-precision units.
+    Maxwell,
+}
+
+impl Architecture {
+    /// All architectures modelled by this workspace, in generation order.
+    pub const ALL: [Architecture; 3] =
+        [Architecture::Fermi, Architecture::Kepler, Architecture::Maxwell];
+
+    /// Whether the warp schedulers of this generation own *dedicated*
+    /// functional units (Maxwell quadrants) as opposed to issuing into a
+    /// soft-shared pool (Fermi/Kepler).
+    ///
+    /// Either way the paper finds — and the simulator reproduces — that
+    /// functional-unit contention is isolated to warps on the *same* warp
+    /// scheduler.
+    pub fn has_dedicated_scheduler_units(self) -> bool {
+        matches!(self, Architecture::Maxwell)
+    }
+
+    /// Whether atomic operations are serviced at the L2 cache (Kepler and
+    /// later) rather than at the memory controller (Fermi). L2-side atomics
+    /// are roughly 9x faster for same-address traffic (paper Section 6).
+    pub fn has_l2_atomics(self) -> bool {
+        !matches!(self, Architecture::Fermi)
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Architecture::Fermi => "Fermi",
+            Architecture::Kepler => "Kepler",
+            Architecture::Maxwell => "Maxwell",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A class of execution resource inside an SM.
+///
+/// Counts per SM for each class are given in the paper's Table 1 and are
+/// stored in [`crate::FuPools`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuUnit {
+    /// Single-precision CUDA core.
+    Sp,
+    /// Double-precision unit.
+    Dpu,
+    /// Special function unit (`__sinf`, `__cosf`, reciprocal, used by `sqrt`).
+    Sfu,
+    /// Load/store unit.
+    LdSt,
+}
+
+impl FuUnit {
+    /// All unit classes.
+    pub const ALL: [FuUnit; 4] = [FuUnit::Sp, FuUnit::Dpu, FuUnit::Sfu, FuUnit::LdSt];
+}
+
+impl fmt::Display for FuUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FuUnit::Sp => "SP",
+            FuUnit::Dpu => "DPU",
+            FuUnit::Sfu => "SFU",
+            FuUnit::LdSt => "LD/ST",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Warp-level arithmetic operation kinds used by the paper's
+/// characterization (Figures 6 and 7) and by the functional-unit covert
+/// channel (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuOpKind {
+    /// Single-precision floating-point add (`fadd.f32`), executes on SP cores.
+    SpAdd,
+    /// Single-precision floating-point multiply, executes on SP cores.
+    SpMul,
+    /// Fast hardware sine (`__sinf`), executes on SFUs.
+    SpSinf,
+    /// Single-precision square root; expands to several SFU micro-operations.
+    SpSqrt,
+    /// Double-precision add, executes on DPUs.
+    DpAdd,
+    /// Double-precision multiply, executes on DPUs.
+    DpMul,
+}
+
+impl FuOpKind {
+    /// All operation kinds, in the order the paper plots them.
+    pub const ALL: [FuOpKind; 6] = [
+        FuOpKind::SpSinf,
+        FuOpKind::SpSqrt,
+        FuOpKind::SpAdd,
+        FuOpKind::SpMul,
+        FuOpKind::DpAdd,
+        FuOpKind::DpMul,
+    ];
+
+    /// The execution-resource class this operation issues to.
+    pub fn unit(self) -> FuUnit {
+        match self {
+            FuOpKind::SpAdd | FuOpKind::SpMul => FuUnit::Sp,
+            FuOpKind::SpSinf | FuOpKind::SpSqrt => FuUnit::Sfu,
+            FuOpKind::DpAdd | FuOpKind::DpMul => FuUnit::Dpu,
+        }
+    }
+
+    /// Whether the operation is double precision (unavailable on Maxwell,
+    /// whose `DPU` pool is empty — see the paper's Figure 7 caption).
+    pub fn is_double(self) -> bool {
+        matches!(self, FuOpKind::DpAdd | FuOpKind::DpMul)
+    }
+}
+
+impl fmt::Display for FuOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FuOpKind::SpAdd => "Add",
+            FuOpKind::SpMul => "Mul",
+            FuOpKind::SpSinf => "__sinf",
+            FuOpKind::SpSqrt => "sqrt",
+            FuOpKind::DpAdd => "Add (double)",
+            FuOpKind::DpMul => "Mul (double)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_match_paper_labels() {
+        assert_eq!(FuOpKind::SpSinf.to_string(), "__sinf");
+        assert_eq!(FuOpKind::DpMul.to_string(), "Mul (double)");
+        assert_eq!(Architecture::Kepler.to_string(), "Kepler");
+        assert_eq!(FuUnit::LdSt.to_string(), "LD/ST");
+    }
+
+    #[test]
+    fn op_unit_mapping() {
+        assert_eq!(FuOpKind::SpAdd.unit(), FuUnit::Sp);
+        assert_eq!(FuOpKind::SpMul.unit(), FuUnit::Sp);
+        assert_eq!(FuOpKind::SpSinf.unit(), FuUnit::Sfu);
+        assert_eq!(FuOpKind::SpSqrt.unit(), FuUnit::Sfu);
+        assert_eq!(FuOpKind::DpAdd.unit(), FuUnit::Dpu);
+        assert_eq!(FuOpKind::DpMul.unit(), FuUnit::Dpu);
+    }
+
+    #[test]
+    fn double_precision_flags() {
+        assert!(FuOpKind::DpAdd.is_double());
+        assert!(FuOpKind::DpMul.is_double());
+        assert!(!FuOpKind::SpSqrt.is_double());
+    }
+
+    #[test]
+    fn atomics_placement_by_generation() {
+        assert!(!Architecture::Fermi.has_l2_atomics());
+        assert!(Architecture::Kepler.has_l2_atomics());
+        assert!(Architecture::Maxwell.has_l2_atomics());
+    }
+
+    #[test]
+    fn quadrant_model_is_maxwell_only() {
+        assert!(Architecture::Maxwell.has_dedicated_scheduler_units());
+        assert!(!Architecture::Fermi.has_dedicated_scheduler_units());
+        assert!(!Architecture::Kepler.has_dedicated_scheduler_units());
+    }
+}

@@ -1,0 +1,215 @@
+//! Cache geometry and timing descriptions.
+//!
+//! The covert channels of the paper's Section 4 operate on the *constant
+//! memory* cache hierarchy: a small per-SM L1 and a chip-wide L2 shared by
+//! all SMs. Both are classic set-associative caches; the offline attack step
+//! (Section 4.1, after Wong et al.) recovers exactly the parameters held in
+//! [`CacheGeometry`] from latency measurements, which is why they are modelled
+//! explicitly here.
+
+use crate::error::SpecError;
+
+/// Geometry of a set-associative cache.
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_spec::CacheGeometry;
+///
+/// // The Kepler/Maxwell constant L1: 2 KB, 4-way, 64-byte lines => 8 sets.
+/// let l1 = CacheGeometry::new(2048, 64, 4).unwrap();
+/// assert_eq!(l1.num_sets(), 8);
+/// assert_eq!(l1.set_of_addr(512), 0); // 512 / 64 = line 8, 8 % 8 = set 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u64,
+    ways: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry after validating self-consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidCacheGeometry`] if any field is zero, any
+    /// field is not a power of two, or `size` is not `line * ways * sets`
+    /// for an integral power-of-two number of sets.
+    pub fn new(size_bytes: u64, line_bytes: u64, ways: u64) -> Result<Self, SpecError> {
+        let fail = |reason: String| Err(SpecError::InvalidCacheGeometry { reason });
+        if size_bytes == 0 || line_bytes == 0 || ways == 0 {
+            return fail("size, line and ways must all be positive".to_string());
+        }
+        if !size_bytes.is_power_of_two() || !line_bytes.is_power_of_two() {
+            return fail(format!(
+                "size ({size_bytes}) and line ({line_bytes}) must be powers of two"
+            ));
+        }
+        let way_bytes = line_bytes * ways;
+        if size_bytes % way_bytes != 0 {
+            return fail(format!(
+                "size ({size_bytes}) must be a multiple of line*ways ({way_bytes})"
+            ));
+        }
+        let sets = size_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return fail(format!("derived set count ({sets}) must be a power of two"));
+        }
+        Ok(CacheGeometry { size_bytes, line_bytes, ways })
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Associativity (number of ways per set).
+    pub fn ways(&self) -> u64 {
+        self.ways
+    }
+
+    /// Number of sets (`size / (line * ways)`).
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// The set index a byte address maps to (modulo indexing, as on the
+    /// constant caches the paper characterizes).
+    pub fn set_of_addr(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) % self.num_sets()
+    }
+
+    /// The line-aligned tag address (address of the first byte of the line).
+    pub fn line_of_addr(&self, addr: u64) -> u64 {
+        addr - (addr % self.line_bytes)
+    }
+
+    /// The stride that walks successive addresses into the *same* set:
+    /// one full "way span" (`sets * line`).
+    ///
+    /// Filling a single set — the paper's trick to contend on one set only,
+    /// "reducing the memory traffic and accelerating the attack" — takes
+    /// `ways` accesses at this stride.
+    pub fn same_set_stride(&self) -> u64 {
+        self.num_sets() * self.line_bytes
+    }
+}
+
+/// A cache level: geometry plus access timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Size/line/ways description.
+    pub geometry: CacheGeometry,
+    /// Latency (cycles) of a hit in this level, as observed by the warp.
+    pub hit_latency: u64,
+    /// Number of accesses this level can accept per cycle (port limit).
+    /// Port contention is the reason the paper sees only ~8x (not 16x)
+    /// speedup for the 16-set parallel L2 channel.
+    pub ports_per_cycle: u32,
+}
+
+impl CacheSpec {
+    /// Convenience constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError::InvalidCacheGeometry`] from
+    /// [`CacheGeometry::new`].
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u64,
+        ways: u64,
+        hit_latency: u64,
+        ports_per_cycle: u32,
+    ) -> Result<Self, SpecError> {
+        Ok(CacheSpec {
+            geometry: CacheGeometry::new(size_bytes, line_bytes, ways)?,
+            hit_latency,
+            ports_per_cycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_l1_constant_cache_geometry() {
+        // 2 KB, 4-way, 64 B lines (paper Section 4.1).
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        assert_eq!(g.num_sets(), 8);
+        assert_eq!(g.same_set_stride(), 512); // the paper primes L1 with stride 512
+    }
+
+    #[test]
+    fn l2_constant_cache_geometry() {
+        // 32 KB, 8-way, 256 B lines => 16 sets, same-set stride 4096.
+        let g = CacheGeometry::new(32 * 1024, 256, 8).unwrap();
+        assert_eq!(g.num_sets(), 16);
+        assert_eq!(g.same_set_stride(), 4096); // paper: "stride value of 4096 bytes (16 sets x 256 bytes)"
+    }
+
+    #[test]
+    fn fermi_l1_constant_cache_geometry() {
+        // 4 KB, 4-way, 64 B lines => 16 sets.
+        let g = CacheGeometry::new(4096, 64, 4).unwrap();
+        assert_eq!(g.num_sets(), 16);
+    }
+
+    #[test]
+    fn set_mapping_wraps_modulo() {
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        assert_eq!(g.set_of_addr(0), 0);
+        assert_eq!(g.set_of_addr(64), 1);
+        assert_eq!(g.set_of_addr(512), 0);
+        assert_eq!(g.set_of_addr(513), 0);
+        assert_eq!(g.set_of_addr(575), 0);
+        assert_eq!(g.set_of_addr(576), 1);
+    }
+
+    #[test]
+    fn line_alignment() {
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        assert_eq!(g.line_of_addr(0), 0);
+        assert_eq!(g.line_of_addr(63), 0);
+        assert_eq!(g.line_of_addr(64), 64);
+        assert_eq!(g.line_of_addr(130), 128);
+    }
+
+    #[test]
+    fn rejects_zero_fields() {
+        assert!(CacheGeometry::new(0, 64, 4).is_err());
+        assert!(CacheGeometry::new(2048, 0, 4).is_err());
+        assert!(CacheGeometry::new(2048, 64, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(CacheGeometry::new(3000, 64, 4).is_err());
+        assert!(CacheGeometry::new(2048, 96, 4).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_size() {
+        // 2048 bytes with 64-byte lines and 3 ways: 2048 % 192 != 0.
+        assert!(CacheGeometry::new(2048, 64, 3).is_err());
+    }
+
+    #[test]
+    fn filling_one_set_takes_ways_accesses() {
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        let stride = g.same_set_stride();
+        // `ways` addresses at same-set stride all land in set 0 and exactly
+        // fill it.
+        let sets: Vec<u64> = (0..g.ways()).map(|i| g.set_of_addr(i * stride)).collect();
+        assert!(sets.iter().all(|&s| s == 0));
+        assert_eq!(sets.len() as u64, g.ways());
+    }
+}

@@ -1,0 +1,113 @@
+//! Whole-device specification.
+
+use crate::arch::{Architecture, FuOpKind};
+use crate::cache::CacheSpec;
+use crate::error::SpecError;
+use crate::mem::MemorySpec;
+use crate::sm::SmSpec;
+
+/// Complete static description of a GPGPU device.
+///
+/// Construct one via [`crate::presets`] (the paper's three GPUs) or by
+/// filling the fields for a hypothetical device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"Tesla K40C"`.
+    pub name: String,
+    /// Microarchitecture generation.
+    pub architecture: Architecture,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// SM core clock in Hz (used only to convert simulated cycles into
+    /// wall-clock bandwidth figures).
+    pub clock_hz: u64,
+    /// Per-SM resources.
+    pub sm: SmSpec,
+    /// Per-SM constant L1 cache.
+    pub const_l1: CacheSpec,
+    /// Device-wide constant L2 cache (shared by all SMs).
+    pub const_l2: CacheSpec,
+    /// Global-memory system.
+    pub mem: MemorySpec,
+    /// Host-side cost of launching one kernel, in device cycles. Dominates
+    /// the baseline (relaunch-per-bit) channels of Section 4 and is exactly
+    /// the overhead the synchronized protocol of Section 7 removes.
+    pub launch_overhead_cycles: u64,
+}
+
+impl DeviceSpec {
+    /// Checks that `op` can execute on this device.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnsupportedUnit`] if the device has zero units of the
+    /// class `op` requires — e.g. double-precision ops on the Quadro M4000,
+    /// which the paper's Figure 7 therefore omits.
+    pub fn supports_op(&self, op: FuOpKind) -> Result<(), SpecError> {
+        let unit = op.unit();
+        if self.sm.pools.count(unit) == 0 {
+            return Err(SpecError::UnsupportedUnit {
+                unit: unit.to_string(),
+                device: self.name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Converts a cycle count into seconds on this device's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Bandwidth in bits/second for `bits` transferred over `cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn bandwidth_bps(&self, bits: u64, cycles: u64) -> f64 {
+        assert!(cycles > 0, "bandwidth over zero cycles is undefined");
+        bits as f64 / self.cycles_to_seconds(cycles)
+    }
+
+    /// Bandwidth in kilobits/second (the unit of the paper's figures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn bandwidth_kbps(&self, bits: u64, cycles: u64) -> f64 {
+        self.bandwidth_bps(bits, cycles) / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+    use crate::FuOpKind;
+
+    #[test]
+    fn maxwell_rejects_double_precision() {
+        let m4000 = presets::quadro_m4000();
+        assert!(m4000.supports_op(FuOpKind::DpAdd).is_err());
+        assert!(m4000.supports_op(FuOpKind::SpSinf).is_ok());
+    }
+
+    #[test]
+    fn fermi_and_kepler_support_double_precision() {
+        assert!(presets::tesla_c2075().supports_op(FuOpKind::DpMul).is_ok());
+        assert!(presets::tesla_k40c().supports_op(FuOpKind::DpMul).is_ok());
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let k = presets::tesla_k40c();
+        // 745 MHz: 745_000 cycles = 1 ms; 42 bits in 1 ms = 42 Kbps.
+        let kbps = k.bandwidth_kbps(42, 745_000);
+        assert!((kbps - 42.0).abs() < 1e-9, "{kbps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn bandwidth_zero_cycles_panics() {
+        presets::tesla_k40c().bandwidth_kbps(1, 0);
+    }
+}

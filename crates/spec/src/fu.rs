@@ -1,0 +1,197 @@
+//! Functional-unit pools and per-operation timing.
+//!
+//! The simulator's contention model (see `gpgpu-sim`) statically partitions
+//! each SM's functional units among its warp schedulers — the paper's key
+//! Section 5 finding is that *"contention is isolated to warps belonging to
+//! the same warp scheduler"*, on Maxwell because the quadrants physically own
+//! their units, and empirically also on Fermi/Kepler despite soft sharing.
+//!
+//! For a warp-level operation the scheduler's share of units services the 32
+//! lanes over `ceil(32 / share) * micro_ops` cycles of *issue occupancy*,
+//! after which the result emerges `pipeline_depth` cycles later. A warp
+//! running a dependent timing loop therefore observes
+//!
+//! ```text
+//! latency ~= max(pipeline_depth + occupancy, warps_on_scheduler * occupancy / ports)
+//! ```
+//!
+//! which produces exactly the flat-then-stepped curves of the paper's
+//! Figures 6 and 7.
+
+use crate::arch::{Architecture, FuOpKind, FuUnit};
+use crate::WARP_SIZE;
+
+/// Number of functional units of each class on one SM (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuPools {
+    /// Single-precision CUDA cores.
+    pub sp: u32,
+    /// Double-precision units (0 on Maxwell).
+    pub dpu: u32,
+    /// Special function units.
+    pub sfu: u32,
+    /// Load/store units.
+    pub ldst: u32,
+}
+
+impl FuPools {
+    /// Units of a given class.
+    pub fn count(&self, unit: FuUnit) -> u32 {
+        match unit {
+            FuUnit::Sp => self.sp,
+            FuUnit::Dpu => self.dpu,
+            FuUnit::Sfu => self.sfu,
+            FuUnit::LdSt => self.ldst,
+        }
+    }
+
+    /// The share of `unit`-class units available to one of `num_schedulers`
+    /// warp schedulers (static partition; see module docs).
+    pub fn scheduler_share(&self, unit: FuUnit, num_schedulers: u32) -> u32 {
+        assert!(num_schedulers > 0, "an SM must have at least one warp scheduler");
+        self.count(unit) / num_schedulers
+    }
+
+    /// How many *parallel warp-ops* of class `unit` one scheduler can keep
+    /// in issue simultaneously: every full warp-width (32 units) of the
+    /// scheduler's share adds a port.
+    ///
+    /// Kepler's 48 SP cores per scheduler round to 2 ports, which is why its
+    /// single-precision Add/Mul curves stay flat through 32 warps (Figure 6)
+    /// while Maxwell's 32-per-quadrant (1 port) eventually steps up.
+    pub fn scheduler_ports(&self, unit: FuUnit, num_schedulers: u32) -> u32 {
+        let share = self.scheduler_share(unit, num_schedulers);
+        ((share + WARP_SIZE / 2) / WARP_SIZE).max(1)
+    }
+
+    /// Cycles of issue occupancy for one warp-level op of class `unit` on
+    /// one scheduler's share of units, excluding micro-op expansion:
+    /// `ceil(32 / min(share, 32))`.
+    pub fn issue_occupancy(&self, unit: FuUnit, num_schedulers: u32) -> u32 {
+        let share = self.scheduler_share(unit, num_schedulers).min(WARP_SIZE).max(1);
+        WARP_SIZE.div_ceil(share)
+    }
+}
+
+/// Timing of one warp-level ALU operation on a given architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuTiming {
+    /// Pipeline depth in cycles: time from the end of issue to the result
+    /// being available to a dependent instruction.
+    pub pipeline_depth: u32,
+    /// Number of micro-operations the op expands to on the unit (e.g. `sqrt`
+    /// is a multi-step Newton iteration on the SFUs). Multiplies occupancy.
+    pub micro_ops: u32,
+}
+
+impl FuTiming {
+    /// Look up the calibrated timing for `op` on `arch`.
+    ///
+    /// The constants are calibrated against the paper's Figures 6-7 latency
+    /// plots and the Section 5.2 channel latencies; see `DESIGN.md` and
+    /// `EXPERIMENTS.md` for the paper-vs-model comparison.
+    pub fn for_op(arch: Architecture, op: FuOpKind) -> FuTiming {
+        use Architecture::*;
+        use FuOpKind::*;
+        let (pipeline_depth, micro_ops) = match (arch, op) {
+            // ---- Fermi (Tesla C2075): 2 schedulers; SP share 16, SFU share 2,
+            // DPU share 8.
+            (Fermi, SpAdd) | (Fermi, SpMul) => (15, 1), // base ~17, steps to ~35 @32 warps
+            (Fermi, SpSinf) => (25, 1),                 // base ~41, ~280 @32 warps
+            (Fermi, SpSqrt) => (80, 2),                 // base ~112, ~590 @32 warps
+            (Fermi, DpAdd) | (Fermi, DpMul) => (12, 1), // base ~16, ~65 @32 warps
+
+            // ---- Kepler (Tesla K40C): 4 schedulers; SP share 48, SFU share 8,
+            // DPU share 16.
+            (Kepler, SpAdd) | (Kepler, SpMul) => (5, 1), // flat ~6
+            (Kepler, SpSinf) => (14, 1),                 // base 18, 24 under channel contention
+            (Kepler, SpSqrt) => (130, 5),                // base ~150, ~175 @32 warps
+            (Kepler, DpAdd) | (Kepler, DpMul) => (6, 1), // base ~8, ~18 @32 warps
+
+            // ---- Maxwell (Quadro M4000): 4 quadrants; SP share 32, SFU share 8,
+            // no DPUs (timing entry retained for error paths).
+            (Maxwell, SpAdd) | (Maxwell, SpMul) => (5, 1), // base 6, steps >= 24 warps
+            (Maxwell, SpSinf) => (11, 1),                  // base 15, 20 under contention
+            (Maxwell, SpSqrt) => (96, 6),                  // base ~120, ~190 @32 warps
+            (Maxwell, DpAdd) | (Maxwell, DpMul) => (6, 1),
+        };
+        FuTiming { pipeline_depth, micro_ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler_pools() -> FuPools {
+        FuPools { sp: 192, dpu: 64, sfu: 32, ldst: 32 }
+    }
+
+    fn fermi_pools() -> FuPools {
+        FuPools { sp: 32, dpu: 16, sfu: 4, ldst: 16 }
+    }
+
+    fn maxwell_pools() -> FuPools {
+        FuPools { sp: 128, dpu: 0, sfu: 32, ldst: 32 }
+    }
+
+    #[test]
+    fn scheduler_shares_match_table1_partitions() {
+        let k = kepler_pools();
+        assert_eq!(k.scheduler_share(FuUnit::Sp, 4), 48);
+        assert_eq!(k.scheduler_share(FuUnit::Sfu, 4), 8);
+        assert_eq!(k.scheduler_share(FuUnit::Dpu, 4), 16);
+        let f = fermi_pools();
+        assert_eq!(f.scheduler_share(FuUnit::Sfu, 2), 2);
+        assert_eq!(f.scheduler_share(FuUnit::Sp, 2), 16);
+    }
+
+    #[test]
+    fn issue_occupancy_reproduces_channel_latency_deltas() {
+        // Kepler __sinf: 8 SFUs per scheduler -> 4-cycle occupancy.
+        // One spy warp per scheduler: 18 cycles (depth 14 + 4).
+        // Spy + trojan warp on the same scheduler: 18 + 4 ... engine-level
+        // queueing raises this to ~24 per the paper; here we check the
+        // occupancy building block.
+        let k = kepler_pools();
+        assert_eq!(k.issue_occupancy(FuUnit::Sfu, 4), 4);
+        let f = fermi_pools();
+        assert_eq!(f.issue_occupancy(FuUnit::Sfu, 2), 16);
+        let m = maxwell_pools();
+        assert_eq!(m.issue_occupancy(FuUnit::Sfu, 4), 4);
+    }
+
+    #[test]
+    fn kepler_sp_gets_two_ports() {
+        // 48 SP per scheduler rounds to 2 ports => Add/Mul stay flat (Fig 6).
+        assert_eq!(kepler_pools().scheduler_ports(FuUnit::Sp, 4), 2);
+        assert_eq!(maxwell_pools().scheduler_ports(FuUnit::Sp, 4), 1);
+        assert_eq!(fermi_pools().scheduler_ports(FuUnit::Sp, 2), 1);
+    }
+
+    #[test]
+    fn empty_pool_occupancy_is_clamped() {
+        // Maxwell has no DPUs; occupancy still returns a finite value so
+        // error handling can happen at launch validation rather than here.
+        let m = maxwell_pools();
+        assert_eq!(m.scheduler_share(FuUnit::Dpu, 4), 0);
+        assert_eq!(m.issue_occupancy(FuUnit::Dpu, 4), 32);
+    }
+
+    #[test]
+    fn timing_base_latencies_match_paper() {
+        // base latency = depth + occupancy (single warp, dependent loop)
+        let t = FuTiming::for_op(Architecture::Kepler, FuOpKind::SpSinf);
+        assert_eq!(t.pipeline_depth + kepler_pools().issue_occupancy(FuUnit::Sfu, 4), 18);
+        let t = FuTiming::for_op(Architecture::Fermi, FuOpKind::SpSinf);
+        assert_eq!(t.pipeline_depth + fermi_pools().issue_occupancy(FuUnit::Sfu, 2), 41);
+        let t = FuTiming::for_op(Architecture::Maxwell, FuOpKind::SpSinf);
+        assert_eq!(t.pipeline_depth + maxwell_pools().issue_occupancy(FuUnit::Sfu, 4), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp scheduler")]
+    fn zero_schedulers_panics() {
+        kepler_pools().scheduler_share(FuUnit::Sp, 0);
+    }
+}

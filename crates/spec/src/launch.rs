@@ -1,0 +1,194 @@
+//! Kernel launch configurations and per-block resource accounting.
+
+use crate::error::SpecError;
+use crate::sm::SmSpec;
+use crate::WARP_SIZE;
+
+/// Resources one thread block consumes on the SM it is placed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockResources {
+    /// Threads per block.
+    pub threads: u32,
+    /// Static shared memory per block, in bytes.
+    pub shared_mem_bytes: u64,
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+}
+
+impl BlockResources {
+    /// Registers consumed by the whole block.
+    pub fn total_registers(&self) -> u64 {
+        u64::from(self.threads) * u64::from(self.registers_per_thread)
+    }
+
+    /// Warps per block (`ceil(threads / 32)`).
+    pub fn warps(&self) -> u32 {
+        self.threads.div_ceil(WARP_SIZE)
+    }
+}
+
+/// A kernel launch configuration: grid size plus per-block resources.
+///
+/// This is the attacker-controlled knob of the paper's Section 3 ("the spy
+/// and the trojan can set up their kernel parameters to achieve co-location
+/// on the same SM and if desired on the same warp scheduler") and Section 8
+/// (resource saturation for exclusive co-location).
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_spec::LaunchConfig;
+///
+/// // The K40C co-residency recipe from Section 3.1: 15 blocks x 4 warps.
+/// let cfg = LaunchConfig::new(15, 128);
+/// assert_eq!(cfg.block.warps(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Per-block resources.
+    pub block: BlockResources,
+}
+
+impl LaunchConfig {
+    /// A launch of `grid_blocks` blocks of `threads_per_block` threads with
+    /// no shared memory and a nominal register footprint.
+    pub fn new(grid_blocks: u32, threads_per_block: u32) -> Self {
+        LaunchConfig {
+            grid_blocks,
+            block: BlockResources {
+                threads: threads_per_block,
+                shared_mem_bytes: 0,
+                registers_per_thread: 16,
+            },
+        }
+    }
+
+    /// Builder-style: set per-block shared memory.
+    pub fn with_shared_mem(mut self, bytes: u64) -> Self {
+        self.block.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set registers per thread.
+    pub fn with_registers_per_thread(mut self, regs: u32) -> Self {
+        self.block.registers_per_thread = regs;
+        self
+    }
+
+    /// Validates that the launch is well-formed and that at least one block
+    /// fits on an SM of `sm` (otherwise the kernel could never start).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::ZeroLaunchField`] for zero `grid_blocks` or `threads`.
+    /// * [`SpecError::BlockExceedsSmResources`] if one block over-commits
+    ///   threads, shared memory or registers of a whole SM.
+    pub fn validate(&self, sm: &SmSpec) -> Result<(), SpecError> {
+        if self.grid_blocks == 0 {
+            return Err(SpecError::ZeroLaunchField { field: "grid_blocks" });
+        }
+        if self.block.threads == 0 {
+            return Err(SpecError::ZeroLaunchField { field: "threads" });
+        }
+        if self.block.threads > sm.max_threads {
+            return Err(SpecError::BlockExceedsSmResources {
+                resource: "threads",
+                requested: u64::from(self.block.threads),
+                available: u64::from(sm.max_threads),
+            });
+        }
+        if self.block.shared_mem_bytes > sm.max_shared_mem_per_block {
+            return Err(SpecError::BlockExceedsSmResources {
+                resource: "shared memory bytes",
+                requested: self.block.shared_mem_bytes,
+                available: sm.max_shared_mem_per_block,
+            });
+        }
+        if self.block.total_registers() > u64::from(sm.registers) {
+            return Err(SpecError::BlockExceedsSmResources {
+                resource: "registers",
+                requested: self.block.total_registers(),
+                available: u64::from(sm.registers),
+            });
+        }
+        Ok(())
+    }
+
+    /// Total warps launched across the grid.
+    pub fn total_warps(&self) -> u64 {
+        u64::from(self.grid_blocks) * u64::from(self.block.warps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::FuPools;
+
+    fn sm() -> SmSpec {
+        SmSpec {
+            num_warp_schedulers: 4,
+            dispatch_units: 8,
+            pools: FuPools { sp: 192, dpu: 64, sfu: 32, ldst: 32 },
+            max_threads: 2048,
+            max_blocks: 16,
+            shared_mem_bytes: 48 * 1024,
+            max_shared_mem_per_block: 48 * 1024,
+            registers: 65536,
+        }
+    }
+
+    #[test]
+    fn valid_basic_launch() {
+        assert!(LaunchConfig::new(15, 128).validate(&sm()).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_blocks_and_threads() {
+        assert_eq!(
+            LaunchConfig::new(0, 128).validate(&sm()),
+            Err(SpecError::ZeroLaunchField { field: "grid_blocks" })
+        );
+        assert_eq!(
+            LaunchConfig::new(1, 0).validate(&sm()),
+            Err(SpecError::ZeroLaunchField { field: "threads" })
+        );
+    }
+
+    #[test]
+    fn rejects_block_larger_than_sm() {
+        let cfg = LaunchConfig::new(1, 4096);
+        assert!(matches!(
+            cfg.validate(&sm()),
+            Err(SpecError::BlockExceedsSmResources { resource: "threads", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overcommitted_shared_memory() {
+        let cfg = LaunchConfig::new(1, 32).with_shared_mem(64 * 1024);
+        assert!(matches!(
+            cfg.validate(&sm()),
+            Err(SpecError::BlockExceedsSmResources { resource: "shared memory bytes", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overcommitted_registers() {
+        let cfg = LaunchConfig::new(1, 1024).with_registers_per_thread(128);
+        assert!(matches!(
+            cfg.validate(&sm()),
+            Err(SpecError::BlockExceedsSmResources { resource: "registers", .. })
+        ));
+    }
+
+    #[test]
+    fn warp_rounding() {
+        assert_eq!(LaunchConfig::new(1, 1).block.warps(), 1);
+        assert_eq!(LaunchConfig::new(1, 32).block.warps(), 1);
+        assert_eq!(LaunchConfig::new(1, 33).block.warps(), 2);
+        assert_eq!(LaunchConfig::new(3, 128).total_warps(), 12);
+    }
+}

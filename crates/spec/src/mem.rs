@@ -1,0 +1,87 @@
+//! Global-memory system parameters: DRAM latency/bandwidth, coalescing
+//! segment size, and atomic-unit timing.
+//!
+//! Section 6 of the paper builds covert channels on *atomic* operations
+//! because plain loads/stores cannot create measurable contention (the
+//! memory bandwidth is too high), while the atomic units are few and slow.
+//! Two generation-specific facts matter and are captured here:
+//!
+//! * On Fermi, atomics are serviced at the memory controller; on Kepler and
+//!   Maxwell they execute at the L2, with same-address throughput improved
+//!   "by 9x to one operation per clock cycle".
+//! * Un-coalesced access patterns multiply the number of memory transactions
+//!   per warp instruction, slowing the channel (Figure 10, scenario 3).
+
+/// Parameters of the global-memory system of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySpec {
+    /// Round-trip latency (cycles) of a global load that misses all caches.
+    pub global_load_latency: u64,
+    /// Latency (cycles) of the constant-memory backing store, observed on a
+    /// constant L2 miss (the upper plateau of the paper's Figure 3).
+    pub const_mem_latency: u64,
+    /// Round-trip latency (cycles) of one atomic operation with no queueing.
+    pub atomic_base_latency: u64,
+    /// Service interval (cycles per *lane* operation) of one atomic unit:
+    /// 1 on Kepler/Maxwell ("one operation per clock", L2-side atomics),
+    /// ~9 on Fermi (memory-side atomics).
+    pub atomic_service_cycles: u64,
+    /// Slow-path multiplier applied on L2-atomic devices when a lane is
+    /// alone in its coalescing segment (the merged fast path does not
+    /// engage). 1 on Fermi (already slow everywhere).
+    pub atomic_uncoalesced_penalty: u64,
+    /// Number of independent atomic units (address-interleaved). Concurrent
+    /// atomics to lines owned by different units do not contend.
+    pub atomic_units: u32,
+    /// Coalescing segment size in bytes; the coalescer merges the 32 lane
+    /// addresses of a warp memory instruction into unique segments of this
+    /// size, each becoming one memory transaction.
+    pub coalesce_segment: u64,
+    /// Number of global-memory transactions the memory system accepts per
+    /// cycle (aggregate issue bandwidth across SMs).
+    pub transactions_per_cycle: u32,
+}
+
+impl MemorySpec {
+    /// Which atomic unit services a given byte address (line-interleaved).
+    pub fn atomic_unit_of(&self, addr: u64) -> u32 {
+        ((addr / self.coalesce_segment) % u64::from(self.atomic_units)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MemorySpec {
+        MemorySpec {
+            global_load_latency: 450,
+            const_mem_latency: 250,
+            atomic_base_latency: 200,
+            atomic_service_cycles: 1,
+            atomic_uncoalesced_penalty: 9,
+            atomic_units: 8,
+            coalesce_segment: 128,
+            transactions_per_cycle: 4,
+        }
+    }
+
+    #[test]
+    fn atomic_unit_interleaves_by_segment() {
+        let m = spec();
+        assert_eq!(m.atomic_unit_of(0), 0);
+        assert_eq!(m.atomic_unit_of(127), 0);
+        assert_eq!(m.atomic_unit_of(128), 1);
+        assert_eq!(m.atomic_unit_of(128 * 8), 0); // wraps at atomic_units
+    }
+
+    #[test]
+    fn distinct_segments_map_to_distinct_units_until_wrap() {
+        let m = spec();
+        let units: Vec<u32> = (0..8).map(|i| m.atomic_unit_of(i * 128)).collect();
+        let mut sorted = units.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "first 8 segments hit 8 distinct units: {units:?}");
+    }
+}

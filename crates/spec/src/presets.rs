@@ -1,0 +1,213 @@
+//! Device presets for the three GPUs the paper evaluates.
+//!
+//! Resource counts are the paper's Table 1; cache geometries are the values
+//! the paper's Section 4.1 microbenchmarks recover; functional-unit timing is
+//! calibrated in [`crate::fu::FuTiming`]. Launch overheads and memory timing
+//! are calibrated so the end-to-end channel bandwidths land in the paper's
+//! ranges (see `EXPERIMENTS.md` for paper-vs-measured).
+
+use crate::arch::Architecture;
+use crate::cache::CacheSpec;
+use crate::device::DeviceSpec;
+use crate::fu::FuPools;
+use crate::mem::MemorySpec;
+use crate::sm::SmSpec;
+
+/// NVIDIA Tesla C2075 (Fermi): 14 SMs, 2 warp schedulers per SM,
+/// 32 SP / 16 DPU / 4 SFU / 16 LD-ST per SM, 1.15 GHz.
+pub fn tesla_c2075() -> DeviceSpec {
+    DeviceSpec {
+        name: "Tesla C2075".to_string(),
+        architecture: Architecture::Fermi,
+        num_sms: 14,
+        clock_hz: 1_150_000_000,
+        sm: SmSpec {
+            num_warp_schedulers: 2,
+            dispatch_units: 2,
+            pools: FuPools { sp: 32, dpu: 16, sfu: 4, ldst: 16 },
+            max_threads: 1536,
+            max_blocks: 8,
+            shared_mem_bytes: 48 * 1024,
+            max_shared_mem_per_block: 48 * 1024,
+            registers: 32 * 1024,
+        },
+        // Fermi constant L1: 4 KB, 4-way, 64 B lines (16 sets).
+        const_l1: CacheSpec::new(4 * 1024, 64, 4, 46, 1)
+            .expect("Fermi constant L1 geometry is self-consistent"),
+        // Constant L2: 32 KB, 8-way, 256 B lines (16 sets) on all three GPUs.
+        const_l2: CacheSpec::new(32 * 1024, 256, 8, 110, 8)
+            .expect("constant L2 geometry is self-consistent"),
+        mem: MemorySpec {
+            global_load_latency: 520,
+            const_mem_latency: 245,
+            atomic_base_latency: 340,
+            // Fermi atomics are serviced at the memory controller, ~9x slower
+            // than Kepler's L2-side units (paper Section 6).
+            atomic_service_cycles: 9,
+            atomic_uncoalesced_penalty: 1,
+            atomic_units: 4,
+            coalesce_segment: 128,
+            transactions_per_cycle: 4,
+        },
+        launch_overhead_cycles: 15_000, // ~13 us at 1.15 GHz
+    }
+}
+
+/// NVIDIA Tesla K40C (Kepler): 15 SMs, 4 warp schedulers / 8 dispatch units
+/// per SM, 192 SP / 64 DPU / 32 SFU / 32 LD-ST per SM, 745 MHz.
+pub fn tesla_k40c() -> DeviceSpec {
+    DeviceSpec {
+        name: "Tesla K40C".to_string(),
+        architecture: Architecture::Kepler,
+        num_sms: 15,
+        clock_hz: 745_000_000,
+        sm: SmSpec {
+            num_warp_schedulers: 4,
+            dispatch_units: 8,
+            pools: FuPools { sp: 192, dpu: 64, sfu: 32, ldst: 32 },
+            max_threads: 2048,
+            max_blocks: 16,
+            shared_mem_bytes: 48 * 1024,
+            max_shared_mem_per_block: 48 * 1024,
+            registers: 64 * 1024,
+        },
+        // Kepler constant L1: 2 KB, 4-way, 64 B lines (8 sets).
+        const_l1: CacheSpec::new(2 * 1024, 64, 4, 49, 1)
+            .expect("Kepler constant L1 geometry is self-consistent"),
+        const_l2: CacheSpec::new(32 * 1024, 256, 8, 112, 8)
+            .expect("constant L2 geometry is self-consistent"),
+        mem: MemorySpec {
+            global_load_latency: 450,
+            const_mem_latency: 250,
+            atomic_base_latency: 180,
+            atomic_service_cycles: 1,
+            atomic_uncoalesced_penalty: 9,
+            atomic_units: 8,
+            coalesce_segment: 128,
+            transactions_per_cycle: 6,
+        },
+        launch_overhead_cycles: 8_000, // ~10.7 us at 745 MHz
+    }
+}
+
+/// NVIDIA Quadro M4000 (Maxwell): 13 SMs split into four quadrants each,
+/// 128 SP / 0 DPU / 32 SFU / 32 LD-ST per SM, 773 MHz.
+pub fn quadro_m4000() -> DeviceSpec {
+    DeviceSpec {
+        name: "Quadro M4000".to_string(),
+        architecture: Architecture::Maxwell,
+        num_sms: 13,
+        clock_hz: 773_000_000,
+        sm: SmSpec {
+            num_warp_schedulers: 4,
+            dispatch_units: 8,
+            pools: FuPools { sp: 128, dpu: 0, sfu: 32, ldst: 32 },
+            max_threads: 2048,
+            max_blocks: 32,
+            // Paper Section 8: "on our Maxwell GPU the maximum shared memory
+            // per SM is twice the maximum shared memory per thread block".
+            shared_mem_bytes: 96 * 1024,
+            max_shared_mem_per_block: 48 * 1024,
+            registers: 64 * 1024,
+        },
+        // Maxwell constant L1: 2 KB, 4-way, 64 B lines (8 sets).
+        const_l1: CacheSpec::new(2 * 1024, 64, 4, 49, 1)
+            .expect("Maxwell constant L1 geometry is self-consistent"),
+        const_l2: CacheSpec::new(32 * 1024, 256, 8, 112, 8)
+            .expect("constant L2 geometry is self-consistent"),
+        mem: MemorySpec {
+            global_load_latency: 440,
+            const_mem_latency: 250,
+            atomic_base_latency: 170,
+            atomic_service_cycles: 1,
+            atomic_uncoalesced_penalty: 9,
+            atomic_units: 8,
+            coalesce_segment: 128,
+            transactions_per_cycle: 6,
+        },
+        launch_overhead_cycles: 8_200, // ~10.6 us at 773 MHz
+    }
+}
+
+/// The three paper GPUs, in generation order (Fermi, Kepler, Maxwell).
+pub fn all() -> Vec<DeviceSpec> {
+    vec![tesla_c2075(), tesla_k40c(), quadro_m4000()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::FuUnit;
+
+    #[test]
+    fn table1_resource_counts() {
+        let f = tesla_c2075();
+        assert_eq!(
+            (f.sm.num_warp_schedulers, f.sm.dispatch_units, f.sm.pools.sp, f.sm.pools.dpu,
+             f.sm.pools.sfu, f.sm.pools.ldst),
+            (2, 2, 32, 16, 4, 16)
+        );
+        let k = tesla_k40c();
+        assert_eq!(
+            (k.sm.num_warp_schedulers, k.sm.dispatch_units, k.sm.pools.sp, k.sm.pools.dpu,
+             k.sm.pools.sfu, k.sm.pools.ldst),
+            (4, 8, 192, 64, 32, 32)
+        );
+        let m = quadro_m4000();
+        assert_eq!(
+            (m.sm.num_warp_schedulers, m.sm.dispatch_units, m.sm.pools.sp, m.sm.pools.dpu,
+             m.sm.pools.sfu, m.sm.pools.ldst),
+            (4, 8, 128, 0, 32, 32)
+        );
+    }
+
+    #[test]
+    fn sm_counts_and_k40c_example() {
+        // "the Nvidia Tesla K40C includes 15 SMs, each featuring 192
+        // single-precision CUDA cores" (paper Section 2).
+        assert_eq!(tesla_k40c().num_sms, 15);
+        assert_eq!(tesla_c2075().num_sms, 14);
+        assert_eq!(quadro_m4000().num_sms, 13);
+    }
+
+    #[test]
+    fn cache_geometries_match_section_4_1() {
+        let k = tesla_k40c();
+        assert_eq!(k.const_l1.geometry.size_bytes(), 2048);
+        assert_eq!(k.const_l1.geometry.ways(), 4);
+        assert_eq!(k.const_l1.geometry.line_bytes(), 64);
+        assert_eq!(k.const_l2.geometry.size_bytes(), 32 * 1024);
+        assert_eq!(k.const_l2.geometry.ways(), 8);
+        assert_eq!(k.const_l2.geometry.line_bytes(), 256);
+        // Fermi's L1 is 4 KB; its L2 matches Kepler/Maxwell.
+        let f = tesla_c2075();
+        assert_eq!(f.const_l1.geometry.size_bytes(), 4096);
+        assert_eq!(f.const_l2.geometry, tesla_k40c().const_l2.geometry);
+    }
+
+    #[test]
+    fn atomic_throughput_ratio_is_9x() {
+        let f = tesla_c2075();
+        let k = tesla_k40c();
+        assert_eq!(f.mem.atomic_service_cycles / k.mem.atomic_service_cycles, 9);
+    }
+
+    #[test]
+    fn maxwell_shared_memory_is_double_block_max() {
+        let m = quadro_m4000();
+        assert_eq!(m.sm.shared_mem_bytes, 2 * m.sm.max_shared_mem_per_block);
+        let k = tesla_k40c();
+        assert_eq!(k.sm.shared_mem_bytes, k.sm.max_shared_mem_per_block);
+    }
+
+    #[test]
+    fn maxwell_has_no_dpus() {
+        assert_eq!(quadro_m4000().sm.pools.count(FuUnit::Dpu), 0);
+    }
+
+    #[test]
+    fn all_returns_generation_order() {
+        let names: Vec<String> = all().into_iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["Tesla C2075", "Tesla K40C", "Quadro M4000"]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Streaming-multiprocessor (SM) resources and limits.
+
+use crate::fu::FuPools;
+use crate::WARP_SIZE;
+
+/// Static description of one streaming multiprocessor.
+///
+/// The *limits* (`max_threads`, `max_blocks`, `shared_mem_bytes`,
+/// `registers`) drive the leftover-policy block scheduler in `gpgpu-sim`:
+/// a thread block is placed on an SM only if all four fit, which is exactly
+/// the mechanism the paper manipulates in Section 8 to force *exclusive*
+/// co-location (e.g. one spy block claiming all shared memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmSpec {
+    /// Number of warp schedulers (paper Table 1: 2 on Fermi, 4 on
+    /// Kepler/Maxwell).
+    pub num_warp_schedulers: u32,
+    /// Number of instruction dispatch units (Table 1).
+    pub dispatch_units: u32,
+    /// Functional-unit pools (Table 1).
+    pub pools: FuPools,
+    /// Maximum resident threads.
+    pub max_threads: u32,
+    /// Maximum resident thread blocks.
+    pub max_blocks: u32,
+    /// Shared memory capacity in bytes.
+    pub shared_mem_bytes: u64,
+    /// Maximum shared memory one thread block may request. On Fermi/Kepler
+    /// this equals [`SmSpec::shared_mem_bytes`] (one block can monopolize the
+    /// SM); on Maxwell it is half of it — the paper's Section 8 notes both
+    /// spy *and* trojan must then claim a full block-max to lock the SM.
+    pub max_shared_mem_per_block: u64,
+    /// Register file size (32-bit registers).
+    pub registers: u32,
+}
+
+impl SmSpec {
+    /// Maximum resident warps (`max_threads / 32`).
+    pub fn max_warps(&self) -> u32 {
+        self.max_threads / WARP_SIZE
+    }
+
+    /// Dispatch slots per warp scheduler per cycle.
+    pub fn dispatch_per_scheduler(&self) -> u32 {
+        (self.dispatch_units / self.num_warp_schedulers).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler_sm() -> SmSpec {
+        SmSpec {
+            num_warp_schedulers: 4,
+            dispatch_units: 8,
+            pools: FuPools { sp: 192, dpu: 64, sfu: 32, ldst: 32 },
+            max_threads: 2048,
+            max_blocks: 16,
+            shared_mem_bytes: 48 * 1024,
+            max_shared_mem_per_block: 48 * 1024,
+            registers: 65536,
+        }
+    }
+
+    #[test]
+    fn max_warps_is_threads_over_warp_size() {
+        assert_eq!(kepler_sm().max_warps(), 64);
+    }
+
+    #[test]
+    fn dispatch_per_scheduler_kepler_is_dual_issue() {
+        assert_eq!(kepler_sm().dispatch_per_scheduler(), 2);
+    }
+}

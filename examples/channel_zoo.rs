@@ -1,0 +1,57 @@
+//! Every channel family on every device preset, one line each — a tour of
+//! the whole library surface.
+//!
+//! ```text
+//! cargo run --release --example channel_zoo
+//! ```
+
+use gpgpu_covert::atomic_channel::{AtomicChannel, AtomicScenario};
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::parallel::{CombinedChannel, ParallelSfuChannel};
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_covert::ChannelOutcome;
+use gpgpu_spec::presets;
+
+fn row(name: &str, o: &ChannelOutcome) {
+    println!(
+        "  {name:<34} {:>10.1} Kbps   BER {:>5.1}%",
+        o.bandwidth_kbps,
+        o.ber * 100.0
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let msg = Message::pseudo_random(24, 0xABCD);
+    for device in presets::all() {
+        println!("==== {} ====", device.name);
+        row("L1 cache (baseline)", &L1Channel::new(device.clone()).transmit(&msg)?);
+        row("L2 cache (cross-SM)", &L2Channel::new(device.clone()).transmit(&msg)?);
+        row("SFU __sinf", &SfuChannel::new(device.clone()).transmit(&msg)?);
+        for scenario in AtomicScenario::ALL {
+            row(
+                &format!("atomic: {}", scenario.label()),
+                &AtomicChannel::new(device.clone(), scenario).transmit(&msg)?,
+            );
+        }
+        row("L1 synchronized", &SyncChannel::new(device.clone()).transmit(&msg)?);
+        let data_sets = (device.const_l1.geometry.num_sets() - 2) as u32;
+        row(
+            "L1 sync + multi-bit + all SMs",
+            &SyncChannel::new(device.clone())
+                .with_data_sets(data_sets)?
+                .with_parallel_sms(device.num_sms)?
+                .transmit(&msg)?,
+        );
+        row(
+            "SFU parallel (schedulers x SMs)",
+            &ParallelSfuChannel::new(device.clone())
+                .with_parallel_sms(device.num_sms)?
+                .transmit(&msg)?,
+        );
+        row("combined L1 + SFU", &CombinedChannel::new(device.clone()).transmit(&msg)?);
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Exfiltrate an ASCII message through the fully optimized channel: the
+//! synchronized multi-bit, multi-SM L1 channel of the paper's Table 2
+//! (the configuration that reaches 4+ Mbps on the K40C).
+//!
+//! ```text
+//! cargo run --release --example covert_chat
+//! ```
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_spec::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = presets::tesla_k40c();
+    let secret = b"the secret key is 0xDEADBEEF; exfiltrate quietly.";
+    let message = Message::from_bytes(secret);
+
+    let data_sets = (device.const_l1.geometry.num_sets() - 2) as u32;
+    let sms = device.num_sms;
+    let channel = SyncChannel::new(device)
+        .with_data_sets(data_sets)?
+        .with_parallel_sms(sms)?;
+
+    println!("transmitting {} bits over {} cache sets x {} SMs...", message.len(), data_sets, sms);
+    let outcome = channel.transmit(&message)?;
+
+    println!("received: {:?}", String::from_utf8_lossy(&outcome.received.to_bytes()));
+    println!("cycles  : {}", outcome.cycles);
+    println!("bandwidth: {:.0} Kbps ({:.2} Mbps)", outcome.bandwidth_kbps, outcome.bandwidth_kbps / 1e3);
+    println!("bit error rate: {:.3}%", outcome.ber * 100.0);
+    assert!(outcome.is_error_free());
+    Ok(())
+}

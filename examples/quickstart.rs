@@ -1,0 +1,33 @@
+//! Quickstart: send a message through the baseline L1 constant-cache covert
+//! channel on a simulated Tesla K40C (paper Section 4.2).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_spec::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = presets::tesla_k40c();
+    println!(
+        "device: {} ({} SMs, {} warp schedulers/SM)",
+        device.name, device.num_sms, device.sm.num_warp_schedulers
+    );
+
+    let channel = L1Channel::new(device);
+    let message = Message::from_bytes(b"covert");
+    println!("trojan sends : {} ({} bits)", message, message.len());
+
+    let outcome = channel.transmit(&message)?;
+    println!("spy received : {}", outcome.received);
+    println!(
+        "decoded text : {:?}",
+        String::from_utf8_lossy(&outcome.received.to_bytes())
+    );
+    println!("bandwidth    : {:.1} Kbps", outcome.bandwidth_kbps);
+    println!("bit errors   : {:.2}%", outcome.ber * 100.0);
+    assert!(outcome.is_error_free(), "the default operating point is error-free");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Reconnaissance: reverse engineer the block scheduler, the warp scheduler
+//! and the constant-cache geometry from timing alone, as an attacker with no
+//! documentation would (paper Sections 3 and 4.1).
+//!
+//! ```text
+//! cargo run --release --example reverse_engineer
+//! ```
+
+use gpgpu_covert::colocation::{reverse_engineer_block_scheduler, reverse_engineer_warp_scheduler};
+use gpgpu_covert::microbench::{cache_sweep, fig2_sizes, fig3_sizes, recover_cache_geometry};
+use gpgpu_spec::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for device in presets::all() {
+        println!("==== {} ====", device.name);
+
+        let blocks = reverse_engineer_block_scheduler(&device)?;
+        println!("block scheduler:");
+        println!("  first kernel SM visit order: {:?}", blocks.first_kernel_sms);
+        println!("  round-robin placement      : {}", blocks.round_robin);
+        println!("  leftover co-location       : {}", blocks.leftover_colocation);
+        println!("  queues when SMs are full   : {}", blocks.queues_when_full);
+
+        let warps = reverse_engineer_warp_scheduler(&device)?;
+        println!("warp scheduler:");
+        println!("  warp -> scheduler           : {:?}", warps.assignment);
+        println!(
+            "  schedulers inferred from __sinf latency steps: {}",
+            warps.inferred_num_schedulers
+        );
+
+        let l1 = recover_cache_geometry(&cache_sweep(&device, 64, &fig2_sizes_for(&device))?);
+        println!("constant L1 (from stride-64 sweep): {l1:?}");
+        let l2 = recover_cache_geometry(&cache_sweep(&device, 256, &fig3_sizes())?);
+        println!("constant L2 (from stride-256 sweep): {l2:?}");
+        println!();
+    }
+    Ok(())
+}
+
+/// Figure-2 sizes, shifted for Fermi's larger (4 KB) L1.
+fn fig2_sizes_for(device: &gpgpu_spec::DeviceSpec) -> Vec<u64> {
+    if device.const_l1.geometry.size_bytes() > 2048 {
+        (0..=40).map(|i| 3800 + i * 32).collect()
+    } else {
+        fig2_sizes()
+    }
+}

@@ -1,0 +1,43 @@
+//! Section 3.2: the attack under proposed multiprogramming schedulers.
+//!
+//! Runs the same co-location recon against the four placement-policy
+//! families the simulator implements and reports which attack avenues each
+//! leaves open.
+//!
+//! ```text
+//! cargo run --release --example scheduler_policies
+//! ```
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_sim::{DeviceTuning, PlacementPolicy};
+use gpgpu_spec::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(16, 0x7777);
+
+    println!("policy                   intra-SM sharing  preemptive   L1 channel BER   L2 channel BER");
+    for policy in PlacementPolicy::ALL {
+        let tuning = DeviceTuning { policy, ..DeviceTuning::none() };
+        let l1 = L1Channel::new(spec.clone())
+            .with_tuning(tuning)
+            .transmit(&msg)?;
+        let l2 = L2Channel::new(spec.clone())
+            .with_tuning(tuning)
+            .transmit(&msg)?;
+        println!(
+            "{:<24} {:>16} {:>11} {:>15.1}% {:>15.1}%",
+            format!("{policy:?}"),
+            policy.allows_intra_sm_sharing(),
+            policy.is_preemptive(),
+            l1.ber * 100.0,
+            l2.ber * 100.0
+        );
+    }
+    println!();
+    println!("Reading: inter-SM partitioning blocks the intra-SM (L1) channel but the");
+    println!("cross-SM L2 channel still communicates — the paper's Section 3.2 point that");
+    println!("whole-SM multiprogramming does not close the inter-SM channels.");
+    Ok(())
+}

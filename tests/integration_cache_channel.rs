@@ -1,0 +1,84 @@
+//! End-to-end tests of the Section-4 cache channels across all presets.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
+use gpgpu_spec::presets;
+
+#[test]
+fn l1_channel_error_free_on_all_three_gpus() {
+    let msg = Message::pseudo_random(16, 0x11);
+    for spec in presets::all() {
+        let o = L1Channel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(o.is_error_free(), "{}: ber {}", spec.name, o.ber);
+        assert!(
+            (5.0..300.0).contains(&o.bandwidth_kbps),
+            "{}: L1 baseline bandwidth {:.1} Kbps out of plausible range",
+            spec.name,
+            o.bandwidth_kbps
+        );
+    }
+}
+
+#[test]
+fn l2_channel_error_free_on_all_three_gpus() {
+    let msg = Message::pseudo_random(12, 0x22);
+    for spec in presets::all() {
+        let o = L2Channel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(o.is_error_free(), "{}: ber {}", spec.name, o.ber);
+    }
+}
+
+#[test]
+fn l2_channel_is_slower_than_l1() {
+    // Figure 4's shape: on every GPU the L1 channel beats the L2 channel.
+    let msg = Message::pseudo_random(16, 0x33);
+    for spec in presets::all() {
+        let l1 = L1Channel::new(spec.clone()).transmit(&msg).unwrap();
+        let l2 = L2Channel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(
+            l1.bandwidth_kbps > l2.bandwidth_kbps,
+            "{}: L1 {:.1} <= L2 {:.1}",
+            spec.name,
+            l1.bandwidth_kbps,
+            l2.bandwidth_kbps
+        );
+    }
+}
+
+#[test]
+fn error_rate_rises_as_iterations_shrink() {
+    // Figure 5's shape: pushing the channel faster trades bandwidth for
+    // errors.
+    let msg = Message::pseudo_random(24, 0x44);
+    let ch = L1Channel::new(presets::tesla_k40c());
+    let sweep = ch.error_rate_sweep(&msg, &[20, 10, 4, 1]).unwrap();
+    assert_eq!(sweep[0].1, 0.0, "20 iterations must be error-free");
+    // Bandwidth grows monotonically as iterations shrink.
+    for w in sweep.windows(2) {
+        assert!(w[1].0 > w[0].0, "bandwidth must rise: {sweep:?}");
+    }
+    // And errors eventually appear.
+    assert!(sweep.last().unwrap().1 > 0.0, "1 iteration must show errors: {sweep:?}");
+}
+
+#[test]
+fn channel_works_on_non_default_cache_sets() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::from_bits([true, false, true]);
+    for set in [1, 3, 7] {
+        let o = L1Channel::new(spec.clone())
+            .with_target_set(set)
+            .transmit(&msg)
+            .unwrap();
+        assert!(o.is_error_free(), "set {set}: ber {}", o.ber);
+    }
+}
+
+#[test]
+fn all_ones_and_all_zeros_messages() {
+    let spec = presets::tesla_k40c();
+    for msg in [Message::from_bits(vec![true; 10]), Message::from_bits(vec![false; 10])] {
+        let o = L1Channel::new(spec.clone()).transmit(&msg).unwrap();
+        assert_eq!(o.received, msg);
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration tests for Section 3: establishing co-location.
+
+use gpgpu_covert::colocation::{
+    coresident_recipe, exclusive_recipe, reverse_engineer_block_scheduler,
+    reverse_engineer_warp_scheduler,
+};
+use gpgpu_isa::{ProgramBuilder, Reg, Special};
+use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_spec::presets;
+
+#[test]
+fn every_preset_implements_the_leftover_policy() {
+    for spec in presets::all() {
+        let r = reverse_engineer_block_scheduler(&spec).unwrap();
+        assert!(r.is_leftover_policy(), "{}: {r:?}", spec.name);
+    }
+}
+
+#[test]
+fn warp_scheduler_count_is_inferable_on_every_preset() {
+    for spec in presets::all() {
+        let r = reverse_engineer_warp_scheduler(&spec).unwrap();
+        assert_eq!(
+            r.inferred_num_schedulers, spec.sm.num_warp_schedulers,
+            "{}: {:?}",
+            spec.name, r
+        );
+        assert!(r.is_round_robin(spec.sm.num_warp_schedulers));
+    }
+}
+
+#[test]
+fn coresident_recipe_yields_full_overlap() {
+    // Launch the recipe on the simulator and verify both kernels' blocks
+    // share every SM and every warp scheduler.
+    for spec in presets::all() {
+        let (spy_cfg, trojan_cfg) = coresident_recipe(&spec);
+        let mut b = ProgramBuilder::new();
+        b.read_special(Reg(0), Special::SmId);
+        b.read_special(Reg(1), Special::SchedulerId);
+        b.push_result(Reg(0));
+        b.push_result(Reg(1));
+        // Busy-work so both kernels are resident simultaneously.
+        b.repeat(Reg(20), 200, |b| {
+            b.fu(gpgpu_spec::FuOpKind::SpAdd);
+        });
+        let program = b.build().unwrap();
+        let mut dev = Device::new(spec.clone());
+        let spy = dev
+            .launch(0, KernelSpec::new("spy", program.clone(), spy_cfg))
+            .unwrap();
+        let trojan = dev
+            .launch(1, KernelSpec::new("trojan", program, trojan_cfg))
+            .unwrap();
+        dev.run_until_idle(100_000_000).unwrap();
+        let (rs, rt) = (dev.results(spy).unwrap(), dev.results(trojan).unwrap());
+        let all_sms: Vec<u32> = (0..spec.num_sms).collect();
+        assert_eq!(rs.sms_used(), all_sms, "{}", spec.name);
+        assert_eq!(rt.sms_used(), all_sms, "{}", spec.name);
+        // Each block covers every warp scheduler.
+        for r in [&rs, &rt] {
+            for blk in &r.blocks {
+                let mut scheds: Vec<u64> =
+                    blk.warp_results.iter().map(|w| w[1]).collect();
+                scheds.sort_unstable();
+                scheds.dedup();
+                assert_eq!(scheds.len() as u32, spec.sm.num_warp_schedulers);
+            }
+        }
+    }
+}
+
+#[test]
+fn exclusive_recipe_blocks_third_kernels_on_every_preset() {
+    for spec in presets::all() {
+        let (spy_cfg, trojan_cfg) = exclusive_recipe(&spec);
+        let mut b = ProgramBuilder::new();
+        b.repeat(Reg(20), 500, |b| {
+            b.fu(gpgpu_spec::FuOpKind::SpAdd);
+        });
+        let busy = b.build().unwrap();
+        let mut quick = ProgramBuilder::new();
+        quick.read_special(Reg(0), Special::SmId);
+        quick.push_result(Reg(0));
+        let probe = quick.build().unwrap();
+
+        let mut dev = Device::new(spec.clone());
+        let spy = dev.launch(0, KernelSpec::new("spy", busy.clone(), spy_cfg)).unwrap();
+        let _trojan = dev.launch(1, KernelSpec::new("trojan", busy, trojan_cfg)).unwrap();
+        let third = dev
+            .launch(2, KernelSpec::new("third", probe, gpgpu_spec::LaunchConfig::new(1, 32)))
+            .unwrap();
+        dev.run_until_idle(100_000_000).unwrap();
+        let spy_done = dev.results(spy).unwrap().completed_at;
+        let third_start = dev.results(third).unwrap().blocks[0].start_cycle;
+        assert!(
+            third_start >= spy_done.min(dev.results(gpgpu_sim::KernelId(1)).unwrap().completed_at),
+            "{}: third kernel started at {third_start}, before the channel released at {spy_done}",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end tests of the Section-5 functional-unit channels.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::microbench::fu_latency_sweep;
+use gpgpu_spec::{presets, FuOpKind};
+
+#[test]
+fn sfu_channel_error_free_on_all_three_gpus() {
+    let msg = Message::pseudo_random(12, 0x55);
+    for spec in presets::all() {
+        let o = SfuChannel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(o.is_error_free(), "{}: ber {}", spec.name, o.ber);
+    }
+}
+
+#[test]
+fn figure6_shapes_hold_on_every_architecture() {
+    // __sinf and sqrt must show contention steps; the step onset reflects
+    // the warp-scheduler count.
+    for spec in presets::all() {
+        let sweep = fu_latency_sweep(&spec, FuOpKind::SpSinf, &[1, 2, 8, 16, 32]).unwrap();
+        let first = sweep[0].latency;
+        let last = sweep.last().unwrap().latency;
+        assert!(
+            last > first * 1.4,
+            "{}: __sinf shows no contention ({first} -> {last})",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn figure7_double_precision_exists_only_on_fermi_and_kepler() {
+    for op in [FuOpKind::DpAdd, FuOpKind::DpMul] {
+        assert!(fu_latency_sweep(&presets::tesla_c2075(), op, &[1, 8]).is_ok());
+        assert!(fu_latency_sweep(&presets::tesla_k40c(), op, &[1, 8]).is_ok());
+        assert!(fu_latency_sweep(&presets::quadro_m4000(), op, &[1]).is_err());
+    }
+}
+
+#[test]
+fn sqrt_is_slower_than_sinf_everywhere() {
+    for spec in presets::all() {
+        let sinf = fu_latency_sweep(&spec, FuOpKind::SpSinf, &[1]).unwrap()[0].latency;
+        let sqrt = fu_latency_sweep(&spec, FuOpKind::SpSqrt, &[1]).unwrap()[0].latency;
+        assert!(sqrt > 2.0 * sinf, "{}: sqrt {sqrt} vs sinf {sinf}", spec.name);
+    }
+}
+
+#[test]
+fn contention_is_isolated_per_warp_scheduler() {
+    // With exactly one warp per scheduler, adding a warp on a *different*
+    // scheduler must not move warp 0's latency; the paper's Section 5 core
+    // observation. We test it via the sweep: latency at nsched warps equals
+    // latency at 1 warp.
+    for spec in presets::all() {
+        let n = spec.sm.num_warp_schedulers;
+        let sweep = fu_latency_sweep(&spec, FuOpKind::SpSinf, &[1, n]).unwrap();
+        let (one, full) = (sweep[0].latency, sweep[1].latency);
+        assert!(
+            (full - one).abs() < 1.5,
+            "{}: warp on another scheduler changed latency {one} -> {full}",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end tests of Section 8: interference and exclusive co-location.
+
+use gpgpu_covert::bits::{hamming_decode, hamming_encode, Message};
+use gpgpu_covert::noise::{
+    run_sync_with_noise, run_sync_with_noise_intensity, NoiseKind,
+};
+use gpgpu_spec::presets;
+
+#[test]
+fn unprotected_channel_is_corrupted_by_cache_noise() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(16, 0x1);
+    let exp = run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], false).unwrap();
+    assert!(exp.noise_overlapped);
+    assert!(exp.outcome.ber > 0.05, "ber {}", exp.outcome.ber);
+}
+
+#[test]
+fn exclusive_colocation_gives_error_free_communication_on_all_gpus() {
+    // The paper's headline Section-8 result: "we were able to prevent
+    // interference against all interfering workloads and workload mixtures
+    // and achieved error free communication in all cases."
+    let msg = Message::pseudo_random(16, 0x2);
+    for spec in presets::all() {
+        for kind in NoiseKind::ALL {
+            let exp = run_sync_with_noise(&spec, &msg, &[kind], true).unwrap();
+            assert!(
+                exp.outcome.is_error_free(),
+                "{} vs {kind:?}: ber {}",
+                spec.name,
+                exp.outcome.ber
+            );
+        }
+        // And the full mixture.
+        let exp = run_sync_with_noise(&spec, &msg, &NoiseKind::ALL, true).unwrap();
+        assert!(exp.outcome.is_error_free(), "{} mixture: ber {}", spec.name, exp.outcome.ber);
+    }
+}
+
+#[test]
+fn noise_that_avoids_the_constant_cache_is_harmless() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(16, 0x3);
+    for kind in [NoiseKind::FuBound, NoiseKind::MemoryBound, NoiseKind::SharedMemHog] {
+        let exp = run_sync_with_noise(&spec, &msg, &[kind], false).unwrap();
+        assert!(
+            exp.outcome.is_error_free(),
+            "{kind:?} should not corrupt a cache channel: ber {}",
+            exp.outcome.ber
+        );
+    }
+}
+
+#[test]
+fn hamming_fec_repairs_a_lightly_noisy_channel() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(32, 0x4);
+    let coded = hamming_encode(&msg);
+    let exp = run_sync_with_noise_intensity(
+        &spec,
+        &coded,
+        &[NoiseKind::ConstantCacheHog],
+        false,
+        6,
+    )
+    .unwrap();
+    let decoded = hamming_decode(&exp.outcome.received);
+    let mut bits = decoded.bits().to_vec();
+    bits.truncate(msg.len());
+    let decoded = Message::from_bits(bits);
+    assert!(
+        msg.bit_error_rate(&decoded) < exp.outcome.ber,
+        "FEC should improve on raw BER {}",
+        exp.outcome.ber
+    );
+}

@@ -1,0 +1,76 @@
+//! The full attack playbook, end to end, using only what an attacker can
+//! observe: reverse engineer the schedulers and caches from timing, derive
+//! the channel parameters from the *recovered* values, then communicate.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::colocation::{
+    coresident_recipe, reverse_engineer_block_scheduler, reverse_engineer_warp_scheduler,
+};
+use gpgpu_covert::microbench::{cache_sweep, recover_cache_geometry};
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_spec::presets;
+
+#[test]
+fn recon_then_attack_from_recovered_parameters_only() {
+    let spec = presets::tesla_k40c();
+
+    // Step 1 (paper §3): the placement policy supports co-residency.
+    let blocks = reverse_engineer_block_scheduler(&spec).unwrap();
+    assert!(blocks.is_leftover_policy());
+    let warps = reverse_engineer_warp_scheduler(&spec).unwrap();
+    assert!(warps.inferred_num_schedulers > 0);
+
+    // Step 2 (paper §4.1): recover the L1 geometry from a stride sweep over
+    // a size range an attacker would scan (we do not peek at the preset).
+    let sizes: Vec<u64> = (0..=120).map(|i| 1024 + i * 32).collect();
+    let sweep = cache_sweep(&spec, 64, &sizes).unwrap();
+    let g = recover_cache_geometry(&sweep).expect("staircase found");
+
+    // Step 3: the recovered parameters equal the hardware's.
+    assert_eq!(g.size_bytes, spec.const_l1.geometry.size_bytes());
+    assert_eq!(g.line_bytes, spec.const_l1.geometry.line_bytes());
+    assert_eq!(g.num_sets, spec.const_l1.geometry.num_sets());
+    assert_eq!(g.ways, spec.const_l1.geometry.ways());
+
+    // Step 4: pick a target set within the *recovered* set count and
+    // transmit with the co-residency recipe the recon produced.
+    let (spy_cfg, _) = coresident_recipe(&spec);
+    assert_eq!(spy_cfg.grid_blocks, spec.num_sms);
+    let target_set = (g.num_sets - 1).min(5);
+    let msg = Message::from_bytes(b"go");
+    let o = L1Channel::new(spec.clone())
+        .with_target_set(target_set)
+        .transmit(&msg)
+        .unwrap();
+    assert!(o.is_error_free(), "ber {}", o.ber);
+
+    // Step 5: upgrade to the synchronized channel sized by the recovered
+    // set count (all sets minus the two signalling sets).
+    let data_sets = (g.num_sets - 2) as u32;
+    let o = SyncChannel::new(spec)
+        .with_data_sets(data_sets)
+        .unwrap()
+        .transmit(&Message::from_bytes(b"covert payload"))
+        .unwrap();
+    assert!(o.is_error_free(), "ber {}", o.ber);
+    assert_eq!(o.received.to_bytes(), b"covert payload");
+}
+
+#[test]
+fn playbook_works_on_fermi_too() {
+    // Fermi's L1 is twice the size (4 KB, 16 sets); the same recon flow
+    // must adapt without any hardcoded constants.
+    let spec = presets::tesla_c2075();
+    let sizes: Vec<u64> = (0..=120).map(|i| 3072 + i * 32).collect();
+    let sweep = cache_sweep(&spec, 64, &sizes).unwrap();
+    let g = recover_cache_geometry(&sweep).expect("staircase found");
+    assert_eq!(g.size_bytes, 4096);
+    assert_eq!(g.num_sets, 16);
+    let o = SyncChannel::new(spec)
+        .with_data_sets((g.num_sets - 2) as u32)
+        .unwrap()
+        .transmit(&Message::pseudo_random(28, 0xF00))
+        .unwrap();
+    assert!(o.is_error_free(), "ber {}", o.ber);
+}

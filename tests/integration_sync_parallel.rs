@@ -1,0 +1,139 @@
+//! End-to-end tests of the Section-7 optimizations: synchronization,
+//! multi-bit cache-set parallelism, multi-SM parallelism, per-scheduler SFU
+//! lanes and the combined multi-resource channel.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::parallel::{CombinedChannel, ParallelSfuChannel};
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_spec::presets;
+
+#[test]
+fn table2_column_ordering_holds_on_kepler() {
+    // baseline < synchronized < sync+multibit < sync+multibit+all-SMs.
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(90, 0x99);
+    let baseline = L1Channel::new(spec.clone()).transmit(&msg).unwrap();
+    let sync = SyncChannel::new(spec.clone()).transmit(&msg).unwrap();
+    let multibit = SyncChannel::new(spec.clone())
+        .with_data_sets(6)
+        .unwrap()
+        .transmit(&msg)
+        .unwrap();
+    let full = SyncChannel::new(spec)
+        .with_data_sets(6)
+        .unwrap()
+        .with_parallel_sms(15)
+        .unwrap()
+        .transmit(&msg)
+        .unwrap();
+    for (name, o) in
+        [("baseline", &baseline), ("sync", &sync), ("multibit", &multibit), ("full", &full)]
+    {
+        assert!(o.is_error_free(), "{name}: ber {}", o.ber);
+    }
+    assert!(sync.bandwidth_kbps > baseline.bandwidth_kbps);
+    assert!(multibit.bandwidth_kbps > sync.bandwidth_kbps);
+    assert!(full.bandwidth_kbps > multibit.bandwidth_kbps);
+}
+
+#[test]
+fn sync_channel_error_free_on_all_gpus() {
+    let msg = Message::pseudo_random(24, 0xAA);
+    for spec in presets::all() {
+        let o = SyncChannel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(o.is_error_free(), "{}: ber {}", spec.name, o.ber);
+    }
+}
+
+#[test]
+fn multibit_uses_all_available_data_sets() {
+    // Kepler/Maxwell: 8 sets - 2 signalling = 6 data sets.
+    // Fermi: 16 sets - 2 = up to 14.
+    for spec in presets::all() {
+        let max = (spec.const_l1.geometry.num_sets() - 2) as u32;
+        let msg = Message::pseudo_random(2 * max as usize, 0xBB);
+        let o = SyncChannel::new(spec.clone())
+            .with_data_sets(max)
+            .unwrap()
+            .transmit(&msg)
+            .unwrap();
+        assert!(o.is_error_free(), "{} with {} data sets: ber {}", spec.name, max, o.ber);
+    }
+}
+
+#[test]
+fn multi_sm_scaling_is_near_linear() {
+    // Table 2 col 3 -> col 4 is ~15x on the K40C.
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(360, 0xCC);
+    let one = SyncChannel::new(spec.clone())
+        .with_data_sets(6)
+        .unwrap()
+        .transmit(&msg)
+        .unwrap();
+    let fifteen = SyncChannel::new(spec)
+        .with_data_sets(6)
+        .unwrap()
+        .with_parallel_sms(15)
+        .unwrap()
+        .transmit(&msg)
+        .unwrap();
+    assert!(fifteen.is_error_free(), "ber {}", fifteen.ber);
+    let scaling = fifteen.bandwidth_kbps / one.bandwidth_kbps;
+    assert!(
+        (8.0..=16.5).contains(&scaling),
+        "multi-SM scaling {scaling:.1}x out of the near-linear band"
+    );
+}
+
+#[test]
+fn table3_parallel_sfu_beats_baseline_sfu() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(60, 0xDD);
+    let baseline = SfuChannel::new(spec.clone()).transmit(&msg).unwrap();
+    let sched_parallel = ParallelSfuChannel::new(spec.clone()).transmit(&msg).unwrap();
+    let full = ParallelSfuChannel::new(spec)
+        .with_parallel_sms(15)
+        .unwrap()
+        .transmit(&msg)
+        .unwrap();
+    assert!(baseline.is_error_free() && sched_parallel.is_error_free() && full.is_error_free());
+    assert!(sched_parallel.bandwidth_kbps > baseline.bandwidth_kbps);
+    assert!(full.bandwidth_kbps > sched_parallel.bandwidth_kbps);
+}
+
+#[test]
+fn parallel_sfu_error_free_on_all_gpus() {
+    let msg = Message::pseudo_random(16, 0xEE);
+    for spec in presets::all() {
+        let o = ParallelSfuChannel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(o.is_error_free(), "{}: ber {}", spec.name, o.ber);
+    }
+}
+
+#[test]
+fn combined_channel_error_free_on_all_gpus() {
+    let msg = Message::pseudo_random(10, 0xFF);
+    for spec in presets::all() {
+        let o = CombinedChannel::new(spec.clone()).transmit(&msg).unwrap();
+        assert!(o.is_error_free(), "{}: ber {}", spec.name, o.ber);
+    }
+}
+
+#[test]
+fn long_message_stays_error_free() {
+    // 1 Kb through the fully parallel channel: no drift, no desync.
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(1024, 0x123);
+    let o = SyncChannel::new(spec)
+        .with_data_sets(6)
+        .unwrap()
+        .with_parallel_sms(15)
+        .unwrap()
+        .transmit(&msg)
+        .unwrap();
+    assert!(o.is_error_free(), "ber {}", o.ber);
+    assert!(o.bandwidth_kbps > 1000.0, "Mbps-class expected, got {:.0}", o.bandwidth_kbps);
+}

@@ -1,0 +1,122 @@
+//! Property-based tests over the full stack: arbitrary messages and channel
+//! configurations must round-trip exactly at the error-free operating
+//! points, and core data-structure invariants must hold for arbitrary
+//! address streams.
+
+use gpgpu_covert::bits::{hamming_decode, hamming_encode, Message};
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_mem::{AccessOutcome, SetAssocCache};
+use gpgpu_spec::{presets, CacheGeometry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Any message round-trips exactly through the baseline L1 channel.
+    #[test]
+    fn l1_channel_round_trips_any_message(bits in proptest::collection::vec(any::<bool>(), 1..24)) {
+        let msg = Message::from_bits(bits);
+        let o = L1Channel::new(presets::tesla_k40c()).transmit(&msg).unwrap();
+        prop_assert_eq!(o.received, msg);
+    }
+
+    /// Any message round-trips through the synchronized channel with any
+    /// valid data-set count.
+    #[test]
+    fn sync_channel_round_trips_any_message(
+        bits in proptest::collection::vec(any::<bool>(), 1..36),
+        data_sets in 1u32..=6,
+    ) {
+        let msg = Message::from_bits(bits);
+        let o = SyncChannel::new(presets::tesla_k40c())
+            .with_data_sets(data_sets)
+            .unwrap()
+            .transmit(&msg)
+            .unwrap();
+        prop_assert_eq!(o.received, msg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Hamming(7,4) round-trips any message and corrects any single flipped
+    /// bit per codeword.
+    #[test]
+    fn hamming_corrects_single_errors(
+        bits in proptest::collection::vec(any::<bool>(), 4..64),
+        flip_choice in any::<u64>(),
+    ) {
+        let mut padded = bits.clone();
+        while padded.len() % 4 != 0 { padded.push(false); }
+        let msg = Message::from_bits(padded.clone());
+        let coded = hamming_encode(&msg);
+        let mut corrupted = coded.bits().to_vec();
+        // Flip one bit in one codeword.
+        let cw = (flip_choice as usize / 7) % (corrupted.len() / 7);
+        let pos = cw * 7 + (flip_choice as usize % 7);
+        corrupted[pos] = !corrupted[pos];
+        let decoded = hamming_decode(&Message::from_bits(corrupted));
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// An LRU cache never exceeds its associativity per set, and an access
+    /// immediately after itself always hits.
+    #[test]
+    fn cache_invariants_hold_for_arbitrary_streams(
+        addrs in proptest::collection::vec(0u64..16 * 1024, 1..256),
+    ) {
+        let geom = CacheGeometry::new(2048, 64, 4).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        for (i, &a) in addrs.iter().enumerate() {
+            cache.access(a, i as u64 * 2);
+            // Immediate re-access hits.
+            prop_assert_eq!(cache.access(a, i as u64 * 2 + 1), AccessOutcome::Hit);
+        }
+        for set in 0..geom.num_sets() {
+            prop_assert!(cache.set_occupancy(set) <= geom.ways() as usize);
+        }
+    }
+
+    /// The most-recently-used line of a set always survives the next fill.
+    #[test]
+    fn mru_line_survives_next_insertion(
+        seed_lines in proptest::collection::vec(0u64..64, 4..32),
+    ) {
+        let geom = CacheGeometry::new(2048, 64, 4).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        let mut stamp = 0u64;
+        for &l in &seed_lines {
+            // Map everything into set 0.
+            let addr = l * geom.same_set_stride();
+            cache.access(addr, stamp);
+            stamp += 1;
+            let mru = addr;
+            // Insert one more distinct line into the same set.
+            let other = (l + 1000) * geom.same_set_stride();
+            cache.access(other, stamp);
+            stamp += 1;
+            prop_assert!(cache.probe(mru), "MRU line was evicted");
+        }
+    }
+
+    /// Message <-> bytes round-trip.
+    #[test]
+    fn message_bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(Message::from_bytes(&data).to_bytes(), data);
+    }
+
+    /// BER is symmetric and bounded.
+    #[test]
+    fn ber_is_symmetric_and_bounded(
+        a in proptest::collection::vec(any::<bool>(), 0..64),
+        b in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let (ma, mb) = (Message::from_bits(a), Message::from_bits(b));
+        let ab = ma.bit_error_rate(&mb);
+        let ba = mb.bit_error_rate(&ma);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+}
