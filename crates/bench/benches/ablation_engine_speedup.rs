@@ -1,0 +1,117 @@
+//! Engine ablation: the event-driven cycle engine and the threaded trial
+//! harness against their baselines, on the workloads the paper's evaluation
+//! actually runs.
+//!
+//! 1. **Dense vs event-driven engine** on the Figure-5 iteration sweep:
+//!    identical `(bandwidth, BER)` points (the engine may only skip work
+//!    that cannot change architectural state) and a single-thread speedup.
+//! 2. **TrialRunner scaling** on a 64-trial seeded BER sweep: 1 worker vs 4
+//!    workers. The near-linear-scaling assertion only fires on machines
+//!    with at least 4 cores; elsewhere the measured ratio is printed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::harness::{Trial, TrialRunner};
+use gpgpu_sim::{DeviceTuning, EngineMode};
+use gpgpu_spec::presets;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The Figure-5 sweep on a sequential runner with an explicit engine mode.
+fn fig5_sweep(engine: EngineMode) -> Vec<(f64, f64)> {
+    let tuning = DeviceTuning { engine, ..DeviceTuning::none() };
+    let msg = Message::pseudo_random(64, 3);
+    L1Channel::new(presets::tesla_k40c())
+        .with_tuning(tuning)
+        .error_rate_sweep_on(&TrialRunner::sequential(), &msg, &[20, 12, 8, 4, 2, 1])
+        .expect("sweep transmits")
+}
+
+/// One seeded BER trial of the 64-trial scaling workload.
+fn ber_trial(t: Trial) -> f64 {
+    let msg = Message::pseudo_random(8, 0xABBA ^ t.index as u64);
+    L1Channel::new(presets::tesla_k40c())
+        .with_iterations(4)
+        .with_jitter(Some((3_000, t.seed)))
+        .transmit(&msg)
+        .expect("transmits")
+        .ber
+}
+
+fn bench(c: &mut Criterion) {
+    // --- 1. Dense vs event-driven: identical results, measured speedup. ---
+    let reps = if quick() { 1 } else { 3 };
+    let time_engine = |engine: EngineMode| -> (Vec<(f64, f64)>, f64) {
+        let mut best = f64::INFINITY;
+        let mut pts = Vec::new();
+        for _ in 0..reps {
+            let start = Instant::now();
+            pts = fig5_sweep(engine);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (pts, best)
+    };
+    let (dense_pts, dense_s) = time_engine(EngineMode::Dense);
+    let (event_pts, event_s) = time_engine(EngineMode::EventDriven);
+    for engine in [EngineMode::Dense, EngineMode::EventDriven] {
+        let o = L1Channel::new(presets::tesla_k40c())
+            .with_tuning(DeviceTuning { engine, ..DeviceTuning::none() })
+            .transmit(&Message::pseudo_random(16, 3))
+            .expect("transmits");
+        println!("ablation: {engine:?} engine counters: {}", o.stats);
+    }
+    assert_eq!(dense_pts, event_pts, "event-driven engine changed the Figure-5 series");
+    let speedup = dense_s / event_s;
+    println!(
+        "ablation: fig5 sweep dense {dense_s:.3}s, event-driven {event_s:.3}s -> {speedup:.2}x"
+    );
+    // Quick mode (CI smoke) runs one repetition: keep the equality check
+    // but skip the timing assertion, which needs best-of-3 stability.
+    if !quick() {
+        assert!(
+            speedup >= 1.5,
+            "event-driven engine must be >= 1.5x on the Fig 5 sweep, got {speedup:.2}x"
+        );
+    }
+
+    // --- 2. TrialRunner scaling on a 64-trial BER sweep. ---
+    let trials = if quick() { 8 } else { 64 };
+    let time_workers = |workers: usize| -> (Vec<f64>, f64) {
+        let start = Instant::now();
+        let out = TrialRunner::sequential().with_workers(workers).run(trials, ber_trial);
+        (out, start.elapsed().as_secs_f64())
+    };
+    let (seq_out, seq_s) = time_workers(1);
+    let (par_out, par_s) = time_workers(4);
+    assert_eq!(seq_out, par_out, "worker count changed BER results");
+    let scaling = seq_s / par_s;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "ablation: {trials}-trial BER sweep 1 worker {seq_s:.3}s, 4 workers {par_s:.3}s \
+         -> {scaling:.2}x ({cores} cores available)"
+    );
+    if cores >= 4 && !quick() {
+        assert!(
+            scaling >= 3.0,
+            "TrialRunner must scale >= 3x on 4 workers with {cores} cores, got {scaling:.2}x"
+        );
+    } else {
+        println!("ablation: scaling assertion skipped ({cores} cores, quick={})", quick());
+    }
+
+    c.bench_function("engine_event_driven_fig5_sweep", |b| {
+        b.iter(|| fig5_sweep(EngineMode::EventDriven))
+    });
+    c.bench_function("engine_dense_fig5_sweep", |b| b.iter(|| fig5_sweep(EngineMode::Dense)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

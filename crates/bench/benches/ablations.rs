@@ -58,10 +58,7 @@ fn bench(c: &mut Criterion) {
         .with_jitter(None)
         .transmit(&msg)
         .unwrap();
-    let noisy = L1Channel::new(presets::tesla_k40c())
-        .with_iterations(1)
-        .transmit(&msg)
-        .unwrap();
+    let noisy = L1Channel::new(presets::tesla_k40c()).with_iterations(1).transmit(&msg).unwrap();
     println!(
         "ablation: 1-iteration BER without jitter {:.1}%, with jitter {:.1}%",
         quiet.ber * 100.0,

@@ -8,10 +8,7 @@ fn bench(c: &mut Criterion) {
     for spec in presets::all() {
         for op in [FuOpKind::SpSinf, FuOpKind::SpSqrt, FuOpKind::SpAdd, FuOpKind::SpMul] {
             let curve = gpgpu_bench::data::fu_curve(&spec, op, 32);
-            println!(
-                "fig06 {} {}: 1w {:.1} -> 32w {:.1}",
-                spec.name, op, curve[0].1, curve[31].1
-            );
+            println!("fig06 {} {}: 1w {:.1} -> 32w {:.1}", spec.name, op, curve[0].1, curve[31].1);
             // Monotonic non-decreasing within tolerance.
             assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1 - 1.5), "{}/{op}", spec.name);
         }
@@ -21,7 +18,9 @@ fn bench(c: &mut Criterion) {
     }
 
     c.bench_function("fig06_sinf_sweep_kepler", |b| {
-        b.iter(|| fu_latency_sweep(&presets::tesla_k40c(), FuOpKind::SpSinf, &[1, 8, 16, 32]).unwrap())
+        b.iter(|| {
+            fu_latency_sweep(&presets::tesla_k40c(), FuOpKind::SpSinf, &[1, 8, 16, 32]).unwrap()
+        })
     });
 }
 

@@ -9,10 +9,7 @@ fn bench(c: &mut Criterion) {
     for spec in [presets::tesla_c2075(), presets::tesla_k40c()] {
         for op in [FuOpKind::DpAdd, FuOpKind::DpMul] {
             let curve = gpgpu_bench::data::fu_curve(&spec, op, 32);
-            println!(
-                "fig07 {} {}: 1w {:.1} -> 32w {:.1}",
-                spec.name, op, curve[0].1, curve[31].1
-            );
+            println!("fig07 {} {}: 1w {:.1} -> 32w {:.1}", spec.name, op, curve[0].1, curve[31].1);
             assert!(curve[31].1 > curve[0].1, "{} {op} must show contention", spec.name);
         }
     }
@@ -20,7 +17,9 @@ fn bench(c: &mut Criterion) {
     assert!(fu_latency_sweep(&presets::quadro_m4000(), FuOpKind::DpAdd, &[1]).is_err());
 
     c.bench_function("fig07_dp_sweep_fermi", |b| {
-        b.iter(|| fu_latency_sweep(&presets::tesla_c2075(), FuOpKind::DpAdd, &[1, 8, 16, 32]).unwrap())
+        b.iter(|| {
+            fu_latency_sweep(&presets::tesla_c2075(), FuOpKind::DpAdd, &[1, 8, 16, 32]).unwrap()
+        })
     });
 }
 

@@ -18,8 +18,8 @@ fn bench(c: &mut Criterion) {
     let msg = Message::pseudo_random(16, 17);
     c.bench_function("sec8_exclusive_under_mixture_kepler", |b| {
         b.iter(|| {
-            let e = run_sync_with_noise(&presets::tesla_k40c(), &msg, &NoiseKind::ALL, true)
-                .unwrap();
+            let e =
+                run_sync_with_noise(&presets::tesla_k40c(), &msg, &NoiseKind::ALL, true).unwrap();
             assert_eq!(e.outcome.ber, 0.0);
         })
     });

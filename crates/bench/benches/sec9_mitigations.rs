@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_covert::bits::Message;
-use gpgpu_covert::mitigations::{
-    evaluate_against_l1, evaluate_against_parallel_sfu, Mitigation,
-};
+use gpgpu_covert::mitigations::{evaluate_against_l1, evaluate_against_parallel_sfu, Mitigation};
 use gpgpu_covert::whitespace::discover_and_transmit;
 use gpgpu_spec::presets;
 
@@ -46,12 +44,8 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("sec9_partitioning_eval_16bits", |b| {
         b.iter(|| {
-            evaluate_against_l1(
-                &spec,
-                Mitigation::CachePartitioning { partitions: 2 },
-                &msg,
-            )
-            .unwrap()
+            evaluate_against_l1(&spec, Mitigation::CachePartitioning { partitions: 2 }, &msg)
+                .unwrap()
         })
     });
 }

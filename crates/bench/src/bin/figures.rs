@@ -11,11 +11,22 @@ use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
 use gpgpu_spec::{presets, FuOpKind};
 
 fn main() {
-    println!("{}", render_series("Figure 2: Kepler constant L1, stride 64 B", "bytes", "cycles", &data::fig02()));
+    println!(
+        "{}",
+        render_series(
+            "Figure 2: Kepler constant L1, stride 64 B",
+            "bytes",
+            "cycles",
+            &data::fig02()
+        )
+    );
     let f2 = data::fig02();
     println!("  steps counted: {} (paper: 8 sets)\n", count_steps(&f2, 3.0));
 
-    println!("{}", render_series("Figure 3: constant L2, stride 256 B", "bytes", "cycles", &data::fig03()));
+    println!(
+        "{}",
+        render_series("Figure 3: constant L2, stride 256 B", "bytes", "cycles", &data::fig03())
+    );
     let f3 = data::fig03();
     println!("  steps counted: {} (paper: 16 sets)\n", count_steps(&f3, 3.0));
 
@@ -54,7 +65,10 @@ fn main() {
             );
         }
     }
-    println!("{}", render_rows("Figure 6 spot check: __sinf base latency", &data::fig06_base_latency_rows()));
+    println!(
+        "{}",
+        render_rows("Figure 6 spot check: __sinf base latency", &data::fig06_base_latency_rows())
+    );
 
     println!("== Figure 7: double-precision op latency vs warps (no DPUs on Maxwell) ==");
     for spec in [presets::tesla_c2075(), presets::tesla_k40c()] {
@@ -77,13 +91,22 @@ fn main() {
     println!("{}", render_rows("Table 1: per-SM resources", &data::table1()));
     println!("{}", render_rows("Figure 10: atomic channel bandwidth", &data::fig10(48)));
     println!("{}", render_rows("Table 2: improved L1 channels", &data::table2(240)));
-    println!("{}", render_rows("Section 7: multi-bit scaling (Kepler)", &data::table2_multibit_scaling(240)));
+    println!(
+        "{}",
+        render_rows("Section 7: multi-bit scaling (Kepler)", &data::table2_multibit_scaling(240))
+    );
     println!("{}", render_rows("Table 3: improved SFU channels", &data::table3(240)));
-    println!("{}", render_rows("Section 7: combined two-resource channel", &data::combined_rows(48)));
+    println!(
+        "{}",
+        render_rows("Section 7: combined two-resource channel", &data::combined_rows(48))
+    );
 
     println!("== Section 3: scheduler reverse engineering ==");
     print!("{}", data::sec3_summary());
     println!();
 
     println!("{}", render_rows("Section 8: noise and exclusive co-location", &data::sec8(48)));
+
+    println!("== Engine counters (Figure 4 workload, all GPUs) ==");
+    println!("  {}", data::engine_stats(96));
 }

@@ -10,6 +10,7 @@ use gpgpu_covert::bits::Message;
 use gpgpu_covert::cache_channel::{CacheChannel, L1Channel, L2Channel};
 use gpgpu_covert::colocation;
 use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::harness::TrialRunner;
 use gpgpu_covert::microbench::{cache_sweep, fig2_sizes, fig3_sizes, fu_latency_sweep};
 use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
 use gpgpu_covert::parallel::{CombinedChannel, ParallelSfuChannel};
@@ -43,36 +44,60 @@ pub fn fig03() -> Vec<(f64, f64)> {
 /// on Kepler.
 pub fn fig04(bits: usize) -> Vec<Row> {
     let m = msg(bits);
-    let mut rows = Vec::new();
     let paper_l1 = [33.0, 42.0, 42.0];
     let paper_l2 = [None, Some(20.0), None];
-    for (i, spec) in presets::all().into_iter().enumerate() {
-        let l1 = L1Channel::new(spec.clone()).transmit(&m).expect("L1 transmits");
-        assert_eq!(l1.ber, 0.0, "{} L1 must be error-free", spec.name);
-        rows.push(Row::new(
-            format!("{} L1 channel", spec.name),
-            Some(paper_l1[i]),
-            l1.bandwidth_kbps,
-            "Kbps",
-        ));
-        let l2 = L2Channel::new(spec.clone()).transmit(&m).expect("L2 transmits");
-        assert_eq!(l2.ber, 0.0, "{} L2 must be error-free", spec.name);
-        rows.push(Row::new(
-            format!("{} L2 channel", spec.name),
-            paper_l2[i],
-            l2.bandwidth_kbps,
-            "Kbps",
-        ));
+    let specs = presets::all();
+    // One independent device pair per GPU: fan across the trial harness.
+    TrialRunner::new()
+        .map(&specs, |t, spec| {
+            let i = t.index;
+            let l1 = L1Channel::new(spec.clone()).transmit(&m).expect("L1 transmits");
+            assert_eq!(l1.ber, 0.0, "{} L1 must be error-free", spec.name);
+            let l2 = L2Channel::new(spec.clone()).transmit(&m).expect("L2 transmits");
+            assert_eq!(l2.ber, 0.0, "{} L2 must be error-free", spec.name);
+            vec![
+                Row::new(
+                    format!("{} L1 channel", spec.name),
+                    Some(paper_l1[i]),
+                    l1.bandwidth_kbps,
+                    "Kbps",
+                ),
+                Row::new(
+                    format!("{} L2 channel", spec.name),
+                    paper_l2[i],
+                    l2.bandwidth_kbps,
+                    "Kbps",
+                ),
+            ]
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Aggregated cycle-engine counters over the Figure-4 workload (baseline L1
+/// and L2 transmissions on all three GPUs): the `figures` report footer.
+/// Fanned across the trial harness like [`fig04`], then merged.
+pub fn engine_stats(bits: usize) -> gpgpu_sim::SimStats {
+    let m = msg(bits);
+    let specs = presets::all();
+    let per_device = TrialRunner::new().map(&specs, |_, spec| {
+        let mut s = gpgpu_sim::SimStats::default();
+        s.merge(&L1Channel::new(spec.clone()).transmit(&m).expect("L1 transmits").stats);
+        s.merge(&L2Channel::new(spec.clone()).transmit(&m).expect("L2 transmits").stats);
+        s
+    });
+    let mut total = gpgpu_sim::SimStats::default();
+    for s in &per_device {
+        total.merge(s);
     }
-    rows
+    total
 }
 
 /// Figure 5: bit-error rate vs bandwidth as the per-bit iteration count is
 /// reduced. Returns `(bandwidth_kbps, ber)` points per channel.
 pub fn fig05(channel: CacheChannel, bits: usize, iterations: &[u64]) -> Vec<(f64, f64)> {
-    channel
-        .error_rate_sweep(&msg(bits), iterations)
-        .expect("sweep transmits")
+    channel.error_rate_sweep(&msg(bits), iterations).expect("sweep transmits")
 }
 
 /// Figures 6 and 7: per-op latency vs warp count for one (device, op) pair.
@@ -94,7 +119,12 @@ pub fn fig06_base_latency_rows() -> Vec<Row> {
         .zip(paper)
         .map(|(spec, p)| {
             let ch = SfuChannel::new(spec.clone());
-            Row::new(format!("{} __sinf base latency", spec.name), Some(p), ch.idle_latency() as f64, "cycles")
+            Row::new(
+                format!("{} __sinf base latency", spec.name),
+                Some(p),
+                ch.idle_latency() as f64,
+                "cycles",
+            )
         })
         .collect()
 }
@@ -132,59 +162,83 @@ pub fn table1() -> Vec<Row> {
 /// (a) Kepler/Maxwell well above Fermi, (b) scenario 3 lowest.
 pub fn fig10(bits: usize) -> Vec<Row> {
     let m = msg(bits);
-    let mut rows = Vec::new();
-    for spec in presets::all() {
-        for scenario in AtomicScenario::ALL {
-            let o = AtomicChannel::new(spec.clone(), scenario)
-                .transmit(&m)
-                .expect("atomic channel transmits");
-            assert_eq!(o.ber, 0.0, "{} {scenario:?} must be error-free", spec.name);
-            rows.push(Row::new(
-                format!("{} atomic: {}", spec.name, scenario.label()),
-                None,
-                o.bandwidth_kbps,
-                "Kbps",
-            ));
-        }
-    }
-    rows
+    // 3 GPUs x 3 scenarios = 9 independent transmissions.
+    let cells: Vec<(DeviceSpec, AtomicScenario)> = presets::all()
+        .into_iter()
+        .flat_map(|spec| AtomicScenario::ALL.into_iter().map(move |s| (spec.clone(), s)))
+        .collect();
+    TrialRunner::new().map(&cells, |_, (spec, scenario)| {
+        let o = AtomicChannel::new(spec.clone(), *scenario)
+            .transmit(&m)
+            .expect("atomic channel transmits");
+        assert_eq!(o.ber, 0.0, "{} {scenario:?} must be error-free", spec.name);
+        Row::new(
+            format!("{} atomic: {}", spec.name, scenario.label()),
+            None,
+            o.bandwidth_kbps,
+            "Kbps",
+        )
+    })
 }
 
 /// Table 2: the improved L1 channel across its four optimization stages.
 pub fn table2(bits: usize) -> Vec<Row> {
     let m = msg(bits);
     // paper: (baseline, sync, sync+multibit, full) per device.
-    let paper = [
-        (33.0, 61.0, 207.0, 2800.0),
-        (42.0, 75.0, 285.0, 4250.0),
-        (42.0, 75.0, 285.0, 3700.0),
-    ];
-    let mut rows = Vec::new();
-    for (spec, p) in presets::all().into_iter().zip(paper) {
-        let data_sets = (spec.const_l1.geometry.num_sets() - 2).min(6) as u32;
-        let baseline = L1Channel::new(spec.clone()).transmit(&m).expect("baseline");
-        let sync = SyncChannel::new(spec.clone()).transmit(&m).expect("sync");
-        let multi = SyncChannel::new(spec.clone())
-            .with_data_sets(data_sets)
-            .expect("config")
-            .transmit(&m)
-            .expect("multibit");
-        let full = SyncChannel::new(spec.clone())
-            .with_data_sets(data_sets)
-            .expect("config")
-            .with_parallel_sms(spec.num_sms)
-            .expect("config")
-            .transmit(&m)
-            .expect("full");
-        for o in [&baseline, &sync, &multi, &full] {
-            assert_eq!(o.ber, 0.0, "{}: Table 2 channels are error-free", spec.name);
-        }
-        rows.push(Row::new(format!("{} L1 baseline", spec.name), Some(p.0), baseline.bandwidth_kbps, "Kbps"));
-        rows.push(Row::new(format!("{} + synchronization", spec.name), Some(p.1), sync.bandwidth_kbps, "Kbps"));
-        rows.push(Row::new(format!("{} + multi-bit ({data_sets} sets)", spec.name), Some(p.2), multi.bandwidth_kbps, "Kbps"));
-        rows.push(Row::new(format!("{} + all {} SMs", spec.name, spec.num_sms), Some(p.3), full.bandwidth_kbps, "Kbps"));
-    }
-    rows
+    let paper =
+        [(33.0, 61.0, 207.0, 2800.0), (42.0, 75.0, 285.0, 4250.0), (42.0, 75.0, 285.0, 3700.0)];
+    let specs = presets::all();
+    TrialRunner::new()
+        .map(&specs, |t, spec| {
+            let p = paper[t.index];
+            let data_sets = (spec.const_l1.geometry.num_sets() - 2).min(6) as u32;
+            let baseline = L1Channel::new(spec.clone()).transmit(&m).expect("baseline");
+            let sync = SyncChannel::new(spec.clone()).transmit(&m).expect("sync");
+            let multi = SyncChannel::new(spec.clone())
+                .with_data_sets(data_sets)
+                .expect("config")
+                .transmit(&m)
+                .expect("multibit");
+            let full = SyncChannel::new(spec.clone())
+                .with_data_sets(data_sets)
+                .expect("config")
+                .with_parallel_sms(spec.num_sms)
+                .expect("config")
+                .transmit(&m)
+                .expect("full");
+            for o in [&baseline, &sync, &multi, &full] {
+                assert_eq!(o.ber, 0.0, "{}: Table 2 channels are error-free", spec.name);
+            }
+            vec![
+                Row::new(
+                    format!("{} L1 baseline", spec.name),
+                    Some(p.0),
+                    baseline.bandwidth_kbps,
+                    "Kbps",
+                ),
+                Row::new(
+                    format!("{} + synchronization", spec.name),
+                    Some(p.1),
+                    sync.bandwidth_kbps,
+                    "Kbps",
+                ),
+                Row::new(
+                    format!("{} + multi-bit ({data_sets} sets)", spec.name),
+                    Some(p.2),
+                    multi.bandwidth_kbps,
+                    "Kbps",
+                ),
+                Row::new(
+                    format!("{} + all {} SMs", spec.name, spec.num_sms),
+                    Some(p.3),
+                    full.bandwidth_kbps,
+                    "Kbps",
+                ),
+            ]
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Section 7.1 text: multi-bit speedup vs bit-count on Kepler
@@ -213,23 +267,44 @@ pub fn table2_multibit_scaling(bits: usize) -> Vec<Row> {
 pub fn table3(bits: usize) -> Vec<Row> {
     let m = msg(bits);
     let paper = [(21.0, 28.0, 380.0), (24.0, 84.0, 1200.0), (28.0, 100.0, 1300.0)];
-    let mut rows = Vec::new();
-    for (spec, p) in presets::all().into_iter().zip(paper) {
-        let baseline = SfuChannel::new(spec.clone()).transmit(&m).expect("baseline");
-        let sched = ParallelSfuChannel::new(spec.clone()).transmit(&m).expect("sched-parallel");
-        let full = ParallelSfuChannel::new(spec.clone())
-            .with_parallel_sms(spec.num_sms)
-            .expect("config")
-            .transmit(&m)
-            .expect("full");
-        for o in [&baseline, &sched, &full] {
-            assert_eq!(o.ber, 0.0, "{}: Table 3 channels are error-free", spec.name);
-        }
-        rows.push(Row::new(format!("{} SFU baseline", spec.name), Some(p.0), baseline.bandwidth_kbps, "Kbps"));
-        rows.push(Row::new(format!("{} x warp schedulers", spec.name), Some(p.1), sched.bandwidth_kbps, "Kbps"));
-        rows.push(Row::new(format!("{} x schedulers x SMs", spec.name), Some(p.2), full.bandwidth_kbps, "Kbps"));
-    }
-    rows
+    let specs = presets::all();
+    TrialRunner::new()
+        .map(&specs, |t, spec| {
+            let p = paper[t.index];
+            let baseline = SfuChannel::new(spec.clone()).transmit(&m).expect("baseline");
+            let sched = ParallelSfuChannel::new(spec.clone()).transmit(&m).expect("sched-parallel");
+            let full = ParallelSfuChannel::new(spec.clone())
+                .with_parallel_sms(spec.num_sms)
+                .expect("config")
+                .transmit(&m)
+                .expect("full");
+            for o in [&baseline, &sched, &full] {
+                assert_eq!(o.ber, 0.0, "{}: Table 3 channels are error-free", spec.name);
+            }
+            vec![
+                Row::new(
+                    format!("{} SFU baseline", spec.name),
+                    Some(p.0),
+                    baseline.bandwidth_kbps,
+                    "Kbps",
+                ),
+                Row::new(
+                    format!("{} x warp schedulers", spec.name),
+                    Some(p.1),
+                    sched.bandwidth_kbps,
+                    "Kbps",
+                ),
+                Row::new(
+                    format!("{} x schedulers x SMs", spec.name),
+                    Some(p.2),
+                    full.bandwidth_kbps,
+                    "Kbps",
+                ),
+            ]
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Section 7 text: the combined L1+SFU two-resource channel

@@ -18,7 +18,12 @@ pub struct Row {
 
 impl Row {
     /// Convenience constructor.
-    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: f64, unit: &'static str) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+        unit: &'static str,
+    ) -> Self {
         Row { label: label.into(), paper, measured, unit }
     }
 
@@ -32,20 +37,12 @@ impl Row {
 pub fn render_rows(title: &str, rows: &[Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    let _ = writeln!(
-        out,
-        "  {:<44} {:>12} {:>12} {:>8}",
-        "experiment", "paper", "measured", "ratio"
-    );
+    let _ =
+        writeln!(out, "  {:<44} {:>12} {:>12} {:>8}", "experiment", "paper", "measured", "ratio");
     for r in rows {
-        let paper = r
-            .paper
-            .map(|p| format!("{p:.1} {}", r.unit))
-            .unwrap_or_else(|| "-".to_string());
-        let ratio = r
-            .ratio()
-            .map(|x| format!("{x:.2}x"))
-            .unwrap_or_else(|| "-".to_string());
+        let paper =
+            r.paper.map(|p| format!("{p:.1} {}", r.unit)).unwrap_or_else(|| "-".to_string());
+        let ratio = r.ratio().map(|x| format!("{x:.2}x")).unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
             "  {:<44} {:>12} {:>9.1} {} {:>6}",
@@ -88,10 +85,7 @@ mod tests {
 
     #[test]
     fn rows_render_with_and_without_paper_values() {
-        let rows = vec![
-            Row::new("a", Some(42.0), 43.8, "Kbps"),
-            Row::new("b", None, 7.0, "Kbps"),
-        ];
+        let rows = vec![Row::new("a", Some(42.0), 43.8, "Kbps"), Row::new("b", None, 7.0, "Kbps")];
         let s = render_rows("t", &rows);
         assert!(s.contains("42.0 Kbps"));
         assert!(s.contains("1.04x"));

@@ -33,6 +33,7 @@ options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
   --bits <n>                        message length for zoo (default 24)
   --exclusive                       enable exclusive co-location (noise command)
+  --stats                           print cycle-engine counters after the run
 ";
 
 /// Which subcommand to run.
@@ -65,6 +66,8 @@ pub struct Args {
     pub bits: usize,
     /// Exclusive co-location for `noise`.
     pub exclusive: bool,
+    /// Print cycle-engine counters (`SimStats`) after the run.
+    pub stats: bool,
 }
 
 impl Args {
@@ -80,6 +83,7 @@ impl Args {
             device: "kepler".to_string(),
             bits: 24,
             exclusive: false,
+            stats: false,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -94,6 +98,7 @@ impl Args {
                     args.bits = v.parse().map_err(|_| format!("invalid --bits value {v:?}"))?;
                 }
                 "--exclusive" => args.exclusive = true,
+                "--stats" => args.stats = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other:?}"));
                 }
@@ -141,6 +146,9 @@ impl Args {
 /// Propagates channel/simulator failures as strings.
 pub fn run(args: &Args) -> Result<String, String> {
     let mut out = String::new();
+    // Cycle-engine counters accumulated across every transmission the
+    // command performs; printed as a footer under `--stats`.
+    let mut engine = gpgpu_sim::SimStats::default();
     match &args.command {
         Command::Help => out.push_str(USAGE),
         Command::Devices => {
@@ -168,6 +176,7 @@ pub fn run(args: &Args) -> Result<String, String> {
                 .with_parallel_sms(spec.num_sms)
                 .map_err(|e| e.to_string())?;
             let o = ch.transmit(&msg).map_err(|e| e.to_string())?;
+            engine.merge(&o.stats);
             let _ = writeln!(
                 out,
                 "sent {} bits over {} ({} data sets x {} SMs)",
@@ -176,13 +185,16 @@ pub fn run(args: &Args) -> Result<String, String> {
                 data_sets,
                 spec.num_sms
             );
-            let _ = writeln!(out, "received: {:?}", String::from_utf8_lossy(&o.received.to_bytes()));
-            let _ = writeln!(out, "bandwidth: {:.0} Kbps, BER {:.2}%", o.bandwidth_kbps, o.ber * 100.0);
+            let _ =
+                writeln!(out, "received: {:?}", String::from_utf8_lossy(&o.received.to_bytes()));
+            let _ =
+                writeln!(out, "bandwidth: {:.0} Kbps, BER {:.2}%", o.bandwidth_kbps, o.ber * 100.0);
         }
         Command::Zoo => {
             let spec = args.spec()?;
             let msg = Message::pseudo_random(args.bits, 0xC11);
             let mut row = |name: &str, o: gpgpu_covert::ChannelOutcome| {
+                engine.merge(&o.stats);
                 let _ = writeln!(
                     out,
                     "  {name:<32} {:>9.1} Kbps   BER {:>5.1}%",
@@ -190,17 +202,34 @@ pub fn run(args: &Args) -> Result<String, String> {
                     o.ber * 100.0
                 );
             };
-            row("L1 cache (baseline)", L1Channel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
-            row("L2 cache (cross-SM)", L2Channel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
-            row("SFU __sinf", SfuChannel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            row(
+                "L1 cache (baseline)",
+                L1Channel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?,
+            );
+            row(
+                "L2 cache (cross-SM)",
+                L2Channel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?,
+            );
+            row(
+                "SFU __sinf",
+                SfuChannel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?,
+            );
             for s in AtomicScenario::ALL {
                 row(
                     &format!("atomic: {}", s.label()),
-                    AtomicChannel::new(spec.clone(), s).transmit(&msg).map_err(|e| e.to_string())?,
+                    AtomicChannel::new(spec.clone(), s)
+                        .transmit(&msg)
+                        .map_err(|e| e.to_string())?,
                 );
             }
-            row("L1 synchronized", SyncChannel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
-            row("L2 synchronized", SyncChannel::new_l2(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?);
+            row(
+                "L1 synchronized",
+                SyncChannel::new(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?,
+            );
+            row(
+                "L2 synchronized",
+                SyncChannel::new_l2(spec.clone()).transmit(&msg).map_err(|e| e.to_string())?,
+            );
             row(
                 "SFU parallel (sched x SMs)",
                 ParallelSfuChannel::new(spec.clone())
@@ -216,16 +245,25 @@ pub fn run(args: &Args) -> Result<String, String> {
             let w = reverse_engineer_warp_scheduler(&spec).map_err(|e| e.to_string())?;
             let _ = writeln!(out, "device: {}", spec.name);
             let _ = writeln!(out, "block scheduler: leftover policy = {}", b.is_leftover_policy());
-            let _ = writeln!(out, "  round robin {}, leftover co-location {}, queues when full {}",
-                b.round_robin, b.leftover_colocation, b.queues_when_full);
+            let _ = writeln!(
+                out,
+                "  round robin {}, leftover co-location {}, queues when full {}",
+                b.round_robin, b.leftover_colocation, b.queues_when_full
+            );
             let _ = writeln!(out, "warp scheduler: assignment {:?}", w.assignment);
-            let _ = writeln!(out, "  schedulers inferred from latency steps: {}", w.inferred_num_schedulers);
+            let _ = writeln!(
+                out,
+                "  schedulers inferred from latency steps: {}",
+                w.inferred_num_schedulers
+            );
         }
         Command::Noise => {
             let spec = args.spec()?;
             let msg = Message::pseudo_random(args.bits, 0xC12);
-            let exp = run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], args.exclusive)
-                .map_err(|e| e.to_string())?;
+            let exp =
+                run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], args.exclusive)
+                    .map_err(|e| e.to_string())?;
+            engine.merge(&exp.outcome.stats);
             let _ = writeln!(
                 out,
                 "constant-cache noise, exclusive co-location = {}: noise co-located = {}, BER = {:.1}%",
@@ -242,6 +280,8 @@ pub fn run(args: &Args) -> Result<String, String> {
                 Mitigation::ClockFuzzing { granularity: 4096 },
             ] {
                 let r = evaluate_against_l1(&spec, m, &msg).map_err(|e| e.to_string())?;
+                engine.merge(&r.baseline.stats);
+                engine.merge(&r.mitigated.stats);
                 let _ = writeln!(
                     out,
                     "{m}: BER {:.1}% -> {:.1}%",
@@ -251,10 +291,21 @@ pub fn run(args: &Args) -> Result<String, String> {
             }
             let m = Mitigation::RandomizedWarpScheduling { seed: 0xD1CE };
             let r = evaluate_against_parallel_sfu(&spec, m, &msg).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "{m}: BER {:.1}% -> {:.1}%", r.baseline.ber * 100.0, r.mitigated.ber * 100.0);
-            let (chan, benign) = contention_detection_margin(&spec, &msg).map_err(|e| e.to_string())?;
+            engine.merge(&r.baseline.stats);
+            engine.merge(&r.mitigated.stats);
+            let _ = writeln!(
+                out,
+                "{m}: BER {:.1}% -> {:.1}%",
+                r.baseline.ber * 100.0,
+                r.mitigated.ber * 100.0
+            );
+            let (chan, benign) =
+                contention_detection_margin(&spec, &msg).map_err(|e| e.to_string())?;
             let _ = writeln!(out, "contention detector: channel score {chan} vs benign {benign}");
         }
+    }
+    if args.stats {
+        let _ = writeln!(out, "engine: {engine}");
     }
     Ok(out)
 }
@@ -294,11 +345,9 @@ mod tests {
 
     #[test]
     fn device_aliases_resolve() {
-        for (alias, name) in [
-            ("fermi", "Tesla C2075"),
-            ("K40C", "Tesla K40C"),
-            ("quadro-m4000", "Quadro M4000"),
-        ] {
+        for (alias, name) in
+            [("fermi", "Tesla C2075"), ("K40C", "Tesla K40C"), ("quadro-m4000", "Quadro M4000")]
+        {
             let mut a = Args::parse(&argv("devices")).unwrap();
             a.device = alias.to_string();
             assert_eq!(a.spec().unwrap().name, name);
@@ -331,5 +380,15 @@ mod tests {
         let out = run(&a).unwrap();
         assert!(out.contains("\"hi\""), "{out}");
         assert!(out.contains("BER 0.00%"), "{out}");
+        assert!(!out.contains("engine:"), "no counters without --stats: {out}");
+    }
+
+    #[test]
+    fn stats_flag_appends_engine_counters() {
+        let a = Args::parse(&argv("chat hi --stats")).unwrap();
+        assert!(a.stats);
+        let out = run(&a).unwrap();
+        assert!(out.contains("engine: cycles:"), "{out}");
+        assert!(out.contains("SM-steps:"), "{out}");
     }
 }

@@ -224,8 +224,7 @@ impl AtomicChannel {
                 b.build().expect("idle program assembles")
             }
         };
-        let decode =
-            move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
+        let decode = move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
         let launch = LaunchConfig::new(self.spec.num_sms, 32);
         // Four trojan warps per block saturate the atomic units; one is not
         // enough to queue visibly behind the ~200-cycle round trip.

@@ -24,10 +24,7 @@ impl Message {
     /// A message from bytes, most-significant bit first.
     pub fn from_bytes(bytes: &[u8]) -> Self {
         Message {
-            bits: bytes
-                .iter()
-                .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
-                .collect(),
+            bits: bytes.iter().flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1)).collect(),
         }
     }
 
@@ -106,7 +103,7 @@ impl FromIterator<bool> for Message {
 /// multiple of 4 bits with zeros.
 pub fn hamming_encode(msg: &Message) -> Message {
     let mut bits = msg.bits().to_vec();
-    while bits.len() % 4 != 0 {
+    while !bits.len().is_multiple_of(4) {
         bits.push(false);
     }
     let mut out = Vec::with_capacity(bits.len() / 4 * 7);
@@ -213,7 +210,7 @@ mod tests {
         let m = Message::from_bits([true]);
         let coded = hamming_encode(&m);
         assert_eq!(coded.len(), 7);
-        assert_eq!(hamming_decode(&coded).bits()[0], true);
+        assert!(hamming_decode(&coded).bits()[0]);
     }
 
     #[test]

@@ -18,9 +18,8 @@
 
 use crate::bits::Message;
 use crate::channel::{decode_from_miss_counts, transmit_per_bit, ChannelOutcome};
-use crate::kernels::{
-    emit_fill, emit_idle_spin, emit_probe_count_misses, miss_threshold, SetRef,
-};
+use crate::harness::TrialRunner;
+use crate::kernels::{emit_fill, emit_idle_spin, emit_probe_count_misses, miss_threshold, SetRef};
 use crate::CovertError;
 use gpgpu_isa::{ProgramBuilder, Reg};
 use gpgpu_spec::{DeviceSpec, LaunchConfig};
@@ -229,21 +228,38 @@ impl CacheChannel {
     /// Sweeps the iteration count downwards, reporting `(bandwidth_kbps,
     /// bit_error_rate)` pairs — the data behind the paper's Figure 5.
     ///
+    /// Runs on the default [`TrialRunner`] (one worker per core); each sweep
+    /// point is an independent transmission on its own device, so the output
+    /// is bit-identical to a sequential sweep.
+    ///
     /// # Errors
     ///
-    /// Propagates the first transmission failure.
+    /// Propagates the lowest-indexed transmission failure.
     pub fn error_rate_sweep(
         &self,
         msg: &Message,
         iteration_counts: &[u64],
     ) -> Result<Vec<(f64, f64)>, CovertError> {
-        let mut out = Vec::with_capacity(iteration_counts.len());
-        for &iters in iteration_counts {
+        self.error_rate_sweep_on(&TrialRunner::new(), msg, iteration_counts)
+    }
+
+    /// [`CacheChannel::error_rate_sweep`] on an explicit [`TrialRunner`]
+    /// (e.g. [`TrialRunner::sequential`] for the determinism baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed transmission failure.
+    pub fn error_rate_sweep_on(
+        &self,
+        runner: &TrialRunner,
+        msg: &Message,
+        iteration_counts: &[u64],
+    ) -> Result<Vec<(f64, f64)>, CovertError> {
+        runner.try_map(iteration_counts, |_, &iters| {
             let ch = self.clone().with_iterations(iters);
             let o = ch.transmit(msg)?;
-            out.push((o.bandwidth_kbps, o.ber));
-        }
-        Ok(out)
+            Ok((o.bandwidth_kbps, o.ber))
+        })
     }
 }
 

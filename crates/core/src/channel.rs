@@ -1,6 +1,7 @@
 //! Common channel plumbing: transmission outcomes and decode helpers.
 
 use crate::bits::Message;
+use gpgpu_sim::SimStats;
 use gpgpu_spec::DeviceSpec;
 
 /// Result of transmitting a message over a covert channel.
@@ -16,6 +17,9 @@ pub struct ChannelOutcome {
     pub bandwidth_kbps: f64,
     /// Bit error rate between sent and received.
     pub ber: f64,
+    /// Cycle-engine counters of the device(s) that ran the transmission
+    /// (zeroed for channels that do not surface them).
+    pub stats: SimStats,
 }
 
 impl ChannelOutcome {
@@ -27,7 +31,13 @@ impl ChannelOutcome {
     pub fn from_run(spec: &DeviceSpec, sent: Message, received: Message, cycles: u64) -> Self {
         let bandwidth_kbps = spec.bandwidth_kbps(sent.len() as u64, cycles);
         let ber = sent.bit_error_rate(&received);
-        ChannelOutcome { sent, received, cycles, bandwidth_kbps, ber }
+        ChannelOutcome { sent, received, cycles, bandwidth_kbps, ber, stats: SimStats::default() }
+    }
+
+    /// Attaches engine counters from the device that ran the transmission.
+    pub fn with_stats(mut self, stats: SimStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Whether the transfer was error-free.
@@ -47,6 +57,55 @@ pub fn decode_from_miss_counts(miss_counts: &[u64], min_hot: usize) -> bool {
 /// the bit is 1 if at least `min_hot` samples exceed `threshold`.
 pub fn decode_from_latencies(samples: &[u64], threshold: u64, min_hot: usize) -> bool {
     samples.iter().filter(|&&l| l > threshold).count() >= min_hot
+}
+
+/// Runs a per-bit-relaunch channel: for every message bit, launches a fresh
+/// trojan/spy kernel pair on two streams, waits for both, and decodes the
+/// bit from the spy's block-0/warp-0 result buffer.
+///
+/// This is the structure of all the paper's *baseline* channels (Sections
+/// 4-6): "we launch two kernels to communicate each bit of the message.
+/// Clearly, this incurs some overhead to launch the kernels, but it
+/// simplifies synchronization by leveraging the stream operations."
+#[allow(clippy::too_many_arguments)] // one call-site bundle per channel family
+pub(crate) fn transmit_per_bit(
+    spec: &DeviceSpec,
+    tuning: gpgpu_sim::DeviceTuning,
+    jitter: Option<(u64, u64)>,
+    msg: &Message,
+    trojan_program: &dyn Fn(bool) -> gpgpu_isa::Program,
+    spy_program: &dyn Fn() -> gpgpu_isa::Program,
+    launches: (gpgpu_spec::LaunchConfig, gpgpu_spec::LaunchConfig),
+    alloc_const_bytes: (u64, u64),
+    decode: &dyn Fn(&[u64]) -> bool,
+    cycles_per_bit_budget: u64,
+) -> Result<(ChannelOutcome, gpgpu_sim::Device), crate::CovertError> {
+    let mut dev = gpgpu_sim::Device::with_tuning(spec.clone(), tuning);
+    if let Some((max, seed)) = jitter {
+        dev.set_launch_jitter(max, seed);
+    }
+    // Allocations are performed once; the same arrays are reused by every
+    // per-bit kernel pair, exactly as a real attacker reuses
+    // `__constant__` symbols across launches.
+    let _spy_base = dev.alloc_constant(alloc_const_bytes.0);
+    let _trojan_base = dev.alloc_constant(alloc_const_bytes.1);
+    let mut received = Vec::with_capacity(msg.len());
+    for &bit in msg.bits() {
+        let spy = dev.launch(0, gpgpu_sim::KernelSpec::new("spy", spy_program(), launches.0))?;
+        let _trojan =
+            dev.launch(1, gpgpu_sim::KernelSpec::new("trojan", trojan_program(bit), launches.1))?;
+        dev.run_until_idle(cycles_per_bit_budget)?;
+        let r = dev.results(spy)?;
+        let samples = r
+            .warp_results(0, 0)
+            .ok_or(crate::CovertError::ProtocolDesync { expected: 1, got: 0 })?;
+        received.push(decode(samples));
+    }
+    let cycles = dev.now();
+    let outcome =
+        ChannelOutcome::from_run(spec, msg.clone(), Message::from_bits(received), cycles.max(1))
+            .with_stats(*dev.stats());
+    Ok((outcome, dev))
 }
 
 #[cfg(test)]
@@ -77,56 +136,4 @@ mod tests {
         assert!(decode_from_latencies(&[100, 500, 500], 300, 2));
         assert!(!decode_from_latencies(&[100, 500, 100], 300, 2));
     }
-}
-
-/// Runs a per-bit-relaunch channel: for every message bit, launches a fresh
-/// trojan/spy kernel pair on two streams, waits for both, and decodes the
-/// bit from the spy's block-0/warp-0 result buffer.
-///
-/// This is the structure of all the paper's *baseline* channels (Sections
-/// 4-6): "we launch two kernels to communicate each bit of the message.
-/// Clearly, this incurs some overhead to launch the kernels, but it
-/// simplifies synchronization by leveraging the stream operations."
-pub(crate) fn transmit_per_bit(
-    spec: &DeviceSpec,
-    tuning: gpgpu_sim::DeviceTuning,
-    jitter: Option<(u64, u64)>,
-    msg: &Message,
-    trojan_program: &dyn Fn(bool) -> gpgpu_isa::Program,
-    spy_program: &dyn Fn() -> gpgpu_isa::Program,
-    launches: (gpgpu_spec::LaunchConfig, gpgpu_spec::LaunchConfig),
-    alloc_const_bytes: (u64, u64),
-    decode: &dyn Fn(&[u64]) -> bool,
-    cycles_per_bit_budget: u64,
-) -> Result<(ChannelOutcome, gpgpu_sim::Device), crate::CovertError> {
-    let mut dev = gpgpu_sim::Device::with_tuning(spec.clone(), tuning);
-    if let Some((max, seed)) = jitter {
-        dev.set_launch_jitter(max, seed);
-    }
-    // Allocations are performed once; the same arrays are reused by every
-    // per-bit kernel pair, exactly as a real attacker reuses
-    // `__constant__` symbols across launches.
-    let _spy_base = dev.alloc_constant(alloc_const_bytes.0);
-    let _trojan_base = dev.alloc_constant(alloc_const_bytes.1);
-    let mut received = Vec::with_capacity(msg.len());
-    for &bit in msg.bits() {
-        let spy = dev
-            .launch(0, gpgpu_sim::KernelSpec::new("spy", spy_program(), launches.0))?;
-        let _trojan = dev
-            .launch(1, gpgpu_sim::KernelSpec::new("trojan", trojan_program(bit), launches.1))?;
-        dev.run_until_idle(cycles_per_bit_budget)?;
-        let r = dev.results(spy)?;
-        let samples = r
-            .warp_results(0, 0)
-            .ok_or_else(|| crate::CovertError::ProtocolDesync { expected: 1, got: 0 })?;
-        received.push(decode(samples));
-    }
-    let cycles = dev.now();
-    let outcome = ChannelOutcome::from_run(
-        spec,
-        msg.clone(),
-        Message::from_bits(received),
-        cycles.max(1),
-    );
-    Ok((outcome, dev))
 }

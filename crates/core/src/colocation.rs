@@ -45,10 +45,7 @@ pub struct WarpSchedulerReport {
 impl WarpSchedulerReport {
     /// Whether the assignment is round-robin over `n` schedulers.
     pub fn is_round_robin(&self, n: u32) -> bool {
-        self.assignment
-            .iter()
-            .enumerate()
-            .all(|(i, &s)| s == (i as u32) % n)
+        self.assignment.iter().enumerate().all(|(i, &s)| s == (i as u32) % n)
     }
 }
 
@@ -80,8 +77,7 @@ pub fn reverse_engineer_block_scheduler(
     let mut dev = Device::new(spec.clone());
     let k = dev.launch(0, KernelSpec::new("probe", smid_probe(0), LaunchConfig::new(n, 32)))?;
     dev.run_until_idle(10_000_000)?;
-    let first_kernel_sms: Vec<u32> =
-        dev.results(k)?.blocks.iter().map(|b| b.sm_id).collect();
+    let first_kernel_sms: Vec<u32> = dev.results(k)?.blocks.iter().map(|b| b.sm_id).collect();
     let round_robin = first_kernel_sms
         .iter()
         .enumerate()
@@ -110,17 +106,16 @@ pub fn reverse_engineer_block_scheduler(
     )?;
     let late = dev.launch(1, KernelSpec::new("late", smid_probe(0), LaunchConfig::new(1, 32)))?;
     dev.run_until_idle(100_000_000)?;
-    let hog_first_end = dev
-        .results(hog)?
-        .blocks
-        .iter()
-        .map(|b| b.end_cycle)
-        .min()
-        .unwrap_or(0);
+    let hog_first_end = dev.results(hog)?.blocks.iter().map(|b| b.end_cycle).min().unwrap_or(0);
     let late_start = dev.results(late)?.blocks[0].start_cycle;
     let queues_when_full = late_start >= hog_first_end;
 
-    Ok(BlockSchedulerReport { round_robin, leftover_colocation, queues_when_full, first_kernel_sms })
+    Ok(BlockSchedulerReport {
+        round_robin,
+        leftover_colocation,
+        queues_when_full,
+        first_kernel_sms,
+    })
 }
 
 /// Reverse engineers the warp -> warp-scheduler assignment: architecturally
@@ -142,13 +137,16 @@ pub fn reverse_engineer_warp_scheduler(
     let mut dev = Device::new(spec.clone());
     let k = dev.launch(
         0,
-        KernelSpec::new("sched-probe", b.build().expect("assembles"), LaunchConfig::new(1, warps * 32)),
+        KernelSpec::new(
+            "sched-probe",
+            b.build().expect("assembles"),
+            LaunchConfig::new(1, warps * 32),
+        ),
     )?;
     dev.run_until_idle(10_000_000)?;
     let r = dev.results(k)?;
-    let assignment: Vec<u32> = (0..warps)
-        .map(|w| r.warp_results(0, w).map(|v| v[0] as u32).unwrap_or(u32::MAX))
-        .collect();
+    let assignment: Vec<u32> =
+        (0..warps).map(|w| r.warp_results(0, w).map(|v| v[0] as u32).unwrap_or(u32::MAX)).collect();
 
     // Behavioural inference: warp-0 __sinf latency vs warp count. The first
     // latency rise happens when a scheduler receives its second contending
@@ -181,7 +179,7 @@ fn most_common(xs: &[usize]) -> Option<usize> {
     let mut best: Option<(usize, usize)> = None;
     for &x in xs {
         let count = xs.iter().filter(|&&y| y == x).count();
-        if best.map_or(true, |(_, c)| count > c) {
+        if best.is_none_or(|(_, c)| count > c) {
             best = Some((x, count));
         }
     }
@@ -204,13 +202,11 @@ pub fn coresident_recipe(spec: &DeviceSpec) -> (LaunchConfig, LaunchConfig) {
 /// Maxwell (SM capacity = 2x block max) the trojan also claims a full block
 /// worth of shared memory, exactly as the paper prescribes.
 pub fn exclusive_recipe(spec: &DeviceSpec) -> (LaunchConfig, LaunchConfig) {
-    let spy = LaunchConfig::new(spec.num_sms, 128)
-        .with_shared_mem(spec.sm.max_shared_mem_per_block);
-    let leftover_shared =
-        spec.sm.shared_mem_bytes - spec.sm.max_shared_mem_per_block;
+    let spy =
+        LaunchConfig::new(spec.num_sms, 128).with_shared_mem(spec.sm.max_shared_mem_per_block);
+    let leftover_shared = spec.sm.shared_mem_bytes - spec.sm.max_shared_mem_per_block;
     let trojan_threads = spec.sm.max_threads - 128;
-    let trojan =
-        LaunchConfig::new(spec.num_sms, trojan_threads).with_shared_mem(leftover_shared);
+    let trojan = LaunchConfig::new(spec.num_sms, trojan_threads).with_shared_mem(leftover_shared);
     (spy, trojan)
 }
 

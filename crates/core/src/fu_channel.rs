@@ -82,22 +82,19 @@ impl SfuChannel {
     /// Expected per-op latency with only the spy running (cycles).
     pub fn idle_latency(&self) -> u64 {
         let t = FuTiming::for_op(self.spec.architecture, self.op);
-        let occ = u64::from(self.spec.sm.pools.issue_occupancy(
-            self.op.unit(),
-            self.spec.sm.num_warp_schedulers,
-        )) * u64::from(t.micro_ops);
-        let per_sched =
-            u64::from(self.warps_per_block.div_ceil(self.spec.sm.num_warp_schedulers));
+        let occ = u64::from(
+            self.spec.sm.pools.issue_occupancy(self.op.unit(), self.spec.sm.num_warp_schedulers),
+        ) * u64::from(t.micro_ops);
+        let per_sched = u64::from(self.warps_per_block.div_ceil(self.spec.sm.num_warp_schedulers));
         (u64::from(t.pipeline_depth) + occ).max(per_sched * occ)
     }
 
     /// Expected per-op latency with spy + trojan contending (cycles).
     pub fn contended_latency(&self) -> u64 {
         let t = FuTiming::for_op(self.spec.architecture, self.op);
-        let occ = u64::from(self.spec.sm.pools.issue_occupancy(
-            self.op.unit(),
-            self.spec.sm.num_warp_schedulers,
-        )) * u64::from(t.micro_ops);
+        let occ = u64::from(
+            self.spec.sm.pools.issue_occupancy(self.op.unit(), self.spec.sm.num_warp_schedulers),
+        ) * u64::from(t.micro_ops);
         let per_sched =
             u64::from((2 * self.warps_per_block).div_ceil(self.spec.sm.num_warp_schedulers));
         (u64::from(t.pipeline_depth) + occ).max(per_sched * occ)
@@ -143,8 +140,7 @@ impl SfuChannel {
         };
         let threshold = self.burst_threshold();
         let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
-        let decode =
-            move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
+        let decode = move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
         let launch = LaunchConfig::new(self.spec.num_sms, self.warps_per_block * 32);
         let (outcome, _dev) = transmit_per_bit(
             &self.spec,

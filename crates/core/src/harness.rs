@@ -1,0 +1,265 @@
+//! Multi-threaded trial harness for channel sweeps.
+//!
+//! Every experiment in the paper's evaluation is a set of *independent*
+//! trials: one transmission per iteration count (Figure 5), one device per
+//! sweep point (Figures 2/3/6/7), one seeded run per BER sample. Each trial
+//! builds its own [`gpgpu_sim::Device`], so trials share no mutable state
+//! and can run on any thread in any order without changing a single bit of
+//! output.
+//!
+//! [`TrialRunner`] exploits that: it fans trials across scoped OS threads
+//! (`std::thread::scope` — no external thread-pool dependency), hands each
+//! trial a deterministic per-index seed, and collects results back in index
+//! order. The same seeds through [`TrialRunner::sequential`] and through an
+//! N-worker runner produce bit-identical results; the integration test
+//! `integration_harness_determinism` enforces this.
+//!
+//! Worker count resolution order: explicit [`TrialRunner::with_workers`],
+//! then the `GPGPU_TRIAL_WORKERS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One independent unit of work handed to a trial closure: its position in
+/// the batch and a deterministic seed derived from the runner's base seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Index of this trial in `0..trials`.
+    pub index: usize,
+    /// Seed for this trial, derived from the runner's base seed and the
+    /// index by a splitmix-style mix — identical for every worker count.
+    pub seed: u64,
+}
+
+impl Trial {
+    /// A [`StdRng`] seeded with this trial's seed.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Fans independent seeded trials across scoped worker threads.
+///
+/// ```
+/// use gpgpu_covert::harness::TrialRunner;
+///
+/// let runner = TrialRunner::new().with_base_seed(7);
+/// let squares = runner.run(8, |t| (t.index * t.index, t.seed));
+/// assert_eq!(squares[3].0, 9);
+/// // Seeds are a pure function of (base_seed, index):
+/// assert_eq!(squares, TrialRunner::sequential().with_base_seed(7).run(8, |t| (t.index * t.index, t.seed)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRunner {
+    workers: usize,
+    base_seed: u64,
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default base seed (shared with the channels' default jitter seed family).
+const DEFAULT_BASE_SEED: u64 = 0x5EED_0000_0000_0000;
+
+fn mix_seed(base: u64, index: u64) -> u64 {
+    // SplitMix64 over (base ^ golden-ratio-scaled index): uncorrelated
+    // per-trial streams, stable across platforms and worker counts.
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TrialRunner {
+    /// A runner sized to the machine: `GPGPU_TRIAL_WORKERS` if set, else
+    /// `available_parallelism()`, else 1.
+    pub fn new() -> Self {
+        let workers = std::env::var("GPGPU_TRIAL_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        TrialRunner { workers, base_seed: DEFAULT_BASE_SEED }
+    }
+
+    /// A single-threaded runner — the reference path for determinism checks.
+    pub fn sequential() -> Self {
+        TrialRunner { workers: 1, base_seed: DEFAULT_BASE_SEED }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the base seed all per-trial seeds derive from.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The resolved worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The seed trial `index` will receive — a pure function of
+    /// `(base_seed, index)`, independent of worker count and schedule.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        mix_seed(self.base_seed, index as u64)
+    }
+
+    /// Runs `trials` independent trials of `f`, returning results in trial
+    /// order. Work is claimed from a shared atomic counter, so threads never
+    /// idle while trials remain; results are written back by index, so the
+    /// output order (and content, for deterministic `f`) is identical for
+    /// every worker count.
+    pub fn run<T, F>(&self, trials: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+    {
+        let trial = |index: usize| Trial { index, seed: self.seed_for(index) };
+        let effective = self.workers.min(trials.max(1));
+        if effective <= 1 {
+            return (0..trials).map(|i| f(trial(i))).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..effective {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let value = f(trial(i));
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every trial index was claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over `items` in parallel, preserving item order — the sweep
+    /// form of [`TrialRunner::run`] (one trial per sweep point).
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(Trial, &I) -> T + Sync,
+    {
+        self.run(items.len(), |t| f(t, &items[t.index]))
+    }
+
+    /// Like [`TrialRunner::map`] but for fallible trials: returns the
+    /// first error by item order (deterministic even when a later item
+    /// fails first in wall-clock time).
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing trial.
+    pub fn try_map<I, T, E, F>(&self, items: &[I], f: F) -> Result<Vec<T>, E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(Trial, &I) -> Result<T, E> + Sync,
+    {
+        self.run(items.len(), |t| f(t, &items[t.index])).into_iter().collect()
+    }
+
+    /// Mean of per-trial bit-error rates over `trials` seeded trials — the
+    /// multi-trial form of [`crate::bits::Message::bit_error_rate`]. Each
+    /// trial receives its own deterministic seed (e.g. for launch jitter)
+    /// and returns one BER sample; the mean is order-independent.
+    pub fn mean_ber<F>(&self, trials: usize, f: F) -> f64
+    where
+        F: Fn(Trial) -> f64 + Sync,
+    {
+        if trials == 0 {
+            return 0.0;
+        }
+        let samples = self.run(trials, f);
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let r = TrialRunner::sequential().with_base_seed(42);
+        let seeds: Vec<u64> = (0..64).map(|i| r.seed_for(i)).collect();
+        assert_eq!(seeds, (0..64).map(|i| r.seed_for(i)).collect::<Vec<_>>());
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "seed collision");
+        // Different base seed => different stream.
+        assert_ne!(seeds[0], TrialRunner::sequential().with_base_seed(43).seed_for(0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let work = |t: Trial| -> (usize, u64, u64) {
+            let mut rng = t.rng();
+            (t.index, t.seed, rng.gen_range(0..u64::MAX))
+        };
+        let seq = TrialRunner::sequential().run(33, work);
+        for workers in [2, 3, 8] {
+            let par = TrialRunner::sequential().with_workers(workers).run(33, work);
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items = [10u64, 20, 30, 40, 50];
+        let r = TrialRunner::new().with_workers(4);
+        let out = r.map(&items, |t, &x| x + t.index as u64);
+        assert_eq!(out, vec![10, 21, 32, 43, 54]);
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let items = [1u32, 2, 3, 4];
+        let r = TrialRunner::new().with_workers(4);
+        let res: Result<Vec<u32>, String> =
+            r.try_map(&items, |_, &x| if x % 2 == 0 { Err(format!("bad {x}")) } else { Ok(x) });
+        assert_eq!(res.unwrap_err(), "bad 2");
+    }
+
+    #[test]
+    fn mean_ber_averages_and_handles_zero_trials() {
+        let r = TrialRunner::new();
+        assert_eq!(r.mean_ber(0, |_| 1.0), 0.0);
+        let mean = r.mean_ber(10, |t| if t.index < 5 { 0.0 } else { 1.0 });
+        assert!((mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trials_and_single_trial_work() {
+        let r = TrialRunner::new().with_workers(8);
+        assert!(r.run(0, |t| t.index).is_empty());
+        assert_eq!(r.run(1, |t| t.index), vec![0]);
+    }
+}

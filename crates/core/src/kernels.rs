@@ -204,9 +204,7 @@ mod tests {
 
     fn run_one_warp(program: gpgpu_isa::Program) -> Vec<u64> {
         let mut dev = Device::new(presets::tesla_k40c());
-        let k = dev
-            .launch(0, KernelSpec::new("t", program, LaunchConfig::new(1, 32)))
-            .unwrap();
+        let k = dev.launch(0, KernelSpec::new("t", program, LaunchConfig::new(1, 32))).unwrap();
         dev.run_until_idle(10_000_000).unwrap();
         dev.results(k).unwrap().flat_results()
     }

@@ -8,6 +8,7 @@
 //!   (Figures 6 and 7) that expose the number of warp schedulers and the
 //!   per-scheduler contention domains.
 
+use crate::harness::TrialRunner;
 use crate::CovertError;
 use gpgpu_isa::{ProgramBuilder, Reg};
 use gpgpu_sim::{Device, KernelSpec};
@@ -57,40 +58,46 @@ pub fn cache_sweep(
     stride: u64,
     sizes: &[u64],
 ) -> Result<Vec<CacheSweepPoint>, CovertError> {
-    let mut out = Vec::with_capacity(sizes.len());
-    for &size in sizes {
-        let n = size.div_ceil(stride).max(1);
-        let mut b = ProgramBuilder::new();
-        let (addr, t0, t1, total) = (Reg(0), Reg(1), Reg(2), Reg(3));
-        // Warm walk.
+    // Each size point runs on its own device, so points fan out across the
+    // trial harness with bit-identical results to a sequential sweep.
+    TrialRunner::new().try_map(sizes, |_, &size| cache_sweep_point(spec, stride, size))
+}
+
+fn cache_sweep_point(
+    spec: &DeviceSpec,
+    stride: u64,
+    size: u64,
+) -> Result<CacheSweepPoint, CovertError> {
+    let n = size.div_ceil(stride).max(1);
+    let mut b = ProgramBuilder::new();
+    let (addr, t0, t1, total) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    // Warm walk.
+    for k in 0..n {
+        b.mov_imm(addr, k * stride);
+        b.const_load(addr);
+    }
+    // Two timed walks; the second is steady-state under LRU.
+    for _ in 0..2 {
+        b.read_clock(t0);
         for k in 0..n {
             b.mov_imm(addr, k * stride);
             b.const_load(addr);
         }
-        // Two timed walks; the second is steady-state under LRU.
-        for _ in 0..2 {
-            b.read_clock(t0);
-            for k in 0..n {
-                b.mov_imm(addr, k * stride);
-                b.const_load(addr);
-            }
-            b.read_clock(t1);
-            b.sub(total, t1, t0);
-            b.push_result(total);
-        }
-        let mut dev = Device::new(spec.clone());
-        dev.alloc_constant(size);
-        let k = dev.launch(
-            0,
-            KernelSpec::new("cache-sweep", b.build().expect("assembles"), LaunchConfig::new(1, 32)),
-        )?;
-        dev.run_until_idle(200_000_000)?;
-        let r = dev.results(k)?;
-        let samples = r.warp_results(0, 0).unwrap_or(&[]);
-        let steady = *samples.last().unwrap_or(&0);
-        out.push(CacheSweepPoint { array_bytes: size, latency: steady as f64 / n as f64 });
+        b.read_clock(t1);
+        b.sub(total, t1, t0);
+        b.push_result(total);
     }
-    Ok(out)
+    let mut dev = Device::new(spec.clone());
+    dev.alloc_constant(size);
+    let k = dev.launch(
+        0,
+        KernelSpec::new("cache-sweep", b.build().expect("assembles"), LaunchConfig::new(1, 32)),
+    )?;
+    dev.run_until_idle(200_000_000)?;
+    let r = dev.results(k)?;
+    let samples = r.warp_results(0, 0).unwrap_or(&[]);
+    let steady = *samples.last().unwrap_or(&0);
+    Ok(CacheSweepPoint { array_bytes: size, latency: steady as f64 / n as f64 })
 }
 
 /// The sizes the paper plots in Figure 2 (L1, stride 64, 1800-3000 bytes).
@@ -117,11 +124,7 @@ pub fn recover_cache_geometry(points: &[CacheSweepPoint]) -> Option<RecoveredGeo
     let base = points.first()?.latency;
     const EPS: f64 = 3.0;
     // Cache size: the largest array still at base latency.
-    let size_bytes = points
-        .iter()
-        .take_while(|p| p.latency <= base + EPS)
-        .last()?
-        .array_bytes;
+    let size_bytes = points.iter().take_while(|p| p.latency <= base + EPS).last()?.array_bytes;
     // Rising edges of the staircase.
     let mut rises: Vec<u64> = Vec::new();
     for w in points.windows(2) {
@@ -162,8 +165,8 @@ pub fn fu_latency_sweep(
 ) -> Result<Vec<FuLatencyPoint>, CovertError> {
     const BURST: u64 = 32;
     const ITERS: u64 = 16; // matches the paper's spirit of many-iteration averages
-    let mut out = Vec::with_capacity(warp_counts.len());
-    for &warps in warp_counts {
+                           // Independent device per warp count: fan out across the trial harness.
+    TrialRunner::new().try_map(warp_counts, |_, &warps| {
         let mut b = ProgramBuilder::new();
         b.repeat(Reg(20), ITERS, |b| {
             crate::kernels::emit_timed_fu_burst(b, op, BURST, Reg(21));
@@ -172,18 +175,20 @@ pub fn fu_latency_sweep(
         let mut dev = Device::new(spec.clone());
         let k = dev.launch(
             0,
-            KernelSpec::new("fu-sweep", b.build().expect("assembles"), LaunchConfig::new(1, warps * 32)),
+            KernelSpec::new(
+                "fu-sweep",
+                b.build().expect("assembles"),
+                LaunchConfig::new(1, warps * 32),
+            ),
         )?;
         dev.run_until_idle(500_000_000)?;
         let r = dev.results(k)?;
         let samples = r.warp_results(0, 0).unwrap_or(&[]);
         // Steady state: skip the first half (pipeline warm-up, stragglers).
         let tail = &samples[samples.len() / 2..];
-        let avg_total: f64 =
-            tail.iter().map(|&t| t as f64).sum::<f64>() / tail.len().max(1) as f64;
-        out.push(FuLatencyPoint { warps, latency: avg_total / BURST as f64 });
-    }
-    Ok(out)
+        let avg_total: f64 = tail.iter().map(|&t| t as f64).sum::<f64>() / tail.len().max(1) as f64;
+        Ok(FuLatencyPoint { warps, latency: avg_total / BURST as f64 })
+    })
 }
 
 #[cfg(test)]
@@ -230,8 +235,7 @@ mod tests {
     #[test]
     fn fu_sweep_shows_kepler_sinf_shape() {
         let spec = presets::tesla_k40c();
-        let sweep =
-            fu_latency_sweep(&spec, FuOpKind::SpSinf, &[1, 4, 8, 16, 24, 32]).unwrap();
+        let sweep = fu_latency_sweep(&spec, FuOpKind::SpSinf, &[1, 4, 8, 16, 24, 32]).unwrap();
         // Base latency ~18 at low warp counts; rises once demand saturates
         // the per-scheduler SFU ports.
         assert!((sweep[0].latency - 18.0).abs() < 2.0, "base {}", sweep[0].latency);

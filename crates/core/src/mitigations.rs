@@ -47,18 +47,15 @@ impl Mitigation {
     /// The device tuning implementing this mitigation.
     pub fn tuning(self) -> DeviceTuning {
         match self {
-            Mitigation::CachePartitioning { partitions } => DeviceTuning {
-                cache_partitions: partitions,
-                ..DeviceTuning::none()
-            },
-            Mitigation::RandomizedWarpScheduling { seed } => DeviceTuning {
-                random_warp_scheduler: Some(seed),
-                ..DeviceTuning::none()
-            },
-            Mitigation::ClockFuzzing { granularity } => DeviceTuning {
-                clock_granularity: granularity,
-                ..DeviceTuning::none()
-            },
+            Mitigation::CachePartitioning { partitions } => {
+                DeviceTuning { cache_partitions: partitions, ..DeviceTuning::none() }
+            }
+            Mitigation::RandomizedWarpScheduling { seed } => {
+                DeviceTuning { random_warp_scheduler: Some(seed), ..DeviceTuning::none() }
+            }
+            Mitigation::ClockFuzzing { granularity } => {
+                DeviceTuning { clock_granularity: granularity, ..DeviceTuning::none() }
+            }
         }
     }
 }
@@ -109,9 +106,7 @@ pub fn evaluate_against_l1(
     msg: &Message,
 ) -> Result<MitigationReport, CovertError> {
     let baseline = L1Channel::new(spec.clone()).transmit(msg)?;
-    let mitigated = L1Channel::new(spec.clone())
-        .with_tuning(mitigation.tuning())
-        .transmit(msg)?;
+    let mitigated = L1Channel::new(spec.clone()).with_tuning(mitigation.tuning()).transmit(msg)?;
     Ok(MitigationReport { mitigation, baseline, mitigated })
 }
 
@@ -127,9 +122,8 @@ pub fn evaluate_against_sync(
     msg: &Message,
 ) -> Result<MitigationReport, CovertError> {
     let baseline = SyncChannel::new(spec.clone()).transmit(msg)?;
-    let mitigated = SyncChannel::new(spec.clone())
-        .with_tuning(mitigation.tuning())
-        .transmit(msg)?;
+    let mitigated =
+        SyncChannel::new(spec.clone()).with_tuning(mitigation.tuning()).transmit(msg)?;
     Ok(MitigationReport { mitigation, baseline, mitigated })
 }
 
@@ -145,9 +139,8 @@ pub fn evaluate_against_parallel_sfu(
     msg: &Message,
 ) -> Result<MitigationReport, CovertError> {
     let baseline = ParallelSfuChannel::new(spec.clone()).transmit(msg)?;
-    let mitigated = ParallelSfuChannel::new(spec.clone())
-        .with_tuning(mitigation.tuning())
-        .transmit(msg)?;
+    let mitigated =
+        ParallelSfuChannel::new(spec.clone()).with_tuning(mitigation.tuning()).transmit(msg)?;
     Ok(MitigationReport { mitigation, baseline, mitigated })
 }
 
@@ -160,12 +153,8 @@ mod tests {
     fn cache_partitioning_kills_the_l1_channel() {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 0x91);
-        let r = evaluate_against_l1(
-            &spec,
-            Mitigation::CachePartitioning { partitions: 2 },
-            &msg,
-        )
-        .unwrap();
+        let r = evaluate_against_l1(&spec, Mitigation::CachePartitioning { partitions: 2 }, &msg)
+            .unwrap();
         assert!(r.is_effective(0.2), "baseline {} mitigated {}", r.baseline.ber, r.mitigated.ber);
     }
 
@@ -174,12 +163,8 @@ mod tests {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 0x92);
         // Quantum far above the 49-vs-112-cycle gap.
-        let r = evaluate_against_l1(
-            &spec,
-            Mitigation::ClockFuzzing { granularity: 4096 },
-            &msg,
-        )
-        .unwrap();
+        let r = evaluate_against_l1(&spec, Mitigation::ClockFuzzing { granularity: 4096 }, &msg)
+            .unwrap();
         assert!(r.is_effective(0.2), "baseline {} mitigated {}", r.baseline.ber, r.mitigated.ber);
     }
 
@@ -189,8 +174,8 @@ mod tests {
         // defense must be sized to the signal it hides.
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(12, 0x93);
-        let r = evaluate_against_l1(&spec, Mitigation::ClockFuzzing { granularity: 8 }, &msg)
-            .unwrap();
+        let r =
+            evaluate_against_l1(&spec, Mitigation::ClockFuzzing { granularity: 8 }, &msg).unwrap();
         assert!(r.mitigated.is_error_free(), "ber {}", r.mitigated.ber);
     }
 
@@ -212,12 +197,8 @@ mod tests {
     fn partitioning_defeats_even_the_synchronized_protocol() {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(8, 0x95);
-        let r = evaluate_against_sync(
-            &spec,
-            Mitigation::CachePartitioning { partitions: 2 },
-            &msg,
-        )
-        .unwrap();
+        let r = evaluate_against_sync(&spec, Mitigation::CachePartitioning { partitions: 2 }, &msg)
+            .unwrap();
         assert!(r.baseline.is_error_free());
         assert!(r.mitigated.ber > 0.2, "ber {}", r.mitigated.ber);
     }

@@ -164,8 +164,7 @@ mod tests {
     fn constant_cache_noise_corrupts_unprotected_channel() {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 4);
-        let exp =
-            run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], false).unwrap();
+        let exp = run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], false).unwrap();
         assert!(exp.noise_overlapped, "noise should co-locate without the defense");
         assert!(exp.outcome.ber > 0.0, "expected corruption, ber={}", exp.outcome.ber);
     }
@@ -174,8 +173,7 @@ mod tests {
     fn exclusive_colocation_locks_noise_out() {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 4);
-        let exp =
-            run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], true).unwrap();
+        let exp = run_sync_with_noise(&spec, &msg, &[NoiseKind::ConstantCacheHog], true).unwrap();
         assert!(exp.outcome.is_error_free(), "ber={}", exp.outcome.ber);
     }
 

@@ -13,8 +13,8 @@
 use crate::bits::Message;
 use crate::channel::ChannelOutcome;
 use crate::kernels::{
-    emit_block_dispatch, emit_fill, emit_idle_spin, emit_probe_count_misses,
-    emit_timed_fu_burst, miss_threshold, SetRef,
+    emit_block_dispatch, emit_fill, emit_idle_spin, emit_probe_count_misses, emit_timed_fu_burst,
+    miss_threshold, SetRef,
 };
 use crate::CovertError;
 use gpgpu_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
@@ -201,11 +201,9 @@ impl ParallelSfuChannel {
         let mut received = vec![false; msg.len()];
         let mut idx = 0;
         while idx < msg.len() {
-            let round: Vec<bool> = (0..per_round)
-                .map(|i| msg.bits().get(idx + i).copied().unwrap_or(false))
-                .collect();
-            let spy =
-                dev.launch(0, KernelSpec::new("spy", self.spy_program(), launch))?;
+            let round: Vec<bool> =
+                (0..per_round).map(|i| msg.bits().get(idx + i).copied().unwrap_or(false)).collect();
+            let spy = dev.launch(0, KernelSpec::new("spy", self.spy_program(), launch))?;
             dev.launch(1, KernelSpec::new("trojan", self.trojan_program(&round), launch))?;
             dev.run_until_idle(200_000_000)?;
             let r = dev.results(spy)?;
@@ -215,9 +213,11 @@ impl ParallelSfuChannel {
                     if idx + i >= msg.len() {
                         continue;
                     }
-                    let samples = r.warp_results(blk, s as u32).ok_or(
-                        CovertError::ProtocolDesync { expected: self.iterations as usize, got: 0 },
-                    )?;
+                    let samples =
+                        r.warp_results(blk, s as u32).ok_or(CovertError::ProtocolDesync {
+                            expected: self.iterations as usize,
+                            got: 0,
+                        })?;
                     received[idx + i] =
                         samples.iter().filter(|&&l| l > threshold).count() >= min_hot;
                 }
@@ -225,7 +225,8 @@ impl ParallelSfuChannel {
             idx += per_round;
         }
         let cycles = dev.now().max(1);
-        Ok(ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles))
+        Ok(ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles)
+            .with_stats(*dev.stats()))
     }
 }
 
@@ -260,7 +261,8 @@ impl CombinedChannel {
         let g = self.spec.const_l1.geometry;
         let spy_set = SetRef::new(&g, 0, 0);
         let trojan_set = SetRef::new(&g, g.same_set_stride() * g.ways(), 0);
-        let cache_thr = miss_threshold(self.spec.const_l1.hit_latency, self.spec.const_l2.hit_latency);
+        let cache_thr =
+            miss_threshold(self.spec.const_l1.hit_latency, self.spec.const_l2.hit_latency);
         let fu_warps = u64::from(sfu_warps_per_block(self.spec.architecture));
         let nsched = u64::from(self.spec.sm.num_warp_schedulers);
         let per_sched = fu_warps / nsched;
@@ -317,8 +319,7 @@ impl CombinedChannel {
             b.build().expect("trojan assembles")
         };
 
-        let launch =
-            LaunchConfig::new(self.spec.num_sms, (1 + fu_warps as u32) * 32);
+        let launch = LaunchConfig::new(self.spec.num_sms, (1 + fu_warps as u32) * 32);
         let mut dev = Device::new(self.spec.clone());
         dev.alloc_constant(g.size_bytes());
         dev.alloc_constant(g.size_bytes());
@@ -332,17 +333,16 @@ impl CombinedChannel {
             dev.run_until_idle(200_000_000)?;
             let r = dev.results(spy)?;
             let cache_samples = r.warp_results(0, 0).unwrap_or(&[]);
-            received[idx] =
-                cache_samples.iter().filter(|&&c| c > 0).count() >= min_hot;
+            received[idx] = cache_samples.iter().filter(|&&c| c > 0).count() >= min_hot;
             if idx + 1 < msg.len() {
                 let fu_samples = r.warp_results(0, 1).unwrap_or(&[]);
-                received[idx + 1] =
-                    fu_samples.iter().filter(|&&l| l > fu_thr).count() >= min_hot;
+                received[idx + 1] = fu_samples.iter().filter(|&&l| l > fu_thr).count() >= min_hot;
             }
             idx += 2;
         }
         let cycles = dev.now().max(1);
-        Ok(ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles))
+        Ok(ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles)
+            .with_stats(*dev.stats()))
     }
 }
 
@@ -365,11 +365,8 @@ mod tests {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(60, 31);
         let one = ParallelSfuChannel::new(spec.clone()).transmit(&msg).unwrap();
-        let many = ParallelSfuChannel::new(spec)
-            .with_parallel_sms(15)
-            .unwrap()
-            .transmit(&msg)
-            .unwrap();
+        let many =
+            ParallelSfuChannel::new(spec).with_parallel_sms(15).unwrap().transmit(&msg).unwrap();
         assert!(many.is_error_free(), "multi-SM BER {}", many.ber);
         assert!(
             many.bandwidth_kbps > 5.0 * one.bandwidth_kbps,

@@ -100,7 +100,8 @@ pub fn bank_conflict_transferability(
 
     // (a) clean self-timing.
     let mut dev = Device::new(spec.clone());
-    let k = dev.launch(0, KernelSpec::new("clean", timed_shared_loop(0, clean_pattern, ITERS), launch))?;
+    let k = dev
+        .launch(0, KernelSpec::new("clean", timed_shared_loop(0, clean_pattern, ITERS), launch))?;
     dev.run_until_idle(100_000_000)?;
     let clean_latency = mean_of_first_warp(&dev, k)?;
 
@@ -115,7 +116,8 @@ pub fn bank_conflict_transferability(
 
     // (c) clean spy beside a heavily conflicted trojan on the same SMs.
     let mut dev = Device::new(spec.clone());
-    let spy = dev.launch(0, KernelSpec::new("spy", timed_shared_loop(0, clean_pattern, ITERS), launch))?;
+    let spy =
+        dev.launch(0, KernelSpec::new("spy", timed_shared_loop(0, clean_pattern, ITERS), launch))?;
     dev.launch(
         1,
         KernelSpec::new("trojan", untimed_shared_loop(4096, conflict_pattern, ITERS * 2), launch),
@@ -132,9 +134,7 @@ pub fn bank_conflict_transferability(
 /// # Errors
 ///
 /// Propagates simulator failures.
-pub fn coalescing_transferability(
-    spec: &DeviceSpec,
-) -> Result<TransferabilityReport, CovertError> {
+pub fn coalescing_transferability(spec: &DeviceSpec) -> Result<TransferabilityReport, CovertError> {
     let seg = spec.mem.coalesce_segment;
     let timed = |base: u64, pattern: LanePattern| {
         let (addr, t0, t1, lat) = (Reg(0), Reg(1), Reg(2), Reg(3));

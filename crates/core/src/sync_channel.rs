@@ -23,8 +23,7 @@ use crate::bits::Message;
 use crate::cache_channel::CacheLevel;
 use crate::channel::ChannelOutcome;
 use crate::kernels::{
-    emit_block_dispatch, emit_fill, emit_probe_count_misses, emit_spin_wait, miss_threshold,
-    SetRef,
+    emit_block_dispatch, emit_fill, emit_probe_count_misses, emit_spin_wait, miss_threshold, SetRef,
 };
 use crate::CovertError;
 use gpgpu_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
@@ -156,7 +155,10 @@ impl SyncChannel {
         }
         if sms == 0 || sms > self.spec.num_sms {
             return Err(CovertError::Config {
-                reason: format!("device has {} SMs; 1..={} supported", self.spec.num_sms, self.spec.num_sms),
+                reason: format!(
+                    "device has {} SMs; 1..={} supported",
+                    self.spec.num_sms, self.spec.num_sms
+                ),
             });
         }
         self.parallel_sms = sms;
@@ -309,8 +311,8 @@ impl SyncChannel {
             // ---- control warp ----
             b.bind(control);
             emit_fill(&mut b, &rtr_trojan); // prime the listening set
-            // hello: wait for the spy's ready signal before any data fill,
-            // so the spy's warm-up cannot race round 0's transmission.
+                                            // hello: wait for the spy's ready signal before any data fill,
+                                            // so the spy's warm-up cannot race round 0's transmission.
             self.emit_wait_with_recovery(&mut b, &rtr_trojan, &rts_trojan);
             b.bar_sync(); // hello: release data warps
             b.repeat(R_ROUND, rounds as u64, |b| {
@@ -349,12 +351,12 @@ impl SyncChannel {
         if self.exclusive {
             let spy = LaunchConfig::new(self.spec.num_sms, spy_threads)
                 .with_shared_mem(self.spec.sm.max_shared_mem_per_block);
-            let trojan = LaunchConfig::new(
-                self.spec.num_sms,
-                self.spec.sm.max_threads - spy_threads,
-            )
-            .with_shared_mem(self.spec.sm.shared_mem_bytes - self.spec.sm.max_shared_mem_per_block)
-            .with_registers_per_thread(8);
+            let trojan =
+                LaunchConfig::new(self.spec.num_sms, self.spec.sm.max_threads - spy_threads)
+                    .with_shared_mem(
+                        self.spec.sm.shared_mem_bytes - self.spec.sm.max_shared_mem_per_block,
+                    )
+                    .with_registers_per_thread(8);
             (spy, trojan)
         } else {
             let cfg = LaunchConfig::new(self.spec.num_sms, spy_threads);
@@ -404,13 +406,8 @@ impl SyncChannel {
         let padded = rounds * m;
         let chunks: Vec<Vec<bool>> = (0..s)
             .map(|b| {
-                let mut c: Vec<bool> = msg
-                    .bits()
-                    .iter()
-                    .skip(b * chunk)
-                    .take(chunk)
-                    .copied()
-                    .collect();
+                let mut c: Vec<bool> =
+                    msg.bits().iter().skip(b * chunk).take(chunk).copied().collect();
                 c.resize(padded, false);
                 c
             })
@@ -439,10 +436,8 @@ impl SyncChannel {
             + 10 * self.spec.launch_overhead_cycles;
         dev.run_until_idle(budget.max(50_000_000))?;
         let results = dev.results(spy)?;
-        let noise_results: Vec<gpgpu_sim::KernelResults> = noise_ids
-            .into_iter()
-            .map(|id| dev.results(id))
-            .collect::<Result<_, _>>()?;
+        let noise_results: Vec<gpgpu_sim::KernelResults> =
+            noise_ids.into_iter().map(|id| dev.results(id)).collect::<Result<_, _>>()?;
 
         // Decode: bit(b, r, m) = any of the round's redundant probes saw >= 2
         // misses (a full trojan fill evicts all `ways` lines; >= 2 filters the
@@ -452,9 +447,9 @@ impl SyncChannel {
         for (blk, chunk_bits) in chunks.iter().enumerate() {
             let _ = chunk_bits;
             for dm in 0..m {
-                let samples = results
-                    .warp_results(blk as u32, dm as u32 + 1)
-                    .ok_or(CovertError::ProtocolDesync { expected: rounds * r_per_round, got: 0 })?;
+                let samples = results.warp_results(blk as u32, dm as u32 + 1).ok_or(
+                    CovertError::ProtocolDesync { expected: rounds * r_per_round, got: 0 },
+                )?;
                 if samples.len() < rounds * r_per_round {
                     return Err(CovertError::ProtocolDesync {
                         expected: rounds * r_per_round,
@@ -475,8 +470,7 @@ impl SyncChannel {
         // noise kernels' drain time. The exclusion window ends when either
         // channel kernel completes (the first completion releases resources
         // that queued kernels can claim).
-        let channel_completed_at =
-            results.completed_at.min(dev.results(trojan)?.completed_at);
+        let channel_completed_at = results.completed_at.min(dev.results(trojan)?.completed_at);
         let cycles = results.completed_at.max(1);
         // SMs actually carrying the channel (blocks beyond `parallel_sms`
         // exit immediately and do not need protecting).
@@ -488,12 +482,9 @@ impl SyncChannel {
             .collect();
         active_sms.sort_unstable();
         active_sms.dedup();
-        let outcome = ChannelOutcome::from_run(
-            &self.spec,
-            msg.clone(),
-            Message::from_bits(received),
-            cycles,
-        );
+        let outcome =
+            ChannelOutcome::from_run(&self.spec, msg.clone(), Message::from_bits(received), cycles)
+                .with_stats(*dev.stats());
         let (_, eviction_alternations) = dev.cache_contention_counters();
         Ok(SyncRun {
             outcome,
@@ -582,9 +573,7 @@ mod tests {
 
     #[test]
     fn empty_message_is_trivially_transmitted() {
-        let o = SyncChannel::new(presets::tesla_k40c())
-            .transmit(&Message::default())
-            .unwrap();
+        let o = SyncChannel::new(presets::tesla_k40c()).transmit(&Message::default()).unwrap();
         assert!(o.is_error_free());
     }
 }
@@ -620,11 +609,7 @@ mod l2_tests {
         let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(56, 0x63);
         let single = SyncChannel::new_l2(spec.clone()).transmit(&msg).unwrap();
-        let multi = SyncChannel::new_l2(spec)
-            .with_data_sets(14)
-            .unwrap()
-            .transmit(&msg)
-            .unwrap();
+        let multi = SyncChannel::new_l2(spec).with_data_sets(14).unwrap().transmit(&msg).unwrap();
         assert!(multi.is_error_free() && single.is_error_free());
         let scaling = multi.bandwidth_kbps / single.bandwidth_kbps;
         assert!(
@@ -644,6 +629,11 @@ mod l2_tests {
         let msg = Message::pseudo_random(12, 0x64);
         let l1 = SyncChannel::new(spec.clone()).transmit(&msg).unwrap();
         let l2 = SyncChannel::new_l2(spec).transmit(&msg).unwrap();
-        assert!(l1.bandwidth_kbps > l2.bandwidth_kbps, "{} vs {}", l1.bandwidth_kbps, l2.bandwidth_kbps);
+        assert!(
+            l1.bandwidth_kbps > l2.bandwidth_kbps,
+            "{} vs {}",
+            l1.bandwidth_kbps,
+            l2.bandwidth_kbps
+        );
     }
 }

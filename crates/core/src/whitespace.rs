@@ -65,7 +65,12 @@ fn discovery_program(spec: &DeviceSpec, base: u64, reps: u64) -> gpgpu_isa::Prog
 
 /// Builds a noise kernel hammering exactly `sets` of the L1, for roughly
 /// `iterations` passes.
-fn set_noise_program(spec: &DeviceSpec, base: u64, sets: &[u64], iterations: u64) -> gpgpu_isa::Program {
+fn set_noise_program(
+    spec: &DeviceSpec,
+    base: u64,
+    sets: &[u64],
+    iterations: u64,
+) -> gpgpu_isa::Program {
     let geom = spec.const_l1.geometry;
     let mut b = ProgramBuilder::new();
     let sets = sets.to_vec();
@@ -109,17 +114,19 @@ pub fn discover_and_transmit(
     let noise_iters = 600 + 40 * msg.len() as u64 * iterations_per_bit;
     dev.launch(
         2,
-        KernelSpec::new("set-noise", set_noise_program(spec, noise_base, noisy_sets, noise_iters), launch),
+        KernelSpec::new(
+            "set-noise",
+            set_noise_program(spec, noise_base, noisy_sets, noise_iters),
+            launch,
+        ),
     )?;
     // Staggered scans on one stream: the trojan scans, then the spy.
     let t_scan = dev.launch(
         0,
         KernelSpec::new("trojan-scan", discovery_program(spec, trojan_base, 6), launch),
     )?;
-    let s_scan = dev.launch(
-        0,
-        KernelSpec::new("spy-scan", discovery_program(spec, spy_base, 6), launch),
-    )?;
+    let s_scan =
+        dev.launch(0, KernelSpec::new("spy-scan", discovery_program(spec, spy_base, 6), launch))?;
     // Run until the scans complete (the noise kernel may still be running).
     dev.run_until_complete(s_scan, 400_000_000)?;
     let trojan_scan_res = dev.results(t_scan)?;
@@ -146,7 +153,8 @@ pub fn discover_and_transmit(
                     emit_probe_count_misses(b, &spy_set, thr, Reg(21));
                     b.push_result(Reg(21));
                 });
-                let spy = dev.launch(0, KernelSpec::new("spy", sb.build().expect("assembles"), launch))?;
+                let spy =
+                    dev.launch(0, KernelSpec::new("spy", sb.build().expect("assembles"), launch))?;
                 let mut tb = ProgramBuilder::new();
                 if bit {
                     tb.repeat(Reg(20), iterations_per_bit, |b| {
@@ -160,15 +168,21 @@ pub fn discover_and_transmit(
                 dev.run_until_complete(spy, 100_000_000)?;
                 let r = dev.results(spy)?;
                 let samples = r.warp_results(0, 0).unwrap_or(&[]);
-                received.push(decode_from_miss_counts(samples, (iterations_per_bit as usize / 4).max(2)));
+                received.push(decode_from_miss_counts(
+                    samples,
+                    (iterations_per_bit as usize / 4).max(2),
+                ));
             }
             let cycles = dev.now() - start_cycle;
-            outcome = Some(ChannelOutcome::from_run(
-                spec,
-                msg.clone(),
-                Message::from_bits(received),
-                cycles.max(1),
-            ));
+            outcome = Some(
+                ChannelOutcome::from_run(
+                    spec,
+                    msg.clone(),
+                    Message::from_bits(received),
+                    cycles.max(1),
+                )
+                .with_stats(*dev.stats()),
+            );
         }
     }
     Ok(WhitespaceOutcome { trojan_scan, spy_scan, trojan_choice, spy_choice, outcome })

@@ -217,10 +217,7 @@ impl ProgramBuilder {
     /// * Any validation error from [`Program::from_instrs`].
     pub fn build(mut self) -> Result<Program, ProgramError> {
         for &(at, label) in &self.fixups {
-            let target = *self
-                .bound
-                .get(&label)
-                .ok_or(ProgramError::UnboundLabel { label })?;
+            let target = *self.bound.get(&label).ok_or(ProgramError::UnboundLabel { label })?;
             match &mut self.instrs[at as usize] {
                 Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
                 other => unreachable!("fixup at non-branch instruction {other:?}"),

@@ -392,8 +392,7 @@ mod tests {
 
     #[test]
     fn lane_pattern_spread_hits_distinct_segments() {
-        let addrs: Vec<u64> =
-            LanePattern::Spread { stride_bytes: 128 }.lane_addrs(0).collect();
+        let addrs: Vec<u64> = LanePattern::Spread { stride_bytes: 128 }.lane_addrs(0).collect();
         let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
         segments.dedup();
         assert_eq!(segments.len(), 32);

@@ -15,7 +15,11 @@ fn any_instr(max_target: u32) -> impl Strategy<Value = Instr> {
         (any_reg(), any::<u64>()).prop_map(|(rd, imm)| Instr::MovImm { rd, imm }),
         (any_reg(), any_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
         (any_reg(), any_reg(), any_reg()).prop_map(|(rd, ra, rb)| Instr::Add { rd, ra, rb }),
-        (any_reg(), any_reg(), any::<u64>()).prop_map(|(rd, ra, imm)| Instr::AddImm { rd, ra, imm }),
+        (any_reg(), any_reg(), any::<u64>()).prop_map(|(rd, ra, imm)| Instr::AddImm {
+            rd,
+            ra,
+            imm
+        }),
         any_reg().prop_map(|rd| Instr::ReadClock { rd }),
         any_reg().prop_map(|value| Instr::PushResult { value }),
         (any_reg(), 0..=255u64).prop_map(|(base, s)| Instr::GlobalLoad {

@@ -63,10 +63,8 @@ impl AtomicSystem {
         let lane_addrs: Vec<u64> = lane_addrs.into_iter().collect();
         let mut groups: Vec<(u64, u64)> = Vec::new(); // (segment base, lane count)
         for seg in coalesce(lane_addrs.iter().copied(), self.segment) {
-            let count = lane_addrs
-                .iter()
-                .filter(|&&a| a - (a % self.segment) == seg)
-                .count() as u64;
+            let count =
+                lane_addrs.iter().filter(|&&a| a - (a % self.segment) == seg).count() as u64;
             groups.push((seg, count));
         }
         let mut last = now;
@@ -138,14 +136,14 @@ mod tests {
     #[test]
     fn kepler_same_address_warp_is_one_lane_per_clock() {
         let mut a = AtomicSystem::new(&kepler_mem(), true);
-        let done = a.access(std::iter::repeat(0x1000).take(32), 0);
+        let done = a.access(std::iter::repeat_n(0x1000, 32), 0);
         assert_eq!(done, 32 + 180); // one op per clock + round trip
     }
 
     #[test]
     fn fermi_same_address_warp_serializes_lanes() {
         let mut a = AtomicSystem::new(&fermi_mem(), false);
-        let done = a.access(std::iter::repeat(0x1000).take(32), 0);
+        let done = a.access(std::iter::repeat_n(0x1000, 32), 0);
         // 32 lanes x 9 cycles + per-transaction turnaround + round trip.
         assert_eq!(done, 32 * 9 + 24 + 340);
     }
@@ -166,22 +164,22 @@ mod tests {
     #[test]
     fn contention_between_two_warps_is_observable() {
         let mut a = AtomicSystem::new(&kepler_mem(), true);
-        let alone = a.access(std::iter::repeat(0x0).take(32), 0) ;
+        let alone = a.access(std::iter::repeat_n(0x0, 32), 0);
         a.reset();
         // A trojan warp hammers the same segment first.
         for _ in 0..16 {
-            a.access(std::iter::repeat(0x0).take(32), 0);
+            a.access(std::iter::repeat_n(0x0, 32), 0);
         }
-        let contended = a.access(std::iter::repeat(0x0).take(32), 0);
+        let contended = a.access(std::iter::repeat_n(0x0, 32), 0);
         assert!(contended > alone, "trojan queueing must delay the spy: {contended} vs {alone}");
     }
 
     #[test]
     fn different_segments_use_different_units() {
         let mut a = AtomicSystem::new(&kepler_mem(), true);
-        let d1 = a.access(std::iter::repeat(0u64).take(32), 0);
+        let d1 = a.access(std::iter::repeat_n(0u64, 32), 0);
         // Different unit: no queueing even though issued at the same cycle.
-        let d2 = a.access(std::iter::repeat(128u64).take(32), 0);
+        let d2 = a.access(std::iter::repeat_n(128u64, 32), 0);
         assert_eq!(d1, d2);
     }
 

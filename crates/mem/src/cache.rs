@@ -14,7 +14,11 @@ pub enum AccessOutcome {
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
-    last_used: u64,
+    /// Generation (internal access counter) at last touch; the LRU victim is
+    /// the line with the smallest generation. Strictly monotonic, so recency
+    /// order is total — no tie-breaking ambiguity between same-cycle
+    /// accesses arriving through different ports.
+    generation: u64,
     /// Security domain (kernel) that filled the line; used for contention
     /// anomaly detection (CC-Hunter-style, paper Section 9).
     domain: u32,
@@ -29,13 +33,17 @@ struct Line {
 /// use gpgpu_spec::CacheGeometry;
 ///
 /// let mut c = SetAssocCache::new(CacheGeometry::new(2048, 64, 4).unwrap());
-/// assert_eq!(c.access(0x100, 0), AccessOutcome::Miss);
-/// assert_eq!(c.access(0x100, 1), AccessOutcome::Hit);
+/// assert_eq!(c.access(0x100), AccessOutcome::Miss);
+/// assert_eq!(c.access(0x100), AccessOutcome::Hit);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
     sets: Vec<Vec<Line>>,
+    /// Monotonic access counter driving generation-counter LRU; bumped on
+    /// every access so recency updates are a single store instead of a
+    /// caller-supplied timestamp with possible ties.
+    tick: u64,
     /// Last cross-domain eviction pair `(evictor, victim)` per set.
     last_cross_evict: Vec<Option<(u32, u32)>>,
     /// Total evictions where the evictor's domain differed from the
@@ -56,6 +64,7 @@ impl SetAssocCache {
         SetAssocCache {
             geometry,
             sets,
+            tick: 0,
             last_cross_evict,
             cross_domain_evictions: 0,
             eviction_alternations: 0,
@@ -80,13 +89,13 @@ impl SetAssocCache {
         &self.geometry
     }
 
-    /// Accesses `addr` at logical time `stamp` (used for LRU ordering):
-    /// returns [`AccessOutcome::Hit`] if present, otherwise fills the line
-    /// (evicting the least-recently-used way if the set is full) and
-    /// returns [`AccessOutcome::Miss`].
-    pub fn access(&mut self, addr: u64, stamp: u64) -> AccessOutcome {
+    /// Accesses `addr`: returns [`AccessOutcome::Hit`] if present, otherwise
+    /// fills the line (evicting the least-recently-used way if the set is
+    /// full) and returns [`AccessOutcome::Miss`]. Recency is tracked by an
+    /// internal generation counter, so callers no longer supply timestamps.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
         let set_idx = self.geometry.set_of_addr(addr);
-        self.access_in_set(addr, set_idx, stamp, 0)
+        self.access_in_set(addr, set_idx, 0)
     }
 
     /// Accesses `addr` but indexes into an explicitly chosen set — the
@@ -98,26 +107,20 @@ impl SetAssocCache {
     /// # Panics
     ///
     /// Panics if `set_idx >= num_sets`.
-    pub fn access_in_set(
-        &mut self,
-        addr: u64,
-        set_idx: u64,
-        stamp: u64,
-        domain: u32,
-    ) -> AccessOutcome {
+    pub fn access_in_set(&mut self, addr: u64, set_idx: u64, domain: u32) -> AccessOutcome {
         let tag = self.geometry.line_of_addr(addr);
+        self.tick += 1;
+        let generation = self.tick;
         let set = &mut self.sets[set_idx as usize];
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.last_used = stamp;
+            line.generation = generation;
             return AccessOutcome::Hit;
         }
         if set.len() < self.geometry.ways() as usize {
-            set.push(Line { tag, last_used: stamp, domain });
+            set.push(Line { tag, generation, domain });
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|l| l.last_used)
-                .expect("full set is non-empty");
+            let victim =
+                set.iter_mut().min_by_key(|l| l.generation).expect("full set is non-empty");
             if victim.domain != domain {
                 self.cross_domain_evictions += 1;
                 let pair = (domain, victim.domain);
@@ -127,7 +130,7 @@ impl SetAssocCache {
                 }
                 self.last_cross_evict[set_idx as usize] = Some(pair);
             }
-            *victim = Line { tag, last_used: stamp, domain };
+            *victim = Line { tag, generation, domain };
         }
         AccessOutcome::Miss
     }
@@ -182,10 +185,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = cache();
-        assert_eq!(c.access(0, 0), AccessOutcome::Miss);
-        assert_eq!(c.access(0, 1), AccessOutcome::Hit);
-        assert_eq!(c.access(63, 2), AccessOutcome::Hit); // same line
-        assert_eq!(c.access(64, 3), AccessOutcome::Miss); // next line
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+        assert_eq!(c.access(0), AccessOutcome::Hit);
+        assert_eq!(c.access(63), AccessOutcome::Hit); // same line
+        assert_eq!(c.access(64), AccessOutcome::Miss); // next line
     }
 
     #[test]
@@ -193,26 +196,26 @@ mod tests {
         let mut c = cache();
         // Fill set 0 with 4 ways (stride 512).
         for i in 0..4u64 {
-            assert_eq!(c.access(i * 512, i), AccessOutcome::Miss);
+            assert_eq!(c.access(i * 512), AccessOutcome::Miss);
         }
         // Fifth distinct line in set 0 evicts the LRU (addr 0).
-        assert_eq!(c.access(4 * 512, 10), AccessOutcome::Miss);
+        assert_eq!(c.access(4 * 512), AccessOutcome::Miss);
         assert!(!c.probe(0));
         assert!(c.probe(512));
         // Re-access addr 0: miss again (the prime+probe signal).
-        assert_eq!(c.access(0, 11), AccessOutcome::Miss);
+        assert_eq!(c.access(0), AccessOutcome::Miss);
     }
 
     #[test]
     fn lru_respects_recency_updates() {
         let mut c = cache();
         for i in 0..4u64 {
-            c.access(i * 512, i);
+            c.access(i * 512);
         }
         // Touch the oldest line to make it newest.
-        assert_eq!(c.access(0, 100), AccessOutcome::Hit);
+        assert_eq!(c.access(0), AccessOutcome::Hit);
         // New line now evicts addr 512 (the LRU), not addr 0.
-        c.access(4 * 512, 101);
+        c.access(4 * 512);
         assert!(c.probe(0));
         assert!(!c.probe(512));
     }
@@ -221,21 +224,21 @@ mod tests {
     fn different_sets_do_not_interfere() {
         let mut c = cache();
         for i in 0..16u64 {
-            c.access(i * 512, i); // all in set 0
+            c.access(i * 512); // all in set 0
         }
         assert_eq!(c.set_occupancy(0), 4);
         assert_eq!(c.set_occupancy(1), 0);
-        assert_eq!(c.access(64, 100), AccessOutcome::Miss); // set 1 untouched before
-        assert_eq!(c.access(64, 101), AccessOutcome::Hit);
+        assert_eq!(c.access(64), AccessOutcome::Miss); // set 1 untouched before
+        assert_eq!(c.access(64), AccessOutcome::Hit);
     }
 
     #[test]
     fn evict_and_flush() {
         let mut c = cache();
-        c.access(128, 0);
+        c.access(128);
         assert!(c.evict(128));
         assert!(!c.evict(128));
-        c.access(128, 1);
+        c.access(128);
         c.flush();
         assert!(!c.probe(128));
     }
@@ -245,13 +248,13 @@ mod tests {
         let mut c = cache();
         // 2048 bytes = 32 lines; sequential fill then re-walk: all hits.
         for i in 0..32u64 {
-            assert_eq!(c.access(i * 64, i), AccessOutcome::Miss);
+            assert_eq!(c.access(i * 64), AccessOutcome::Miss);
         }
         for i in 0..32u64 {
-            assert_eq!(c.access(i * 64, 100 + i), AccessOutcome::Hit);
+            assert_eq!(c.access(i * 64), AccessOutcome::Hit);
         }
         // One more line spills a set.
-        assert_eq!(c.access(32 * 64, 200), AccessOutcome::Miss);
-        assert_eq!(c.access(0, 201), AccessOutcome::Miss); // evicted
+        assert_eq!(c.access(32 * 64), AccessOutcome::Miss);
+        assert_eq!(c.access(0), AccessOutcome::Miss); // evicted
     }
 }

@@ -31,10 +31,7 @@ where
     I: IntoIterator<Item = u64>,
 {
     assert!(segment_bytes > 0, "coalescing segment must be positive");
-    let mut segments: Vec<u64> = lane_addrs
-        .into_iter()
-        .map(|a| a - (a % segment_bytes))
-        .collect();
+    let mut segments: Vec<u64> = lane_addrs.into_iter().map(|a| a - (a % segment_bytes)).collect();
     segments.sort_unstable();
     segments.dedup();
     segments
@@ -46,7 +43,7 @@ mod tests {
 
     #[test]
     fn uniform_address_is_one_transaction() {
-        let addrs = std::iter::repeat(0x2000u64).take(32);
+        let addrs = std::iter::repeat_n(0x2000u64, 32);
         assert_eq!(coalesce(addrs, 128), vec![0x2000]);
     }
 
@@ -115,7 +112,7 @@ mod bank_tests {
 
     #[test]
     fn same_word_broadcasts() {
-        let addrs = std::iter::repeat(128u64).take(32);
+        let addrs = std::iter::repeat_n(128u64, 32);
         assert_eq!(bank_conflict_degree(addrs, 32, 4), 1);
     }
 

@@ -102,7 +102,7 @@ impl ConstHierarchy {
             self.l1[sm].geometry().set_of_addr(addr),
             domain,
         );
-        match self.l1[sm].access_in_set(addr, l1_set, start, domain) {
+        match self.l1[sm].access_in_set(addr, l1_set, domain) {
             AccessOutcome::Hit => {
                 ConstAccess { completes_at: start + self.l1_hit_latency, level: ConstLevel::L1 }
             }
@@ -117,7 +117,7 @@ impl ConstHierarchy {
                     self.l2.geometry().set_of_addr(addr),
                     domain,
                 );
-                match self.l2.access_in_set(addr, l2_set, l2_start, domain) {
+                match self.l2.access_in_set(addr, l2_set, domain) {
                     AccessOutcome::Hit => ConstAccess {
                         completes_at: start + self.l2_hit_latency + queue_delay,
                         level: ConstLevel::L2,
@@ -221,7 +221,7 @@ mod tests {
         // its own set-0 lines observes L2 latency instead of L1.
         let mut h = hierarchy();
         let stride = 512; // same-set stride of the 2 KB 4-way L1
-        // Spy warms 4 lines of set 0 (addresses 0,512,1024,1536).
+                          // Spy warms 4 lines of set 0 (addresses 0,512,1024,1536).
         for w in 0..4u64 {
             h.access(0, w * stride, w, 0);
         }

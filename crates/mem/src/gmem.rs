@@ -121,7 +121,7 @@ mod tests {
         for w in 0..8 {
             g.load((0..32u64).map(|i| w * 4096 + i * 4), 0);
         }
-        let contended = g.load((0..32u64).map(|i| 1 << 20 | i * 4), 0);
+        let contended = g.load((0..32u64).map(|i| (1 << 20) | (i * 4)), 0);
         let delta = contended - alone;
         assert!(delta <= 8, "load contention should be small, got {delta}");
     }

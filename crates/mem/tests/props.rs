@@ -69,8 +69,8 @@ proptest! {
     ) {
         let geom = CacheGeometry::new(4096, 64, 4).unwrap();
         let mut c = SetAssocCache::new(geom);
-        for (i, &a) in addrs.iter().enumerate() {
-            c.access(a, i as u64);
+        for &a in &addrs {
+            c.access(a);
             prop_assert!(c.probe(a), "just-accessed line must be present");
         }
         for s in 0..geom.num_sets() {
@@ -96,11 +96,11 @@ proptest! {
         let addr = |base: u64, way: u64| base * span + set * geom.line_bytes() + way * geom.same_set_stride();
         // Victim fills the set.
         for w in 0..geom.ways() {
-            c.access(addr(victim_base, w), w);
+            c.access(addr(victim_base, w));
         }
         // Attacker fills the same set with distinct tags.
         for w in 0..geom.ways() {
-            prop_assert_eq!(c.access(addr(attacker_base, w), 100 + w), AccessOutcome::Miss);
+            prop_assert_eq!(c.access(addr(attacker_base, w)), AccessOutcome::Miss);
         }
         // Every victim line is gone.
         for w in 0..geom.ways() {

@@ -1,14 +1,30 @@
 //! The device: host API, block scheduler, streams and the cycle engine.
 
 use crate::error::SimError;
-use crate::kernel::{KernelId, KernelResults, KernelSpec, KernelState};
+use crate::kernel::{BlockRecord, KernelId, KernelResults, KernelSpec, KernelState};
 use crate::sm::{Sm, Subsystems};
+use crate::stats::SimStats;
+use crate::tuning::EngineMode;
 use crate::StreamId;
 use gpgpu_isa::Instr;
 use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory};
 use gpgpu_spec::DeviceSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Launch-order queue of one stream's kernels with the index of its oldest
+/// incomplete kernel — makes the stream-ordering half of kernel eligibility
+/// O(1) instead of a rescan of every earlier kernel.
+#[derive(Debug, Default)]
+struct StreamQueue {
+    /// Indices into `Device::kernels`, in launch order.
+    kernels: Vec<usize>,
+    /// Position of the oldest incomplete kernel (== `kernels.len()` when
+    /// every kernel on the stream has completed).
+    head: usize,
+}
 
 /// A simulated GPGPU device with a CUDA-stream-like host API.
 ///
@@ -40,6 +56,25 @@ pub struct Device {
     next_const: u64,
     jitter_max: u64,
     rng: StdRng,
+    /// Cycle-engine mode (dense vs event-driven), fixed at construction.
+    engine: EngineMode,
+    /// Engine performance counters.
+    stats: SimStats,
+    /// Whether block placement may have new work since the last pass. Set on
+    /// kernel arrival, block completion and policy change; cleared when a
+    /// placement pass reaches a fixpoint without mutating any SM.
+    placement_dirty: bool,
+    /// Number of launched kernels that have not yet completed (O(1)
+    /// [`Device::is_idle`]).
+    incomplete: usize,
+    /// Min-heap of future kernel-arrival times; popping due entries marks
+    /// placement dirty without scanning every kernel each cycle.
+    pending_arrivals: BinaryHeap<Reverse<u64>>,
+    /// Per-stream launch-order queues for O(1) eligibility checks.
+    streams: HashMap<StreamId, StreamQueue>,
+    /// Reusable scratch buffer for blocks finishing within a cycle (avoids a
+    /// per-cycle allocation in the hot loop).
+    finished_buf: Vec<(KernelId, BlockRecord)>,
 }
 
 impl Device {
@@ -86,7 +121,19 @@ impl Device {
             next_const: 0,
             jitter_max: 0,
             rng: StdRng::seed_from_u64(0xC0DE_C0DE),
+            engine: tuning.engine,
+            stats: SimStats::default(),
+            placement_dirty: true,
+            incomplete: 0,
+            pending_arrivals: BinaryHeap::new(),
+            streams: HashMap::new(),
+            finished_buf: Vec::new(),
         }
+    }
+
+    /// Engine performance counters accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 
     /// The device specification.
@@ -104,6 +151,7 @@ impl Device {
     /// stay where they are.
     pub fn set_placement_policy(&mut self, policy: crate::PlacementPolicy) {
         self.policy = policy;
+        self.placement_dirty = true;
     }
 
     /// The active placement policy.
@@ -117,10 +165,7 @@ impl Device {
     /// Section 9 — near zero under benign sharing, large when two kernels
     /// ping-pong evictions to signal bits.
     pub fn cache_contention_counters(&self) -> (u64, u64) {
-        (
-            self.const_mem.cross_domain_evictions(),
-            self.const_mem.eviction_alternations(),
-        )
+        (self.const_mem.cross_domain_evictions(), self.const_mem.eviction_alternations())
     }
 
     /// Enables random launch-arrival jitter of up to `max_cycles`, seeded
@@ -146,8 +191,8 @@ impl Device {
     /// practice, and why the spy's and trojan's arrays collide in the cache
     /// even though they are distinct allocations.
     pub fn alloc_constant(&mut self, bytes: u64) -> u64 {
-        let span = self.spec.const_l1.geometry.same_set_stride()
-            * self.spec.const_l1.geometry.ways();
+        let span =
+            self.spec.const_l1.geometry.same_set_stride() * self.spec.const_l1.geometry.ways();
         let base = self.next_const;
         self.next_const += bytes.div_ceil(span).max(1) * span;
         base
@@ -169,30 +214,33 @@ impl Device {
                 self.spec.supports_op(*op)?;
             }
         }
-        let jitter = if self.jitter_max > 0 {
-            self.rng.gen_range(0..=self.jitter_max)
-        } else {
-            0
-        };
+        let jitter = if self.jitter_max > 0 { self.rng.gen_range(0..=self.jitter_max) } else { 0 };
         let id = KernelId(self.kernels.len() as u32);
+        let idx = self.kernels.len();
         let grid = spec.launch.grid_blocks as usize;
+        let arrival = self.now + self.spec.launch_overhead_cycles + jitter;
         self.kernels.push(KernelState {
             spec,
             stream,
             submitted_at: self.now,
-            arrival: self.now + self.spec.launch_overhead_cycles + jitter,
+            arrival,
             next_block: 0,
             retry_blocks: Vec::new(),
             blocks_done: 0,
             records: Vec::with_capacity(grid),
             completed_at: None,
         });
+        self.incomplete += 1;
+        self.pending_arrivals.push(Reverse(arrival));
+        let queue = self.streams.entry(stream).or_default();
+        queue.kernels.push(idx);
+        self.stats.kernels_launched += 1;
         Ok(id)
     }
 
     /// Whether every launched kernel has completed.
     pub fn is_idle(&self) -> bool {
-        self.kernels.iter().all(|k| k.is_complete())
+        self.incomplete == 0
     }
 
     /// Advances the clock until the device is idle, or errors after
@@ -213,7 +261,9 @@ impl Device {
             if worked {
                 self.now += 1;
             } else {
-                self.now = self.next_event_time()?.max(self.now + 1);
+                let target = self.next_event_time()?.max(self.now + 1);
+                self.stats.cycles_fast_forwarded += target - (self.now + 1);
+                self.now = target;
             }
         }
         Ok(())
@@ -247,7 +297,9 @@ impl Device {
             if worked {
                 self.now += 1;
             } else {
-                self.now = self.next_event_time()?.max(self.now + 1);
+                let target = self.next_event_time()?.max(self.now + 1);
+                self.stats.cycles_fast_forwarded += target - (self.now + 1);
+                self.now = target;
             }
         }
         Ok(())
@@ -260,18 +312,34 @@ impl Device {
     /// * [`SimError::UnknownKernel`] for an id not launched here.
     /// * [`SimError::KernelNotComplete`] if it has not finished.
     pub fn results(&self, id: KernelId) -> Result<KernelResults, SimError> {
+        // Records are sorted by block id exactly once, at kernel completion,
+        // so this is a plain clone — no per-call re-sort.
         let k = self.kernels.get(id.0 as usize).ok_or(SimError::UnknownKernel(id))?;
         let completed_at = k.completed_at.ok_or(SimError::KernelNotComplete(id))?;
-        let mut blocks = k.records.clone();
-        blocks.sort_by_key(|b| b.block_id);
         Ok(KernelResults {
             id,
             name: k.spec.name.clone(),
             submitted_at: k.submitted_at,
             arrived_at: k.arrival,
             completed_at,
-            blocks,
+            blocks: k.records.clone(),
         })
+    }
+
+    /// Borrowed view of a completed kernel's per-block records, sorted by
+    /// block id — the zero-copy alternative to [`Device::results`] for sweeps
+    /// that read thousands of kernels.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownKernel`] for an id not launched here.
+    /// * [`SimError::KernelNotComplete`] if it has not finished.
+    pub fn block_records(&self, id: KernelId) -> Result<&[BlockRecord], SimError> {
+        let k = self.kernels.get(id.0 as usize).ok_or(SimError::UnknownKernel(id))?;
+        if k.completed_at.is_none() {
+            return Err(SimError::KernelNotComplete(id));
+        }
+        Ok(&k.records)
     }
 
     // ---- engine internals ------------------------------------------------
@@ -282,10 +350,23 @@ impl Device {
             return false;
         }
         // Stream ordering: every earlier kernel on the same stream must have
-        // completed.
-        self.kernels[..idx]
-            .iter()
-            .all(|prev| prev.stream != k.stream || prev.is_complete())
+        // completed, i.e. this kernel is the stream's oldest incomplete one.
+        // Within a stream completion order equals launch order, so the head
+        // index (advanced at each completion) answers this in O(1).
+        let queue = &self.streams[&k.stream];
+        queue.kernels.get(queue.head) == Some(&idx)
+    }
+
+    /// Advances a stream queue's head past every completed kernel. Called at
+    /// each kernel completion; launches are never complete on arrival
+    /// (`LaunchConfig::validate` rejects zero-block grids).
+    fn advance_stream_head(&mut self, stream: StreamId) {
+        let kernels = &self.kernels;
+        if let Some(queue) = self.streams.get_mut(&stream) {
+            while queue.kernels.get(queue.head).is_some_and(|&i| kernels[i].is_complete()) {
+                queue.head += 1;
+            }
+        }
     }
 
     /// Whether `sm` may host a block of `kernel` with resources `res` under
@@ -311,13 +392,9 @@ impl Device {
             crate::PlacementPolicy::WarpedSlicer => {
                 // Best-fit: the admitting SM with the most free capacity
                 // (Xu et al.'s compatibility-driven intra-SM partitioning).
-                (0..n)
-                    .filter(|&sm| self.sm_admits(sm, kernel, res))
-                    .max_by(|&a, &b| {
-                        self.sms[a]
-                            .free_capacity_score()
-                            .total_cmp(&self.sms[b].free_capacity_score())
-                    })
+                (0..n).filter(|&sm| self.sm_admits(sm, kernel, res)).max_by(|&a, &b| {
+                    self.sms[a].free_capacity_score().total_cmp(&self.sms[b].free_capacity_score())
+                })
             }
             _ => {
                 // Round-robin first fit (leftover policy and friends).
@@ -330,13 +407,18 @@ impl Device {
 
     /// SMK preemption (Wang et al.): find an SM where evicting the highest
     /// -usage block of a multi-block kernel makes room for `res`.
-    fn try_preempt_for(&mut self, kernel: KernelId, res: &gpgpu_spec::BlockResources) -> Option<usize> {
+    fn try_preempt_for(
+        &mut self,
+        kernel: KernelId,
+        res: &gpgpu_spec::BlockResources,
+    ) -> Option<usize> {
         let n = self.sms.len();
         for off in 0..n {
             let sm = (self.rr_cursor + off) % n;
             if let Some((victim_kernel, victim_block)) = self.sms[sm].preemption_victim(kernel) {
                 self.sms[sm].preempt_block(victim_kernel, victim_block);
                 self.kernels[victim_kernel.0 as usize].push_back_block(victim_block);
+                self.stats.blocks_preempted += 1;
                 if self.sm_admits(sm, kernel, res) {
                     return Some(sm);
                 }
@@ -349,63 +431,97 @@ impl Device {
     }
 
     /// Places queued blocks according to the active policy: kernels in
-    /// arrival order, each block onto an admitting SM.
-    fn place_blocks(&mut self) {
-        let mut order: Vec<usize> = (0..self.kernels.len())
-            .filter(|&i| self.kernel_eligible(i))
-            .collect();
+    /// arrival order, each block onto an admitting SM. Returns whether the
+    /// pass mutated any SM (placed or preempted a block); a pass with no
+    /// mutation is a fixpoint, so the caller may skip placement until the
+    /// next arrival / completion / policy change re-dirties it.
+    fn place_blocks(&mut self) -> bool {
+        let mut mutated = false;
+        let mut order: Vec<usize> =
+            (0..self.kernels.len()).filter(|&i| self.kernel_eligible(i)).collect();
         order.sort_by_key(|&i| (self.kernels[i].arrival, i));
         for ki in order {
             let kernel = KernelId(ki as u32);
+            // Hoisted out of the per-block loop: block resources, grid size
+            // and the program Arc are launch-time constants of the kernel.
+            let res = self.kernels[ki].spec.launch.block;
+            let grid = self.kernels[ki].spec.launch.grid_blocks;
+            let program = std::sync::Arc::clone(&self.kernels[ki].spec.program);
             'blocks: while !self.kernels[ki].all_blocks_placed() {
-                let res = self.kernels[ki].spec.launch.block;
                 let mut target = self.choose_sm(kernel, &res);
-                if target.is_none()
-                    && self.policy == crate::PlacementPolicy::SmkPreemptive
-                {
+                if target.is_none() && self.policy == crate::PlacementPolicy::SmkPreemptive {
+                    let before = self.stats.blocks_preempted;
                     target = self.try_preempt_for(kernel, &res);
+                    mutated |= self.stats.blocks_preempted != before;
                 }
                 match target {
                     Some(sm) => {
-                        let block_id = self
-                            .kernels[ki]
-                            .pop_next_block()
-                            .expect("unplaced blocks remain");
-                        let grid = self.kernels[ki].spec.launch.grid_blocks;
-                        let program = std::sync::Arc::clone(&self.kernels[ki].spec.program);
+                        let block_id =
+                            self.kernels[ki].pop_next_block().expect("unplaced blocks remain");
                         self.sms[sm].place_block(kernel, block_id, grid, res, &program, self.now);
                         self.rr_cursor = (sm + 1) % self.sms.len();
+                        self.stats.blocks_placed += 1;
+                        mutated = true;
                     }
                     None => break 'blocks, // queue the rest until resources free
                 }
             }
         }
+        mutated
     }
 
     fn step_cycle(&mut self) -> bool {
-        self.place_blocks();
+        // Drain arrivals that have come due; each one is new placement work.
+        while self.pending_arrivals.peek().is_some_and(|&Reverse(t)| t <= self.now) {
+            self.pending_arrivals.pop();
+            self.placement_dirty = true;
+        }
+        let dense = self.engine == EngineMode::Dense;
+        if dense || self.placement_dirty {
+            self.stats.placement_runs += 1;
+            let mutated = self.place_blocks();
+            self.placement_dirty = mutated;
+        } else {
+            self.stats.placement_runs_skipped += 1;
+        }
         let mut worked = false;
         let mut subs = Subsystems {
             const_mem: &mut self.const_mem,
             atomics: &mut self.atomics,
             gmem: &mut self.gmem,
         };
-        let mut finished = Vec::new();
-        for sm in &mut self.sms {
-            let (issued, fin) = sm.step(self.now, &mut subs);
-            worked |= issued;
-            finished.extend(fin);
-        }
+        let mut finished = std::mem::take(&mut self.finished_buf);
         let now = self.now;
-        for (kernel, record) in finished {
+        for sm in &mut self.sms {
+            // Skipping an SM whose earliest wake lies in the future is
+            // provably a no-op: no warp can issue, the scheduler cursors do
+            // not move, and no block can finish there this cycle.
+            if !dense && !sm.has_work_at(now) {
+                self.stats.sm_steps_skipped += 1;
+                continue;
+            }
+            self.stats.sm_steps += 1;
+            worked |= sm.step(now, &mut subs, &mut finished, !dense);
+        }
+        for (kernel, record) in finished.drain(..) {
             let k = &mut self.kernels[kernel.0 as usize];
             k.records.push(record);
             k.blocks_done += 1;
             if k.is_complete() {
+                // Sort the records exactly once, here, so `results` /
+                // `block_records` never re-sort.
+                k.records.sort_by_key(|b| b.block_id);
                 k.completed_at = Some(now);
+                self.incomplete -= 1;
+                let stream = k.stream;
+                self.advance_stream_head(stream);
             }
+            // A freed block may unblock queued placements.
+            self.placement_dirty = true;
             worked = true;
         }
+        self.finished_buf = finished;
+        self.stats.cycles_stepped += 1;
         worked
     }
 
@@ -494,11 +610,7 @@ mod tests {
         let a = dev
             .launch(
                 0,
-                KernelSpec::new(
-                    "hog",
-                    long,
-                    LaunchConfig::new(15, 128).with_shared_mem(48 * 1024),
-                ),
+                KernelSpec::new("hog", long, LaunchConfig::new(15, 128).with_shared_mem(48 * 1024)),
             )
             .unwrap();
         let b = dev
@@ -569,10 +681,7 @@ mod tests {
         b.jump(top); // infinite loop
         dev.launch(0, KernelSpec::new("spin", b.build().unwrap(), LaunchConfig::new(1, 32)))
             .unwrap();
-        assert!(matches!(
-            dev.run_until_idle(10_000),
-            Err(SimError::CycleLimitExceeded { .. })
-        ));
+        assert!(matches!(dev.run_until_idle(10_000), Err(SimError::CycleLimitExceeded { .. })));
     }
 
     #[test]
@@ -609,9 +718,8 @@ mod tests {
     fn results_errors() {
         let mut dev = Device::new(presets::tesla_k40c());
         assert!(matches!(dev.results(KernelId(0)), Err(SimError::UnknownKernel(_))));
-        let k = dev
-            .launch(0, KernelSpec::new("k", smid_probe(), LaunchConfig::new(1, 32)))
-            .unwrap();
+        let k =
+            dev.launch(0, KernelSpec::new("k", smid_probe(), LaunchConfig::new(1, 32))).unwrap();
         assert!(matches!(dev.results(k), Err(SimError::KernelNotComplete(_))));
     }
 
@@ -640,8 +748,8 @@ mod tests {
         let mut dev = Device::new(presets::tesla_k40c());
         let a = dev.alloc_constant(64);
         let b = dev.alloc_constant(2048);
-        let span = dev.spec().const_l1.geometry.same_set_stride()
-            * dev.spec().const_l1.geometry.ways();
+        let span =
+            dev.spec().const_l1.geometry.same_set_stride() * dev.spec().const_l1.geometry.ways();
         assert_eq!(a % span, 0);
         assert_eq!(b % span, 0);
         assert_ne!(a, b);
@@ -671,12 +779,10 @@ mod policy_tests {
         dev.set_placement_policy(PlacementPolicy::InterSmPartition);
         // 8 blocks each: under partitioning the two kernels may not share
         // any SM even though every SM has leftover capacity.
-        let a = dev
-            .launch(0, KernelSpec::new("a", busy_probe(300), LaunchConfig::new(8, 64)))
-            .unwrap();
-        let b = dev
-            .launch(1, KernelSpec::new("b", busy_probe(300), LaunchConfig::new(8, 64)))
-            .unwrap();
+        let a =
+            dev.launch(0, KernelSpec::new("a", busy_probe(300), LaunchConfig::new(8, 64))).unwrap();
+        let b =
+            dev.launch(1, KernelSpec::new("b", busy_probe(300), LaunchConfig::new(8, 64))).unwrap();
         dev.run_until_idle(50_000_000).unwrap();
         let (ra, rb) = (dev.results(a).unwrap(), dev.results(b).unwrap());
         // While running concurrently, SM sets are disjoint (blocks that ran
@@ -768,14 +874,8 @@ mod policy_tests {
             .launch(1, KernelSpec::new("new", busy_probe(10), LaunchConfig::new(1, 64)))
             .unwrap();
         dev.run_until_idle(200_000_000).unwrap();
-        let first_protected_end = dev
-            .results(protected)
-            .unwrap()
-            .blocks
-            .iter()
-            .map(|b| b.end_cycle)
-            .min()
-            .unwrap();
+        let first_protected_end =
+            dev.results(protected).unwrap().blocks.iter().map(|b| b.end_cycle).min().unwrap();
         let new_start = dev.results(newcomer).unwrap().blocks[0].start_cycle;
         assert!(new_start >= first_protected_end, "protected block was preempted");
     }
@@ -795,10 +895,7 @@ mod policy_tests {
             out
         };
         // Block -> SM mapping differs, so compare multiset cardinality only.
-        assert_eq!(
-            run(PlacementPolicy::Leftover).len(),
-            run(PlacementPolicy::WarpedSlicer).len()
-        );
+        assert_eq!(run(PlacementPolicy::Leftover).len(), run(PlacementPolicy::WarpedSlicer).len());
     }
 }
 
@@ -883,8 +980,11 @@ mod tuning_tests {
             .launch(0, KernelSpec::new("victim", fill_then_probe(0, 800), LaunchConfig::new(1, 32)))
             .unwrap();
         // Attacker fills the same set from its own array while the victim waits.
-        dev.launch(1, KernelSpec::new("attacker", fill_then_probe(2048, 1), LaunchConfig::new(15, 32)))
-            .unwrap();
+        dev.launch(
+            1,
+            KernelSpec::new("attacker", fill_then_probe(2048, 1), LaunchConfig::new(15, 32)),
+        )
+        .unwrap();
         dev.run_until_idle(10_000_000).unwrap();
         let lat = dev.results(victim).unwrap().flat_results()[0];
         assert!(lat < 80, "partitioned victim must still hit its lines, got {lat}");

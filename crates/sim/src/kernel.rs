@@ -73,10 +73,7 @@ impl KernelResults {
     /// All result values pushed by all warps, ordered by
     /// (block, warp-in-block, push order).
     pub fn flat_results(&self) -> Vec<u64> {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.warp_results.iter().flatten().copied())
-            .collect()
+        self.blocks.iter().flat_map(|b| b.warp_results.iter().flatten().copied()).collect()
     }
 
     /// The set of SM ids this kernel's blocks ran on, sorted, deduplicated.
@@ -94,9 +91,9 @@ impl KernelResults {
 
     /// `(instructions, fu_ops, mem_ops)` across the kernel.
     pub fn instruction_mix(&self) -> (u64, u64, u64) {
-        self.blocks.iter().fold((0, 0, 0), |(i, f, m), b| {
-            (i + b.instructions, f + b.fu_ops, m + b.mem_ops)
-        })
+        self.blocks
+            .iter()
+            .fold((0, 0, 0), |(i, f, m), b| (i + b.instructions, f + b.fu_ops, m + b.mem_ops))
     }
 
     /// Results of one block's warp, if present.

@@ -48,6 +48,7 @@ mod error;
 mod kernel;
 mod policy;
 mod sm;
+mod stats;
 mod tuning;
 mod warp;
 
@@ -55,7 +56,8 @@ pub use device::Device;
 pub use error::SimError;
 pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
 pub use policy::PlacementPolicy;
-pub use tuning::DeviceTuning;
+pub use stats::SimStats;
+pub use tuning::{DeviceTuning, EngineMode};
 pub use warp::{Warp, WarpState};
 
 /// Stream identifier. Kernels launched on the same stream execute in launch

@@ -39,6 +39,10 @@ const SHARED_WORD_BYTES: u64 = 4;
 const SHARED_BASE_LATENCY: u64 = 26;
 const SHARED_CONFLICT_PENALTY: u64 = 2;
 
+/// Upper bound on warp schedulers per SM (all modelled GPUs have <= 4; the
+/// fixed-size per-scheduler wake array avoids a heap allocation).
+const MAX_SCHEDULERS: usize = 8;
+
 fn unit_index(unit: FuUnit) -> usize {
     match unit {
         FuUnit::Sp => 0,
@@ -73,6 +77,19 @@ pub(crate) struct Sm {
     /// Keyed-hash warp->scheduler assignment seed — Section-9 scheduler
     /// randomization. `None` = round-robin (real hardware).
     sched_seed: Option<u64>,
+    /// Cached earliest wake time over resident warps (`u64::MAX` when no
+    /// warp is live). Lets the device skip this SM entirely on cycles where
+    /// nothing can issue or wake, without rescanning the warp contexts.
+    /// Maintained at block placement/preemption and at the end of each step.
+    next_wake_cache: u64,
+    /// Per-scheduler earliest wake times (same maintenance points as
+    /// `next_wake_cache`): in event-driven mode a scheduler with no wake at
+    /// the current cycle skips its warp scan entirely.
+    sched_wake: [u64; MAX_SCHEDULERS],
+    /// Set when a warp executed `Halt` since the last finished-block
+    /// collection; blocks can only complete at a halt, so collection is
+    /// skipped while this is clear.
+    pending_halt: bool,
 }
 
 impl Sm {
@@ -89,6 +106,7 @@ impl Sm {
         sched_seed: Option<u64>,
     ) -> Self {
         let nsched = spec.num_warp_schedulers as usize;
+        assert!(nsched <= MAX_SCHEDULERS, "unsupported scheduler count {nsched}");
         let ports_for = |unit: FuUnit| -> PortSet {
             PortSet::new(spec.pools.scheduler_ports(unit, spec.num_warp_schedulers))
         };
@@ -117,6 +135,9 @@ impl Sm {
             shared_port: PortSet::new(1),
             clock_quantum: clock_quantum.max(1),
             sched_seed,
+            next_wake_cache: u64::MAX,
+            sched_wake: [u64::MAX; MAX_SCHEDULERS],
+            pending_halt: false,
         }
     }
 
@@ -189,27 +210,50 @@ impl Sm {
                 program: Arc::clone(program),
             });
         }
+        // New warps are Ready (wake time 0): refresh both the global and
+        // the per-scheduler wake caches.
+        self.recompute_next_wake();
+    }
+
+    /// Whether any warp could issue or wake at cycle `now` — O(1) via the
+    /// cached next-wake time. When false, stepping the SM is provably a
+    /// no-op (no issue, no block completion) and the device skips it.
+    pub fn has_work_at(&self, now: u64) -> bool {
+        self.next_wake_cache != u64::MAX && self.next_wake_cache <= now
     }
 
     /// Runs one cycle: each scheduler issues up to its dispatch width of
-    /// ready warps. Returns `(issued_any, finished_blocks)`.
+    /// ready warps. Finished blocks are appended to `finished`; returns
+    /// whether any warp issued.
+    ///
+    /// With `event_driven` set, a scheduler whose cached earliest wake time
+    /// lies in the future skips its warp scan. This is exact: the scan could
+    /// not issue anything (no warp of that scheduler is ready), and a
+    /// fruitless scan mutates no state — not even the round-robin cursor.
+    /// Executing a warp can never make another warp ready *this* cycle
+    /// (barrier releases block until `now + 1`), so caches refreshed at the
+    /// previous recompute cannot hide a ready warp.
     pub fn step(
         &mut self,
         now: u64,
         subs: &mut Subsystems<'_>,
-    ) -> (bool, Vec<(KernelId, BlockRecord)>) {
+        finished: &mut Vec<(KernelId, BlockRecord)>,
+        event_driven: bool,
+    ) -> bool {
         let nsched = self.spec.num_warp_schedulers as usize;
         let dispatch = self.spec.dispatch_per_scheduler() as usize;
         let n = self.warps.len();
         let mut issued_any = false;
         if n > 0 {
             for sched in 0..nsched {
+                if event_driven && self.sched_wake[sched] > now {
+                    continue;
+                }
                 let mut issued = 0;
                 let start = self.cursor[sched] % n;
                 for k in 0..n {
                     let idx = (start + k) % n;
-                    if self.warps[idx].scheduler as usize == sched
-                        && self.warps[idx].is_ready(now)
+                    if self.warps[idx].scheduler as usize == sched && self.warps[idx].is_ready(now)
                     {
                         self.execute(idx, now, subs);
                         issued_any = true;
@@ -222,8 +266,14 @@ impl Sm {
                 }
             }
         }
-        let finished = self.collect_finished_blocks(now);
-        (issued_any, finished)
+        // Blocks only complete when a warp halts, so the residency scan is
+        // needed (in either engine mode) only after a `Halt` executed.
+        if self.pending_halt {
+            self.collect_finished_blocks(now, finished);
+            self.pending_halt = false;
+        }
+        self.recompute_next_wake();
+        issued_any
     }
 
     /// Whether the SM hosts blocks of any kernel other than `kernel`.
@@ -239,8 +289,7 @@ impl Sm {
     /// A free-capacity score in [0, 2]: the fraction of free threads plus
     /// the fraction of free shared memory (Warped-Slicer best-fit metric).
     pub fn free_capacity_score(&self) -> f64 {
-        let threads =
-            1.0 - f64::from(self.used_threads) / f64::from(self.spec.max_threads);
+        let threads = 1.0 - f64::from(self.used_threads) / f64::from(self.spec.max_threads);
         let smem = 1.0 - self.used_shared as f64 / self.spec.shared_mem_bytes as f64;
         threads + smem
     }
@@ -253,9 +302,7 @@ impl Sm {
         self.resident
             .iter()
             .filter(|r| r.kernel != requester && self.blocks_of(r.kernel) > 1)
-            .max_by_key(|r| {
-                (r.res.shared_mem_bytes, r.res.threads, r.res.total_registers())
-            })
+            .max_by_key(|r| (r.res.shared_mem_bytes, r.res.threads, r.res.total_registers()))
             .map(|r| (r.kernel, r.block_id))
     }
 
@@ -275,24 +322,41 @@ impl Sm {
         self.used_threads -= rb.res.threads;
         self.used_shared -= rb.res.shared_mem_bytes;
         self.used_regs -= rb.res.total_registers();
-        self.warps
-            .retain(|w| !(w.kernel == kernel && w.block_id == block_id));
+        self.warps.retain(|w| !(w.kernel == kernel && w.block_id == block_id));
         for c in &mut self.cursor {
             *c = 0;
         }
+        self.recompute_next_wake();
     }
 
     /// Earliest wake time among resident warps, if any warp is still live.
+    /// O(1) from the cached next-wake time.
     pub fn next_wake(&self, now: u64) -> Option<u64> {
-        self.warps
-            .iter()
-            .filter_map(|w| w.wake_time())
-            .map(|t| t.max(now))
-            .min()
+        if self.next_wake_cache == u64::MAX {
+            None
+        } else {
+            Some(self.next_wake_cache.max(now))
+        }
     }
 
-    fn collect_finished_blocks(&mut self, now: u64) -> Vec<(KernelId, BlockRecord)> {
-        let mut records = Vec::new();
+    fn recompute_next_wake(&mut self) {
+        self.next_wake_cache = u64::MAX;
+        self.sched_wake = [u64::MAX; MAX_SCHEDULERS];
+        for w in &self.warps {
+            if let Some(t) = w.wake_time() {
+                if t < self.next_wake_cache {
+                    self.next_wake_cache = t;
+                }
+                let s = w.scheduler as usize;
+                if t < self.sched_wake[s] {
+                    self.sched_wake[s] = t;
+                }
+            }
+        }
+    }
+
+    fn collect_finished_blocks(&mut self, now: u64, records: &mut Vec<(KernelId, BlockRecord)>) {
+        let mut finished_any = false;
         let mut b = 0;
         while b < self.resident.len() {
             if self.resident[b].warps_halted >= self.resident[b].warps_total {
@@ -332,17 +396,17 @@ impl Sm {
                         warp_results,
                     },
                 ));
+                finished_any = true;
             } else {
                 b += 1;
             }
         }
-        if !records.is_empty() {
+        if finished_any {
             // Warp indices shifted; reset cursors defensively.
             for c in &mut self.cursor {
                 *c = 0;
             }
         }
-        records
     }
 
     fn execute(&mut self, idx: usize, now: u64, subs: &mut Subsystems<'_>) {
@@ -430,7 +494,8 @@ impl Sm {
                 // transfer into a covert channel.
                 let port_start = self.shared_port.acquire(start, 1);
                 next_state = WarpState::Blocked {
-                    until: port_start + SHARED_BASE_LATENCY
+                    until: port_start
+                        + SHARED_BASE_LATENCY
                         + (degree - 1) * SHARED_CONFLICT_PENALTY,
                 };
             }
@@ -450,9 +515,7 @@ impl Sm {
                     Special::BlockId => u64::from(self.warps[idx].block_id),
                     Special::WarpIdInBlock => u64::from(self.warps[idx].warp_in_block),
                     Special::SchedulerId => u64::from(self.warps[idx].scheduler),
-                    Special::GridBlocks => {
-                        self.warps[idx].regs[(gpgpu_isa::NUM_REGS - 1) as usize]
-                    }
+                    Special::GridBlocks => self.warps[idx].regs[(gpgpu_isa::NUM_REGS - 1) as usize],
                 };
                 self.warps[idx].regs[rd.0 as usize] = v;
             }
@@ -497,6 +560,7 @@ impl Sm {
             }
             Instr::Halt => {
                 next_state = WarpState::Halted;
+                self.pending_halt = true;
                 let (kernel, block_id) = (self.warps[idx].kernel, self.warps[idx].block_id);
                 let rb = self
                     .resident
@@ -549,19 +613,13 @@ impl Sm {
     /// Section-10 observation).
     fn acquire_ldst_n(&mut self, idx: usize, now: u64, replays: u64) -> u64 {
         let sched = self.warps[idx].scheduler as usize;
-        let occupancy = u64::from(
-            self.spec.pools.issue_occupancy(FuUnit::LdSt, self.spec.num_warp_schedulers),
-        );
+        let occupancy =
+            u64::from(self.spec.pools.issue_occupancy(FuUnit::LdSt, self.spec.num_warp_schedulers));
         let start = self.fu_ports[sched][unit_index(FuUnit::LdSt)].acquire(now, occupancy);
         start + occupancy * replays.max(1)
     }
 
-    fn lane_addrs(
-        &self,
-        idx: usize,
-        base: gpgpu_isa::Reg,
-        pattern: LanePattern,
-    ) -> Vec<u64> {
+    fn lane_addrs(&self, idx: usize, base: gpgpu_isa::Reg, pattern: LanePattern) -> Vec<u64> {
         let b = self.warps[idx].regs[base.0 as usize];
         pattern.lane_addrs(b).collect()
     }
@@ -601,18 +659,19 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.halt();
         let p = Arc::new(b.build().unwrap());
-        let res =
-            BlockResources { threads: 128, shared_mem_bytes: 1024, registers_per_thread: 16 };
+        let res = BlockResources { threads: 128, shared_mem_bytes: 1024, registers_per_thread: 16 };
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         assert_eq!(sm.used_threads, 128);
         assert_eq!(sm.used_shared, 1024);
         let (c, a, g) = &mut subsystems(&dev);
         let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
-        let (_, finished) = sm.step(0, &mut subs);
+        let mut finished = Vec::new();
+        sm.step(0, &mut subs, &mut finished, true);
         assert_eq!(finished.len(), 1);
         assert_eq!(sm.used_threads, 0);
         assert_eq!(sm.used_shared, 0);
         assert!(sm.warps.is_empty());
+        assert!(!sm.has_work_at(u64::MAX), "empty SM must report no work");
     }
 
     #[test]
@@ -646,7 +705,7 @@ mod tests {
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         let (c, a, g) = &mut subsystems(&dev);
         let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
-        sm.step(0, &mut subs);
+        sm.step(0, &mut subs, &mut Vec::new(), true);
         // Kepler dispatches 2 warps/scheduler/cycle: warps 0..7 all issued in
         // cycle 0. Same-scheduler pairs (0,4), (1,5)... queue on the SFU port.
         let until: Vec<u64> = sm
@@ -678,7 +737,8 @@ mod tests {
         let (c, a, g) = &mut subsystems(&dev);
         let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
         // Both warps are on different schedulers; both halt in cycle 0.
-        let (_, finished) = sm.step(0, &mut subs);
+        let mut finished = Vec::new();
+        sm.step(0, &mut subs, &mut finished, true);
         assert_eq!(finished.len(), 1);
         assert_eq!(finished[0].0, KernelId(0));
         assert_eq!(finished[0].1.warp_results.len(), 2);

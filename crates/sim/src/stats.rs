@@ -1,0 +1,129 @@
+//! Engine performance counters.
+//!
+//! The event-driven cycle engine earns its speedup from two sources: cycles
+//! it never simulates (fast-forward to the next wake event) and SMs it never
+//! visits within a simulated cycle (no warp can issue or wake there). These
+//! counters make that win observable instead of asserted — the `figures`
+//! report footer and the CLI `--stats` flag print them, so a regression in
+//! either ratio is visible in review.
+
+use std::fmt;
+
+/// Counters accumulated by the cycle engine of a [`crate::Device`].
+///
+/// All counters are monotonically non-decreasing over a device's lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Cycles actually simulated (one `step_cycle` each).
+    pub cycles_stepped: u64,
+    /// Cycles skipped entirely by fast-forwarding the clock to the next
+    /// wake/arrival event when no component could make progress.
+    pub cycles_fast_forwarded: u64,
+    /// Per-SM step invocations executed.
+    pub sm_steps: u64,
+    /// Per-SM steps skipped because the SM had no warp able to issue or
+    /// wake at the current cycle (event-driven mode only).
+    pub sm_steps_skipped: u64,
+    /// Block-placement passes executed.
+    pub placement_runs: u64,
+    /// Block-placement passes skipped because nothing changed since the
+    /// last pass reached a fixpoint (event-driven mode only).
+    pub placement_runs_skipped: u64,
+    /// Blocks placed onto SMs (including re-placements after preemption).
+    pub blocks_placed: u64,
+    /// Blocks preempted under the SMK-preemptive policy.
+    pub blocks_preempted: u64,
+    /// Kernels accepted by [`crate::Device::launch`].
+    pub kernels_launched: u64,
+}
+
+impl SimStats {
+    /// Total cycles the device clock advanced over (simulated + skipped).
+    pub fn cycles_elapsed(&self) -> u64 {
+        self.cycles_stepped + self.cycles_fast_forwarded
+    }
+
+    /// Fraction of elapsed cycles that were fast-forwarded rather than
+    /// simulated; 0.0 when the clock has not advanced.
+    pub fn fast_forward_ratio(&self) -> f64 {
+        let total = self.cycles_elapsed();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_fast_forwarded as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-SM step opportunities that were skipped; 0.0 when no
+    /// SM was ever visited.
+    pub fn sm_skip_ratio(&self) -> f64 {
+        let total = self.sm_steps + self.sm_steps_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.sm_steps_skipped as f64 / total as f64
+        }
+    }
+
+    /// Merges another counter block into this one (used when aggregating
+    /// across the many devices of a sweep).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles_stepped += other.cycles_stepped;
+        self.cycles_fast_forwarded += other.cycles_fast_forwarded;
+        self.sm_steps += other.sm_steps;
+        self.sm_steps_skipped += other.sm_steps_skipped;
+        self.placement_runs += other.placement_runs;
+        self.placement_runs_skipped += other.placement_runs_skipped;
+        self.blocks_placed += other.blocks_placed;
+        self.blocks_preempted += other.blocks_preempted;
+        self.kernels_launched += other.kernels_launched;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles: {} stepped + {} fast-forwarded ({:.1}% skipped) | \
+             SM-steps: {} run + {} skipped ({:.1}% skipped) | \
+             placements: {} run + {} skipped, {} blocks placed, {} preempted | \
+             {} kernels",
+            self.cycles_stepped,
+            self.cycles_fast_forwarded,
+            self.fast_forward_ratio() * 100.0,
+            self.sm_steps,
+            self.sm_steps_skipped,
+            self.sm_skip_ratio() * 100.0,
+            self.placement_runs,
+            self.placement_runs_skipped,
+            self.blocks_placed,
+            self.blocks_preempted,
+            self.kernels_launched,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_and_merge_accumulates() {
+        let mut a = SimStats::default();
+        assert_eq!(a.fast_forward_ratio(), 0.0);
+        assert_eq!(a.sm_skip_ratio(), 0.0);
+        let b = SimStats {
+            cycles_stepped: 10,
+            cycles_fast_forwarded: 90,
+            sm_steps: 5,
+            sm_steps_skipped: 15,
+            ..SimStats::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.cycles_elapsed(), 200);
+        assert!((a.fast_forward_ratio() - 0.9).abs() < 1e-12);
+        assert!((a.sm_skip_ratio() - 0.75).abs() < 1e-12);
+        assert!(!a.to_string().is_empty());
+    }
+}

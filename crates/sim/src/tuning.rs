@@ -12,11 +12,31 @@
 //!   TimeWarp): `clock()` reads are quantized to a coarse granularity,
 //!   hiding the hit/miss latency difference.
 
+/// Cycle-engine mode: how aggressively the engine may skip redundant work.
+///
+/// Both modes produce **bit-identical simulation results** — the event-driven
+/// engine only skips work that provably cannot change architectural state
+/// (SMs with no issuable or waking warp, placement passes after a fixpoint).
+/// `Dense` exists as the ablation baseline so the speedup is measurable
+/// against the same binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Visit every SM every cycle and re-run block placement every cycle
+    /// (the original engine; kept for ablation benchmarks).
+    Dense,
+    /// Skip SMs with no wake event at the current cycle and gate block
+    /// placement behind a dirty flag (default).
+    #[default]
+    EventDriven,
+}
+
 /// Configuration knobs applied at [`crate::Device`] construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DeviceTuning {
     /// Block-placement policy.
     pub policy: crate::PlacementPolicy,
+    /// Cycle-engine mode (event-driven by default; dense for ablations).
+    pub engine: EngineMode,
     /// Number of static cache partitions (0 or 1 disables). Kernel `k` may
     /// only occupy sets of region `k % partitions` in both constant cache
     /// levels.
@@ -26,17 +46,6 @@ pub struct DeviceTuning {
     pub random_warp_scheduler: Option<u64>,
     /// `clock()` quantization in cycles (0 or 1 disables).
     pub clock_granularity: u64,
-}
-
-impl Default for DeviceTuning {
-    fn default() -> Self {
-        DeviceTuning {
-            policy: crate::PlacementPolicy::default(),
-            cache_partitions: 0,
-            random_warp_scheduler: None,
-            clock_granularity: 0,
-        }
-    }
 }
 
 impl DeviceTuning {

@@ -58,11 +58,8 @@ fn reference_execute(program: &Program, grid_blocks: u64) -> Vec<u64> {
 /// Strategy: a structured random ALU program (straight-line body plus an
 /// optional counted loop), guaranteed to terminate.
 fn alu_program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec((0u8..7, 0u16..8, 0u16..8, any::<u64>()), 1..40),
-        1u64..6,
-    )
-        .prop_map(|(body, loop_count)| {
+    (proptest::collection::vec((0u8..7, 0u16..8, 0u16..8, any::<u64>()), 1..40), 1u64..6).prop_map(
+        |(body, loop_count)| {
             let mut b = gpgpu_isa::ProgramBuilder::new();
             b.repeat(Reg(15), loop_count, |b| {
                 for &(op, rd, ra, imm) in &body {
@@ -94,7 +91,8 @@ fn alu_program() -> impl Strategy<Value = Program> {
                 b.push_result(Reg(0));
             });
             b.build().expect("generated program assembles")
-        })
+        },
+    )
 }
 
 fn run_on_device(program: &Program, blocks: u32) -> (Vec<u64>, u64) {

@@ -47,7 +47,7 @@ impl CacheGeometry {
             ));
         }
         let way_bytes = line_bytes * ways;
-        if size_bytes % way_bytes != 0 {
+        if !size_bytes.is_multiple_of(way_bytes) {
             return fail(format!(
                 "size ({size_bytes}) must be a multiple of line*ways ({way_bytes})"
             ));

@@ -43,10 +43,9 @@ impl fmt::Display for SpecError {
             SpecError::InvalidCacheGeometry { reason } => {
                 write!(f, "invalid cache geometry: {reason}")
             }
-            SpecError::BlockExceedsSmResources { resource, requested, available } => write!(
-                f,
-                "block requests {requested} {resource} but an SM has only {available}"
-            ),
+            SpecError::BlockExceedsSmResources { resource, requested, available } => {
+                write!(f, "block requests {requested} {resource} but an SM has only {available}")
+            }
             SpecError::ZeroLaunchField { field } => {
                 write!(f, "launch configuration field `{field}` must be positive")
             }

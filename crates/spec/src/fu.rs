@@ -68,7 +68,7 @@ impl FuPools {
     /// one scheduler's share of units, excluding micro-op expansion:
     /// `ceil(32 / min(share, 32))`.
     pub fn issue_occupancy(&self, unit: FuUnit, num_schedulers: u32) -> u32 {
-        let share = self.scheduler_share(unit, num_schedulers).min(WARP_SIZE).max(1);
+        let share = self.scheduler_share(unit, num_schedulers).clamp(1, WARP_SIZE);
         WARP_SIZE.div_ceil(share)
     }
 }

@@ -143,20 +143,38 @@ mod tests {
     fn table1_resource_counts() {
         let f = tesla_c2075();
         assert_eq!(
-            (f.sm.num_warp_schedulers, f.sm.dispatch_units, f.sm.pools.sp, f.sm.pools.dpu,
-             f.sm.pools.sfu, f.sm.pools.ldst),
+            (
+                f.sm.num_warp_schedulers,
+                f.sm.dispatch_units,
+                f.sm.pools.sp,
+                f.sm.pools.dpu,
+                f.sm.pools.sfu,
+                f.sm.pools.ldst
+            ),
             (2, 2, 32, 16, 4, 16)
         );
         let k = tesla_k40c();
         assert_eq!(
-            (k.sm.num_warp_schedulers, k.sm.dispatch_units, k.sm.pools.sp, k.sm.pools.dpu,
-             k.sm.pools.sfu, k.sm.pools.ldst),
+            (
+                k.sm.num_warp_schedulers,
+                k.sm.dispatch_units,
+                k.sm.pools.sp,
+                k.sm.pools.dpu,
+                k.sm.pools.sfu,
+                k.sm.pools.ldst
+            ),
             (4, 8, 192, 64, 32, 32)
         );
         let m = quadro_m4000();
         assert_eq!(
-            (m.sm.num_warp_schedulers, m.sm.dispatch_units, m.sm.pools.sp, m.sm.pools.dpu,
-             m.sm.pools.sfu, m.sm.pools.ldst),
+            (
+                m.sm.num_warp_schedulers,
+                m.sm.dispatch_units,
+                m.sm.pools.sp,
+                m.sm.pools.dpu,
+                m.sm.pools.sfu,
+                m.sm.pools.ldst
+            ),
             (4, 8, 128, 0, 32, 32)
         );
     }

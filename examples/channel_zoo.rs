@@ -15,11 +15,7 @@ use gpgpu_covert::ChannelOutcome;
 use gpgpu_spec::presets;
 
 fn row(name: &str, o: &ChannelOutcome) {
-    println!(
-        "  {name:<34} {:>10.1} Kbps   BER {:>5.1}%",
-        o.bandwidth_kbps,
-        o.ber * 100.0
-    );
+    println!("  {name:<34} {:>10.1} Kbps   BER {:>5.1}%", o.bandwidth_kbps, o.ber * 100.0);
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

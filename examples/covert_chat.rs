@@ -17,16 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let data_sets = (device.const_l1.geometry.num_sets() - 2) as u32;
     let sms = device.num_sms;
-    let channel = SyncChannel::new(device)
-        .with_data_sets(data_sets)?
-        .with_parallel_sms(sms)?;
+    let channel = SyncChannel::new(device).with_data_sets(data_sets)?.with_parallel_sms(sms)?;
 
     println!("transmitting {} bits over {} cache sets x {} SMs...", message.len(), data_sets, sms);
     let outcome = channel.transmit(&message)?;
 
     println!("received: {:?}", String::from_utf8_lossy(&outcome.received.to_bytes()));
     println!("cycles  : {}", outcome.cycles);
-    println!("bandwidth: {:.0} Kbps ({:.2} Mbps)", outcome.bandwidth_kbps, outcome.bandwidth_kbps / 1e3);
+    println!(
+        "bandwidth: {:.0} Kbps ({:.2} Mbps)",
+        outcome.bandwidth_kbps,
+        outcome.bandwidth_kbps / 1e3
+    );
     println!("bit error rate: {:.3}%", outcome.ber * 100.0);
     assert!(outcome.is_error_free());
     Ok(())

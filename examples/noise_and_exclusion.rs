@@ -15,11 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("-- constant-cache noise, no defense --");
     let open = run_sync_with_noise(&device, &message, &[NoiseKind::ConstantCacheHog], false)?;
-    println!(
-        "noise co-located: {} | BER: {:.1}%",
-        open.noise_overlapped,
-        open.outcome.ber * 100.0
-    );
+    println!("noise co-located: {} | BER: {:.1}%", open.noise_overlapped, open.outcome.ber * 100.0);
 
     println!("-- constant-cache noise, exclusive co-location --");
     let defended = run_sync_with_noise(&device, &message, &[NoiseKind::ConstantCacheHog], true)?;

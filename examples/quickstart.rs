@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = channel.transmit(&message)?;
     println!("spy received : {}", outcome.received);
-    println!(
-        "decoded text : {:?}",
-        String::from_utf8_lossy(&outcome.received.to_bytes())
-    );
+    println!("decoded text : {:?}", String::from_utf8_lossy(&outcome.received.to_bytes()));
     println!("bandwidth    : {:.1} Kbps", outcome.bandwidth_kbps);
     println!("bit errors   : {:.2}%", outcome.ber * 100.0);
     assert!(outcome.is_error_free(), "the default operating point is error-free");

@@ -17,15 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = presets::tesla_k40c();
     let msg = Message::pseudo_random(16, 0x7777);
 
-    println!("policy                   intra-SM sharing  preemptive   L1 channel BER   L2 channel BER");
+    println!(
+        "policy                   intra-SM sharing  preemptive   L1 channel BER   L2 channel BER"
+    );
     for policy in PlacementPolicy::ALL {
         let tuning = DeviceTuning { policy, ..DeviceTuning::none() };
-        let l1 = L1Channel::new(spec.clone())
-            .with_tuning(tuning)
-            .transmit(&msg)?;
-        let l2 = L2Channel::new(spec.clone())
-            .with_tuning(tuning)
-            .transmit(&msg)?;
+        let l1 = L1Channel::new(spec.clone()).with_tuning(tuning).transmit(&msg)?;
+        let l2 = L2Channel::new(spec.clone()).with_tuning(tuning).transmit(&msg)?;
         println!(
             "{:<24} {:>16} {:>11} {:>15.1}% {:>15.1}%",
             format!("{policy:?}"),

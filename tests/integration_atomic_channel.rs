@@ -10,12 +10,7 @@ fn all_scenarios_error_free_on_all_gpus() {
     for spec in presets::all() {
         for scenario in AtomicScenario::ALL {
             let o = AtomicChannel::new(spec.clone(), scenario).transmit(&msg).unwrap();
-            assert!(
-                o.is_error_free(),
-                "{} / {scenario:?}: ber {}",
-                spec.name,
-                o.ber
-            );
+            assert!(o.is_error_free(), "{} / {scenario:?}: ber {}", spec.name, o.ber);
         }
     }
 }
@@ -24,12 +19,7 @@ fn all_scenarios_error_free_on_all_gpus() {
 fn figure10_shape_uncoalesced_is_slowest_coalesced_fastest() {
     let msg = Message::pseudo_random(8, 0x77);
     for spec in [presets::tesla_k40c(), presets::quadro_m4000()] {
-        let bw = |s| {
-            AtomicChannel::new(spec.clone(), s)
-                .transmit(&msg)
-                .unwrap()
-                .bandwidth_kbps
-        };
+        let bw = |s| AtomicChannel::new(spec.clone(), s).transmit(&msg).unwrap().bandwidth_kbps;
         let one = bw(AtomicScenario::OneAddress);
         let strided = bw(AtomicScenario::Strided);
         let uncoalesced = bw(AtomicScenario::Consecutive);

@@ -66,10 +66,7 @@ fn channel_works_on_non_default_cache_sets() {
     let spec = presets::tesla_k40c();
     let msg = Message::from_bits([true, false, true]);
     for set in [1, 3, 7] {
-        let o = L1Channel::new(spec.clone())
-            .with_target_set(set)
-            .transmit(&msg)
-            .unwrap();
+        let o = L1Channel::new(spec.clone()).with_target_set(set).transmit(&msg).unwrap();
         assert!(o.is_error_free(), "set {set}: ber {}", o.ber);
     }
 }

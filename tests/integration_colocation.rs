@@ -46,12 +46,8 @@ fn coresident_recipe_yields_full_overlap() {
         });
         let program = b.build().unwrap();
         let mut dev = Device::new(spec.clone());
-        let spy = dev
-            .launch(0, KernelSpec::new("spy", program.clone(), spy_cfg))
-            .unwrap();
-        let trojan = dev
-            .launch(1, KernelSpec::new("trojan", program, trojan_cfg))
-            .unwrap();
+        let spy = dev.launch(0, KernelSpec::new("spy", program.clone(), spy_cfg)).unwrap();
+        let trojan = dev.launch(1, KernelSpec::new("trojan", program, trojan_cfg)).unwrap();
         dev.run_until_idle(100_000_000).unwrap();
         let (rs, rt) = (dev.results(spy).unwrap(), dev.results(trojan).unwrap());
         let all_sms: Vec<u32> = (0..spec.num_sms).collect();
@@ -60,8 +56,7 @@ fn coresident_recipe_yields_full_overlap() {
         // Each block covers every warp scheduler.
         for r in [&rs, &rt] {
             for blk in &r.blocks {
-                let mut scheds: Vec<u64> =
-                    blk.warp_results.iter().map(|w| w[1]).collect();
+                let mut scheds: Vec<u64> = blk.warp_results.iter().map(|w| w[1]).collect();
                 scheds.sort_unstable();
                 scheds.dedup();
                 assert_eq!(scheds.len() as u32, spec.sm.num_warp_schedulers);

@@ -1,0 +1,84 @@
+//! Determinism regression tests for the trial harness and the event-driven
+//! cycle engine.
+//!
+//! The performance work must never change a result: the same seeds pushed
+//! through the sequential path and through a threaded [`TrialRunner`] must
+//! produce bit-identical cycle counts, received bits and BER — and the
+//! `Dense` ablation engine must agree bit-for-bit with the default
+//! event-driven engine.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::harness::{Trial, TrialRunner};
+use gpgpu_sim::{DeviceTuning, EngineMode};
+use gpgpu_spec::presets;
+
+/// One seeded BER trial: a short L1 transmission whose launch jitter is
+/// seeded from the trial, returning everything a sweep would record.
+fn ber_trial(t: Trial) -> (u64, Vec<bool>, f64) {
+    let msg = Message::pseudo_random(8, 0xDA7A ^ t.index as u64);
+    let o = L1Channel::new(presets::tesla_k40c())
+        .with_iterations(4)
+        .with_jitter(Some((3_000, t.seed)))
+        .transmit(&msg)
+        .expect("transmits");
+    (o.cycles, o.received.bits().to_vec(), o.ber)
+}
+
+#[test]
+fn threaded_runner_matches_sequential_bitwise() {
+    const TRIALS: usize = 12;
+    let sequential = TrialRunner::sequential().with_base_seed(0xBEEF).run(TRIALS, ber_trial);
+    for workers in [2, 4, 7] {
+        let threaded = TrialRunner::sequential()
+            .with_base_seed(0xBEEF)
+            .with_workers(workers)
+            .run(TRIALS, ber_trial);
+        assert_eq!(
+            sequential, threaded,
+            "cycle counts / received bits / BER diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn error_rate_sweep_is_worker_count_independent() {
+    let msg = Message::pseudo_random(16, 0x5EED_CAFE);
+    let ch = L1Channel::new(presets::tesla_k40c());
+    let sequential =
+        ch.error_rate_sweep_on(&TrialRunner::sequential(), &msg, &[8, 4, 2, 1]).expect("sweep");
+    let threaded = ch
+        .error_rate_sweep_on(&TrialRunner::sequential().with_workers(4), &msg, &[8, 4, 2, 1])
+        .expect("sweep");
+    assert_eq!(sequential, threaded);
+}
+
+#[test]
+fn dense_and_event_driven_engines_agree_bitwise() {
+    let run = |engine: EngineMode| {
+        let tuning = DeviceTuning { engine, ..DeviceTuning::none() };
+        let msg = Message::pseudo_random(8, 0xD15E);
+        let o = L1Channel::new(presets::tesla_k40c())
+            .with_tuning(tuning)
+            .transmit(&msg)
+            .expect("transmits");
+        (o.cycles, o.received.bits().to_vec(), o.ber, o.bandwidth_kbps.to_bits())
+    };
+    assert_eq!(
+        run(EngineMode::Dense),
+        run(EngineMode::EventDriven),
+        "the event-driven engine changed an architectural result"
+    );
+}
+
+#[test]
+fn microbench_sweeps_are_worker_count_independent() {
+    use gpgpu_covert::microbench::{cache_sweep, fig2_sizes};
+    // cache_sweep reads GPGPU_TRIAL_WORKERS via TrialRunner::new(); the
+    // points are deterministic per size, so any two full runs must agree.
+    let spec = presets::tesla_k40c();
+    let sizes = fig2_sizes();
+    let a = cache_sweep(&spec, 64, &sizes[..12]).expect("sweep");
+    let b = cache_sweep(&spec, 64, &sizes[..12]).expect("sweep");
+    assert_eq!(a, b);
+}

@@ -1,9 +1,7 @@
 //! End-to-end tests of Section 8: interference and exclusive co-location.
 
 use gpgpu_covert::bits::{hamming_decode, hamming_encode, Message};
-use gpgpu_covert::noise::{
-    run_sync_with_noise, run_sync_with_noise_intensity, NoiseKind,
-};
+use gpgpu_covert::noise::{run_sync_with_noise, run_sync_with_noise_intensity, NoiseKind};
 use gpgpu_spec::presets;
 
 #[test]
@@ -56,14 +54,9 @@ fn hamming_fec_repairs_a_lightly_noisy_channel() {
     let spec = presets::tesla_k40c();
     let msg = Message::pseudo_random(32, 0x4);
     let coded = hamming_encode(&msg);
-    let exp = run_sync_with_noise_intensity(
-        &spec,
-        &coded,
-        &[NoiseKind::ConstantCacheHog],
-        false,
-        6,
-    )
-    .unwrap();
+    let exp =
+        run_sync_with_noise_intensity(&spec, &coded, &[NoiseKind::ConstantCacheHog], false, 6)
+            .unwrap();
     let decoded = hamming_decode(&exp.outcome.received);
     let mut bits = decoded.bits().to_vec();
     bits.truncate(msg.len());

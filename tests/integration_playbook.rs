@@ -39,10 +39,7 @@ fn recon_then_attack_from_recovered_parameters_only() {
     assert_eq!(spy_cfg.grid_blocks, spec.num_sms);
     let target_set = (g.num_sets - 1).min(5);
     let msg = Message::from_bytes(b"go");
-    let o = L1Channel::new(spec.clone())
-        .with_target_set(target_set)
-        .transmit(&msg)
-        .unwrap();
+    let o = L1Channel::new(spec.clone()).with_target_set(target_set).transmit(&msg).unwrap();
     assert!(o.is_error_free(), "ber {}", o.ber);
 
     // Step 5: upgrade to the synchronized channel sized by the recovered

@@ -16,11 +16,8 @@ fn table2_column_ordering_holds_on_kepler() {
     let msg = Message::pseudo_random(90, 0x99);
     let baseline = L1Channel::new(spec.clone()).transmit(&msg).unwrap();
     let sync = SyncChannel::new(spec.clone()).transmit(&msg).unwrap();
-    let multibit = SyncChannel::new(spec.clone())
-        .with_data_sets(6)
-        .unwrap()
-        .transmit(&msg)
-        .unwrap();
+    let multibit =
+        SyncChannel::new(spec.clone()).with_data_sets(6).unwrap().transmit(&msg).unwrap();
     let full = SyncChannel::new(spec)
         .with_data_sets(6)
         .unwrap()
@@ -54,11 +51,7 @@ fn multibit_uses_all_available_data_sets() {
     for spec in presets::all() {
         let max = (spec.const_l1.geometry.num_sets() - 2) as u32;
         let msg = Message::pseudo_random(2 * max as usize, 0xBB);
-        let o = SyncChannel::new(spec.clone())
-            .with_data_sets(max)
-            .unwrap()
-            .transmit(&msg)
-            .unwrap();
+        let o = SyncChannel::new(spec.clone()).with_data_sets(max).unwrap().transmit(&msg).unwrap();
         assert!(o.is_error_free(), "{} with {} data sets: ber {}", spec.name, max, o.ber);
     }
 }
@@ -68,11 +61,7 @@ fn multi_sm_scaling_is_near_linear() {
     // Table 2 col 3 -> col 4 is ~15x on the K40C.
     let spec = presets::tesla_k40c();
     let msg = Message::pseudo_random(360, 0xCC);
-    let one = SyncChannel::new(spec.clone())
-        .with_data_sets(6)
-        .unwrap()
-        .transmit(&msg)
-        .unwrap();
+    let one = SyncChannel::new(spec.clone()).with_data_sets(6).unwrap().transmit(&msg).unwrap();
     let fifteen = SyncChannel::new(spec)
         .with_data_sets(6)
         .unwrap()
@@ -94,11 +83,7 @@ fn table3_parallel_sfu_beats_baseline_sfu() {
     let msg = Message::pseudo_random(60, 0xDD);
     let baseline = SfuChannel::new(spec.clone()).transmit(&msg).unwrap();
     let sched_parallel = ParallelSfuChannel::new(spec.clone()).transmit(&msg).unwrap();
-    let full = ParallelSfuChannel::new(spec)
-        .with_parallel_sms(15)
-        .unwrap()
-        .transmit(&msg)
-        .unwrap();
+    let full = ParallelSfuChannel::new(spec).with_parallel_sms(15).unwrap().transmit(&msg).unwrap();
     assert!(baseline.is_error_free() && sched_parallel.is_error_free() && full.is_error_free());
     assert!(sched_parallel.bandwidth_kbps > baseline.bandwidth_kbps);
     assert!(full.bandwidth_kbps > sched_parallel.bandwidth_kbps);

@@ -69,10 +69,10 @@ proptest! {
     ) {
         let geom = CacheGeometry::new(2048, 64, 4).unwrap();
         let mut cache = SetAssocCache::new(geom);
-        for (i, &a) in addrs.iter().enumerate() {
-            cache.access(a, i as u64 * 2);
+        for &a in &addrs {
+            cache.access(a);
             // Immediate re-access hits.
-            prop_assert_eq!(cache.access(a, i as u64 * 2 + 1), AccessOutcome::Hit);
+            prop_assert_eq!(cache.access(a), AccessOutcome::Hit);
         }
         for set in 0..geom.num_sets() {
             prop_assert!(cache.set_occupancy(set) <= geom.ways() as usize);
@@ -86,17 +86,14 @@ proptest! {
     ) {
         let geom = CacheGeometry::new(2048, 64, 4).unwrap();
         let mut cache = SetAssocCache::new(geom);
-        let mut stamp = 0u64;
         for &l in &seed_lines {
             // Map everything into set 0.
             let addr = l * geom.same_set_stride();
-            cache.access(addr, stamp);
-            stamp += 1;
+            cache.access(addr);
             let mru = addr;
             // Insert one more distinct line into the same set.
             let other = (l + 1000) * geom.same_set_stride();
-            cache.access(other, stamp);
-            stamp += 1;
+            cache.access(other);
             prop_assert!(cache.probe(mru), "MRU line was evicted");
         }
     }

@@ -1,0 +1,152 @@
+//! Offline vendored stand-in for the parts of `criterion` 0.5 this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a minimal benchmark harness with the same calling convention:
+//! [`Criterion::bench_function`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`]. Instead
+//! of criterion's statistical analysis it reports min/mean/max wall-clock per
+//! iteration over `sample_size` samples.
+//!
+//! Setting `GPGPU_BENCH_QUICK=1` in the environment clamps every benchmark to
+//! a single sample so the whole suite smoke-runs quickly in CI.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Returns true when benchmarks should run a single quick sample (CI smoke
+/// mode), controlled by the `GPGPU_BENCH_QUICK` environment variable.
+fn quick_mode() -> bool {
+    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Timing loop handle passed to the closure of [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, recording wall-clock durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver with the same builder surface as `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = if quick_mode() { 1 } else { self.sample_size };
+        let mut b = Bencher { samples, durations: Vec::with_capacity(samples) };
+        f(&mut b);
+        report(name, &b.durations);
+        self
+    }
+}
+
+fn report(name: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{name:<44} no samples recorded");
+        return;
+    }
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    println!(
+        "{name:<44} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        durations.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group; supports both the positional and the
+/// `name = ...; config = ...; targets = ...` forms used by criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(17u64), 17);
+    }
+}

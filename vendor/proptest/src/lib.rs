@@ -1,0 +1,507 @@
+//! Offline vendored stand-in for the parts of `proptest` 1.x this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a minimal property-testing harness with the same calling
+//! convention: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`/`boxed`/`new_tree`, integer-range / tuple / [`collection::vec`]
+//! / [`strategy::Just`] / [`prop_oneof!`] strategies, `any::<T>()` for
+//! primitives, and [`test_runner::TestRunner`] + [`test_runner::ProptestConfig`].
+//!
+//! Shrinking is intentionally not implemented: a failing case fails the test
+//! directly with the generated inputs (which are deterministic per test name
+//! and case index, so failures reproduce exactly). Case counts honor
+//! `ProptestConfig::cases` and can be globally overridden with the
+//! `PROPTEST_CASES` environment variable, mirroring upstream.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::{Reason, TestRng, TestRunner};
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no shrinking: a strategy is just a
+    /// deterministic function of the runner's RNG state.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { gen: Arc::new(move |rng| self.gen_value(rng)) }
+        }
+
+        /// Generates a value tree (upstream API shape; here a tree is just
+        /// the generated value, since there is no shrinking).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<StubValueTree<Self::Value>, Reason>
+        where
+            Self: Sized,
+        {
+            Ok(StubValueTree { value: self.gen_value(runner.rng()) })
+        }
+    }
+
+    /// A generated value plus (upstream) its shrink state. This stand-in
+    /// holds only the value.
+    pub trait ValueTree {
+        /// The type of value this tree holds.
+        type Value;
+        /// Returns the current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The only [`ValueTree`] implementation in this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct StubValueTree<V> {
+        value: V,
+    }
+
+    impl<V: Clone> ValueTree for StubValueTree<V> {
+        type Value = V;
+        fn current(&self) -> V {
+            self.value.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Type-erased strategy returned by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V> {
+        gen: Arc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { gen: Arc::clone(&self.gen) }
+        }
+    }
+
+    impl<V> fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn gen_value(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+    #[derive(Debug, Clone)]
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `arms`; panics if empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((rng.next_u128() % span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u128).wrapping_sub(start as u128) + 1;
+                    start.wrapping_add((rng.next_u128() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `any::<T>()` support: types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` entry point.
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+    use std::marker::PhantomData;
+
+    /// Returns the canonical full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: PhantomData }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { start: *r.start(), end: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Test runner, RNG, and configuration.
+pub mod test_runner {
+    /// Why a strategy failed to produce a tree (unused failure mode here,
+    /// kept for upstream API shape).
+    pub type Reason = String;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Effective case count: `PROPTEST_CASES` in the environment
+        /// overrides the configured value, mirroring upstream.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+        }
+    }
+
+    /// Deterministic RNG driving strategies (splitmix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub(crate) fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns the next 128 random bits (for unbiased range reduction).
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+    }
+
+    /// Drives strategy generation; mirrors the small part of the upstream
+    /// `TestRunner` surface the workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed, like upstream `TestRunner::deterministic()`.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                config: ProptestConfig::default(),
+                rng: TestRng::from_seed(0x5EED_D15E_A5E5_0000),
+            }
+        }
+
+        /// A runner seeded deterministically from a test name (used by the
+        /// [`crate::proptest!`] macro).
+        pub fn seeded_for(name: &str, config: ProptestConfig) -> Self {
+            let mut seed = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x1000_0000_01B3);
+            }
+            TestRunner { config, rng: TestRng::from_seed(seed) }
+        }
+
+        /// Number of cases this runner executes.
+        pub fn cases(&self) -> u32 {
+            self.config.effective_cases()
+        }
+
+        /// The RNG strategies draw from.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Glob-import surface matching `proptest::prelude::*` as this workspace
+/// uses it.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies (all arms must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each function body runs once per case with its
+/// arguments freshly drawn from their strategies; generation is
+/// deterministic per test name and case index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::seeded_for(stringify!($name), config);
+            for _case in 0..runner.cases() {
+                $(let $p = $crate::strategy::Strategy::gen_value(&($s), runner.rng());)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strat = (0u32..4, 5u32..9, crate::collection::vec(0u8..6, 1..64));
+        for _ in 0..200 {
+            let (a, b, v) = strat.new_tree(&mut runner).unwrap().current();
+            assert!(a < 4 && (5..9).contains(&b));
+            assert!((1..64).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 6));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strat = prop_oneof![Just(0u8), Just(1u8), (2u8..4).prop_map(|x| x)];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[strat.new_tree(&mut runner).unwrap().current() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself wires configs, strategies and assertions.
+        #[test]
+        fn macro_round_trips(x in 0u64..100, ys in crate::collection::vec(any::<bool>(), 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len() < 8, true, "len {}", ys.len());
+        }
+    }
+}
