@@ -8,6 +8,11 @@
 //! 2. **TrialRunner scaling** on a 64-trial seeded BER sweep: 1 worker vs 4
 //!    workers. The near-linear-scaling assertion only fires on machines
 //!    with at least 4 cores; elsewhere the measured ratio is printed.
+//! 3. **Tracing overhead** of the `TraceSink` hook: an untraced transmit
+//!    against the same transmit with an `EventTrace` installed. The
+//!    disabled path is one `Option` check per event site, so it must stay
+//!    within 2% of the traced run's floor (in practice it is *faster*; the
+//!    assertion guards against the hook growing disabled-path work).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_covert::bits::Message;
@@ -101,6 +106,41 @@ fn bench(c: &mut Criterion) {
         );
     } else {
         println!("ablation: scaling assertion skipped ({cores} cores, quick={})", quick());
+    }
+
+    // --- 3. Tracing overhead: disabled hook vs live EventTrace sink. ---
+    let trace_reps = if quick() { 1 } else { 5 };
+    let msg = Message::pseudo_random(32, 7);
+    let ch = L1Channel::new(presets::tesla_k40c());
+    let best_of = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..trace_reps {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let disabled_s = best_of(&|| {
+        ch.transmit(&msg).expect("transmits");
+    });
+    let traced_s = best_of(&|| {
+        ch.transmit_traced(&msg, 4096).expect("transmits");
+    });
+    println!(
+        "ablation: 32-bit L1 transmit untraced {disabled_s:.3}s, traced {traced_s:.3}s \
+         -> disabled/traced = {:.3}",
+        disabled_s / traced_s
+    );
+    if !quick() {
+        // The traced run does strictly more work (it records every event),
+        // so the disabled path staying within 2% of it bounds the hook's
+        // disabled-path cost well under the 2% budget.
+        assert!(
+            disabled_s <= traced_s * 1.02,
+            "tracing-disabled path must be within 2% of the traced run, \
+             got disabled {disabled_s:.3}s vs traced {traced_s:.3}s"
+        );
     }
 
     c.bench_function("engine_event_driven_fig5_sweep", |b| {

@@ -1,6 +1,11 @@
 //! Plain-text report rendering: fixed-width tables and ASCII sparklines for
-//! latency series, with paper-reference values beside measurements.
+//! latency series, with paper-reference values beside measurements, plus
+//! the per-SM/per-scheduler/per-set contention profile derived from an
+//! event trace (`--profile` in the CLI).
 
+use gpgpu_mem::ConstLevel;
+use gpgpu_sim::{TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One paper-vs-measured comparison row.
@@ -73,6 +78,162 @@ pub fn render_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, 
     out
 }
 
+/// Renders a plain-text contention profile from a recorded event trace:
+/// per-SM activity (blocks hosted, warp issues, constant accesses by
+/// level, L1 evictions), per-warp-scheduler issue counts, per-set eviction
+/// histograms for the L1s and the shared L2, and a per-kernel summary —
+/// the aggregate view behind the paper's Figure-4-style analysis.
+///
+/// `kernel_names` maps kernel ids to diagnostic names (ids past the end
+/// render as `kernel<N>`).
+pub fn render_contention_profile(records: &[TraceRecord], kernel_names: &[String]) -> String {
+    let name_of = |k: u32| -> String {
+        kernel_names.get(k as usize).cloned().unwrap_or_else(|| format!("kernel{k}"))
+    };
+
+    #[derive(Default)]
+    struct SmStats {
+        blocks: u64,
+        preempted: u64,
+        issues: u64,
+        l1_hits: u64,
+        l2_hits: u64,
+        mem_misses: u64,
+        l1_evictions: u64,
+    }
+    #[derive(Default)]
+    struct KernelStats {
+        launches: u64,
+        completes: u64,
+        blocks: u64,
+        issues: u64,
+        atomic_queue_cycles: u64,
+        atomic_transactions: u64,
+        gmem_transactions: u64,
+        gmem_queue_cycles: u64,
+    }
+
+    let mut per_sm: BTreeMap<u32, SmStats> = BTreeMap::new();
+    let mut per_sched: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut l1_set_evictions: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut l2_set_evictions: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut per_kernel: BTreeMap<u32, KernelStats> = BTreeMap::new();
+
+    for r in records {
+        match r.event {
+            TraceEvent::KernelLaunch { kernel, .. } => {
+                per_kernel.entry(kernel).or_default().launches += 1;
+            }
+            TraceEvent::KernelComplete { kernel } => {
+                per_kernel.entry(kernel).or_default().completes += 1;
+            }
+            TraceEvent::BlockPlaced { kernel, sm, .. } => {
+                per_sm.entry(sm).or_default().blocks += 1;
+                per_kernel.entry(kernel).or_default().blocks += 1;
+            }
+            TraceEvent::BlockPreempted { sm, .. } => {
+                per_sm.entry(sm).or_default().preempted += 1;
+            }
+            TraceEvent::BlockFinished { .. } => {}
+            TraceEvent::WarpIssue { sm, scheduler, kernel, .. } => {
+                per_sm.entry(sm).or_default().issues += 1;
+                *per_sched.entry((sm, scheduler)).or_default() += 1;
+                per_kernel.entry(kernel).or_default().issues += 1;
+            }
+            TraceEvent::ConstAccess { sm, level, .. } => {
+                let s = per_sm.entry(sm).or_default();
+                match level {
+                    ConstLevel::L1 => s.l1_hits += 1,
+                    ConstLevel::L2 => s.l2_hits += 1,
+                    ConstLevel::Memory => s.mem_misses += 1,
+                }
+            }
+            TraceEvent::CacheEviction { sm, set, .. } => match sm {
+                Some(sm) => {
+                    per_sm.entry(sm).or_default().l1_evictions += 1;
+                    *l1_set_evictions.entry(set).or_default() += 1;
+                }
+                None => *l2_set_evictions.entry(set).or_default() += 1,
+            },
+            TraceEvent::AtomicContention { kernel, queue_cycles, transactions, .. } => {
+                let k = per_kernel.entry(kernel).or_default();
+                k.atomic_queue_cycles += queue_cycles;
+                k.atomic_transactions += transactions;
+            }
+            TraceEvent::GlobalAccess { kernel, transactions, queue_cycles, .. } => {
+                let k = per_kernel.entry(kernel).or_default();
+                k.gmem_transactions += transactions;
+                k.gmem_queue_cycles += queue_cycles;
+            }
+            TraceEvent::BarrierArrive { .. } | TraceEvent::BarrierRelease { .. } => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== contention profile ({} events) ==", records.len());
+
+    let _ = writeln!(
+        out,
+        "  {:<5} {:>7} {:>9} {:>7} {:>8} {:>8} {:>8} {:>9}",
+        "sm", "blocks", "preempted", "issues", "L1-hit", "L2-hit", "mem", "L1-evict"
+    );
+    for (sm, s) in &per_sm {
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>7} {:>9} {:>7} {:>8} {:>8} {:>8} {:>9}",
+            format!("SM{sm}"),
+            s.blocks,
+            s.preempted,
+            s.issues,
+            s.l1_hits,
+            s.l2_hits,
+            s.mem_misses,
+            s.l1_evictions
+        );
+    }
+
+    if !per_sched.is_empty() {
+        let _ = writeln!(out, "  warp issues per scheduler:");
+        for ((sm, sched), n) in &per_sched {
+            let _ = writeln!(out, "    SM{sm}.sched{sched}: {n}");
+        }
+    }
+    if !l1_set_evictions.is_empty() {
+        let _ = writeln!(out, "  L1 evictions per set:");
+        for (set, n) in &l1_set_evictions {
+            let _ = writeln!(out, "    set {set:>3}: {n}");
+        }
+    }
+    if !l2_set_evictions.is_empty() {
+        let _ = writeln!(out, "  L2 evictions per set:");
+        for (set, n) in &l2_set_evictions {
+            let _ = writeln!(out, "    set {set:>3}: {n}");
+        }
+    }
+    if !per_kernel.is_empty() {
+        let _ = writeln!(out, "  per kernel:");
+        for (k, s) in &per_kernel {
+            let _ = writeln!(
+                out,
+                "    {:<10} launches {} completes {} blocks {} issues {}",
+                name_of(*k),
+                s.launches,
+                s.completes,
+                s.blocks,
+                s.issues
+            );
+            if s.atomic_transactions + s.gmem_transactions > 0 {
+                let _ = writeln!(
+                    out,
+                    "    {:<10} atomics: {} txns / {} queue cycles; gmem: {} txns / {} queue cycles",
+                    "", s.atomic_transactions, s.atomic_queue_cycles, s.gmem_transactions, s.gmem_queue_cycles
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Counts upward steps (rises above `eps`) in a series — the paper reads
 /// the set count of a cache straight off this number.
 pub fn count_steps(series: &[(f64, f64)], eps: f64) -> usize {
@@ -103,6 +264,58 @@ mod tests {
         let s = render_series("t", "x", "y", &[(1.0, 49.0), (2.0, 112.0)]);
         assert!(s.contains("49.0"));
         assert!(render_series("t", "x", "y", &[]).contains("no data"));
+    }
+
+    #[test]
+    fn contention_profile_aggregates_by_sm_scheduler_and_set() {
+        let names = vec!["spy".to_string(), "trojan".to_string()];
+        let records = vec![
+            TraceRecord {
+                cycle: 0,
+                event: TraceEvent::KernelLaunch { kernel: 0, stream: 0, arrival: 0 },
+            },
+            TraceRecord { cycle: 1, event: TraceEvent::BlockPlaced { kernel: 0, block: 0, sm: 3 } },
+            TraceRecord {
+                cycle: 2,
+                event: TraceEvent::WarpIssue { sm: 3, scheduler: 1, kernel: 0, block: 0, warp: 0 },
+            },
+            TraceRecord {
+                cycle: 2,
+                event: TraceEvent::ConstAccess { sm: 3, kernel: 0, set: 5, level: ConstLevel::L2 },
+            },
+            TraceRecord {
+                cycle: 3,
+                event: TraceEvent::CacheEviction { sm: Some(3), set: 5, evictor: 1, victim: 0 },
+            },
+            TraceRecord {
+                cycle: 4,
+                event: TraceEvent::CacheEviction { sm: None, set: 9, evictor: 1, victim: 0 },
+            },
+            TraceRecord {
+                cycle: 5,
+                event: TraceEvent::AtomicContention {
+                    sm: 3,
+                    kernel: 1,
+                    queue_cycles: 64,
+                    transactions: 2,
+                },
+            },
+            TraceRecord { cycle: 9, event: TraceEvent::KernelComplete { kernel: 0 } },
+        ];
+        let s = render_contention_profile(&records, &names);
+        assert!(s.contains("8 events"), "{s}");
+        assert!(s.contains("SM3"), "{s}");
+        assert!(s.contains("SM3.sched1: 1"), "{s}");
+        assert!(s.contains("L1 evictions per set"), "{s}");
+        assert!(s.contains("L2 evictions per set"), "{s}");
+        assert!(s.contains("spy"), "{s}");
+        assert!(s.contains("atomics: 2 txns / 64 queue cycles"), "{s}");
+        // Unknown kernel ids fall back to a synthetic name.
+        let s = render_contention_profile(
+            &[TraceRecord { cycle: 0, event: TraceEvent::KernelComplete { kernel: 7 } }],
+            &[],
+        );
+        assert!(s.contains("kernel7"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Golden-file test: a fixed-seed L1-channel transmission exports
+//! byte-identical Chrome-trace JSON, run after run and machine after
+//! machine. Guards both the determinism of the simulator under tracing and
+//! the stability of the exporter's output format.
+//!
+//! Regenerate the golden file after an *intentional* format or model
+//! change with:
+//!
+//! ```text
+//! GPGPU_UPDATE_GOLDEN=1 cargo test -p gpgpu-bench --test trace_golden
+//! ```
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_spec::presets;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/l1_trace.json")
+}
+
+fn fixed_seed_trace_json() -> String {
+    // Small on purpose: 2 bits at 2 iterations in a 512-record ring keeps
+    // the golden file reviewable while still exercising launches, block
+    // placement, warp issue, cache accesses and evictions.
+    let ch = L1Channel::new(presets::tesla_k40c()).with_iterations(2);
+    let msg = Message::from_bits([true, false]);
+    let (_, capture) = ch.transmit_traced(&msg, 512).expect("traced transmit succeeds");
+    capture.chrome_trace_json()
+}
+
+/// Minimal structural well-formedness check, deliberately serde-free: the
+/// document must be one JSON object whose braces/brackets balance outside
+/// string literals and whose strings terminate.
+fn assert_structurally_valid_json(s: &str) {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        assert!(depth_obj >= 0 && depth_arr >= 0, "close before open");
+    }
+    assert!(!in_str, "unterminated string");
+    assert_eq!(depth_obj, 0, "unbalanced braces");
+    assert_eq!(depth_arr, 0, "unbalanced brackets");
+    assert!(s.trim_start().starts_with('{') && s.trim_end().ends_with('}'));
+}
+
+#[test]
+fn l1_trace_export_is_byte_identical_to_golden() {
+    let json = fixed_seed_trace_json();
+    assert_structurally_valid_json(&json);
+    assert!(json.contains("\"traceEvents\""));
+    let path = golden_path();
+    if std::env::var_os("GPGPU_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); regenerate with GPGPU_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json, golden,
+        "trace JSON drifted from the golden file; if the change is intentional, \
+         regenerate with GPGPU_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn repeated_traced_runs_are_bit_identical() {
+    assert_eq!(fixed_seed_trace_json(), fixed_seed_trace_json());
+}
+
+#[test]
+fn structural_checker_rejects_malformed_documents() {
+    let ok = std::panic::catch_unwind(|| assert_structurally_valid_json("{\"a\":[1,2,\"}\"]}"));
+    assert!(ok.is_ok());
+    for bad in ["{\"a\":[}", "{\"a\":\"unterminated", "{}}", "[1,2]"] {
+        let r = std::panic::catch_unwind(|| assert_structurally_valid_json(bad));
+        assert!(r.is_err(), "accepted malformed {bad:?}");
+    }
+}

@@ -25,15 +25,18 @@ commands:
   devices                     list the simulated GPU presets
   chat <message>              exfiltrate an ASCII message over the fastest channel
   zoo                         run every channel family once and summarize
+  l1                          run the baseline L1 channel with event tracing
   recon                       reverse engineer the schedulers and caches
   noise                       run the channel under Rodinia-like interference
   mitigations                 evaluate the Section-9 defenses
 
 options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
-  --bits <n>                        message length for zoo (default 24)
+  --bits <n>                        message length for zoo/l1 (default 24)
   --exclusive                       enable exclusive co-location (noise command)
   --stats                           print cycle-engine counters after the run
+  --trace-out <path>                write a Chrome-trace JSON of the run (l1 only)
+  --profile                         print the contention profile (l1 only)
 ";
 
 /// Which subcommand to run.
@@ -45,6 +48,8 @@ pub enum Command {
     Chat(String),
     /// One-line summary of every channel family.
     Zoo,
+    /// Baseline L1 channel with cycle-level event tracing.
+    L1,
     /// Scheduler/cache reverse engineering.
     Recon,
     /// Interference experiment.
@@ -68,6 +73,11 @@ pub struct Args {
     pub exclusive: bool,
     /// Print cycle-engine counters (`SimStats`) after the run.
     pub stats: bool,
+    /// Write the run's Chrome-trace JSON here (`l1` only).
+    pub trace_out: Option<String>,
+    /// Print the per-SM/per-scheduler/per-set contention profile
+    /// (`l1` only).
+    pub profile: bool,
 }
 
 impl Args {
@@ -84,6 +94,8 @@ impl Args {
             bits: 24,
             exclusive: false,
             stats: false,
+            trace_out: None,
+            profile: false,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -99,6 +111,10 @@ impl Args {
                 }
                 "--exclusive" => args.exclusive = true,
                 "--stats" => args.stats = true,
+                "--trace-out" => {
+                    args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+                }
+                "--profile" => args.profile = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other:?}"));
                 }
@@ -112,6 +128,7 @@ impl Args {
                 Command::Chat(msg.clone())
             }
             "zoo" => Command::Zoo,
+            "l1" => Command::L1,
             "recon" => Command::Recon,
             "noise" => Command::Noise,
             "mitigations" => Command::Mitigations,
@@ -120,6 +137,9 @@ impl Args {
         };
         if args.bits == 0 {
             return Err("--bits must be positive".to_string());
+        }
+        if args.command != Command::L1 && (args.trace_out.is_some() || args.profile) {
+            return Err("--trace-out/--profile only apply to the l1 command".to_string());
         }
         Ok(args)
     }
@@ -239,6 +259,42 @@ pub fn run(args: &Args) -> Result<String, String> {
                     .map_err(|e| e.to_string())?,
             );
         }
+        Command::L1 => {
+            let spec = args.spec()?;
+            let msg = Message::pseudo_random(args.bits, 0xC14);
+            let ch = L1Channel::new(spec.clone());
+            let (o, capture) = ch
+                .transmit_traced(&msg, gpgpu_sim::DEFAULT_TRACE_CAPACITY)
+                .map_err(|e| e.to_string())?;
+            engine.merge(&o.stats);
+            let _ = writeln!(
+                out,
+                "L1 channel on {}: {} bits, {:.1} Kbps, BER {:.1}%",
+                spec.name,
+                msg.len(),
+                o.bandwidth_kbps,
+                o.ber * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "trace: {} events recorded, {} dropped (ring capacity {})",
+                capture.events.len(),
+                capture.events.dropped(),
+                capture.events.capacity()
+            );
+            if let Some(path) = &args.trace_out {
+                let json = capture.chrome_trace_json();
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+                let _ = writeln!(out, "wrote Chrome trace ({} bytes) to {path}", json.len());
+            }
+            if args.profile {
+                out.push_str(&gpgpu_bench::report::render_contention_profile(
+                    &capture.records(),
+                    &capture.kernel_names,
+                ));
+            }
+        }
         Command::Recon => {
             let spec = args.spec()?;
             let b = reverse_engineer_block_scheduler(&spec).map_err(|e| e.to_string())?;
@@ -341,6 +397,41 @@ mod tests {
         assert!(Args::parse(&argv("zoo --bits 0")).is_err());
         assert!(Args::parse(&argv("zoo --wat")).is_err());
         assert!(Args::parse(&argv("chat")).is_err());
+        // Tracing flags are l1-only.
+        assert!(Args::parse(&argv("l1 --trace-out")).is_err());
+        assert!(Args::parse(&argv("zoo --trace-out t.json")).is_err());
+        assert!(Args::parse(&argv("chat hi --profile")).is_err());
+    }
+
+    #[test]
+    fn parses_l1_tracing_flags() {
+        let a = Args::parse(&argv("l1 --trace-out t.json --profile --bits 4")).unwrap();
+        assert_eq!(a.command, Command::L1);
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert!(a.profile);
+        assert_eq!(a.bits, 4);
+        // Tracing is optional; a bare l1 run is fine.
+        let a = Args::parse(&argv("l1")).unwrap();
+        assert_eq!(a.trace_out, None);
+        assert!(!a.profile);
+    }
+
+    #[test]
+    fn l1_writes_chrome_trace_and_profile() {
+        let path = std::env::temp_dir().join("gpgpu_cli_l1_trace_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let mut a = Args::parse(&argv("l1 --profile --bits 4")).unwrap();
+        a.trace_out = Some(path_s.clone());
+        let out = run(&a).unwrap();
+        assert!(out.contains("L1 channel"), "{out}");
+        assert!(out.contains("events recorded"), "{out}");
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        assert!(out.contains("contention profile"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.starts_with("{\"displayTimeUnit\""), "{}", &json[..60.min(json.len())]);
+        assert!(json.ends_with("]}\n"));
+        assert!(json.contains("\"ph\":\"b\"") && json.contains("\"ph\":\"e\""), "block spans");
     }
 
     #[test]

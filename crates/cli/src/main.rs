@@ -5,12 +5,13 @@
 //! gpgpu-covert devices
 //! gpgpu-covert chat --device k40c "the secret"
 //! gpgpu-covert zoo --bits 24
+//! gpgpu-covert l1 --trace-out trace.json --profile
 //! gpgpu-covert recon
 //! gpgpu-covert noise --exclusive
 //! gpgpu-covert mitigations
 //! ```
 
-use gpgpu_covert_cli::{run, Args};
+use gpgpu_cli::{run, Args};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,7 +20,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", gpgpu_covert_cli::USAGE);
+            eprintln!("{}", gpgpu_cli::USAGE);
             return ExitCode::from(2);
         }
     };

@@ -240,6 +240,7 @@ impl AtomicChannel {
             (0, 0),
             &decode,
             500_000_000,
+            None,
         )?;
         Ok(outcome)
     }

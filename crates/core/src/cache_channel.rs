@@ -17,7 +17,7 @@
 //!   channel of Section 4.3).
 
 use crate::bits::Message;
-use crate::channel::{decode_from_miss_counts, transmit_per_bit, ChannelOutcome};
+use crate::channel::{decode_from_miss_counts, transmit_per_bit, ChannelOutcome, TraceCapture};
 use crate::harness::TrialRunner;
 use crate::kernels::{emit_fill, emit_idle_spin, emit_probe_count_misses, miss_threshold, SetRef};
 use crate::CovertError;
@@ -176,6 +176,45 @@ impl CacheChannel {
     /// Propagates simulator failures ([`CovertError::Sim`]); a protocol
     /// desync is impossible in this per-bit-relaunch design.
     pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        let (outcome, _dev) = self.transmit_impl(msg, None)?;
+        Ok(outcome)
+    }
+
+    /// As [`CacheChannel::transmit`], recording a cycle-level event trace
+    /// of the whole transmission into a ring buffer of `trace_capacity`
+    /// records (see [`gpgpu_sim::EventTrace`]); the newest events win when
+    /// the buffer overflows.
+    ///
+    /// # Errors
+    ///
+    /// As [`CacheChannel::transmit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the installed sink is lost or replaced mid-run,
+    /// which the channel never does.
+    pub fn transmit_traced(
+        &self,
+        msg: &Message,
+        trace_capacity: usize,
+    ) -> Result<(ChannelOutcome, TraceCapture), CovertError> {
+        let sink = gpgpu_sim::EventTrace::with_capacity(trace_capacity);
+        let (outcome, mut dev) = self.transmit_impl(msg, Some(Box::new(sink)))?;
+        let kernel_names = dev.kernel_names();
+        let events = *dev
+            .take_trace_sink()
+            .expect("the sink installed before the run is still present")
+            .into_any()
+            .downcast::<gpgpu_sim::EventTrace>()
+            .expect("the sink is the EventTrace we installed");
+        Ok((outcome, TraceCapture { events, kernel_names }))
+    }
+
+    fn transmit_impl(
+        &self,
+        msg: &Message,
+        trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
+    ) -> Result<(ChannelOutcome, gpgpu_sim::Device), CovertError> {
         let geom = self.cache_geometry();
         let spy_base = 0u64;
         let trojan_base = geom.same_set_stride() * geom.ways();
@@ -210,7 +249,7 @@ impl CacheChannel {
         };
         let decode = move |samples: &[u64]| decode_from_miss_counts(samples, min_hot);
 
-        let (outcome, _dev) = transmit_per_bit(
+        transmit_per_bit(
             &self.spec,
             self.tuning,
             self.jitter,
@@ -221,8 +260,8 @@ impl CacheChannel {
             (self.array_bytes(), self.array_bytes()),
             &decode,
             60_000_000,
-        )?;
-        Ok(outcome)
+            trace,
+        )
     }
 
     /// Sweeps the iteration count downwards, reporting `(bandwidth_kbps,
@@ -294,6 +333,42 @@ mod tests {
         let msg = Message::from_bits(vec![true; 12]);
         let o = ch.transmit(&msg).unwrap();
         assert!(o.ber > 0.0, "expected errors at 1 iteration, ber={}", o.ber);
+    }
+
+    #[test]
+    fn empty_message_reports_zero_cycle_transmission() {
+        // No bits => no launches => the device never advances. Previously
+        // the elapsed cycles were clamped to 1, yielding a 0-bit "success"
+        // with an absurd implied bandwidth.
+        let ch = L1Channel::new(presets::tesla_k40c());
+        let msg = Message::from_bits(Vec::<bool>::new());
+        assert_eq!(ch.transmit(&msg), Err(CovertError::ZeroCycleTransmission));
+    }
+
+    #[test]
+    fn traced_transmit_matches_untraced_and_captures_events() {
+        use gpgpu_sim::TraceEvent;
+        let ch = L1Channel::new(presets::tesla_k40c()).with_iterations(2);
+        let msg = Message::from_bits([true, false, true]);
+        let plain = ch.transmit(&msg).unwrap();
+        let (traced, capture) = ch.transmit_traced(&msg, 1 << 16).unwrap();
+        assert_eq!(plain, traced, "observing the run must not perturb it");
+        let records = capture.records();
+        assert!(!records.is_empty());
+        assert_eq!(capture.events.dropped(), 0, "capacity should hold the whole run");
+        // One spy + one trojan launch per bit.
+        let launches =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::KernelLaunch { .. })).count();
+        assert_eq!(launches, 2 * msg.len());
+        assert!(capture.kernel_names.iter().any(|n| n == "spy"));
+        assert!(capture.kernel_names.iter().any(|n| n == "trojan"));
+        // A 1-bit requires trojan evictions of the spy's set; the trace
+        // must have seen them.
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::CacheEviction { sm: Some(_), .. })));
+        let json = capture.chrome_trace_json();
+        assert!(json.starts_with('{') && json.ends_with("]}\n"), "chrome JSON envelope");
     }
 
     #[test]

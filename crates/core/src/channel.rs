@@ -27,7 +27,11 @@ impl ChannelOutcome {
     ///
     /// # Panics
     ///
-    /// Panics if `cycles` is zero (no transmission can be instantaneous).
+    /// Panics if `cycles` is zero: bandwidth is derived via
+    /// [`DeviceSpec::bandwidth_kbps`], whose underlying
+    /// `DeviceSpec::bandwidth_bps` asserts "bandwidth over zero cycles is
+    /// undefined". Channel code returns
+    /// [`crate::CovertError::ZeroCycleTransmission`] before reaching this.
     pub fn from_run(spec: &DeviceSpec, sent: Message, received: Message, cycles: u64) -> Self {
         let bandwidth_kbps = spec.bandwidth_kbps(sent.len() as u64, cycles);
         let ber = sent.bit_error_rate(&received);
@@ -59,9 +63,36 @@ pub fn decode_from_latencies(samples: &[u64], threshold: u64, min_hot: usize) ->
     samples.iter().filter(|&&l| l > threshold).count() >= min_hot
 }
 
+/// A recorded event trace retrieved after a traced transmission: the
+/// events plus the kernel-id -> name table the exporters need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCapture {
+    /// The recorded events (ring-buffered; check
+    /// [`gpgpu_sim::EventTrace::dropped`] for overflow).
+    pub events: gpgpu_sim::EventTrace,
+    /// Diagnostic kernel names, indexed by kernel id.
+    pub kernel_names: Vec<String>,
+}
+
+impl TraceCapture {
+    /// The capture as Chrome trace-event JSON (`chrome://tracing`).
+    pub fn chrome_trace_json(&self) -> String {
+        gpgpu_sim::chrome_trace_json(&self.events.events(), &self.kernel_names)
+    }
+
+    /// The held records in chronological order.
+    pub fn records(&self) -> Vec<gpgpu_sim::TraceRecord> {
+        self.events.events()
+    }
+}
+
 /// Runs a per-bit-relaunch channel: for every message bit, launches a fresh
 /// trojan/spy kernel pair on two streams, waits for both, and decodes the
 /// bit from the spy's block-0/warp-0 result buffer.
+///
+/// When `trace` is `Some`, the sink is installed on the device for the whole
+/// transmission and can be retrieved afterwards via
+/// [`gpgpu_sim::Device::take_trace_sink`] on the returned device.
 ///
 /// This is the structure of all the paper's *baseline* channels (Sections
 /// 4-6): "we launch two kernels to communicate each bit of the message.
@@ -79,10 +110,14 @@ pub(crate) fn transmit_per_bit(
     alloc_const_bytes: (u64, u64),
     decode: &dyn Fn(&[u64]) -> bool,
     cycles_per_bit_budget: u64,
+    trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
 ) -> Result<(ChannelOutcome, gpgpu_sim::Device), crate::CovertError> {
     let mut dev = gpgpu_sim::Device::with_tuning(spec.clone(), tuning);
     if let Some((max, seed)) = jitter {
         dev.set_launch_jitter(max, seed);
+    }
+    if let Some(sink) = trace {
+        dev.set_trace_sink(sink);
     }
     // Allocations are performed once; the same arrays are reused by every
     // per-bit kernel pair, exactly as a real attacker reuses
@@ -96,15 +131,19 @@ pub(crate) fn transmit_per_bit(
             dev.launch(1, gpgpu_sim::KernelSpec::new("trojan", trojan_program(bit), launches.1))?;
         dev.run_until_idle(cycles_per_bit_budget)?;
         let r = dev.results(spy)?;
-        let samples = r
-            .warp_results(0, 0)
-            .ok_or(crate::CovertError::ProtocolDesync { expected: 1, got: 0 })?;
+        let samples = r.warp_results(0, 0).ok_or_else(|| {
+            crate::CovertError::MissingWarpResults { kernel: r.name.clone(), block: 0, warp: 0 }
+        })?;
         received.push(decode(samples));
     }
     let cycles = dev.now();
-    let outcome =
-        ChannelOutcome::from_run(spec, msg.clone(), Message::from_bits(received), cycles.max(1))
-            .with_stats(*dev.stats());
+    if cycles == 0 {
+        // An empty message (or a device that never advanced) has no defined
+        // bandwidth; previously this was masked by clamping to one cycle.
+        return Err(crate::CovertError::ZeroCycleTransmission);
+    }
+    let outcome = ChannelOutcome::from_run(spec, msg.clone(), Message::from_bits(received), cycles)
+        .with_stats(*dev.stats());
     Ok((outcome, dev))
 }
 

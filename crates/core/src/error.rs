@@ -23,6 +23,22 @@ pub enum CovertError {
         /// Bits actually recovered.
         got: usize,
     },
+    /// A kernel completed without the result buffer the decoder needed —
+    /// distinct from [`CovertError::ProtocolDesync`], which is about bit
+    /// misalignment between kernels that *did* report.
+    MissingWarpResults {
+        /// Name of the kernel whose results were expected.
+        kernel: String,
+        /// Block index the decoder read.
+        block: u32,
+        /// Warp-in-block index the decoder read.
+        warp: u32,
+    },
+    /// A transmission reported zero elapsed cycles — the device never
+    /// advanced, so bandwidth is undefined. Previously masked by clamping
+    /// to one cycle, which produced an absurd bandwidth with a plausible
+    /// BER.
+    ZeroCycleTransmission,
 }
 
 impl fmt::Display for CovertError {
@@ -32,6 +48,12 @@ impl fmt::Display for CovertError {
             CovertError::Config { reason } => write!(f, "channel misconfigured: {reason}"),
             CovertError::ProtocolDesync { expected, got } => {
                 write!(f, "protocol desynchronized: expected {expected} bits, got {got}")
+            }
+            CovertError::MissingWarpResults { kernel, block, warp } => {
+                write!(f, "kernel `{kernel}` produced no results for block {block} warp {warp}")
+            }
+            CovertError::ZeroCycleTransmission => {
+                write!(f, "transmission consumed zero cycles; bandwidth is undefined")
             }
         }
     }
@@ -63,5 +85,15 @@ mod tests {
         assert!(e.source().is_none());
         let e = CovertError::Sim(SimError::SchedulerStuck);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn new_variants_display_their_context() {
+        let e = CovertError::MissingWarpResults { kernel: "spy".into(), block: 3, warp: 1 };
+        let s = e.to_string();
+        assert!(s.contains("spy") && s.contains("block 3") && s.contains("warp 1"), "{s}");
+        assert!(e.source().is_none());
+        let e = CovertError::ZeroCycleTransmission;
+        assert!(e.to_string().contains("zero cycles"));
     }
 }

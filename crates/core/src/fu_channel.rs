@@ -153,6 +153,7 @@ impl SfuChannel {
             (0, 0),
             &decode,
             120_000_000,
+            None,
         )?;
         Ok(outcome)
     }

@@ -77,15 +77,45 @@ fn mix_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Resolves the worker count from the raw `GPGPU_TRIAL_WORKERS` lookup.
+/// Returns the count plus, when the variable was present but unusable, a
+/// printable description of the rejected value for the one-time warning
+/// (`None` means the variable was honored or simply absent).
+fn resolve_workers(
+    raw: Result<String, std::env::VarError>,
+    default: usize,
+) -> (usize, Option<String>) {
+    match raw {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(w) if w >= 1 => (w, None),
+            _ => (default, Some(format!("`{v}`"))),
+        },
+        Err(std::env::VarError::NotPresent) => (default, None),
+        Err(std::env::VarError::NotUnicode(_)) => (default, Some("<non-unicode>".into())),
+    }
+}
+
 impl TrialRunner {
     /// A runner sized to the machine: `GPGPU_TRIAL_WORKERS` if set, else
     /// `available_parallelism()`, else 1.
+    ///
+    /// A set-but-unusable `GPGPU_TRIAL_WORKERS` (not a positive integer,
+    /// or not valid Unicode) falls back to the autodetected count and
+    /// prints a one-time warning to stderr naming the rejected value —
+    /// previously such values were silently ignored, which made a typo'd
+    /// `GPGPU_TRIAL_WORKERS=O1` indistinguishable from an honored one.
     pub fn new() -> Self {
-        let workers = std::env::var("GPGPU_TRIAL_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&w| w >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (workers, rejected) = resolve_workers(std::env::var("GPGPU_TRIAL_WORKERS"), default);
+        if let Some(rejected) = rejected {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid GPGPU_TRIAL_WORKERS value {rejected} \
+                     (expected a positive integer); using {default} worker(s)"
+                );
+            });
+        }
         TrialRunner { workers, base_seed: DEFAULT_BASE_SEED }
     }
 
@@ -254,6 +284,22 @@ mod tests {
         assert_eq!(r.mean_ber(0, |_| 1.0), 0.0);
         let mean = r.mean_ber(10, |t| if t.index < 5 { 0.0 } else { 1.0 });
         assert!((mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_resolution_honors_valid_and_rejects_invalid_values() {
+        use std::env::VarError;
+        // Honored.
+        assert_eq!(resolve_workers(Ok("4".into()), 8), (4, None));
+        // Absent: default, no warning.
+        assert_eq!(resolve_workers(Err(VarError::NotPresent), 8), (8, None));
+        // Present but unusable: default, warning names the rejected value.
+        assert_eq!(resolve_workers(Ok("0".into()), 8), (8, Some("`0`".into())));
+        assert_eq!(resolve_workers(Ok("O1".into()), 8), (8, Some("`O1`".into())));
+        assert_eq!(resolve_workers(Ok("-3".into()), 2), (2, Some("`-3`".into())));
+        let (w, rejected) =
+            resolve_workers(Err(VarError::NotUnicode(std::ffi::OsString::from("x"))), 8);
+        assert_eq!((w, rejected.as_deref()), (8, Some("<non-unicode>")));
     }
 
     #[test]

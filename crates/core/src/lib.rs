@@ -61,5 +61,5 @@ pub mod side_channel;
 pub mod sync_channel;
 pub mod whitespace;
 
-pub use channel::ChannelOutcome;
+pub use channel::{ChannelOutcome, TraceCapture};
 pub use error::CovertError;

@@ -16,6 +16,19 @@ use gpgpu_spec::MemorySpec;
 /// Fixed per-transaction turnaround (cycles) of memory-side atomic units.
 const FERMI_TXN_TURNAROUND: u64 = 24;
 
+/// Detailed outcome of one warp-level atomic access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicAccess {
+    /// Cycle the last lane completes (the warp resumes then).
+    pub completes_at: u64,
+    /// Total cycles the access's transactions spent queued behind busy
+    /// units — 0 when uncontended. This is the Section-6 contention signal
+    /// a trace wants to see directly.
+    pub queue_cycles: u64,
+    /// Number of coalesced transactions the warp access produced.
+    pub transactions: u64,
+}
+
 /// The device's pool of address-interleaved atomic units.
 ///
 /// Occupancy model: every lane's read-modify-write costs `service_cycles`
@@ -60,6 +73,16 @@ impl AtomicSystem {
     where
         I: IntoIterator<Item = u64>,
     {
+        self.access_detailed(lane_addrs, now).completes_at
+    }
+
+    /// As [`AtomicSystem::access`], additionally reporting how long the
+    /// access queued behind busy units and how many transactions it
+    /// produced, so tracing can show contention directly.
+    pub fn access_detailed<I>(&mut self, lane_addrs: I, now: u64) -> AtomicAccess
+    where
+        I: IntoIterator<Item = u64>,
+    {
         let lane_addrs: Vec<u64> = lane_addrs.into_iter().collect();
         let mut groups: Vec<(u64, u64)> = Vec::new(); // (segment base, lane count)
         for seg in coalesce(lane_addrs.iter().copied(), self.segment) {
@@ -67,7 +90,9 @@ impl AtomicSystem {
                 lane_addrs.iter().filter(|&&a| a - (a % self.segment) == seg).count() as u64;
             groups.push((seg, count));
         }
+        let transactions = groups.len() as u64;
         let mut last = now;
+        let mut queue_cycles = 0;
         for (seg, count) in groups {
             let unit = ((seg / self.segment) % self.units.len() as u64) as usize;
             let occupancy = if self.merges_same_segment {
@@ -86,10 +111,11 @@ impl AtomicSystem {
                 self.service_cycles * count + FERMI_TXN_TURNAROUND
             };
             let start = now.max(self.units[unit]);
+            queue_cycles += start - now;
             self.units[unit] = start + occupancy;
             last = last.max(start + occupancy + self.base_latency);
         }
-        last
+        AtomicAccess { completes_at: last, queue_cycles, transactions }
     }
 
     /// Earliest cycle at which all units are idle (diagnostics).
@@ -159,6 +185,24 @@ mod tests {
         let mut b = AtomicSystem::new(&kepler_mem(), true);
         let done_coalesced = b.access((0..32u64).map(|i| i * 4), 0);
         assert!(done_coalesced < done, "{done_coalesced} vs {done}");
+    }
+
+    #[test]
+    fn detailed_access_reports_queueing_and_transactions() {
+        let mut a = AtomicSystem::new(&kepler_mem(), true);
+        // Uncontended warp: no queueing, one coalesced transaction.
+        let d = a.access_detailed(std::iter::repeat_n(0x0u64, 32), 0);
+        assert_eq!(d.queue_cycles, 0);
+        assert_eq!(d.transactions, 1);
+        // Second warp to the same segment at the same cycle queues behind
+        // the first warp's 32 cycles of unit occupancy.
+        let d2 = a.access_detailed(std::iter::repeat_n(0x0u64, 32), 0);
+        assert_eq!(d2.queue_cycles, 32);
+        assert_eq!(d2.completes_at, d.completes_at + 32);
+        // Spread lanes: 32 segments -> 32 transactions.
+        let mut b = AtomicSystem::new(&kepler_mem(), true);
+        let d3 = b.access_detailed((0..32u64).map(|i| i * 128), 0);
+        assert_eq!(d3.transactions, 32);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! 49 cycles, an L1-miss/L2-hit 112 cycles, and a full miss 250 cycles —
 //! matching the plateaus of the paper's latency plots directly.
 
-use crate::cache::{AccessOutcome, SetAssocCache};
+use crate::cache::{AccessOutcome, Eviction, SetAssocCache};
 use crate::ports::PortSet;
 use gpgpu_spec::{CacheSpec, MemorySpec};
 
@@ -28,6 +28,15 @@ pub struct ConstAccess {
     pub completes_at: u64,
     /// The servicing level.
     pub level: ConstLevel,
+    /// The L1 set the access indexed (after partition remapping).
+    pub l1_set: u64,
+    /// The eviction the L1 fill performed, if any (misses only).
+    pub l1_eviction: Option<Eviction>,
+    /// The L2 set the access indexed; `None` when the L1 hit (no L2
+    /// lookup happened).
+    pub l2_set: Option<u64>,
+    /// The eviction the L2 fill performed, if any.
+    pub l2_eviction: Option<Eviction>,
 }
 
 /// Per-SM constant L1 caches over one device-wide constant L2.
@@ -102,10 +111,16 @@ impl ConstHierarchy {
             self.l1[sm].geometry().set_of_addr(addr),
             domain,
         );
-        match self.l1[sm].access_in_set(addr, l1_set, domain) {
-            AccessOutcome::Hit => {
-                ConstAccess { completes_at: start + self.l1_hit_latency, level: ConstLevel::L1 }
-            }
+        let l1_access = self.l1[sm].access_in_set_detailed(addr, l1_set, domain);
+        match l1_access.outcome {
+            AccessOutcome::Hit => ConstAccess {
+                completes_at: start + self.l1_hit_latency,
+                level: ConstLevel::L1,
+                l1_set,
+                l1_eviction: None,
+                l2_set: None,
+                l2_eviction: None,
+            },
             AccessOutcome::Miss => {
                 // L2 lookup contends on the shared L2 ports. Port occupancy
                 // of 1 cycle models the paper's observation that parallel
@@ -117,15 +132,21 @@ impl ConstHierarchy {
                     self.l2.geometry().set_of_addr(addr),
                     domain,
                 );
-                match self.l2.access_in_set(addr, l2_set, domain) {
-                    AccessOutcome::Hit => ConstAccess {
-                        completes_at: start + self.l2_hit_latency + queue_delay,
-                        level: ConstLevel::L2,
+                let l2_access = self.l2.access_in_set_detailed(addr, l2_set, domain);
+                let completes_at = match l2_access.outcome {
+                    AccessOutcome::Hit => start + self.l2_hit_latency + queue_delay,
+                    AccessOutcome::Miss => start + self.mem_latency + queue_delay,
+                };
+                ConstAccess {
+                    completes_at,
+                    level: match l2_access.outcome {
+                        AccessOutcome::Hit => ConstLevel::L2,
+                        AccessOutcome::Miss => ConstLevel::Memory,
                     },
-                    AccessOutcome::Miss => ConstAccess {
-                        completes_at: start + self.mem_latency + queue_delay,
-                        level: ConstLevel::Memory,
-                    },
+                    l1_set,
+                    l1_eviction: l1_access.eviction,
+                    l2_set: Some(l2_set),
+                    l2_eviction: l2_access.eviction,
                 }
             }
         }
@@ -239,6 +260,34 @@ mod tests {
             let a = h.access(0, w * stride, 300 + w, 0);
             assert_eq!(a.level, ConstLevel::L2, "line {w} should have been evicted");
         }
+    }
+
+    #[test]
+    fn access_reports_sets_and_evictions() {
+        let mut h = hierarchy();
+        // Cold miss: both sets reported, nothing to evict yet.
+        let a = h.access(0, 0x0, 0, 0);
+        assert_eq!(a.l1_set, 0);
+        assert_eq!(a.l2_set, Some(0));
+        assert_eq!(a.l1_eviction, None);
+        // Warm hit: no L2 lookup.
+        let a = h.access(0, 0x0, 100, 0);
+        assert_eq!(a.level, ConstLevel::L1);
+        assert_eq!(a.l2_set, None);
+        assert_eq!(a.l2_eviction, None);
+        // Domain 1 fills L1 set 0 past capacity (4 ways, stride 512; one
+        // way already holds domain 0's line): the fourth fill spills the
+        // set and evicts domain 0's LRU line, and the detail says so.
+        for w in 0..3u64 {
+            let a = h.access(0, (1 << 20) + w * 512, 200 + w, 1);
+            assert_eq!(a.l1_eviction, None);
+        }
+        let a = h.access(0, (1 << 20) + 3 * 512, 300, 1);
+        assert_eq!(
+            a.l1_eviction,
+            Some(Eviction { victim_domain: 0, evictor_domain: 1 }),
+            "fourth set-0 fill should report the cross-domain L1 eviction"
+        );
     }
 
     #[test]

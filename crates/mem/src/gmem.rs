@@ -10,6 +10,19 @@ use crate::coalesce::coalesce;
 use crate::ports::PortSet;
 use gpgpu_spec::MemorySpec;
 
+/// Detailed outcome of one warp-level global access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GmemAccess {
+    /// Cycle the access completes for warp timing (data arrival for loads,
+    /// issue completion for stores).
+    pub completes_at: u64,
+    /// Total cycles the access's transactions queued on the bandwidth pipe
+    /// — 0 when the pipe was free.
+    pub queue_cycles: u64,
+    /// Number of coalesced transactions the access produced.
+    pub transactions: u64,
+}
+
 /// Timing model for global loads and stores: transactions contend on an
 /// aggregate `transactions_per_cycle` pipe, then pay the DRAM latency.
 #[derive(Debug, Clone)]
@@ -35,11 +48,17 @@ impl GlobalMemory {
     where
         I: IntoIterator<Item = u64>,
     {
-        let mut last_start = now;
-        for _seg in coalesce(lane_addrs, self.segment) {
-            last_start = self.pipe.acquire(now, 1);
-        }
-        last_start + self.load_latency
+        self.load_detailed(lane_addrs, now).completes_at
+    }
+
+    /// As [`GlobalMemory::load`], additionally reporting pipe queueing and
+    /// the transaction count for tracing.
+    pub fn load_detailed<I>(&mut self, lane_addrs: I, now: u64) -> GmemAccess
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let (last_start, queue_cycles, transactions) = self.issue(lane_addrs, now);
+        GmemAccess { completes_at: last_start + self.load_latency, queue_cycles, transactions }
     }
 
     /// Issues a warp-level store at `now`; returns the cycle the *issue*
@@ -49,11 +68,34 @@ impl GlobalMemory {
     where
         I: IntoIterator<Item = u64>,
     {
+        self.store_detailed(lane_addrs, now).completes_at
+    }
+
+    /// As [`GlobalMemory::store`], additionally reporting pipe queueing and
+    /// the transaction count for tracing.
+    pub fn store_detailed<I>(&mut self, lane_addrs: I, now: u64) -> GmemAccess
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let (last_start, queue_cycles, transactions) = self.issue(lane_addrs, now);
+        GmemAccess { completes_at: last_start + 1, queue_cycles, transactions }
+    }
+
+    /// Pushes the access's coalesced transactions through the pipe;
+    /// returns `(last transaction start, summed queueing, transactions)`.
+    fn issue<I>(&mut self, lane_addrs: I, now: u64) -> (u64, u64, u64)
+    where
+        I: IntoIterator<Item = u64>,
+    {
         let mut last_start = now;
+        let mut queue_cycles = 0;
+        let mut transactions = 0;
         for _seg in coalesce(lane_addrs, self.segment) {
             last_start = self.pipe.acquire(now, 1);
+            queue_cycles += last_start - now;
+            transactions += 1;
         }
-        last_start + 1
+        (last_start, queue_cycles, transactions)
     }
 
     /// Number of coalesced transactions a warp access to `lane_addrs`
@@ -109,6 +151,22 @@ mod tests {
         let mut g = GlobalMemory::new(&mem());
         let done = g.store((0..32u64).map(|i| i * 4), 10);
         assert_eq!(done, 11);
+    }
+
+    #[test]
+    fn detailed_load_reports_queueing() {
+        let mut g = GlobalMemory::new(&mem());
+        // 32 transactions on a 4/cycle pipe: starts 0,0,0,0,1,1,1,1,...,7.
+        let d = g.load_detailed((0..32u64).map(|i| i * 128), 0);
+        assert_eq!(d.transactions, 32);
+        assert_eq!(d.queue_cycles, (0..8u64).map(|c| c * 4).sum::<u64>());
+        assert_eq!(d.completes_at, 7 + 450);
+        // Fully coalesced store: one transaction, no queueing left at t=100.
+        let mut g = GlobalMemory::new(&mem());
+        let d = g.store_detailed((0..32u64).map(|i| i * 4), 100);
+        assert_eq!(d.transactions, 1);
+        assert_eq!(d.queue_cycles, 0);
+        assert_eq!(d.completes_at, 101);
     }
 
     #[test]

@@ -34,9 +34,9 @@ mod constmem;
 mod gmem;
 mod ports;
 
-pub use atomics::AtomicSystem;
-pub use cache::{AccessOutcome, SetAssocCache};
+pub use atomics::{AtomicAccess, AtomicSystem};
+pub use cache::{AccessOutcome, Eviction, SetAccess, SetAssocCache};
 pub use coalesce::{bank_conflict_degree, coalesce};
 pub use constmem::{ConstAccess, ConstHierarchy, ConstLevel};
-pub use gmem::GlobalMemory;
+pub use gmem::{GlobalMemory, GmemAccess};
 pub use ports::PortSet;

@@ -4,6 +4,7 @@ use crate::error::SimError;
 use crate::kernel::{BlockRecord, KernelId, KernelResults, KernelSpec, KernelState};
 use crate::sm::{Sm, Subsystems};
 use crate::stats::SimStats;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::tuning::EngineMode;
 use crate::StreamId;
 use gpgpu_isa::Instr;
@@ -75,6 +76,9 @@ pub struct Device {
     /// Reusable scratch buffer for blocks finishing within a cycle (avoids a
     /// per-cycle allocation in the hot loop).
     finished_buf: Vec<(KernelId, BlockRecord)>,
+    /// Optional trace sink. Every emission site is a single `Option` check
+    /// when disabled — no event is even constructed.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Device {
@@ -128,7 +132,37 @@ impl Device {
             pending_arrivals: BinaryHeap::new(),
             streams: HashMap::new(),
             finished_buf: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Installs a trace sink; subsequent simulation emits
+    /// [`TraceEvent`]s into it. Replaces any previous sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any. Use
+    /// [`TraceSink::into_any`] to downcast it back to its concrete type:
+    ///
+    /// ```
+    /// use gpgpu_sim::{Device, EventTrace};
+    /// use gpgpu_spec::presets;
+    ///
+    /// let mut dev = Device::new(presets::tesla_k40c());
+    /// dev.set_trace_sink(Box::new(EventTrace::default()));
+    /// let trace =
+    ///     dev.take_trace_sink().unwrap().into_any().downcast::<EventTrace>().unwrap();
+    /// assert!(trace.is_empty());
+    /// ```
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Diagnostic names of every launched kernel, indexed by kernel id —
+    /// the name table [`crate::chrome_trace_json`] wants.
+    pub fn kernel_names(&self) -> Vec<String> {
+        self.kernels.iter().map(|k| k.spec.name.clone()).collect()
     }
 
     /// Engine performance counters accumulated so far.
@@ -235,6 +269,9 @@ impl Device {
         let queue = self.streams.entry(stream).or_default();
         queue.kernels.push(idx);
         self.stats.kernels_launched += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(self.now, TraceEvent::KernelLaunch { kernel: id.0, stream, arrival });
+        }
         Ok(id)
     }
 
@@ -261,7 +298,10 @@ impl Device {
             if worked {
                 self.now += 1;
             } else {
-                let target = self.next_event_time()?.max(self.now + 1);
+                // Clamp fast-forward to the budget so CycleLimitExceeded
+                // fires at the same cycle as in the dense engine; the loop
+                // guard guarantees `now + 1 <= limit` here.
+                let target = self.next_event_time()?.max(self.now + 1).min(limit);
                 self.stats.cycles_fast_forwarded += target - (self.now + 1);
                 self.now = target;
             }
@@ -297,7 +337,9 @@ impl Device {
             if worked {
                 self.now += 1;
             } else {
-                let target = self.next_event_time()?.max(self.now + 1);
+                // Same budget clamp as `run_until_idle`: never fast-forward
+                // past the limit.
+                let target = self.next_event_time()?.max(self.now + 1).min(limit);
                 self.stats.cycles_fast_forwarded += target - (self.now + 1);
                 self.now = target;
             }
@@ -419,6 +461,16 @@ impl Device {
                 self.sms[sm].preempt_block(victim_kernel, victim_block);
                 self.kernels[victim_kernel.0 as usize].push_back_block(victim_block);
                 self.stats.blocks_preempted += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(
+                        self.now,
+                        TraceEvent::BlockPreempted {
+                            kernel: victim_kernel.0,
+                            block: victim_block,
+                            sm: sm as u32,
+                        },
+                    );
+                }
                 if self.sm_admits(sm, kernel, res) {
                     return Some(sm);
                 }
@@ -462,6 +514,16 @@ impl Device {
                         self.rr_cursor = (sm + 1) % self.sms.len();
                         self.stats.blocks_placed += 1;
                         mutated = true;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(
+                                self.now,
+                                TraceEvent::BlockPlaced {
+                                    kernel: kernel.0,
+                                    block: block_id,
+                                    sm: sm as u32,
+                                },
+                            );
+                        }
                     }
                     None => break 'blocks, // queue the rest until resources free
                 }
@@ -489,6 +551,7 @@ impl Device {
             const_mem: &mut self.const_mem,
             atomics: &mut self.atomics,
             gmem: &mut self.gmem,
+            trace: self.trace.as_deref_mut(),
         };
         let mut finished = std::mem::take(&mut self.finished_buf);
         let now = self.now;
@@ -504,6 +567,16 @@ impl Device {
             worked |= sm.step(now, &mut subs, &mut finished, !dense);
         }
         for (kernel, record) in finished.drain(..) {
+            if let Some(t) = self.trace.as_mut() {
+                t.record(
+                    now,
+                    TraceEvent::BlockFinished {
+                        kernel: kernel.0,
+                        block: record.block_id,
+                        sm: record.sm_id,
+                    },
+                );
+            }
             let k = &mut self.kernels[kernel.0 as usize];
             k.records.push(record);
             k.blocks_done += 1;
@@ -515,6 +588,9 @@ impl Device {
                 self.incomplete -= 1;
                 let stream = k.stream;
                 self.advance_stream_head(stream);
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(now, TraceEvent::KernelComplete { kernel: kernel.0 });
+                }
             }
             // A freed block may unblock queued placements.
             self.placement_dirty = true;
@@ -685,6 +761,34 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_never_overshoots_the_budget() {
+        // The K40C launch overhead is 15 000 cycles; with a 10 000-cycle
+        // budget the event-driven engine would previously fast-forward
+        // straight to the arrival (cycle 15 000) and report the limit from
+        // there. Both run methods must stop exactly at the limit.
+        let spin = || {
+            let mut b = ProgramBuilder::new();
+            let top = b.label();
+            b.bind(top);
+            b.fu(FuOpKind::SpAdd);
+            b.jump(top);
+            b.build().unwrap()
+        };
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.launch(0, KernelSpec::new("spin", spin(), LaunchConfig::new(1, 32))).unwrap();
+        assert_eq!(dev.run_until_idle(10_000), Err(SimError::CycleLimitExceeded { limit: 10_000 }));
+        assert_eq!(dev.now(), 10_000, "clock must stop at the budget, not past it");
+
+        let mut dev = Device::new(presets::tesla_k40c());
+        let k = dev.launch(0, KernelSpec::new("spin", spin(), LaunchConfig::new(1, 32))).unwrap();
+        assert_eq!(
+            dev.run_until_complete(k, 10_000),
+            Err(SimError::CycleLimitExceeded { limit: 10_000 })
+        );
+        assert_eq!(dev.now(), 10_000);
+    }
+
+    #[test]
     fn double_precision_rejected_on_maxwell() {
         let mut dev = Device::new(presets::quadro_m4000());
         let mut b = ProgramBuilder::new();
@@ -741,6 +845,38 @@ mod tests {
             .unwrap();
         dev.run_until_idle(1_000_000).unwrap();
         assert_eq!(dev.results(k).unwrap().flat_results(), vec![30]);
+    }
+
+    #[test]
+    fn trace_sink_observes_kernel_lifecycle() {
+        use crate::trace::{EventTrace, TraceEvent};
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.set_trace_sink(Box::new(EventTrace::default()));
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(Reg(0), 64);
+        b.const_load(Reg(0));
+        b.push_result(Reg(0));
+        dev.launch(0, KernelSpec::new("probe", b.build().unwrap(), LaunchConfig::new(2, 64)))
+            .unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        assert_eq!(dev.kernel_names(), vec!["probe".to_string()]);
+        let trace = dev.take_trace_sink().unwrap().into_any().downcast::<EventTrace>().unwrap();
+        let events = trace.events();
+        assert!(!events.is_empty());
+        // Cycle stamps are non-decreasing.
+        for w in events.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle, "{:?} after {:?}", w[1], w[0]);
+        }
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|r| f(&r.event)).count();
+        assert_eq!(count(&|e| matches!(e, TraceEvent::KernelLaunch { kernel: 0, .. })), 1);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::KernelComplete { kernel: 0 })), 1);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::BlockPlaced { .. })), 2);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::BlockFinished { .. })), 2);
+        // 2 blocks x 2 warps, one const load each.
+        assert_eq!(count(&|e| matches!(e, TraceEvent::ConstAccess { .. })), 4);
+        assert!(count(&|e| matches!(e, TraceEvent::WarpIssue { .. })) >= 4);
+        // Untraced device still runs (the disabled path).
+        assert!(dev.take_trace_sink().is_none());
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod kernel;
 mod policy;
 mod sm;
 mod stats;
+mod trace;
 mod tuning;
 mod warp;
 
@@ -57,6 +58,10 @@ pub use error::SimError;
 pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
 pub use policy::PlacementPolicy;
 pub use stats::SimStats;
+pub use trace::{
+    chrome_trace_json, EventTrace, NullSink, TraceEvent, TraceRecord, TraceSink,
+    DEFAULT_TRACE_CAPACITY,
+};
 pub use tuning::{DeviceTuning, EngineMode};
 pub use warp::{Warp, WarpState};
 

@@ -2,6 +2,7 @@
 //! per-scheduler functional-unit ports, and per-SM resource accounting.
 
 use crate::kernel::{BlockRecord, KernelId};
+use crate::trace::{TraceEvent, TraceSink};
 use crate::warp::{Warp, WarpState};
 use gpgpu_isa::{Instr, LanePattern, Operand, Special};
 use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory, PortSet};
@@ -15,6 +16,12 @@ pub(crate) struct Subsystems<'a> {
     pub const_mem: &'a mut ConstHierarchy,
     pub atomics: &'a mut AtomicSystem,
     pub gmem: &'a mut GlobalMemory,
+    /// Trace sink, when installed on the device; a single `Option` check
+    /// per emission site when disabled. (`+ 'static` keeps the *object*
+    /// bound off the borrow lifetime `'a` — `&mut` is invariant, so the
+    /// default `dyn TraceSink + 'a` would force `'a = 'static` at the
+    /// construction site in `Device::step_cycle`.)
+    pub trace: Option<&'a mut (dyn TraceSink + 'static)>,
 }
 
 /// A thread block currently resident on this SM.
@@ -411,6 +418,24 @@ impl Sm {
 
     fn execute(&mut self, idx: usize, now: u64, subs: &mut Subsystems<'_>) {
         let instr = *self.warps[idx].program.fetch(self.warps[idx].pc);
+        // Identity of the issuing warp, captured once for trace emission
+        // (distinct names: some match arms bind `kernel`/`block_id` locally).
+        let (ev_kernel, ev_block, ev_warp, ev_sched) = {
+            let w = &self.warps[idx];
+            (w.kernel.0, w.block_id, w.warp_in_block, w.scheduler)
+        };
+        if let Some(t) = subs.trace.as_mut() {
+            t.record(
+                now,
+                TraceEvent::WarpIssue {
+                    sm: self.id,
+                    scheduler: ev_sched,
+                    kernel: ev_kernel,
+                    block: ev_block,
+                    warp: ev_warp,
+                },
+            );
+        }
         self.warps[idx].instructions += 1;
         match instr {
             Instr::Fu { .. } => self.warps[idx].fu_ops += 1,
@@ -458,6 +483,39 @@ impl Sm {
                 let a = self.warps[idx].regs[addr.0 as usize];
                 let domain = self.warps[idx].kernel.0;
                 let access = subs.const_mem.access(self.id as usize, a, now, domain);
+                if let Some(t) = subs.trace.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::ConstAccess {
+                            sm: self.id,
+                            kernel: domain,
+                            set: access.l1_set,
+                            level: access.level,
+                        },
+                    );
+                    if let Some(ev) = access.l1_eviction {
+                        t.record(
+                            now,
+                            TraceEvent::CacheEviction {
+                                sm: Some(self.id),
+                                set: access.l1_set,
+                                evictor: ev.evictor_domain,
+                                victim: ev.victim_domain,
+                            },
+                        );
+                    }
+                    if let (Some(set), Some(ev)) = (access.l2_set, access.l2_eviction) {
+                        t.record(
+                            now,
+                            TraceEvent::CacheEviction {
+                                sm: None,
+                                set,
+                                evictor: ev.evictor_domain,
+                                victim: ev.victim_domain,
+                            },
+                        );
+                    }
+                }
                 next_state = WarpState::Blocked { until: access.completes_at };
             }
             Instr::GlobalLoad { base, pattern } => {
@@ -468,15 +526,39 @@ impl Sm {
                 // paper's Section 10 / Jiang et al.).
                 let replays = subs.gmem.transactions(addrs.iter().copied());
                 let start = self.acquire_ldst_n(idx, now, replays);
-                let done = subs.gmem.load(addrs, start);
-                next_state = WarpState::Blocked { until: done };
+                let access = subs.gmem.load_detailed(addrs, start);
+                if let Some(t) = subs.trace.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::GlobalAccess {
+                            sm: self.id,
+                            kernel: ev_kernel,
+                            transactions: access.transactions,
+                            queue_cycles: access.queue_cycles,
+                            store: false,
+                        },
+                    );
+                }
+                next_state = WarpState::Blocked { until: access.completes_at };
             }
             Instr::GlobalStore { base, pattern } => {
                 let addrs = self.lane_addrs(idx, base, pattern);
                 let replays = subs.gmem.transactions(addrs.iter().copied());
                 let start = self.acquire_ldst_n(idx, now, replays);
-                let issue_done = subs.gmem.store(addrs, start);
-                next_state = WarpState::Blocked { until: issue_done };
+                let access = subs.gmem.store_detailed(addrs, start);
+                if let Some(t) = subs.trace.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::GlobalAccess {
+                            sm: self.id,
+                            kernel: ev_kernel,
+                            transactions: access.transactions,
+                            queue_cycles: access.queue_cycles,
+                            store: true,
+                        },
+                    );
+                }
+                next_state = WarpState::Blocked { until: access.completes_at };
             }
             Instr::SharedLoad { base, pattern } | Instr::SharedStore { base, pattern } => {
                 let start = self.acquire_ldst(idx, now);
@@ -502,8 +584,19 @@ impl Sm {
             Instr::AtomicAdd { base, pattern } => {
                 let start = self.acquire_ldst(idx, now);
                 let addrs = self.lane_addrs(idx, base, pattern);
-                let done = subs.atomics.access(addrs, start);
-                next_state = WarpState::Blocked { until: done };
+                let access = subs.atomics.access_detailed(addrs, start);
+                if let Some(t) = subs.trace.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::AtomicContention {
+                            sm: self.id,
+                            kernel: ev_kernel,
+                            queue_cycles: access.queue_cycles,
+                            transactions: access.transactions,
+                        },
+                    );
+                }
+                next_state = WarpState::Blocked { until: access.completes_at };
             }
             Instr::ReadClock { rd } => {
                 // Quantized under time fuzzing (exact when quantum = 1).
@@ -536,6 +629,17 @@ impl Sm {
             Instr::Jump { target } => next_pc = target,
             Instr::BarSync => {
                 let (kernel, block_id) = (self.warps[idx].kernel, self.warps[idx].block_id);
+                if let Some(t) = subs.trace.as_mut() {
+                    t.record(
+                        now,
+                        TraceEvent::BarrierArrive {
+                            sm: self.id,
+                            kernel: ev_kernel,
+                            block: ev_block,
+                            warp: ev_warp,
+                        },
+                    );
+                }
                 let rb = self
                     .resident
                     .iter_mut()
@@ -554,6 +658,16 @@ impl Sm {
                         }
                     }
                     next_state = WarpState::Blocked { until: now + 1 };
+                    if let Some(t) = subs.trace.as_mut() {
+                        t.record(
+                            now,
+                            TraceEvent::BarrierRelease {
+                                sm: self.id,
+                                kernel: ev_kernel,
+                                block: ev_block,
+                            },
+                        );
+                    }
                 } else {
                     next_state = WarpState::AtBarrier;
                 }
@@ -581,6 +695,16 @@ impl Sm {
                         {
                             w.state = WarpState::Blocked { until: now + 1 };
                         }
+                    }
+                    if let Some(t) = subs.trace.as_mut() {
+                        t.record(
+                            now,
+                            TraceEvent::BarrierRelease {
+                                sm: self.id,
+                                kernel: ev_kernel,
+                                block: ev_block,
+                            },
+                        );
                     }
                 }
             }
@@ -664,7 +788,7 @@ mod tests {
         assert_eq!(sm.used_threads, 128);
         assert_eq!(sm.used_shared, 1024);
         let (c, a, g) = &mut subsystems(&dev);
-        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None };
         let mut finished = Vec::new();
         sm.step(0, &mut subs, &mut finished, true);
         assert_eq!(finished.len(), 1);
@@ -704,7 +828,7 @@ mod tests {
         let res = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 16 };
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         let (c, a, g) = &mut subsystems(&dev);
-        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None };
         sm.step(0, &mut subs, &mut Vec::new(), true);
         // Kepler dispatches 2 warps/scheduler/cycle: warps 0..7 all issued in
         // cycle 0. Same-scheduler pairs (0,4), (1,5)... queue on the SFU port.
@@ -735,7 +859,7 @@ mod tests {
         let res = BlockResources { threads: 64, shared_mem_bytes: 0, registers_per_thread: 16 };
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         let (c, a, g) = &mut subsystems(&dev);
-        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g };
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None };
         // Both warps are on different schedulers; both halt in cycle 0.
         let mut finished = Vec::new();
         sm.step(0, &mut subs, &mut finished, true);

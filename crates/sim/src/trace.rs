@@ -1,0 +1,598 @@
+//! Structured cycle-level event tracing.
+//!
+//! The paper's reverse-engineering methodology (Section 3, Figure 4) works
+//! by *observing* fine-grained timelines — which SM each block landed on,
+//! which warp scheduler issued when, which cache set missed — rather than
+//! end-to-end aggregates. This module provides that observability for the
+//! simulator: a [`TraceSink`] receives typed [`TraceEvent`]s with cycle
+//! timestamps from every interesting site in the engine (kernel lifecycle,
+//! block placement/preemption/completion, per-scheduler warp issue,
+//! constant-cache hits/misses/evictions per set, atomic-unit queueing,
+//! global-memory transactions and barrier arrive/release).
+//!
+//! Tracing is strictly opt-in: a device carries an
+//! `Option<Box<dyn TraceSink>>` and every emission site is a single
+//! `Option` check — no allocation, no formatting and no event construction
+//! happens on the disabled path (the `ablation_engine_speedup` bench
+//! enforces this stays under 2%).
+//!
+//! Two sinks are provided: [`EventTrace`], a fixed-capacity ring buffer
+//! that keeps the newest events and counts what it dropped, and
+//! [`NullSink`], which only counts (for overhead measurements). Recorded
+//! events can be exported to the Chrome trace-event JSON format
+//! (`chrome://tracing` / Perfetto) with [`chrome_trace_json`].
+
+use gpgpu_mem::ConstLevel;
+use std::any::Any;
+use std::fmt;
+
+/// One typed simulator event. All variants are `Copy` and allocation-free
+/// so recording never touches the heap; kernel *names* are resolved at
+/// export time via a name table (see [`chrome_trace_json`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A kernel was submitted on a stream; its blocks become eligible for
+    /// placement at `arrival`.
+    KernelLaunch {
+        /// Kernel id (index into the device's launch order).
+        kernel: u32,
+        /// Stream the kernel was submitted on.
+        stream: u32,
+        /// Cycle the kernel becomes eligible (submission + overhead +
+        /// jitter).
+        arrival: u64,
+    },
+    /// A kernel's last block completed.
+    KernelComplete {
+        /// Kernel id.
+        kernel: u32,
+    },
+    /// A block was placed on an SM.
+    BlockPlaced {
+        /// Kernel id.
+        kernel: u32,
+        /// Block index within the grid.
+        block: u32,
+        /// Hosting SM.
+        sm: u32,
+    },
+    /// A block was preempted off an SM (SMK policy) and re-queued.
+    BlockPreempted {
+        /// Kernel id.
+        kernel: u32,
+        /// Block index within the grid.
+        block: u32,
+        /// SM the block was evicted from.
+        sm: u32,
+    },
+    /// A block's last warp halted and the block left its SM.
+    BlockFinished {
+        /// Kernel id.
+        kernel: u32,
+        /// Block index within the grid.
+        block: u32,
+        /// SM the block ran on.
+        sm: u32,
+    },
+    /// A warp scheduler issued one instruction of a warp.
+    WarpIssue {
+        /// SM the warp resides on.
+        sm: u32,
+        /// Warp scheduler that issued.
+        scheduler: u32,
+        /// Kernel the warp belongs to.
+        kernel: u32,
+        /// Block index within the grid.
+        block: u32,
+        /// Warp index within the block.
+        warp: u32,
+    },
+    /// A constant-memory access was serviced.
+    ConstAccess {
+        /// SM that issued the access.
+        sm: u32,
+        /// Kernel (security domain) that issued it.
+        kernel: u32,
+        /// L1 set the access indexed (after partition remapping).
+        set: u64,
+        /// Hierarchy level that serviced the access.
+        level: ConstLevel,
+    },
+    /// A constant-cache fill evicted another line.
+    CacheEviction {
+        /// SM of the L1 the eviction happened in; `None` for the shared L2.
+        sm: Option<u32>,
+        /// Set the eviction happened in.
+        set: u64,
+        /// Domain (kernel) performing the fill.
+        evictor: u32,
+        /// Domain that owned the evicted line.
+        victim: u32,
+    },
+    /// A warp-level atomic was serviced by the atomic units.
+    AtomicContention {
+        /// SM that issued the atomic.
+        sm: u32,
+        /// Kernel that issued it.
+        kernel: u32,
+        /// Cycles the access's transactions queued behind busy units
+        /// (0 = uncontended — the paper's Section-6 signal is this number).
+        queue_cycles: u64,
+        /// Coalesced transactions the warp access produced.
+        transactions: u64,
+    },
+    /// A warp-level global load or store was issued.
+    GlobalAccess {
+        /// SM that issued the access.
+        sm: u32,
+        /// Kernel that issued it.
+        kernel: u32,
+        /// Coalesced transactions the access produced.
+        transactions: u64,
+        /// Cycles the transactions queued on the bandwidth pipe.
+        queue_cycles: u64,
+        /// Whether this was a store (`false` = load).
+        store: bool,
+    },
+    /// A warp arrived at a `bar.sync`.
+    BarrierArrive {
+        /// SM of the block.
+        sm: u32,
+        /// Kernel the warp belongs to.
+        kernel: u32,
+        /// Block index within the grid.
+        block: u32,
+        /// Warp index within the block.
+        warp: u32,
+    },
+    /// The last expected warp arrived and a block's barrier released.
+    BarrierRelease {
+        /// SM of the block.
+        sm: u32,
+        /// Kernel the block belongs to.
+        kernel: u32,
+        /// Block index within the grid.
+        block: u32,
+    },
+}
+
+/// A [`TraceEvent`] paired with the cycle it occurred at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle timestamp (the device clock when the event was emitted).
+    pub cycle: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Receiver of simulator trace events.
+///
+/// Installed on a [`crate::Device`] via [`crate::Device::set_trace_sink`];
+/// every emission site performs exactly one `Option` check when no sink is
+/// installed. Implementations must be cheap: `record` runs inside the cycle
+/// engine's hot loop.
+pub trait TraceSink: fmt::Debug {
+    /// Records one event observed at `cycle`.
+    fn record(&mut self, cycle: u64, event: TraceEvent);
+
+    /// Consumes the boxed sink so callers can downcast it back to its
+    /// concrete type after a run (see [`crate::Device::take_trace_sink`]).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Default [`EventTrace`] capacity (events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// A fixed-capacity ring-buffered trace recorder: keeps the newest
+/// `capacity` events and counts how many older ones were overwritten.
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_sim::{EventTrace, TraceEvent, TraceSink};
+///
+/// let mut t = EventTrace::with_capacity(2);
+/// t.record(1, TraceEvent::KernelComplete { kernel: 0 });
+/// t.record(2, TraceEvent::KernelComplete { kernel: 1 });
+/// t.record(3, TraceEvent::KernelComplete { kernel: 2 }); // overwrites cycle 1
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// assert_eq!(t.events()[0].cycle, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTrace {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    /// Write index once the buffer is full (oldest record's position).
+    next: usize,
+    dropped: u64,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl EventTrace {
+    /// A recorder keeping the newest `capacity` events (clamped to >= 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventTrace { buf: Vec::new(), capacity, next: 0, dropped: 0 }
+    }
+
+    /// Number of events currently held (<= capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The held records in chronological order (oldest first).
+    pub fn events(&self) -> Vec<TraceRecord> {
+        if self.buf.len() < self.capacity || self.next == 0 {
+            return self.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Discards all held records (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
+}
+
+impl TraceSink for EventTrace {
+    fn record(&mut self, cycle: u64, event: TraceEvent) {
+        let rec = TraceRecord { cycle, event };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// A sink that counts events and discards them — the cheapest possible
+/// enabled path, used by the tracing-overhead ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink {
+    /// Events received so far.
+    pub events: u64,
+}
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _cycle: u64, _event: TraceEvent) {
+        self.events += 1;
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The display name of kernel `k`: its entry in `kernel_names`, or a
+/// `kernel<k>` placeholder when the table is short.
+fn kernel_label(kernel_names: &[String], k: u32) -> String {
+    let mut out = String::new();
+    match kernel_names.get(k as usize) {
+        Some(name) => json_escape(name, &mut out),
+        None => out.push_str(&format!("kernel{k}")),
+    }
+    out
+}
+
+/// Process id used for device-level lanes in the Chrome trace (SM `i` maps
+/// to pid `i + 1`).
+const DEVICE_PID: u32 = 0;
+
+fn pid_of(sm: Option<u32>) -> u32 {
+    sm.map_or(DEVICE_PID, |s| s + 1)
+}
+
+/// Exports records to the Chrome trace-event JSON format, loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Mapping: pid 0 is the device (kernel launches/completions, L2
+/// evictions); SM `i` is pid `i + 1`. Block residency renders as async
+/// `b`/`e` spans named after the kernel; everything else is an instant
+/// event carrying its fields in `args`. Timestamps are raw cycles.
+///
+/// The output is built without any serialization dependency and is
+/// byte-deterministic for a deterministic simulation — the trace golden
+/// test diffs it byte-for-byte against a checked-in file.
+///
+/// `kernel_names` maps kernel id -> diagnostic name (see
+/// [`crate::Device::kernel_names`]); out-of-range ids render as
+/// `kernel<id>`.
+pub fn chrome_trace_json(records: &[TraceRecord], kernel_names: &[String]) -> String {
+    use std::collections::BTreeSet;
+    let mut lines: Vec<String> = Vec::with_capacity(records.len() + 8);
+    // Metadata: name the device process and every SM process that appears.
+    let mut sms: BTreeSet<u32> = BTreeSet::new();
+    let mut device_used = false;
+    for r in records {
+        match r.event {
+            TraceEvent::KernelLaunch { .. } | TraceEvent::KernelComplete { .. } => {
+                device_used = true;
+            }
+            TraceEvent::CacheEviction { sm, .. } => match sm {
+                Some(s) => {
+                    sms.insert(s);
+                }
+                None => device_used = true,
+            },
+            TraceEvent::BlockPlaced { sm, .. }
+            | TraceEvent::BlockPreempted { sm, .. }
+            | TraceEvent::BlockFinished { sm, .. }
+            | TraceEvent::WarpIssue { sm, .. }
+            | TraceEvent::ConstAccess { sm, .. }
+            | TraceEvent::AtomicContention { sm, .. }
+            | TraceEvent::GlobalAccess { sm, .. }
+            | TraceEvent::BarrierArrive { sm, .. }
+            | TraceEvent::BarrierRelease { sm, .. } => {
+                sms.insert(sm);
+            }
+        }
+    }
+    if device_used {
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{DEVICE_PID},\"tid\":0,\
+             \"args\":{{\"name\":\"device\"}}}}"
+        ));
+    }
+    for sm in &sms {
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"SM {sm}\"}}}}",
+            sm + 1
+        ));
+    }
+    for r in records {
+        let ts = r.cycle;
+        let line = match r.event {
+            TraceEvent::KernelLaunch { kernel, stream, arrival } => format!(
+                "{{\"name\":\"launch {}\",\"cat\":\"kernel\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{DEVICE_PID},\"tid\":{stream},\"s\":\"p\",\
+                 \"args\":{{\"kernel\":{kernel},\"arrival\":{arrival}}}}}",
+                kernel_label(kernel_names, kernel)
+            ),
+            TraceEvent::KernelComplete { kernel } => format!(
+                "{{\"name\":\"complete {}\",\"cat\":\"kernel\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{DEVICE_PID},\"tid\":{kernel},\"s\":\"p\",\
+                 \"args\":{{\"kernel\":{kernel}}}}}",
+                kernel_label(kernel_names, kernel)
+            ),
+            TraceEvent::BlockPlaced { kernel, block, sm } => format!(
+                "{{\"name\":\"{} b{block}\",\"cat\":\"block\",\"ph\":\"b\",\
+                 \"id\":{},\"ts\":{ts},\"pid\":{},\"tid\":{kernel},\
+                 \"args\":{{\"kernel\":{kernel},\"block\":{block}}}}}",
+                kernel_label(kernel_names, kernel),
+                (u64::from(kernel) << 32) | u64::from(block),
+                pid_of(Some(sm))
+            ),
+            TraceEvent::BlockPreempted { kernel, block, sm } => format!(
+                "{{\"name\":\"{} b{block}\",\"cat\":\"block\",\"ph\":\"e\",\
+                 \"id\":{},\"ts\":{ts},\"pid\":{},\"tid\":{kernel},\
+                 \"args\":{{\"preempted\":true}}}}",
+                kernel_label(kernel_names, kernel),
+                (u64::from(kernel) << 32) | u64::from(block),
+                pid_of(Some(sm))
+            ),
+            TraceEvent::BlockFinished { kernel, block, sm } => format!(
+                "{{\"name\":\"{} b{block}\",\"cat\":\"block\",\"ph\":\"e\",\
+                 \"id\":{},\"ts\":{ts},\"pid\":{},\"tid\":{kernel},\
+                 \"args\":{{}}}}",
+                kernel_label(kernel_names, kernel),
+                (u64::from(kernel) << 32) | u64::from(block),
+                pid_of(Some(sm))
+            ),
+            TraceEvent::WarpIssue { sm, scheduler, kernel, block, warp } => format!(
+                "{{\"name\":\"issue {}\",\"cat\":\"issue\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{scheduler},\"s\":\"t\",\
+                 \"args\":{{\"block\":{block},\"warp\":{warp}}}}}",
+                kernel_label(kernel_names, kernel),
+                pid_of(Some(sm))
+            ),
+            TraceEvent::ConstAccess { sm, kernel, set, level } => {
+                let lvl = match level {
+                    ConstLevel::L1 => "L1",
+                    ConstLevel::L2 => "L2",
+                    ConstLevel::Memory => "mem",
+                };
+                format!(
+                    "{{\"name\":\"const {lvl}\",\"cat\":\"const\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":{},\"tid\":{kernel},\"s\":\"t\",\
+                     \"args\":{{\"set\":{set}}}}}",
+                    pid_of(Some(sm))
+                )
+            }
+            TraceEvent::CacheEviction { sm, set, evictor, victim } => format!(
+                "{{\"name\":\"evict\",\"cat\":\"evict\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{evictor},\"s\":\"t\",\
+                 \"args\":{{\"set\":{set},\"evictor\":{evictor},\"victim\":{victim}}}}}",
+                pid_of(sm)
+            ),
+            TraceEvent::AtomicContention { sm, kernel, queue_cycles, transactions } => format!(
+                "{{\"name\":\"atomic\",\"cat\":\"atomic\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{kernel},\"s\":\"t\",\
+                 \"args\":{{\"queue_cycles\":{queue_cycles},\"transactions\":{transactions}}}}}",
+                pid_of(Some(sm))
+            ),
+            TraceEvent::GlobalAccess { sm, kernel, transactions, queue_cycles, store } => format!(
+                "{{\"name\":\"{}\",\"cat\":\"gmem\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{kernel},\"s\":\"t\",\
+                 \"args\":{{\"transactions\":{transactions},\"queue_cycles\":{queue_cycles}}}}}",
+                if store { "store" } else { "load" },
+                pid_of(Some(sm))
+            ),
+            TraceEvent::BarrierArrive { sm, kernel, block, warp } => format!(
+                "{{\"name\":\"bar arrive\",\"cat\":\"barrier\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{kernel},\"s\":\"t\",\
+                 \"args\":{{\"block\":{block},\"warp\":{warp}}}}}",
+                pid_of(Some(sm))
+            ),
+            TraceEvent::BarrierRelease { sm, kernel, block } => format!(
+                "{{\"name\":\"bar release\",\"cat\":\"barrier\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{},\"tid\":{kernel},\"s\":\"t\",\
+                 \"args\":{{\"block\":{block}}}}}",
+                pid_of(Some(sm))
+            ),
+        };
+        lines.push(line);
+    }
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 2).sum::<usize>() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(k: u32) -> TraceEvent {
+        TraceEvent::KernelComplete { kernel: k }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut t = EventTrace::with_capacity(3);
+        for i in 0..5u64 {
+            t.record(i, ev(i as u32));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.capacity(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.events().iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 2, "clear keeps the drop counter");
+    }
+
+    #[test]
+    fn ring_below_capacity_is_in_order() {
+        let mut t = EventTrace::with_capacity(8);
+        for i in 0..4u64 {
+            t.record(i, ev(0));
+        }
+        assert_eq!(t.dropped(), 0);
+        let cycles: Vec<u64> = t.events().iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut t = EventTrace::with_capacity(0);
+        t.record(7, ev(0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let mut n = NullSink::default();
+        n.record(0, ev(0));
+        n.record(1, ev(1));
+        assert_eq!(n.events, 2);
+        let any = Box::new(n).into_any();
+        assert_eq!(any.downcast::<NullSink>().unwrap().events, 2);
+    }
+
+    #[test]
+    fn event_trace_downcasts_through_into_any() {
+        let mut t = EventTrace::with_capacity(4);
+        t.record(9, ev(3));
+        let boxed: Box<dyn TraceSink> = Box::new(t);
+        let back = boxed.into_any().downcast::<EventTrace>().unwrap();
+        assert_eq!(back.events()[0].cycle, 9);
+    }
+
+    #[test]
+    fn chrome_export_names_escapes_and_structure() {
+        let names = vec!["spy \"1\"".to_string()];
+        let records = vec![
+            TraceRecord {
+                cycle: 5,
+                event: TraceEvent::KernelLaunch { kernel: 0, stream: 1, arrival: 20 },
+            },
+            TraceRecord {
+                cycle: 21,
+                event: TraceEvent::BlockPlaced { kernel: 0, block: 3, sm: 2 },
+            },
+            TraceRecord {
+                cycle: 30,
+                event: TraceEvent::ConstAccess { sm: 2, kernel: 0, set: 4, level: ConstLevel::L2 },
+            },
+            TraceRecord {
+                cycle: 31,
+                event: TraceEvent::CacheEviction { sm: None, set: 9, evictor: 1, victim: 0 },
+            },
+            TraceRecord {
+                cycle: 40,
+                event: TraceEvent::BlockFinished { kernel: 1, block: 0, sm: 2 },
+            },
+        ];
+        let json = chrome_trace_json(&records, &names);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\\\"1\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"name\":\"SM 2\""), "SM metadata present");
+        assert!(json.contains("\"name\":\"device\""), "device metadata present");
+        assert!(json.contains("kernel1 b0"), "name-table fallback used");
+        assert!(json.contains("\"set\":9"));
+        // Balanced braces outside strings (cheap structural sanity; the
+        // golden test runs the full scanner).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn chrome_export_empty_records() {
+        let json = chrome_trace_json(&[], &[]);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

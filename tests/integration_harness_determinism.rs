@@ -72,6 +72,40 @@ fn dense_and_event_driven_engines_agree_bitwise() {
 }
 
 #[test]
+fn cycle_limit_fires_at_the_same_cycle_in_both_engines() {
+    use gpgpu_isa::ProgramBuilder;
+    use gpgpu_sim::{Device, KernelSpec};
+    use gpgpu_spec::{FuOpKind, LaunchConfig};
+    // An endless spin kernel forces the budget to trip; the event-driven
+    // engine used to fast-forward past the limit (e.g. to the K40C's
+    // 15 000-cycle launch arrival) before noticing it, reporting the right
+    // error from the wrong cycle.
+    let spin = || {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.fu(FuOpKind::SpAdd);
+        b.jump(top);
+        b.build().unwrap()
+    };
+    let run = |engine: EngineMode, limit: u64| {
+        let tuning = DeviceTuning { engine, ..DeviceTuning::none() };
+        let mut dev = Device::with_tuning(presets::tesla_k40c(), tuning);
+        dev.launch(0, KernelSpec::new("spin", spin(), LaunchConfig::new(1, 32))).unwrap();
+        let err = dev.run_until_idle(limit);
+        (dev.now(), err)
+    };
+    // Budget below the 15 000-cycle launch arrival (pure fast-forward path)
+    // and budget mid-flight (stepping path): identical stop cycle + error.
+    for limit in [10_000, 20_000] {
+        let dense = run(EngineMode::Dense, limit);
+        let event = run(EngineMode::EventDriven, limit);
+        assert_eq!(dense, event, "engines disagree on the limit-hit path at limit {limit}");
+        assert_eq!(dense.0, limit, "clock must stop exactly at the budget");
+    }
+}
+
+#[test]
 fn microbench_sweeps_are_worker_count_independent() {
     use gpgpu_covert::microbench::{cache_sweep, fig2_sizes};
     // cache_sweep reads GPGPU_TRIAL_WORKERS via TrialRunner::new(); the
