@@ -13,6 +13,12 @@
 //!    disabled path is one `Option` check per event site, so it must stay
 //!    within 2% of the traced run's floor (in practice it is *faster*; the
 //!    assertion guards against the hook growing disabled-path work).
+//! 4. **Fault-hook overhead**: the same bound for the `FaultInjector`
+//!    hooks — a transmit with no injector installed must stay within 2%
+//!    of the same transmit with a zero-intensity fault plan installed.
+//!    At intensity 0 no fault ever fires, so the simulated run is
+//!    bit-identical, but every hook site still evaluates its window
+//!    arithmetic: the comparison isolates exactly the disabled-path cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_covert::bits::Message;
@@ -140,6 +146,41 @@ fn bench(c: &mut Criterion) {
             disabled_s <= traced_s * 1.02,
             "tracing-disabled path must be within 2% of the traced run, \
              got disabled {disabled_s:.3}s vs traced {traced_s:.3}s"
+        );
+    }
+
+    // --- 4. Fault-hook overhead: no injector vs a zero-intensity plan. ---
+    let sync_msg = Message::pseudo_random(24, 11);
+    let sync_ch = gpgpu_covert::sync_channel::SyncChannel::new(presets::tesla_k40c());
+    let quiet_plan = gpgpu_sim::FaultPlan::new(0xAB1A)
+        .with_intensity(0.0)
+        .with_kinds(gpgpu_sim::FaultKinds::all());
+    let bare = sync_ch.clone().transmit(&sync_msg).expect("transmits");
+    let quiet = sync_ch.clone().with_faults(quiet_plan).transmit(&sync_msg).expect("transmits");
+    assert_eq!(
+        (bare.cycles, &bare.received),
+        (quiet.cycles, &quiet.received),
+        "a zero-intensity fault plan must not perturb the run"
+    );
+    let fault_free_s = best_of(&|| {
+        sync_ch.clone().transmit(&sync_msg).expect("transmits");
+    });
+    let hooked_s = best_of(&|| {
+        sync_ch.clone().with_faults(quiet_plan).transmit(&sync_msg).expect("transmits");
+    });
+    println!(
+        "ablation: 24-bit sync transmit no-injector {fault_free_s:.3}s, quiet-injector \
+         {hooked_s:.3}s -> disabled/hooked = {:.3}",
+        fault_free_s / hooked_s
+    );
+    if !quick() {
+        // The quiet-injector run simulates the identical protocol but pays
+        // the window arithmetic at every hook site, so the no-injector path
+        // staying within 2% of it bounds the disabled-hook cost.
+        assert!(
+            fault_free_s <= hooked_s * 1.02,
+            "fault-disabled path must be within 2% of the quiet-injector run, \
+             got disabled {fault_free_s:.3}s vs hooked {hooked_s:.3}s"
         );
     }
 

@@ -1,0 +1,62 @@
+//! Fault sweep: BER and goodput of the synchronized L1 channel vs fault
+//! intensity, comparing the raw channel against Hamming-FEC coding and
+//! CRC-8/ARQ framing (Figure-5-style robustness curves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::data::fault_sweep;
+
+fn quick() -> bool {
+    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn bench(c: &mut Criterion) {
+    let (bits, intensities): (usize, &[f64]) =
+        if quick() { (96, &[0.0, 1.0]) } else { (96, &[0.0, 0.25, 0.5, 0.75, 1.0]) };
+    let pts = fault_sweep(bits, intensities);
+    println!(
+        "fault_sweep raw:  {:?}",
+        pts.iter().map(|p| (p.intensity, p.raw_ber)).collect::<Vec<_>>()
+    );
+    println!(
+        "fault_sweep fec:  {:?}",
+        pts.iter().map(|p| (p.intensity, p.fec_ber)).collect::<Vec<_>>()
+    );
+    println!(
+        "fault_sweep arq:  {:?}",
+        pts.iter().map(|p| (p.intensity, p.arq_ber)).collect::<Vec<_>>()
+    );
+    println!(
+        "fault_sweep goodput (raw/fec/arq Kbps): {:?}",
+        pts.iter()
+            .map(|p| (p.intensity, p.raw_goodput_kbps, p.fec_goodput_kbps, p.arq_goodput_kbps))
+            .collect::<Vec<_>>()
+    );
+    // Shape: clean at zero intensity; the storm must hurt the raw channel;
+    // ARQ must fully repair every intensity in the sweep. FEC is *not*
+    // asserted to beat raw: fault bursts flip multiple bits per Hamming
+    // codeword, where the single-error corrector miscorrects — the curve
+    // shows exactly why burst faults need retransmission, not FEC alone.
+    let clean = &pts[0];
+    let storm = pts.last().unwrap();
+    assert_eq!(clean.raw_ber, 0.0, "the channel is error-free without faults");
+    assert_eq!(clean.fec_ber, 0.0, "FEC decode is exact without faults");
+    assert!(
+        storm.raw_ber > 0.05,
+        "full-intensity raw BER must be substantial, got {}",
+        storm.raw_ber
+    );
+    assert!(storm.fec_ber > 0.0, "the storm also corrupts the FEC-coded stream");
+    for p in &pts {
+        assert_eq!(p.arq_ber, 0.0, "ARQ must deliver BER 0 at intensity {}", p.intensity);
+    }
+    assert!(storm.arq_goodput_kbps < clean.arq_goodput_kbps, "retransmissions must cost goodput");
+
+    c.bench_function("fault_sweep_two_point", |b| b.iter(|| fault_sweep(48, &[0.0, 1.0])));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

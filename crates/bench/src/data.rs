@@ -6,9 +6,10 @@
 
 use crate::report::Row;
 use gpgpu_covert::atomic_channel::{AtomicChannel, AtomicScenario};
-use gpgpu_covert::bits::Message;
+use gpgpu_covert::bits::{hamming_decode, hamming_encode, Message};
 use gpgpu_covert::cache_channel::{CacheChannel, L1Channel, L2Channel};
 use gpgpu_covert::colocation;
+use gpgpu_covert::framing::{arq_transmit, ArqConfig, SyncPipe};
 use gpgpu_covert::fu_channel::SfuChannel;
 use gpgpu_covert::harness::TrialRunner;
 use gpgpu_covert::microbench::{cache_sweep, fig2_sizes, fig3_sizes, fu_latency_sweep};
@@ -321,6 +322,91 @@ pub fn combined_rows(bits: usize) -> Vec<Row> {
         .collect()
 }
 
+/// One point of the fault sweep: BER and goodput of the synchronized L1
+/// channel at one fault intensity, for each robustness layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSweepPoint {
+    /// Fault intensity (fraction of fault windows whose burst fires).
+    pub intensity: f64,
+    /// Bit error rate of the raw (unframed) channel.
+    pub raw_ber: f64,
+    /// BER after Hamming(7,4) FEC over the whole message (no framing).
+    pub fec_ber: f64,
+    /// Residual BER after CRC-8 framing + selective-repeat ARQ.
+    pub arq_ber: f64,
+    /// Goodput (correct payload bits per second) of the raw channel, Kbps.
+    pub raw_goodput_kbps: f64,
+    /// Goodput of the FEC-coded transmission, Kbps.
+    pub fec_goodput_kbps: f64,
+    /// Goodput of the ARQ transmission over all its rounds, Kbps.
+    pub arq_goodput_kbps: f64,
+}
+
+/// The deterministic cache-fault plan the fault sweep scales: eviction
+/// bursts + phantom-workload storms on the sync channel's first data set,
+/// with the burst period sized so errors cluster within single frames
+/// (the regime ARQ is built for).
+pub fn fault_sweep_plan(intensity: f64) -> gpgpu_sim::FaultPlan {
+    gpgpu_sim::FaultPlan::new(0xFA_0175)
+        .with_intensity(intensity)
+        .with_period(900_000)
+        .with_burst(280_000)
+        .with_target_set(2)
+        .with_kinds(gpgpu_sim::FaultKinds::cache())
+}
+
+/// Fault sweep (Figure-5-style robustness curves): BER and goodput of the
+/// synchronized L1 channel vs fault intensity — raw, Hamming-FEC-coded, and
+/// CRC/ARQ-framed. Each intensity is an independent deterministic trial
+/// fanned across the harness.
+pub fn fault_sweep(bits: usize, intensities: &[f64]) -> Vec<FaultSweepPoint> {
+    fault_sweep_with(bits, intensities, fault_sweep_plan(1.0))
+}
+
+/// As [`fault_sweep`], but scaling a caller-supplied base plan instead of
+/// [`fault_sweep_plan`]: each point reuses the base plan's seed, timing, and
+/// fault kinds with only the intensity overridden. This is what the CLI's
+/// `faults --faults <spec>` path drives.
+pub fn fault_sweep_with(
+    bits: usize,
+    intensities: &[f64],
+    base: gpgpu_sim::FaultPlan,
+) -> Vec<FaultSweepPoint> {
+    let m = msg(bits);
+    let spec = presets::tesla_k40c();
+    TrialRunner::new().map(intensities, |_, &intensity| {
+        let plan = base.with_intensity(intensity);
+        let goodput =
+            |useful_bits: f64, cycles: u64| spec.bandwidth_kbps(1, cycles.max(1)) * useful_bits;
+
+        let raw =
+            SyncChannel::new(spec.clone()).with_faults(plan).transmit(&m).expect("raw transmits");
+
+        let coded = hamming_encode(&m);
+        let fec_run = SyncChannel::new(spec.clone())
+            .with_faults(plan)
+            .transmit(&coded)
+            .expect("fec transmits");
+        let fec_ber = m.bit_error_rate(&hamming_decode(&fec_run.received));
+
+        let mut pipe = SyncPipe::new(SyncChannel::new(spec.clone()), plan);
+        let cfg = ArqConfig { max_rounds: 24, ..ArqConfig::default() };
+        let (arq_received, arq_report) = arq_transmit(&mut pipe, &m, &cfg).expect("arq transmits");
+        let arq_ber = m.bit_error_rate(&arq_received);
+
+        let n = m.len() as f64;
+        FaultSweepPoint {
+            intensity,
+            raw_ber: raw.ber,
+            fec_ber,
+            arq_ber,
+            raw_goodput_kbps: goodput(n * (1.0 - raw.ber), raw.cycles),
+            fec_goodput_kbps: goodput(n * (1.0 - fec_ber), fec_run.cycles),
+            arq_goodput_kbps: goodput(n * (1.0 - arq_ber), arq_report.cycles),
+        }
+    })
+}
+
 /// Section 3: the reverse-engineering verdicts per device.
 pub fn sec3_summary() -> String {
     let mut out = String::new();
@@ -390,6 +476,22 @@ mod tests {
         for row in fig06_base_latency_rows() {
             assert_eq!(row.ratio(), Some(1.0), "{row:?}");
         }
+    }
+
+    #[test]
+    fn fault_sweep_arq_repairs_the_storm() {
+        let pts = fault_sweep(96, &[0.0, 1.0]);
+        assert_eq!(pts.len(), 2);
+        let (clean, storm) = (&pts[0], &pts[1]);
+        assert_eq!(clean.raw_ber, 0.0, "no faults, no errors");
+        assert!(storm.raw_ber > clean.raw_ber, "the storm must corrupt the raw channel");
+        assert_eq!(storm.arq_ber, 0.0, "ARQ must fully repair the storm");
+        assert!(
+            storm.arq_goodput_kbps < clean.arq_goodput_kbps,
+            "retransmissions cost goodput: {} vs {}",
+            storm.arq_goodput_kbps,
+            clean.arq_goodput_kbps
+        );
     }
 
     #[test]

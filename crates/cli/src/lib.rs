@@ -29,14 +29,17 @@ commands:
   recon                       reverse engineer the schedulers and caches
   noise                       run the channel under Rodinia-like interference
   mitigations                 evaluate the Section-9 defenses
+  faults                      sweep fault intensity: raw vs FEC vs ARQ framing
 
 options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
-  --bits <n>                        message length for zoo/l1 (default 24)
+  --bits <n>                        message length for zoo/l1/faults (default 24)
   --exclusive                       enable exclusive co-location (noise command)
   --stats                           print cycle-engine counters after the run
   --trace-out <path>                write a Chrome-trace JSON of the run (l1 only)
   --profile                         print the contention profile (l1 only)
+  --faults <spec>                   deterministic fault plan (faults/l1 only),
+                                    e.g. seed=7,intensity=1,period=900000,burst=280000,set=2,kinds=evict+storm
 ";
 
 /// Which subcommand to run.
@@ -56,6 +59,8 @@ pub enum Command {
     Noise,
     /// Mitigation evaluation.
     Mitigations,
+    /// Fault-intensity sweep: raw vs FEC vs CRC/ARQ framing.
+    Faults,
     /// Print usage.
     Help,
 }
@@ -78,6 +83,9 @@ pub struct Args {
     /// Print the per-SM/per-scheduler/per-set contention profile
     /// (`l1` only).
     pub profile: bool,
+    /// Fault-plan spec string (`faults`/`l1` only), validated at parse
+    /// time against [`gpgpu_sim::FaultPlan::from_spec`].
+    pub faults: Option<String>,
 }
 
 impl Args {
@@ -96,6 +104,7 @@ impl Args {
             stats: false,
             trace_out: None,
             profile: false,
+            faults: None,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -115,6 +124,12 @@ impl Args {
                     args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
                 }
                 "--profile" => args.profile = true,
+                "--faults" => {
+                    let v = it.next().ok_or("--faults needs a spec")?;
+                    gpgpu_sim::FaultPlan::from_spec(v)
+                        .map_err(|e| format!("invalid --faults spec: {e}"))?;
+                    args.faults = Some(v.clone());
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other:?}"));
                 }
@@ -132,6 +147,7 @@ impl Args {
             "recon" => Command::Recon,
             "noise" => Command::Noise,
             "mitigations" => Command::Mitigations,
+            "faults" => Command::Faults,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}")),
         };
@@ -140,6 +156,9 @@ impl Args {
         }
         if args.command != Command::L1 && (args.trace_out.is_some() || args.profile) {
             return Err("--trace-out/--profile only apply to the l1 command".to_string());
+        }
+        if !matches!(args.command, Command::Faults | Command::L1) && args.faults.is_some() {
+            return Err("--faults only applies to the faults and l1 commands".to_string());
         }
         Ok(args)
     }
@@ -262,7 +281,11 @@ pub fn run(args: &Args) -> Result<String, String> {
         Command::L1 => {
             let spec = args.spec()?;
             let msg = Message::pseudo_random(args.bits, 0xC14);
-            let ch = L1Channel::new(spec.clone());
+            let plan = args.faults.as_deref().map(gpgpu_sim::FaultPlan::from_spec).transpose()?;
+            let mut ch = L1Channel::new(spec.clone());
+            if let Some(p) = plan {
+                ch = ch.with_faults(p);
+            }
             let (o, capture) = ch
                 .transmit_traced(&msg, gpgpu_sim::DEFAULT_TRACE_CAPACITY)
                 .map_err(|e| e.to_string())?;
@@ -275,6 +298,9 @@ pub fn run(args: &Args) -> Result<String, String> {
                 o.bandwidth_kbps,
                 o.ber * 100.0
             );
+            if let Some(p) = plan {
+                let _ = writeln!(out, "faults: {}", p.to_spec());
+            }
             let _ = writeln!(
                 out,
                 "trace: {} events recorded, {} dropped (ring capacity {})",
@@ -326,6 +352,44 @@ pub fn run(args: &Args) -> Result<String, String> {
                 args.exclusive,
                 exp.noise_overlapped,
                 exp.outcome.ber * 100.0
+            );
+        }
+        Command::Faults => {
+            // The sweep is pinned to the calibrated K40C sync channel; the
+            // spec only overrides the fault plan, not the device.
+            let base = match &args.faults {
+                Some(s) => gpgpu_sim::FaultPlan::from_spec(s)?,
+                None => gpgpu_bench::data::fault_sweep_plan(1.0),
+            };
+            let intensities = [0.0, 0.5, 1.0];
+            let pts = gpgpu_bench::data::fault_sweep_with(args.bits, &intensities, base);
+            let _ = writeln!(
+                out,
+                "fault sweep: {} bits over the synchronized L1 channel, plan {}",
+                args.bits,
+                base.to_spec()
+            );
+            let _ = writeln!(
+                out,
+                "{:>9}  {:>8} {:>8} {:>8}  {:>12} {:>12} {:>12}",
+                "intensity", "raw BER", "FEC BER", "ARQ BER", "raw Kbps", "FEC Kbps", "ARQ Kbps"
+            );
+            for p in &pts {
+                let _ = writeln!(
+                    out,
+                    "{:>9.2}  {:>7.1}% {:>7.1}% {:>7.1}%  {:>12.1} {:>12.1} {:>12.1}",
+                    p.intensity,
+                    p.raw_ber * 100.0,
+                    p.fec_ber * 100.0,
+                    p.arq_ber * 100.0,
+                    p.raw_goodput_kbps,
+                    p.fec_goodput_kbps,
+                    p.arq_goodput_kbps,
+                );
+            }
+            out.push_str(
+                "note: fault bursts flip multiple bits per Hamming codeword, so FEC can\n\
+                 trail the raw channel under heavy storms; ARQ retransmits instead.\n",
             );
         }
         Command::Mitigations => {
@@ -432,6 +496,63 @@ mod tests {
         assert!(json.starts_with("{\"displayTimeUnit\""), "{}", &json[..60.min(json.len())]);
         assert!(json.ends_with("]}\n"));
         assert!(json.contains("\"ph\":\"b\"") && json.contains("\"ph\":\"e\""), "block spans");
+    }
+
+    #[test]
+    fn faults_flag_accept_reject_matrix() {
+        const SPEC: &str = "seed=7,intensity=1,period=900000,burst=280000,set=2,kinds=evict+storm";
+        // Accepted on the commands that run a faultable channel.
+        for cmd in ["faults", "l1"] {
+            let a = Args::parse(&argv(&format!("{cmd} --faults {SPEC}"))).unwrap();
+            assert_eq!(a.faults.as_deref(), Some(SPEC), "{cmd}");
+        }
+        // A bare faults command falls back to the calibrated built-in plan.
+        let a = Args::parse(&argv("faults")).unwrap();
+        assert_eq!(a.command, Command::Faults);
+        assert_eq!(a.faults, None);
+        // Rejected everywhere else, mirroring the tracing-flag validation.
+        for cmd in ["devices", "zoo", "recon", "noise", "mitigations", "help", "chat hi"] {
+            let err = Args::parse(&argv(&format!("{cmd} --faults {SPEC}"))).unwrap_err();
+            assert!(err.contains("--faults only applies"), "{cmd}: {err}");
+        }
+        // Missing value and malformed specs fail at parse time.
+        assert!(Args::parse(&argv("faults --faults")).is_err());
+        let err = Args::parse(&argv("faults --faults seed=banana")).unwrap_err();
+        assert!(err.contains("invalid --faults spec"), "{err}");
+        assert!(Args::parse(&argv("l1 --faults kinds=frobnicate")).is_err());
+        assert!(Args::parse(&argv("faults --faults intensity=2.0")).is_err());
+    }
+
+    #[test]
+    fn faults_command_reports_the_sweep() {
+        let a = Args::parse(&argv("faults --bits 48")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("fault sweep: 48 bits"), "{out}");
+        assert!(out.contains("intensity"), "{out}");
+        // Header + one row per intensity point.
+        assert_eq!(out.matches("Kbps").count(), 3, "{out}");
+        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with('0')).count(), 2, "{out}");
+        assert!(out.contains("ARQ retransmits instead"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_honors_a_custom_plan() {
+        let a =
+            Args::parse(&argv("faults --bits 16 --faults seed=9,intensity=1,kinds=evict")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("plan seed=9"), "{out}");
+        assert!(out.contains("kinds=evict"), "{out}");
+    }
+
+    #[test]
+    fn l1_accepts_a_fault_plan_and_echoes_it() {
+        let a = Args::parse(&argv("l1 --bits 8 --faults seed=5,intensity=0,kinds=all")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("L1 channel"), "{out}");
+        // Intensity 0 installs the hooks without firing a fault: the run
+        // must stay error-free and still echo the normalized plan.
+        assert!(out.contains("BER 0.0%"), "{out}");
+        assert!(out.contains("faults: seed=5"), "{out}");
     }
 
     #[test]

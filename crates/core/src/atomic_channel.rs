@@ -233,6 +233,7 @@ impl AtomicChannel {
             &self.spec,
             gpgpu_sim::DeviceTuning::none(),
             self.jitter,
+            None,
             msg,
             &trojan_program,
             &spy_program,

@@ -60,6 +60,9 @@ pub struct CacheChannel {
     /// Device tuning (placement policy + Section-9 mitigation knobs), for
     /// mitigation-effectiveness experiments.
     pub tuning: gpgpu_sim::DeviceTuning,
+    /// Deterministic fault plan installed on the device for the run
+    /// (`None` leaves the fault hooks disabled — the common case).
+    pub fault_plan: Option<gpgpu_sim::FaultPlan>,
 }
 
 /// Convenience alias-constructors for the two levels.
@@ -81,6 +84,7 @@ impl L1Channel {
             target_set: 0,
             jitter: Some((DEFAULT_JITTER, 0x5EED)),
             tuning: gpgpu_sim::DeviceTuning::none(),
+            fault_plan: None,
         }
     }
 }
@@ -96,6 +100,7 @@ impl L2Channel {
             target_set: 0,
             jitter: Some((DEFAULT_JITTER, 0x5EED)),
             tuning: gpgpu_sim::DeviceTuning::none(),
+            fault_plan: None,
         }
     }
 }
@@ -122,6 +127,13 @@ impl CacheChannel {
     /// Applies device tuning (mitigations / placement policy).
     pub fn with_tuning(mut self, tuning: gpgpu_sim::DeviceTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Installs a deterministic fault plan for every transmission run on
+    /// this channel (fault-sweep robustness experiments).
+    pub fn with_faults(mut self, plan: gpgpu_sim::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -253,6 +265,7 @@ impl CacheChannel {
             &self.spec,
             self.tuning,
             self.jitter,
+            self.fault_plan,
             msg,
             &trojan_program,
             &spy_program,

@@ -103,6 +103,7 @@ pub(crate) fn transmit_per_bit(
     spec: &DeviceSpec,
     tuning: gpgpu_sim::DeviceTuning,
     jitter: Option<(u64, u64)>,
+    faults: Option<gpgpu_sim::FaultPlan>,
     msg: &Message,
     trojan_program: &dyn Fn(bool) -> gpgpu_isa::Program,
     spy_program: &dyn Fn() -> gpgpu_isa::Program,
@@ -115,6 +116,9 @@ pub(crate) fn transmit_per_bit(
     let mut dev = gpgpu_sim::Device::with_tuning(spec.clone(), tuning);
     if let Some((max, seed)) = jitter {
         dev.set_launch_jitter(max, seed);
+    }
+    if let Some(plan) = faults {
+        dev.set_fault_injector(gpgpu_sim::FaultInjector::new(plan));
     }
     if let Some(sink) = trace {
         dev.set_trace_sink(sink);

@@ -146,6 +146,7 @@ impl SfuChannel {
             &self.spec,
             gpgpu_sim::DeviceTuning::none(),
             self.jitter,
+            None,
             msg,
             &trojan_program,
             &spy_program,

@@ -24,6 +24,7 @@
 //! | [`whitespace`] | §8 | dynamic idle-set discovery ("whitespace communication") |
 //! | [`mitigations`] | §9 | cache partitioning, scheduler randomization, clock fuzzing — and what each does to the channels |
 //! | [`bits`] | §5, §8 | messages, bit-error rate, Hamming(7,4) error correction |
+//! | [`framing`] | §7.1 | CRC-8 frames with preamble resynchronization and selective-repeat ARQ over faulted channels |
 //! | [`harness`] | — | deterministic multi-threaded trial runner powering every sweep |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub mod cache_channel;
 pub mod channel;
 pub mod colocation;
 mod error;
+pub mod framing;
 pub mod fu_channel;
 pub mod harness;
 pub mod kernels;

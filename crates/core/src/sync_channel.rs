@@ -74,6 +74,9 @@ pub struct SyncChannel {
     pub exclusive: bool,
     /// Device tuning (placement policy + Section-9 mitigation knobs).
     pub tuning: gpgpu_sim::DeviceTuning,
+    /// Deterministic fault plan installed on the device for the run
+    /// (`None` leaves the fault hooks disabled — the common case).
+    pub fault_plan: Option<gpgpu_sim::FaultPlan>,
 }
 
 impl SyncChannel {
@@ -89,12 +92,20 @@ impl SyncChannel {
             retries: DEFAULT_RETRIES,
             exclusive: false,
             tuning: gpgpu_sim::DeviceTuning::none(),
+            fault_plan: None,
         }
     }
 
     /// Applies device tuning (mitigations / placement policy).
     pub fn with_tuning(mut self, tuning: gpgpu_sim::DeviceTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Installs a deterministic fault plan for every transmission run on
+    /// this channel (Section-7 robustness experiments).
+    pub fn with_faults(mut self, plan: gpgpu_sim::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -414,6 +425,9 @@ impl SyncChannel {
             .collect();
 
         let mut dev = Device::with_tuning(self.spec.clone(), self.tuning);
+        if let Some(plan) = self.fault_plan {
+            dev.set_fault_injector(gpgpu_sim::FaultInjector::new(plan));
+        }
         let g = self.geometry();
         dev.alloc_constant(g.size_bytes()); // spy array
         dev.alloc_constant(g.size_bytes()); // trojan array

@@ -88,10 +88,12 @@ proptest! {
         prop_assert!(p.is_err());
     }
 
-    /// Out-of-range branch targets are always rejected.
+    /// Out-of-range branch targets are always rejected. The program is two
+    /// instructions long, so 2 is the first out-of-range target (1 would be
+    /// a valid jump to the halt).
     #[test]
     fn oversized_targets_rejected(extra in 0u32..1000) {
-        let p = Program::from_instrs(vec![Instr::Jump { target: 1 + extra }, Instr::Halt]);
+        let p = Program::from_instrs(vec![Instr::Jump { target: 2 + extra }, Instr::Halt]);
         prop_assert!(p.is_err());
     }
 

@@ -201,6 +201,21 @@ impl SetAssocCache {
         self.sets[set_idx as usize].len()
     }
 
+    /// Drops every line in set `set_idx`, returning how many were dropped —
+    /// the primitive behind transient fault-injection invalidation bursts.
+    /// Unlike evictions, invalidations are attributed to no domain and do
+    /// not touch the contention counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_idx >= num_sets`.
+    pub fn clear_set(&mut self, set_idx: u64) -> usize {
+        let set = &mut self.sets[set_idx as usize];
+        let n = set.len();
+        set.clear();
+        n
+    }
+
     /// Empties the cache.
     pub fn flush(&mut self) {
         for set in &mut self.sets {
@@ -310,6 +325,21 @@ mod tests {
         let a = c.access_in_set_detailed(9 * 512, 0, 1);
         assert_eq!(a.eviction, Some(Eviction { victim_domain: 1, evictor_domain: 1 }));
         assert_eq!(c.cross_domain_evictions(), before);
+    }
+
+    #[test]
+    fn clear_set_drops_only_that_set() {
+        let mut c = cache();
+        c.access(0); // set 0
+        c.access(512); // set 0
+        c.access(64); // set 1
+        assert_eq!(c.clear_set(0), 2);
+        assert!(!c.probe(0));
+        assert!(!c.probe(512));
+        assert!(c.probe(64));
+        assert_eq!(c.clear_set(0), 0);
+        // Invalidation is not an eviction: no contention accounting.
+        assert_eq!(c.cross_domain_evictions(), 0);
     }
 
     #[test]

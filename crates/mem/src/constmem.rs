@@ -165,6 +165,47 @@ impl ConstHierarchy {
             + self.l2.cross_domain_evictions()
     }
 
+    /// Drops every line of set `set_idx` in **every** SM's L1, returning the
+    /// total number of lines dropped — a transient invalidation burst, the
+    /// cache-level primitive of the fault-injection subsystem. Timing and
+    /// contention counters are untouched: only presence state is lost, so
+    /// the next probe of an invalidated line observes the L2/memory latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_idx` is out of range for the L1 geometry.
+    pub fn invalidate_l1_set(&mut self, set_idx: u64) -> u64 {
+        self.l1.iter_mut().map(|c| c.clear_set(set_idx) as u64).sum()
+    }
+
+    /// Fills set `set_idx` of SM `sm`'s L1 with `fills` distinct synthetic
+    /// lines on behalf of `domain` — a phantom workload's eviction storm.
+    /// `salt` diversifies the synthetic addresses so consecutive storms
+    /// insert fresh lines instead of hitting their own. The fills go through
+    /// the normal access path, so LRU state and eviction counters behave
+    /// exactly as they would for a real co-resident workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` or `set_idx` is out of range.
+    pub fn phantom_fill_l1_set(
+        &mut self,
+        sm: usize,
+        set_idx: u64,
+        fills: u64,
+        domain: u32,
+        salt: u64,
+    ) {
+        // High address bits keep the synthetic lines disjoint from any real
+        // allocation; the line size lower-bounds the per-fill stride. A salt
+        // collision only turns a fill into a harmless hit.
+        let line = self.l1[sm].geometry().line_bytes();
+        let base = (1u64 << 40) ^ (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) & !0xFFFF);
+        for i in 0..fills {
+            self.l1[sm].access_in_set_detailed(base + i * line, set_idx, domain);
+        }
+    }
+
     /// Read-only view of one SM's L1 (for tests and diagnostics).
     pub fn l1(&self, sm: usize) -> &SetAssocCache {
         &self.l1[sm]
@@ -288,6 +329,24 @@ mod tests {
             Some(Eviction { victim_domain: 0, evictor_domain: 1 }),
             "fourth set-0 fill should report the cross-domain L1 eviction"
         );
+    }
+
+    #[test]
+    fn invalidation_bursts_and_storms_degrade_probes() {
+        let mut h = hierarchy();
+        // Warm a set-0 line on two SMs.
+        h.access(0, 0x0, 0, 0);
+        h.access(1, 0x0, 10, 0);
+        assert_eq!(h.invalidate_l1_set(0), 2);
+        // Next probes fall back to the (still warm) L2.
+        assert_eq!(h.access(0, 0x0, 100, 0).level, ConstLevel::L2);
+        assert_eq!(h.access(1, 0x0, 110, 0).level, ConstLevel::L2);
+        // A phantom storm filling the whole set evicts the refilled line,
+        // but only on the stormed SM.
+        let ways = h.l1(0).geometry().ways();
+        h.phantom_fill_l1_set(0, 0, ways, u32::MAX, 7);
+        assert_eq!(h.access(0, 0x0, 300, 0).level, ConstLevel::L2);
+        assert_eq!(h.access(1, 0x0, 310, 0).level, ConstLevel::L1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The device: host API, block scheduler, streams and the cycle engine.
 
 use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultStats};
 use crate::kernel::{BlockRecord, KernelId, KernelResults, KernelSpec, KernelState};
 use crate::sm::{Sm, Subsystems};
 use crate::stats::SimStats;
@@ -79,6 +80,9 @@ pub struct Device {
     /// Optional trace sink. Every emission site is a single `Option` check
     /// when disabled — no event is even constructed.
     trace: Option<Box<dyn TraceSink>>,
+    /// Optional fault injector, hooked in exactly like the trace sink: a
+    /// single `Option` check per site, zero cost when absent.
+    faults: Option<FaultInjector>,
 }
 
 impl Device {
@@ -133,6 +137,7 @@ impl Device {
             streams: HashMap::new(),
             finished_buf: Vec::new(),
             trace: None,
+            faults: None,
         }
     }
 
@@ -157,6 +162,35 @@ impl Device {
     /// ```
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Installs a fault injector; subsequent simulation is perturbed
+    /// according to its [`crate::FaultPlan`]. Replaces any previous
+    /// injector. Install before launching kernels so launch-skew faults see
+    /// every launch.
+    ///
+    /// ```
+    /// use gpgpu_sim::{Device, FaultInjector, FaultPlan};
+    /// use gpgpu_spec::presets;
+    ///
+    /// let mut dev = Device::new(presets::tesla_k40c());
+    /// dev.set_fault_injector(FaultInjector::new(FaultPlan::new(7)));
+    /// assert_eq!(dev.fault_stats().unwrap().total_events(), 0);
+    /// ```
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Removes and returns the installed fault injector, if any (its
+    /// [`FaultStats`] record what was delivered).
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    /// Counters of the faults delivered so far, when an injector is
+    /// installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// Diagnostic names of every launched kernel, indexed by kernel id —
@@ -252,7 +286,8 @@ impl Device {
         let id = KernelId(self.kernels.len() as u32);
         let idx = self.kernels.len();
         let grid = spec.launch.grid_blocks as usize;
-        let arrival = self.now + self.spec.launch_overhead_cycles + jitter;
+        let skew = self.faults.as_mut().map_or(0, |f| f.launch_skew(id.0));
+        let arrival = self.now + self.spec.launch_overhead_cycles + jitter + skew;
         self.kernels.push(KernelState {
             spec,
             stream,
@@ -552,6 +587,7 @@ impl Device {
             atomics: &mut self.atomics,
             gmem: &mut self.gmem,
             trace: self.trace.as_deref_mut(),
+            faults: self.faults.as_mut(),
         };
         let mut finished = std::mem::take(&mut self.finished_buf);
         let now = self.now;
@@ -877,6 +913,49 @@ mod tests {
         assert!(count(&|e| matches!(e, TraceEvent::WarpIssue { .. })) >= 4);
         // Untraced device still runs (the disabled path).
         assert!(dev.take_trace_sink().is_none());
+    }
+
+    #[test]
+    fn fault_injection_is_engine_equivalent_and_observable() {
+        use crate::fault::{FaultInjector, FaultKinds, FaultPlan};
+        use crate::tuning::{DeviceTuning, EngineMode};
+        // A probe that repeatedly walks the target set and times a probe
+        // load — sensitive to every fault kind.
+        let probe = || {
+            let mut b = ProgramBuilder::new();
+            let (a, t0, t1, lat) = (Reg(0), Reg(1), Reg(2), Reg(3));
+            b.repeat(Reg(20), 40, |b| {
+                b.mov_imm(a, 2 * 64); // set 2
+                b.read_clock(t0);
+                b.const_load(a);
+                b.read_clock(t1);
+                b.sub(lat, t1, t0);
+                b.push_result(lat);
+            });
+            b.build().unwrap()
+        };
+        let plan =
+            FaultPlan::new(17).with_period(2_000).with_burst(700).with_kinds(FaultKinds::all());
+        let run = |engine: EngineMode| -> (Vec<u64>, crate::fault::FaultStats) {
+            let tuning = DeviceTuning { engine, ..DeviceTuning::none() };
+            let mut dev = Device::with_tuning(presets::tesla_k40c(), tuning);
+            dev.set_fault_injector(FaultInjector::new(plan));
+            let k =
+                dev.launch(0, KernelSpec::new("probe", probe(), LaunchConfig::new(2, 64))).unwrap();
+            dev.run_until_idle(10_000_000).unwrap();
+            (dev.results(k).unwrap().flat_results(), *dev.fault_stats().unwrap())
+        };
+        let (dense_r, dense_s) = run(EngineMode::Dense);
+        let (event_r, event_s) = run(EngineMode::EventDriven);
+        assert_eq!(dense_r, event_r, "fault-injected results must be engine-equivalent");
+        assert_eq!(dense_s, event_s, "delivered faults must be engine-equivalent");
+        assert!(dense_s.total_events() > 0, "the plan should actually deliver faults");
+        // Injector lifecycle mirrors the trace sink's.
+        let mut dev = Device::new(presets::tesla_k40c());
+        assert!(dev.take_fault_injector().is_none());
+        dev.set_fault_injector(FaultInjector::new(plan));
+        assert!(dev.take_fault_injector().is_some());
+        assert!(dev.fault_stats().is_none());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 mod device;
 mod error;
+mod fault;
 mod kernel;
 mod policy;
 mod sm;
@@ -55,6 +56,7 @@ mod warp;
 
 pub use device::Device;
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultKinds, FaultPlan, FaultStats};
 pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
 pub use policy::PlacementPolicy;
 pub use stats::SimStats;

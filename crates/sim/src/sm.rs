@@ -1,6 +1,7 @@
 //! The streaming-multiprocessor model: resident warps, warp schedulers with
 //! per-scheduler functional-unit ports, and per-SM resource accounting.
 
+use crate::fault::FaultInjector;
 use crate::kernel::{BlockRecord, KernelId};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::warp::{Warp, WarpState};
@@ -22,6 +23,10 @@ pub(crate) struct Subsystems<'a> {
     /// default `dyn TraceSink + 'a` would force `'a = 'static` at the
     /// construction site in `Device::step_cycle`.)
     pub trace: Option<&'a mut (dyn TraceSink + 'static)>,
+    /// Fault injector, when installed on the device; a single `Option`
+    /// check per hook site when disabled. A distinct field from `const_mem`
+    /// so hook calls can borrow both at once.
+    pub faults: Option<&'a mut FaultInjector>,
 }
 
 /// A thread block currently resident on this SM.
@@ -482,6 +487,11 @@ impl Sm {
             Instr::ConstLoad { addr } => {
                 let a = self.warps[idx].regs[addr.0 as usize];
                 let domain = self.warps[idx].kernel.0;
+                // Cache faults land just before the access — an event site
+                // both engine modes reach with the identical access stream.
+                if let Some(f) = subs.faults.as_mut() {
+                    f.before_const_access(now, self.id, subs.const_mem);
+                }
                 let access = subs.const_mem.access(self.id as usize, a, now, domain);
                 if let Some(t) = subs.trace.as_mut() {
                     t.record(
@@ -599,8 +609,10 @@ impl Sm {
                 next_state = WarpState::Blocked { until: access.completes_at };
             }
             Instr::ReadClock { rd } => {
-                // Quantized under time fuzzing (exact when quantum = 1).
-                self.warps[idx].regs[rd.0 as usize] = now - now % self.clock_quantum;
+                // Quantized under time fuzzing (exact when quantum = 1),
+                // plus the seeded offset of clock-perturbation faults.
+                let offset = subs.faults.as_mut().map_or(0, |f| f.clock_perturbation(now, self.id));
+                self.warps[idx].regs[rd.0 as usize] = now - now % self.clock_quantum + offset;
             }
             Instr::ReadSpecial { rd, special } => {
                 let v = match special {
@@ -709,6 +721,18 @@ impl Sm {
                 }
             }
         }
+        // Warp-issue jitter extends the stall of the instruction just
+        // issued. The extra delay only ever pushes a wake time further into
+        // the future (it is added to an `until > now`), preserving the
+        // invariant that an executed warp cannot become ready this cycle.
+        if let Some(f) = subs.faults.as_mut() {
+            if let WarpState::Blocked { until } = next_state {
+                let jitter = f.issue_jitter(now, self.id, ev_sched);
+                if jitter > 0 {
+                    next_state = WarpState::Blocked { until: until + jitter };
+                }
+            }
+        }
         self.warps[idx].pc = next_pc;
         self.warps[idx].state = next_state;
     }
@@ -788,7 +812,7 @@ mod tests {
         assert_eq!(sm.used_threads, 128);
         assert_eq!(sm.used_shared, 1024);
         let (c, a, g) = &mut subsystems(&dev);
-        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None };
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
         let mut finished = Vec::new();
         sm.step(0, &mut subs, &mut finished, true);
         assert_eq!(finished.len(), 1);
@@ -828,7 +852,7 @@ mod tests {
         let res = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 16 };
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         let (c, a, g) = &mut subsystems(&dev);
-        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None };
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
         sm.step(0, &mut subs, &mut Vec::new(), true);
         // Kepler dispatches 2 warps/scheduler/cycle: warps 0..7 all issued in
         // cycle 0. Same-scheduler pairs (0,4), (1,5)... queue on the SFU port.
@@ -859,7 +883,7 @@ mod tests {
         let res = BlockResources { threads: 64, shared_mem_bytes: 0, registers_per_thread: 16 };
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         let (c, a, g) = &mut subsystems(&dev);
-        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None };
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
         // Both warps are on different schedulers; both halt in cycle 0.
         let mut finished = Vec::new();
         sm.step(0, &mut subs, &mut finished, true);

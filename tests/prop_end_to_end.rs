@@ -1,17 +1,22 @@
 //! Property-based tests over the full stack: arbitrary messages and channel
 //! configurations must round-trip exactly at the error-free operating
-//! points, and core data-structure invariants must hold for arbitrary
-//! address streams.
+//! points, core data-structure invariants must hold for arbitrary address
+//! streams, and the framing/ARQ stack must detect or repair arbitrary
+//! corruptions.
 
 use gpgpu_covert::bits::{hamming_decode, hamming_encode, Message};
 use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::framing::{
+    arq_transmit, scan_frames, ArqConfig, FlakyPipe, FrameCoding, FRAME_BITS, PAYLOAD_BITS,
+};
 use gpgpu_covert::sync_channel::SyncChannel;
 use gpgpu_mem::{AccessOutcome, SetAssocCache};
+use gpgpu_sim::FaultPlan;
 use gpgpu_spec::{presets, CacheGeometry};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
     /// Any message round-trips exactly through the baseline L1 channel.
     #[test]
@@ -39,7 +44,80 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// CRC-8 framing detects **every** 1- and 2-bit corruption of a frame:
+    /// the polynomial's Hamming distance is 4 out to 119 data bits, far
+    /// beyond the 32-bit protected body, and flips in the preamble or CRC
+    /// field fail the scan outright.
+    #[test]
+    fn crc8_detects_all_one_and_two_bit_frame_corruptions(
+        payload in proptest::collection::vec(any::<bool>(), PAYLOAD_BITS..=PAYLOAD_BITS),
+        seq in any::<u8>(),
+        first in 0usize..FRAME_BITS,
+        second in 0usize..FRAME_BITS,
+    ) {
+        let frame = FrameCoding::Raw.encode(seq, &payload);
+        prop_assert_eq!(scan_frames(&frame, FrameCoding::Raw), vec![(seq, payload)]);
+        let mut corrupted = frame.clone();
+        corrupted[first] = !corrupted[first];
+        prop_assert!(
+            scan_frames(&corrupted, FrameCoding::Raw).is_empty(),
+            "single flip at {} went undetected", first
+        );
+        if second != first {
+            corrupted[second] = !corrupted[second];
+            prop_assert!(
+                scan_frames(&corrupted, FrameCoding::Raw).is_empty(),
+                "double flip at {},{} went undetected", first, second
+            );
+        }
+    }
+
+    /// ARQ framing round-trips **any** message under **any** seeded
+    /// single-burst fault schedule, in both raw and FEC-coded framing: the
+    /// burst corrupts round 0 arbitrarily, and selective retransmission
+    /// recovers every frame from the clean rounds that follow.
+    #[test]
+    fn arq_round_trips_any_message_under_any_single_burst(
+        bits in proptest::collection::vec(any::<bool>(), 1..=128),
+        burst_start in 0usize..400,
+        burst_len in 0usize..=96,
+        coding in prop_oneof![Just(FrameCoding::Raw), Just(FrameCoding::Fec)],
+    ) {
+        let msg = Message::from_bits(bits);
+        let mut pipe = FlakyPipe::single_burst(burst_start, burst_len);
+        let cfg = ArqConfig { coding, ..ArqConfig::default() };
+        let (received, report) = arq_transmit(&mut pipe, &msg, &cfg).unwrap();
+        prop_assert!(report.recovered, "unrecovered after {} rounds", report.rounds);
+        prop_assert_eq!(received, msg);
+    }
+
+    /// A fault plan's spec string is a faithful serialization: parsing it
+    /// back yields the identical plan for arbitrary field values.
+    #[test]
+    fn fault_plan_spec_round_trips(
+        seed in any::<u64>(),
+        intensity_ppm in 0u64..=1_000_000,
+        period in 1u64..10_000_000,
+        burst_frac_ppm in 0u64..=1_000_000,
+        target_set in 0u64..64,
+        kind_mask in 1u32..32,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_intensity(intensity_ppm as f64 / 1e6)
+            .with_period(period)
+            .with_burst(period * burst_frac_ppm / 1_000_000)
+            .with_target_set(target_set)
+            .with_kinds(gpgpu_sim::FaultKinds {
+                evict: kind_mask & 1 != 0,
+                jitter: kind_mask & 2 != 0,
+                skew: kind_mask & 4 != 0,
+                clock: kind_mask & 8 != 0,
+                storm: kind_mask & 16 != 0,
+            });
+        prop_assert_eq!(FaultPlan::from_spec(&plan.to_spec()), Ok(plan));
+    }
 
     /// Hamming(7,4) round-trips any message and corrects any single flipped
     /// bit per codeword.

@@ -12,7 +12,10 @@
 //! directly with the generated inputs (which are deterministic per test name
 //! and case index, so failures reproduce exactly). Case counts honor
 //! `ProptestConfig::cases` and can be globally overridden with the
-//! `PROPTEST_CASES` environment variable, mirroring upstream.
+//! `PROPTEST_CASES` environment variable, mirroring upstream. The
+//! `PROPTEST_RNG_SEED` environment variable (a `u64`) perturbs every test's
+//! RNG seed, so CI can pin an exact generation stream — or explore new ones
+//! — without touching the tests.
 
 #![forbid(unsafe_code)]
 
@@ -374,12 +377,20 @@ pub mod test_runner {
         }
 
         /// A runner seeded deterministically from a test name (used by the
-        /// [`crate::proptest!`] macro).
+        /// [`crate::proptest!`] macro). When `PROPTEST_RNG_SEED` is set in
+        /// the environment (a `u64`), it is mixed into the seed: the stream
+        /// stays deterministic per (name, seed) pair, and CI can pin or
+        /// rotate the generation stream without editing tests.
         pub fn seeded_for(name: &str, config: ProptestConfig) -> Self {
             let mut seed = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
             for b in name.bytes() {
                 seed ^= u64::from(b);
                 seed = seed.wrapping_mul(0x1000_0000_01B3);
+            }
+            if let Some(extra) =
+                std::env::var("PROPTEST_RNG_SEED").ok().and_then(|v| v.parse::<u64>().ok())
+            {
+                seed ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             }
             TestRunner { config, rng: TestRng::from_seed(seed) }
         }
@@ -492,6 +503,34 @@ mod tests {
             seen[strat.new_tree(&mut runner).unwrap().current() as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rng_seed_env_var_perturbs_the_stream_deterministically() {
+        let cfg = || crate::test_runner::ProptestConfig::default();
+        let draw = |name: &str| {
+            let mut r = crate::test_runner::TestRunner::seeded_for(name, cfg());
+            r.rng().next_u64()
+        };
+        // The test exercises both the set and unset states, so park any
+        // ambient value (CI pins one) and put it back afterwards.
+        let ambient = std::env::var("PROPTEST_RNG_SEED").ok();
+        std::env::remove_var("PROPTEST_RNG_SEED");
+        let unseeded = draw("some_test");
+        std::env::set_var("PROPTEST_RNG_SEED", "12345");
+        let seeded_a = draw("some_test");
+        let seeded_b = draw("some_test");
+        std::env::set_var("PROPTEST_RNG_SEED", "not-a-number");
+        let malformed = draw("some_test");
+        std::env::remove_var("PROPTEST_RNG_SEED");
+        let restored = draw("some_test");
+        if let Some(v) = ambient {
+            std::env::set_var("PROPTEST_RNG_SEED", v);
+        }
+        assert_eq!(seeded_a, seeded_b, "the pinned stream must be deterministic");
+        assert_ne!(unseeded, seeded_a, "the env seed must actually change the stream");
+        assert_eq!(malformed, unseeded, "unparseable seeds fall back to the name seed");
+        assert_eq!(restored, unseeded);
     }
 
     proptest! {
