@@ -1,0 +1,110 @@
+//! Robustness sweep: static-threshold vs adaptive-link BER and goodput as
+//! a fault storm and a constant-cache-hog co-runner ramp up together, plus
+//! the clean-device ablation — adaptive mode must be bit-identical to the
+//! static arm and essentially free when nothing is wrong.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::data::robustness_sweep;
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::linkmon::AdaptiveLink;
+use gpgpu_spec::presets;
+
+fn quick() -> bool {
+    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Minimum wall time of `reps` runs of `f` — the minimum is the scheduler-
+/// noise-robust estimator for a deterministic workload.
+fn min_wall(reps: usize, mut f: impl FnMut()) -> std::time::Duration {
+    (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+fn bench(c: &mut Criterion) {
+    let (bits, intensities): (usize, &[f64]) =
+        if quick() { (32, &[0.0, 1.0]) } else { (32, &[0.0, 0.5, 1.0]) };
+    let pts = robustness_sweep(bits, intensities);
+    println!(
+        "robustness_sweep static:   {:?}",
+        pts.iter().map(|p| (p.intensity, p.static_ber, p.static_delivered)).collect::<Vec<_>>()
+    );
+    println!(
+        "robustness_sweep adaptive: {:?}",
+        pts.iter()
+            .map(|p| (p.intensity, p.adaptive_ber, p.adaptive_family, p.adaptive_stages))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "robustness_sweep goodput (static/adaptive Kbps): {:?}",
+        pts.iter()
+            .map(|p| (p.intensity, p.static_goodput_kbps, p.adaptive_goodput_kbps))
+            .collect::<Vec<_>>()
+    );
+    // Shape: both arms clean at zero intensity; under the full storm + hog
+    // the static arm must fail and the adaptive ladder must deliver BER 0
+    // by hopping channel families — without any manual retuning.
+    let clean = &pts[0];
+    assert_eq!(clean.static_ber, 0.0, "static arm is error-free on a clean device");
+    assert_eq!(clean.adaptive_ber, 0.0, "adaptive link is error-free on a clean device");
+    assert_eq!(clean.adaptive_stages, 1, "no escalation fires on a clean device");
+    assert_eq!(clean.adaptive_family, "l1-sync", "clean device stays on the fastest family");
+    let storm = pts.last().unwrap();
+    assert!(
+        !storm.static_delivered && storm.static_ber > 0.0,
+        "full-intensity static BER must be substantial, got {}",
+        storm.static_ber
+    );
+    assert!(storm.adaptive_delivered, "adaptive link must deliver under the storm");
+    assert_eq!(storm.adaptive_ber, 0.0, "adaptive BER 0 under the storm");
+    assert!(storm.adaptive_stages > 1, "recovery must have escalated");
+    assert_ne!(storm.adaptive_family, "l1-sync", "the stomped family must be abandoned");
+
+    // Ablation: on a clean device the adaptive path runs exactly the static
+    // arm's single attempt — bit-identical output, identical simulated
+    // cycles, and <2% wall-clock overhead (measured as min-of-N to shed
+    // scheduler noise).
+    let link = AdaptiveLink::new(presets::tesla_k40c());
+    let m = Message::pseudo_random(48, 0xAB1A);
+    let a = link.transmit(&m).expect("adaptive transmits");
+    let s = link.transmit_static(&m).expect("static transmits");
+    assert_eq!(a.received, s.received, "clean-device adaptive is bit-identical to static");
+    assert_eq!(a.report, s.report, "identical ARQ report, including simulated cycles");
+    let t_adaptive = min_wall(7, || {
+        link.transmit(&m).expect("adaptive transmits");
+    });
+    let t_static = min_wall(7, || {
+        link.transmit_static(&m).expect("static transmits");
+    });
+    let ratio = t_adaptive.as_secs_f64() / t_static.as_secs_f64();
+    println!(
+        "robustness_sweep ablation: adaptive {t_adaptive:?} vs static {t_static:?} (ratio {ratio:.4})"
+    );
+    if quick() {
+        // Quick mode (CI smoke) runs on noisy shared runners; skip the
+        // wall-clock assert there like ablation_engine_speedup does. The
+        // bit- and cycle-identity asserts above always run.
+        println!("robustness_sweep ablation: quick mode, timing assert skipped");
+    } else {
+        assert!(
+            ratio < 1.02,
+            "clean-device adaptive must be <2% slower than static, got {ratio:.4}"
+        );
+    }
+
+    c.bench_function("robustness_sweep_two_point", |b| {
+        b.iter(|| robustness_sweep(24, &[0.0, 1.0]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use gpgpu_covert::colocation;
 use gpgpu_covert::framing::{arq_transmit, ArqConfig, SyncPipe};
 use gpgpu_covert::fu_channel::SfuChannel;
 use gpgpu_covert::harness::TrialRunner;
+use gpgpu_covert::linkmon::{AdaptiveLink, LinkEnvironment};
 use gpgpu_covert::microbench::{cache_sweep, fig2_sizes, fig3_sizes, fu_latency_sweep};
 use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
 use gpgpu_covert::parallel::{CombinedChannel, ParallelSfuChannel};
@@ -403,6 +404,67 @@ pub fn fault_sweep_with(
             raw_goodput_kbps: goodput(n * (1.0 - raw.ber), raw.cycles),
             fec_goodput_kbps: goodput(n * (1.0 - fec_ber), fec_run.cycles),
             arq_goodput_kbps: goodput(n * (1.0 - arq_ber), arq_report.cycles),
+        }
+    })
+}
+
+/// One point of the robustness sweep: the static-threshold control arm vs
+/// the adaptive link layer at one combined noise + fault intensity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessSweepPoint {
+    /// Combined intensity: scales both the fault plan and the
+    /// constant-cache-hog co-runner (0 = clean device).
+    pub intensity: f64,
+    /// BER of the static arm (thresholds pinned, ladder disabled).
+    pub static_ber: f64,
+    /// BER after the adaptive escalation ladder.
+    pub adaptive_ber: f64,
+    /// Whether the static arm CRC-validated every frame.
+    pub static_delivered: bool,
+    /// Whether the adaptive link delivered.
+    pub adaptive_delivered: bool,
+    /// Goodput of the static arm's (single) attempt, Kbps.
+    pub static_goodput_kbps: f64,
+    /// Goodput of the attempt the adaptive link settled on, Kbps
+    /// (escalation overhead shows up in `adaptive_stages`, not here).
+    pub adaptive_goodput_kbps: f64,
+    /// Ladder rungs the adaptive link fired (1 = static sufficed).
+    pub adaptive_stages: usize,
+    /// Channel family the adaptive link settled on.
+    pub adaptive_family: &'static str,
+}
+
+/// Robustness sweep: static-threshold vs adaptive-link BER and goodput as a
+/// fault storm ([`fault_sweep_plan`]) and a constant-cache-hog co-runner
+/// ramp up together. Each intensity is an independent deterministic trial
+/// fanned across the harness.
+pub fn robustness_sweep(bits: usize, intensities: &[f64]) -> Vec<RobustnessSweepPoint> {
+    let m = msg(bits);
+    let spec = presets::tesla_k40c();
+    TrialRunner::new().map(intensities, |_, &intensity| {
+        let mut env = LinkEnvironment::clean();
+        if intensity > 0.0 {
+            let noise_iters = ((40.0 + 30.0 * bits as f64) * intensity).ceil() as u64;
+            env = env
+                .with_faults(fault_sweep_plan(intensity))
+                .with_noise(vec![NoiseKind::ConstantCacheHog], noise_iters);
+        }
+        let link = AdaptiveLink::new(spec.clone()).with_env(env);
+        let s = link.transmit_static(&m).expect("static arm transmits");
+        let a = link.transmit(&m).expect("adaptive link transmits");
+        let goodput = |ber: f64, cycles: u64| {
+            spec.bandwidth_kbps(1, cycles.max(1)) * m.len() as f64 * (1.0 - ber)
+        };
+        RobustnessSweepPoint {
+            intensity,
+            static_ber: s.diagnostic.ber,
+            adaptive_ber: a.diagnostic.ber,
+            static_delivered: s.diagnostic.delivered,
+            adaptive_delivered: a.diagnostic.delivered,
+            static_goodput_kbps: goodput(s.diagnostic.ber, s.report.cycles),
+            adaptive_goodput_kbps: goodput(a.diagnostic.ber, a.report.cycles),
+            adaptive_stages: a.diagnostic.stages.len(),
+            adaptive_family: a.diagnostic.final_family.label(),
         }
     })
 }

@@ -8,6 +8,7 @@ use gpgpu_covert::bits::Message;
 use gpgpu_covert::cache_channel::{L1Channel, L2Channel};
 use gpgpu_covert::colocation::{reverse_engineer_block_scheduler, reverse_engineer_warp_scheduler};
 use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::linkmon::{AdaptiveLink, LinkEnvironment};
 use gpgpu_covert::mitigations::{
     contention_detection_margin, evaluate_against_l1, evaluate_against_parallel_sfu, Mitigation,
 };
@@ -30,6 +31,8 @@ commands:
   noise                       run the channel under Rodinia-like interference
   mitigations                 evaluate the Section-9 defenses
   faults                      sweep fault intensity: raw vs FEC vs ARQ framing
+  robust                      transmit under a fault storm + cache-hog noise,
+                              printing the link diagnostic / escalation trace
 
 options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
@@ -38,8 +41,10 @@ options:
   --stats                           print cycle-engine counters after the run
   --trace-out <path>                write a Chrome-trace JSON of the run (l1 only)
   --profile                         print the contention profile (l1 only)
-  --faults <spec>                   deterministic fault plan (faults/l1 only),
+  --faults <spec>                   deterministic fault plan (faults/l1/robust),
                                     e.g. seed=7,intensity=1,period=900000,burst=280000,set=2,kinds=evict+storm
+  --adaptive                        enable the adaptive link layer (robust only):
+                                    online calibration + degradation ladder
 ";
 
 /// Which subcommand to run.
@@ -61,6 +66,9 @@ pub enum Command {
     Mitigations,
     /// Fault-intensity sweep: raw vs FEC vs CRC/ARQ framing.
     Faults,
+    /// Adaptive-link robustness demo: transmit under a fault storm plus a
+    /// constant-cache-hog co-runner and print the escalation trace.
+    Robust,
     /// Print usage.
     Help,
 }
@@ -83,9 +91,12 @@ pub struct Args {
     /// Print the per-SM/per-scheduler/per-set contention profile
     /// (`l1` only).
     pub profile: bool,
-    /// Fault-plan spec string (`faults`/`l1` only), validated at parse
+    /// Fault-plan spec string (`faults`/`l1`/`robust`), validated at parse
     /// time against [`gpgpu_sim::FaultPlan::from_spec`].
     pub faults: Option<String>,
+    /// Run the adaptive link layer instead of the pinned static
+    /// thresholds (`robust` only).
+    pub adaptive: bool,
 }
 
 impl Args {
@@ -105,6 +116,7 @@ impl Args {
             trace_out: None,
             profile: false,
             faults: None,
+            adaptive: false,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -124,6 +136,7 @@ impl Args {
                     args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
                 }
                 "--profile" => args.profile = true,
+                "--adaptive" => args.adaptive = true,
                 "--faults" => {
                     let v = it.next().ok_or("--faults needs a spec")?;
                     gpgpu_sim::FaultPlan::from_spec(v)
@@ -148,6 +161,7 @@ impl Args {
             "noise" => Command::Noise,
             "mitigations" => Command::Mitigations,
             "faults" => Command::Faults,
+            "robust" => Command::Robust,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}")),
         };
@@ -157,8 +171,13 @@ impl Args {
         if args.command != Command::L1 && (args.trace_out.is_some() || args.profile) {
             return Err("--trace-out/--profile only apply to the l1 command".to_string());
         }
-        if !matches!(args.command, Command::Faults | Command::L1) && args.faults.is_some() {
-            return Err("--faults only applies to the faults and l1 commands".to_string());
+        if !matches!(args.command, Command::Faults | Command::L1 | Command::Robust)
+            && args.faults.is_some()
+        {
+            return Err("--faults only applies to the faults, l1, and robust commands".to_string());
+        }
+        if args.command != Command::Robust && args.adaptive {
+            return Err("--adaptive only applies to the robust command".to_string());
         }
         Ok(args)
     }
@@ -392,6 +411,33 @@ pub fn run(args: &Args) -> Result<String, String> {
                  trail the raw channel under heavy storms; ARQ retransmits instead.\n",
             );
         }
+        Command::Robust => {
+            let spec = args.spec()?;
+            let msg = Message::pseudo_random(args.bits, 0xC15);
+            let plan = match &args.faults {
+                Some(s) => gpgpu_sim::FaultPlan::from_spec(s)?,
+                None => gpgpu_bench::data::fault_sweep_plan(1.0),
+            };
+            let env = LinkEnvironment::clean()
+                .with_faults(plan)
+                .with_noise(vec![NoiseKind::ConstantCacheHog], 40 + 30 * args.bits as u64);
+            let link = AdaptiveLink::new(spec.clone()).with_env(env);
+            let mode = if args.adaptive { "adaptive" } else { "static" };
+            let _ = writeln!(
+                out,
+                "{mode} link on {}: {} bits under fault storm {} + constant-cache hog",
+                spec.name,
+                args.bits,
+                plan.to_spec()
+            );
+            let o = if args.adaptive {
+                link.transmit(&msg).map_err(|e| e.to_string())?
+            } else {
+                link.transmit_static(&msg).map_err(|e| e.to_string())?
+            };
+            out.push_str(&o.diagnostic.to_string());
+            let _ = writeln!(out, "{mode} BER {:.2}%", o.diagnostic.ber * 100.0);
+        }
         Command::Mitigations => {
             let spec = args.spec()?;
             let msg = Message::pseudo_random(16, 0xC13);
@@ -510,6 +556,9 @@ mod tests {
         let a = Args::parse(&argv("faults")).unwrap();
         assert_eq!(a.command, Command::Faults);
         assert_eq!(a.faults, None);
+        // Accepted on robust too (the adaptive-link demo).
+        let a = Args::parse(&argv(&format!("robust --faults {SPEC}"))).unwrap();
+        assert_eq!(a.faults.as_deref(), Some(SPEC));
         // Rejected everywhere else, mirroring the tracing-flag validation.
         for cmd in ["devices", "zoo", "recon", "noise", "mitigations", "help", "chat hi"] {
             let err = Args::parse(&argv(&format!("{cmd} --faults {SPEC}"))).unwrap_err();
@@ -553,6 +602,36 @@ mod tests {
         // must stay error-free and still echo the normalized plan.
         assert!(out.contains("BER 0.0%"), "{out}");
         assert!(out.contains("faults: seed=5"), "{out}");
+    }
+
+    #[test]
+    fn adaptive_flag_accept_reject_matrix() {
+        let a = Args::parse(&argv("robust --adaptive")).unwrap();
+        assert_eq!(a.command, Command::Robust);
+        assert!(a.adaptive);
+        // A bare robust run is the static control arm.
+        let a = Args::parse(&argv("robust --bits 16")).unwrap();
+        assert!(!a.adaptive);
+        // --adaptive is robust-only.
+        for cmd in ["devices", "zoo", "l1", "faults", "noise", "chat hi"] {
+            let err = Args::parse(&argv(&format!("{cmd} --adaptive"))).unwrap_err();
+            assert!(err.contains("--adaptive only applies"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn robust_static_arm_fails_under_the_cache_hog_and_says_so() {
+        // Even with fault intensity 0, the constant-cache-hog co-runner
+        // corrupts the static-threshold channel; the control arm must
+        // report the failure honestly with a one-stage trace (the adaptive
+        // arm's recovery is exercised by `integration_adaptive` and CI).
+        let a =
+            Args::parse(&argv("robust --bits 16 --faults seed=5,intensity=0,kinds=all")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("static link"), "{out}");
+        assert!(out.contains("ABORTED"), "{out}");
+        assert!(out.contains("static      [l1-sync] failed"), "escalation trace row: {out}");
+        assert!(!out.contains("static BER 0.00%"), "{out}");
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct AtomicChannel {
     pub iterations: u64,
     /// Launch jitter `(max_cycles, seed)`.
     pub jitter: Option<(u64, u64)>,
+    /// Deterministic fault plan installed on the device for the run.
+    pub fault_plan: Option<gpgpu_sim::FaultPlan>,
+    /// Noise co-runner kernels launched alongside every bit's pair.
+    pub noise: Vec<gpgpu_sim::KernelSpec>,
 }
 
 impl AtomicChannel {
@@ -75,7 +79,21 @@ impl AtomicChannel {
             ops_per_iter: DEFAULT_OPS_PER_ITER,
             iterations: DEFAULT_ITERATIONS,
             jitter: Some((crate::cache_channel::DEFAULT_JITTER, 0x5EED)),
+            fault_plan: None,
+            noise: Vec::new(),
         }
+    }
+
+    /// Installs a deterministic fault plan for every transmission.
+    pub fn with_faults(mut self, plan: gpgpu_sim::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Launches these noise co-runner kernels alongside every bit.
+    pub fn with_noise(mut self, noise: Vec<gpgpu_sim::KernelSpec>) -> Self {
+        self.noise = noise;
+        self
     }
 
     /// Sets the iteration count.
@@ -233,7 +251,8 @@ impl AtomicChannel {
             &self.spec,
             gpgpu_sim::DeviceTuning::none(),
             self.jitter,
-            None,
+            self.fault_plan,
+            &self.noise,
             msg,
             &trojan_program,
             &spy_program,

@@ -17,7 +17,8 @@
 //!   channel of Section 4.3).
 
 use crate::bits::Message;
-use crate::channel::{decode_from_miss_counts, transmit_per_bit, ChannelOutcome, TraceCapture};
+use crate::calibrate::{pilot_pattern, Calibration};
+use crate::channel::{transmit_per_bit, ChannelOutcome, TraceCapture};
 use crate::harness::TrialRunner;
 use crate::kernels::{emit_fill, emit_idle_spin, emit_probe_count_misses, miss_threshold, SetRef};
 use crate::CovertError;
@@ -63,6 +64,15 @@ pub struct CacheChannel {
     /// Deterministic fault plan installed on the device for the run
     /// (`None` leaves the fault hooks disabled — the common case).
     pub fault_plan: Option<gpgpu_sim::FaultPlan>,
+    /// Noise co-runner kernels launched alongside every bit's trojan/spy
+    /// pair (see [`crate::noise::noise_kernel`]); empty means a quiet device.
+    pub noise: Vec<gpgpu_sim::KernelSpec>,
+    /// Fitted decode rule from a pilot handshake; `None` falls back to the
+    /// static spec-derived rule (see [`CacheChannel::static_calibration`]).
+    pub calibration: Option<Calibration>,
+    /// Override of the per-bit simulated-cycle budget (watchdog deadline);
+    /// `None` uses the channel default.
+    pub bit_budget: Option<u64>,
 }
 
 /// Convenience alias-constructors for the two levels.
@@ -85,6 +95,9 @@ impl L1Channel {
             jitter: Some((DEFAULT_JITTER, 0x5EED)),
             tuning: gpgpu_sim::DeviceTuning::none(),
             fault_plan: None,
+            noise: Vec::new(),
+            calibration: None,
+            bit_budget: None,
         }
     }
 }
@@ -101,6 +114,9 @@ impl L2Channel {
             jitter: Some((DEFAULT_JITTER, 0x5EED)),
             tuning: gpgpu_sim::DeviceTuning::none(),
             fault_plan: None,
+            noise: Vec::new(),
+            calibration: None,
+            bit_budget: None,
         }
     }
 }
@@ -134,6 +150,24 @@ impl CacheChannel {
     /// this channel (fault-sweep robustness experiments).
     pub fn with_faults(mut self, plan: gpgpu_sim::FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Launches these noise co-runner kernels alongside every bit.
+    pub fn with_noise(mut self, noise: Vec<gpgpu_sim::KernelSpec>) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Decodes with a fitted calibration instead of the static rule.
+    pub fn with_calibration(mut self, cal: Calibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// Overrides the per-bit simulated-cycle watchdog budget.
+    pub fn with_bit_budget(mut self, budget: u64) -> Self {
+        self.bit_budget = Some(budget);
         self
     }
 
@@ -178,6 +212,38 @@ impl CacheChannel {
     /// as 1: a quarter of the iterations, at least 2.
     fn min_hot(&self) -> usize {
         ((self.iterations as usize) / 4).max(2).min(self.iterations as usize)
+    }
+
+    /// The static spec-derived decode rule (the initial guess a pilot
+    /// refines): a bit is 1 when at least [`CacheChannel::min_hot`]
+    /// iterations saw at least one probe miss.
+    pub fn static_calibration(&self) -> Calibration {
+        Calibration::from_spec(1, self.min_hot())
+    }
+
+    /// Runs the pilot handshake: transmits the known [`pilot_pattern`] and
+    /// fits a decode rule from the per-iteration miss counts the spy
+    /// observed, under this channel's full environment (tuning, jitter,
+    /// faults, noise co-runners). The in-kernel probe latency threshold
+    /// stays spec-derived — what drifts under contention is the *eviction*
+    /// evidence, which is exactly what the fit re-learns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transmission failures; [`CovertError::Config`] when the
+    /// pilot distributions are inseparable (the set is being stomped by a
+    /// co-runner), which callers treat as a signal to escalate.
+    pub fn calibrate(&self, pilot_bits: usize) -> Result<Calibration, CovertError> {
+        let pilot = pilot_pattern(pilot_bits);
+        let msg = Message::from_bits(pilot.clone());
+        let stash = std::cell::RefCell::new(Vec::with_capacity(pilot.len()));
+        let decode = |samples: &[u64]| {
+            stash.borrow_mut().push(samples.to_vec());
+            Ok(false)
+        };
+        self.transmit_raw(&msg, &decode, None)?;
+        let per_bit = stash.into_inner();
+        Calibration::fit(&pilot, &per_bit)
     }
 
     /// Transmits `msg`, returning the outcome (bandwidth, BER, received
@@ -227,6 +293,17 @@ impl CacheChannel {
         msg: &Message,
         trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
     ) -> Result<(ChannelOutcome, gpgpu_sim::Device), CovertError> {
+        let cal = self.calibration.clone().unwrap_or_else(|| self.static_calibration());
+        let decode = move |samples: &[u64]| cal.decode(samples);
+        self.transmit_raw(msg, &decode, trace)
+    }
+
+    fn transmit_raw(
+        &self,
+        msg: &Message,
+        decode: &dyn Fn(&[u64]) -> Result<bool, CovertError>,
+        trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
+    ) -> Result<(ChannelOutcome, gpgpu_sim::Device), CovertError> {
         let geom = self.cache_geometry();
         let spy_base = 0u64;
         let trojan_base = geom.same_set_stride() * geom.ways();
@@ -234,7 +311,6 @@ impl CacheChannel {
         let trojan_set = SetRef::new(&geom, trojan_base, self.target_set);
         let threshold = self.threshold();
         let iterations = self.iterations;
-        let min_hot = self.min_hot();
 
         let spy_program = move || {
             let mut b = ProgramBuilder::new();
@@ -259,20 +335,20 @@ impl CacheChannel {
             }
             b.build().expect("trojan program assembles")
         };
-        let decode = move |samples: &[u64]| decode_from_miss_counts(samples, min_hot);
 
         transmit_per_bit(
             &self.spec,
             self.tuning,
             self.jitter,
             self.fault_plan,
+            &self.noise,
             msg,
             &trojan_program,
             &spy_program,
             (self.launch_config(), self.launch_config()),
             (self.array_bytes(), self.array_bytes()),
-            &decode,
-            60_000_000,
+            decode,
+            self.bit_budget.unwrap_or(60_000_000),
             trace,
         )
     }

@@ -1,0 +1,334 @@
+//! Online decode-threshold calibration via a pilot-symbol handshake.
+//!
+//! The static decode thresholds derived from [`gpgpu_spec::DeviceSpec`]
+//! latencies (`miss_threshold`, `burst_threshold`) are the first casualty of
+//! a co-runner: noise workloads and fault storms shift both the idle and the
+//! contended sample distributions, and a receiver that keeps decoding
+//! against the spec-derived midpoint silently accumulates bit errors. The
+//! paper's channels stay error-free under noise only because the attacker
+//! hand-tunes placement and timing (§8); a real receiver calibrates online.
+//!
+//! The handshake is deliberately simple and fully deterministic: the sender
+//! transmits a *known* pilot sequence (see [`pilot_pattern`]), the receiver
+//! records the raw evidence samples behind every pilot bit, and
+//! [`Calibration::fit`] picks the `(threshold, min_hot)` pair that maximizes
+//! the decision margin between the 0-bit ("idle") and 1-bit ("contended")
+//! sample distributions. The fitted decision rule is the same shape every
+//! channel family already uses — *a bit is 1 when at least `min_hot` samples
+//! are at or above `threshold`* — so a calibration can drive the cache
+//! channels (samples = per-iteration miss counts), the SFU channel (samples
+//! = burst latencies) and the synchronized channel (samples = per-window
+//! probe miss counts) without per-family decode code.
+//!
+//! When no pilot has been run (or the link layer falls back after a failed
+//! fit), [`Calibration::from_spec`] wraps the static spec-derived values so
+//! the rest of the stack is agnostic to where its thresholds came from.
+
+use crate::CovertError;
+
+/// Summary statistics of one fitted sample distribution (idle or contended).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Population standard deviation of the samples.
+    pub std: f64,
+    /// Smallest observed sample.
+    pub min: u64,
+    /// Largest observed sample.
+    pub max: u64,
+    /// Number of samples summarized.
+    pub count: usize,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set; an empty set yields an all-zero summary.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary { mean: 0.0, std: 0.0, min: 0, max: 0, count: 0 };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n;
+        LatencySummary {
+            mean,
+            std: var.sqrt(),
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+            count: samples.len(),
+        }
+    }
+}
+
+/// Where a [`Calibration`]'s decision rule came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationSource {
+    /// Static fallback derived from `DeviceSpec` timing — the initial guess
+    /// every channel starts from.
+    Spec,
+    /// Fitted online from a pilot transmission of `pilot_bits` known bits.
+    Pilot {
+        /// Length of the pilot sequence the fit observed.
+        pilot_bits: usize,
+    },
+}
+
+/// A decode decision rule: *bit = 1 iff at least `min_hot` samples are
+/// `>= threshold`*, plus the fitted distribution evidence behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Per-sample decision threshold (inclusive: a sample is "hot" when it
+    /// is at or above this value).
+    pub threshold: u64,
+    /// Minimum number of hot samples for a bit to decode as 1. Never zero —
+    /// [`Calibration::fit`] and the decode guard both reject the degenerate
+    /// rule under which every bit reads as 1.
+    pub min_hot: usize,
+    /// Decision margin at the chosen threshold: the fewest hot samples any
+    /// pilot 1-bit produced minus the most any pilot 0-bit produced.
+    /// Positive means the pilot distributions were perfectly separable.
+    pub margin: i64,
+    /// Distribution of samples observed behind pilot 0-bits.
+    pub idle: LatencySummary,
+    /// Distribution of samples observed behind pilot 1-bits.
+    pub contended: LatencySummary,
+    /// Provenance of the rule.
+    pub source: CalibrationSource,
+}
+
+impl Calibration {
+    /// Wraps static spec-derived decode parameters as a calibration, so the
+    /// decode path is agnostic to whether a pilot ran. Note the threshold is
+    /// *inclusive* — callers converting a strict `sample > t` rule pass
+    /// `t + 1`.
+    pub fn from_spec(threshold: u64, min_hot: usize) -> Self {
+        Calibration {
+            threshold,
+            min_hot: min_hot.max(1),
+            margin: 0,
+            idle: LatencySummary::from_samples(&[]),
+            contended: LatencySummary::from_samples(&[]),
+            source: CalibrationSource::Spec,
+        }
+    }
+
+    /// Fits a decision rule from a pilot transmission: `pilot[i]` is the
+    /// known value of bit `i`, `per_bit_samples[i]` the raw evidence samples
+    /// the receiver observed for it. Scans every observed sample value as a
+    /// candidate threshold and keeps the one maximizing the margin between
+    /// the fewest hot samples on any 1-bit and the most on any 0-bit (ties
+    /// broken toward the idle/contended mean midpoint, then toward the lower
+    /// threshold — fully deterministic).
+    ///
+    /// # Errors
+    ///
+    /// [`CovertError::Config`] when the pilot is malformed (length mismatch,
+    /// missing bit value, no samples) or when no threshold separates the
+    /// distributions — the caller should escalate (stretch symbol time or
+    /// fall back to another channel family) rather than decode blind.
+    pub fn fit(pilot: &[bool], per_bit_samples: &[Vec<u64>]) -> Result<Self, CovertError> {
+        if pilot.len() != per_bit_samples.len() {
+            return Err(CovertError::Config {
+                reason: format!(
+                    "pilot length {} != sample groups {}",
+                    pilot.len(),
+                    per_bit_samples.len()
+                ),
+            });
+        }
+        let zeros: Vec<&Vec<u64>> =
+            pilot.iter().zip(per_bit_samples).filter(|(&b, _)| !b).map(|(_, s)| s).collect();
+        let ones: Vec<&Vec<u64>> =
+            pilot.iter().zip(per_bit_samples).filter(|(&b, _)| b).map(|(_, s)| s).collect();
+        if zeros.is_empty() || ones.is_empty() {
+            return Err(CovertError::Config {
+                reason: "pilot sequence must contain both bit values".into(),
+            });
+        }
+        let idle_all: Vec<u64> = zeros.iter().flat_map(|s| s.iter().copied()).collect();
+        let cont_all: Vec<u64> = ones.iter().flat_map(|s| s.iter().copied()).collect();
+        if cont_all.is_empty() {
+            return Err(CovertError::Config { reason: "pilot 1-bits produced no samples".into() });
+        }
+        let idle = LatencySummary::from_samples(&idle_all);
+        let contended = LatencySummary::from_samples(&cont_all);
+
+        // The decode rule is `sample >= threshold`, so only observed values
+        // can change a decision; scan them all.
+        let mut candidates: Vec<u64> = idle_all.iter().chain(cont_all.iter()).copied().collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let midpoint = (idle.mean + contended.mean) / 2.0;
+        let hot = |s: &Vec<u64>, t: u64| s.iter().filter(|&&v| v >= t).count();
+        let mut best: Option<(i64, f64, u64, usize, usize)> = None;
+        for &t in &candidates {
+            let h0_max = zeros.iter().map(|s| hot(s, t)).max().unwrap_or(0);
+            let h1_min = ones.iter().map(|s| hot(s, t)).min().unwrap_or(0);
+            let margin = h1_min as i64 - h0_max as i64;
+            let dist = (t as f64 - midpoint).abs();
+            let better = match &best {
+                None => true,
+                Some((bm, bd, ..)) => margin > *bm || (margin == *bm && dist < *bd),
+            };
+            if better {
+                best = Some((margin, dist, t, h0_max, h1_min));
+            }
+        }
+        let (margin, _, threshold, h0_max, h1_min) =
+            best.expect("candidate set is non-empty when samples exist");
+        if margin <= 0 {
+            return Err(CovertError::Config {
+                reason: format!(
+                    "pilot distributions are inseparable (idle mean {:.1}, contended mean {:.1}, \
+                     best margin {margin} at threshold {threshold})",
+                    idle.mean, contended.mean
+                ),
+            });
+        }
+        // Split the evidence gap down the middle: tolerate (h1_min -
+        // min_hot) lost hot samples on a 1 and (min_hot - 1 - h0_max) spurious
+        // ones on a 0 before a bit flips.
+        let min_hot = (h0_max + h1_min).div_ceil(2).max(1);
+        Ok(Calibration {
+            threshold,
+            min_hot,
+            margin,
+            idle,
+            contended,
+            source: CalibrationSource::Pilot { pilot_bits: pilot.len() },
+        })
+    }
+
+    /// Decodes one bit: 1 iff at least `min_hot` samples are `>= threshold`.
+    ///
+    /// # Errors
+    ///
+    /// [`CovertError::InvalidThreshold`] if the rule is degenerate
+    /// (`min_hot == 0`) — possible only for a hand-built value, never for a
+    /// fitted or [`Calibration::from_spec`] one.
+    pub fn decode(&self, samples: &[u64]) -> Result<bool, CovertError> {
+        if self.min_hot == 0 {
+            return Err(CovertError::InvalidThreshold {
+                what: "min_hot == 0 decodes every bit as 1".into(),
+            });
+        }
+        Ok(samples.iter().filter(|&&s| s >= self.threshold).count() >= self.min_hot)
+    }
+
+    /// Whether this rule was fitted from a pilot that perfectly separated
+    /// the idle and contended distributions.
+    pub fn converged(&self) -> bool {
+        matches!(self.source, CalibrationSource::Pilot { .. }) && self.margin > 0
+    }
+
+    /// Normalized distance between the fitted distributions (mean gap over
+    /// pooled spread); larger is a healthier link. Zero for spec fallbacks.
+    pub fn separation(&self) -> f64 {
+        if self.idle.count == 0 || self.contended.count == 0 {
+            return 0.0;
+        }
+        (self.contended.mean - self.idle.mean) / (self.idle.std + self.contended.std + 1.0)
+    }
+}
+
+/// The deterministic pilot bit sequence both ends agree on: alternating
+/// `0, 1, 0, 1, ...`, guaranteeing both distributions get `len / 2` bits of
+/// evidence. Lengths below 4 are clamped up so a fit always has at least two
+/// bits per value.
+pub fn pilot_pattern(len: usize) -> Vec<bool> {
+    (0..len.max(4)).map(|i| i % 2 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pilot_pattern_alternates_and_clamps() {
+        assert_eq!(pilot_pattern(1).len(), 4);
+        let p = pilot_pattern(6);
+        assert_eq!(p, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = LatencySummary::from_samples(&[2, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max, s.count), (2, 6, 3));
+        let empty = LatencySummary::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn fit_separates_clean_distributions() {
+        // 0-bits hover near 50, 1-bits near 200: any threshold in between
+        // separates with full margin.
+        let pilot = pilot_pattern(8);
+        let samples: Vec<Vec<u64>> = pilot
+            .iter()
+            .map(|&b| if b { vec![190, 210, 200, 205] } else { vec![48, 52, 50, 49] })
+            .collect();
+        let c = Calibration::fit(&pilot, &samples).unwrap();
+        assert!(c.converged());
+        assert!(c.threshold > 52 && c.threshold <= 190, "threshold {}", c.threshold);
+        assert_eq!(c.margin, 4);
+        assert_eq!(c.min_hot, 2, "gap split down the middle");
+        assert!(c.separation() > 10.0);
+        assert!(c.decode(&[195, 200, 60, 55]).unwrap());
+        assert!(!c.decode(&[60, 55, 49, 195]).unwrap());
+    }
+
+    #[test]
+    fn fit_tolerates_noisy_zero_bits() {
+        // Noise pushes one sample per 0-bit into the contended band; the
+        // fitted min_hot absorbs it instead of the threshold climbing past
+        // the contended mean.
+        let pilot = pilot_pattern(8);
+        let samples: Vec<Vec<u64>> = pilot
+            .iter()
+            .map(|&b| if b { vec![200, 195, 205, 198] } else { vec![50, 201, 49, 51] })
+            .collect();
+        let c = Calibration::fit(&pilot, &samples).unwrap();
+        assert!(c.converged());
+        assert!(c.min_hot >= 2, "one spurious hot sample must not read as a 1");
+        assert!(!c.decode(&[50, 201, 49, 51]).unwrap());
+        assert!(c.decode(&[200, 195, 205, 198]).unwrap());
+    }
+
+    #[test]
+    fn fit_rejects_inseparable_distributions() {
+        let pilot = pilot_pattern(4);
+        let samples: Vec<Vec<u64>> = pilot.iter().map(|_| vec![100, 101, 99]).collect();
+        let e = Calibration::fit(&pilot, &samples).unwrap_err();
+        assert!(matches!(e, CovertError::Config { .. }), "{e:?}");
+        assert!(e.to_string().contains("inseparable"), "{e}");
+    }
+
+    #[test]
+    fn fit_rejects_malformed_pilots() {
+        let e = Calibration::fit(&[true, false], &[vec![1]]).unwrap_err();
+        assert!(matches!(e, CovertError::Config { .. }));
+        let e = Calibration::fit(&[true, true], &[vec![1], vec![2]]).unwrap_err();
+        assert!(e.to_string().contains("both bit values"), "{e}");
+    }
+
+    #[test]
+    fn spec_fallback_reproduces_static_rules() {
+        // Sync-channel static rule: any window with >= 2 probe misses.
+        let c = Calibration::from_spec(2, 1);
+        assert!(!c.converged());
+        assert_eq!(c.separation(), 0.0);
+        assert!(c.decode(&[0, 0, 2, 0]).unwrap());
+        assert!(!c.decode(&[0, 1, 1, 0]).unwrap());
+        // min_hot is clamped away from the degenerate all-ones rule.
+        assert_eq!(Calibration::from_spec(5, 0).min_hot, 1);
+    }
+
+    #[test]
+    fn decode_guards_degenerate_rule() {
+        let mut c = Calibration::from_spec(2, 1);
+        c.min_hot = 0;
+        let e = c.decode(&[0, 0]).unwrap_err();
+        assert!(matches!(e, CovertError::InvalidThreshold { .. }), "{e:?}");
+    }
+}

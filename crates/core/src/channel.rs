@@ -53,14 +53,42 @@ impl ChannelOutcome {
 /// Decodes one bit from per-iteration miss counts pushed by a spy probe
 /// loop: the bit is 1 if at least `min_hot` iterations observed at least one
 /// miss (the trojan's prime evicted the spy's lines).
-pub fn decode_from_miss_counts(miss_counts: &[u64], min_hot: usize) -> bool {
-    miss_counts.iter().filter(|&&m| m > 0).count() >= min_hot
+///
+/// # Errors
+///
+/// Returns [`crate::CovertError::InvalidThreshold`] when `min_hot == 0`:
+/// with no evidence required, every bit decodes as 1 and a dead channel
+/// masquerades as a perfect one.
+pub fn decode_from_miss_counts(
+    miss_counts: &[u64],
+    min_hot: usize,
+) -> Result<bool, crate::CovertError> {
+    if min_hot == 0 {
+        return Err(crate::CovertError::InvalidThreshold {
+            what: "min_hot == 0 decodes every bit as 1".into(),
+        });
+    }
+    Ok(miss_counts.iter().filter(|&&m| m > 0).count() >= min_hot)
 }
 
 /// Decodes one bit from per-iteration latency samples against a threshold:
 /// the bit is 1 if at least `min_hot` samples exceed `threshold`.
-pub fn decode_from_latencies(samples: &[u64], threshold: u64, min_hot: usize) -> bool {
-    samples.iter().filter(|&&l| l > threshold).count() >= min_hot
+///
+/// # Errors
+///
+/// Returns [`crate::CovertError::InvalidThreshold`] when `min_hot == 0`,
+/// under which every bit would decode as 1 regardless of the samples.
+pub fn decode_from_latencies(
+    samples: &[u64],
+    threshold: u64,
+    min_hot: usize,
+) -> Result<bool, crate::CovertError> {
+    if min_hot == 0 {
+        return Err(crate::CovertError::InvalidThreshold {
+            what: "min_hot == 0 decodes every bit as 1".into(),
+        });
+    }
+    Ok(samples.iter().filter(|&&l| l > threshold).count() >= min_hot)
 }
 
 /// A recorded event trace retrieved after a traced transmission: the
@@ -104,12 +132,13 @@ pub(crate) fn transmit_per_bit(
     tuning: gpgpu_sim::DeviceTuning,
     jitter: Option<(u64, u64)>,
     faults: Option<gpgpu_sim::FaultPlan>,
+    noise: &[gpgpu_sim::KernelSpec],
     msg: &Message,
     trojan_program: &dyn Fn(bool) -> gpgpu_isa::Program,
     spy_program: &dyn Fn() -> gpgpu_isa::Program,
     launches: (gpgpu_spec::LaunchConfig, gpgpu_spec::LaunchConfig),
     alloc_const_bytes: (u64, u64),
-    decode: &dyn Fn(&[u64]) -> bool,
+    decode: &dyn Fn(&[u64]) -> Result<bool, crate::CovertError>,
     cycles_per_bit_budget: u64,
     trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
 ) -> Result<(ChannelOutcome, gpgpu_sim::Device), crate::CovertError> {
@@ -133,12 +162,18 @@ pub(crate) fn transmit_per_bit(
         let spy = dev.launch(0, gpgpu_sim::KernelSpec::new("spy", spy_program(), launches.0))?;
         let _trojan =
             dev.launch(1, gpgpu_sim::KernelSpec::new("trojan", trojan_program(bit), launches.1))?;
+        // Noise co-runners ride on dedicated streams so each bit's kernel
+        // pair contends with the same background workload — the per-bit
+        // analogue of the paper's §8 concurrently-launched Rodinia apps.
+        for (i, co) in noise.iter().enumerate() {
+            dev.launch(2 + i as u32, co.clone())?;
+        }
         dev.run_until_idle(cycles_per_bit_budget)?;
         let r = dev.results(spy)?;
         let samples = r.warp_results(0, 0).ok_or_else(|| {
             crate::CovertError::MissingWarpResults { kernel: r.name.clone(), block: 0, warp: 0 }
         })?;
-        received.push(decode(samples));
+        received.push(decode(samples)?);
     }
     let cycles = dev.now();
     if cycles == 0 {
@@ -169,14 +204,27 @@ mod tests {
 
     #[test]
     fn miss_count_decode() {
-        assert!(decode_from_miss_counts(&[0, 1, 2, 1, 0], 2));
-        assert!(!decode_from_miss_counts(&[0, 1, 0, 0, 0], 2));
-        assert!(!decode_from_miss_counts(&[], 1));
+        assert!(decode_from_miss_counts(&[0, 1, 2, 1, 0], 2).unwrap());
+        assert!(!decode_from_miss_counts(&[0, 1, 0, 0, 0], 2).unwrap());
+        assert!(!decode_from_miss_counts(&[], 1).unwrap());
     }
 
     #[test]
     fn latency_decode() {
-        assert!(decode_from_latencies(&[100, 500, 500], 300, 2));
-        assert!(!decode_from_latencies(&[100, 500, 100], 300, 2));
+        assert!(decode_from_latencies(&[100, 500, 500], 300, 2).unwrap());
+        assert!(!decode_from_latencies(&[100, 500, 100], 300, 2).unwrap());
+    }
+
+    #[test]
+    fn zero_min_hot_is_rejected_not_decoded_as_all_ones() {
+        // A silent channel must not decode as a perfect one: with
+        // `min_hot == 0` every bit trivially satisfies "at least 0 hot
+        // samples", so the decoders refuse the threshold outright.
+        let e = decode_from_latencies(&[0, 0, 0], 300, 0).unwrap_err();
+        assert!(matches!(e, crate::CovertError::InvalidThreshold { .. }), "{e:?}");
+        let e = decode_from_miss_counts(&[0, 0, 0], 0).unwrap_err();
+        assert!(matches!(e, crate::CovertError::InvalidThreshold { .. }), "{e:?}");
+        // Non-degenerate thresholds still decode.
+        assert!(!decode_from_latencies(&[0, 0, 0], 300, 1).unwrap());
     }
 }

@@ -39,6 +39,13 @@ pub enum CovertError {
     /// to one cycle, which produced an absurd bandwidth with a plausible
     /// BER.
     ZeroCycleTransmission,
+    /// A decode threshold was degenerate — e.g. `min_hot == 0`, under which
+    /// *every* bit decodes as 1 regardless of the observed samples, silently
+    /// reporting a dead channel as a perfect one.
+    InvalidThreshold {
+        /// Human-readable description of the degenerate parameter.
+        what: String,
+    },
 }
 
 impl fmt::Display for CovertError {
@@ -54,6 +61,9 @@ impl fmt::Display for CovertError {
             }
             CovertError::ZeroCycleTransmission => {
                 write!(f, "transmission consumed zero cycles; bandwidth is undefined")
+            }
+            CovertError::InvalidThreshold { what } => {
+                write!(f, "degenerate decode threshold: {what}")
             }
         }
     }
@@ -95,5 +105,7 @@ mod tests {
         assert!(e.source().is_none());
         let e = CovertError::ZeroCycleTransmission;
         assert!(e.to_string().contains("zero cycles"));
+        let e = CovertError::InvalidThreshold { what: "min_hot == 0".into() };
+        assert!(e.to_string().contains("min_hot == 0"));
     }
 }

@@ -186,11 +186,21 @@ pub struct ArqConfig {
     pub backoff_threshold: f64,
     /// Frame coding on the pipe.
     pub coding: FrameCoding,
+    /// Give up after this many *consecutive* rounds that validate no new
+    /// frame (`None` keeps retrying to `max_rounds`). A dead channel — one a
+    /// co-runner has fully stomped — otherwise burns every remaining round
+    /// before the link layer can escalate.
+    pub max_dead_rounds: Option<usize>,
 }
 
 impl Default for ArqConfig {
     fn default() -> Self {
-        ArqConfig { max_rounds: 16, backoff_threshold: 0.5, coding: FrameCoding::Raw }
+        ArqConfig {
+            max_rounds: 16,
+            backoff_threshold: 0.5,
+            coding: FrameCoding::Raw,
+            max_dead_rounds: None,
+        }
     }
 }
 
@@ -214,6 +224,26 @@ pub struct ArqReport {
     pub recovered: bool,
 }
 
+/// Number of CRC frames `msg` will be cut into, checked against the 8-bit
+/// sequence space.
+///
+/// # Errors
+///
+/// [`CovertError::Config`] if the message needs more than 256 frames.
+pub fn frames_needed_checked(msg: &Message) -> Result<usize, CovertError> {
+    let frames_total = msg.len().div_ceil(PAYLOAD_BITS);
+    if frames_total > 256 {
+        return Err(CovertError::Config {
+            reason: format!(
+                "message needs {frames_total} frames; the 8-bit sequence space holds 256 \
+                 ({} message bits)",
+                256 * PAYLOAD_BITS
+            ),
+        });
+    }
+    Ok(frames_total)
+}
+
 /// Transmits `msg` over `pipe` with selective-repeat ARQ: each round sends
 /// only the frames not yet CRC-validated, until all land or `max_rounds` is
 /// exhausted. Missing frames decode as zeros.
@@ -228,16 +258,24 @@ pub fn arq_transmit<P: BitPipe>(
     msg: &Message,
     cfg: &ArqConfig,
 ) -> Result<(Message, ArqReport), CovertError> {
-    let frames_total = msg.len().div_ceil(PAYLOAD_BITS);
-    if frames_total > 256 {
-        return Err(CovertError::Config {
-            reason: format!(
-                "message needs {frames_total} frames; the 8-bit sequence space holds 256 \
-                 ({} message bits)",
-                256 * PAYLOAD_BITS
-            ),
-        });
-    }
+    arq_transmit_observed(pipe, msg, cfg, &mut |_, _| {})
+}
+
+/// As [`arq_transmit`], additionally reporting every per-round CRC verdict:
+/// `observe(seq, validated)` is called once per pending frame per round with
+/// whether that frame's CRC checked out this round. This is the feedback
+/// path a [`crate::linkmon::LinkMonitor`] estimates link quality from.
+///
+/// # Errors
+///
+/// As [`arq_transmit`].
+pub fn arq_transmit_observed<P: BitPipe>(
+    pipe: &mut P,
+    msg: &Message,
+    cfg: &ArqConfig,
+    observe: &mut dyn FnMut(usize, bool),
+) -> Result<(Message, ArqReport), CovertError> {
+    let frames_total = frames_needed_checked(msg)?;
     let mut report = ArqReport { frames_total, ..ArqReport::default() };
     if msg.is_empty() {
         report.recovered = true;
@@ -245,6 +283,7 @@ pub fn arq_transmit<P: BitPipe>(
     }
     let payloads: Vec<Vec<bool>> = msg.bits().chunks(PAYLOAD_BITS).map(<[bool]>::to_vec).collect();
     let mut got: Vec<Option<Vec<bool>>> = vec![None; frames_total];
+    let mut dead_rounds = 0usize;
     for round in 0..cfg.max_rounds {
         let pending: Vec<usize> =
             got.iter().enumerate().filter(|(_, g)| g.is_none()).map(|(i, _)| i).collect();
@@ -263,17 +302,28 @@ pub fn arq_transmit<P: BitPipe>(
         }
         report.cycles += run.cycles;
         let mut fresh = 0usize;
+        let mut validated = vec![false; frames_total];
         for (seq, payload) in scan_frames(run.received.bits(), cfg.coding) {
             let s = seq as usize;
             if s < frames_total && got[s].is_none() {
                 got[s] = Some(payload);
+                validated[s] = true;
                 fresh += 1;
             }
+        }
+        for &s in &pending {
+            observe(s, validated[s]);
         }
         let loss = 1.0 - fresh as f64 / pending.len() as f64;
         if loss > cfg.backoff_threshold && got.iter().any(Option::is_none) {
             pipe.backoff();
             report.backoffs += 1;
+        }
+        dead_rounds = if fresh == 0 { dead_rounds + 1 } else { 0 };
+        if let Some(max_dead) = cfg.max_dead_rounds {
+            if dead_rounds >= max_dead && got.iter().any(Option::is_none) {
+                break;
+            }
         }
     }
     report.recovered = got.iter().all(Option::is_some);
@@ -483,6 +533,48 @@ mod tests {
         assert!(!report.recovered);
         assert_eq!(report.rounds, 3);
         assert_eq!(received.bits(), vec![false; 32]);
+    }
+
+    #[test]
+    fn dead_channel_exits_early_and_reports_frame_verdicts() {
+        let msg = Message::from_bits(vec![true; 32]);
+        let mut pipe =
+            FlakyPipe { burst_start: 0, burst_len: usize::MAX, corrupt_rounds: 99, backoffs: 0 };
+        let cfg = ArqConfig { max_rounds: 16, max_dead_rounds: Some(2), ..ArqConfig::default() };
+        let mut verdicts = Vec::new();
+        let (_, report) =
+            arq_transmit_observed(&mut pipe, &msg, &cfg, &mut |s, ok| verdicts.push((s, ok)))
+                .unwrap();
+        assert!(!report.recovered);
+        assert_eq!(report.rounds, 2, "2 consecutive dead rounds must end the transmission");
+        assert_eq!(verdicts.len(), report.frames_sent, "one verdict per pending frame per round");
+        assert!(verdicts.iter().all(|&(_, ok)| !ok));
+    }
+
+    #[test]
+    fn observed_arq_reports_mixed_verdicts_on_a_partial_burst() {
+        let msg = Message::pseudo_random(100, 0xF00D);
+        let mut pipe = FlakyPipe::single_burst(37, 25);
+        let mut round0: Vec<bool> = Vec::new();
+        let mut seen_ok = 0usize;
+        let mut seen_fail = 0usize;
+        let (received, report) =
+            arq_transmit_observed(&mut pipe, &msg, &ArqConfig::default(), &mut |_, ok| {
+                if round0.len() < 7 {
+                    round0.push(ok);
+                }
+                if ok {
+                    seen_ok += 1;
+                } else {
+                    seen_fail += 1;
+                }
+            })
+            .unwrap();
+        assert_eq!(received, msg);
+        assert!(report.recovered);
+        assert!(round0.iter().any(|&ok| ok) && round0.iter().any(|&ok| !ok));
+        assert_eq!(seen_ok, report.frames_total, "every frame eventually validates once");
+        assert!(seen_fail >= 1);
     }
 
     #[test]

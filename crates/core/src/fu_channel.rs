@@ -8,7 +8,8 @@
 //! variant in [`crate::parallel`] sends one bit per scheduler.
 
 use crate::bits::Message;
-use crate::channel::{decode_from_latencies, transmit_per_bit, ChannelOutcome};
+use crate::calibrate::{pilot_pattern, Calibration};
+use crate::channel::{transmit_per_bit, ChannelOutcome};
 use crate::kernels::emit_timed_fu_burst;
 use crate::CovertError;
 use gpgpu_isa::{ProgramBuilder, Reg};
@@ -45,6 +46,15 @@ pub struct SfuChannel {
     pub warps_per_block: u32,
     /// Launch jitter `(max_cycles, seed)`.
     pub jitter: Option<(u64, u64)>,
+    /// Deterministic fault plan installed on the device for the run.
+    pub fault_plan: Option<gpgpu_sim::FaultPlan>,
+    /// Noise co-runner kernels launched alongside every bit's pair.
+    pub noise: Vec<gpgpu_sim::KernelSpec>,
+    /// Fitted decode rule from a pilot handshake; `None` uses the static
+    /// spec-derived burst threshold.
+    pub calibration: Option<Calibration>,
+    /// Override of the per-bit simulated-cycle watchdog budget.
+    pub bit_budget: Option<u64>,
 }
 
 impl SfuChannel {
@@ -59,7 +69,35 @@ impl SfuChannel {
             iterations: DEFAULT_ITERATIONS,
             warps_per_block: warps,
             jitter: Some((crate::cache_channel::DEFAULT_JITTER, 0x5EED)),
+            fault_plan: None,
+            noise: Vec::new(),
+            calibration: None,
+            bit_budget: None,
         }
+    }
+
+    /// Installs a deterministic fault plan for every transmission.
+    pub fn with_faults(mut self, plan: gpgpu_sim::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Launches these noise co-runner kernels alongside every bit.
+    pub fn with_noise(mut self, noise: Vec<gpgpu_sim::KernelSpec>) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Decodes with a fitted calibration instead of the static rule.
+    pub fn with_calibration(mut self, cal: Calibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// Overrides the per-bit simulated-cycle watchdog budget.
+    pub fn with_bit_budget(mut self, budget: u64) -> Self {
+        self.bit_budget = Some(budget);
+        self
     }
 
     /// Sets the iteration count (bandwidth/robustness knob).
@@ -106,6 +144,37 @@ impl SfuChannel {
         self.ops_per_iter * (self.idle_latency() + self.contended_latency()) / 2
     }
 
+    /// The static spec-derived decode rule (the initial guess a pilot
+    /// refines): a bit is 1 when at least a quarter of the timed bursts ran
+    /// strictly slower than the idle/contended midpoint.
+    pub fn static_calibration(&self) -> Calibration {
+        let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
+        // `Calibration::decode` is inclusive (`>=`); the legacy
+        // `decode_from_latencies` rule was strict (`>`), hence the +1.
+        Calibration::from_spec(self.burst_threshold() + 1, min_hot)
+    }
+
+    /// Runs the pilot handshake: transmits the known [`pilot_pattern`] and
+    /// fits a decode rule from the raw burst latencies the spy observed,
+    /// under this channel's full environment (jitter, faults, noise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transmission failures; [`CovertError::Config`] when the
+    /// idle and contended latency distributions are inseparable.
+    pub fn calibrate(&self, pilot_bits: usize) -> Result<Calibration, CovertError> {
+        let pilot = pilot_pattern(pilot_bits);
+        let msg = Message::from_bits(pilot.clone());
+        let stash = std::cell::RefCell::new(Vec::with_capacity(pilot.len()));
+        let decode = |samples: &[u64]| {
+            stash.borrow_mut().push(samples.to_vec());
+            Ok(false)
+        };
+        self.transmit_raw(&msg, &decode)?;
+        let per_bit = stash.into_inner();
+        Calibration::fit(&pilot, &per_bit)
+    }
+
     /// Transmits `msg` over the SFU channel.
     ///
     /// # Errors
@@ -113,6 +182,16 @@ impl SfuChannel {
     /// Propagates simulator failures, including
     /// [`gpgpu_sim::SimError::Launch`] for ops the device cannot execute.
     pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        let cal = self.calibration.clone().unwrap_or_else(|| self.static_calibration());
+        let decode = move |samples: &[u64]| cal.decode(samples);
+        self.transmit_raw(msg, &decode)
+    }
+
+    fn transmit_raw(
+        &self,
+        msg: &Message,
+        decode: &dyn Fn(&[u64]) -> Result<bool, CovertError>,
+    ) -> Result<ChannelOutcome, CovertError> {
         self.spec.supports_op(self.op).map_err(gpgpu_sim::SimError::from)?;
         let (op, ops, iterations) = (self.op, self.ops_per_iter, self.iterations);
         let spy_program = move || {
@@ -138,22 +217,20 @@ impl SfuChannel {
             }
             b.build().expect("trojan program assembles")
         };
-        let threshold = self.burst_threshold();
-        let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
-        let decode = move |samples: &[u64]| decode_from_latencies(samples, threshold, min_hot);
         let launch = LaunchConfig::new(self.spec.num_sms, self.warps_per_block * 32);
         let (outcome, _dev) = transmit_per_bit(
             &self.spec,
             gpgpu_sim::DeviceTuning::none(),
             self.jitter,
-            None,
+            self.fault_plan,
+            &self.noise,
             msg,
             &trojan_program,
             &spy_program,
             (launch, launch),
             (0, 0),
-            &decode,
-            120_000_000,
+            decode,
+            self.bit_budget.unwrap_or(120_000_000),
             None,
         )?;
         Ok(outcome)

@@ -18,13 +18,17 @@
 //! then the `GPGPU_TRIAL_WORKERS` environment variable, then
 //! `std::thread::available_parallelism()`.
 
+use crate::CovertError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One independent unit of work handed to a trial closure: its position in
-/// the batch and a deterministic seed derived from the runner's base seed.
+/// the batch, a deterministic seed derived from the runner's base seed, and
+/// the runner's per-trial cycle deadline (if any).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Trial {
     /// Index of this trial in `0..trials`.
@@ -32,12 +36,78 @@ pub struct Trial {
     /// Seed for this trial, derived from the runner's base seed and the
     /// index by a splitmix-style mix — identical for every worker count.
     pub seed: u64,
+    /// Device-cycle budget the trial should impose on its own simulation
+    /// (e.g. via a channel's `with_bit_budget` / `with_cycle_budget`).
+    /// Exceeding it surfaces as [`TrialError::DeadlineExceeded`] through
+    /// [`TrialRunner::run_caught`]. `None` leaves the channels' defaults.
+    pub deadline: Option<u64>,
 }
 
 impl Trial {
     /// A [`StdRng`] seeded with this trial's seed.
     pub fn rng(&self) -> StdRng {
         StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Why one trial in a [`TrialRunner::run_caught`] batch produced no result.
+/// The rest of the batch is unaffected — trials share no mutable state, so
+/// one trial's death says nothing about its neighbors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialError {
+    /// The trial closure panicked; the payload's message is preserved.
+    Panicked {
+        /// The panic payload, stringified (`<non-string panic>` otherwise).
+        message: String,
+    },
+    /// The trial's simulation blew through its cycle deadline
+    /// ([`gpgpu_sim::SimError::CycleLimitExceeded`] — typically a hung
+    /// handshake or a deadline from [`TrialRunner::with_deadline`]).
+    DeadlineExceeded {
+        /// The cycle budget that was exhausted.
+        budget: u64,
+    },
+    /// Any other [`CovertError`], stringified.
+    Failed(String),
+}
+
+impl TrialError {
+    /// Classifies a [`CovertError`] from a trial: cycle-limit overruns
+    /// become [`TrialError::DeadlineExceeded`], everything else
+    /// [`TrialError::Failed`].
+    pub fn from_covert(e: &CovertError) -> Self {
+        match e {
+            CovertError::Sim(gpgpu_sim::SimError::CycleLimitExceeded { limit }) => {
+                TrialError::DeadlineExceeded { budget: *limit }
+            }
+            other => TrialError::Failed(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::Panicked { message } => write!(f, "trial panicked: {message}"),
+            TrialError::DeadlineExceeded { budget } => {
+                write!(f, "trial exceeded its {budget}-cycle deadline")
+            }
+            TrialError::Failed(msg) => write!(f, "trial failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+/// Stringifies a panic payload (the `&str` / `String` payloads `panic!`
+/// produces; anything else becomes a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
     }
 }
 
@@ -56,6 +126,7 @@ impl Trial {
 pub struct TrialRunner {
     workers: usize,
     base_seed: u64,
+    deadline: Option<u64>,
 }
 
 impl Default for TrialRunner {
@@ -116,12 +187,12 @@ impl TrialRunner {
                 );
             });
         }
-        TrialRunner { workers, base_seed: DEFAULT_BASE_SEED }
+        TrialRunner { workers, base_seed: DEFAULT_BASE_SEED, deadline: None }
     }
 
     /// A single-threaded runner — the reference path for determinism checks.
     pub fn sequential() -> Self {
-        TrialRunner { workers: 1, base_seed: DEFAULT_BASE_SEED }
+        TrialRunner { workers: 1, base_seed: DEFAULT_BASE_SEED, deadline: None }
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
@@ -136,6 +207,22 @@ impl TrialRunner {
         self
     }
 
+    /// Sets a per-trial device-cycle deadline, handed to every trial as
+    /// [`Trial::deadline`]. The trial closure is responsible for imposing
+    /// it on its simulation (channels expose `with_bit_budget` /
+    /// `with_cycle_budget` for exactly this); an overrun then surfaces as
+    /// [`TrialError::DeadlineExceeded`] through [`TrialRunner::run_caught`]
+    /// instead of hanging the whole sweep on one stuck handshake.
+    pub fn with_deadline(mut self, cycles: u64) -> Self {
+        self.deadline = Some(cycles);
+        self
+    }
+
+    /// The per-trial cycle deadline, if one is set.
+    pub fn deadline(&self) -> Option<u64> {
+        self.deadline
+    }
+
     /// The resolved worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -147,23 +234,28 @@ impl TrialRunner {
         mix_seed(self.base_seed, index as u64)
     }
 
-    /// Runs `trials` independent trials of `f`, returning results in trial
-    /// order. Work is claimed from a shared atomic counter, so threads never
-    /// idle while trials remain; results are written back by index, so the
-    /// output order (and content, for deterministic `f`) is identical for
-    /// every worker count.
-    pub fn run<T, F>(&self, trials: usize, f: F) -> Vec<T>
+    fn trial(&self, index: usize) -> Trial {
+        Trial { index, seed: self.seed_for(index), deadline: self.deadline }
+    }
+
+    /// The panic-isolating core: every trial runs under `catch_unwind`, so
+    /// one panicking trial cannot poison a result slot or tear down the
+    /// scope while other workers hold unfinished trials. Returns each
+    /// trial's value or its panic payload, in index order.
+    fn run_raw<T, F>(&self, trials: usize, f: &F) -> Vec<Result<T, Box<dyn std::any::Any + Send>>>
     where
         T: Send,
         F: Fn(Trial) -> T + Sync,
     {
-        let trial = |index: usize| Trial { index, seed: self.seed_for(index) };
         let effective = self.workers.min(trials.max(1));
         if effective <= 1 {
-            return (0..trials).map(|i| f(trial(i))).collect();
+            return (0..trials)
+                .map(|i| catch_unwind(AssertUnwindSafe(|| f(self.trial(i)))))
+                .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+        type Slot<T> = Mutex<Option<Result<T, Box<dyn std::any::Any + Send>>>>;
+        let slots: Vec<Slot<T>> = (0..trials).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..effective {
                 scope.spawn(|| loop {
@@ -171,8 +263,9 @@ impl TrialRunner {
                     if i >= trials {
                         break;
                     }
-                    let value = f(trial(i));
-                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                    let value = catch_unwind(AssertUnwindSafe(|| f(self.trial(i))));
+                    *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(value);
                 });
             }
         });
@@ -180,10 +273,216 @@ impl TrialRunner {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .expect("every trial index was claimed exactly once")
             })
             .collect()
+    }
+
+    /// Runs `trials` independent trials of `f`, returning results in trial
+    /// order. Work is claimed from a shared atomic counter, so threads never
+    /// idle while trials remain; results are written back by index, so the
+    /// output order (and content, for deterministic `f`) is identical for
+    /// every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panicking trial's payload — but only after every other
+    /// trial in the batch has completed, and always the *lowest-indexed*
+    /// panic, so the observable behavior is identical for every worker
+    /// count (previously a panic on one worker could poison result slots
+    /// and abort unrelated trials non-deterministically). Use
+    /// [`TrialRunner::run_caught`] to receive per-trial errors instead.
+    pub fn run<T, F>(&self, trials: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+    {
+        let mut results = Vec::with_capacity(trials);
+        let mut first_panic = None;
+        for outcome in self.run_raw(trials, &f) {
+            match outcome {
+                Ok(v) => results.push(v),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        results
+    }
+
+    /// As [`TrialRunner::run`] for fallible trials, with full per-trial
+    /// fault isolation: a trial that returns an error, panics, or blows
+    /// through its cycle deadline yields an `Err(`[`TrialError`]`)` in its
+    /// slot while the rest of the batch completes normally — one hung or
+    /// crashed configuration no longer costs the whole sweep.
+    pub fn run_caught<T, F>(&self, trials: usize, f: F) -> Vec<Result<T, TrialError>>
+    where
+        T: Send,
+        F: Fn(Trial) -> Result<T, CovertError> + Sync,
+    {
+        self.run_raw(trials, &f)
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(e)) => Err(TrialError::from_covert(&e)),
+                Err(payload) => Err(TrialError::Panicked { message: panic_message(&*payload) }),
+            })
+            .collect()
+    }
+
+    /// As [`TrialRunner::run`], checkpointing results to `path` so an
+    /// interrupted sweep resumes instead of recomputing: completed trials
+    /// are appended to the file (header + one `encode`d line per trial, in
+    /// index order, flushed as the contiguous done-prefix grows), and on
+    /// the next call with the same `path` every line that `decode`s is
+    /// trusted and only the remainder is run. The header pins the base
+    /// seed and trial count, so a checkpoint can never silently resume a
+    /// *different* sweep; an undecodable tail (torn write at the moment of
+    /// a crash) is discarded and recomputed.
+    ///
+    /// `encode` must produce a single line (no `\n`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures reading or writing `path`, and
+    /// [`std::io::ErrorKind::InvalidData`] when the file's header does not
+    /// match this runner's base seed and `trials`.
+    ///
+    /// # Panics
+    ///
+    /// As [`TrialRunner::run`] — a panicking trial is re-raised after the
+    /// batch drains, with every completed trial up to the panic already
+    /// flushed to the checkpoint.
+    pub fn run_checkpointed<T, F, Enc, Dec>(
+        &self,
+        trials: usize,
+        path: &std::path::Path,
+        encode: Enc,
+        decode: Dec,
+        f: F,
+    ) -> std::io::Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+        Enc: Fn(&T) -> String + Sync,
+        Dec: Fn(&str) -> Option<T>,
+    {
+        use std::io::Write;
+        let header =
+            format!("gpgpu-sweep-checkpoint v1 base_seed={:#018x} trials={trials}", self.base_seed);
+        let mut done: Vec<T> = Vec::new();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                match lines.next() {
+                    Some(h) if h == header => {
+                        for line in lines {
+                            if done.len() >= trials {
+                                break;
+                            }
+                            match decode(line) {
+                                Some(v) => done.push(v),
+                                None => break,
+                            }
+                        }
+                    }
+                    Some(h) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("checkpoint header mismatch: expected `{header}`, found `{h}`"),
+                        ));
+                    }
+                    None => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        // Rewrite header + trusted prefix, dropping any undecodable tail.
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(writer, "{header}")?;
+        for v in &done {
+            writeln!(writer, "{}", encode(v))?;
+        }
+        writer.flush()?;
+        let resumed_at = done.len();
+        if resumed_at >= trials {
+            return Ok(done);
+        }
+
+        type Slot<T> = Mutex<Option<Result<T, Box<dyn std::any::Any + Send>>>>;
+        let pending: Vec<Slot<T>> = (resumed_at..trials).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(resumed_at);
+        // (writer, next index to flush, first write error). Lock order is
+        // always sink → slot; slot writers never hold a slot lock while
+        // waiting on the sink.
+        let sink = Mutex::new((writer, resumed_at, None::<std::io::Error>));
+        let effective = self.workers.min(trials - resumed_at).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..effective {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let value = catch_unwind(AssertUnwindSafe(|| f(self.trial(i))));
+                    *pending[i - resumed_at]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+                    let mut guard = sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let (writer, flushed, err) = &mut *guard;
+                    while *flushed < trials {
+                        let slot = pending[*flushed - resumed_at]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        match slot.as_ref() {
+                            Some(Ok(v)) => {
+                                if err.is_none() {
+                                    let line = encode(v);
+                                    if let Err(e) =
+                                        writeln!(writer, "{line}").and_then(|()| writer.flush())
+                                    {
+                                        *err = Some(e);
+                                    }
+                                }
+                            }
+                            // A panicked trial (or one still running) stops
+                            // the contiguous flush; resume recomputes from
+                            // here.
+                            Some(Err(_)) | None => break,
+                        }
+                        *flushed += 1;
+                    }
+                });
+            }
+        });
+        let (mut writer, _, err) =
+            sink.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        writer.flush()?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let mut first_panic = None;
+        for slot in pending {
+            match slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every trial index was claimed exactly once")
+            {
+                Ok(v) => done.push(v),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        Ok(done)
     }
 
     /// Maps `f` over `items` in parallel, preserving item order — the sweep
@@ -307,5 +606,125 @@ mod tests {
         let r = TrialRunner::new().with_workers(8);
         assert!(r.run(0, |t| t.index).is_empty());
         assert_eq!(r.run(1, |t| t.index), vec![0]);
+    }
+
+    #[test]
+    fn a_panicking_trial_does_not_poison_the_batch() {
+        // Regression: a panic on one worker used to poison its result-slot
+        // Mutex and abort unrelated trials with "result slot poisoned". Now
+        // the batch drains, then the panic is re-raised with its payload.
+        for workers in [1usize, 4] {
+            let completed = AtomicUsize::new(0);
+            let r = TrialRunner::sequential().with_workers(workers);
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                r.run(16, |t| {
+                    if t.index == 5 {
+                        panic!("trial 5 exploded");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    t.index
+                })
+            }))
+            .unwrap_err();
+            assert_eq!(panic_message(&*err), "trial 5 exploded", "workers={workers}");
+            assert_eq!(
+                completed.load(Ordering::Relaxed),
+                15,
+                "all other trials completed (workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_panics_reraise_the_lowest_index_deterministically() {
+        let r = TrialRunner::sequential().with_workers(8);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            r.run(32, |t| {
+                if t.index % 7 == 3 {
+                    panic!("boom at {}", t.index);
+                }
+                t.index
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(panic_message(&*err), "boom at 3");
+    }
+
+    #[test]
+    fn run_caught_isolates_panics_errors_and_deadlines() {
+        let r = TrialRunner::sequential().with_workers(4).with_deadline(1_000);
+        let out = r.run_caught(6, |t| {
+            assert_eq!(t.deadline, Some(1_000));
+            match t.index {
+                1 => panic!("kaboom"),
+                2 => Err(CovertError::Sim(gpgpu_sim::SimError::CycleLimitExceeded {
+                    limit: t.deadline.unwrap(),
+                })),
+                3 => Err(CovertError::ZeroCycleTransmission),
+                _ => Ok(t.index),
+            }
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Err(TrialError::Panicked { message: "kaboom".into() }));
+        assert_eq!(out[2], Err(TrialError::DeadlineExceeded { budget: 1_000 }));
+        assert!(matches!(&out[3], Err(TrialError::Failed(m)) if m.contains("zero cycles")));
+        assert_eq!(out[4], Ok(4));
+        assert_eq!(out[5], Ok(5));
+        // The error type prints something a human can act on.
+        assert!(out[2].as_ref().unwrap_err().to_string().contains("1000-cycle deadline"));
+    }
+
+    #[test]
+    fn checkpoint_resumes_without_recomputing_the_done_prefix() {
+        let dir = std::env::temp_dir().join(format!("gpgpu-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let r = TrialRunner::sequential().with_workers(3).with_base_seed(99);
+        let enc = |v: &u64| v.to_string();
+        let dec = |s: &str| s.parse::<u64>().ok();
+        let computed = AtomicUsize::new(0);
+        let work = |t: Trial| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            t.seed ^ t.index as u64
+        };
+        let full = r.run_checkpointed(12, &path, enc, dec, work).unwrap();
+        assert_eq!(computed.load(Ordering::Relaxed), 12);
+        assert_eq!(full, r.run(12, |t| t.seed ^ t.index as u64));
+
+        // Truncate the checkpoint to 7 results + a torn partial line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(8).collect();
+        std::fs::write(&path, format!("{}\ngarbage-tail", keep.join("\n"))).unwrap();
+        computed.store(0, Ordering::Relaxed);
+        let resumed = r.run_checkpointed(12, &path, enc, dec, work).unwrap();
+        assert_eq!(resumed, full, "resume reproduces the identical batch");
+        assert_eq!(computed.load(Ordering::Relaxed), 5, "only the missing tail was recomputed");
+
+        // A finished checkpoint recomputes nothing.
+        computed.store(0, Ordering::Relaxed);
+        assert_eq!(r.run_checkpointed(12, &path, enc, dec, work).unwrap(), full);
+        assert_eq!(computed.load(Ordering::Relaxed), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_rejects_a_mismatched_sweep() {
+        let dir = std::env::temp_dir().join(format!("gpgpu-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let enc = |v: &u64| v.to_string();
+        let dec = |s: &str| s.parse::<u64>().ok();
+        let a = TrialRunner::sequential().with_base_seed(1);
+        a.run_checkpointed(4, &path, enc, dec, |t| t.seed).unwrap();
+        // Different base seed => different sweep => refuse to resume.
+        let b = TrialRunner::sequential().with_base_seed(2);
+        let err = b.run_checkpointed(4, &path, enc, dec, |t| t.seed).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Different trial count is a different sweep too.
+        let err = a.run_checkpointed(8, &path, enc, dec, |t| t.seed).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -25,6 +25,8 @@
 //! | [`mitigations`] | §9 | cache partitioning, scheduler randomization, clock fuzzing — and what each does to the channels |
 //! | [`bits`] | §5, §8 | messages, bit-error rate, Hamming(7,4) error correction |
 //! | [`framing`] | §7.1 | CRC-8 frames with preamble resynchronization and selective-repeat ARQ over faulted channels |
+//! | [`calibrate`] | §8 | pilot-symbol handshake fitting decode thresholds online |
+//! | [`linkmon`] | §8 | link-quality monitor + degradation ladder (re-calibrate, stretch, channel-family fallback) |
 //! | [`harness`] | — | deterministic multi-threaded trial runner powering every sweep |
 //!
 //! # Quickstart
@@ -48,6 +50,7 @@
 pub mod atomic_channel;
 pub mod bits;
 pub mod cache_channel;
+pub mod calibrate;
 pub mod channel;
 pub mod colocation;
 mod error;
@@ -55,6 +58,7 @@ pub mod framing;
 pub mod fu_channel;
 pub mod harness;
 pub mod kernels;
+pub mod linkmon;
 pub mod microbench;
 pub mod mitigations;
 pub mod noise;

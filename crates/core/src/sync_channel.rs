@@ -21,6 +21,7 @@
 
 use crate::bits::Message;
 use crate::cache_channel::CacheLevel;
+use crate::calibrate::{pilot_pattern, Calibration};
 use crate::channel::ChannelOutcome;
 use crate::kernels::{
     emit_block_dispatch, emit_fill, emit_probe_count_misses, emit_spin_wait, miss_threshold, SetRef,
@@ -29,6 +30,10 @@ use crate::CovertError;
 use gpgpu_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
 use gpgpu_sim::{Device, KernelSpec};
 use gpgpu_spec::{DeviceSpec, LaunchConfig};
+
+/// Maps a message bit index and its redundancy window of probe miss counts
+/// to a decoded bit (or stashes the raw window, for calibration pilots).
+type WindowDecoder<'a> = &'a dyn Fn(usize, &[u64]) -> Result<bool, CovertError>;
 
 /// Default data-set fill/probe repetitions per round (robustness knob; the
 /// paper's synchronized channels keep per-bit redundancy against noise).
@@ -77,6 +82,12 @@ pub struct SyncChannel {
     /// Deterministic fault plan installed on the device for the run
     /// (`None` leaves the fault hooks disabled — the common case).
     pub fault_plan: Option<gpgpu_sim::FaultPlan>,
+    /// Fitted decode rule from a pilot handshake; `None` uses the static
+    /// rule (any redundancy window probe with >= 2 misses).
+    pub calibration: Option<Calibration>,
+    /// Override of the whole-transmission simulated-cycle budget (watchdog
+    /// deadline); `None` uses the schedule-derived default.
+    pub cycle_budget: Option<u64>,
 }
 
 impl SyncChannel {
@@ -93,7 +104,21 @@ impl SyncChannel {
             exclusive: false,
             tuning: gpgpu_sim::DeviceTuning::none(),
             fault_plan: None,
+            calibration: None,
+            cycle_budget: None,
         }
+    }
+
+    /// Decodes with a fitted calibration instead of the static rule.
+    pub fn with_calibration(mut self, cal: Calibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// Overrides the whole-transmission simulated-cycle watchdog budget.
+    pub fn with_cycle_budget(mut self, budget: u64) -> Self {
+        self.cycle_budget = Some(budget);
+        self
     }
 
     /// Applies device tuning (mitigations / placement policy).
@@ -401,6 +426,63 @@ impl SyncChannel {
         msg: &Message,
         noise: Vec<KernelSpec>,
     ) -> Result<SyncRun, CovertError> {
+        let cal = self.calibration.clone().unwrap_or_else(|| self.static_calibration());
+        self.run_protocol(msg, noise, &|_, window| cal.decode(window))
+    }
+
+    /// The static spec-derived decode rule (the initial guess a pilot
+    /// refines): a bit is 1 when any probe in its redundancy window saw at
+    /// least 2 misses (a full trojan fill evicts all `ways` lines; >= 2
+    /// filters the single-miss churn of signal-set interleaving).
+    pub fn static_calibration(&self) -> Calibration {
+        Calibration::from_spec(2, 1)
+    }
+
+    /// Runs the pilot handshake over this channel's full environment
+    /// (tuning, faults, the given noise co-runners): transmits the known
+    /// [`pilot_pattern`] and fits a decode rule from the raw per-window
+    /// probe miss counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transmission failures; [`CovertError::Config`] when the
+    /// pilot distributions are inseparable (e.g. a co-runner stomps every
+    /// set), which the link layer treats as a signal to escalate.
+    pub fn calibrate_with_noise(
+        &self,
+        pilot_bits: usize,
+        noise: Vec<KernelSpec>,
+    ) -> Result<Calibration, CovertError> {
+        let pilot = pilot_pattern(pilot_bits);
+        let msg = Message::from_bits(pilot.clone());
+        let stash = std::cell::RefCell::new(vec![Vec::new(); pilot.len()]);
+        let decode = |idx: usize, window: &[u64]| {
+            stash.borrow_mut()[idx] = window.to_vec();
+            Ok(false)
+        };
+        self.run_protocol(&msg, noise, &decode)?;
+        let per_bit = stash.into_inner();
+        Calibration::fit(&pilot, &per_bit)
+    }
+
+    /// [`SyncChannel::calibrate_with_noise`] on a quiet device.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncChannel::calibrate_with_noise`].
+    pub fn calibrate(&self, pilot_bits: usize) -> Result<Calibration, CovertError> {
+        self.calibrate_with_noise(pilot_bits, Vec::new())
+    }
+
+    /// Runs the Figure-11 protocol end to end; `decode` maps each in-range
+    /// message bit index and its redundancy window of probe miss counts to
+    /// a bit value (or stashes the raw window, for calibration pilots).
+    fn run_protocol(
+        &self,
+        msg: &Message,
+        noise: Vec<KernelSpec>,
+        decode: WindowDecoder<'_>,
+    ) -> Result<SyncRun, CovertError> {
         if msg.is_empty() {
             let o = ChannelOutcome::from_run(&self.spec, msg.clone(), msg.clone(), 1);
             return Ok(SyncRun {
@@ -443,19 +525,22 @@ impl SyncChannel {
             noise_ids.push(dev.launch(2 + i as u32, n)?);
         }
         // Budget: generous per-round allowance to absorb timeout recovery,
-        // plus room for noise workloads to drain.
-        let budget = (rounds as u64 + 4)
-            * (self.timeout_iters * self.retries / 4 + 4_000)
-            * u64::from(self.data_sets.max(1))
-            + 10 * self.spec.launch_overhead_cycles;
-        dev.run_until_idle(budget.max(50_000_000))?;
+        // plus room for noise workloads to drain. An explicit
+        // `cycle_budget` (the harness watchdog deadline) takes precedence.
+        let budget = self.cycle_budget.unwrap_or_else(|| {
+            ((rounds as u64 + 4)
+                * (self.timeout_iters * self.retries / 4 + 4_000)
+                * u64::from(self.data_sets.max(1))
+                + 10 * self.spec.launch_overhead_cycles)
+                .max(50_000_000)
+        });
+        dev.run_until_idle(budget)?;
         let results = dev.results(spy)?;
         let noise_results: Vec<gpgpu_sim::KernelResults> =
             noise_ids.into_iter().map(|id| dev.results(id)).collect::<Result<_, _>>()?;
 
-        // Decode: bit(b, r, m) = any of the round's redundant probes saw >= 2
-        // misses (a full trojan fill evicts all `ways` lines; >= 2 filters the
-        // single-miss churn of signal-set interleaving).
+        // Decode: each bit's evidence is its round's redundancy window of
+        // probe miss counts, handed to the decode rule (static or fitted).
         let r_per_round = self.redundancy as usize;
         let mut received = vec![false; msg.len()];
         for (blk, chunk_bits) in chunks.iter().enumerate() {
@@ -472,10 +557,9 @@ impl SyncChannel {
                 }
                 for r in 0..rounds {
                     let window = &samples[r * r_per_round..(r + 1) * r_per_round];
-                    let bit = window.iter().any(|&c| c >= 2);
                     let idx = blk * chunk + r * m + dm;
                     if r * m + dm < chunk && idx < msg.len() {
-                        received[idx] = bit;
+                        received[idx] = decode(idx, window)?;
                     }
                 }
             }

@@ -171,7 +171,7 @@ pub fn discover_and_transmit(
                 received.push(decode_from_miss_counts(
                     samples,
                     (iterations_per_bit as usize / 4).max(2),
-                ));
+                )?);
             }
             let cycles = dev.now() - start_cycle;
             outcome = Some(

@@ -1,0 +1,241 @@
+//! End-to-end tests for the adaptive link layer: online calibration,
+//! link-quality-driven escalation, channel-family fallback, and the
+//! harness's per-trial fault isolation.
+//!
+//! The acceptance scenario mirrors the paper's Section-8 interference
+//! setup at its worst: the PR-3 calibrated phantom-eviction storm *plus* a
+//! constant-cache-hog co-runner. Static thresholds lose the channel
+//! outright; the adaptive ladder must get every bit across with no manual
+//! retuning, and its diagnostic must say how.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::calibrate::CalibrationSource;
+use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::harness::{TrialError, TrialRunner};
+use gpgpu_covert::linkmon::{AdaptiveLink, ChannelFamily, LadderStage, LinkEnvironment};
+use gpgpu_covert::noise::{noise_kernel, NoiseKind};
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_covert::CovertError;
+use gpgpu_sim::{FaultKinds, FaultPlan};
+use gpgpu_spec::presets;
+
+/// The PR-3 calibrated cache-fault storm: full-intensity eviction bursts +
+/// phantom-workload storms on the sync channel's first data set, with the
+/// burst period sized so raw sync BER lands well above 10%.
+fn storm_plan() -> FaultPlan {
+    FaultPlan::new(0xFA_0175)
+        .with_intensity(1.0)
+        .with_period(900_000)
+        .with_burst(280_000)
+        .with_target_set(2)
+        .with_kinds(FaultKinds::cache())
+}
+
+fn hostile_env(bits: usize) -> LinkEnvironment {
+    LinkEnvironment::clean()
+        .with_faults(storm_plan())
+        .with_noise(vec![NoiseKind::ConstantCacheHog], 40 + 30 * bits as u64)
+}
+
+// ---------------------------------------------------------------- calibration
+
+#[test]
+fn pilot_calibration_converges_on_a_quiet_device() {
+    let spec = presets::tesla_k40c();
+    // The synchronized channel's pilot fit must separate cleanly and agree
+    // with the static rule bit for bit.
+    let ch = SyncChannel::new(spec.clone());
+    let cal = ch.calibrate(12).expect("pilot handshake runs");
+    assert!(cal.converged(), "quiet-device pilot must converge: {cal:?}");
+    assert!(cal.margin > 0, "positive separation margin, got {}", cal.margin);
+    assert_eq!(cal.source, CalibrationSource::Pilot { pilot_bits: 12 });
+    let msg = Message::pseudo_random(24, 0xCAB);
+    let static_out = ch.transmit(&msg).expect("static transmit");
+    let fitted_out =
+        SyncChannel::new(spec.clone()).with_calibration(cal).transmit(&msg).expect("fitted");
+    assert_eq!(static_out.received, fitted_out.received, "fitted rule agrees with static");
+    assert_eq!(fitted_out.received, msg);
+
+    // The SFU channel's pilot converges too (different family, same API).
+    let cal = SfuChannel::new(spec).calibrate(8).expect("sfu pilot runs");
+    assert!(cal.converged(), "{cal:?}");
+}
+
+#[test]
+fn calibration_under_a_full_cache_hog_reports_inseparable() {
+    // When a co-runner stomps every L1 set, there is no threshold to fit —
+    // the pilot must say so (the ladder treats this as an escalate signal)
+    // rather than hand back a garbage rule.
+    let spec = presets::tesla_k40c();
+    let noise = vec![noise_kernel(&spec, NoiseKind::ConstantCacheHog, 400)];
+    let err = SyncChannel::new(spec).calibrate_with_noise(12, noise).unwrap_err();
+    match err {
+        CovertError::Config { reason } => {
+            assert!(reason.contains("inseparable"), "{reason}")
+        }
+        other => panic!("expected Config(inseparable), got {other:?}"),
+    }
+}
+
+// -------------------------------------------------------- adaptive vs static
+
+#[test]
+fn adaptive_never_does_worse_than_static_under_any_noise_kind() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(24, 0x0152);
+    for kind in NoiseKind::ALL {
+        let env = LinkEnvironment::clean().with_noise(vec![kind], 40 + 30 * msg.len() as u64);
+        let link = AdaptiveLink::new(spec.clone()).with_env(env);
+        let s = link.transmit_static(&msg).expect("static arm runs");
+        let a = link.transmit(&msg).expect("adaptive runs");
+        assert!(
+            a.diagnostic.ber <= s.diagnostic.ber,
+            "{kind:?}: adaptive BER {} > static BER {}",
+            a.diagnostic.ber,
+            s.diagnostic.ber
+        );
+        assert!(a.diagnostic.delivered, "{kind:?}: adaptive must deliver; {}", a.diagnostic);
+        assert_eq!(a.received, msg, "{kind:?}");
+    }
+}
+
+#[test]
+fn adaptive_never_does_worse_than_static_under_the_calibrated_storm() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(24, 0x0153);
+    let env = LinkEnvironment::clean().with_faults(storm_plan());
+    let link = AdaptiveLink::new(spec).with_env(env);
+    let s = link.transmit_static(&msg).expect("static arm runs");
+    let a = link.transmit(&msg).expect("adaptive runs");
+    assert!(a.diagnostic.ber <= s.diagnostic.ber);
+    assert!(a.diagnostic.delivered, "{}", a.diagnostic);
+    assert_eq!(a.received, msg);
+}
+
+#[test]
+fn acceptance_storm_plus_hog_static_fails_adaptive_recovers_bit_exact() {
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(32, 0xACCE);
+    let link = AdaptiveLink::new(spec).with_env(hostile_env(msg.len()));
+
+    // Static decoding loses the channel outright.
+    let s = link.transmit_static(&msg).expect("static arm runs");
+    assert!(!s.diagnostic.delivered, "static must fail under storm + hog: {}", s.diagnostic);
+    assert!(s.diagnostic.ber > 0.0, "static BER must be > 0, got {}", s.diagnostic.ber);
+
+    // The adaptive ladder recovers BER 0 with no manual retuning.
+    let a = link.transmit(&msg).expect("adaptive runs");
+    assert!(a.diagnostic.delivered, "{}", a.diagnostic);
+    assert_eq!(a.diagnostic.ber, 0.0, "{}", a.diagnostic);
+    assert_eq!(a.received, msg, "bit-exact recovery");
+
+    // The diagnostic records which stages fired: the stomped L1 family's
+    // static rung failed, a fallback happened, and the final family is not
+    // the stomped one.
+    let stages = &a.diagnostic.stages;
+    assert!(
+        stages.iter().any(|e| e.stage == LadderStage::Static
+            && e.family == ChannelFamily::CacheL1Sync
+            && !e.recovered),
+        "trace must show the l1-sync static rung failing: {}",
+        a.diagnostic
+    );
+    assert!(
+        stages.iter().any(|e| e.stage == LadderStage::Fallback),
+        "trace must show the family fallback: {}",
+        a.diagnostic
+    );
+    assert_ne!(a.diagnostic.final_family, ChannelFamily::CacheL1Sync, "{}", a.diagnostic);
+    let rendered = a.diagnostic.to_string();
+    assert!(rendered.contains("fallback") && rendered.contains("delivered"), "{rendered}");
+}
+
+#[test]
+fn clean_device_adaptive_is_bit_identical_to_static() {
+    let link = AdaptiveLink::new(presets::tesla_k40c());
+    let msg = Message::pseudo_random(48, 0x1DE1);
+    let a = link.transmit(&msg).expect("adaptive");
+    let s = link.transmit_static(&msg).expect("static");
+    assert_eq!(a.received, s.received);
+    assert_eq!(a.report, s.report, "same rounds, frames, and simulated cycles");
+    assert_eq!(a.diagnostic.stages.len(), 1, "no escalation on a clean device");
+}
+
+// ------------------------------------------------------- harness robustness
+
+#[test]
+fn panicking_and_deadline_trials_are_isolated_per_slot() {
+    let spec = presets::tesla_k40c();
+    let runner = TrialRunner::sequential().with_workers(4).with_deadline(1_000);
+    let batch = |r: &TrialRunner| {
+        r.run_caught(5, |t| {
+            match t.index {
+                // A hung-handshake stand-in: the sync channel cannot finish
+                // inside the trial deadline, surfacing CycleLimitExceeded.
+                1 => {
+                    let ch = SyncChannel::new(spec.clone())
+                        .with_cycle_budget(t.deadline.expect("runner sets a deadline"));
+                    ch.transmit(&Message::pseudo_random(8, t.seed)).map(|o| o.received)
+                }
+                // A crashing trial.
+                3 => panic!("trial {} crashed", t.index),
+                // Healthy neighbors: a real transmission each.
+                _ => L1Channel::new(spec.clone())
+                    .transmit(&Message::pseudo_random(8, 0xF00D ^ t.index as u64))
+                    .map(|o| o.received),
+            }
+        })
+    };
+    let out = batch(&runner);
+    assert_eq!(out.len(), 5);
+    assert_eq!(out[1], Err(TrialError::DeadlineExceeded { budget: 1_000 }));
+    assert_eq!(out[3], Err(TrialError::Panicked { message: "trial 3 crashed".into() }));
+    for i in [0, 2, 4] {
+        let received = out[i].as_ref().unwrap_or_else(|e| panic!("trial {i} failed: {e}"));
+        assert_eq!(*received, Message::pseudo_random(8, 0xF00D ^ i as u64), "trial {i}");
+    }
+    // The whole batch — including which slots erred and why — is identical
+    // for every worker count.
+    let seq = batch(&TrialRunner::sequential().with_deadline(1_000));
+    assert_eq!(out, seq, "per-trial verdicts are worker-count independent");
+}
+
+#[test]
+fn checkpointed_sweep_resumes_deterministically_with_real_transmissions() {
+    let spec = presets::tesla_k40c();
+    let dir = std::env::temp_dir().join(format!("gpgpu-adaptive-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("l1-sweep.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let runner = TrialRunner::sequential().with_workers(2).with_base_seed(0xCC);
+    let encode =
+        |m: &Message| m.bits().iter().map(|&b| if b { '1' } else { '0' }).collect::<String>();
+    let decode = |s: &str| {
+        s.chars()
+            .map(|c| match c {
+                '0' => Some(false),
+                '1' => Some(true),
+                _ => None,
+            })
+            .collect::<Option<Vec<bool>>>()
+            .map(Message::from_bits)
+    };
+    let work = |t: gpgpu_covert::harness::Trial| {
+        L1Channel::new(spec.clone())
+            .transmit(&Message::pseudo_random(8, t.seed))
+            .expect("transmits")
+            .received
+    };
+    let full = runner.run_checkpointed(6, &path, encode, decode, work).unwrap();
+    assert_eq!(full.len(), 6);
+
+    // Drop the last two results; the resume must recompute exactly those
+    // and reproduce the identical batch.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(5).collect();
+    std::fs::write(&path, keep.join("\n")).unwrap();
+    let resumed = runner.run_checkpointed(6, &path, encode, decode, work).unwrap();
+    assert_eq!(resumed, full);
+    let _ = std::fs::remove_file(&path);
+}
