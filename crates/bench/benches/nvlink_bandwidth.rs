@@ -1,0 +1,53 @@
+//! NVLink cross-GPU channel: bandwidth vs symbol time over a dual-Kepler
+//! topology. The link is slot-arbitrated like an FU issue port, so the
+//! channel inherits the paper's bandwidth/robustness trade-off: stretching
+//! the probe window lowers bandwidth monotonically while every operating
+//! point on a clean fabric stays error-free (the curve NVBleed measures on
+//! real NVLink hardware — see `PAPERS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::data::nvlink_bandwidth_sweep;
+use gpgpu_bench::report::render_series;
+
+fn quick() -> bool {
+    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn bench(c: &mut Criterion) {
+    // The sweep starts at the default window (2048 cycles): below it the
+    // probe batch itself dominates the symbol time and the curve flattens.
+    let (bits, windows): (usize, &[u64]) = if quick() {
+        (16, &[2_048, 8_192, 32_768])
+    } else {
+        (32, &[2_048, 4_096, 8_192, 16_384, 32_768, 65_536])
+    };
+    let pts = nvlink_bandwidth_sweep(bits, windows);
+    let series: Vec<(f64, f64)> =
+        pts.iter().map(|p| (p.window_cycles as f64, p.bandwidth_kbps)).collect();
+    println!(
+        "{}",
+        render_series("NVLink bandwidth vs symbol time", "window cycles", "Kbps", &series)
+    );
+    // Shape: error-free everywhere on the clean fabric, bandwidth strictly
+    // falling as the window stretches.
+    for p in &pts {
+        assert_eq!(p.ber, 0.0, "clean dual-GPU link must be error-free: {p:?}");
+    }
+    for w in pts.windows(2) {
+        assert!(
+            w[1].bandwidth_kbps < w[0].bandwidth_kbps,
+            "stretching the window must cost bandwidth: {w:?}"
+        );
+    }
+
+    c.bench_function("nvlink_16bits_default_window", |b| {
+        b.iter(|| nvlink_bandwidth_sweep(16, &[2_048]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -15,9 +15,10 @@ use gpgpu_covert::harness::TrialRunner;
 use gpgpu_covert::linkmon::{AdaptiveLink, LinkEnvironment};
 use gpgpu_covert::microbench::{cache_sweep, fig2_sizes, fig3_sizes, fu_latency_sweep};
 use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
+use gpgpu_covert::nvlink_channel::NvlinkChannel;
 use gpgpu_covert::parallel::{CombinedChannel, ParallelSfuChannel};
 use gpgpu_covert::sync_channel::SyncChannel;
-use gpgpu_spec::{presets, DeviceSpec, FuOpKind};
+use gpgpu_spec::{presets, DeviceSpec, FuOpKind, TopologySpec};
 
 fn msg(bits: usize) -> Message {
     Message::pseudo_random(bits, 0x5EED_CAFE)
@@ -514,6 +515,40 @@ pub fn sec8(bits: usize) -> Vec<Row> {
     rows
 }
 
+/// One point of the NVLink bandwidth-vs-symbol-time curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvlinkSweepPoint {
+    /// Minimum symbol time in cycles (the pacing knob).
+    pub window_cycles: u64,
+    /// Achieved bandwidth, Kbps.
+    pub bandwidth_kbps: f64,
+    /// Bit error rate at this operating point.
+    pub ber: f64,
+    /// Total simulated cycles of the transmission.
+    pub cycles: u64,
+}
+
+/// NVLink bandwidth vs symbol time over a dual-Kepler topology (the
+/// NVBleed-style curve): stretching the probe window trades bandwidth for
+/// noise immunity exactly like the intra-GPU channels. Each window is an
+/// independent deterministic trial fanned across the harness.
+pub fn nvlink_bandwidth_sweep(bits: usize, windows: &[u64]) -> Vec<NvlinkSweepPoint> {
+    let m = msg(bits);
+    TrialRunner::new().map(windows, |_, &w| {
+        let o = NvlinkChannel::new(TopologySpec::dual("kepler").expect("dual topology"))
+            .expect("channel builds")
+            .with_window(w)
+            .transmit(&m)
+            .expect("nvlink transmits");
+        NvlinkSweepPoint {
+            window_cycles: w,
+            bandwidth_kbps: o.bandwidth_kbps,
+            ber: o.ber,
+            cycles: o.cycles,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +589,14 @@ mod tests {
             storm.arq_goodput_kbps,
             clean.arq_goodput_kbps
         );
+    }
+
+    #[test]
+    fn nvlink_sweep_trades_bandwidth_for_symbol_time() {
+        let pts = nvlink_bandwidth_sweep(16, &[2_048, 16_384]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.ber == 0.0), "clean link is error-free: {pts:?}");
+        assert!(pts[1].bandwidth_kbps < pts[0].bandwidth_kbps, "{pts:?}");
     }
 
     #[test]

@@ -118,6 +118,8 @@ pub fn render_contention_profile(records: &[TraceRecord], kernel_names: &[String
     let mut l1_set_evictions: BTreeMap<u64, u64> = BTreeMap::new();
     let mut l2_set_evictions: BTreeMap<u64, u64> = BTreeMap::new();
     let mut per_kernel: BTreeMap<u32, KernelStats> = BTreeMap::new();
+    // link index -> (transfers, flits, queue cycles)
+    let mut per_link: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
 
     for r in records {
         match r.event {
@@ -166,6 +168,12 @@ pub fn render_contention_profile(records: &[TraceRecord], kernel_names: &[String
                 k.gmem_queue_cycles += queue_cycles;
             }
             TraceEvent::BarrierArrive { .. } | TraceEvent::BarrierRelease { .. } => {}
+            TraceEvent::LinkTransfer { link, flits, queue_cycles, .. } => {
+                let l = per_link.entry(link).or_default();
+                l.0 += 1;
+                l.1 += flits;
+                l.2 += queue_cycles;
+            }
         }
     }
 
@@ -208,6 +216,15 @@ pub fn render_contention_profile(records: &[TraceRecord], kernel_names: &[String
         let _ = writeln!(out, "  L2 evictions per set:");
         for (set, n) in &l2_set_evictions {
             let _ = writeln!(out, "    set {set:>3}: {n}");
+        }
+    }
+    if !per_link.is_empty() {
+        let _ = writeln!(out, "  inter-device link traffic:");
+        for (link, (transfers, flits, queue)) in &per_link {
+            let _ = writeln!(
+                out,
+                "    link {link}: {transfers} transfers, {flits} flits, {queue} queue cycles"
+            );
         }
     }
     if !per_kernel.is_empty() {

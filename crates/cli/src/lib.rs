@@ -13,9 +13,10 @@ use gpgpu_covert::mitigations::{
     contention_detection_margin, evaluate_against_l1, evaluate_against_parallel_sfu, Mitigation,
 };
 use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
+use gpgpu_covert::nvlink_channel::NvlinkChannel;
 use gpgpu_covert::parallel::ParallelSfuChannel;
 use gpgpu_covert::sync_channel::SyncChannel;
-use gpgpu_spec::{presets, DeviceSpec};
+use gpgpu_spec::{presets, DeviceSpec, TopologySpec};
 use std::fmt::Write as _;
 
 /// Usage text printed on argument errors and `help`.
@@ -33,6 +34,7 @@ commands:
   faults                      sweep fault intensity: raw vs FEC vs ARQ framing
   robust                      transmit under a fault storm + cache-hog noise,
                               printing the link diagnostic / escalation trace
+  nvlink                      run the cross-GPU NVLink channel over a topology
 
 options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
@@ -41,10 +43,13 @@ options:
   --stats                           print cycle-engine counters after the run
   --trace-out <path>                write a Chrome-trace JSON of the run (l1 only)
   --profile                         print the contention profile (l1 only)
-  --faults <spec>                   deterministic fault plan (faults/l1/robust),
+  --faults <spec>                   deterministic fault plan (faults/l1/robust/nvlink),
                                     e.g. seed=7,intensity=1,period=900000,burst=280000,set=2,kinds=evict+storm
   --adaptive                        enable the adaptive link layer (robust only):
                                     online calibration + degradation ladder
+  --topology <spec>                 multi-GPU topology (nvlink/robust), e.g.
+                                    devices=kepler+kepler,link=0-1:lat=40:slot=4:lanes=2
+                                    (nvlink default: two of --device joined by one link)
 ";
 
 /// Which subcommand to run.
@@ -69,6 +74,8 @@ pub enum Command {
     /// Adaptive-link robustness demo: transmit under a fault storm plus a
     /// constant-cache-hog co-runner and print the escalation trace.
     Robust,
+    /// Cross-GPU NVLink channel over a (default or `--topology`) topology.
+    Nvlink,
     /// Print usage.
     Help,
 }
@@ -97,6 +104,9 @@ pub struct Args {
     /// Run the adaptive link layer instead of the pinned static
     /// thresholds (`robust` only).
     pub adaptive: bool,
+    /// Multi-GPU topology spec string (`nvlink`/`robust`), validated at
+    /// parse time against [`gpgpu_spec::TopologySpec::from_spec`].
+    pub topology: Option<String>,
 }
 
 impl Args {
@@ -117,6 +127,7 @@ impl Args {
             profile: false,
             faults: None,
             adaptive: false,
+            topology: None,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -143,6 +154,12 @@ impl Args {
                         .map_err(|e| format!("invalid --faults spec: {e}"))?;
                     args.faults = Some(v.clone());
                 }
+                "--topology" => {
+                    let v = it.next().ok_or("--topology needs a spec")?;
+                    TopologySpec::from_spec(v)
+                        .map_err(|e| format!("invalid --topology spec: {e}"))?;
+                    args.topology = Some(v.clone());
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other:?}"));
                 }
@@ -162,6 +179,7 @@ impl Args {
             "mitigations" => Command::Mitigations,
             "faults" => Command::Faults,
             "robust" => Command::Robust,
+            "nvlink" => Command::Nvlink,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}")),
         };
@@ -171,28 +189,45 @@ impl Args {
         if args.command != Command::L1 && (args.trace_out.is_some() || args.profile) {
             return Err("--trace-out/--profile only apply to the l1 command".to_string());
         }
-        if !matches!(args.command, Command::Faults | Command::L1 | Command::Robust)
-            && args.faults.is_some()
+        if !matches!(
+            args.command,
+            Command::Faults | Command::L1 | Command::Robust | Command::Nvlink
+        ) && args.faults.is_some()
         {
-            return Err("--faults only applies to the faults, l1, and robust commands".to_string());
+            return Err(
+                "--faults only applies to the faults, l1, robust, and nvlink commands".to_string()
+            );
         }
         if args.command != Command::Robust && args.adaptive {
             return Err("--adaptive only applies to the robust command".to_string());
         }
+        if !matches!(args.command, Command::Nvlink | Command::Robust) && args.topology.is_some() {
+            return Err("--topology only applies to the nvlink and robust commands".to_string());
+        }
         Ok(args)
     }
 
-    /// Resolves the device preset.
+    /// Resolves the device preset through the shared alias table.
     ///
     /// # Errors
     ///
     /// Unknown device names.
     pub fn spec(&self) -> Result<DeviceSpec, String> {
-        match self.device.to_ascii_lowercase().as_str() {
-            "fermi" | "c2075" | "tesla-c2075" => Ok(presets::tesla_c2075()),
-            "kepler" | "k40c" | "tesla-k40c" => Ok(presets::tesla_k40c()),
-            "maxwell" | "m4000" | "quadro-m4000" => Ok(presets::quadro_m4000()),
-            other => Err(format!("unknown device {other:?} (fermi|kepler|maxwell)")),
+        presets::by_name(&self.device)
+            .ok_or_else(|| format!("unknown device {:?} (fermi|kepler|maxwell)", self.device))
+    }
+
+    /// Resolves the multi-GPU topology: the `--topology` spec when given,
+    /// otherwise two copies of `--device` joined by one default link.
+    ///
+    /// # Errors
+    ///
+    /// Unknown device names (the spec string itself was validated at parse
+    /// time).
+    pub fn topology_spec(&self) -> Result<TopologySpec, String> {
+        match &self.topology {
+            Some(s) => TopologySpec::from_spec(s).map_err(|e| e.to_string()),
+            None => TopologySpec::dual(&self.device).map_err(|e| e.to_string()),
         }
     }
 }
@@ -418,9 +453,13 @@ pub fn run(args: &Args) -> Result<String, String> {
                 Some(s) => gpgpu_sim::FaultPlan::from_spec(s)?,
                 None => gpgpu_bench::data::fault_sweep_plan(1.0),
             };
-            let env = LinkEnvironment::clean()
+            let mut env = LinkEnvironment::clean()
                 .with_faults(plan)
                 .with_noise(vec![NoiseKind::ConstantCacheHog], 40 + 30 * args.bits as u64);
+            if let Some(s) = &args.topology {
+                // Arms the ladder's terminal nvlink rung.
+                env = env.with_topology(TopologySpec::from_spec(s).map_err(|e| e.to_string())?);
+            }
             let link = AdaptiveLink::new(spec.clone()).with_env(env);
             let mode = if args.adaptive { "adaptive" } else { "static" };
             let _ = writeln!(
@@ -437,6 +476,33 @@ pub fn run(args: &Args) -> Result<String, String> {
             };
             out.push_str(&o.diagnostic.to_string());
             let _ = writeln!(out, "{mode} BER {:.2}%", o.diagnostic.ber * 100.0);
+        }
+        Command::Nvlink => {
+            let topo = args.topology_spec()?;
+            let msg = Message::pseudo_random(args.bits, 0xC16);
+            let mut ch = NvlinkChannel::new(topo).map_err(|e| e.to_string())?;
+            if let Some(s) = &args.faults {
+                ch = ch.with_faults(gpgpu_sim::FaultPlan::from_spec(s)?);
+            }
+            let (spy, trojan) = ch.endpoints();
+            let link = ch.topology().links[0];
+            let _ = writeln!(out, "topology: {}", ch.topology().to_spec());
+            let _ = writeln!(
+                out,
+                "link 0: spy on device {spy}, trojan on device {trojan} \
+                 (latency {} cycles, slot {}, {} lanes)",
+                link.latency_cycles, link.slot_cycles, link.lanes
+            );
+            let (o, trace) = ch.transmit_traced(&msg).map_err(|e| e.to_string())?;
+            engine.merge(&o.stats);
+            let _ = writeln!(
+                out,
+                "nvlink channel: {} bits, {:.1} Kbps, BER {:.2}%",
+                msg.len(),
+                o.bandwidth_kbps,
+                o.ber * 100.0
+            );
+            let _ = writeln!(out, "trace: {} link transfers recorded", trace.events().len());
         }
         Command::Mitigations => {
             let spec = args.spec()?;
@@ -548,7 +614,7 @@ mod tests {
     fn faults_flag_accept_reject_matrix() {
         const SPEC: &str = "seed=7,intensity=1,period=900000,burst=280000,set=2,kinds=evict+storm";
         // Accepted on the commands that run a faultable channel.
-        for cmd in ["faults", "l1"] {
+        for cmd in ["faults", "l1", "nvlink"] {
             let a = Args::parse(&argv(&format!("{cmd} --faults {SPEC}"))).unwrap();
             assert_eq!(a.faults.as_deref(), Some(SPEC), "{cmd}");
         }
@@ -632,6 +698,86 @@ mod tests {
         assert!(out.contains("ABORTED"), "{out}");
         assert!(out.contains("static      [l1-sync] failed"), "escalation trace row: {out}");
         assert!(!out.contains("static BER 0.00%"), "{out}");
+    }
+
+    #[test]
+    fn topology_flag_accept_reject_matrix() {
+        const SPEC: &str = "devices=kepler+maxwell,link=0-1:lat=80:slot=8:lanes=4";
+        // Accepted on the two commands that can drive a multi-GPU fabric.
+        for cmd in ["nvlink", "robust"] {
+            let a = Args::parse(&argv(&format!("{cmd} --topology {SPEC}"))).unwrap();
+            assert_eq!(a.topology.as_deref(), Some(SPEC), "{cmd}");
+        }
+        // A bare nvlink run falls back to the dual-device default.
+        let a = Args::parse(&argv("nvlink")).unwrap();
+        assert_eq!(a.command, Command::Nvlink);
+        assert_eq!(a.topology, None);
+        assert_eq!(
+            a.topology_spec().unwrap().to_spec(),
+            "devices=kepler+kepler,link=0-1:lat=40:slot=4:lanes=2"
+        );
+        // The default respects --device aliases through the shared table.
+        let a = Args::parse(&argv("nvlink --device M4000")).unwrap();
+        assert!(
+            a.topology_spec().unwrap().to_spec().starts_with("devices=maxwell+maxwell"),
+            "{a:?}"
+        );
+        // Rejected everywhere else, mirroring the other flag validations.
+        for cmd in ["devices", "zoo", "l1", "faults", "recon", "noise", "mitigations", "chat hi"] {
+            let err = Args::parse(&argv(&format!("{cmd} --topology {SPEC}"))).unwrap_err();
+            assert!(err.contains("--topology only applies"), "{cmd}: {err}");
+        }
+        // Missing value and malformed specs fail at parse time.
+        assert!(Args::parse(&argv("nvlink --topology")).is_err());
+        for bad in [
+            "devices=voodoo2+voodoo2,link=0-1",
+            "devices=kepler+kepler,link=0-7",
+            "devices=kepler+kepler,link=0-0",
+            "link=0-1",
+        ] {
+            let err = Args::parse(&argv(&format!("nvlink --topology {bad}"))).unwrap_err();
+            assert!(err.contains("invalid --topology spec"), "{bad}: {err}");
+        }
+        // A link-less topology parses but cannot host the channel: the
+        // failure is a typed run-time error, not a panic.
+        let a = Args::parse(&argv("nvlink --topology devices=kepler")).unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("the topology has 0"), "{err}");
+    }
+
+    #[test]
+    fn nvlink_command_round_trips_a_known_payload() {
+        let a = Args::parse(&argv("nvlink --bits 16 --stats")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("topology: devices=kepler+kepler"), "{out}");
+        assert!(out.contains("spy on device 0, trojan on device 1"), "{out}");
+        assert!(out.contains("16 bits"), "{out}");
+        assert!(out.contains("BER 0.00%"), "{out}");
+        assert!(out.contains("link transfers recorded"), "{out}");
+        assert!(out.contains("engine:"), "{out}");
+    }
+
+    #[test]
+    fn nvlink_honors_an_explicit_topology() {
+        let a = Args::parse(&argv(
+            "nvlink --bits 8 --topology devices=maxwell+maxwell,link=0-1:lat=120:lanes=4",
+        ))
+        .unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("devices=maxwell+maxwell"), "{out}");
+        assert!(out.contains("latency 120 cycles"), "{out}");
+        assert!(out.contains("4 lanes"), "{out}");
+        assert!(out.contains("BER 0.00%"), "{out}");
+    }
+
+    #[test]
+    fn nvlink_reports_saturation_as_a_typed_error() {
+        let a = Args::parse(&argv(
+            "nvlink --bits 8 --faults seed=2989,intensity=1,period=30000,burst=30000,kinds=link",
+        ))
+        .unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("saturated"), "{err}");
     }
 
     #[test]

@@ -68,6 +68,8 @@ pub struct AtomicChannel {
     pub fault_plan: Option<gpgpu_sim::FaultPlan>,
     /// Noise co-runner kernels launched alongside every bit's pair.
     pub noise: Vec<gpgpu_sim::KernelSpec>,
+    /// Device tuning (engine mode, mitigation knobs) for the run.
+    pub tuning: gpgpu_sim::DeviceTuning,
 }
 
 impl AtomicChannel {
@@ -81,7 +83,14 @@ impl AtomicChannel {
             jitter: Some((crate::cache_channel::DEFAULT_JITTER, 0x5EED)),
             fault_plan: None,
             noise: Vec::new(),
+            tuning: gpgpu_sim::DeviceTuning::none(),
         }
+    }
+
+    /// Sets the device tuning (engine mode, mitigation knobs).
+    pub fn with_tuning(mut self, tuning: gpgpu_sim::DeviceTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Installs a deterministic fault plan for every transmission.
@@ -181,7 +190,7 @@ impl AtomicChannel {
         let mut idle_mean = 0;
         let mut hot_mean = 0;
         for contended in [false, true] {
-            let mut dev = gpgpu_sim::Device::new(self.spec.clone());
+            let mut dev = gpgpu_sim::Device::with_tuning(self.spec.clone(), self.tuning);
             let spy_base = dev.alloc_global(1 << 20);
             let trojan_base = dev.alloc_global(1 << 20);
             let spy = dev.launch(
@@ -224,7 +233,7 @@ impl AtomicChannel {
         let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
         // Array bases must match the calibration device's allocator layout:
         // recreate deterministically.
-        let mut probe_dev = gpgpu_sim::Device::new(self.spec.clone());
+        let mut probe_dev = gpgpu_sim::Device::with_tuning(self.spec.clone(), self.tuning);
         let spy_base = probe_dev.alloc_global(1 << 20);
         let trojan_base = probe_dev.alloc_global(1 << 20);
         drop(probe_dev);
@@ -249,7 +258,7 @@ impl AtomicChannel {
         let trojan_launch = LaunchConfig::new(self.spec.num_sms, 256);
         let (outcome, _dev) = transmit_per_bit(
             &self.spec,
-            gpgpu_sim::DeviceTuning::none(),
+            self.tuning,
             self.jitter,
             self.fault_plan,
             &self.noise,

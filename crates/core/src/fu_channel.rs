@@ -55,6 +55,8 @@ pub struct SfuChannel {
     pub calibration: Option<Calibration>,
     /// Override of the per-bit simulated-cycle watchdog budget.
     pub bit_budget: Option<u64>,
+    /// Device tuning (engine mode, mitigation knobs) for the run.
+    pub tuning: gpgpu_sim::DeviceTuning,
 }
 
 impl SfuChannel {
@@ -73,7 +75,14 @@ impl SfuChannel {
             noise: Vec::new(),
             calibration: None,
             bit_budget: None,
+            tuning: gpgpu_sim::DeviceTuning::none(),
         }
+    }
+
+    /// Sets the device tuning (engine mode, mitigation knobs).
+    pub fn with_tuning(mut self, tuning: gpgpu_sim::DeviceTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// Installs a deterministic fault plan for every transmission.
@@ -220,7 +229,7 @@ impl SfuChannel {
         let launch = LaunchConfig::new(self.spec.num_sms, self.warps_per_block * 32);
         let (outcome, _dev) = transmit_per_bit(
             &self.spec,
-            gpgpu_sim::DeviceTuning::none(),
+            self.tuning,
             self.jitter,
             self.fault_plan,
             &self.noise,

@@ -26,6 +26,36 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Runs `build` once per [`gpgpu_sim::EngineMode`] and asserts the two
+/// engines produced identical results, returning the (shared) value.
+///
+/// The event-driven engine's correctness contract is that it only skips
+/// work that provably cannot change architectural state, so *any*
+/// observable divergence from the dense engine is a bug. This helper is the
+/// reusable form of that check: hand it a closure that runs a whole channel
+/// transmission (or any other simulation) under the given engine mode and
+/// returns the architectural results — received bits, cycles, latency
+/// samples. Compare values derived from simulation *results*, not
+/// [`gpgpu_sim::SimStats`] engine counters (cycle/SM-visit counts
+/// legitimately differ between engines — skipping work is the whole point).
+///
+/// Floating-point fields (`ber`, `bandwidth_kbps`) should be compared via
+/// [`f64::to_bits`] so the check stays exact.
+///
+/// # Panics
+///
+/// Panics (via `assert_eq!`) when the engines disagree, naming `what`.
+pub fn assert_engines_agree<T, F>(what: &str, build: F) -> T
+where
+    T: PartialEq + fmt::Debug,
+    F: Fn(gpgpu_sim::EngineMode) -> T,
+{
+    let dense = build(gpgpu_sim::EngineMode::Dense);
+    let event = build(gpgpu_sim::EngineMode::EventDriven);
+    assert_eq!(dense, event, "engine divergence in {what} (Dense vs EventDriven)");
+    event
+}
+
 /// One independent unit of work handed to a trial closure: its position in
 /// the batch, a deterministic seed derived from the runner's base seed, and
 /// the runner's per-trial cycle deadline (if any).
@@ -533,6 +563,22 @@ impl TrialRunner {
 mod tests {
     use super::*;
     use rand::Rng;
+
+    #[test]
+    fn engines_agree_returns_the_shared_value() {
+        let v = assert_engines_agree("constant workload", |mode| {
+            // Mode-independent computation: both arms produce 42.
+            let _ = mode;
+            42u64
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine divergence in rigged workload")]
+    fn engines_agree_panics_on_divergence() {
+        assert_engines_agree("rigged workload", |mode| mode == gpgpu_sim::EngineMode::Dense);
+    }
 
     #[test]
     fn seeds_are_deterministic_and_distinct() {

@@ -18,6 +18,7 @@
 //! | [`fu_channel`] | §5 | SFU (`__sinf`) contention channel |
 //! | [`atomic_channel`] | §6 | global-memory atomic channels, scenarios 1-3 (Fig 10) |
 //! | [`sync_channel`] | §7.1 | synchronized channel with the Figure-11 handshake; multi-bit and multi-SM parallel variants (Table 2) |
+//! | [`nvlink_channel`] | — | cross-GPU channel over contended NVLink-style links (NVBleed-class, see `PAPERS.md`) |
 //! | [`parallel`] | §7 | per-warp-scheduler and per-SM SFU parallelism (Table 3); combined L1+SFU channel |
 //! | [`side_channel`] | §10 | the negative results: coalescing and bank-conflict self-timing artifacts do not transfer to competing kernels |
 //! | [`noise`] | §8 | Rodinia-like interfering workloads and exclusive co-location |
@@ -62,6 +63,7 @@ pub mod linkmon;
 pub mod microbench;
 pub mod mitigations;
 pub mod noise;
+pub mod nvlink_channel;
 pub mod parallel;
 pub mod side_channel;
 pub mod sync_channel;

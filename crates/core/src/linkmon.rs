@@ -12,9 +12,9 @@
 //! * [`AdaptiveLink`] drives a degradation ladder per channel family —
 //!   **static thresholds → re-calibrate ([`crate::calibrate`]) → stretch
 //!   symbol time + raise ARQ effort → fall back to the next channel family**
-//!   ([`FallbackPolicy`], default L1-sync → atomic → SFU) — and, when every
-//!   rung fails, aborts with a structured [`LinkDiagnostic`] recording which
-//!   stages fired and why;
+//!   ([`FallbackPolicy`], default L1-sync → atomic → SFU → NVLink) — and,
+//!   when every rung fails, aborts with a structured [`LinkDiagnostic`]
+//!   recording which stages fired and why;
 //! * [`FamilyPipe`] adapts each channel family to the
 //!   [`BitPipe`](crate::framing::BitPipe) transport under one shared
 //!   [`LinkEnvironment`] (fault plan + noise co-runners), so escalation
@@ -23,7 +23,11 @@
 //! The fallback order exploits resource disjointness: a constant-cache hog
 //! (the paper's Heart-Wall-like co-runner) kills both cache channels but
 //! leaves the global-atomic units and the SFUs untouched, so hopping
-//! families restores the link without any manual retuning.
+//! families restores the link without any manual retuning. When a
+//! [`LinkEnvironment`] carries a multi-GPU [`TopologySpec`], the ladder can
+//! even hop *off the die* entirely — the [`ChannelFamily::Nvlink`] family
+//! signals through inter-device link contention, which no on-chip co-runner
+//! touches.
 
 use crate::atomic_channel::{AtomicChannel, AtomicScenario};
 use crate::bits::Message;
@@ -31,9 +35,10 @@ use crate::calibrate::Calibration;
 use crate::framing::{arq_transmit_observed, ArqConfig, ArqReport, BitPipe, PipeRun};
 use crate::fu_channel::SfuChannel;
 use crate::noise::{noise_kernel, NoiseKind};
+use crate::nvlink_channel::NvlinkChannel;
 use crate::sync_channel::SyncChannel;
 use crate::CovertError;
-use gpgpu_spec::DeviceSpec;
+use gpgpu_spec::{DeviceSpec, TopologySpec};
 use std::fmt;
 
 /// Noise-kernel inner iterations used when a co-runner rides along a
@@ -112,6 +117,10 @@ pub enum ChannelFamily {
     Atomic,
     /// The per-bit SFU issue-contention channel.
     Sfu,
+    /// The cross-GPU NVLink lane-contention channel; needs a multi-device
+    /// [`TopologySpec`] in the [`LinkEnvironment`] (slowest, but immune to
+    /// every on-chip co-runner).
+    Nvlink,
 }
 
 impl ChannelFamily {
@@ -121,6 +130,7 @@ impl ChannelFamily {
             ChannelFamily::CacheL1Sync => "l1-sync",
             ChannelFamily::Atomic => "atomic",
             ChannelFamily::Sfu => "sfu",
+            ChannelFamily::Nvlink => "nvlink",
         }
     }
 }
@@ -136,7 +146,12 @@ pub struct FallbackPolicy {
 impl Default for FallbackPolicy {
     fn default() -> Self {
         FallbackPolicy {
-            order: vec![ChannelFamily::CacheL1Sync, ChannelFamily::Atomic, ChannelFamily::Sfu],
+            order: vec![
+                ChannelFamily::CacheL1Sync,
+                ChannelFamily::Atomic,
+                ChannelFamily::Sfu,
+                ChannelFamily::Nvlink,
+            ],
         }
     }
 }
@@ -160,6 +175,10 @@ pub struct LinkEnvironment {
     /// Noise-kernel inner iterations per launch for the synchronized
     /// family (whose single launch must span a whole ARQ round).
     pub noise_iters: u64,
+    /// Multi-GPU topology, when one exists; enables the
+    /// [`ChannelFamily::Nvlink`] fallback rungs (which otherwise record a
+    /// transport error and the ladder moves on).
+    pub topology: Option<TopologySpec>,
 }
 
 impl Default for LinkEnvironment {
@@ -171,7 +190,7 @@ impl Default for LinkEnvironment {
 impl LinkEnvironment {
     /// A quiet device: no faults, no noise.
     pub fn clean() -> Self {
-        LinkEnvironment { faults: None, noise: Vec::new(), noise_iters: 0 }
+        LinkEnvironment { faults: None, noise: Vec::new(), noise_iters: 0, topology: None }
     }
 
     /// Installs a base fault plan.
@@ -185,6 +204,12 @@ impl LinkEnvironment {
     pub fn with_noise(mut self, kinds: Vec<NoiseKind>, noise_iters: u64) -> Self {
         self.noise = kinds;
         self.noise_iters = noise_iters;
+        self
+    }
+
+    /// Makes a multi-GPU topology available to the NVLink family.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -272,6 +297,21 @@ impl FamilyPipe {
         ch
     }
 
+    fn nvlink_channel(&self, round_key: u64) -> Result<NvlinkChannel, CovertError> {
+        let topology = self.env.topology.clone().ok_or_else(|| CovertError::Config {
+            reason: "nvlink family requires a multi-GPU topology in the link environment".into(),
+        })?;
+        let mut ch = NvlinkChannel::new(topology)?
+            .with_iterations(crate::nvlink_channel::DEFAULT_ITERATIONS * u64::from(self.stretch));
+        if let Some(plan) = self.fault_plan_for(round_key) {
+            ch = ch.with_faults(plan);
+        }
+        // On-chip noise co-runners cannot reach the inter-device link, so
+        // none are attached; the adversarial pressure the nvlink family
+        // feels is the fault plan's link-congestion kind.
+        Ok(ch)
+    }
+
     fn atomic_channel(&self, round_key: u64) -> AtomicChannel {
         let mut ch = AtomicChannel::new(self.spec.clone(), AtomicScenario::OneAddress)
             .with_iterations(crate::atomic_channel::DEFAULT_ITERATIONS * u64::from(self.stretch))
@@ -303,6 +343,12 @@ impl FamilyPipe {
                 let min_hot = ((ch.iterations as usize) / 4).max(2).min(ch.iterations as usize);
                 Ok(Calibration::from_spec(threshold + 1, min_hot))
             }
+            ChannelFamily::Nvlink => {
+                let ch = self.nvlink_channel(PILOT_ROUND_KEY)?;
+                let threshold = ch.calibrate_threshold()?;
+                let min_hot = ((ch.iterations as usize) / 4).max(2).min(ch.iterations as usize);
+                Ok(Calibration::from_spec(threshold + 1, min_hot))
+            }
         }
     }
 }
@@ -316,6 +362,13 @@ impl BitPipe for FamilyPipe {
             }
             ChannelFamily::Atomic => self.atomic_channel(key).transmit(bits)?,
             ChannelFamily::Sfu => self.sfu_channel(key).transmit(bits)?,
+            ChannelFamily::Nvlink => {
+                let mut ch = self.nvlink_channel(key)?;
+                if let Some(cal) = &self.calibration {
+                    ch = ch.with_calibration(cal.clone());
+                }
+                ch.transmit(bits)?
+            }
         };
         Ok(PipeRun { received: outcome.received, cycles: outcome.cycles })
     }
@@ -472,6 +525,15 @@ impl AdaptiveLink {
         self
     }
 
+    /// The first family of the policy, or a typed error for a policy with
+    /// no families at all (a user-constructible degenerate [`FallbackPolicy`]
+    /// the ladder could otherwise only panic on).
+    fn checked_first_family(&self) -> Result<ChannelFamily, CovertError> {
+        self.policy.order.first().copied().ok_or_else(|| CovertError::Config {
+            reason: "fallback policy has no channel families".into(),
+        })
+    }
+
     /// Sets the pilot-sequence length.
     pub fn with_pilot_bits(mut self, bits: usize) -> Self {
         self.pilot_bits = bits;
@@ -574,6 +636,7 @@ impl AdaptiveLink {
     /// space.
     pub fn transmit(&self, msg: &Message) -> Result<AdaptiveOutcome, CovertError> {
         crate::framing::frames_needed_checked(msg)?;
+        self.checked_first_family()?;
         let mut monitor = LinkMonitor::new();
         let mut stages: Vec<EscalationEvent> = Vec::new();
         let mut last: Option<(Message, ArqReport, ChannelFamily)> = None;
@@ -738,7 +801,7 @@ impl AdaptiveLink {
     /// As [`AdaptiveLink::transmit`].
     pub fn transmit_static(&self, msg: &Message) -> Result<AdaptiveOutcome, CovertError> {
         crate::framing::frames_needed_checked(msg)?;
-        let family = *self.policy.order.first().expect("non-empty policy");
+        let family = self.checked_first_family()?;
         let mut monitor = LinkMonitor::new();
         let mut stages = Vec::new();
         let result = self.try_rung(
@@ -769,6 +832,21 @@ mod tests {
     use gpgpu_spec::presets;
 
     #[test]
+    fn empty_fallback_policy_is_a_typed_error_not_a_panic() {
+        let link = AdaptiveLink::new(presets::tesla_k40c())
+            .with_policy(FallbackPolicy { order: Vec::new() });
+        let msg = Message::from_bits([true, false]);
+        for r in [link.transmit(&msg), link.transmit_static(&msg)] {
+            match r {
+                Err(CovertError::Config { reason }) => {
+                    assert!(reason.contains("no channel families"), "{reason}");
+                }
+                other => panic!("expected a Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn monitor_tracks_failures() {
         let mut m = LinkMonitor::new();
         assert_eq!(m.failure_rate(), 0.0);
@@ -792,7 +870,12 @@ mod tests {
         let p = FallbackPolicy::default();
         assert_eq!(
             p.order,
-            vec![ChannelFamily::CacheL1Sync, ChannelFamily::Atomic, ChannelFamily::Sfu]
+            vec![
+                ChannelFamily::CacheL1Sync,
+                ChannelFamily::Atomic,
+                ChannelFamily::Sfu,
+                ChannelFamily::Nvlink,
+            ]
         );
         assert_eq!(FallbackPolicy::only(ChannelFamily::Sfu).order.len(), 1);
     }

@@ -36,10 +36,17 @@ pub enum NoiseKind {
     FuBound,
     /// Streams global memory with un-coalesced accesses (streamcluster-like).
     MemoryBound,
+    /// Hammers one global address with atomics from every SM, saturating
+    /// the atomic units (a kmeans-reduction-like co-runner). Not part of
+    /// [`NoiseKind::ALL`] — the paper's Rodinia mixture experiments predate
+    /// it; the adaptive-ladder exhaustion tests use it to stomp the atomic
+    /// channel family specifically.
+    AtomicHammer,
 }
 
 impl NoiseKind {
-    /// All kinds, for mixture experiments.
+    /// The paper's four mixture kinds (excludes the targeted
+    /// [`NoiseKind::AtomicHammer`]).
     pub const ALL: [NoiseKind; 4] = [
         NoiseKind::ConstantCacheHog,
         NoiseKind::SharedMemHog,
@@ -93,6 +100,20 @@ pub fn noise_kernel(spec: &DeviceSpec, kind: NoiseKind, iterations: u64) -> Kern
             b.repeat(Reg(20), iterations, |b| {
                 b.global_load(Reg(0), LanePattern::Spread { stride_bytes: 128 });
                 b.add_imm(Reg(0), Reg(0), 4096);
+            });
+        }
+        NoiseKind::AtomicHammer => {
+            name = "noise-kmeans";
+            // 256 threads per block, four warps all hammering the same
+            // segment, queueing on every address-interleaved atomic unit.
+            launch = LaunchConfig::new(spec.num_sms, 256);
+            b.read_special(Reg(0), gpgpu_isa::Special::BlockId);
+            b.mul_imm(Reg(0), Reg(0), 4096 + spec.mem.coalesce_segment);
+            b.add_imm(Reg(0), Reg(0), 0x6000_0000);
+            b.repeat(Reg(20), iterations, |b| {
+                for _ in 0..8 {
+                    b.atomic_add(Reg(0), LanePattern::Consecutive { elem_bytes: 4 });
+                }
             });
         }
     }

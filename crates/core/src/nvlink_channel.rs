@@ -1,0 +1,394 @@
+//! Cross-GPU NVLink covert channel over a [`gpgpu_sim::Topology`].
+//!
+//! The paper's channels live *inside* one GPU: trojan and spy are co-resident
+//! kernels modulating contention on a shared on-chip resource. Multi-GPU
+//! servers add one more shared resource with exactly the same structure —
+//! the inter-device link. NVLink lanes are slot-arbitrated the way FU issue
+//! ports are, so a trojan on device 1 issuing bulk peer-to-peer copies makes
+//! a spy on device 0 observe longer remote-atomic round trips, and the
+//! lane-queueing delay becomes the symbol — the timing channel demonstrated
+//! against real NVLink fabrics by the NVBleed work (see `PAPERS.md`).
+//!
+//! Protocol (per bit, mirroring [`crate::atomic_channel::AtomicChannel`]):
+//!
+//! * **trojan** (bit = 1): issues one `burst_bytes` p2p copy per link lane at
+//!   the top of each probe slot, occupying every lane;
+//! * **trojan** (bit = 0): stays off the link;
+//! * **spy**: issues `iterations` back-to-back timed remote-atomic probes of
+//!   `probe_ops` flits each and compares the observed round-trip latency
+//!   against a calibrated threshold ([`NvlinkChannel::calibrate_threshold`],
+//!   or an externally fitted [`Calibration`]).
+//!
+//! Symbols are paced to at least `window_cycles`; stretching the window
+//! trades bandwidth for noise immunity exactly like the intra-GPU channels
+//! (the `nvlink_bandwidth` bench sweeps this curve). Under a link-congestion
+//! fault storm the queue grows without bound and transmission fails with the
+//! typed [`gpgpu_sim::SimError::LinkSaturated`] instead of stalling.
+
+use crate::bits::Message;
+use crate::calibrate::Calibration;
+use crate::channel::{decode_from_latencies, ChannelOutcome};
+use crate::CovertError;
+use gpgpu_isa::{ProgramBuilder, Reg};
+use gpgpu_sim::{DeviceTuning, EventTrace, FaultInjector, FaultPlan, KernelSpec, Topology};
+use gpgpu_spec::{LaunchConfig, TopologySpec};
+
+/// Default timed remote-atomic probes per bit.
+pub const DEFAULT_ITERATIONS: u64 = 12;
+
+/// Default flits per spy probe (one remote atomic op moves one flit).
+pub const DEFAULT_PROBE_OPS: u64 = 4;
+
+/// Default trojan burst size in bytes (per lane, per probe slot).
+pub const DEFAULT_BURST_BYTES: u64 = 1024;
+
+/// Default minimum symbol time in cycles.
+pub const DEFAULT_WINDOW_CYCLES: u64 = 2048;
+
+/// Default queueing-delay budget before a transfer is declared saturated.
+/// A clean contended probe queues for roughly one burst (~hundreds of
+/// cycles); only a congestion-fault storm approaches this.
+pub const DEFAULT_QUEUE_LIMIT: u64 = 10_000;
+
+/// Cycle budget for the per-device anchor kernels.
+const ANCHOR_CYCLE_LIMIT: u64 = 500_000_000;
+
+/// A cross-device covert channel: trojan and spy on the two endpoints of one
+/// link, signalling through lane-queueing delay.
+#[derive(Debug, Clone)]
+pub struct NvlinkChannel {
+    topology: TopologySpec,
+    link: usize,
+    spy_device: usize,
+    trojan_device: usize,
+    /// Timed probes per bit.
+    pub iterations: u64,
+    /// Flits per spy probe.
+    pub probe_ops: u64,
+    /// Trojan burst size in bytes (issued once per lane per probe slot).
+    pub burst_bytes: u64,
+    /// Minimum symbol time in cycles.
+    pub window_cycles: u64,
+    /// Queueing-delay budget; transfers queued longer fail with
+    /// [`gpgpu_sim::SimError::LinkSaturated`].
+    pub queue_limit: u64,
+    /// Deterministic fault plan installed on the topology for the run.
+    pub fault_plan: Option<FaultPlan>,
+    /// Device tuning (engine-mode selection) for the endpoint devices.
+    pub tuning: DeviceTuning,
+    /// Externally fitted decode calibration; when `None` the channel
+    /// self-calibrates on a scratch topology before transmitting.
+    pub calibration: Option<Calibration>,
+}
+
+impl NvlinkChannel {
+    /// A channel over link 0 of `topology`: the spy runs on the link's first
+    /// endpoint, the trojan on the second.
+    ///
+    /// # Errors
+    ///
+    /// [`CovertError::Config`] when the topology has no links.
+    pub fn new(topology: TopologySpec) -> Result<Self, CovertError> {
+        Self::on_link(topology, 0)
+    }
+
+    /// A channel over link `link` of `topology`.
+    ///
+    /// # Errors
+    ///
+    /// [`CovertError::Config`] when `link` is out of range or the topology
+    /// fails validation.
+    pub fn on_link(topology: TopologySpec, link: usize) -> Result<Self, CovertError> {
+        topology
+            .validate()
+            .map_err(|e| CovertError::Config { reason: format!("invalid topology: {e}") })?;
+        let spec = *topology.links.get(link).ok_or_else(|| CovertError::Config {
+            reason: format!(
+                "nvlink channel needs link {link} but the topology has {}",
+                topology.links.len()
+            ),
+        })?;
+        Ok(NvlinkChannel {
+            topology,
+            link,
+            spy_device: spec.a as usize,
+            trojan_device: spec.b as usize,
+            iterations: DEFAULT_ITERATIONS,
+            probe_ops: DEFAULT_PROBE_OPS,
+            burst_bytes: DEFAULT_BURST_BYTES,
+            window_cycles: DEFAULT_WINDOW_CYCLES,
+            queue_limit: DEFAULT_QUEUE_LIMIT,
+            fault_plan: None,
+            tuning: DeviceTuning::none(),
+            calibration: None,
+        })
+    }
+
+    /// Installs a deterministic fault plan for every transmission.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the probe count per bit.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets the minimum symbol time (the bandwidth/robustness knob).
+    pub fn with_window(mut self, cycles: u64) -> Self {
+        self.window_cycles = cycles.max(1);
+        self
+    }
+
+    /// Sets the endpoint devices' tuning (engine-mode selection).
+    pub fn with_tuning(mut self, tuning: DeviceTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Uses an externally fitted calibration instead of self-calibrating.
+    pub fn with_calibration(mut self, cal: Calibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    /// The topology this channel runs over.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topology
+    }
+
+    /// The `(spy, trojan)` device indices (the link's two endpoints).
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.spy_device, self.trojan_device)
+    }
+
+    /// Builds the run topology: endpoint devices with this channel's tuning,
+    /// queue limit and (optionally) fault plan.
+    fn build_topology(&self, with_faults: bool) -> Result<Topology, CovertError> {
+        let mut topo =
+            Topology::with_tuning(&self.topology, self.tuning)?.with_queue_limit(self.queue_limit);
+        if with_faults {
+            if let Some(plan) = self.fault_plan {
+                topo.set_fault_injector(FaultInjector::new(plan));
+            }
+        }
+        Ok(topo)
+    }
+
+    /// Launches a short idle-spin anchor kernel on both endpoint devices and
+    /// runs them to idle: establishes that the parties are resident (and
+    /// exercises the per-device cycle engine, which the engine-equivalence
+    /// tests lean on). Returns the device clock after the anchors drain.
+    fn run_anchors(&self, topo: &mut Topology) -> Result<u64, CovertError> {
+        for device in [self.spy_device, self.trojan_device] {
+            let mut b = ProgramBuilder::new();
+            crate::kernels::emit_idle_spin(&mut b, self.iterations * 4, Reg(20));
+            let program = b.build().map_err(|e| CovertError::Config {
+                reason: format!("anchor program failed to assemble: {e}"),
+            })?;
+            let name = if device == self.spy_device { "nvlink-spy" } else { "nvlink-trojan" };
+            topo.launch(device, 0, KernelSpec::new(name, program, LaunchConfig::new(1, 32)))?;
+        }
+        topo.run_all_until_idle(ANCHOR_CYCLE_LIMIT)?;
+        Ok(topo.device_now())
+    }
+
+    /// Measures one probe batch starting at `now`; with `contended` the
+    /// trojan occupies every lane at the top of each slot. Returns the
+    /// samples and the cursor after the last probe.
+    fn probe_batch(
+        &self,
+        topo: &mut Topology,
+        now: u64,
+        contended: bool,
+    ) -> Result<(Vec<u64>, u64), CovertError> {
+        let lanes = self.topology.links[self.link].lanes;
+        let mut samples = Vec::with_capacity(self.iterations as usize);
+        let mut t = now;
+        for _ in 0..self.iterations {
+            if contended {
+                for _ in 0..lanes {
+                    topo.p2p_copy(self.link, self.trojan_device, self.burst_bytes, t)?;
+                }
+            }
+            let probe = topo.remote_atomic(self.link, self.spy_device, self.probe_ops, t)?;
+            samples.push(probe.latency());
+            t = probe.end;
+        }
+        Ok((samples, t))
+    }
+
+    /// Calibrates the decode threshold on a scratch clean topology (no
+    /// faults) as the midpoint of the idle and contended mean probe
+    /// latencies — what a real attacker measures before transmitting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn calibrate_threshold(&self) -> Result<u64, CovertError> {
+        let mean =
+            |s: &[u64]| if s.is_empty() { 0 } else { s.iter().sum::<u64>() / s.len() as u64 };
+        let mut topo = self.build_topology(false)?;
+        let start = self.run_anchors(&mut topo)?;
+        let (idle, after_idle) = self.probe_batch(&mut topo, start, false)?;
+        // Leave a window of slack so the idle batch cannot shadow the
+        // contended one.
+        let (hot, _) = self.probe_batch(&mut topo, after_idle + self.window_cycles, true)?;
+        Ok((mean(&idle) + mean(&hot)) / 2)
+    }
+
+    /// Transmits `msg` across the link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; a congestion-saturated link surfaces
+    /// as [`CovertError::Sim`] wrapping
+    /// [`gpgpu_sim::SimError::LinkSaturated`].
+    pub fn transmit(&self, msg: &Message) -> Result<ChannelOutcome, CovertError> {
+        Ok(self.transmit_inner(msg, false)?.0)
+    }
+
+    /// As [`NvlinkChannel::transmit`], additionally capturing the link
+    /// transfer events ([`gpgpu_sim::TraceEvent::LinkTransfer`]) of the run.
+    ///
+    /// # Errors
+    ///
+    /// As [`NvlinkChannel::transmit`].
+    pub fn transmit_traced(
+        &self,
+        msg: &Message,
+    ) -> Result<(ChannelOutcome, EventTrace), CovertError> {
+        let (outcome, trace) = self.transmit_inner(msg, true)?;
+        Ok((outcome, trace.expect("tracing was requested")))
+    }
+
+    fn transmit_inner(
+        &self,
+        msg: &Message,
+        traced: bool,
+    ) -> Result<(ChannelOutcome, Option<EventTrace>), CovertError> {
+        let cal = match &self.calibration {
+            Some(c) => c.clone(),
+            None => {
+                let threshold = self.calibrate_threshold()?;
+                let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
+                // `decode_from_latencies` is strictly greater-than; the
+                // inclusive calibration rule compensates with +1.
+                Calibration::from_spec(threshold + 1, min_hot)
+            }
+        };
+
+        let mut topo = self.build_topology(true)?;
+        if traced {
+            topo.set_trace_sink(Box::new(EventTrace::with_capacity(
+                (msg.len() as u64 * self.iterations * 4) as usize,
+            )));
+        }
+        let start = self.run_anchors(&mut topo)?;
+
+        let mut now = start;
+        let mut received = Vec::with_capacity(msg.len());
+        for &bit in msg.bits() {
+            let (samples, end) = self.probe_batch(&mut topo, now, bit)?;
+            received.push(decode_from_latencies(
+                &samples,
+                cal.threshold.saturating_sub(1),
+                cal.min_hot,
+            )?);
+            now = end.max(now + self.window_cycles);
+        }
+        if now == 0 {
+            return Err(CovertError::ZeroCycleTransmission);
+        }
+
+        let spy_spec = topo.device(self.spy_device)?.spec().clone();
+        let stats = *topo.device(self.spy_device)?.stats();
+        let outcome =
+            ChannelOutcome::from_run(&spy_spec, msg.clone(), Message::from_bits(received), now)
+                .with_stats(stats);
+        let trace = topo
+            .take_trace_sink()
+            .and_then(|s| s.into_any().downcast::<EventTrace>().ok())
+            .map(|t| *t);
+        Ok((outcome, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_sim::FaultKinds;
+
+    fn channel() -> NvlinkChannel {
+        NvlinkChannel::new(TopologySpec::dual("kepler").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_the_link() {
+        let err = NvlinkChannel::on_link(TopologySpec::dual("kepler").unwrap(), 3).unwrap_err();
+        assert!(matches!(err, CovertError::Config { .. }), "{err:?}");
+        assert_eq!(channel().endpoints(), (0, 1));
+    }
+
+    #[test]
+    fn calibration_separates_idle_from_contended() {
+        let thr = channel().calibrate_threshold().unwrap();
+        // Idle probe: service + two traversals; contended adds queueing.
+        let idle = DEFAULT_PROBE_OPS * 4 + 2 * 40;
+        assert!(thr > idle, "threshold {thr} should exceed the idle latency {idle}");
+    }
+
+    #[test]
+    fn clean_dual_gpu_channel_is_error_free() {
+        let msg = Message::from_bytes(b"nv");
+        let o = channel().transmit(&msg).unwrap();
+        assert_eq!(o.received, msg, "got {} want {}", o.received, o.sent);
+        assert!(o.is_error_free());
+        assert!(o.bandwidth_kbps > 0.0);
+    }
+
+    #[test]
+    fn stretching_the_window_lowers_bandwidth() {
+        let msg = Message::from_bits([true, false, true, true]);
+        let fast = channel().transmit(&msg).unwrap();
+        let slow = channel().with_window(DEFAULT_WINDOW_CYCLES * 8).transmit(&msg).unwrap();
+        assert!(slow.bandwidth_kbps < fast.bandwidth_kbps);
+        assert!(slow.is_error_free());
+    }
+
+    #[test]
+    fn congestion_storm_saturates_with_a_typed_error() {
+        let plan = FaultPlan::new(0xBAD)
+            .with_period(30_000)
+            .with_burst(30_000)
+            .with_intensity(1.0)
+            .with_kinds(FaultKinds { link: true, ..FaultKinds::none() });
+        let msg = Message::from_bytes(b"covert payload");
+        let err = channel().with_faults(plan).transmit(&msg).unwrap_err();
+        assert!(
+            matches!(err, CovertError::Sim(gpgpu_sim::SimError::LinkSaturated { .. })),
+            "expected saturation, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn traced_transmission_records_link_transfers() {
+        let msg = Message::from_bits([true, false]);
+        let (o, trace) = channel().transmit_traced(&msg).unwrap();
+        assert!(o.is_error_free());
+        let events = trace.events();
+        // 1-bit: lanes bursts + probe per iteration; 0-bit: probe only.
+        let expected = DEFAULT_ITERATIONS * (1 + 2) + DEFAULT_ITERATIONS;
+        assert_eq!(events.len() as u64, expected);
+    }
+
+    #[test]
+    fn external_calibration_is_honoured() {
+        let msg = Message::from_bits([true, false, true]);
+        let cal = Calibration::from_spec(u64::MAX, 2);
+        let o = channel().with_calibration(cal).transmit(&msg).unwrap();
+        assert_eq!(o.received, Message::from_bits([false, false, false]));
+    }
+}

@@ -32,6 +32,37 @@ pub enum SimError {
         /// Description of the unsupported operation.
         what: String,
     },
+    /// A topology operation addressed a device index the topology lacks.
+    UnknownDevice {
+        /// The out-of-range device index.
+        index: usize,
+        /// How many devices the topology has.
+        devices: usize,
+    },
+    /// A topology operation addressed a link index the topology lacks.
+    UnknownLink {
+        /// The out-of-range link index.
+        index: usize,
+        /// How many links the topology has.
+        links: usize,
+    },
+    /// A transfer was requested on a link the issuing device is not an
+    /// endpoint of.
+    NotALinkEndpoint {
+        /// The link index.
+        link: usize,
+        /// The device that tried to use it.
+        device: usize,
+    },
+    /// A link transfer queued longer than the topology's configured queue
+    /// limit — the link is saturated (e.g. by a congestion fault storm) and
+    /// forward progress at the requested rate is impossible.
+    LinkSaturated {
+        /// The saturated link.
+        link: usize,
+        /// The queue delay that exceeded the limit.
+        queue_cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +79,18 @@ impl fmt::Display for SimError {
             SimError::KernelNotComplete(id) => write!(f, "kernel {id:?} has not completed"),
             SimError::UnsupportedInstruction { what } => {
                 write!(f, "unsupported instruction: {what}")
+            }
+            SimError::UnknownDevice { index, devices } => {
+                write!(f, "device index {index} out of range (topology has {devices})")
+            }
+            SimError::UnknownLink { index, links } => {
+                write!(f, "link index {index} out of range (topology has {links})")
+            }
+            SimError::NotALinkEndpoint { link, device } => {
+                write!(f, "device {device} is not an endpoint of link {link}")
+            }
+            SimError::LinkSaturated { link, queue_cycles } => {
+                write!(f, "link {link} saturated: transfer queued {queue_cycles} cycles")
             }
         }
     }

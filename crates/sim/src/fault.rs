@@ -9,7 +9,7 @@
 //! like a [`crate::TraceSink`]: a single `Option` check per hook site, zero
 //! cost when absent, and identical behaviour in both engine modes.
 //!
-//! Five fault kinds are modelled, each anchored at an *event site* both
+//! Six fault kinds are modelled, each anchored at an *event site* both
 //! engines execute identically (never per-cycle polling, which the
 //! event-driven engine would skip):
 //!
@@ -23,7 +23,11 @@
 //! * **skew** — trojan/spy launch skew: kernel arrivals are delayed by a
 //!   seeded offset, breaking launch alignment;
 //! * **clock** — `clock()` perturbation: timing reads observe a small
-//!   seeded offset.
+//!   seeded offset;
+//! * **link** — inter-device link congestion: transfers crossing a
+//!   [`crate::Topology`] link during a burst window queue behind seeded
+//!   phantom traffic, as a bandwidth-hogging co-tenant's peer-to-peer
+//!   copies would.
 //!
 //! All decisions are pure functions of `(seed, cycle, site)` via splitmix64,
 //! so a plan's effect is bit-reproducible across engine modes, worker
@@ -32,12 +36,13 @@
 use crate::tuning::splitmix64;
 use gpgpu_mem::ConstHierarchy;
 
-/// Per-kind salts decorrelating the five fault streams drawn from one seed.
+/// Per-kind salts decorrelating the six fault streams drawn from one seed.
 const SALT_EVICT: u64 = 0xE51C_7B01;
 const SALT_JITTER: u64 = 0x117E_5202;
 const SALT_SKEW: u64 = 0x5EE3_AA03;
 const SALT_CLOCK: u64 = 0xC10C_0F04;
 const SALT_STORM: u64 = 0x5702_4D05;
+const SALT_LINK: u64 = 0x11AC_C906;
 
 /// Weyl constant spreading window indices before gating (same constant as
 /// the splitmix64 increment).
@@ -56,12 +61,14 @@ pub struct FaultKinds {
     pub clock: bool,
     /// Phantom-workload eviction storms.
     pub storm: bool,
+    /// Inter-device link congestion bursts (topology layer).
+    pub link: bool,
 }
 
 impl FaultKinds {
     /// Every kind enabled.
     pub fn all() -> Self {
-        FaultKinds { evict: true, jitter: true, skew: true, clock: true, storm: true }
+        FaultKinds { evict: true, jitter: true, skew: true, clock: true, storm: true, link: true }
     }
 
     /// No kind enabled (a plan with no kinds is a no-op).
@@ -167,8 +174,9 @@ impl FaultPlan {
     /// Parses the textual spec grammar (the CLI's `--faults` argument):
     /// comma-separated `key=value` pairs with keys `seed`, `intensity`,
     /// `period`, `burst`, `set` and `kinds` (a `+`-separated subset of
-    /// `evict`, `jitter`, `skew`, `clock`, `storm`, or `all`/`none`).
-    /// Omitted keys keep the [`FaultPlan::new`] defaults (seed 0).
+    /// `evict`, `jitter`, `skew`, `clock`, `storm`, `link`, or
+    /// `all`/`none`). Omitted keys keep the [`FaultPlan::new`] defaults
+    /// (seed 0).
     ///
     /// # Errors
     ///
@@ -213,6 +221,7 @@ impl FaultPlan {
                             "skew" => kinds.skew = true,
                             "clock" => kinds.clock = true,
                             "storm" => kinds.storm = true,
+                            "link" => kinds.link = true,
                             "all" => kinds = FaultKinds::all(),
                             "none" => kinds = FaultKinds::none(),
                             other => return Err(format!("unknown fault kind `{other}`")),
@@ -247,6 +256,9 @@ impl FaultPlan {
         }
         if self.kinds.storm {
             kinds.push("storm");
+        }
+        if self.kinds.link {
+            kinds.push("link");
         }
         let kinds = if kinds.is_empty() { "none".to_string() } else { kinds.join("+") };
         format!(
@@ -306,6 +318,10 @@ pub struct FaultStats {
     pub skew_cycles: u64,
     /// `clock()` reads that observed a perturbed value.
     pub perturbed_clocks: u64,
+    /// Link transfers that queued behind injected congestion.
+    pub congested_transfers: u64,
+    /// Phantom flits injected ahead of congested transfers.
+    pub congestion_flits: u64,
 }
 
 impl FaultStats {
@@ -316,6 +332,7 @@ impl FaultStats {
             + self.jittered_issues
             + self.skewed_launches
             + self.perturbed_clocks
+            + self.congested_transfers
     }
 }
 
@@ -417,6 +434,32 @@ impl FaultInjector {
                 self.stats.storm_fills += ways;
             }
         }
+    }
+
+    /// Phantom congestion flits to enqueue ahead of a link transfer
+    /// requested at `now` on link `link` (link-congestion faults). The
+    /// count is a pure function of `(seed, window, link)`, so every
+    /// transfer inside one firing burst window queues behind the same
+    /// phantom workload — mirroring how a real co-tenant's bulk copy
+    /// occupies the link for a stretch, not per-request noise.
+    pub(crate) fn link_congestion(&mut self, now: u64, link: u32) -> u64 {
+        if !self.plan.kinds.link {
+            return 0;
+        }
+        let Some(w) = self.plan.active_window(now, SALT_LINK) else {
+            return 0;
+        };
+        // Scale phantom depth with intensity *and* window length: a longer
+        // storm window means the co-tenant had proportionally longer to
+        // enqueue its bulk copy, so slow storms can exceed a topology's
+        // queue budget and surface as `LinkSaturated` instead of jitter.
+        let span = 1 + (self.plan.intensity.clamp(0.0, 1.0) * self.plan.period as f64) as u64;
+        let key =
+            self.plan.seed ^ SALT_LINK ^ w.wrapping_mul(WINDOW_SPREAD) ^ (u64::from(link) << 48);
+        let flits = 1 + splitmix64(key) % span;
+        self.stats.congested_transfers += 1;
+        self.stats.congestion_flits += flits;
+        flits
     }
 
     /// Offset added to a `clock()` read at `now` on SM `sm` (clock
@@ -571,6 +614,39 @@ mod tests {
         assert_eq!(inj.launch_skew(0), 0);
         assert_eq!(inj.stats(), &FaultStats::default());
         assert!(mem.l1(0).probe(2 * 64));
+    }
+
+    #[test]
+    fn link_congestion_is_window_stable_and_deterministic() {
+        let plan = FaultPlan::new(21)
+            .with_period(1_000)
+            .with_burst(1_000)
+            .with_kinds(FaultKinds { link: true, ..FaultKinds::none() });
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        // Inside one window every transfer sees the same phantom depth.
+        let first = a.link_congestion(100, 0);
+        assert!(first > 0, "full-intensity burst must fire");
+        assert_eq!(a.link_congestion(400, 0), first, "stable within a window");
+        assert_eq!(b.link_congestion(100, 0), first, "pure function of (seed, window, link)");
+        // Different links draw decorrelated depths.
+        assert_ne!(a.link_congestion(100, 1), first);
+        assert!(a.stats().congested_transfers >= 3);
+        assert!(a.stats().congestion_flits > 0);
+        assert!(a.stats().total_events() >= 3);
+        // Disabled kind injects nothing.
+        let mut off = FaultInjector::new(plan.with_kinds(FaultKinds::none()));
+        assert_eq!(off.link_congestion(100, 0), 0);
+        assert_eq!(off.stats(), &FaultStats::default());
+    }
+
+    #[test]
+    fn link_kind_round_trips_through_the_spec_grammar() {
+        let plan = FaultPlan::new(4).with_kinds(FaultKinds { link: true, ..FaultKinds::none() });
+        let spec = plan.to_spec();
+        assert!(spec.contains("kinds=link"), "{spec}");
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
+        assert!(FaultPlan::from_spec("kinds=all").unwrap().kinds.link);
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod kernel;
 mod policy;
 mod sm;
 mod stats;
+mod topology;
 mod trace;
 mod tuning;
 mod warp;
@@ -60,6 +61,7 @@ pub use fault::{FaultInjector, FaultKinds, FaultPlan, FaultStats};
 pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
 pub use policy::PlacementPolicy;
 pub use stats::SimStats;
+pub use topology::{LinkTransfer, Topology, TopologyStats};
 pub use trace::{
     chrome_trace_json, EventTrace, NullSink, TraceEvent, TraceRecord, TraceSink,
     DEFAULT_TRACE_CAPACITY,

@@ -1,0 +1,605 @@
+//! Multi-device topologies: N [`Device`]s joined by NVLink-style links with
+//! shared-link contention accounting.
+//!
+//! The intra-GPU channels of the paper measure queueing on shared on-chip
+//! resources (constant-cache sets, SFU issue ports, atomic units). An
+//! inter-GPU link is the same story one level up: a [`LinkSpec`]-described
+//! link owns a small number of parallel *lanes*, transfers occupy lane
+//! slots, and concurrent traffic from the two endpoints queues visibly —
+//! exactly the observable NVBleed exploits on real NVLink fabrics.
+//!
+//! The model mirrors the per-scheduler issue-port structure of
+//! [`crate::Device`]:
+//!
+//! * each link has `lanes` slot lanes; a transfer of `n` flits occupies one
+//!   lane for `n * slot_cycles` cycles;
+//! * lanes are granted by **round-robin slot arbitration**: a rotating
+//!   cursor picks the first free lane, falling back to the
+//!   earliest-draining lane when all are busy (the queueing delay is the
+//!   covert-channel signal);
+//! * delivery completes one propagation `latency_cycles` after the last
+//!   slot — two for request/response round trips
+//!   ([`Topology::remote_atomic`]).
+//!
+//! All link timing is pure integer arithmetic over explicit request
+//! timestamps — no per-cycle polling — so transfer schedules are
+//! bit-identical across engine modes, worker threads and processes, and the
+//! [`crate::FaultInjector`]'s link-congestion hook composes without
+//! breaking that invariant.
+
+use crate::device::Device;
+use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultStats};
+use crate::kernel::{KernelId, KernelSpec};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::tuning::DeviceTuning;
+use crate::StreamId;
+use gpgpu_spec::topology::FLIT_BYTES;
+use gpgpu_spec::{LinkSpec, TopologySpec};
+
+/// One completed link transfer: when it started occupying a lane, when it
+/// was delivered, and how long it queued first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTransfer {
+    /// The link the transfer crossed.
+    pub link: u32,
+    /// Source device index.
+    pub from: u32,
+    /// Destination device index.
+    pub to: u32,
+    /// Flits moved ([`FLIT_BYTES`] bytes each).
+    pub flits: u64,
+    /// Cycle the transfer was requested.
+    pub requested: u64,
+    /// Cycle the first slot was granted (>= `requested`).
+    pub start: u64,
+    /// Cycle the payload was delivered at the destination.
+    pub end: u64,
+    /// `start - requested`: cycles spent queueing behind busy lanes.
+    pub queue_cycles: u64,
+}
+
+impl LinkTransfer {
+    /// End-to-end latency the requester observed (`end - requested`).
+    pub fn latency(&self) -> u64 {
+        self.end - self.requested
+    }
+}
+
+/// Aggregate counters over every transfer a topology serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopologyStats {
+    /// Transfers serviced (p2p copies + remote atomics).
+    pub transfers: u64,
+    /// Total flits moved.
+    pub flits: u64,
+    /// Total cycles transfers spent queued behind busy lanes.
+    pub queue_cycles: u64,
+    /// Peer-to-peer copies serviced.
+    pub p2p_copies: u64,
+    /// Remote atomic operations serviced.
+    pub remote_atomics: u64,
+}
+
+/// Runtime state of one link: its spec plus per-lane busy horizons and the
+/// round-robin arbitration cursor.
+#[derive(Debug, Clone)]
+struct LinkState {
+    spec: LinkSpec,
+    /// Cycle each lane becomes free.
+    lane_free: Vec<u64>,
+    /// Next lane the arbiter considers first (round-robin, mirroring the
+    /// per-scheduler FU issue-port cursor).
+    rr_cursor: usize,
+}
+
+impl LinkState {
+    fn new(spec: LinkSpec) -> Self {
+        LinkState { spec, lane_free: vec![0; spec.lanes as usize], rr_cursor: 0 }
+    }
+
+    /// Grants one lane for a transfer arriving at `now`: the first free
+    /// lane scanning round-robin from the cursor, else the
+    /// earliest-draining lane (ties broken in cursor order). Returns
+    /// `(lane, start_cycle)` without occupying it.
+    fn arbitrate(&self, now: u64) -> (usize, u64) {
+        let lanes = self.lane_free.len();
+        let mut best_lane = self.rr_cursor % lanes;
+        let mut best_free = self.lane_free[best_lane];
+        for offset in 0..lanes {
+            let lane = (self.rr_cursor + offset) % lanes;
+            let free = self.lane_free[lane];
+            if free <= now {
+                return (lane, now);
+            }
+            if free < best_free {
+                best_lane = lane;
+                best_free = free;
+            }
+        }
+        (best_lane, best_free)
+    }
+
+    /// Occupies `lane` for `flits` flits starting at `start`, advancing the
+    /// arbitration cursor. Returns the cycle the last slot drains.
+    fn occupy(&mut self, lane: usize, start: u64, flits: u64) -> u64 {
+        let drained = start + flits * self.spec.slot_cycles;
+        self.lane_free[lane] = drained;
+        self.rr_cursor = (lane + 1) % self.lane_free.len();
+        drained
+    }
+}
+
+/// N [`Device`]s joined by contended links, with peer-to-peer copies and
+/// remote atomics that queue on lanes the way warps queue on functional
+/// units.
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_sim::Topology;
+/// use gpgpu_spec::TopologySpec;
+///
+/// let mut topo = Topology::new(&TopologySpec::dual("kepler").unwrap()).unwrap();
+/// let quiet = topo.remote_atomic(0, 0, 4, 1_000).unwrap();
+/// let bulk = topo.p2p_copy(0, 1, 64 * 1024, 1_000).unwrap();
+/// let contended = topo.remote_atomic(0, 0, 4, 1_001).unwrap();
+/// assert!(contended.latency() > quiet.latency(), "bulk copy congests the link");
+/// assert!(bulk.flits > contended.flits);
+/// ```
+#[derive(Debug)]
+pub struct Topology {
+    spec: TopologySpec,
+    devices: Vec<Device>,
+    links: Vec<LinkState>,
+    trace: Option<Box<dyn TraceSink>>,
+    faults: Option<FaultInjector>,
+    stats: TopologyStats,
+    /// Maximum queueing delay a transfer may accumulate before the request
+    /// fails with [`SimError::LinkSaturated`].
+    queue_limit: u64,
+}
+
+impl Topology {
+    /// Builds the topology with default device tuning.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Launch`] wrapping the [`gpgpu_spec::SpecError`] if the
+    /// spec fails validation.
+    pub fn new(spec: &TopologySpec) -> Result<Self, SimError> {
+        Topology::with_tuning(spec, DeviceTuning::none())
+    }
+
+    /// Builds the topology with every device sharing `tuning` (engine mode
+    /// selection for the engine-equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::new`].
+    pub fn with_tuning(spec: &TopologySpec, tuning: DeviceTuning) -> Result<Self, SimError> {
+        spec.validate().map_err(SimError::Launch)?;
+        let devices = spec
+            .device_specs()
+            .map_err(SimError::Launch)?
+            .into_iter()
+            .map(|d| Device::with_tuning(d, tuning))
+            .collect();
+        Ok(Topology {
+            spec: spec.clone(),
+            devices,
+            links: spec.links.iter().copied().map(LinkState::new).collect(),
+            trace: None,
+            faults: None,
+            stats: TopologyStats::default(),
+            queue_limit: u64::MAX,
+        })
+    }
+
+    /// Fails transfers whose queueing delay exceeds `cycles` with
+    /// [`SimError::LinkSaturated`] instead of waiting forever — the guard
+    /// that turns a congestion-fault storm into a typed error rather than
+    /// an unbounded stall.
+    pub fn with_queue_limit(mut self, cycles: u64) -> Self {
+        self.queue_limit = cycles;
+        self
+    }
+
+    /// The validated spec this topology was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Immutable access to device `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDevice`] when `index` is out of range.
+    pub fn device(&self, index: usize) -> Result<&Device, SimError> {
+        self.devices
+            .get(index)
+            .ok_or(SimError::UnknownDevice { index, devices: self.devices.len() })
+    }
+
+    /// Mutable access to device `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDevice`] when `index` is out of range.
+    pub fn device_mut(&mut self, index: usize) -> Result<&mut Device, SimError> {
+        let devices = self.devices.len();
+        self.devices.get_mut(index).ok_or(SimError::UnknownDevice { index, devices })
+    }
+
+    /// Launches a kernel on stream `stream` of device `device`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDevice`], or any launch-validation error of
+    /// [`Device::launch`].
+    pub fn launch(
+        &mut self,
+        device: usize,
+        stream: StreamId,
+        kernel: KernelSpec,
+    ) -> Result<KernelId, SimError> {
+        self.device_mut(device)?.launch(stream, kernel)
+    }
+
+    /// Runs every device until all are idle (each bounded by `max_cycles`).
+    /// Devices are independent clock domains; cross-device interaction
+    /// happens only through explicit link transfers.
+    ///
+    /// # Errors
+    ///
+    /// The first device failure, in device order.
+    pub fn run_all_until_idle(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        for dev in &mut self.devices {
+            dev.run_until_idle(max_cycles)?;
+        }
+        Ok(())
+    }
+
+    /// The furthest-advanced device clock.
+    pub fn device_now(&self) -> u64 {
+        self.devices.iter().map(Device::now).max().unwrap_or(0)
+    }
+
+    /// Installs a sink receiving [`TraceEvent::LinkTransfer`] events (one
+    /// per serviced transfer, timestamped at the request cycle).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the trace sink.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Installs a fault injector whose link-congestion hook perturbs
+    /// subsequent transfers (other fault kinds are inert at this layer;
+    /// install injectors on individual devices for those).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Removes and returns the fault injector.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    /// Counters of faults the topology's injector delivered so far.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Aggregate transfer counters.
+    pub fn stats(&self) -> &TopologyStats {
+        &self.stats
+    }
+
+    /// The earliest cycle at which link `link` has a free lane.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownLink`] when `link` is out of range.
+    pub fn link_ready_at(&self, link: usize) -> Result<u64, SimError> {
+        let state = self
+            .links
+            .get(link)
+            .ok_or(SimError::UnknownLink { index: link, links: self.links.len() })?;
+        Ok(state.lane_free.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Copies `bytes` from device `from` to its link peer over link `link`,
+    /// starting at cycle `now`: the bulk one-way transfer a trojan uses to
+    /// occupy lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownLink`], [`SimError::NotALinkEndpoint`], or
+    /// [`SimError::LinkSaturated`] past the queue limit.
+    pub fn p2p_copy(
+        &mut self,
+        link: usize,
+        from: usize,
+        bytes: u64,
+        now: u64,
+    ) -> Result<LinkTransfer, SimError> {
+        let flits = bytes.div_ceil(FLIT_BYTES).max(1);
+        let t = self.request(link, from, flits, false, now)?;
+        self.stats.p2p_copies += 1;
+        Ok(t)
+    }
+
+    /// Performs `ops` remote atomic operations from device `from` on its
+    /// link peer's memory over link `link`, starting at cycle `now`. Each
+    /// op moves one request flit and the completion waits for the response,
+    /// so the observed latency includes *two* link traversals — the small,
+    /// timeable probe a spy uses to sample lane occupancy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::p2p_copy`].
+    pub fn remote_atomic(
+        &mut self,
+        link: usize,
+        from: usize,
+        ops: u64,
+        now: u64,
+    ) -> Result<LinkTransfer, SimError> {
+        let t = self.request(link, from, ops.max(1), true, now)?;
+        self.stats.remote_atomics += 1;
+        Ok(t)
+    }
+
+    /// The shared transfer path: validates the route, applies congestion
+    /// faults, arbitrates a lane, occupies it and accounts the transfer.
+    fn request(
+        &mut self,
+        link: usize,
+        from: usize,
+        flits: u64,
+        round_trip: bool,
+        now: u64,
+    ) -> Result<LinkTransfer, SimError> {
+        let num_links = self.links.len();
+        let state = self
+            .links
+            .get_mut(link)
+            .ok_or(SimError::UnknownLink { index: link, links: num_links })?;
+        let from_u32 =
+            u32::try_from(from).map_err(|_| SimError::NotALinkEndpoint { link, device: from })?;
+        let to = state
+            .spec
+            .peer_of(from_u32)
+            .ok_or(SimError::NotALinkEndpoint { link, device: from })?;
+
+        // Congestion faults: a firing burst window queues a phantom
+        // co-tenant workload ahead of this transfer, striped across every
+        // lane the way a bulk copy is.
+        if let Some(inj) = &mut self.faults {
+            let phantom = inj.link_congestion(now, link as u32);
+            if phantom > 0 {
+                let lanes = state.lane_free.len() as u64;
+                let per_lane = phantom.div_ceil(lanes);
+                for lane in 0..state.lane_free.len() {
+                    let start = state.lane_free[lane].max(now);
+                    state.lane_free[lane] = start + per_lane * state.spec.slot_cycles;
+                }
+            }
+        }
+
+        let (lane, start) = state.arbitrate(now);
+        let queue_cycles = start - now;
+        if queue_cycles > self.queue_limit {
+            return Err(SimError::LinkSaturated { link, queue_cycles });
+        }
+        let drained = state.occupy(lane, start, flits);
+        let traversals = if round_trip { 2 } else { 1 };
+        let end = drained + traversals * state.spec.latency_cycles;
+
+        self.stats.transfers += 1;
+        self.stats.flits += flits;
+        self.stats.queue_cycles += queue_cycles;
+        if let Some(sink) = &mut self.trace {
+            sink.record(
+                now,
+                TraceEvent::LinkTransfer {
+                    link: link as u32,
+                    from: from_u32,
+                    to,
+                    flits,
+                    queue_cycles,
+                },
+            );
+        }
+        Ok(LinkTransfer {
+            link: link as u32,
+            from: from_u32,
+            to,
+            flits,
+            requested: now,
+            start,
+            end,
+            queue_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKinds, FaultPlan};
+    use crate::trace::EventTrace;
+    use gpgpu_spec::topology::DEFAULT_SLOT_CYCLES;
+
+    fn dual() -> Topology {
+        Topology::new(&TopologySpec::dual("kepler").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn builds_devices_from_presets() {
+        let topo = dual();
+        assert_eq!(topo.num_devices(), 2);
+        assert_eq!(topo.num_links(), 1);
+        assert_eq!(topo.device(0).unwrap().spec().name, "Tesla K40C");
+        assert!(matches!(topo.device(7), Err(SimError::UnknownDevice { index: 7, devices: 2 })));
+    }
+
+    #[test]
+    fn quiet_probe_latency_is_service_plus_round_trip() {
+        let mut topo = dual();
+        let lat = topo.spec().links[0].latency_cycles;
+        let t = topo.remote_atomic(0, 0, 4, 100).unwrap();
+        assert_eq!(t.queue_cycles, 0);
+        assert_eq!(t.latency(), 4 * DEFAULT_SLOT_CYCLES + 2 * lat);
+        assert_eq!((t.from, t.to), (0, 1));
+    }
+
+    #[test]
+    fn p2p_copy_is_one_way_and_rounds_up_to_flits() {
+        let mut topo = dual();
+        let lat = topo.spec().links[0].latency_cycles;
+        let t = topo.p2p_copy(0, 1, 33, 0).unwrap();
+        assert_eq!(t.flits, 2, "33 bytes round up to two flits");
+        assert_eq!(t.latency(), 2 * DEFAULT_SLOT_CYCLES + lat);
+        assert_eq!((t.from, t.to), (1, 0));
+    }
+
+    #[test]
+    fn concurrent_transfers_queue_and_round_robin_over_lanes() {
+        let mut topo = dual();
+        let lanes = topo.spec().links[0].lanes as u64;
+        assert_eq!(lanes, 2);
+        // Two bulk copies fill both lanes...
+        let a = topo.p2p_copy(0, 1, 1024, 0).unwrap();
+        let b = topo.p2p_copy(0, 1, 1024, 0).unwrap();
+        assert_eq!(a.queue_cycles, 0);
+        assert_eq!(b.queue_cycles, 0, "second copy lands on the second lane");
+        // ...so a probe right behind them queues until a lane drains.
+        let probe = topo.remote_atomic(0, 0, 1, 1).unwrap();
+        assert!(probe.queue_cycles > 0, "expected queueing, got {probe:?}");
+        assert_eq!(probe.start, 1024 / FLIT_BYTES * DEFAULT_SLOT_CYCLES);
+        assert_eq!(topo.stats().transfers, 3);
+        assert_eq!(topo.stats().queue_cycles, probe.queue_cycles);
+    }
+
+    #[test]
+    fn arbitration_is_deterministic() {
+        let run = || {
+            let mut topo = dual();
+            let mut log = Vec::new();
+            for i in 0..32u64 {
+                let t = if i % 3 == 0 {
+                    topo.p2p_copy(0, 1, 4096, i * 7).unwrap()
+                } else {
+                    topo.remote_atomic(0, 0, 2, i * 7).unwrap()
+                };
+                log.push((t.start, t.end, t.queue_cycles));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn endpoint_and_link_validation() {
+        let mut topo = dual();
+        assert!(matches!(
+            topo.p2p_copy(3, 0, 64, 0),
+            Err(SimError::UnknownLink { index: 3, links: 1 })
+        ));
+        assert!(matches!(
+            topo.remote_atomic(0, 5, 1, 0),
+            Err(SimError::NotALinkEndpoint { link: 0, device: 5 })
+        ));
+        assert_eq!(topo.stats(), &TopologyStats::default(), "failed requests are not accounted");
+    }
+
+    #[test]
+    fn queue_limit_surfaces_saturation_as_a_typed_error() {
+        let mut topo = dual().with_queue_limit(100);
+        // Saturate both lanes far beyond the limit.
+        topo.p2p_copy(0, 1, 1 << 20, 0).unwrap();
+        topo.p2p_copy(0, 1, 1 << 20, 0).unwrap();
+        let err = topo.remote_atomic(0, 0, 1, 1).unwrap_err();
+        assert!(
+            matches!(err, SimError::LinkSaturated { link: 0, queue_cycles } if queue_cycles > 100),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn congestion_faults_delay_transfers_and_count() {
+        let plan = FaultPlan::new(77)
+            .with_period(1_000_000)
+            .with_burst(1_000_000)
+            .with_kinds(FaultKinds { link: true, ..FaultKinds::none() });
+        let mut faulted = dual();
+        faulted.set_fault_injector(FaultInjector::new(plan));
+        let mut clean = dual();
+        let hot = faulted.remote_atomic(0, 0, 2, 50).unwrap();
+        let cold = clean.remote_atomic(0, 0, 2, 50).unwrap();
+        assert!(hot.latency() > cold.latency(), "congestion must add delay");
+        let stats = faulted.fault_stats().unwrap();
+        assert_eq!(stats.congested_transfers, 1);
+        assert!(stats.congestion_flits > 0);
+        assert!(faulted.take_fault_injector().is_some());
+    }
+
+    #[test]
+    fn link_transfers_are_traced_at_request_time() {
+        let mut topo = dual();
+        topo.set_trace_sink(Box::new(EventTrace::with_capacity(8)));
+        topo.p2p_copy(0, 0, 96, 42).unwrap();
+        let trace = topo.take_trace_sink().unwrap().into_any().downcast::<EventTrace>().unwrap();
+        let records = trace.events();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].cycle, 42);
+        assert!(matches!(
+            records[0].event,
+            TraceEvent::LinkTransfer { link: 0, from: 0, to: 1, flits: 3, queue_cycles: 0 }
+        ));
+    }
+
+    #[test]
+    fn devices_launch_and_run_independently() {
+        use gpgpu_isa::{ProgramBuilder, Reg};
+        use gpgpu_spec::LaunchConfig;
+        let mut topo = dual();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(Reg(0), 1);
+        b.push_result(Reg(0));
+        let program = b.build().unwrap();
+        let k0 = topo
+            .launch(0, 0, KernelSpec::new("a", program.clone(), LaunchConfig::new(1, 32)))
+            .unwrap();
+        topo.launch(1, 0, KernelSpec::new("b", program, LaunchConfig::new(1, 32))).unwrap();
+        topo.run_all_until_idle(1_000_000).unwrap();
+        assert!(topo.device_now() > 0);
+        assert!(topo.device(0).unwrap().results(k0).is_ok());
+        assert!(matches!(
+            topo.launch(
+                9,
+                0,
+                KernelSpec::new(
+                    "c",
+                    ProgramBuilder::new().build().unwrap(),
+                    LaunchConfig::new(1, 32)
+                )
+            ),
+            Err(SimError::UnknownDevice { .. })
+        ));
+    }
+}

@@ -154,6 +154,21 @@ pub enum TraceEvent {
         /// Block index within the grid.
         block: u32,
     },
+    /// A transfer crossed an inter-device link of a [`crate::Topology`]
+    /// (peer-to-peer copy or remote atomic).
+    LinkTransfer {
+        /// Link index within the topology.
+        link: u32,
+        /// Source device index.
+        from: u32,
+        /// Destination device index.
+        to: u32,
+        /// Flits moved.
+        flits: u64,
+        /// Cycles the transfer queued behind busy lanes (the NVLink
+        /// covert channel's signal).
+        queue_cycles: u64,
+    },
 }
 
 /// A [`TraceEvent`] paired with the cycle it occurred at.
@@ -350,7 +365,9 @@ pub fn chrome_trace_json(records: &[TraceRecord], kernel_names: &[String]) -> St
     let mut device_used = false;
     for r in records {
         match r.event {
-            TraceEvent::KernelLaunch { .. } | TraceEvent::KernelComplete { .. } => {
+            TraceEvent::KernelLaunch { .. }
+            | TraceEvent::KernelComplete { .. }
+            | TraceEvent::LinkTransfer { .. } => {
                 device_used = true;
             }
             TraceEvent::CacheEviction { sm, .. } => match sm {
@@ -475,6 +492,11 @@ pub fn chrome_trace_json(records: &[TraceRecord], kernel_names: &[String]) -> St
                  \"args\":{{\"block\":{block}}}}}",
                 pid_of(Some(sm))
             ),
+            TraceEvent::LinkTransfer { link, from, to, flits, queue_cycles } => format!(
+                "{{\"name\":\"link {from}->{to}\",\"cat\":\"link\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":{DEVICE_PID},\"tid\":{link},\"s\":\"p\",\
+                 \"args\":{{\"link\":{link},\"flits\":{flits},\"queue_cycles\":{queue_cycles}}}}}"
+            ),
         };
         lines.push(line);
     }
@@ -587,6 +609,25 @@ mod tests {
             _ => d,
         });
         assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn chrome_export_renders_link_transfers_on_the_device_lane() {
+        let records = vec![TraceRecord {
+            cycle: 12,
+            event: TraceEvent::LinkTransfer {
+                link: 0,
+                from: 1,
+                to: 0,
+                flits: 256,
+                queue_cycles: 37,
+            },
+        }];
+        let json = chrome_trace_json(&records, &[]);
+        assert!(json.contains("\"name\":\"device\""), "link events live on the device pid");
+        assert!(json.contains("link 1->0"), "{json}");
+        assert!(json.contains("\"queue_cycles\":37"), "{json}");
+        assert!(json.contains("\"flits\":256"), "{json}");
     }
 
     #[test]

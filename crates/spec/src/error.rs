@@ -35,6 +35,12 @@ pub enum SpecError {
         /// The device name.
         device: String,
     },
+    /// A multi-GPU topology spec string or structure is malformed
+    /// (unknown device name, link endpoint out of range, zero timing field).
+    InvalidTopology {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -51,6 +57,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::UnsupportedUnit { unit, device } => {
                 write!(f, "device `{device}` has no {unit} units")
+            }
+            SpecError::InvalidTopology { reason } => {
+                write!(f, "invalid topology: {reason}")
             }
         }
     }

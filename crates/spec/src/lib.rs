@@ -40,6 +40,7 @@ pub mod launch;
 pub mod mem;
 pub mod presets;
 pub mod sm;
+pub mod topology;
 
 pub use arch::{Architecture, FuOpKind, FuUnit};
 pub use cache::{CacheGeometry, CacheSpec};
@@ -49,6 +50,7 @@ pub use fu::{FuPools, FuTiming};
 pub use launch::{BlockResources, LaunchConfig};
 pub use mem::MemorySpec;
 pub use sm::SmSpec;
+pub use topology::{LinkSpec, TopologySpec};
 
 /// Number of threads in a warp. Constant across every NVIDIA architecture
 /// the paper evaluates (and every CUDA GPU shipped to date).

@@ -134,6 +134,22 @@ pub fn all() -> Vec<DeviceSpec> {
     vec![tesla_c2075(), tesla_k40c(), quadro_m4000()]
 }
 
+/// Resolves a user-supplied device name or alias to its preset.
+///
+/// Accepts the architecture name, the short model name, or the full
+/// marketing name, case-insensitively: `fermi`/`c2075`/`tesla-c2075`,
+/// `kepler`/`k40c`/`tesla-k40c`, `maxwell`/`m4000`/`quadro-m4000`.
+/// Returns `None` for anything else so callers can produce a typed error
+/// instead of panicking on user input.
+pub fn by_name(name: &str) -> Option<DeviceSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "fermi" | "c2075" | "tesla-c2075" | "tesla c2075" => Some(tesla_c2075()),
+        "kepler" | "k40c" | "tesla-k40c" | "tesla k40c" => Some(tesla_k40c()),
+        "maxwell" | "m4000" | "quadro-m4000" | "quadro m4000" => Some(quadro_m4000()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +243,17 @@ mod tests {
     fn all_returns_generation_order() {
         let names: Vec<String> = all().into_iter().map(|d| d.name).collect();
         assert_eq!(names, vec!["Tesla C2075", "Tesla K40C", "Quadro M4000"]);
+    }
+
+    #[test]
+    fn by_name_resolves_aliases_case_insensitively() {
+        assert_eq!(by_name("kepler").unwrap().name, "Tesla K40C");
+        assert_eq!(by_name("K40C").unwrap().name, "Tesla K40C");
+        assert_eq!(by_name("Tesla-K40C").unwrap().name, "Tesla K40C");
+        assert_eq!(by_name("fermi").unwrap().name, "Tesla C2075");
+        assert_eq!(by_name("maxwell").unwrap().name, "Quadro M4000");
+        assert_eq!(by_name("quadro m4000").unwrap().name, "Quadro M4000");
+        assert!(by_name("volta").is_none());
+        assert!(by_name("").is_none());
     }
 }

@@ -38,6 +38,21 @@ fn hostile_env(bits: usize) -> LinkEnvironment {
         .with_noise(vec![NoiseKind::ConstantCacheHog], 40 + 30 * bits as u64)
 }
 
+/// Co-runners that stomp every on-chip family at once: the cache hog kills
+/// both L1 channels, the atomic hammer saturates the atomic units, and four
+/// SFU-bound kernels (one is two warps — too few to cross the decode
+/// midpoint) saturate the special function units.
+fn total_noise() -> Vec<NoiseKind> {
+    vec![
+        NoiseKind::ConstantCacheHog,
+        NoiseKind::AtomicHammer,
+        NoiseKind::FuBound,
+        NoiseKind::FuBound,
+        NoiseKind::FuBound,
+        NoiseKind::FuBound,
+    ]
+}
+
 // ---------------------------------------------------------------- calibration
 
 #[test]
@@ -149,6 +164,116 @@ fn acceptance_storm_plus_hog_static_fails_adaptive_recovers_bit_exact() {
     assert_ne!(a.diagnostic.final_family, ChannelFamily::CacheL1Sync, "{}", a.diagnostic);
     let rendered = a.diagnostic.to_string();
     assert!(rendered.contains("fallback") && rendered.contains("delivered"), "{rendered}");
+}
+
+#[test]
+fn exhausted_ladder_records_every_stage_in_order_then_aborts() {
+    // Stomp every family at once: a constant-cache hog kills both L1
+    // channels, an atomic hammer saturates the atomic units, SFU-bound
+    // co-runners saturate the special function units, always-on launch-skew
+    // faults destroy the trojan/spy overlap every per-bit on-chip channel
+    // needs (no threshold fit can repair a missed window), and an always-on
+    // link-congestion storm saturates the NVLink fabric the topology
+    // provides. No rung on any family can recover; the diagnostic must
+    // record the complete ladder — Static/Recalibrate/Stretch per family,
+    // a Fallback marker at each family switch, and the final Abort — in
+    // exact order.
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(16, 0xABD1);
+    let plan = FaultPlan::new(0xDEAD_11AC)
+        .with_intensity(1.0)
+        .with_period(200_000)
+        .with_burst(200_000) // burst == period: the storm never lets up
+        .with_target_set(2)
+        .with_kinds(FaultKinds { link: true, skew: true, ..FaultKinds::cache() });
+    let env = LinkEnvironment::clean()
+        .with_faults(plan)
+        .with_noise(total_noise(), 40 + 30 * msg.len() as u64)
+        .with_topology(gpgpu_spec::TopologySpec::dual("kepler").unwrap());
+    let link = AdaptiveLink::new(spec).with_env(env);
+
+    let out = link.transmit(&msg).expect("exhaustion is an outcome, not an Err");
+    let d = &out.diagnostic;
+    assert!(!d.delivered, "no family may deliver under total interference: {d}");
+    assert!(d.ber > 0.0, "best-effort message must be damaged, got BER {}", d.ber);
+    assert!(d.reason.contains("exhausted"), "{}", d.reason);
+
+    // The full ladder, in order: three rungs per family, a fallback marker
+    // before each family after the first, then the abort.
+    use ChannelFamily::{Atomic, CacheL1Sync, Nvlink, Sfu};
+    use LadderStage::{Abort, Fallback, Recalibrate, Static, Stretch};
+    let got: Vec<(LadderStage, ChannelFamily)> =
+        d.stages.iter().map(|e| (e.stage, e.family)).collect();
+    let want = vec![
+        (Static, CacheL1Sync),
+        (Recalibrate, CacheL1Sync),
+        (Stretch, CacheL1Sync),
+        (Fallback, Atomic),
+        (Static, Atomic),
+        (Recalibrate, Atomic),
+        (Stretch, Atomic),
+        (Fallback, Sfu),
+        (Static, Sfu),
+        (Recalibrate, Sfu),
+        (Stretch, Sfu),
+        (Fallback, Nvlink),
+        (Static, Nvlink),
+        (Recalibrate, Nvlink),
+        (Stretch, Nvlink),
+    ];
+    assert_eq!(&got[..want.len()], &want[..], "ladder order diverged: {d}");
+    assert_eq!(got.len(), want.len() + 1, "exactly one event past the last rung: {d}");
+    assert_eq!(d.stages.last().unwrap().stage, Abort, "{d}");
+    assert!(d.stages.iter().all(|e| !e.recovered), "no rung may recover: {d}");
+
+    // The NVLink rungs must have died to the typed saturation error — the
+    // congestion storm exceeding the channel's queue budget — not by
+    // decoding garbage.
+    let nvlink_attempts: Vec<_> = d
+        .stages
+        .iter()
+        .filter(|e| e.family == Nvlink && e.stage != Fallback && e.stage != Abort)
+        .collect();
+    assert_eq!(nvlink_attempts.len(), 3, "{d}");
+    for e in nvlink_attempts {
+        assert!(
+            e.detail.contains("transport error") && e.detail.contains("saturated"),
+            "nvlink rung should record link saturation, got: {}",
+            e.detail
+        );
+    }
+}
+
+#[test]
+fn exhausted_ladder_without_a_topology_reports_the_nvlink_config_error() {
+    // Same total interference, but no multi-GPU topology in the
+    // environment: the NVLink rungs cannot even construct a channel and
+    // must record the typed configuration error instead of panicking.
+    let spec = presets::tesla_k40c();
+    let msg = Message::pseudo_random(16, 0xABD2);
+    let plan = FaultPlan::new(0xDEAD_11AC)
+        .with_intensity(1.0)
+        .with_period(200_000)
+        .with_burst(200_000)
+        .with_target_set(2)
+        .with_kinds(FaultKinds { skew: true, ..FaultKinds::cache() });
+    let env = LinkEnvironment::clean()
+        .with_faults(plan)
+        .with_noise(total_noise(), 40 + 30 * msg.len() as u64);
+    let out = AdaptiveLink::new(spec).with_env(env).transmit(&msg).expect("outcome, not Err");
+    let d = &out.diagnostic;
+    assert!(!d.delivered, "{d}");
+    assert_eq!(d.stages.last().unwrap().stage, LadderStage::Abort, "{d}");
+    let nvlink_rungs: Vec<_> =
+        d.stages.iter().filter(|e| e.family == ChannelFamily::Nvlink).collect();
+    assert!(!nvlink_rungs.is_empty(), "nvlink family must still be attempted: {d}");
+    assert!(
+        nvlink_rungs
+            .iter()
+            .filter(|e| e.stage != LadderStage::Fallback)
+            .all(|e| e.detail.contains("requires a multi-GPU topology")),
+        "{d}"
+    );
 }
 
 #[test]

@@ -1,0 +1,122 @@
+//! Differential tests: the dense and event-driven cycle engines must
+//! produce bit-identical architectural results for every channel family.
+//!
+//! The event-driven engine's optimization contract is that it skips only
+//! work that provably cannot change architectural state — so a whole
+//! channel transmission (calibration, per-bit kernels, decode, cycle
+//! counts) must come out identical under both engines, down to the last
+//! bit of the floating-point bandwidth figure. `assert_engines_agree` runs
+//! each closure once per engine and compares.
+
+use gpgpu_covert::atomic_channel::{AtomicChannel, AtomicScenario};
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::fu_channel::SfuChannel;
+use gpgpu_covert::harness::assert_engines_agree;
+use gpgpu_covert::nvlink_channel::NvlinkChannel;
+use gpgpu_covert::sync_channel::SyncChannel;
+use gpgpu_covert::ChannelOutcome;
+use gpgpu_sim::{DeviceTuning, EngineMode, FaultKinds, FaultPlan};
+use gpgpu_spec::{presets, TopologySpec};
+
+/// The architectural fingerprint of a transmission: everything a spy can
+/// observe, with floats made exactly comparable. Engine counters
+/// (`SimStats`) are deliberately excluded — the engines legitimately differ
+/// in how much work they *did*, never in what the simulation *computed*.
+fn fingerprint(o: &ChannelOutcome) -> (Vec<bool>, usize, u64, u64, u64) {
+    (
+        o.received.bits().to_vec(),
+        o.sent.len(),
+        o.cycles,
+        o.ber.to_bits(),
+        o.bandwidth_kbps.to_bits(),
+    )
+}
+
+fn tuning(mode: EngineMode) -> DeviceTuning {
+    DeviceTuning { engine: mode, ..DeviceTuning::none() }
+}
+
+#[test]
+fn l1_channel_is_engine_equivalent() {
+    let msg = Message::from_bits([true, false, true, true, false, false, true, false]);
+    let out = assert_engines_agree("L1 prime+probe channel", |mode| {
+        let o = L1Channel::new(presets::tesla_k40c())
+            .with_tuning(tuning(mode))
+            .transmit(&msg)
+            .expect("l1 transmits");
+        fingerprint(&o)
+    });
+    assert_eq!(out.0, msg.bits(), "and the channel itself is error-free");
+}
+
+#[test]
+fn sync_channel_is_engine_equivalent() {
+    let msg = Message::from_bits([false, true, true, false, true, false, false, true]);
+    let out = assert_engines_agree("synchronized L1 channel", |mode| {
+        let o = SyncChannel::new(presets::tesla_k40c())
+            .with_tuning(tuning(mode))
+            .transmit(&msg)
+            .expect("sync transmits");
+        fingerprint(&o)
+    });
+    assert_eq!(out.0, msg.bits());
+}
+
+#[test]
+fn atomic_channel_is_engine_equivalent() {
+    let msg = Message::from_bits([true, true, false, false, true, false, true, false]);
+    let out = assert_engines_agree("atomic-contention channel", |mode| {
+        let o = AtomicChannel::new(presets::tesla_k40c(), AtomicScenario::OneAddress)
+            .with_tuning(tuning(mode))
+            .transmit(&msg)
+            .expect("atomic transmits");
+        fingerprint(&o)
+    });
+    assert_eq!(out.0, msg.bits());
+}
+
+#[test]
+fn sfu_channel_is_engine_equivalent() {
+    let msg = Message::from_bits([false, true, false, true, true, false, true, true]);
+    let out = assert_engines_agree("SFU issue-contention channel", |mode| {
+        let o = SfuChannel::new(presets::tesla_k40c())
+            .with_tuning(tuning(mode))
+            .transmit(&msg)
+            .expect("sfu transmits");
+        fingerprint(&o)
+    });
+    assert_eq!(out.0, msg.bits());
+}
+
+#[test]
+fn nvlink_channel_is_engine_equivalent() {
+    let msg = Message::from_bytes(b"x9");
+    let out = assert_engines_agree("cross-GPU nvlink channel", |mode| {
+        let ch = NvlinkChannel::new(TopologySpec::dual("kepler").expect("dual topology"))
+            .expect("channel builds")
+            .with_tuning(tuning(mode));
+        fingerprint(&ch.transmit(&msg).expect("nvlink transmits"))
+    });
+    assert_eq!(out.0, msg.bits());
+}
+
+#[test]
+fn nvlink_channel_under_mild_congestion_is_engine_equivalent() {
+    // Link-congestion faults perturb the transfer schedule; the schedule is
+    // pure arithmetic over request timestamps, so it must stay identical
+    // across engines even when it differs from the clean run.
+    let plan = FaultPlan::new(0x11AC)
+        .with_period(2_048)
+        .with_burst(512)
+        .with_intensity(0.5)
+        .with_kinds(FaultKinds { link: true, ..FaultKinds::none() });
+    let msg = Message::from_bits([true, false, true, false, true, true]);
+    assert_engines_agree("nvlink channel under congestion faults", |mode| {
+        let ch = NvlinkChannel::new(TopologySpec::dual("maxwell").expect("dual topology"))
+            .expect("channel builds")
+            .with_tuning(tuning(mode))
+            .with_faults(plan);
+        fingerprint(&ch.transmit(&msg).expect("mild congestion must not saturate"))
+    });
+}

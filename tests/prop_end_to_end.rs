@@ -102,7 +102,7 @@ proptest! {
         period in 1u64..10_000_000,
         burst_frac_ppm in 0u64..=1_000_000,
         target_set in 0u64..64,
-        kind_mask in 1u32..32,
+        kind_mask in 1u32..64,
     ) {
         let plan = FaultPlan::new(seed)
             .with_intensity(intensity_ppm as f64 / 1e6)
@@ -115,6 +115,7 @@ proptest! {
                 skew: kind_mask & 4 != 0,
                 clock: kind_mask & 8 != 0,
                 storm: kind_mask & 16 != 0,
+                link: kind_mask & 32 != 0,
             });
         prop_assert_eq!(FaultPlan::from_spec(&plan.to_spec()), Ok(plan));
     }
