@@ -502,7 +502,7 @@ pub fn run(args: &Args) -> Result<String, String> {
                 o.bandwidth_kbps,
                 o.ber * 100.0
             );
-            let _ = writeln!(out, "trace: {} link transfers recorded", trace.events().len());
+            let _ = writeln!(out, "trace: {} link transfers recorded", trace.len());
         }
         Command::Mitigations => {
             let spec = args.spec()?;

@@ -190,7 +190,7 @@ impl AtomicChannel {
         let mut idle_mean = 0;
         let mut hot_mean = 0;
         for contended in [false, true] {
-            let mut dev = gpgpu_sim::Device::with_tuning(self.spec.clone(), self.tuning);
+            let mut dev = crate::pool::acquire(&self.spec, self.tuning);
             let spy_base = dev.alloc_global(1 << 20);
             let trojan_base = dev.alloc_global(1 << 20);
             let spy = dev.launch(
@@ -233,7 +233,7 @@ impl AtomicChannel {
         let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
         // Array bases must match the calibration device's allocator layout:
         // recreate deterministically.
-        let mut probe_dev = gpgpu_sim::Device::with_tuning(self.spec.clone(), self.tuning);
+        let mut probe_dev = crate::pool::acquire(&self.spec, self.tuning);
         let spy_base = probe_dev.alloc_global(1 << 20);
         let trojan_base = probe_dev.alloc_global(1 << 20);
         drop(probe_dev);

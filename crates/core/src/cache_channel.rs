@@ -292,7 +292,7 @@ impl CacheChannel {
         &self,
         msg: &Message,
         trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
-    ) -> Result<(ChannelOutcome, gpgpu_sim::Device), CovertError> {
+    ) -> Result<(ChannelOutcome, crate::pool::DeviceLease), CovertError> {
         let cal = self.calibration.clone().unwrap_or_else(|| self.static_calibration());
         let decode = move |samples: &[u64]| cal.decode(samples);
         self.transmit_raw(msg, &decode, trace)
@@ -303,7 +303,7 @@ impl CacheChannel {
         msg: &Message,
         decode: &dyn Fn(&[u64]) -> Result<bool, CovertError>,
         trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
-    ) -> Result<(ChannelOutcome, gpgpu_sim::Device), CovertError> {
+    ) -> Result<(ChannelOutcome, crate::pool::DeviceLease), CovertError> {
         let geom = self.cache_geometry();
         let spy_base = 0u64;
         let trojan_base = geom.same_set_stride() * geom.ways();
@@ -441,7 +441,17 @@ mod tests {
         let msg = Message::from_bits([true, false, true]);
         let plain = ch.transmit(&msg).unwrap();
         let (traced, capture) = ch.transmit_traced(&msg, 1 << 16).unwrap();
-        assert_eq!(plain, traced, "observing the run must not perturb it");
+        // Engine counters are excluded from the comparison: installing a
+        // sink disables pure-ALU batching, so the traced engine legitimately
+        // *visits* the SMs more often — while computing the identical run.
+        let observable = |o: &ChannelOutcome| {
+            (o.sent.clone(), o.received.clone(), o.cycles, o.bandwidth_kbps, o.ber)
+        };
+        assert_eq!(
+            observable(&plain),
+            observable(&traced),
+            "observing the run must not perturb it"
+        );
         let records = capture.records();
         assert!(!records.is_empty());
         assert_eq!(capture.events.dropped(), 0, "capacity should hold the whole run");

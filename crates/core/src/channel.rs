@@ -105,12 +105,13 @@ pub struct TraceCapture {
 impl TraceCapture {
     /// The capture as Chrome trace-event JSON (`chrome://tracing`).
     pub fn chrome_trace_json(&self) -> String {
-        gpgpu_sim::chrome_trace_json(&self.events.events(), &self.kernel_names)
+        gpgpu_sim::chrome_trace_json(&self.records(), &self.kernel_names)
     }
 
-    /// The held records in chronological order.
+    /// The held records in chronological order (cloned out of the ring;
+    /// iterate [`gpgpu_sim::EventTrace::iter`] on `events` to borrow).
     pub fn records(&self) -> Vec<gpgpu_sim::TraceRecord> {
-        self.events.events()
+        self.events.iter().cloned().collect()
     }
 }
 
@@ -120,7 +121,11 @@ impl TraceCapture {
 ///
 /// When `trace` is `Some`, the sink is installed on the device for the whole
 /// transmission and can be retrieved afterwards via
-/// [`gpgpu_sim::Device::take_trace_sink`] on the returned device.
+/// [`gpgpu_sim::Device::take_trace_sink`] on the returned lease.
+///
+/// The device comes from the thread-local [`crate::pool`], so sweeps that
+/// transmit repeatedly reuse one device's allocations (restored to pristine
+/// state per transmission) instead of rebuilding the simulator per trial.
 ///
 /// This is the structure of all the paper's *baseline* channels (Sections
 /// 4-6): "we launch two kernels to communicate each bit of the message.
@@ -141,8 +146,8 @@ pub(crate) fn transmit_per_bit(
     decode: &dyn Fn(&[u64]) -> Result<bool, crate::CovertError>,
     cycles_per_bit_budget: u64,
     trace: Option<Box<dyn gpgpu_sim::TraceSink>>,
-) -> Result<(ChannelOutcome, gpgpu_sim::Device), crate::CovertError> {
-    let mut dev = gpgpu_sim::Device::with_tuning(spec.clone(), tuning);
+) -> Result<(ChannelOutcome, crate::pool::DeviceLease), crate::CovertError> {
+    let mut dev = crate::pool::acquire(spec, tuning);
     if let Some((max, seed)) = jitter {
         dev.set_launch_jitter(max, seed);
     }
@@ -169,10 +174,19 @@ pub(crate) fn transmit_per_bit(
             dev.launch(2 + i as u32, co.clone())?;
         }
         dev.run_until_idle(cycles_per_bit_budget)?;
-        let r = dev.results(spy)?;
-        let samples = r.warp_results(0, 0).ok_or_else(|| {
-            crate::CovertError::MissingWarpResults { kernel: r.name.clone(), block: 0, warp: 0 }
-        })?;
+        // Borrowed read on the per-bit hot path: no clone of the kernel's
+        // block records just to look at one warp's sample buffer.
+        let samples = dev
+            .block_records(spy)?
+            .iter()
+            .find(|b| b.block_id == 0)
+            .and_then(|b| b.warp_results.first())
+            .map(Vec::as_slice)
+            .ok_or_else(|| crate::CovertError::MissingWarpResults {
+                kernel: dev.kernel_name(spy).unwrap_or("spy").to_string(),
+                block: 0,
+                warp: 0,
+            })?;
         received.push(decode(samples)?);
     }
     let cycles = dev.now();

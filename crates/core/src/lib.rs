@@ -29,6 +29,7 @@
 //! | [`calibrate`] | §8 | pilot-symbol handshake fitting decode thresholds online |
 //! | [`linkmon`] | §8 | link-quality monitor + degradation ladder (re-calibrate, stretch, channel-family fallback) |
 //! | [`harness`] | — | deterministic multi-threaded trial runner powering every sweep |
+//! | [`pool`] | — | thread-local device pool: per-trial runs reuse warmed allocations behind pristine snapshots |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub mod mitigations;
 pub mod noise;
 pub mod nvlink_channel;
 pub mod parallel;
+pub mod pool;
 pub mod side_channel;
 pub mod sync_channel;
 pub mod whitespace;

@@ -164,17 +164,11 @@ impl NvlinkChannel {
         (self.spy_device, self.trojan_device)
     }
 
-    /// Builds the run topology: endpoint devices with this channel's tuning,
-    /// queue limit and (optionally) fault plan.
-    fn build_topology(&self, with_faults: bool) -> Result<Topology, CovertError> {
-        let mut topo =
-            Topology::with_tuning(&self.topology, self.tuning)?.with_queue_limit(self.queue_limit);
-        if with_faults {
-            if let Some(plan) = self.fault_plan {
-                topo.set_fault_injector(FaultInjector::new(plan));
-            }
-        }
-        Ok(topo)
+    /// Builds the run topology: endpoint devices with this channel's tuning
+    /// and queue limit. Faults are installed separately by
+    /// [`NvlinkChannel::transmit_inner`], after the calibration pilot.
+    fn build_topology(&self) -> Result<Topology, CovertError> {
+        Ok(Topology::with_tuning(&self.topology, self.tuning)?.with_queue_limit(self.queue_limit))
     }
 
     /// Launches a short idle-spin anchor kernel on both endpoint devices and
@@ -228,14 +222,20 @@ impl NvlinkChannel {
     ///
     /// Propagates simulator failures.
     pub fn calibrate_threshold(&self) -> Result<u64, CovertError> {
+        let mut topo = self.build_topology()?;
+        self.calibrate_on(&mut topo)
+    }
+
+    /// The calibration pilot on an already-built clean topology (which the
+    /// caller resets afterwards if it intends to reuse it).
+    fn calibrate_on(&self, topo: &mut Topology) -> Result<u64, CovertError> {
         let mean =
             |s: &[u64]| if s.is_empty() { 0 } else { s.iter().sum::<u64>() / s.len() as u64 };
-        let mut topo = self.build_topology(false)?;
-        let start = self.run_anchors(&mut topo)?;
-        let (idle, after_idle) = self.probe_batch(&mut topo, start, false)?;
+        let start = self.run_anchors(topo)?;
+        let (idle, after_idle) = self.probe_batch(topo, start, false)?;
         // Leave a window of slack so the idle batch cannot shadow the
         // contended one.
-        let (hot, _) = self.probe_batch(&mut topo, after_idle + self.window_cycles, true)?;
+        let (hot, _) = self.probe_batch(topo, after_idle + self.window_cycles, true)?;
         Ok((mean(&idle) + mean(&hot)) / 2)
     }
 
@@ -269,18 +269,26 @@ impl NvlinkChannel {
         msg: &Message,
         traced: bool,
     ) -> Result<(ChannelOutcome, Option<EventTrace>), CovertError> {
+        // One topology serves both the calibration pilot and the
+        // transmission: `reset_for_trial` rewinds it to its just-built
+        // state in between, so the transmission is bit-identical to a
+        // fresh topology while the endpoint devices' allocations are
+        // reused instead of rebuilt.
+        let mut topo = self.build_topology()?;
         let cal = match &self.calibration {
             Some(c) => c.clone(),
             None => {
-                let threshold = self.calibrate_threshold()?;
+                let threshold = self.calibrate_on(&mut topo)?;
+                topo.reset_for_trial();
                 let min_hot = ((self.iterations as usize) / 4).max(2).min(self.iterations as usize);
                 // `decode_from_latencies` is strictly greater-than; the
                 // inclusive calibration rule compensates with +1.
                 Calibration::from_spec(threshold + 1, min_hot)
             }
         };
-
-        let mut topo = self.build_topology(true)?;
+        if let Some(plan) = self.fault_plan {
+            topo.set_fault_injector(FaultInjector::new(plan));
+        }
         if traced {
             topo.set_trace_sink(Box::new(EventTrace::with_capacity(
                 (msg.len() as u64 * self.iterations * 4) as usize,
@@ -378,10 +386,10 @@ mod tests {
         let msg = Message::from_bits([true, false]);
         let (o, trace) = channel().transmit_traced(&msg).unwrap();
         assert!(o.is_error_free());
-        let events = trace.events();
         // 1-bit: lanes bursts + probe per iteration; 0-bit: probe only.
         let expected = DEFAULT_ITERATIONS * (1 + 2) + DEFAULT_ITERATIONS;
-        assert_eq!(events.len() as u64, expected);
+        assert_eq!(trace.len() as u64, expected);
+        assert_eq!(trace.iter().count() as u64, expected);
     }
 
     #[test]

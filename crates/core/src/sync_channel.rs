@@ -28,7 +28,7 @@ use crate::kernels::{
 };
 use crate::CovertError;
 use gpgpu_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
-use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_sim::KernelSpec;
 use gpgpu_spec::{DeviceSpec, LaunchConfig};
 
 /// Maps a message bit index and its redundancy window of probe miss counts
@@ -506,7 +506,7 @@ impl SyncChannel {
             })
             .collect();
 
-        let mut dev = Device::with_tuning(self.spec.clone(), self.tuning);
+        let mut dev = crate::pool::acquire(&self.spec, self.tuning);
         if let Some(plan) = self.fault_plan {
             dev.set_fault_injector(gpgpu_sim::FaultInjector::new(plan));
         }

@@ -10,7 +10,6 @@
 //!   clock — but only for *coalesced* traffic; a lane alone in its segment
 //!   misses the merged fast path and pays a slow-path penalty.
 
-use crate::coalesce::coalesce;
 use gpgpu_spec::MemorySpec;
 
 /// Fixed per-transaction turnaround (cycles) of memory-side atomic units.
@@ -51,6 +50,11 @@ pub struct AtomicSystem {
     /// Slow-path multiplier for un-merged single-lane groups on L2-atomic
     /// devices.
     uncoalesced_penalty: u64,
+    /// Reusable lane-address buffer so per-access grouping is
+    /// allocation-free after the first access.
+    lane_buf: Vec<u64>,
+    /// Reusable (segment base, lane count) grouping buffer.
+    group_buf: Vec<(u64, u64)>,
 }
 
 impl AtomicSystem {
@@ -63,6 +67,8 @@ impl AtomicSystem {
             segment: mem.coalesce_segment,
             merges_same_segment,
             uncoalesced_penalty: mem.atomic_uncoalesced_penalty,
+            lane_buf: Vec::with_capacity(32),
+            group_buf: Vec::with_capacity(32),
         }
     }
 
@@ -83,17 +89,26 @@ impl AtomicSystem {
     where
         I: IntoIterator<Item = u64>,
     {
-        let lane_addrs: Vec<u64> = lane_addrs.into_iter().collect();
-        let mut groups: Vec<(u64, u64)> = Vec::new(); // (segment base, lane count)
-        for seg in coalesce(lane_addrs.iter().copied(), self.segment) {
-            let count =
-                lane_addrs.iter().filter(|&&a| a - (a % self.segment) == seg).count() as u64;
-            groups.push((seg, count));
+        let mut lanes = std::mem::take(&mut self.lane_buf);
+        let mut groups = std::mem::take(&mut self.group_buf);
+        lanes.clear();
+        lanes.extend(lane_addrs);
+        // Group lanes by coalescing segment: sorting then run-length
+        // counting yields the coalescer's (sorted, deduplicated) segment
+        // order with per-segment lane counts, without heap allocation.
+        lanes.sort_unstable();
+        groups.clear();
+        for &a in &lanes {
+            let seg = a - (a % self.segment);
+            match groups.last_mut() {
+                Some((s, c)) if *s == seg => *c += 1,
+                _ => groups.push((seg, 1)),
+            }
         }
         let transactions = groups.len() as u64;
         let mut last = now;
         let mut queue_cycles = 0;
-        for (seg, count) in groups {
+        for &(seg, count) in &groups {
             let unit = ((seg / self.segment) % self.units.len() as u64) as usize;
             let occupancy = if self.merges_same_segment {
                 if count == 1 {
@@ -115,6 +130,8 @@ impl AtomicSystem {
             self.units[unit] = start + occupancy;
             last = last.max(start + occupancy + self.base_latency);
         }
+        self.lane_buf = lanes;
+        self.group_buf = groups;
         AtomicAccess { completes_at: last, queue_cycles, transactions }
     }
 
@@ -126,6 +143,16 @@ impl AtomicSystem {
     /// Frees all units.
     pub fn reset(&mut self) {
         self.units.fill(0);
+    }
+
+    /// Overwrites this system's unit occupancy with `other`'s without
+    /// reallocating — the snapshot-restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two systems have different unit counts.
+    pub fn copy_state_from(&mut self, other: &Self) {
+        self.units.copy_from_slice(&other.units);
     }
 }
 

@@ -222,6 +222,41 @@ impl SetAssocCache {
             set.clear();
         }
     }
+
+    /// Returns the cache to its just-constructed state — lines, the LRU
+    /// generation counter and the contention-detection counters all cleared —
+    /// without releasing any allocation. [`SetAssocCache::flush`] only drops
+    /// lines; a reused trial device also needs the tick and the CC-Hunter
+    /// counters back at zero so a reset cache is observationally identical to
+    /// a fresh one.
+    pub fn reset_cold(&mut self) {
+        self.flush();
+        self.tick = 0;
+        self.last_cross_evict.fill(None);
+        self.cross_domain_evictions = 0;
+        self.eviction_alternations = 0;
+    }
+
+    /// Overwrites this cache's state (lines, tick, contention counters) with
+    /// `other`'s, reusing this cache's allocations. Both caches must share a
+    /// geometry; sets never exceed `ways` lines, so the per-set copies stay
+    /// within the capacity reserved at construction and the copy is
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn copy_state_from(&mut self, other: &Self) {
+        assert_eq!(self.geometry, other.geometry, "snapshot/device cache geometry mismatch");
+        for (dst, src) in self.sets.iter_mut().zip(&other.sets) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        self.tick = other.tick;
+        self.last_cross_evict.copy_from_slice(&other.last_cross_evict);
+        self.cross_domain_evictions = other.cross_domain_evictions;
+        self.eviction_alternations = other.eviction_alternations;
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +375,45 @@ mod tests {
         assert_eq!(c.clear_set(0), 0);
         // Invalidation is not an eviction: no contention accounting.
         assert_eq!(c.cross_domain_evictions(), 0);
+    }
+
+    #[test]
+    fn reset_cold_matches_a_fresh_cache() {
+        let mut used = cache();
+        // Accumulate lines, ticks and cross-domain contention history:
+        // domain 0 fills the 4-way set, then domain 1 spills it.
+        for i in 0..6u64 {
+            used.access_in_set_detailed(i * 512, 0, (i / 4) as u32);
+        }
+        assert!(used.cross_domain_evictions() > 0);
+        used.reset_cold();
+        let mut fresh = cache();
+        // Identical access sequences must now produce identical outcomes
+        // and identical contention counters.
+        for i in 0..6u64 {
+            let a = used.access_in_set_detailed(i * 512, 0, (i / 4) as u32);
+            let b = fresh.access_in_set_detailed(i * 512, 0, (i / 4) as u32);
+            assert_eq!(a, b);
+        }
+        assert_eq!(used.cross_domain_evictions(), fresh.cross_domain_evictions());
+        assert_eq!(used.eviction_alternations(), fresh.eviction_alternations());
+    }
+
+    #[test]
+    fn copy_state_from_transplants_lines_and_counters() {
+        let mut src = cache();
+        for i in 0..6u64 {
+            src.access_in_set_detailed(i * 512, 0, (i / 4) as u32);
+        }
+        let mut dst = cache();
+        dst.access(0x7000); // dirty the destination first
+        dst.copy_state_from(&src);
+        // Subsequent identical accesses diverge identically.
+        let a = src.access_in_set_detailed(6 * 512, 0, 0);
+        let b = dst.access_in_set_detailed(6 * 512, 0, 0);
+        assert_eq!(a, b);
+        assert_eq!(src.cross_domain_evictions(), dst.cross_domain_evictions());
+        assert!(!dst.probe(0x7000), "pre-copy destination lines are gone");
     }
 
     #[test]

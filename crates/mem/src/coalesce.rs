@@ -30,11 +30,28 @@ pub fn coalesce<I>(lane_addrs: I, segment_bytes: u64) -> Vec<u64>
 where
     I: IntoIterator<Item = u64>,
 {
+    let mut segments = Vec::new();
+    coalesce_into(lane_addrs, segment_bytes, &mut segments);
+    segments
+}
+
+/// As [`coalesce`], writing the sorted deduplicated segment bases into a
+/// caller-provided buffer (cleared first) instead of allocating a fresh
+/// `Vec` — the hot-loop variant the simulator's per-instruction memory path
+/// uses so steady-state trials stay allocation-free.
+///
+/// # Panics
+///
+/// Panics if `segment_bytes` is zero.
+pub fn coalesce_into<I>(lane_addrs: I, segment_bytes: u64, segments: &mut Vec<u64>)
+where
+    I: IntoIterator<Item = u64>,
+{
     assert!(segment_bytes > 0, "coalescing segment must be positive");
-    let mut segments: Vec<u64> = lane_addrs.into_iter().map(|a| a - (a % segment_bytes)).collect();
+    segments.clear();
+    segments.extend(lane_addrs.into_iter().map(|a| a - (a % segment_bytes)));
     segments.sort_unstable();
     segments.dedup();
-    segments
 }
 
 #[cfg(test)]
@@ -70,6 +87,16 @@ mod tests {
     fn zero_segment_panics() {
         coalesce([1u64], 0);
     }
+
+    #[test]
+    fn coalesce_into_reuses_the_buffer_and_matches_coalesce() {
+        let mut buf = vec![0xDEAD; 7]; // stale contents must be cleared
+        let addrs = [300u64, 10, 300, 200, 130];
+        coalesce_into(addrs, 128, &mut buf);
+        assert_eq!(buf, coalesce(addrs, 128));
+        coalesce_into(std::iter::empty(), 128, &mut buf);
+        assert!(buf.is_empty());
+    }
 }
 
 /// Shared-memory bank conflict degree of a warp access: lane addresses map
@@ -89,15 +116,30 @@ where
     I: IntoIterator<Item = u64>,
 {
     assert!(num_banks > 0 && word_bytes > 0, "banks and word size must be positive");
-    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); num_banks as usize];
+    // A warp access has at most 32 lanes, so the distinct-word set fits in a
+    // stack buffer and the hot path never touches the heap; larger inputs
+    // (only reachable through direct library use) spill to a Vec.
+    let mut words = [0u64; 64];
+    let mut n = 0usize;
+    let mut spill: Vec<u64> = Vec::new();
     for addr in lane_addrs {
         let word = addr / word_bytes;
-        let bank = (word % u64::from(num_banks)) as usize;
-        if !per_bank[bank].contains(&word) {
-            per_bank[bank].push(word);
+        if words[..n].contains(&word) || spill.contains(&word) {
+            continue;
+        }
+        if n < words.len() {
+            words[n] = word;
+            n += 1;
+        } else {
+            spill.push(word);
         }
     }
-    per_bank.iter().map(|w| w.len() as u32).max().unwrap_or(0).max(1)
+    let banks = u64::from(num_banks);
+    let bank_load = |w: u64| -> u32 {
+        let bank = w % banks;
+        words[..n].iter().chain(spill.iter()).filter(|&&x| x % banks == bank).count() as u32
+    };
+    words[..n].iter().chain(spill.iter()).map(|&w| bank_load(w)).max().unwrap_or(0).max(1)
 }
 
 #[cfg(test)]
@@ -133,5 +175,12 @@ mod bank_tests {
     #[test]
     fn empty_input_degree_is_one() {
         assert_eq!(bank_conflict_degree(std::iter::empty(), 32, 4), 1);
+    }
+
+    #[test]
+    fn oversized_inputs_spill_past_the_stack_buffer_correctly() {
+        // 96 distinct words, three per bank: exercises the heap spill path.
+        let addrs = (0..96u64).map(|i| i * 4);
+        assert_eq!(bank_conflict_degree(addrs, 32, 4), 3);
     }
 }

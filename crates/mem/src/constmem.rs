@@ -228,6 +228,43 @@ impl ConstHierarchy {
         }
         self.l2_ports.reset();
     }
+
+    /// Returns the whole hierarchy to its just-constructed state without
+    /// releasing any allocation: every cache reset cold (lines, LRU ticks
+    /// *and* contention counters — [`ConstHierarchy::flush`] keeps the
+    /// latter) and every port freed. The per-trial device reset path.
+    pub fn reset_cold(&mut self) {
+        for c in &mut self.l1 {
+            c.reset_cold();
+        }
+        self.l2.reset_cold();
+        for p in &mut self.l1_ports {
+            p.reset();
+        }
+        self.l2_ports.reset();
+    }
+
+    /// Overwrites this hierarchy's mutable state (cache lines, LRU ticks,
+    /// contention counters, port horizons) with `other`'s, reusing this
+    /// hierarchy's allocations — the snapshot-restore path. Latency
+    /// configuration and partitioning are construction-time constants and
+    /// must already agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two hierarchies were built from different specs
+    /// (different SM counts or cache geometries).
+    pub fn copy_state_from(&mut self, other: &Self) {
+        assert_eq!(self.l1.len(), other.l1.len(), "snapshot/device SM count mismatch");
+        for (dst, src) in self.l1.iter_mut().zip(&other.l1) {
+            dst.copy_state_from(src);
+        }
+        self.l2.copy_state_from(&other.l2);
+        for (dst, src) in self.l1_ports.iter_mut().zip(&other.l1_ports) {
+            dst.copy_state_from(src);
+        }
+        self.l2_ports.copy_state_from(&other.l2_ports);
+    }
 }
 
 #[cfg(test)]
@@ -356,5 +393,41 @@ mod tests {
         h.flush();
         let a = h.access(0, 0x40, 10, 0);
         assert_eq!(a.level, ConstLevel::Memory);
+    }
+
+    #[test]
+    fn reset_cold_is_observationally_a_fresh_hierarchy() {
+        let mut used = hierarchy();
+        // Mixed-domain traffic accrues lines, tick history and contention:
+        // each domain fills the 4-way set before the next one spills it.
+        for i in 0..12u64 {
+            used.access(0, i * 512, i, (i / 4) as u32);
+        }
+        assert!(used.cross_domain_evictions() > 0);
+        used.reset_cold();
+        let mut fresh = hierarchy();
+        for i in 0..12u64 {
+            let a = used.access(0, i * 512, i, (i / 4) as u32);
+            let b = fresh.access(0, i * 512, i, (i / 4) as u32);
+            assert_eq!(a, b, "access {i} diverged after reset_cold");
+        }
+        assert_eq!(used.cross_domain_evictions(), fresh.cross_domain_evictions());
+        assert_eq!(used.eviction_alternations(), fresh.eviction_alternations());
+    }
+
+    #[test]
+    fn copy_state_from_replays_identically() {
+        let mut src = hierarchy();
+        for i in 0..8u64 {
+            src.access(0, i * 512, i, (i / 4) as u32);
+        }
+        let mut dst = hierarchy();
+        dst.access(1, 0x9000, 3, 0); // diverge the destination first
+        dst.copy_state_from(&src);
+        for i in 8..16u64 {
+            let a = src.access(0, i * 512, i, (i / 4) as u32);
+            let b = dst.access(0, i * 512, i, (i / 4) as u32);
+            assert_eq!(a, b, "access {i} diverged after copy_state_from");
+        }
     }
 }

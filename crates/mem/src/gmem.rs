@@ -6,7 +6,7 @@
 //! that (a) that negative result is reproducible, and (b) noise workloads
 //! can generate realistic memory traffic.
 
-use crate::coalesce::coalesce;
+use crate::coalesce::coalesce_into;
 use crate::ports::PortSet;
 use gpgpu_spec::MemorySpec;
 
@@ -30,6 +30,9 @@ pub struct GlobalMemory {
     pipe: PortSet,
     load_latency: u64,
     segment: u64,
+    /// Reusable coalescing buffer so the per-instruction path is
+    /// allocation-free after the first access.
+    scratch: Vec<u64>,
 }
 
 impl GlobalMemory {
@@ -39,6 +42,7 @@ impl GlobalMemory {
             pipe: PortSet::new(mem.transactions_per_cycle),
             load_latency: mem.global_load_latency,
             segment: mem.coalesce_segment,
+            scratch: Vec::with_capacity(32),
         }
     }
 
@@ -87,30 +91,45 @@ impl GlobalMemory {
     where
         I: IntoIterator<Item = u64>,
     {
+        let mut segments = std::mem::take(&mut self.scratch);
+        coalesce_into(lane_addrs, self.segment, &mut segments);
         let mut last_start = now;
         let mut queue_cycles = 0;
-        let mut transactions = 0;
-        for _seg in coalesce(lane_addrs, self.segment) {
+        for _seg in &segments {
             last_start = self.pipe.acquire(now, 1);
             queue_cycles += last_start - now;
-            transactions += 1;
         }
+        let transactions = segments.len() as u64;
+        self.scratch = segments;
         (last_start, queue_cycles, transactions)
     }
 
     /// Number of coalesced transactions a warp access to `lane_addrs`
     /// produces (exposed so the SM can model LD/ST instruction replay:
-    /// un-coalesced accesses re-issue once per transaction).
-    pub fn transactions<I>(&self, lane_addrs: I) -> u64
+    /// un-coalesced accesses re-issue once per transaction). Takes `&mut
+    /// self` only for the internal coalescing scratch buffer; no timing
+    /// state changes.
+    pub fn transactions<I>(&mut self, lane_addrs: I) -> u64
     where
         I: IntoIterator<Item = u64>,
     {
-        coalesce(lane_addrs, self.segment).len() as u64
+        coalesce_into(lane_addrs, self.segment, &mut self.scratch);
+        self.scratch.len() as u64
     }
 
     /// Frees the transaction pipe.
     pub fn reset(&mut self) {
         self.pipe.reset();
+    }
+
+    /// Overwrites this model's pipe occupancy with `other`'s without
+    /// reallocating — the snapshot-restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two models have different pipe widths.
+    pub fn copy_state_from(&mut self, other: &Self) {
+        self.pipe.copy_state_from(&other.pipe);
     }
 }
 

@@ -54,6 +54,16 @@ impl PortSet {
     pub fn reset(&mut self) {
         self.busy_until.fill(0);
     }
+
+    /// Overwrites this pool's busy horizons with `other`'s without
+    /// reallocating — the snapshot-restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pools have different port counts.
+    pub fn copy_state_from(&mut self, other: &Self) {
+        self.busy_until.copy_from_slice(&other.busy_until);
+    }
 }
 
 #[cfg(test)]

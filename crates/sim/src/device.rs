@@ -19,13 +19,13 @@ use std::collections::{BinaryHeap, HashMap};
 /// Launch-order queue of one stream's kernels with the index of its oldest
 /// incomplete kernel — makes the stream-ordering half of kernel eligibility
 /// O(1) instead of a rescan of every earlier kernel.
-#[derive(Debug, Default)]
-struct StreamQueue {
+#[derive(Debug, Default, Clone)]
+pub(crate) struct StreamQueue {
     /// Indices into `Device::kernels`, in launch order.
-    kernels: Vec<usize>,
+    pub(crate) kernels: Vec<usize>,
     /// Position of the oldest incomplete kernel (== `kernels.len()` when
     /// every kernel on the stream has completed).
-    head: usize,
+    pub(crate) head: usize,
 }
 
 /// A simulated GPGPU device with a CUDA-stream-like host API.
@@ -40,49 +40,68 @@ struct StreamQueue {
 ///    result buffers.
 #[derive(Debug)]
 pub struct Device {
-    spec: DeviceSpec,
-    now: u64,
-    sms: Vec<Sm>,
-    const_mem: ConstHierarchy,
-    atomics: AtomicSystem,
-    gmem: GlobalMemory,
-    kernels: Vec<KernelState>,
+    pub(crate) spec: DeviceSpec,
+    pub(crate) now: u64,
+    pub(crate) sms: Vec<Sm>,
+    pub(crate) const_mem: ConstHierarchy,
+    pub(crate) atomics: AtomicSystem,
+    pub(crate) gmem: GlobalMemory,
+    pub(crate) kernels: Vec<KernelState>,
+    /// The tuning the device was built with — [`Device::reset_for_trial`]
+    /// restores construction-time settings from it.
+    tuning: crate::DeviceTuning,
     /// Block-placement policy (leftover by default; see
     /// [`PlacementPolicy`] for the Section-3.2 alternatives).
-    policy: crate::PlacementPolicy,
+    pub(crate) policy: crate::PlacementPolicy,
     /// Round-robin cursor of the leftover-policy block scheduler.
-    rr_cursor: usize,
+    pub(crate) rr_cursor: usize,
     /// Bump allocator for global memory (bytes).
-    next_global: u64,
+    pub(crate) next_global: u64,
     /// Bump allocator for constant memory (bytes), way-span aligned.
-    next_const: u64,
-    jitter_max: u64,
-    rng: StdRng,
+    pub(crate) next_const: u64,
+    pub(crate) jitter_max: u64,
+    pub(crate) rng: StdRng,
     /// Cycle-engine mode (dense vs event-driven), fixed at construction.
     engine: EngineMode,
     /// Engine performance counters.
-    stats: SimStats,
+    pub(crate) stats: SimStats,
     /// Whether block placement may have new work since the last pass. Set on
     /// kernel arrival, block completion and policy change; cleared when a
     /// placement pass reaches a fixpoint without mutating any SM.
-    placement_dirty: bool,
+    pub(crate) placement_dirty: bool,
     /// Number of launched kernels that have not yet completed (O(1)
     /// [`Device::is_idle`]).
-    incomplete: usize,
+    pub(crate) incomplete: usize,
     /// Min-heap of future kernel-arrival times; popping due entries marks
     /// placement dirty without scanning every kernel each cycle.
-    pending_arrivals: BinaryHeap<Reverse<u64>>,
+    pub(crate) pending_arrivals: BinaryHeap<Reverse<u64>>,
+    /// Number of kernels with blocks not yet placed (queued or future).
+    /// Maintained at launch, placement and preemption so the per-cycle
+    /// batching gate and `next_event_time` need no scan of the kernel
+    /// table — which grows by two kernels per transmitted bit.
+    pub(crate) unplaced_kernels: usize,
     /// Per-stream launch-order queues for O(1) eligibility checks.
-    streams: HashMap<StreamId, StreamQueue>,
+    pub(crate) streams: HashMap<StreamId, StreamQueue>,
     /// Reusable scratch buffer for blocks finishing within a cycle (avoids a
     /// per-cycle allocation in the hot loop).
-    finished_buf: Vec<(KernelId, BlockRecord)>,
+    pub(crate) finished_buf: Vec<(KernelId, BlockRecord)>,
+    /// Retired [`BlockRecord`]s awaiting reuse. Drained kernels (at
+    /// [`Device::reset_for_trial`]) feed it; finished-block harvesting pops
+    /// from it, so a warmed-up trial loop completes blocks without
+    /// allocating records or result buffers.
+    record_arena: Vec<BlockRecord>,
+    /// Retired per-kernel buffer pairs `(records, retry_blocks)` awaiting
+    /// reuse by [`Device::launch`] — the kernel-table counterpart of
+    /// `record_arena`.
+    kernel_arena: Vec<(Vec<BlockRecord>, Vec<u32>)>,
+    /// Scratch for the eligible-kernel ordering in `place_blocks`.
+    order_buf: Vec<usize>,
     /// Optional trace sink. Every emission site is a single `Option` check
     /// when disabled — no event is even constructed.
-    trace: Option<Box<dyn TraceSink>>,
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
     /// Optional fault injector, hooked in exactly like the trace sink: a
     /// single `Option` check per site, zero cost when absent.
-    faults: Option<FaultInjector>,
+    pub(crate) faults: Option<FaultInjector>,
 }
 
 impl Device {
@@ -123,6 +142,7 @@ impl Device {
             atomics,
             gmem,
             kernels: Vec::new(),
+            tuning,
             policy: tuning.policy,
             rr_cursor: 0,
             next_global: 0x1000_0000, // distinct from constant space for clarity
@@ -134,11 +154,77 @@ impl Device {
             placement_dirty: true,
             incomplete: 0,
             pending_arrivals: BinaryHeap::new(),
+            unplaced_kernels: 0,
             streams: HashMap::new(),
             finished_buf: Vec::new(),
+            record_arena: Vec::new(),
+            kernel_arena: Vec::new(),
+            order_buf: Vec::new(),
             trace: None,
             faults: None,
         }
+    }
+
+    /// Rewinds the device to its just-constructed state — clock zero, no
+    /// kernels, cold caches, reseeded RNG — while *retaining every
+    /// allocation*: warp-table columns, kernel/record buffers, cache arrays
+    /// and scratch space all keep their capacity and are reused by the next
+    /// trial. Observationally identical to building a fresh
+    /// `Device::with_tuning(spec, tuning)` (property-tested), but free of
+    /// per-trial heap traffic once warm.
+    ///
+    /// Mid-flight state is discarded, not completed: callers reset between
+    /// trials, after the previous trial drained or failed.
+    pub fn reset_for_trial(&mut self) {
+        self.now = 0;
+        for sm in &mut self.sms {
+            sm.reset_for_trial();
+        }
+        self.const_mem.reset_cold();
+        self.atomics.reset();
+        self.gmem.reset();
+        // Drain the kernel table into the arenas: the records and their
+        // result buffers come back to the next trial's finished blocks, the
+        // per-kernel vectors to its launches.
+        let mut kernels = std::mem::take(&mut self.kernels);
+        for k in kernels.drain(..) {
+            let KernelState { mut records, mut retry_blocks, .. } = k;
+            self.record_arena.append(&mut records);
+            retry_blocks.clear();
+            self.kernel_arena.push((records, retry_blocks));
+        }
+        self.kernels = kernels;
+        self.policy = self.tuning.policy;
+        self.rr_cursor = 0;
+        self.next_global = 0x1000_0000;
+        self.next_const = 0;
+        self.jitter_max = 0;
+        self.rng = StdRng::seed_from_u64(0xC0DE_C0DE);
+        self.stats = SimStats::default();
+        self.placement_dirty = true;
+        self.incomplete = 0;
+        self.pending_arrivals.clear();
+        self.unplaced_kernels = 0;
+        // Keep the stream map's entries (and their vectors' capacity);
+        // an empty queue is indistinguishable from an absent one.
+        for q in self.streams.values_mut() {
+            q.kernels.clear();
+            q.head = 0;
+        }
+        self.finished_buf.clear();
+        self.trace = None;
+        self.faults = None;
+    }
+
+    /// Returns one retired kernel's buffers to the per-trial arenas (the
+    /// records feed `record_arena`, the emptied vectors `kernel_arena`).
+    pub(crate) fn recycle_kernel_buffers(
+        &mut self,
+        mut records: Vec<BlockRecord>,
+        retry_blocks: Vec<u32>,
+    ) {
+        self.record_arena.append(&mut records);
+        self.kernel_arena.push((records, retry_blocks));
     }
 
     /// Installs a trace sink; subsequent simulation emits
@@ -196,7 +282,16 @@ impl Device {
     /// Diagnostic names of every launched kernel, indexed by kernel id —
     /// the name table [`crate::chrome_trace_json`] wants.
     pub fn kernel_names(&self) -> Vec<String> {
-        self.kernels.iter().map(|k| k.spec.name.clone()).collect()
+        self.kernels.iter().map(|k| k.spec.name.to_string()).collect()
+    }
+
+    /// Borrowed diagnostic name of one launched kernel.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownKernel`] for an id not launched here.
+    pub fn kernel_name(&self, id: KernelId) -> Result<&str, SimError> {
+        self.kernels.get(id.0 as usize).map(|k| &*k.spec.name).ok_or(SimError::UnknownKernel(id))
     }
 
     /// Engine performance counters accumulated so far.
@@ -288,18 +383,24 @@ impl Device {
         let grid = spec.launch.grid_blocks as usize;
         let skew = self.faults.as_mut().map_or(0, |f| f.launch_skew(id.0));
         let arrival = self.now + self.spec.launch_overhead_cycles + jitter + skew;
+        // Reuse a retired kernel's buffers when the arena has one.
+        let (mut records, retry_blocks) = self.kernel_arena.pop().unwrap_or_default();
+        records.reserve(grid);
         self.kernels.push(KernelState {
             spec,
             stream,
             submitted_at: self.now,
             arrival,
             next_block: 0,
-            retry_blocks: Vec::new(),
+            retry_blocks,
             blocks_done: 0,
-            records: Vec::with_capacity(grid),
+            records,
             completed_at: None,
         });
         self.incomplete += 1;
+        if !self.kernels[idx].all_blocks_placed() {
+            self.unplaced_kernels += 1;
+        }
         self.pending_arrivals.push(Reverse(arrival));
         let queue = self.streams.entry(stream).or_default();
         queue.kernels.push(idx);
@@ -329,7 +430,12 @@ impl Device {
             if self.now >= limit {
                 return Err(SimError::CycleLimitExceeded { limit });
             }
-            let worked = self.step_cycle();
+            // Batching may run a solo warp ahead through cycles `< limit`;
+            // that is safe *here* because this loop only returns once the
+            // device is idle — every batched instruction would have been
+            // executed at the identical cycle before the next API call can
+            // observe or perturb the device.
+            let worked = self.step_cycle(limit);
             if worked {
                 self.now += 1;
             } else {
@@ -345,9 +451,10 @@ impl Device {
     }
 
     /// Runs exactly one cycle (also placing any eligible blocks). Primarily
-    /// for tests that need cycle-level control.
+    /// for tests that need cycle-level control — so no batching: exactly
+    /// one cycle's work happens, in either engine mode.
     pub fn step(&mut self) {
-        self.step_cycle();
+        self.step_cycle(self.now + 1);
         self.now += 1;
     }
 
@@ -368,7 +475,12 @@ impl Device {
             if self.now >= limit {
                 return Err(SimError::CycleLimitExceeded { limit });
             }
-            let worked = self.step_cycle();
+            // No batching here: this loop hands control back with *other*
+            // kernels still in flight, and a subsequent launch could place
+            // blocks into cycles a batch would already have consumed. The
+            // `now + 1` bound keeps every surviving warp exactly at the
+            // cycle the dense engine would leave it.
+            let worked = self.step_cycle(self.now + 1);
             if worked {
                 self.now += 1;
             } else {
@@ -494,7 +606,11 @@ impl Device {
             let sm = (self.rr_cursor + off) % n;
             if let Some((victim_kernel, victim_block)) = self.sms[sm].preemption_victim(kernel) {
                 self.sms[sm].preempt_block(victim_kernel, victim_block);
-                self.kernels[victim_kernel.0 as usize].push_back_block(victim_block);
+                let vk = &mut self.kernels[victim_kernel.0 as usize];
+                if vk.all_blocks_placed() {
+                    self.unplaced_kernels += 1;
+                }
+                vk.push_back_block(victim_block);
                 self.stats.blocks_preempted += 1;
                 if let Some(t) = self.trace.as_mut() {
                     t.record(
@@ -524,16 +640,19 @@ impl Device {
     /// next arrival / completion / policy change re-dirties it.
     fn place_blocks(&mut self) -> bool {
         let mut mutated = false;
-        let mut order: Vec<usize> =
-            (0..self.kernels.len()).filter(|&i| self.kernel_eligible(i)).collect();
-        order.sort_by_key(|&i| (self.kernels[i].arrival, i));
-        for ki in order {
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        order.extend((0..self.kernels.len()).filter(|&i| self.kernel_eligible(i)));
+        // Unstable sort is exact here: the index in the key makes it total.
+        order.sort_unstable_by_key(|&i| (self.kernels[i].arrival, i));
+        for &ki in &order {
             let kernel = KernelId(ki as u32);
             // Hoisted out of the per-block loop: block resources, grid size
             // and the program Arc are launch-time constants of the kernel.
             let res = self.kernels[ki].spec.launch.block;
             let grid = self.kernels[ki].spec.launch.grid_blocks;
             let program = std::sync::Arc::clone(&self.kernels[ki].spec.program);
+            let was_unplaced = !self.kernels[ki].all_blocks_placed();
             'blocks: while !self.kernels[ki].all_blocks_placed() {
                 let mut target = self.choose_sm(kernel, &res);
                 if target.is_none() && self.policy == crate::PlacementPolicy::SmkPreemptive {
@@ -563,11 +682,20 @@ impl Device {
                     None => break 'blocks, // queue the rest until resources free
                 }
             }
+            if was_unplaced && self.kernels[ki].all_blocks_placed() {
+                self.unplaced_kernels -= 1;
+            }
         }
+        self.order_buf = order;
+        debug_assert_eq!(
+            self.unplaced_kernels,
+            self.kernels.iter().filter(|k| !k.all_blocks_placed()).count(),
+            "unplaced-kernel counter drifted from the kernel table"
+        );
         mutated
     }
 
-    fn step_cycle(&mut self) -> bool {
+    fn step_cycle(&mut self, batch_limit: u64) -> bool {
         // Drain arrivals that have come due; each one is new placement work.
         while self.pending_arrivals.peek().is_some_and(|&Reverse(t)| t <= self.now) {
             self.pending_arrivals.pop();
@@ -581,6 +709,24 @@ impl Device {
         } else {
             self.stats.placement_runs_skipped += 1;
         }
+        // Pure-ALU batching (see `Sm::execute`) is sound only while the
+        // whole span is free of cross-agent events: no trace sink (batched
+        // visits would reorder the ring across SMs), no kernel arrival or
+        // queued block that placement could drop onto a scheduler
+        // mid-span, and never in dense mode (the reference engine). The
+        // caller's `batch_limit` additionally bounds the span to its run
+        // budget; `now + 1` disables batching outright.
+        let batch_until = if dense
+            || batch_limit <= self.now + 1
+            || self.trace.is_some()
+            || self.placement_dirty
+            || !self.pending_arrivals.is_empty()
+            || self.unplaced_kernels > 0
+        {
+            self.now + 1
+        } else {
+            batch_limit
+        };
         let mut worked = false;
         let mut subs = Subsystems {
             const_mem: &mut self.const_mem,
@@ -590,6 +736,7 @@ impl Device {
             faults: self.faults.as_mut(),
         };
         let mut finished = std::mem::take(&mut self.finished_buf);
+        let mut arena = std::mem::take(&mut self.record_arena);
         let now = self.now;
         for sm in &mut self.sms {
             // Skipping an SM whose earliest wake lies in the future is
@@ -600,8 +747,9 @@ impl Device {
                 continue;
             }
             self.stats.sm_steps += 1;
-            worked |= sm.step(now, &mut subs, &mut finished, !dense);
+            worked |= sm.step(now, &mut subs, &mut finished, &mut arena, !dense, batch_until);
         }
+        self.record_arena = arena;
         for (kernel, record) in finished.drain(..) {
             if let Some(t) = self.trace.as_mut() {
                 t.record(
@@ -618,8 +766,9 @@ impl Device {
             k.blocks_done += 1;
             if k.is_complete() {
                 // Sort the records exactly once, here, so `results` /
-                // `block_records` never re-sort.
-                k.records.sort_by_key(|b| b.block_id);
+                // `block_records` never re-sort. Block ids are unique, so
+                // the unstable sort is deterministic.
+                k.records.sort_unstable_by_key(|b| b.block_id);
                 k.completed_at = Some(now);
                 self.incomplete -= 1;
                 let stream = k.stream;
@@ -644,16 +793,21 @@ impl Device {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
         }
-        for (i, k) in self.kernels.iter().enumerate() {
-            if !k.all_blocks_placed() && k.arrival > self.now {
-                // Future arrival.
-                next = Some(next.map_or(k.arrival, |n| n.min(k.arrival)));
-            } else if !k.all_blocks_placed() && self.kernel_eligible(i) {
-                // Eligible but queued: progress requires a block completion,
-                // i.e. a warp wake, already accounted above. If no warp is
-                // live anywhere, the scheduler is stuck.
-                if self.sms.iter().all(|sm| sm.next_wake(self.now).is_none()) {
-                    return Err(SimError::SchedulerStuck);
+        // The kernel scan matters only while some kernel still has blocks to
+        // place; the O(1) counter skips it for the (typical) fully-placed
+        // steady state, where the table may hold a hundred completed kernels.
+        if self.unplaced_kernels > 0 {
+            for (i, k) in self.kernels.iter().enumerate() {
+                if !k.all_blocks_placed() && k.arrival > self.now {
+                    // Future arrival.
+                    next = Some(next.map_or(k.arrival, |n| n.min(k.arrival)));
+                } else if !k.all_blocks_placed() && self.kernel_eligible(i) {
+                    // Eligible but queued: progress requires a block
+                    // completion, i.e. a warp wake, already accounted above.
+                    // If no warp is live anywhere, the scheduler is stuck.
+                    if self.sms.iter().all(|sm| sm.next_wake(self.now).is_none()) {
+                        return Err(SimError::SchedulerStuck);
+                    }
                 }
             }
         }
@@ -896,8 +1050,8 @@ mod tests {
             .unwrap();
         dev.run_until_idle(1_000_000).unwrap();
         assert_eq!(dev.kernel_names(), vec!["probe".to_string()]);
-        let trace = dev.take_trace_sink().unwrap().into_any().downcast::<EventTrace>().unwrap();
-        let events = trace.events();
+        let mut trace = dev.take_trace_sink().unwrap().into_any().downcast::<EventTrace>().unwrap();
+        let events = trace.take_events();
         assert!(!events.is_empty());
         // Cycle stamps are non-decreasing.
         for w in events.windows(2) {

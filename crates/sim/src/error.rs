@@ -63,6 +63,17 @@ pub enum SimError {
         /// The queue delay that exceeded the limit.
         queue_cycles: u64,
     },
+    /// [`crate::Device::snapshot`] was called while kernels were still in
+    /// flight. Snapshots capture only idle devices: with warps resident the
+    /// state worth capturing lives in mid-flight structures whose
+    /// copy-on-write restore would cost more than rerunning the warmup.
+    SnapshotNotIdle {
+        /// Number of incomplete kernels at the attempted capture.
+        incomplete: usize,
+    },
+    /// [`crate::Device::restore`] was given a snapshot captured from a
+    /// device with a different specification.
+    SnapshotSpecMismatch,
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +102,12 @@ impl fmt::Display for SimError {
             }
             SimError::LinkSaturated { link, queue_cycles } => {
                 write!(f, "link {link} saturated: transfer queued {queue_cycles} cycles")
+            }
+            SimError::SnapshotNotIdle { incomplete } => {
+                write!(f, "cannot snapshot a busy device ({incomplete} kernels in flight)")
+            }
+            SimError::SnapshotSpecMismatch => {
+                write!(f, "snapshot was captured from a device with a different spec")
             }
         }
     }

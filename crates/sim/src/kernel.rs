@@ -13,7 +13,9 @@ pub struct KernelId(pub u32);
 #[derive(Debug, Clone)]
 pub struct KernelSpec {
     /// Diagnostic name (e.g. `"spy"` / `"trojan"` / `"rodinia-hotspot"`).
-    pub name: String,
+    /// Shared, not owned: cloning a spec (or reading it back through
+    /// [`KernelResults`]) bumps a refcount instead of copying the string.
+    pub name: Arc<str>,
     /// The warp program every warp of the grid executes.
     pub program: Arc<Program>,
     /// Grid/block shape and per-block resources.
@@ -23,7 +25,7 @@ pub struct KernelSpec {
 impl KernelSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, program: Program, launch: LaunchConfig) -> Self {
-        KernelSpec { name: name.into(), program: Arc::new(program), launch }
+        KernelSpec { name: name.into().into(), program: Arc::new(program), launch }
     }
 }
 
@@ -51,13 +53,31 @@ pub struct BlockRecord {
     pub warp_results: Vec<Vec<u64>>,
 }
 
+impl BlockRecord {
+    /// An all-zero record — the fallback when the per-trial record arena is
+    /// empty. Every field is overwritten at harvest time; the arena exists
+    /// only so `warp_results` buffers get recycled instead of reallocated.
+    pub(crate) fn empty() -> Self {
+        BlockRecord {
+            block_id: 0,
+            sm_id: 0,
+            start_cycle: 0,
+            end_cycle: 0,
+            instructions: 0,
+            fu_ops: 0,
+            mem_ops: 0,
+            warp_results: Vec::new(),
+        }
+    }
+}
+
 /// Host-visible outcome of a completed kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelResults {
     /// The kernel's id.
     pub id: KernelId,
-    /// The kernel's diagnostic name.
-    pub name: String,
+    /// The kernel's diagnostic name (shared with the launched spec).
+    pub name: Arc<str>,
     /// Cycle the launch command was submitted.
     pub submitted_at: u64,
     /// Cycle the kernel became eligible for block dispatch (submission plus
@@ -106,8 +126,9 @@ impl KernelResults {
     }
 }
 
-/// Lifecycle state of a launched kernel (simulator-internal).
-#[derive(Debug)]
+/// Lifecycle state of a launched kernel (simulator-internal). `Clone` so a
+/// [`crate::DeviceSnapshot`] can capture the kernel table of an idle device.
+#[derive(Debug, Clone)]
 pub(crate) struct KernelState {
     pub spec: KernelSpec,
     pub stream: crate::StreamId,
@@ -227,7 +248,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.halt();
         let s = KernelSpec::new("x", b.build().unwrap(), gpgpu_spec::LaunchConfig::new(1, 32));
-        assert_eq!(s.name, "x");
+        assert_eq!(&*s.name, "x");
         assert_eq!(s.launch.grid_blocks, 1);
     }
 }

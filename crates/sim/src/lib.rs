@@ -49,6 +49,7 @@ mod fault;
 mod kernel;
 mod policy;
 mod sm;
+mod snapshot;
 mod stats;
 mod topology;
 mod trace;
@@ -60,6 +61,7 @@ pub use error::SimError;
 pub use fault::{FaultInjector, FaultKinds, FaultPlan, FaultStats};
 pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
 pub use policy::PlacementPolicy;
+pub use snapshot::DeviceSnapshot;
 pub use stats::SimStats;
 pub use topology::{LinkTransfer, Topology, TopologyStats};
 pub use trace::{
@@ -67,7 +69,7 @@ pub use trace::{
     DEFAULT_TRACE_CAPACITY,
 };
 pub use tuning::{DeviceTuning, EngineMode};
-pub use warp::{Warp, WarpState};
+pub use warp::WarpState;
 
 /// Stream identifier. Kernels launched on the same stream execute in launch
 /// order; kernels on different streams may execute concurrently — the

@@ -1,10 +1,15 @@
 //! The streaming-multiprocessor model: resident warps, warp schedulers with
 //! per-scheduler functional-unit ports, and per-SM resource accounting.
+//!
+//! Warp state lives in a struct-of-arrays [`WarpTable`] and the issue scan
+//! walks per-scheduler membership bitsets instead of every warp context —
+//! see `DESIGN.md` ("Data-oriented core") for the layout and the argument
+//! that the scan order is identical to the legacy array-of-structs engine.
 
 use crate::fault::FaultInjector;
 use crate::kernel::{BlockRecord, KernelId};
 use crate::trace::{TraceEvent, TraceSink};
-use crate::warp::{Warp, WarpState};
+use crate::warp::{WarpTable, MAX_SCHEDULERS, UNTIL_AT_BARRIER, UNTIL_HALTED};
 use gpgpu_isa::{Instr, LanePattern, Operand, Special};
 use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory, PortSet};
 use gpgpu_spec::{Architecture, BlockResources, FuOpKind, FuTiming, FuUnit, SmSpec};
@@ -43,6 +48,16 @@ pub(crate) struct ResidentBlock {
     pub res: BlockResources,
 }
 
+/// Snapshot of one SM's timing state (issue-port horizons and round-robin
+/// cursors) — everything an *idle* SM carries besides its static spec. Used
+/// by [`crate::DeviceSnapshot`].
+#[derive(Debug, Clone)]
+pub(crate) struct SmTimingState {
+    fu_ports: Vec<[PortSet; 4]>,
+    shared_port: PortSet,
+    cursor: Vec<usize>,
+}
+
 /// Shared-memory banking constants (uniform across the modelled
 /// generations): 32 four-byte-word-interleaved banks, ~26-cycle base
 /// latency, 2 extra cycles per additional conflicting word.
@@ -51,9 +66,39 @@ const SHARED_WORD_BYTES: u64 = 4;
 const SHARED_BASE_LATENCY: u64 = 26;
 const SHARED_CONFLICT_PENALTY: u64 = 2;
 
-/// Upper bound on warp schedulers per SM (all modelled GPUs have <= 4; the
-/// fixed-size per-scheduler wake array avoids a heap allocation).
-const MAX_SCHEDULERS: usize = 8;
+/// Whether an instruction writes only warp-private state (registers, PC,
+/// the warp's own result buffer), always retires in one cycle, and reads
+/// nothing beyond that state and the exact cycle number — the set eligible
+/// to *extend* a batched run (see [`Sm::execute`]).
+///
+/// `ReadClock` qualifies because the batch loop executes every instruction
+/// at its exact architectural cycle: the sampled (quantized) clock and the
+/// clock-perturbation fault offset — a keyed hash of `(seed, now, sm)` —
+/// come out identical to one-instruction-per-visit issue.
+///
+/// Everything else is excluded because its effect depends on what *other
+/// agents* did by the time it executes: FU and LD/ST port acquisition,
+/// cache and atomic state, `BarSync` (block-shared barrier counts) and
+/// `Halt` (block completion timing). Those still execute inside a batch —
+/// but only as its *first* instruction, where cross-agent interleaving is
+/// preserved by construction.
+fn is_warp_private(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::MovImm { .. }
+            | Instr::Mov { .. }
+            | Instr::Add { .. }
+            | Instr::Sub { .. }
+            | Instr::AddImm { .. }
+            | Instr::MulImm { .. }
+            | Instr::AndImm { .. }
+            | Instr::ReadClock { .. }
+            | Instr::ReadSpecial { .. }
+            | Instr::PushResult { .. }
+            | Instr::Branch { .. }
+            | Instr::Jump { .. }
+    )
+}
 
 fn unit_index(unit: FuUnit) -> usize {
     match unit {
@@ -64,24 +109,40 @@ fn unit_index(unit: FuUnit) -> usize {
     }
 }
 
+/// Fills `buf` with the 32 lane addresses of a warp-level memory access and
+/// returns the count — the stack-buffer replacement for the old
+/// `Vec<u64>`-per-instruction path.
+#[inline]
+fn fill_lanes(buf: &mut [u64; 32], pattern: LanePattern, base: u64) -> usize {
+    let mut n = 0;
+    for a in pattern.lane_addrs(base) {
+        buf[n] = a;
+        n += 1;
+    }
+    n
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub(crate) struct Sm {
     pub id: u32,
     spec: SmSpec,
     arch: Architecture,
-    pub warps: Vec<Warp>,
+    pub warps: WarpTable,
     /// `fu_ports[scheduler][unit]`: issue ports for each scheduler's share
     /// of each unit class. Contention through these ports is isolated per
     /// scheduler — the paper's central Section 5 observation.
     fu_ports: Vec<[PortSet; 4]>,
-    /// Per-scheduler round-robin cursor into `warps`.
+    /// Per-scheduler round-robin cursor into the warp table.
     cursor: Vec<usize>,
     pub used_threads: u32,
     pub used_blocks: u32,
     pub used_shared: u64,
     pub used_regs: u64,
     pub resident: Vec<ResidentBlock>,
+    /// Per-kernel program table, indexed by kernel id: one `Arc` clone per
+    /// (kernel, SM) pair instead of one per warp.
+    programs: Vec<Option<Arc<gpgpu_isa::Program>>>,
     /// Per-SM shared-memory access port (bank conflicts serialize on it).
     shared_port: PortSet,
     /// `clock()` quantization (1 = exact) — Section-9 time fuzzing.
@@ -136,7 +197,7 @@ impl Sm {
             id,
             spec,
             arch,
-            warps: Vec::new(),
+            warps: WarpTable::new(),
             fu_ports,
             cursor: vec![0; nsched],
             used_threads: 0,
@@ -144,6 +205,7 @@ impl Sm {
             used_shared: 0,
             used_regs: 0,
             resident: Vec::new(),
+            programs: Vec::new(),
             shared_port: PortSet::new(1),
             clock_quantum: clock_quantum.max(1),
             sched_seed,
@@ -188,11 +250,16 @@ impl Sm {
             start_cycle: now,
             res,
         });
+        // Register the kernel's program once per (kernel, SM) — warps refer
+        // to it by kernel id instead of each holding an `Arc` clone.
+        let kslot = kernel.0 as usize;
+        if self.programs.len() <= kslot {
+            self.programs.resize(kslot + 1, None);
+        }
+        if self.programs[kslot].is_none() {
+            self.programs[kslot] = Some(Arc::clone(program));
+        }
         for w in 0..warps {
-            let mut regs = [0u64; gpgpu_isa::NUM_REGS as usize];
-            // r63 is conventionally preloaded with the grid block count so
-            // programs can size loops without an extra instruction.
-            regs[(gpgpu_isa::NUM_REGS - 1) as usize] = u64::from(grid_blocks);
             let scheduler = match self.sched_seed {
                 // Round-robin, as reverse engineered on real GPUs (§3.1).
                 None => w % self.spec.num_warp_schedulers,
@@ -207,20 +274,7 @@ impl Sm {
                         as u32
                 }
             };
-            self.warps.push(Warp {
-                pc: 0,
-                regs,
-                state: WarpState::Ready,
-                results: Vec::new(),
-                instructions: 0,
-                fu_ops: 0,
-                mem_ops: 0,
-                kernel,
-                block_id,
-                warp_in_block: w,
-                scheduler,
-                program: Arc::clone(program),
-            });
+            self.warps.push(kernel, block_id, w, scheduler, grid_blocks);
         }
         // New warps are Ready (wake time 0): refresh both the global and
         // the per-scheduler wake caches.
@@ -235,8 +289,9 @@ impl Sm {
     }
 
     /// Runs one cycle: each scheduler issues up to its dispatch width of
-    /// ready warps. Finished blocks are appended to `finished`; returns
-    /// whether any warp issued.
+    /// ready warps. Finished blocks are appended to `finished` (reusing
+    /// pooled records from `record_arena` when available); returns whether
+    /// any warp issued.
     ///
     /// With `event_driven` set, a scheduler whose cached earliest wake time
     /// lies in the future skips its warp scan. This is exact: the scan could
@@ -245,12 +300,29 @@ impl Sm {
     /// Executing a warp can never make another warp ready *this* cycle
     /// (barrier releases block until `now + 1`), so caches refreshed at the
     /// previous recompute cannot hide a ready warp.
+    ///
+    /// The scan itself iterates the scheduler's membership bitset rotated at
+    /// its round-robin cursor — bit order restricted to the scheduler's
+    /// members is exactly the legacy `(cursor + k) % n` full-table walk, so
+    /// issue order (and with it every downstream timing decision) is
+    /// bit-identical to the array-of-structs engine.
+    ///
+    /// `batch_until` bounds pure-ALU batch execution (see
+    /// [`Sm::batch_budget`]): when it exceeds `now + 1` a warp that is the
+    /// only schedulable work on its scheduler may retire a run of
+    /// warp-private instructions in this one visit, each at its exact
+    /// architectural cycle. Passing `now + 1` disables batching; the device
+    /// passes that in dense mode (the reference engine stays strictly one
+    /// instruction per visit) and whenever any cross-warp event could land
+    /// inside the span.
     pub fn step(
         &mut self,
         now: u64,
         subs: &mut Subsystems<'_>,
         finished: &mut Vec<(KernelId, BlockRecord)>,
+        record_arena: &mut Vec<BlockRecord>,
         event_driven: bool,
+        batch_until: u64,
     ) -> bool {
         let nsched = self.spec.num_warp_schedulers as usize;
         let dispatch = self.spec.dispatch_per_scheduler() as usize;
@@ -261,31 +333,86 @@ impl Sm {
                 if event_driven && self.sched_wake[sched] > now {
                     continue;
                 }
-                let mut issued = 0;
+                let mask = self.warps.mask(sched);
+                if mask == 0 {
+                    continue;
+                }
                 let start = self.cursor[sched] % n;
-                for k in 0..n {
-                    let idx = (start + k) % n;
-                    if self.warps[idx].scheduler as usize == sched && self.warps[idx].is_ready(now)
-                    {
-                        self.execute(idx, now, subs);
-                        issued_any = true;
-                        issued += 1;
-                        if issued >= dispatch {
-                            self.cursor[sched] = (idx + 1) % n;
-                            break;
+                let mut issued = 0;
+                // High half first (slots >= start, ascending), then the
+                // wrapped low half (slots < start, ascending).
+                let mut part = mask & (u128::MAX << start);
+                let mut wrapped = start == 0;
+                'scan: loop {
+                    while part != 0 {
+                        let idx = part.trailing_zeros() as usize;
+                        part &= part - 1;
+                        if self.warps.is_ready(idx, now) {
+                            let budget = if batch_until > now + 1 {
+                                self.batch_budget(idx, mask, now, batch_until)
+                            } else {
+                                1
+                            };
+                            self.execute(idx, now, subs, budget);
+                            issued_any = true;
+                            issued += 1;
+                            if issued >= dispatch {
+                                self.cursor[sched] = (idx + 1) % n;
+                                break 'scan;
+                            }
                         }
                     }
+                    if wrapped {
+                        break;
+                    }
+                    wrapped = true;
+                    part = mask & !(u128::MAX << start);
                 }
             }
         }
         // Blocks only complete when a warp halts, so the residency scan is
         // needed (in either engine mode) only after a `Halt` executed.
         if self.pending_halt {
-            self.collect_finished_blocks(now, finished);
+            self.collect_finished_blocks(now, finished, record_arena);
             self.pending_halt = false;
         }
         self.recompute_next_wake();
         issued_any
+    }
+
+    /// How many consecutive instructions warp `idx` may retire in one visit
+    /// without any other agent observing or perturbing the run.
+    ///
+    /// The bound is the earliest cycle at which *any other warp of the same
+    /// scheduler* could issue: until then, the scheduler would re-elect
+    /// `idx` every cycle anyway (warps on other schedulers issue
+    /// independently, and a batch only ever extends through warp-private
+    /// instructions — see [`is_warp_private`] — so no port, cache or
+    /// barrier interaction is possible inside the span). A sibling parked
+    /// at a barrier caps the budget at one instruction: a warp on another
+    /// scheduler could release it anywhere inside the span.
+    ///
+    /// `batch_until` is the device-level bound (the run budget): no batched
+    /// instruction may execute at a cycle `>= batch_until`, which keeps
+    /// `CycleLimitExceeded` firing at exactly the dense engine's cycle.
+    fn batch_budget(&self, idx: usize, mask: u128, now: u64, batch_until: u64) -> u64 {
+        let mut bound = batch_until;
+        let mut others = mask & !(1u128 << idx);
+        while others != 0 {
+            let o = others.trailing_zeros() as usize;
+            others &= others - 1;
+            let u = self.warps.until[o];
+            if u == UNTIL_AT_BARRIER {
+                return 1;
+            }
+            // Halted warps (`UNTIL_HALTED`) never wake; the min leaves them
+            // behind naturally.
+            bound = bound.min(u);
+        }
+        // A sibling already ready (or waking next cycle) forces the normal
+        // one-instruction issue; otherwise instructions may occupy cycles
+        // `now .. bound`.
+        bound.saturating_sub(now).max(1)
     }
 
     /// Whether the SM hosts blocks of any kernel other than `kernel`.
@@ -334,7 +461,8 @@ impl Sm {
         self.used_threads -= rb.res.threads;
         self.used_shared -= rb.res.shared_mem_bytes;
         self.used_regs -= rb.res.total_registers();
-        self.warps.retain(|w| !(w.kernel == kernel && w.block_id == block_id));
+        let (lo, hi) = self.warp_range(kernel, block_id, rb.warps_total);
+        self.warps.remove_range(lo, hi);
         for c in &mut self.cursor {
             *c = 0;
         }
@@ -351,15 +479,78 @@ impl Sm {
         }
     }
 
+    /// Drops every warp, block and cached program and zeroes the resource
+    /// and timing accounting, retaining all capacity — the per-trial reset.
+    pub fn reset_for_trial(&mut self) {
+        self.warps.clear();
+        self.resident.clear();
+        self.used_threads = 0;
+        self.used_blocks = 0;
+        self.used_shared = 0;
+        self.used_regs = 0;
+        for ports in &mut self.fu_ports {
+            for p in ports.iter_mut() {
+                p.reset();
+            }
+        }
+        self.shared_port.reset();
+        for p in &mut self.programs {
+            *p = None;
+        }
+        for c in &mut self.cursor {
+            *c = 0;
+        }
+        self.next_wake_cache = u64::MAX;
+        self.sched_wake = [u64::MAX; MAX_SCHEDULERS];
+        self.pending_halt = false;
+    }
+
+    /// Clones the SM's timing state for a [`crate::DeviceSnapshot`]. Only
+    /// meaningful on an idle SM (no resident warps or blocks).
+    pub fn capture_timing(&self) -> SmTimingState {
+        SmTimingState {
+            fu_ports: self.fu_ports.clone(),
+            shared_port: self.shared_port.clone(),
+            cursor: self.cursor.clone(),
+        }
+    }
+
+    /// Restores the timing state captured by [`Sm::capture_timing`] in
+    /// place (no reallocation) and clears all residency, mirroring the idle
+    /// SM the snapshot was taken from. The program cache is dropped: every
+    /// kernel in the snapshot's history has completed, so no future warp
+    /// can fetch from it.
+    pub fn restore_timing(&mut self, snap: &SmTimingState) {
+        for (mine, theirs) in self.fu_ports.iter_mut().zip(&snap.fu_ports) {
+            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                a.copy_state_from(b);
+            }
+        }
+        self.shared_port.copy_state_from(&snap.shared_port);
+        self.cursor.copy_from_slice(&snap.cursor);
+        self.warps.clear();
+        self.resident.clear();
+        self.used_threads = 0;
+        self.used_blocks = 0;
+        self.used_shared = 0;
+        self.used_regs = 0;
+        for p in &mut self.programs {
+            *p = None;
+        }
+        self.next_wake_cache = u64::MAX;
+        self.sched_wake = [u64::MAX; MAX_SCHEDULERS];
+        self.pending_halt = false;
+    }
+
     fn recompute_next_wake(&mut self) {
         self.next_wake_cache = u64::MAX;
         self.sched_wake = [u64::MAX; MAX_SCHEDULERS];
-        for w in &self.warps {
-            if let Some(t) = w.wake_time() {
+        for i in 0..self.warps.len() {
+            if let Some(t) = self.warps.wake_time(i) {
                 if t < self.next_wake_cache {
                     self.next_wake_cache = t;
                 }
-                let s = w.scheduler as usize;
+                let s = self.warps.scheduler[i] as usize;
                 if t < self.sched_wake[s] {
                     self.sched_wake[s] = t;
                 }
@@ -367,7 +558,30 @@ impl Sm {
         }
     }
 
-    fn collect_finished_blocks(&mut self, now: u64, records: &mut Vec<(KernelId, BlockRecord)>) {
+    /// The contiguous warp-slot range `lo..hi` of one resident block.
+    /// Blocks are placed as contiguous slot runs and only ever removed
+    /// whole, so the run survives every removal; the debug assert enforces
+    /// the invariant.
+    fn warp_range(&self, kernel: KernelId, block_id: u32, warps_total: u32) -> (usize, usize) {
+        let lo = (0..self.warps.len())
+            .find(|&i| self.warps.kernel[i] == kernel && self.warps.block_id[i] == block_id)
+            .expect("block has resident warps");
+        let hi = lo + warps_total as usize;
+        debug_assert!(
+            hi <= self.warps.len()
+                && (lo..hi)
+                    .all(|i| self.warps.kernel[i] == kernel && self.warps.block_id[i] == block_id),
+            "a block's warps form one contiguous slot run"
+        );
+        (lo, hi)
+    }
+
+    fn collect_finished_blocks(
+        &mut self,
+        now: u64,
+        records: &mut Vec<(KernelId, BlockRecord)>,
+        record_arena: &mut Vec<BlockRecord>,
+    ) {
         let mut finished_any = false;
         let mut b = 0;
         while b < self.resident.len() {
@@ -378,57 +592,92 @@ impl Sm {
                 self.used_threads -= rb.res.threads;
                 self.used_shared -= rb.res.shared_mem_bytes;
                 self.used_regs -= rb.res.total_registers();
-                // Harvest warp results (ordered by warp-in-block) and drop
-                // the block's warps from the residency list.
-                let mut warp_results = vec![Vec::new(); rb.warps_total as usize];
+                // Harvest warp results (ordered by warp-in-block) into a
+                // pooled record: the warps' filled buffers swap into the
+                // record's slots and the record's retired buffers flow back
+                // to the warp table's spare pool — no allocation once the
+                // pools are warm.
+                let total = rb.warps_total as usize;
+                let (lo, hi) = self.warp_range(rb.kernel, rb.block_id, rb.warps_total);
+                let mut rec = record_arena.pop().unwrap_or_else(BlockRecord::empty);
+                rec.warp_results.resize_with(total, Vec::new);
                 let (mut instructions, mut fu_ops, mut mem_ops) = (0u64, 0u64, 0u64);
-                let mut w = 0;
-                while w < self.warps.len() {
-                    let wp = &self.warps[w];
-                    if wp.kernel == rb.kernel && wp.block_id == rb.block_id {
-                        let warp = self.warps.remove(w);
-                        instructions += warp.instructions;
-                        fu_ops += warp.fu_ops;
-                        mem_ops += warp.mem_ops;
-                        warp_results[warp.warp_in_block as usize] = warp.results;
-                    } else {
-                        w += 1;
-                    }
+                for i in lo..hi {
+                    instructions += self.warps.instructions[i];
+                    fu_ops += self.warps.fu_ops[i];
+                    mem_ops += self.warps.mem_ops[i];
+                    let wib = self.warps.warp_in_block[i] as usize;
+                    rec.warp_results[wib].clear();
+                    std::mem::swap(&mut rec.warp_results[wib], &mut self.warps.results[i]);
                 }
-                records.push((
-                    rb.kernel,
-                    BlockRecord {
-                        block_id: rb.block_id,
-                        sm_id: self.id,
-                        start_cycle: rb.start_cycle,
-                        end_cycle: now,
-                        instructions,
-                        fu_ops,
-                        mem_ops,
-                        warp_results,
-                    },
-                ));
+                self.warps.remove_range(lo, hi);
+                rec.block_id = rb.block_id;
+                rec.sm_id = self.id;
+                rec.start_cycle = rb.start_cycle;
+                rec.end_cycle = now;
+                rec.instructions = instructions;
+                rec.fu_ops = fu_ops;
+                rec.mem_ops = mem_ops;
+                records.push((rb.kernel, rec));
                 finished_any = true;
             } else {
                 b += 1;
             }
         }
         if finished_any {
-            // Warp indices shifted; reset cursors defensively.
+            // Warp slots shifted; reset cursors defensively.
             for c in &mut self.cursor {
                 *c = 0;
             }
         }
     }
 
-    fn execute(&mut self, idx: usize, now: u64, subs: &mut Subsystems<'_>) {
-        let instr = *self.warps[idx].program.fetch(self.warps[idx].pc);
+    /// Executes warp `idx`'s next instruction at cycle `now` — and, when
+    /// `budget > 1`, keeps retiring instructions in the same visit for as
+    /// long as each completes in exactly one cycle and the *next* one is
+    /// warp-private. Every instruction in the run is executed at its exact
+    /// architectural cycle (`now`, `now + 1`, ...): register contents, PC
+    /// trajectory, result pushes, instruction counters and the final wake
+    /// time come out bit-identical to issuing one instruction per
+    /// scheduler visit. The run ends early the moment an instruction
+    /// stalls (memory, FU port, barrier, halt — or issue-jitter faults
+    /// stretching `until` past the next cycle), so only the first
+    /// instruction of a batch may touch shared machinery.
+    fn execute(&mut self, idx: usize, now: u64, subs: &mut Subsystems<'_>, budget: u64) {
+        let mut now = now;
+        let mut remaining = budget;
+        loop {
+            self.execute_one(idx, now, subs);
+            remaining -= 1;
+            if remaining == 0 || self.warps.until[idx] != now + 1 {
+                return;
+            }
+            let kid = self.warps.kernel[idx];
+            let next = self.programs[kid.0 as usize]
+                .as_ref()
+                .expect("executing warp's kernel has a registered program")
+                .fetch(self.warps.pc[idx]);
+            if !is_warp_private(next) {
+                return;
+            }
+            now += 1;
+        }
+    }
+
+    fn execute_one(&mut self, idx: usize, now: u64, subs: &mut Subsystems<'_>) {
+        let kid = self.warps.kernel[idx];
+        let instr = *self.programs[kid.0 as usize]
+            .as_ref()
+            .expect("executing warp's kernel has a registered program")
+            .fetch(self.warps.pc[idx]);
         // Identity of the issuing warp, captured once for trace emission
         // (distinct names: some match arms bind `kernel`/`block_id` locally).
-        let (ev_kernel, ev_block, ev_warp, ev_sched) = {
-            let w = &self.warps[idx];
-            (w.kernel.0, w.block_id, w.warp_in_block, w.scheduler)
-        };
+        let (ev_kernel, ev_block, ev_warp, ev_sched) = (
+            kid.0,
+            self.warps.block_id[idx],
+            self.warps.warp_in_block[idx],
+            self.warps.scheduler[idx],
+        );
         if let Some(t) = subs.trace.as_mut() {
             t.record(
                 now,
@@ -441,52 +690,59 @@ impl Sm {
                 },
             );
         }
-        self.warps[idx].instructions += 1;
+        self.warps.instructions[idx] += 1;
         match instr {
-            Instr::Fu { .. } => self.warps[idx].fu_ops += 1,
+            Instr::Fu { .. } => self.warps.fu_ops[idx] += 1,
             Instr::ConstLoad { .. }
             | Instr::GlobalLoad { .. }
             | Instr::GlobalStore { .. }
             | Instr::SharedLoad { .. }
             | Instr::SharedStore { .. }
-            | Instr::AtomicAdd { .. } => self.warps[idx].mem_ops += 1,
+            | Instr::AtomicAdd { .. } => self.warps.mem_ops[idx] += 1,
             _ => {}
         }
-        // Default: consume this issue slot; one instruction per cycle.
-        let mut next_state = WarpState::Blocked { until: now + 1 };
-        let mut next_pc = self.warps[idx].pc + 1;
+        // Default: consume this issue slot; one instruction per cycle. The
+        // packed encoding (see `warp.rs`) means "blocked until".
+        let mut next_until = now + 1;
+        let mut next_pc = self.warps.pc[idx] + 1;
         match instr {
-            Instr::MovImm { rd, imm } => self.warps[idx].regs[rd.0 as usize] = imm,
+            Instr::MovImm { rd, imm } => self.warps.set_reg(idx, rd.0 as usize, imm),
             Instr::Mov { rd, rs } => {
-                self.warps[idx].regs[rd.0 as usize] = self.warps[idx].regs[rs.0 as usize]
+                let v = self.warps.reg(idx, rs.0 as usize);
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::Add { rd, ra, rb } => {
-                let v = self.warps[idx].regs[ra.0 as usize]
-                    .wrapping_add(self.warps[idx].regs[rb.0 as usize]);
-                self.warps[idx].regs[rd.0 as usize] = v;
+                let v = self
+                    .warps
+                    .reg(idx, ra.0 as usize)
+                    .wrapping_add(self.warps.reg(idx, rb.0 as usize));
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::Sub { rd, ra, rb } => {
-                let v = self.warps[idx].regs[ra.0 as usize]
-                    .wrapping_sub(self.warps[idx].regs[rb.0 as usize]);
-                self.warps[idx].regs[rd.0 as usize] = v;
+                let v = self
+                    .warps
+                    .reg(idx, ra.0 as usize)
+                    .wrapping_sub(self.warps.reg(idx, rb.0 as usize));
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::AddImm { rd, ra, imm } => {
-                self.warps[idx].regs[rd.0 as usize] =
-                    self.warps[idx].regs[ra.0 as usize].wrapping_add(imm);
+                let v = self.warps.reg(idx, ra.0 as usize).wrapping_add(imm);
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::MulImm { rd, ra, imm } => {
-                self.warps[idx].regs[rd.0 as usize] =
-                    self.warps[idx].regs[ra.0 as usize].wrapping_mul(imm);
+                let v = self.warps.reg(idx, ra.0 as usize).wrapping_mul(imm);
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::AndImm { rd, ra, imm } => {
-                self.warps[idx].regs[rd.0 as usize] = self.warps[idx].regs[ra.0 as usize] & imm;
+                let v = self.warps.reg(idx, ra.0 as usize) & imm;
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::Fu { op } => {
-                next_state = self.issue_fu(idx, op, now);
+                next_until = self.issue_fu(idx, op, now);
             }
             Instr::ConstLoad { addr } => {
-                let a = self.warps[idx].regs[addr.0 as usize];
-                let domain = self.warps[idx].kernel.0;
+                let a = self.warps.reg(idx, addr.0 as usize);
+                let domain = kid.0;
                 // Cache faults land just before the access — an event site
                 // both engine modes reach with the identical access stream.
                 if let Some(f) = subs.faults.as_mut() {
@@ -526,17 +782,18 @@ impl Sm {
                         );
                     }
                 }
-                next_state = WarpState::Blocked { until: access.completes_at };
+                next_until = access.completes_at;
             }
             Instr::GlobalLoad { base, pattern } => {
-                let addrs = self.lane_addrs(idx, base, pattern);
+                let mut lanes = [0u64; 32];
+                let n = fill_lanes(&mut lanes, pattern, self.warps.reg(idx, base.0 as usize));
                 // LD/ST replay: the instruction re-issues once per coalesced
                 // transaction, so poorly coalesced accesses serialize at the
                 // warp's own LD/ST port (the self-timing artifact of the
                 // paper's Section 10 / Jiang et al.).
-                let replays = subs.gmem.transactions(addrs.iter().copied());
+                let replays = subs.gmem.transactions(lanes[..n].iter().copied());
                 let start = self.acquire_ldst_n(idx, now, replays);
-                let access = subs.gmem.load_detailed(addrs, start);
+                let access = subs.gmem.load_detailed(lanes[..n].iter().copied(), start);
                 if let Some(t) = subs.trace.as_mut() {
                     t.record(
                         now,
@@ -549,13 +806,14 @@ impl Sm {
                         },
                     );
                 }
-                next_state = WarpState::Blocked { until: access.completes_at };
+                next_until = access.completes_at;
             }
             Instr::GlobalStore { base, pattern } => {
-                let addrs = self.lane_addrs(idx, base, pattern);
-                let replays = subs.gmem.transactions(addrs.iter().copied());
+                let mut lanes = [0u64; 32];
+                let n = fill_lanes(&mut lanes, pattern, self.warps.reg(idx, base.0 as usize));
+                let replays = subs.gmem.transactions(lanes[..n].iter().copied());
                 let start = self.acquire_ldst_n(idx, now, replays);
-                let access = subs.gmem.store_detailed(addrs, start);
+                let access = subs.gmem.store_detailed(lanes[..n].iter().copied(), start);
                 if let Some(t) = subs.trace.as_mut() {
                     t.record(
                         now,
@@ -568,13 +826,14 @@ impl Sm {
                         },
                     );
                 }
-                next_state = WarpState::Blocked { until: access.completes_at };
+                next_until = access.completes_at;
             }
             Instr::SharedLoad { base, pattern } | Instr::SharedStore { base, pattern } => {
                 let start = self.acquire_ldst(idx, now);
-                let addrs = self.lane_addrs(idx, base, pattern);
+                let mut lanes = [0u64; 32];
+                let n = fill_lanes(&mut lanes, pattern, self.warps.reg(idx, base.0 as usize));
                 let degree = u64::from(gpgpu_mem::bank_conflict_degree(
-                    addrs,
+                    lanes[..n].iter().copied(),
                     SHARED_BANKS,
                     SHARED_WORD_BYTES,
                 ));
@@ -585,16 +844,14 @@ impl Sm {
                 // Section-10 negative result that bank conflicts do not
                 // transfer into a covert channel.
                 let port_start = self.shared_port.acquire(start, 1);
-                next_state = WarpState::Blocked {
-                    until: port_start
-                        + SHARED_BASE_LATENCY
-                        + (degree - 1) * SHARED_CONFLICT_PENALTY,
-                };
+                next_until =
+                    port_start + SHARED_BASE_LATENCY + (degree - 1) * SHARED_CONFLICT_PENALTY;
             }
             Instr::AtomicAdd { base, pattern } => {
                 let start = self.acquire_ldst(idx, now);
-                let addrs = self.lane_addrs(idx, base, pattern);
-                let access = subs.atomics.access_detailed(addrs, start);
+                let mut lanes = [0u64; 32];
+                let n = fill_lanes(&mut lanes, pattern, self.warps.reg(idx, base.0 as usize));
+                let access = subs.atomics.access_detailed(lanes[..n].iter().copied(), start);
                 if let Some(t) = subs.trace.as_mut() {
                     t.record(
                         now,
@@ -606,32 +863,32 @@ impl Sm {
                         },
                     );
                 }
-                next_state = WarpState::Blocked { until: access.completes_at };
+                next_until = access.completes_at;
             }
             Instr::ReadClock { rd } => {
                 // Quantized under time fuzzing (exact when quantum = 1),
                 // plus the seeded offset of clock-perturbation faults.
                 let offset = subs.faults.as_mut().map_or(0, |f| f.clock_perturbation(now, self.id));
-                self.warps[idx].regs[rd.0 as usize] = now - now % self.clock_quantum + offset;
+                self.warps.set_reg(idx, rd.0 as usize, now - now % self.clock_quantum + offset);
             }
             Instr::ReadSpecial { rd, special } => {
                 let v = match special {
                     Special::SmId => u64::from(self.id),
-                    Special::BlockId => u64::from(self.warps[idx].block_id),
-                    Special::WarpIdInBlock => u64::from(self.warps[idx].warp_in_block),
-                    Special::SchedulerId => u64::from(self.warps[idx].scheduler),
-                    Special::GridBlocks => self.warps[idx].regs[(gpgpu_isa::NUM_REGS - 1) as usize],
+                    Special::BlockId => u64::from(ev_block),
+                    Special::WarpIdInBlock => u64::from(ev_warp),
+                    Special::SchedulerId => u64::from(ev_sched),
+                    Special::GridBlocks => self.warps.reg(idx, (gpgpu_isa::NUM_REGS - 1) as usize),
                 };
-                self.warps[idx].regs[rd.0 as usize] = v;
+                self.warps.set_reg(idx, rd.0 as usize, v);
             }
             Instr::PushResult { value } => {
-                let v = self.warps[idx].regs[value.0 as usize];
-                self.warps[idx].results.push(v);
+                let v = self.warps.reg(idx, value.0 as usize);
+                self.warps.results[idx].push(v);
             }
             Instr::Branch { cond, a, b, target } => {
-                let av = self.warps[idx].regs[a.0 as usize];
+                let av = self.warps.reg(idx, a.0 as usize);
                 let bv = match b {
-                    Operand::Reg(r) => self.warps[idx].regs[r.0 as usize],
+                    Operand::Reg(r) => self.warps.reg(idx, r.0 as usize),
                     Operand::Imm(i) => i,
                 };
                 if cond.eval(av, bv) {
@@ -640,7 +897,7 @@ impl Sm {
             }
             Instr::Jump { target } => next_pc = target,
             Instr::BarSync => {
-                let (kernel, block_id) = (self.warps[idx].kernel, self.warps[idx].block_id);
+                let (kernel, block_id) = (kid, ev_block);
                 if let Some(t) = subs.trace.as_mut() {
                     t.record(
                         now,
@@ -661,15 +918,8 @@ impl Sm {
                 if rb.at_barrier >= rb.warps_total - rb.warps_halted {
                     // Last arrival: release the whole block.
                     rb.at_barrier = 0;
-                    for w in &mut self.warps {
-                        if w.kernel == kernel
-                            && w.block_id == block_id
-                            && w.state == WarpState::AtBarrier
-                        {
-                            w.state = WarpState::Blocked { until: now + 1 };
-                        }
-                    }
-                    next_state = WarpState::Blocked { until: now + 1 };
+                    self.release_barrier(kernel, block_id, now);
+                    next_until = now + 1;
                     if let Some(t) = subs.trace.as_mut() {
                         t.record(
                             now,
@@ -681,13 +931,13 @@ impl Sm {
                         );
                     }
                 } else {
-                    next_state = WarpState::AtBarrier;
+                    next_until = UNTIL_AT_BARRIER;
                 }
             }
             Instr::Halt => {
-                next_state = WarpState::Halted;
+                next_until = UNTIL_HALTED;
                 self.pending_halt = true;
-                let (kernel, block_id) = (self.warps[idx].kernel, self.warps[idx].block_id);
+                let (kernel, block_id) = (kid, ev_block);
                 let rb = self
                     .resident
                     .iter_mut()
@@ -700,14 +950,7 @@ impl Sm {
                     && rb.at_barrier >= rb.warps_total - rb.warps_halted
                 {
                     rb.at_barrier = 0;
-                    for w in &mut self.warps {
-                        if w.kernel == kernel
-                            && w.block_id == block_id
-                            && w.state == WarpState::AtBarrier
-                        {
-                            w.state = WarpState::Blocked { until: now + 1 };
-                        }
-                    }
+                    self.release_barrier(kernel, block_id, now);
                     if let Some(t) = subs.trace.as_mut() {
                         t.record(
                             now,
@@ -725,27 +968,41 @@ impl Sm {
         // issued. The extra delay only ever pushes a wake time further into
         // the future (it is added to an `until > now`), preserving the
         // invariant that an executed warp cannot become ready this cycle.
-        if let Some(f) = subs.faults.as_mut() {
-            if let WarpState::Blocked { until } = next_state {
+        // Barrier parks and halts (the two sentinel encodings) are exempt,
+        // exactly as the legacy enum match was.
+        if next_until < UNTIL_AT_BARRIER {
+            if let Some(f) = subs.faults.as_mut() {
                 let jitter = f.issue_jitter(now, self.id, ev_sched);
                 if jitter > 0 {
-                    next_state = WarpState::Blocked { until: until + jitter };
+                    next_until += jitter;
                 }
             }
         }
-        self.warps[idx].pc = next_pc;
-        self.warps[idx].state = next_state;
+        self.warps.pc[idx] = next_pc;
+        self.warps.until[idx] = next_until;
     }
 
-    fn issue_fu(&mut self, idx: usize, op: FuOpKind, now: u64) -> WarpState {
+    /// Wakes every warp of `(kernel, block_id)` parked at a barrier.
+    fn release_barrier(&mut self, kernel: KernelId, block_id: u32, now: u64) {
+        for i in 0..self.warps.len() {
+            if self.warps.kernel[i] == kernel
+                && self.warps.block_id[i] == block_id
+                && self.warps.until[i] == UNTIL_AT_BARRIER
+            {
+                self.warps.until[i] = now + 1;
+            }
+        }
+    }
+
+    fn issue_fu(&mut self, idx: usize, op: FuOpKind, now: u64) -> u64 {
         let unit = op.unit();
-        let sched = self.warps[idx].scheduler as usize;
+        let sched = self.warps.scheduler[idx] as usize;
         let nsched = self.spec.num_warp_schedulers;
         let timing = FuTiming::for_op(self.arch, op);
         let occupancy =
             u64::from(self.spec.pools.issue_occupancy(unit, nsched)) * u64::from(timing.micro_ops);
         let start = self.fu_ports[sched][unit_index(unit)].acquire(now, occupancy);
-        WarpState::Blocked { until: start + occupancy + u64::from(timing.pipeline_depth) }
+        start + occupancy + u64::from(timing.pipeline_depth)
     }
 
     fn acquire_ldst(&mut self, idx: usize, now: u64) -> u64 {
@@ -760,16 +1017,11 @@ impl Sm {
     /// large while the cost to competitors stays negligible (the paper's
     /// Section-10 observation).
     fn acquire_ldst_n(&mut self, idx: usize, now: u64, replays: u64) -> u64 {
-        let sched = self.warps[idx].scheduler as usize;
+        let sched = self.warps.scheduler[idx] as usize;
         let occupancy =
             u64::from(self.spec.pools.issue_occupancy(FuUnit::LdSt, self.spec.num_warp_schedulers));
         let start = self.fu_ports[sched][unit_index(FuUnit::LdSt)].acquire(now, occupancy);
         start + occupancy * replays.max(1)
-    }
-
-    fn lane_addrs(&self, idx: usize, base: gpgpu_isa::Reg, pattern: LanePattern) -> Vec<u64> {
-        let b = self.warps[idx].regs[base.0 as usize];
-        pattern.lane_addrs(b).collect()
     }
 }
 
@@ -796,8 +1048,10 @@ mod tests {
         let p = Arc::new(b.build().unwrap());
         let res = BlockResources { threads: 256, shared_mem_bytes: 0, registers_per_thread: 16 };
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
-        let scheds: Vec<u32> = sm.warps.iter().map(|w| w.scheduler).collect();
-        assert_eq!(scheds, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(sm.warps.scheduler, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // The membership bitsets mirror the column.
+        assert_eq!(sm.warps.mask(0), 0b0001_0001);
+        assert_eq!(sm.warps.mask(3), 0b1000_1000);
     }
 
     #[test]
@@ -814,7 +1068,8 @@ mod tests {
         let (c, a, g) = &mut subsystems(&dev);
         let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
         let mut finished = Vec::new();
-        sm.step(0, &mut subs, &mut finished, true);
+        let mut arena = Vec::new();
+        sm.step(0, &mut subs, &mut finished, &mut arena, true, 1);
         assert_eq!(finished.len(), 1);
         assert_eq!(sm.used_threads, 0);
         assert_eq!(sm.used_shared, 0);
@@ -853,24 +1108,16 @@ mod tests {
         sm.place_block(KernelId(0), 0, 1, res, &p, 0);
         let (c, a, g) = &mut subsystems(&dev);
         let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
-        sm.step(0, &mut subs, &mut Vec::new(), true);
+        sm.step(0, &mut subs, &mut Vec::new(), &mut Vec::new(), true, 1);
         // Kepler dispatches 2 warps/scheduler/cycle: warps 0..7 all issued in
         // cycle 0. Same-scheduler pairs (0,4), (1,5)... queue on the SFU port.
-        let until: Vec<u64> = sm
-            .warps
-            .iter()
-            .map(|w| match w.state {
-                WarpState::Blocked { until } => until,
-                _ => 0,
-            })
-            .collect();
         // First warp of each scheduler: occupancy 4 + depth 14 = 18.
-        assert_eq!(until[0], 18);
-        assert_eq!(until[1], 18);
+        assert_eq!(sm.warps.until[0], 18);
+        assert_eq!(sm.warps.until[1], 18);
         // Second warp on the same scheduler starts after the first's
         // occupancy: 4 + 4 + 14 = 22.
-        assert_eq!(until[4], 22);
-        assert_eq!(until[5], 22);
+        assert_eq!(sm.warps.until[4], 22);
+        assert_eq!(sm.warps.until[5], 22);
     }
 
     #[test]
@@ -886,10 +1133,42 @@ mod tests {
         let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
         // Both warps are on different schedulers; both halt in cycle 0.
         let mut finished = Vec::new();
-        sm.step(0, &mut subs, &mut finished, true);
+        let mut arena = Vec::new();
+        sm.step(0, &mut subs, &mut finished, &mut arena, true, 1);
         assert_eq!(finished.len(), 1);
         assert_eq!(finished[0].0, KernelId(0));
         assert_eq!(finished[0].1.warp_results.len(), 2);
+    }
+
+    #[test]
+    fn pooled_records_are_scrubbed_before_reuse() {
+        // A record from the arena carries a *larger* stale warp_results
+        // vector with junk data; harvesting into it must resize and clear.
+        let dev = presets::tesla_k40c();
+        let mut sm = Sm::new(0, dev.sm, dev.architecture);
+        let mut b = ProgramBuilder::new();
+        b.read_special(gpgpu_isa::Reg(0), Special::WarpIdInBlock);
+        b.push_result(gpgpu_isa::Reg(0));
+        b.halt();
+        let p = Arc::new(b.build().unwrap());
+        let res = BlockResources { threads: 64, shared_mem_bytes: 0, registers_per_thread: 16 };
+        sm.place_block(KernelId(0), 0, 1, res, &p, 0);
+        let (c, a, g) = &mut subsystems(&dev);
+        let mut subs = Subsystems { const_mem: c, atomics: a, gmem: g, trace: None, faults: None };
+        let mut finished = Vec::new();
+        let mut stale = BlockRecord::empty();
+        stale.warp_results = vec![vec![99, 98], vec![97], vec![96]];
+        let mut arena = vec![stale];
+        let mut cycle = 0;
+        while finished.is_empty() && cycle < 100 {
+            sm.step(cycle, &mut subs, &mut finished, &mut arena, true, cycle + 1);
+            cycle += 1;
+        }
+        assert!(arena.is_empty(), "the pooled record was consumed");
+        let rec = &finished[0].1;
+        assert_eq!(rec.warp_results.len(), 2);
+        assert_eq!(rec.warp_results[0], vec![0]);
+        assert_eq!(rec.warp_results[1], vec![1]);
     }
 }
 

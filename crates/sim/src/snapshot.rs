@@ -1,0 +1,284 @@
+//! Copy-on-write device snapshots.
+//!
+//! A [`DeviceSnapshot`] captures the full observable state of an *idle*
+//! [`Device`] — caches, port horizons, allocator cursors, kernel history,
+//! RNG — behind an `Arc`. Cloning a snapshot is a refcount bump; restoring
+//! one copies the captured state back into an existing device *in place*,
+//! reusing the device's allocations. Sweeps that repeat many trials from
+//! one calibrated/warmed-up state capture once per sweep cell and restore
+//! per trial, instead of re-running the warmup (or rebuilding the device)
+//! every time.
+
+use crate::device::StreamQueue;
+use crate::error::SimError;
+use crate::kernel::KernelState;
+use crate::sm::SmTimingState;
+use crate::stats::SimStats;
+use crate::{Device, StreamId};
+use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory};
+use gpgpu_spec::DeviceSpec;
+use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// The captured state. One allocation per snapshot, shared by every clone.
+#[derive(Debug)]
+pub(crate) struct SnapshotInner {
+    pub spec: DeviceSpec,
+    pub now: u64,
+    pub sm_timing: Vec<SmTimingState>,
+    pub const_mem: ConstHierarchy,
+    pub atomics: AtomicSystem,
+    pub gmem: GlobalMemory,
+    pub kernels: Vec<KernelState>,
+    pub policy: crate::PlacementPolicy,
+    pub rr_cursor: usize,
+    pub next_global: u64,
+    pub next_const: u64,
+    pub jitter_max: u64,
+    pub rng: StdRng,
+    pub stats: SimStats,
+    pub incomplete: usize,
+    pub pending_arrivals: BinaryHeap<Reverse<u64>>,
+    pub streams: HashMap<StreamId, StreamQueue>,
+}
+
+/// A cheaply clonable snapshot of an idle [`Device`] (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use gpgpu_sim::{Device, KernelSpec};
+/// use gpgpu_spec::{presets, LaunchConfig};
+///
+/// let mut dev = Device::new(presets::tesla_k40c());
+/// let mut b = gpgpu_isa::ProgramBuilder::new();
+/// b.mov_imm(gpgpu_isa::Reg(0), 0);
+/// b.const_load(gpgpu_isa::Reg(0)); // warm the constant cache
+/// let warm = KernelSpec::new("warm", b.build().unwrap(), LaunchConfig::new(1, 32));
+/// dev.launch(0, warm.clone()).unwrap();
+/// dev.run_until_idle(1_000_000).unwrap();
+///
+/// let snap = dev.snapshot().unwrap(); // capture the warmed-up state
+/// let at_capture = dev.now();
+/// dev.launch(0, warm).unwrap(); // diverge...
+/// dev.run_until_idle(1_000_000).unwrap();
+/// dev.restore(&snap).unwrap(); // ...and rewind
+/// assert_eq!(dev.now(), at_capture);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceSnapshot {
+    pub(crate) inner: Arc<SnapshotInner>,
+}
+
+impl DeviceSnapshot {
+    /// The simulated cycle at which the snapshot was captured.
+    pub fn now(&self) -> u64 {
+        self.inner.now
+    }
+
+    /// The specification of the device the snapshot was captured from.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.inner.spec
+    }
+}
+
+impl Device {
+    /// Captures a snapshot of this (idle) device. The trace sink and fault
+    /// injector are *not* captured — install them after a restore, as after
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SnapshotNotIdle`] if any launched kernel has not
+    ///   completed.
+    pub fn snapshot(&self) -> Result<DeviceSnapshot, SimError> {
+        if !self.is_idle() {
+            return Err(SimError::SnapshotNotIdle { incomplete: self.incomplete });
+        }
+        Ok(DeviceSnapshot {
+            inner: Arc::new(SnapshotInner {
+                spec: self.spec.clone(),
+                now: self.now,
+                sm_timing: self.sms.iter().map(|sm| sm.capture_timing()).collect(),
+                const_mem: self.const_mem.clone(),
+                atomics: self.atomics.clone(),
+                gmem: self.gmem.clone(),
+                kernels: self.kernels.clone(),
+                policy: self.policy,
+                rr_cursor: self.rr_cursor,
+                next_global: self.next_global,
+                next_const: self.next_const,
+                jitter_max: self.jitter_max,
+                rng: self.rng.clone(),
+                stats: self.stats,
+                incomplete: self.incomplete,
+                pending_arrivals: self.pending_arrivals.clone(),
+                streams: self.streams.clone(),
+            }),
+        })
+    }
+
+    /// Restores this device to the captured state, in place: cache arrays,
+    /// port horizons and cursors are copied into the existing allocations
+    /// (the kernel table is the one clone). Any in-flight state is
+    /// discarded; the trace sink and fault injector are removed, mirroring
+    /// [`Device::snapshot`] not capturing them. Engine mode and mitigation
+    /// tuning are construction-time properties and remain the device's own.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SnapshotSpecMismatch`] if the snapshot was captured
+    ///   from a device with a different specification (the restore is not
+    ///   attempted).
+    pub fn restore(&mut self, snapshot: &DeviceSnapshot) -> Result<(), SimError> {
+        let snap = &*snapshot.inner;
+        if self.spec != snap.spec {
+            return Err(SimError::SnapshotSpecMismatch);
+        }
+        self.now = snap.now;
+        for (sm, timing) in self.sms.iter_mut().zip(&snap.sm_timing) {
+            sm.restore_timing(timing);
+        }
+        self.const_mem.copy_state_from(&snap.const_mem);
+        self.atomics.copy_state_from(&snap.atomics);
+        self.gmem.copy_state_from(&snap.gmem);
+        // Recycle the current kernel table's buffers before replacing it.
+        let mut kernels = std::mem::take(&mut self.kernels);
+        for k in kernels.drain(..) {
+            let KernelState { records, mut retry_blocks, .. } = k;
+            retry_blocks.clear();
+            self.recycle_kernel_buffers(records, retry_blocks);
+        }
+        kernels.extend(snap.kernels.iter().cloned());
+        self.kernels = kernels;
+        self.policy = snap.policy;
+        self.rr_cursor = snap.rr_cursor;
+        self.next_global = snap.next_global;
+        self.next_const = snap.next_const;
+        self.jitter_max = snap.jitter_max;
+        self.rng = snap.rng.clone();
+        self.stats = snap.stats;
+        self.placement_dirty = true;
+        self.incomplete = snap.incomplete;
+        // The kernel table was just drained (snapshots are idle-only), so
+        // no kernel has unplaced blocks.
+        self.unplaced_kernels = 0;
+        self.pending_arrivals.clear();
+        self.pending_arrivals.extend(snap.pending_arrivals.iter().cloned());
+        self.streams.clear();
+        self.streams.extend(snap.streams.iter().map(|(k, v)| (*k, v.clone())));
+        self.finished_buf.clear();
+        self.trace = None;
+        self.faults = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Device, KernelSpec, SimError};
+    use gpgpu_isa::{ProgramBuilder, Reg};
+    use gpgpu_spec::{presets, LaunchConfig};
+
+    fn timed_probe(addr: u64) -> gpgpu_isa::Program {
+        let (a, t0, t1, lat) = (Reg(0), Reg(1), Reg(2), Reg(3));
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(a, addr);
+        b.read_clock(t0);
+        b.const_load(a);
+        b.read_clock(t1);
+        b.sub(lat, t1, t0);
+        b.push_result(lat);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn busy_devices_refuse_to_snapshot() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        assert!(dev.snapshot().is_ok(), "a fresh device is idle");
+        dev.launch(0, KernelSpec::new("k", timed_probe(0), LaunchConfig::new(1, 32))).unwrap();
+        assert!(matches!(dev.snapshot(), Err(SimError::SnapshotNotIdle { incomplete: 1 })));
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_snapshot() {
+        let kepler = Device::new(presets::tesla_k40c());
+        let mut maxwell = Device::new(presets::quadro_m4000());
+        let snap = kepler.snapshot().unwrap();
+        assert_eq!(maxwell.restore(&snap), Err(SimError::SnapshotSpecMismatch));
+    }
+
+    #[test]
+    fn restore_rewinds_cache_state_and_clock_exactly() {
+        // Warm the cache, snapshot, probe, then restore and probe again —
+        // every replay must match a control device that ran warm-then-probe
+        // straight through, with no snapshot machinery in between.
+        let launch = LaunchConfig::new(1, 32);
+        let control = {
+            let mut dev = Device::new(presets::tesla_k40c());
+            let addr = dev.alloc_constant(64);
+            dev.launch(0, KernelSpec::new("warm", timed_probe(addr), launch)).unwrap();
+            dev.run_until_idle(1_000_000).unwrap();
+            let warm_done = dev.now();
+            let k = dev.launch(0, KernelSpec::new("probe", timed_probe(addr), launch)).unwrap();
+            dev.run_until_idle(1_000_000).unwrap();
+            (warm_done, dev.now(), dev.results(k).unwrap().flat_results())
+        };
+
+        let mut dev = Device::new(presets::tesla_k40c());
+        let addr = dev.alloc_constant(64);
+        dev.launch(0, KernelSpec::new("warm", timed_probe(addr), launch)).unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let snap = dev.snapshot().unwrap();
+        assert_eq!(snap.now(), control.0);
+
+        let replay = |dev: &mut Device| -> (u64, u64, Vec<u64>) {
+            dev.restore(&snap).unwrap();
+            let at_restore = dev.now();
+            let k = dev.launch(0, KernelSpec::new("probe", timed_probe(addr), launch)).unwrap();
+            dev.run_until_idle(1_000_000).unwrap();
+            (at_restore, dev.now(), dev.results(k).unwrap().flat_results())
+        };
+        // First replay happens right after capture; the second replays over
+        // the diverged state the first one left behind.
+        let first = replay(&mut dev);
+        assert_eq!(first, control, "snapshot replay diverged from the straight-through run");
+        let second = replay(&mut dev);
+        assert_eq!(second, control, "second restore diverged");
+
+        // And the warmed hierarchy is observably warm: a cold device's
+        // probe (same allocation, no warm kernel) pays the memory fill.
+        let cold = {
+            let mut dev = Device::new(presets::tesla_k40c());
+            let addr = dev.alloc_constant(64);
+            let k = dev.launch(0, KernelSpec::new("probe", timed_probe(addr), launch)).unwrap();
+            dev.run_until_idle(1_000_000).unwrap();
+            dev.results(k).unwrap().flat_results()
+        };
+        assert!(
+            first.2[0] < cold[0],
+            "restored probe ({:?}) should beat a cold probe ({:?})",
+            first.2,
+            cold
+        );
+    }
+
+    #[test]
+    fn snapshots_are_cheap_to_clone_and_outlive_the_device() {
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.launch(0, KernelSpec::new("k", timed_probe(0), LaunchConfig::new(1, 32))).unwrap();
+        dev.run_until_idle(1_000_000).unwrap();
+        let snap = dev.snapshot().unwrap();
+        let clone = snap.clone();
+        drop(dev);
+        assert_eq!(clone.now(), snap.now());
+        assert_eq!(clone.spec().name, "Tesla K40C");
+        // A fresh device of the same spec accepts the orphaned snapshot.
+        let mut fresh = Device::new(presets::tesla_k40c());
+        fresh.restore(&clone).unwrap();
+        assert_eq!(fresh.now(), snap.now());
+        assert_eq!(fresh.kernel_name(crate::KernelId(0)).unwrap(), "k");
+    }
+}

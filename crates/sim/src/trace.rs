@@ -256,7 +256,9 @@ impl EventTrace {
         self.dropped
     }
 
-    /// The held records in chronological order (oldest first).
+    /// The held records in chronological order (oldest first), as a fresh
+    /// allocation. Prefer [`EventTrace::iter`] (borrowing) or
+    /// [`EventTrace::take_events`] (draining) when a copy is not needed.
     pub fn events(&self) -> Vec<TraceRecord> {
         if self.buf.len() < self.capacity || self.next == 0 {
             return self.buf.clone();
@@ -265,6 +267,25 @@ impl EventTrace {
         out.extend_from_slice(&self.buf[self.next..]);
         out.extend_from_slice(&self.buf[..self.next]);
         out
+    }
+
+    /// Borrowing iterator over the held records in chronological order
+    /// (oldest first) — no copy of the ring.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        // Once the ring has wrapped, `next` is the oldest record's slot.
+        let split = if self.buf.len() < self.capacity { 0 } else { self.next };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Removes and returns the held records in chronological order, leaving
+    /// the recorder empty (the drop counter is kept). Unlike
+    /// [`EventTrace::events`] this rotates the existing buffer in place
+    /// instead of copying it.
+    pub fn take_events(&mut self) -> Vec<TraceRecord> {
+        let split = if self.buf.len() < self.capacity { 0 } else { self.next };
+        self.buf.rotate_left(split);
+        self.next = 0;
+        std::mem::take(&mut self.buf)
     }
 
     /// Discards all held records (the drop counter is kept).
@@ -547,6 +568,40 @@ mod tests {
         let mut t = EventTrace::with_capacity(0);
         t.record(7, ev(0));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_borrows_in_chronological_order() {
+        // Unwrapped ring (below capacity): storage order is time order.
+        let mut t = EventTrace::with_capacity(4);
+        for i in 0..3u64 {
+            t.record(i, ev(0));
+        }
+        let cycles: Vec<u64> = t.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+        // Wrapped ring: the oldest slot is mid-buffer; iter stitches the
+        // two halves back together without cloning anything.
+        for i in 3..6u64 {
+            t.record(i, ev(0));
+        }
+        let cycles: Vec<u64> = t.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4, 5]);
+        assert_eq!(t.len(), 4, "iter leaves the trace intact");
+    }
+
+    #[test]
+    fn take_events_drains_in_order_and_resets_the_ring() {
+        let mut t = EventTrace::with_capacity(3);
+        for i in 0..5u64 {
+            t.record(i, ev(i as u32));
+        }
+        let drained = t.take_events();
+        assert_eq!(drained.iter().map(|r| r.cycle).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(t.is_empty(), "take_events leaves the trace empty");
+        assert_eq!(t.dropped(), 2, "the overflow counter survives the drain");
+        // The drained trace keeps recording at its configured capacity.
+        t.record(9, ev(9));
+        assert_eq!(t.take_events().iter().map(|r| r.cycle).collect::<Vec<_>>(), vec![9]);
     }
 
     #[test]

@@ -1,9 +1,30 @@
-//! Resident warp state.
+//! Resident warp state, stored struct-of-arrays.
+//!
+//! The per-cycle hot loop touches one or two fields of many warps (the
+//! issue scan reads `until`; execution reads/writes a handful of columns),
+//! so warp state is laid out as parallel columns indexed by *slot* instead
+//! of an array of `Warp` structs. Registers live in one flat slab
+//! (`slot * NUM_REGS`), and per-scheduler membership is tracked as fixed
+//! width bitsets so the issue scan is a mask iteration rather than a walk
+//! over every warp context.
+//!
+//! Scheduling state is encoded in the `until` column alone:
+//!
+//! * `0` — ready (never produced by execution: every issued instruction
+//!   blocks until at least `now + 1`, so `0` only marks a freshly placed
+//!   warp, whose wake time is 0 — exactly the semantics of `Ready`);
+//! * `1 ..= UNTIL_AT_BARRIER - 1` — blocked until that cycle;
+//! * [`UNTIL_AT_BARRIER`] — parked at a block barrier (no self-wake);
+//! * [`UNTIL_HALTED`] — executed `Halt`, never scheduled again.
+//!
+//! `is_ready(now)` is then a single compare (`until <= now`) and
+//! `wake_time` a single threshold test, with no enum dispatch in the scan.
 
+use crate::kernel::KernelId;
 use gpgpu_isa::NUM_REGS;
-use std::sync::Arc;
 
-/// Execution state of a warp.
+/// Execution state of a warp — the *view* type decoded from the packed
+/// `until` column (see the module docs for the encoding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarpState {
     /// Eligible for issue.
@@ -19,94 +40,282 @@ pub enum WarpState {
     Halted,
 }
 
-/// One resident warp: architectural registers, PC, result buffer and
-/// placement identity.
-#[derive(Debug, Clone)]
-pub struct Warp {
-    /// Program counter (index into the program).
-    pub pc: u32,
-    /// Warp-scalar register file.
-    pub regs: [u64; NUM_REGS as usize],
-    /// Execution state.
-    pub state: WarpState,
-    /// Values pushed by `PushResult`, host-visible after kernel completion.
-    pub results: Vec<u64>,
-    /// Total instructions executed by this warp.
-    pub instructions: u64,
-    /// Functional-unit operations executed.
-    pub fu_ops: u64,
-    /// Memory operations executed (constant, global, shared, atomic).
-    pub mem_ops: u64,
-    /// Which launched kernel this warp belongs to.
-    pub kernel: crate::kernel::KernelId,
+/// `until` value marking a warp parked at a barrier.
+pub(crate) const UNTIL_AT_BARRIER: u64 = u64::MAX - 1;
+
+/// `until` value marking a halted warp.
+pub(crate) const UNTIL_HALTED: u64 = u64::MAX;
+
+/// Hard cap on simultaneously resident warps per SM, set by the width of
+/// the per-scheduler membership bitsets. Real residency is bounded well
+/// below this (`max_threads / 32` full warps, or `max_blocks` partial
+/// ones — at most ~96 on the modelled GPUs).
+pub(crate) const MAX_WARP_SLOTS: usize = 128;
+
+/// Upper bound on warp schedulers per SM (all modelled GPUs have <= 4; the
+/// fixed-size per-scheduler arrays avoid a heap allocation).
+pub(crate) const MAX_SCHEDULERS: usize = 8;
+
+const REGS: usize = NUM_REGS as usize;
+
+/// Struct-of-arrays warp table: column `x[slot]` holds warp `slot`'s `x`.
+/// Slots are dense (0..len) and removal is order-preserving, so the issue
+/// scan order matches the legacy `Vec<Warp>` engine index for index.
+#[derive(Debug, Default)]
+pub(crate) struct WarpTable {
+    /// Program counter (index into the owning kernel's program).
+    pub pc: Vec<u32>,
+    /// Packed scheduling state (see module docs).
+    pub until: Vec<u64>,
+    /// Which launched kernel each warp belongs to.
+    pub kernel: Vec<KernelId>,
     /// Linear block index within the kernel's grid.
-    pub block_id: u32,
+    pub block_id: Vec<u32>,
     /// Warp index within the block.
-    pub warp_in_block: u32,
-    /// Warp scheduler this warp was assigned to (round-robin by
-    /// `warp_in_block`, per the paper's Section 3.1 reverse engineering).
-    pub scheduler: u32,
-    /// The program all warps of the kernel execute.
-    pub program: Arc<gpgpu_isa::Program>,
+    pub warp_in_block: Vec<u32>,
+    /// Warp scheduler assignment (round-robin by warp-in-block, per the
+    /// paper's Section 3.1 reverse engineering, unless randomized).
+    pub scheduler: Vec<u32>,
+    /// Total instructions executed.
+    pub instructions: Vec<u64>,
+    /// Functional-unit operations executed.
+    pub fu_ops: Vec<u64>,
+    /// Memory operations executed (constant, global, shared, atomic).
+    pub mem_ops: Vec<u64>,
+    /// Values pushed by `PushResult`, harvested at block completion.
+    pub results: Vec<Vec<u64>>,
+    /// Flat register slab: warp `slot`'s registers are
+    /// `regs[slot * NUM_REGS .. (slot + 1) * NUM_REGS]`.
+    regs: Vec<u64>,
+    /// Per-scheduler slot-membership bitsets (bit `s` set ⇔ warp slot `s`
+    /// belongs to that scheduler).
+    sched_mask: [u128; MAX_SCHEDULERS],
+    /// Retired result buffers, reused by later placements so steady-state
+    /// trials allocate nothing.
+    spare_results: Vec<Vec<u64>>,
 }
 
-impl Warp {
-    /// Whether the warp can issue at cycle `now`.
-    pub fn is_ready(&self, now: u64) -> bool {
-        match self.state {
-            WarpState::Ready => true,
-            WarpState::Blocked { until } => until <= now,
-            WarpState::AtBarrier | WarpState::Halted => false,
+impl WarpTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pc.len()
+    }
+
+    #[cfg(test)]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pc.is_empty()
+    }
+
+    /// Slot-membership bitset of `scheduler`.
+    #[inline]
+    pub fn mask(&self, scheduler: usize) -> u128 {
+        self.sched_mask[scheduler]
+    }
+
+    /// Whether warp `slot` can issue at cycle `now`.
+    #[inline]
+    pub fn is_ready(&self, slot: usize, now: u64) -> bool {
+        self.until[slot] <= now
+    }
+
+    /// The next cycle at which warp `slot` could issue, if any. A warp
+    /// parked at a barrier has no self-wake time — it is released by the
+    /// arrival of its block's last warp, itself a tracked wake event.
+    #[inline]
+    pub fn wake_time(&self, slot: usize) -> Option<u64> {
+        let u = self.until[slot];
+        (u < UNTIL_AT_BARRIER).then_some(u)
+    }
+
+    /// Warp `slot`'s registers.
+    #[inline]
+    pub fn reg(&self, slot: usize, r: usize) -> u64 {
+        self.regs[slot * REGS + r]
+    }
+
+    #[inline]
+    pub fn set_reg(&mut self, slot: usize, r: usize, v: u64) {
+        self.regs[slot * REGS + r] = v;
+    }
+
+    /// Decodes warp `slot`'s packed state into the view enum.
+    #[cfg(test)]
+    pub fn state(&self, slot: usize) -> WarpState {
+        match self.until[slot] {
+            0 => WarpState::Ready,
+            UNTIL_AT_BARRIER => WarpState::AtBarrier,
+            UNTIL_HALTED => WarpState::Halted,
+            until => WarpState::Blocked { until },
         }
     }
 
-    /// The next cycle at which this warp could issue, if any. A warp parked
-    /// at a barrier has no self-wake time — it is released by the arrival of
-    /// its block's last warp, which is itself a tracked wake event.
-    pub fn wake_time(&self) -> Option<u64> {
-        match self.state {
-            WarpState::Ready => Some(0),
-            WarpState::Blocked { until } => Some(until),
-            WarpState::AtBarrier | WarpState::Halted => None,
+    /// Appends a fresh warp (ready, pc 0, zeroed registers except the
+    /// grid-block count conventionally preloaded into the last register)
+    /// and registers it with its scheduler's bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full ([`MAX_WARP_SLOTS`]) — unreachable for
+    /// any spec-validated launch, but the bitsets must never overflow
+    /// silently.
+    pub fn push(
+        &mut self,
+        kernel: KernelId,
+        block_id: u32,
+        warp_in_block: u32,
+        scheduler: u32,
+        grid_blocks: u32,
+    ) {
+        let slot = self.len();
+        assert!(slot < MAX_WARP_SLOTS, "warp table full ({MAX_WARP_SLOTS} slots)");
+        self.pc.push(0);
+        self.until.push(0);
+        self.kernel.push(kernel);
+        self.block_id.push(block_id);
+        self.warp_in_block.push(warp_in_block);
+        self.scheduler.push(scheduler);
+        self.instructions.push(0);
+        self.fu_ops.push(0);
+        self.mem_ops.push(0);
+        let mut results = self.spare_results.pop().unwrap_or_default();
+        results.clear();
+        self.results.push(results);
+        let base = self.regs.len();
+        self.regs.resize(base + REGS, 0);
+        self.regs[base + REGS - 1] = u64::from(grid_blocks);
+        self.sched_mask[scheduler as usize] |= 1 << slot;
+    }
+
+    /// Removes the contiguous slot range `lo..hi`, preserving the order of
+    /// the remaining slots (so later warps keep their relative scan
+    /// positions, exactly like `Vec::remove`). The removed slots' result
+    /// buffers are recycled into the spare pool; callers harvest any live
+    /// results (via `mem::swap`/`take`) *before* removing.
+    pub fn remove_range(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo < hi && hi <= self.len());
+        let width = hi - lo;
+        debug_assert!(width < 128, "no single block holds {width} warps");
+        self.pc.drain(lo..hi);
+        self.until.drain(lo..hi);
+        self.kernel.drain(lo..hi);
+        self.block_id.drain(lo..hi);
+        self.warp_in_block.drain(lo..hi);
+        self.scheduler.drain(lo..hi);
+        self.instructions.drain(lo..hi);
+        self.fu_ops.drain(lo..hi);
+        self.mem_ops.drain(lo..hi);
+        self.spare_results.extend(self.results.drain(lo..hi));
+        self.regs.drain(lo * REGS..hi * REGS);
+        // Close the gap in every membership bitset: bits below `lo` stay,
+        // bits at or above `hi` shift down by `width`, bits inside the
+        // range vanish.
+        let keep = (1u128 << lo) - 1;
+        for m in &mut self.sched_mask {
+            *m = (*m & keep) | ((*m >> width) & !keep);
         }
+    }
+
+    /// Drops every warp, recycling result buffers; capacities are retained
+    /// so the next trial's placements allocate nothing.
+    pub fn clear(&mut self) {
+        self.pc.clear();
+        self.until.clear();
+        self.kernel.clear();
+        self.block_id.clear();
+        self.warp_in_block.clear();
+        self.scheduler.clear();
+        self.instructions.clear();
+        self.fu_ops.clear();
+        self.mem_ops.clear();
+        self.spare_results.append(&mut self.results);
+        self.regs.clear();
+        self.sched_mask = [0; MAX_SCHEDULERS];
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::KernelId;
-    use gpgpu_isa::ProgramBuilder;
 
-    fn warp() -> Warp {
-        let mut b = ProgramBuilder::new();
-        b.halt();
-        Warp {
-            pc: 0,
-            regs: [0; NUM_REGS as usize],
-            state: WarpState::Ready,
-            results: Vec::new(),
-            instructions: 0,
-            fu_ops: 0,
-            mem_ops: 0,
-            kernel: KernelId(0),
-            block_id: 0,
-            warp_in_block: 0,
-            scheduler: 0,
-            program: Arc::new(b.build().unwrap()),
+    fn table_with(slots: u32) -> WarpTable {
+        let mut t = WarpTable::new();
+        for w in 0..slots {
+            t.push(KernelId(0), 0, w, w % 4, 7);
+        }
+        t
+    }
+
+    #[test]
+    fn readiness_and_wake_follow_the_until_encoding() {
+        let mut t = table_with(1);
+        assert_eq!(t.state(0), WarpState::Ready);
+        assert!(t.is_ready(0, 0));
+        assert_eq!(t.wake_time(0), Some(0));
+        t.until[0] = 10;
+        assert!(!t.is_ready(0, 9));
+        assert!(t.is_ready(0, 10));
+        assert_eq!(t.wake_time(0), Some(10));
+        assert_eq!(t.state(0), WarpState::Blocked { until: 10 });
+        // The sentinels compare "not ready" against any reachable cycle
+        // count (cycle budgets keep `now` far below the sentinel range).
+        let far_future = u64::MAX / 4;
+        t.until[0] = UNTIL_AT_BARRIER;
+        assert!(!t.is_ready(0, far_future));
+        assert_eq!(t.wake_time(0), None);
+        assert_eq!(t.state(0), WarpState::AtBarrier);
+        t.until[0] = UNTIL_HALTED;
+        assert!(!t.is_ready(0, far_future));
+        assert_eq!(t.wake_time(0), None);
+        assert_eq!(t.state(0), WarpState::Halted);
+    }
+
+    #[test]
+    fn push_seeds_registers_and_masks() {
+        let t = table_with(8);
+        assert_eq!(t.len(), 8);
+        for s in 0..8 {
+            assert_eq!(t.reg(s, 0), 0);
+            assert_eq!(t.reg(s, REGS - 1), 7, "grid blocks preloaded in r63");
+        }
+        assert_eq!(t.mask(0), 0b0001_0001);
+        assert_eq!(t.mask(1), 0b0010_0010);
+        assert_eq!(t.mask(3), 0b1000_1000);
+    }
+
+    #[test]
+    fn remove_range_preserves_order_and_shifts_masks() {
+        let mut t = table_with(12);
+        // Remove warps 4..8 (one block's worth).
+        t.remove_range(4, 8);
+        assert_eq!(t.len(), 8);
+        let wibs: Vec<u32> = t.warp_in_block.clone();
+        assert_eq!(wibs, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        // Scheduler 0 held slots {0, 4, 8}; slot 4 died, slot 8 became 4.
+        assert_eq!(t.mask(0), 0b01_0001);
+        // Registers moved with their slots.
+        for s in 0..t.len() {
+            assert_eq!(t.reg(s, REGS - 1), 7);
         }
     }
 
     #[test]
-    fn readiness_transitions() {
-        let mut w = warp();
-        assert!(w.is_ready(0));
-        w.state = WarpState::Blocked { until: 10 };
-        assert!(!w.is_ready(9));
-        assert!(w.is_ready(10));
-        assert_eq!(w.wake_time(), Some(10));
-        w.state = WarpState::Halted;
-        assert!(!w.is_ready(u64::MAX));
-        assert_eq!(w.wake_time(), None);
+    fn result_buffers_are_recycled() {
+        let mut t = table_with(2);
+        t.results[0].extend_from_slice(&[1, 2, 3]);
+        let cap = t.results[0].capacity();
+        t.clear();
+        assert_eq!(t.len(), 0);
+        t.push(KernelId(1), 0, 0, 0, 1);
+        assert!(t.results[0].is_empty());
+        assert!(t.results[0].capacity() >= cap || t.results[0].capacity() == 0);
+        // At least one pushed buffer reuses the retired capacity.
+        t.push(KernelId(1), 0, 1, 1, 1);
+        let caps: Vec<usize> = t.results.iter().map(Vec::capacity).collect();
+        assert!(caps.contains(&cap), "spare pool recycles capacity {cap}, got {caps:?}");
     }
 }

@@ -141,4 +141,62 @@ proptest! {
             prop_assert_eq!(r.warp_results(blk, 0).unwrap(), first.as_slice());
         }
     }
+
+    /// `reset_for_trial` is observationally a fresh device: after dirtying a
+    /// device with one arbitrary run (and allocations, jitter and stats),
+    /// resetting it and replaying a second arbitrary program yields exactly
+    /// the results, clock, kernel table and engine counters of a brand-new
+    /// `Device::new` running the same program.
+    #[test]
+    fn reset_for_trial_is_a_fresh_device(
+        dirty in alu_program(),
+        replay in alu_program(),
+        blocks in 1u32..6,
+    ) {
+        let mut dev = Device::new(presets::tesla_k40c());
+        dev.alloc_constant(4096);
+        dev.alloc_global(1 << 16);
+        dev.set_launch_jitter(64, 0xD1);
+        dev.launch(0, KernelSpec::new("dirty", dirty, LaunchConfig::new(blocks, 32))).unwrap();
+        dev.run_until_idle(50_000_000).unwrap();
+        dev.reset_for_trial();
+
+        let observe = |dev: &mut Device| {
+            let k = dev
+                .launch(0, KernelSpec::new("replay", replay.clone(), LaunchConfig::new(blocks, 32)))
+                .unwrap();
+            dev.run_until_idle(50_000_000).unwrap();
+            let r = dev.results(k).unwrap();
+            (r.flat_results(), r.completed_at, dev.now(), dev.kernel_names(), *dev.stats())
+        };
+        let reused = observe(&mut dev);
+        let fresh = observe(&mut Device::new(presets::tesla_k40c()));
+        prop_assert_eq!(reused, fresh);
+    }
+
+    /// Restoring a pristine snapshot is equally indistinguishable from a
+    /// fresh device — the other half of the pooling contract.
+    #[test]
+    fn pristine_snapshot_restore_is_a_fresh_device(
+        dirty in alu_program(),
+        replay in alu_program(),
+    ) {
+        let mut dev = Device::new(presets::tesla_k40c());
+        let pristine = dev.snapshot().unwrap();
+        dev.alloc_constant(4096);
+        dev.launch(0, KernelSpec::new("dirty", dirty, LaunchConfig::new(2, 32))).unwrap();
+        dev.run_until_idle(50_000_000).unwrap();
+        dev.restore(&pristine).unwrap();
+
+        let observe = |dev: &mut Device| {
+            let k = dev
+                .launch(0, KernelSpec::new("replay", replay.clone(), LaunchConfig::new(2, 32)))
+                .unwrap();
+            dev.run_until_idle(50_000_000).unwrap();
+            (dev.results(k).unwrap().flat_results(), dev.now(), *dev.stats())
+        };
+        let restored = observe(&mut dev);
+        let fresh = observe(&mut Device::new(presets::tesla_k40c()));
+        prop_assert_eq!(restored, fresh);
+    }
 }

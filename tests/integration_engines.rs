@@ -101,6 +101,119 @@ fn nvlink_channel_is_engine_equivalent() {
     assert_eq!(out.0, msg.bits());
 }
 
+/// The fault plan the seed-golden tests ran under when their fingerprints
+/// were captured: mild eviction/jitter/clock faults so the fault hooks are
+/// exercised on every family without saturating any channel.
+fn golden_fault_plan() -> FaultPlan {
+    FaultPlan::new(0xFA11)
+        .with_period(4_096)
+        .with_burst(256)
+        .with_intensity(0.25)
+        .with_kinds(FaultKinds { evict: true, jitter: true, clock: true, ..FaultKinds::none() })
+}
+
+/// Bits of the golden message `b"Kq"`.
+fn golden_msg() -> Message {
+    Message::from_bytes(b"Kq")
+}
+
+// Fingerprints captured from the seed engine (pre-data-oriented-core), with
+// faults and tracing enabled. These pin the exact scheduler order, memory
+// timing, fault schedule and trace-hook cadence: the struct-of-arrays warp
+// table, trial arenas and snapshot restore must reproduce every one of them
+// bit for bit. Do not regenerate these constants to make a failure pass —
+// a mismatch means the rewrite changed architectural behaviour.
+
+#[test]
+fn seed_golden_l1_with_faults_and_tracing() {
+    let msg = golden_msg();
+    let (o, cap) = L1Channel::new(presets::tesla_k40c())
+        .with_tuning(tuning(EngineMode::EventDriven))
+        .with_faults(golden_fault_plan())
+        .transmit_traced(&msg, 4096)
+        .expect("l1 transmits under golden faults");
+    assert_eq!(o.received.bits(), msg.bits());
+    assert_eq!(
+        fingerprint(&o),
+        (msg.bits().to_vec(), 16, 270_092, 0, 4631408000392284183),
+        "L1 channel diverged from the seed engine"
+    );
+    assert_eq!(cap.records().len(), 4096, "trace ring fill diverged");
+    assert_eq!(cap.events.dropped(), 520_703, "trace event cadence diverged");
+}
+
+#[test]
+fn seed_golden_sync_with_faults() {
+    let msg = golden_msg();
+    let o = SyncChannel::new(presets::tesla_k40c())
+        .with_tuning(tuning(EngineMode::EventDriven))
+        .with_faults(golden_fault_plan())
+        .transmit(&msg)
+        .expect("sync transmits under golden faults");
+    // The sync protocol takes two bit errors under this plan — itself part
+    // of the fingerprint (the fault schedule must land identically).
+    let received = [
+        false, true, true, false, true, false, true, true, false, true, true, true, true, false,
+        false, true,
+    ];
+    assert_eq!(
+        fingerprint(&o),
+        (received.to_vec(), 16, 134_275, 4593671619917905920, 4635947264306802898),
+        "sync channel diverged from the seed engine"
+    );
+}
+
+#[test]
+fn seed_golden_atomic_with_faults() {
+    let msg = golden_msg();
+    let o = AtomicChannel::new(presets::tesla_k40c(), AtomicScenario::OneAddress)
+        .with_tuning(tuning(EngineMode::EventDriven))
+        .with_faults(golden_fault_plan())
+        .transmit(&msg)
+        .expect("atomic transmits under golden faults");
+    assert_eq!(
+        fingerprint(&o),
+        (msg.bits().to_vec(), 16, 962_793, 0, 4623159302550576337),
+        "atomic channel diverged from the seed engine"
+    );
+}
+
+#[test]
+fn seed_golden_sfu_with_faults() {
+    let msg = golden_msg();
+    let o = SfuChannel::new(presets::tesla_k40c())
+        .with_tuning(tuning(EngineMode::EventDriven))
+        .with_faults(golden_fault_plan())
+        .transmit(&msg)
+        .expect("sfu transmits under golden faults");
+    assert_eq!(
+        fingerprint(&o),
+        (msg.bits().to_vec(), 16, 548_736, 0, 4626807600048860839),
+        "sfu channel diverged from the seed engine"
+    );
+}
+
+#[test]
+fn seed_golden_nvlink_with_faults_and_tracing() {
+    let msg = golden_msg();
+    let plan = FaultPlan::new(0x11AC)
+        .with_period(2_048)
+        .with_burst(512)
+        .with_intensity(0.5)
+        .with_kinds(FaultKinds { link: true, ..FaultKinds::none() });
+    let ch = NvlinkChannel::new(TopologySpec::dual("maxwell").expect("dual topology"))
+        .expect("channel builds")
+        .with_tuning(tuning(EngineMode::EventDriven))
+        .with_faults(plan);
+    let (o, trace) = ch.transmit_traced(&msg).expect("nvlink transmits under golden faults");
+    assert_eq!(
+        fingerprint(&o),
+        (msg.bits().to_vec(), 16, 52_678, 0, 4642464776539840714),
+        "nvlink channel diverged from the seed engine"
+    );
+    assert_eq!(trace.len(), 384, "link transfer count diverged");
+}
+
 #[test]
 fn nvlink_channel_under_mild_congestion_is_engine_equivalent() {
     // Link-congestion faults perturb the transfer schedule; the schedule is
