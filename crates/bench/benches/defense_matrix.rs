@@ -1,0 +1,71 @@
+//! Section 9, evaluated as a tournament: the full attack/defense arena.
+//!
+//! Runs `gpgpu_covert::arena::run_arena` — every channel family plus the
+//! adaptive degradation-ladder attacker against every deployed defense and
+//! defense combination — asserts the headline results (cache partitioning
+//! zeroes the static L1 row but the adaptive attacker escapes it by hopping
+//! families), and writes the residual-bandwidth matrix to `BENCH_arena.json`
+//! at the workspace root for CI to archive.
+//!
+//! `GPGPU_BENCH_QUICK=1` shrinks the message so the smoke run finishes in
+//! seconds; the assertions are identical in both modes.
+
+use gpgpu_covert::arena::{run_arena, ArenaConfig, Attacker};
+use gpgpu_covert::mitigations::{ChannelFamily, MitigationVerdict};
+use gpgpu_spec::presets;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn main() {
+    let bits = if quick() { 8 } else { 16 };
+    let config = ArenaConfig::new(presets::tesla_k40c()).with_bits(bits);
+    let start = Instant::now();
+    let report = run_arena(&config).expect("default arena config is runnable");
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("{}", report.render());
+    println!(
+        "arena: {} rows x {} defenses, {bits}-bit message, {elapsed:.2}s",
+        report.rows.len(),
+        report.defenses.len()
+    );
+
+    // Undefended, every static on-chip family delivers.
+    for family in ChannelFamily::ALL {
+        let cell = report.cell(Attacker::Static(family), "none").expect("baseline column");
+        assert!(
+            cell.delivered && cell.residual_bandwidth_kbps > 0.0,
+            "{family} must deliver undefended: {cell:?}"
+        );
+    }
+
+    // Cache partitioning zeroes the static L1 row...
+    let l1 = report.cell(Attacker::Static(ChannelFamily::L1), "partition=2").unwrap();
+    assert_eq!(l1.verdict, Some(MitigationVerdict::Effective), "{l1:?}");
+    assert_eq!(l1.residual_bandwidth_kbps, 0.0, "{l1:?}");
+
+    // ...but the adaptive attacker escapes it via family fallback, keeping
+    // residual bandwidth — the arena's central claim.
+    let escapes = report.fallback_escapes();
+    assert!(!escapes.is_empty(), "the adaptive attacker must escape at least one defense");
+    for cell in &escapes {
+        println!(
+            "escape: `{}` -> {} at {:.2} kb/s residual",
+            cell.defense.to_spec(),
+            cell.final_family.as_deref().unwrap_or("?"),
+            cell.residual_bandwidth_kbps
+        );
+    }
+    assert!(
+        escapes.iter().any(|c| c.defense.components().len() == 1),
+        "at least one *single* mitigation must be escaped"
+    );
+
+    // Anchor at the workspace root regardless of the bench's cwd (cargo
+    // runs benches from the package directory).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_arena.json");
+    std::fs::write(out, report.to_json()).expect("BENCH_arena.json is writable");
+    println!("wrote {out}");
+}

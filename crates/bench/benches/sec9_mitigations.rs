@@ -2,30 +2,30 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_covert::bits::Message;
-use gpgpu_covert::mitigations::{evaluate_against_l1, evaluate_against_parallel_sfu, Mitigation};
+use gpgpu_covert::mitigations::{evaluate_against_family, ChannelFamily};
 use gpgpu_covert::whitespace::discover_and_transmit;
 use gpgpu_spec::presets;
+use gpgpu_spec::DefenseSpec;
 
 fn bench(c: &mut Criterion) {
     let spec = presets::tesla_k40c();
     let msg = Message::pseudo_random(16, 0xA1);
 
-    for m in [
-        Mitigation::CachePartitioning { partitions: 2 },
-        Mitigation::ClockFuzzing { granularity: 4096 },
-    ] {
-        let r = evaluate_against_l1(&spec, m, &msg).unwrap();
+    for defense in ["partition=2", "fuzz=4096"] {
+        let defense = DefenseSpec::from_spec(defense).unwrap();
+        let r = evaluate_against_family(&spec, ChannelFamily::L1, &defense, &msg, None).unwrap();
         println!(
-            "sec9 {m}: baseline BER {:.1}% -> mitigated BER {:.1}%",
+            "sec9 {defense}: baseline BER {:.1}% -> mitigated BER {:.1}%",
             r.baseline.ber * 100.0,
             r.mitigated.ber * 100.0
         );
-        assert!(r.is_effective(0.2), "{m} should break the L1 channel");
+        assert!(r.is_effective(0.2), "{defense} should break the L1 channel");
     }
-    let m = Mitigation::RandomizedWarpScheduling { seed: 0xD1CE };
-    let r = evaluate_against_parallel_sfu(&spec, m, &msg).unwrap();
+    let defense = DefenseSpec::from_spec("randsched=0xd1ce").unwrap();
+    let r =
+        evaluate_against_family(&spec, ChannelFamily::ParallelSfu, &defense, &msg, None).unwrap();
     println!(
-        "sec9 {m}: baseline BER {:.1}% -> mitigated BER {:.1}%",
+        "sec9 {defense}: baseline BER {:.1}% -> mitigated BER {:.1}%",
         r.baseline.ber * 100.0,
         r.mitigated.ber * 100.0
     );
@@ -42,10 +42,10 @@ fn bench(c: &mut Criterion) {
     assert_eq!(w.trojan_choice, w.spy_choice);
     assert!(w.outcome.unwrap().is_error_free());
 
+    let partition = DefenseSpec::from_spec("partition=2").unwrap();
     c.bench_function("sec9_partitioning_eval_16bits", |b| {
         b.iter(|| {
-            evaluate_against_l1(&spec, Mitigation::CachePartitioning { partitions: 2 }, &msg)
-                .unwrap()
+            evaluate_against_family(&spec, ChannelFamily::L1, &partition, &msg, None).unwrap()
         })
     });
 }

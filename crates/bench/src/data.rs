@@ -374,6 +374,20 @@ pub fn fault_sweep_with(
     intensities: &[f64],
     base: gpgpu_sim::FaultPlan,
 ) -> Vec<FaultSweepPoint> {
+    fault_sweep_defended(bits, intensities, base, gpgpu_sim::DeviceTuning::none())
+}
+
+/// As [`fault_sweep_with`], additionally running every channel under a
+/// deployed defense (a [`gpgpu_sim::DeviceTuning`], typically lowered from
+/// a `DefenseSpec`). This is what the CLI's `faults --defense <spec>` path
+/// drives: it shows how much of the storm-repair machinery survives once
+/// the *defender* also acts.
+pub fn fault_sweep_defended(
+    bits: usize,
+    intensities: &[f64],
+    base: gpgpu_sim::FaultPlan,
+    tuning: gpgpu_sim::DeviceTuning,
+) -> Vec<FaultSweepPoint> {
     let m = msg(bits);
     let spec = presets::tesla_k40c();
     TrialRunner::new().map(intensities, |_, &intensity| {
@@ -381,17 +395,21 @@ pub fn fault_sweep_with(
         let goodput =
             |useful_bits: f64, cycles: u64| spec.bandwidth_kbps(1, cycles.max(1)) * useful_bits;
 
-        let raw =
-            SyncChannel::new(spec.clone()).with_faults(plan).transmit(&m).expect("raw transmits");
+        let raw = SyncChannel::new(spec.clone())
+            .with_tuning(tuning)
+            .with_faults(plan)
+            .transmit(&m)
+            .expect("raw transmits");
 
         let coded = hamming_encode(&m);
         let fec_run = SyncChannel::new(spec.clone())
+            .with_tuning(tuning)
             .with_faults(plan)
             .transmit(&coded)
             .expect("fec transmits");
         let fec_ber = m.bit_error_rate(&hamming_decode(&fec_run.received));
 
-        let mut pipe = SyncPipe::new(SyncChannel::new(spec.clone()), plan);
+        let mut pipe = SyncPipe::new(SyncChannel::new(spec.clone()).with_tuning(tuning), plan);
         let cfg = ArqConfig { max_rounds: 24, ..ArqConfig::default() };
         let (arq_received, arq_report) = arq_transmit(&mut pipe, &m, &cfg).expect("arq transmits");
         let arq_ber = m.bit_error_rate(&arq_received);

@@ -23,7 +23,8 @@
 //! | [`side_channel`] | §10 | the negative results: coalescing and bank-conflict self-timing artifacts do not transfer to competing kernels |
 //! | [`noise`] | §8 | Rodinia-like interfering workloads and exclusive co-location |
 //! | [`whitespace`] | §8 | dynamic idle-set discovery ("whitespace communication") |
-//! | [`mitigations`] | §9 | cache partitioning, scheduler randomization, clock fuzzing — and what each does to the channels |
+//! | [`mitigations`] | §9 | composable defenses (cache partitioning, scheduler randomization, clock fuzzing) evaluated against every channel family |
+//! | [`arena`] | §9 | attack/defense tournament: every family plus the adaptive ladder vs every defense combination, as a residual-bandwidth matrix |
 //! | [`bits`] | §5, §8 | messages, bit-error rate, Hamming(7,4) error correction |
 //! | [`framing`] | §7.1 | CRC-8 frames with preamble resynchronization and selective-repeat ARQ over faulted channels |
 //! | [`calibrate`] | §8 | pilot-symbol handshake fitting decode thresholds online |
@@ -49,6 +50,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod arena;
 pub mod atomic_channel;
 pub mod bits;
 pub mod cache_channel;

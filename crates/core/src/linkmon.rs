@@ -38,7 +38,8 @@ use crate::noise::{noise_kernel, NoiseKind};
 use crate::nvlink_channel::NvlinkChannel;
 use crate::sync_channel::SyncChannel;
 use crate::CovertError;
-use gpgpu_spec::{DeviceSpec, TopologySpec};
+use gpgpu_sim::DeviceTuning;
+use gpgpu_spec::{DefenseSpec, DeviceSpec, TopologySpec};
 use std::fmt;
 
 /// Noise-kernel inner iterations used when a co-runner rides along a
@@ -179,6 +180,9 @@ pub struct LinkEnvironment {
     /// [`ChannelFamily::Nvlink`] fallback rungs (which otherwise record a
     /// transport error and the ladder moves on).
     pub topology: Option<TopologySpec>,
+    /// Device tuning active on every device the link touches — how a
+    /// deployed defense ([`DefenseSpec`]) reaches the adaptive attacker.
+    pub tuning: DeviceTuning,
 }
 
 impl Default for LinkEnvironment {
@@ -190,7 +194,13 @@ impl Default for LinkEnvironment {
 impl LinkEnvironment {
     /// A quiet device: no faults, no noise.
     pub fn clean() -> Self {
-        LinkEnvironment { faults: None, noise: Vec::new(), noise_iters: 0, topology: None }
+        LinkEnvironment {
+            faults: None,
+            noise: Vec::new(),
+            noise_iters: 0,
+            topology: None,
+            tuning: DeviceTuning::none(),
+        }
     }
 
     /// Installs a base fault plan.
@@ -213,9 +223,21 @@ impl LinkEnvironment {
         self
     }
 
+    /// Deploys a (possibly composed) defense on every device the link
+    /// touches, lowered through [`DeviceTuning::from_defense`].
+    pub fn with_defense(self, defense: &DefenseSpec) -> Self {
+        self.with_tuning(DeviceTuning::from_defense(defense))
+    }
+
+    /// Sets the raw device tuning directly.
+    pub fn with_tuning(mut self, tuning: DeviceTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// Whether the environment perturbs the device at all.
     pub fn is_clean(&self) -> bool {
-        self.faults.is_none() && self.noise.is_empty()
+        self.faults.is_none() && self.noise.is_empty() && self.tuning == DeviceTuning::none()
     }
 }
 
@@ -274,6 +296,7 @@ impl FamilyPipe {
 
     fn sync_channel(&self, round_key: u64) -> SyncChannel {
         let mut ch = SyncChannel::new(self.spec.clone())
+            .with_tuning(self.env.tuning)
             .with_redundancy(crate::sync_channel::DEFAULT_REDUNDANCY * self.stretch);
         if let Some(plan) = self.fault_plan_for(round_key) {
             ch = ch.with_faults(plan);
@@ -286,6 +309,7 @@ impl FamilyPipe {
 
     fn sfu_channel(&self, round_key: u64) -> SfuChannel {
         let mut ch = SfuChannel::new(self.spec.clone())
+            .with_tuning(self.env.tuning)
             .with_iterations(crate::fu_channel::DEFAULT_ITERATIONS * u64::from(self.stretch))
             .with_noise(self.noise_kernels(true));
         if let Some(plan) = self.fault_plan_for(round_key) {
@@ -302,6 +326,7 @@ impl FamilyPipe {
             reason: "nvlink family requires a multi-GPU topology in the link environment".into(),
         })?;
         let mut ch = NvlinkChannel::new(topology)?
+            .with_tuning(self.env.tuning)
             .with_iterations(crate::nvlink_channel::DEFAULT_ITERATIONS * u64::from(self.stretch));
         if let Some(plan) = self.fault_plan_for(round_key) {
             ch = ch.with_faults(plan);
@@ -314,6 +339,7 @@ impl FamilyPipe {
 
     fn atomic_channel(&self, round_key: u64) -> AtomicChannel {
         let mut ch = AtomicChannel::new(self.spec.clone(), AtomicScenario::OneAddress)
+            .with_tuning(self.env.tuning)
             .with_iterations(crate::atomic_channel::DEFAULT_ITERATIONS * u64::from(self.stretch))
             .with_noise(self.noise_kernels(true));
         if let Some(plan) = self.fault_plan_for(round_key) {

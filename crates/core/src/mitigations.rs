@@ -11,15 +11,21 @@
 //!   hash, destroying the per-scheduler bit lanes of the Table-3 channel;
 //! * **clock fuzzing** (TimeWarp) — quantized `clock()` reads hide the
 //!   hit/miss latency difference every cache channel decodes with.
+//!
+//! Defenses are evaluated as composable [`DefenseSpec`]s: one spec may stack
+//! several mitigation classes, and [`evaluate_against_family`] runs any spec
+//! against any of the five channel families with a single code path.
 
+use crate::atomic_channel::{AtomicChannel, AtomicScenario};
 use crate::bits::Message;
 use crate::cache_channel::L1Channel;
 use crate::channel::ChannelOutcome;
+use crate::nvlink_channel::NvlinkChannel;
 use crate::parallel::ParallelSfuChannel;
 use crate::sync_channel::SyncChannel;
 use crate::CovertError;
 use gpgpu_sim::DeviceTuning;
-use gpgpu_spec::{DeviceSpec, LaunchConfig};
+use gpgpu_spec::{DefenseComponent, DefenseSpec, DeviceSpec, LaunchConfig, TopologySpec};
 use std::fmt;
 
 /// One of the paper's Section-9 mitigation classes, parameterized.
@@ -44,19 +50,30 @@ pub enum Mitigation {
 }
 
 impl Mitigation {
-    /// The device tuning implementing this mitigation.
+    /// The device tuning implementing this mitigation **alone**.
+    ///
+    /// To stack several mitigations, do not overwrite one tuning with
+    /// another — combine them with [`DeviceTuning::merge`] (or go through
+    /// [`Mitigation::to_defense`] and [`DefenseSpec::compose`], which
+    /// lower onto a merged tuning).
     pub fn tuning(self) -> DeviceTuning {
-        match self {
+        DeviceTuning::from_defense(&self.to_defense())
+    }
+
+    /// This mitigation as a single-component composable [`DefenseSpec`].
+    pub fn to_defense(self) -> DefenseSpec {
+        let component = match self {
             Mitigation::CachePartitioning { partitions } => {
-                DeviceTuning { cache_partitions: partitions, ..DeviceTuning::none() }
+                DefenseComponent::CachePartitioning { partitions }
             }
             Mitigation::RandomizedWarpScheduling { seed } => {
-                DeviceTuning { random_warp_scheduler: Some(seed), ..DeviceTuning::none() }
+                DefenseComponent::RandomizedWarpScheduling { seed }
             }
             Mitigation::ClockFuzzing { granularity } => {
-                DeviceTuning { clock_granularity: granularity, ..DeviceTuning::none() }
+                DefenseComponent::ClockFuzzing { granularity }
             }
-        }
+        };
+        DefenseSpec::single(component).expect("mitigation parameters are in range")
     }
 }
 
@@ -76,72 +93,163 @@ impl fmt::Display for Mitigation {
     }
 }
 
-/// The before/after picture of a mitigation against one channel.
+/// The five covert-channel families the simulator can pit a defense
+/// against — the evaluation axis of the Section-9 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelFamily {
+    /// Unsynchronized L1 constant-cache prime+probe.
+    L1,
+    /// Synchronized (handshaked) L1 constant-cache channel.
+    Sync,
+    /// Per-warp-scheduler parallel SFU contention lanes.
+    ParallelSfu,
+    /// Atomic-unit contention on global memory.
+    Atomic,
+    /// Cross-device NvLink congestion (needs a multi-GPU topology).
+    Nvlink,
+}
+
+impl ChannelFamily {
+    /// Every family, in matrix-row order.
+    pub const ALL: [ChannelFamily; 5] = [
+        ChannelFamily::L1,
+        ChannelFamily::Sync,
+        ChannelFamily::ParallelSfu,
+        ChannelFamily::Atomic,
+        ChannelFamily::Nvlink,
+    ];
+
+    /// Short human-readable label ("l1", "sync", ...), stable for report
+    /// rows and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelFamily::L1 => "l1",
+            ChannelFamily::Sync => "sync",
+            ChannelFamily::ParallelSfu => "parallel-sfu",
+            ChannelFamily::Atomic => "atomic",
+            ChannelFamily::Nvlink => "nvlink",
+        }
+    }
+}
+
+impl fmt::Display for ChannelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Three-state outcome of a mitigation evaluation.
+///
+/// The old boolean `is_effective` conflated "the defense broke the channel"
+/// with "the channel never worked here to begin with" — a defense evaluated
+/// against a channel that is broken on the *unprotected* device proved
+/// nothing, yet reported `false` exactly like a defense that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationVerdict {
+    /// The channel worked unprotected and the defense broke it.
+    Effective,
+    /// The channel worked unprotected and still works under the defense.
+    Ineffective,
+    /// The channel did not work even unprotected, so the evaluation says
+    /// nothing about the defense.
+    BaselineBroken,
+}
+
+impl fmt::Display for MitigationVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MitigationVerdict::Effective => "effective",
+            MitigationVerdict::Ineffective => "ineffective",
+            MitigationVerdict::BaselineBroken => "baseline-broken",
+        })
+    }
+}
+
+/// The before/after picture of a defense against one channel family.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MitigationReport {
-    /// The evaluated mitigation.
-    pub mitigation: Mitigation,
+    /// The evaluated (possibly composed) defense.
+    pub defense: DefenseSpec,
+    /// The channel family it was evaluated against.
+    pub family: ChannelFamily,
     /// Channel outcome on the unprotected device.
     pub baseline: ChannelOutcome,
-    /// Channel outcome with the mitigation active.
+    /// Channel outcome with the defense active.
     pub mitigated: ChannelOutcome,
 }
 
 impl MitigationReport {
-    /// Whether the mitigation broke the channel (pushed its error rate to
-    /// at least `min_ber`).
+    /// Classifies the evaluation: the defense counts as effective only when
+    /// the unprotected channel was error-free *and* the defense pushed its
+    /// error rate to at least `min_ber`.
+    pub fn verdict(&self, min_ber: f64) -> MitigationVerdict {
+        if !self.baseline.is_error_free() {
+            MitigationVerdict::BaselineBroken
+        } else if self.mitigated.ber >= min_ber {
+            MitigationVerdict::Effective
+        } else {
+            MitigationVerdict::Ineffective
+        }
+    }
+
+    /// Whether the verdict is [`MitigationVerdict::Effective`].
     pub fn is_effective(&self, min_ber: f64) -> bool {
-        self.baseline.is_error_free() && self.mitigated.ber >= min_ber
+        self.verdict(min_ber) == MitigationVerdict::Effective
+    }
+
+    /// Bandwidth (kb/s) the attacker retains under the defense: the
+    /// mitigated outcome's bandwidth if the channel still decodes below
+    /// `max_ber`, zero once the defense has broken it.
+    pub fn residual_bandwidth_kbps(&self, max_ber: f64) -> f64 {
+        if self.mitigated.ber <= max_ber {
+            self.mitigated.bandwidth_kbps
+        } else {
+            0.0
+        }
     }
 }
 
-/// Evaluates a mitigation against the baseline L1 prime+probe channel.
+/// Evaluates a (possibly composed) defense against one channel family:
+/// runs the family's canonical channel once on an unprotected device and
+/// once with the defense lowered onto [`DeviceTuning`], on the same device
+/// spec and message.
+///
+/// `topology` is required by [`ChannelFamily::Nvlink`] only; the other
+/// families ignore it.
 ///
 /// # Errors
 ///
-/// Propagates channel failures.
-pub fn evaluate_against_l1(
+/// [`CovertError::Config`] when `family` is nvlink and `topology` is
+/// `None`; otherwise propagates channel failures.
+pub fn evaluate_against_family(
     spec: &DeviceSpec,
-    mitigation: Mitigation,
+    family: ChannelFamily,
+    defense: &DefenseSpec,
     msg: &Message,
+    topology: Option<&TopologySpec>,
 ) -> Result<MitigationReport, CovertError> {
-    let baseline = L1Channel::new(spec.clone()).transmit(msg)?;
-    let mitigated = L1Channel::new(spec.clone()).with_tuning(mitigation.tuning()).transmit(msg)?;
-    Ok(MitigationReport { mitigation, baseline, mitigated })
-}
-
-/// Evaluates a mitigation against the synchronized L1 channel (which also
-/// exercises the handshake's robustness machinery).
-///
-/// # Errors
-///
-/// Propagates channel failures.
-pub fn evaluate_against_sync(
-    spec: &DeviceSpec,
-    mitigation: Mitigation,
-    msg: &Message,
-) -> Result<MitigationReport, CovertError> {
-    let baseline = SyncChannel::new(spec.clone()).transmit(msg)?;
-    let mitigated =
-        SyncChannel::new(spec.clone()).with_tuning(mitigation.tuning()).transmit(msg)?;
-    Ok(MitigationReport { mitigation, baseline, mitigated })
-}
-
-/// Evaluates a mitigation against the per-scheduler parallel SFU channel —
-/// the natural target of scheduler randomization.
-///
-/// # Errors
-///
-/// Propagates channel failures.
-pub fn evaluate_against_parallel_sfu(
-    spec: &DeviceSpec,
-    mitigation: Mitigation,
-    msg: &Message,
-) -> Result<MitigationReport, CovertError> {
-    let baseline = ParallelSfuChannel::new(spec.clone()).transmit(msg)?;
-    let mitigated =
-        ParallelSfuChannel::new(spec.clone()).with_tuning(mitigation.tuning()).transmit(msg)?;
-    Ok(MitigationReport { mitigation, baseline, mitigated })
+    let run = |tuning: DeviceTuning| -> Result<ChannelOutcome, CovertError> {
+        match family {
+            ChannelFamily::L1 => L1Channel::new(spec.clone()).with_tuning(tuning).transmit(msg),
+            ChannelFamily::Sync => SyncChannel::new(spec.clone()).with_tuning(tuning).transmit(msg),
+            ChannelFamily::ParallelSfu => {
+                ParallelSfuChannel::new(spec.clone()).with_tuning(tuning).transmit(msg)
+            }
+            ChannelFamily::Atomic => AtomicChannel::new(spec.clone(), AtomicScenario::OneAddress)
+                .with_tuning(tuning)
+                .transmit(msg),
+            ChannelFamily::Nvlink => {
+                let topology = topology.ok_or_else(|| CovertError::Config {
+                    reason: "the nvlink family needs a multi-GPU topology (pass --topology)"
+                        .to_string(),
+                })?;
+                NvlinkChannel::new(topology.clone())?.with_tuning(tuning).transmit(msg)
+            }
+        }
+    };
+    let baseline = run(DeviceTuning::none())?;
+    let mitigated = run(DeviceTuning::from_defense(defense))?;
+    Ok(MitigationReport { defense: defense.clone(), family, baseline, mitigated })
 }
 
 #[cfg(test)]
@@ -149,22 +257,26 @@ mod tests {
     use super::*;
     use gpgpu_spec::presets;
 
+    fn eval(family: ChannelFamily, defense: &str, msg: &Message) -> MitigationReport {
+        let spec = presets::tesla_k40c();
+        let defense = DefenseSpec::from_spec(defense).unwrap();
+        evaluate_against_family(&spec, family, &defense, msg, None).unwrap()
+    }
+
     #[test]
     fn cache_partitioning_kills_the_l1_channel() {
-        let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 0x91);
-        let r = evaluate_against_l1(&spec, Mitigation::CachePartitioning { partitions: 2 }, &msg)
-            .unwrap();
+        let r = eval(ChannelFamily::L1, "partition=2", &msg);
         assert!(r.is_effective(0.2), "baseline {} mitigated {}", r.baseline.ber, r.mitigated.ber);
+        assert_eq!(r.verdict(0.2), MitigationVerdict::Effective);
+        assert_eq!(r.residual_bandwidth_kbps(0.2), 0.0);
     }
 
     #[test]
     fn clock_fuzzing_kills_the_l1_channel() {
-        let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 0x92);
         // Quantum far above the 49-vs-112-cycle gap.
-        let r = evaluate_against_l1(&spec, Mitigation::ClockFuzzing { granularity: 4096 }, &msg)
-            .unwrap();
+        let r = eval(ChannelFamily::L1, "fuzz=4096", &msg);
         assert!(r.is_effective(0.2), "baseline {} mitigated {}", r.baseline.ber, r.mitigated.ber);
     }
 
@@ -172,41 +284,115 @@ mod tests {
     fn fine_grained_clock_fuzzing_is_insufficient() {
         // A quantum below the latency gap leaves the channel intact — the
         // defense must be sized to the signal it hides.
-        let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(12, 0x93);
-        let r =
-            evaluate_against_l1(&spec, Mitigation::ClockFuzzing { granularity: 8 }, &msg).unwrap();
+        let r = eval(ChannelFamily::L1, "fuzz=8", &msg);
         assert!(r.mitigated.is_error_free(), "ber {}", r.mitigated.ber);
+        assert_eq!(r.verdict(0.2), MitigationVerdict::Ineffective);
+        assert!(r.residual_bandwidth_kbps(0.2) > 0.0);
     }
 
     #[test]
     fn scheduler_randomization_scrambles_the_parallel_sfu_lanes() {
-        let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(16, 0x94);
-        let r = evaluate_against_parallel_sfu(
-            &spec,
-            Mitigation::RandomizedWarpScheduling { seed: 0xD1CE },
-            &msg,
-        )
-        .unwrap();
+        let r = eval(ChannelFamily::ParallelSfu, "randsched=0xd1ce", &msg);
         assert!(r.baseline.is_error_free());
         assert!(r.mitigated.ber > 0.1, "randomization should corrupt lanes: {}", r.mitigated.ber);
     }
 
     #[test]
     fn partitioning_defeats_even_the_synchronized_protocol() {
-        let spec = presets::tesla_k40c();
         let msg = Message::pseudo_random(8, 0x95);
-        let r = evaluate_against_sync(&spec, Mitigation::CachePartitioning { partitions: 2 }, &msg)
-            .unwrap();
+        let r = eval(ChannelFamily::Sync, "partition=2", &msg);
         assert!(r.baseline.is_error_free());
         assert!(r.mitigated.ber > 0.2, "ber {}", r.mitigated.ber);
+    }
+
+    #[test]
+    fn composed_defense_covers_both_component_channels() {
+        // partition=2 alone breaks L1 but not parallel-SFU; randsched alone
+        // breaks parallel-SFU but not L1. The composition breaks both —
+        // the property the old last-tuning-wins stacking silently lost.
+        let msg = Message::pseudo_random(16, 0x91);
+        let both = "partition=2,randsched=0xd1ce";
+        assert!(eval(ChannelFamily::L1, both, &msg).is_effective(0.2));
+        let sfu = eval(ChannelFamily::ParallelSfu, both, &msg);
+        assert!(sfu.baseline.is_error_free());
+        assert!(sfu.mitigated.ber > 0.1, "ber {}", sfu.mitigated.ber);
+    }
+
+    #[test]
+    fn atomic_family_is_evaluable_and_tuning_blind() {
+        // The atomic channel times whole-kernel contention, not clock()
+        // deltas, so even coarse clock fuzzing leaves it standing — exactly
+        // why the matrix needs all five families.
+        let msg = Message::pseudo_random(8, 0x98);
+        let r = eval(ChannelFamily::Atomic, "fuzz=4096", &msg);
+        assert!(r.baseline.is_error_free(), "ber {}", r.baseline.ber);
+    }
+
+    #[test]
+    fn nvlink_family_without_topology_is_a_typed_config_error() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(8, 0x99);
+        let err =
+            evaluate_against_family(&spec, ChannelFamily::Nvlink, &DefenseSpec::none(), &msg, None)
+                .unwrap_err();
+        assert!(matches!(err, CovertError::Config { .. }), "{err:?}");
+        assert!(err.to_string().contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn nvlink_family_evaluates_with_a_topology() {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(8, 0x9A);
+        let topology = TopologySpec::dual("kepler").unwrap();
+        let r = evaluate_against_family(
+            &spec,
+            ChannelFamily::Nvlink,
+            &DefenseSpec::from_spec("fuzz=4096").unwrap(),
+            &msg,
+            Some(&topology),
+        )
+        .unwrap();
+        assert!(r.baseline.is_error_free(), "ber {}", r.baseline.ber);
+    }
+
+    #[test]
+    fn verdict_separates_broken_baselines_from_failed_defenses() {
+        let outcome = |ber: f64| ChannelOutcome {
+            sent: Message::pseudo_random(4, 1),
+            received: Message::pseudo_random(4, 1),
+            cycles: 1_000,
+            bandwidth_kbps: 10.0,
+            ber,
+            stats: gpgpu_sim::SimStats::default(),
+        };
+        let report = |baseline: f64, mitigated: f64| MitigationReport {
+            defense: DefenseSpec::none(),
+            family: ChannelFamily::L1,
+            baseline: outcome(baseline),
+            mitigated: outcome(mitigated),
+        };
+        assert_eq!(report(0.0, 0.5).verdict(0.2), MitigationVerdict::Effective);
+        assert_eq!(report(0.0, 0.0).verdict(0.2), MitigationVerdict::Ineffective);
+        // A broken baseline is NOT evidence the defense works.
+        assert_eq!(report(0.5, 0.5).verdict(0.2), MitigationVerdict::BaselineBroken);
+        assert!(!report(0.5, 0.5).is_effective(0.2));
     }
 
     #[test]
     fn display_labels() {
         assert!(Mitigation::CachePartitioning { partitions: 2 }.to_string().contains("2 regions"));
         assert!(Mitigation::ClockFuzzing { granularity: 512 }.to_string().contains("512"));
+        assert_eq!(ChannelFamily::ParallelSfu.to_string(), "parallel-sfu");
+        assert_eq!(MitigationVerdict::BaselineBroken.to_string(), "baseline-broken");
+    }
+
+    #[test]
+    fn mitigation_to_defense_round_trips_through_tuning() {
+        let m = Mitigation::RandomizedWarpScheduling { seed: 0xD1CE };
+        assert_eq!(m.tuning().random_warp_scheduler, Some(0xD1CE));
+        assert_eq!(m.to_defense().to_spec(), "randsched=0xd1ce");
     }
 }
 

@@ -74,6 +74,17 @@ pub enum SimError {
     /// [`crate::Device::restore`] was given a snapshot captured from a
     /// device with a different specification.
     SnapshotSpecMismatch,
+    /// Two [`crate::DeviceTuning`]s set the same knob to different values,
+    /// so merging them (stacking two mitigations) has no consistent
+    /// semantics.
+    TuningConflict {
+        /// The contested tuning knob.
+        field: &'static str,
+        /// The left-hand side's value, as debug text.
+        ours: String,
+        /// The right-hand side's value, as debug text.
+        theirs: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -108,6 +119,9 @@ impl fmt::Display for SimError {
             }
             SimError::SnapshotSpecMismatch => {
                 write!(f, "snapshot was captured from a device with a different spec")
+            }
+            SimError::TuningConflict { field, ours, theirs } => {
+                write!(f, "tuning conflict on `{field}`: {ours} vs {theirs}")
             }
         }
     }

@@ -58,6 +58,84 @@ impl DeviceTuning {
     pub fn clock_quantum(&self) -> u64 {
         self.clock_granularity.max(1)
     }
+
+    /// Merges two tunings into one, knob by knob: a knob set on exactly one
+    /// side wins, a knob set identically on both sides is kept, and a knob
+    /// set *differently* on both sides is a typed conflict. This is the
+    /// composition primitive the mitigation layer lowers stacked defenses
+    /// through — building each defense's tuning from `..DeviceTuning::none()`
+    /// and keeping only the last one silently dropped every other defense.
+    ///
+    /// A knob counts as "set" when it differs from its disabled default
+    /// (`cache_partitions <= 1` and `clock_granularity <= 1` are no-ops, so
+    /// e.g. partitions 0 merges cleanly with partitions 1).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::TuningConflict`] naming the contested knob and
+    /// both values.
+    pub fn merge(self, other: DeviceTuning) -> Result<DeviceTuning, crate::SimError> {
+        fn pick<T: PartialEq + Copy + std::fmt::Debug>(
+            field: &'static str,
+            a: T,
+            b: T,
+            is_set: impl Fn(T) -> bool,
+        ) -> Result<T, crate::SimError> {
+            match (is_set(a), is_set(b)) {
+                (true, true) if a != b => Err(crate::SimError::TuningConflict {
+                    field,
+                    ours: format!("{a:?}"),
+                    theirs: format!("{b:?}"),
+                }),
+                (_, true) => Ok(b),
+                _ => Ok(a),
+            }
+        }
+        Ok(DeviceTuning {
+            policy: pick("policy", self.policy, other.policy, |p| {
+                p != crate::PlacementPolicy::default()
+            })?,
+            engine: pick("engine", self.engine, other.engine, |e| e != EngineMode::default())?,
+            cache_partitions: pick(
+                "cache_partitions",
+                self.cache_partitions,
+                other.cache_partitions,
+                |p| p > 1,
+            )?,
+            random_warp_scheduler: pick(
+                "random_warp_scheduler",
+                self.random_warp_scheduler,
+                other.random_warp_scheduler,
+                |s| s.is_some(),
+            )?,
+            clock_granularity: pick(
+                "clock_granularity",
+                self.clock_granularity,
+                other.clock_granularity,
+                |g| g > 1,
+            )?,
+        })
+    }
+
+    /// Lowers a validated [`gpgpu_spec::DefenseSpec`] onto device tuning by
+    /// merging each component's knob. Infallible: a `DefenseSpec` holds at
+    /// most one component per kind, so no knob can be contested.
+    pub fn from_defense(defense: &gpgpu_spec::DefenseSpec) -> DeviceTuning {
+        defense.components().iter().fold(DeviceTuning::none(), |acc, c| {
+            let one = match *c {
+                gpgpu_spec::DefenseComponent::CachePartitioning { partitions } => {
+                    DeviceTuning { cache_partitions: partitions, ..DeviceTuning::none() }
+                }
+                gpgpu_spec::DefenseComponent::RandomizedWarpScheduling { seed } => {
+                    DeviceTuning { random_warp_scheduler: Some(seed), ..DeviceTuning::none() }
+                }
+                gpgpu_spec::DefenseComponent::ClockFuzzing { granularity } => {
+                    DeviceTuning { clock_granularity: granularity, ..DeviceTuning::none() }
+                }
+            };
+            acc.merge(one).expect("a validated DefenseSpec has one component per knob")
+        })
+    }
 }
 
 /// SplitMix64: a tiny keyed hash used for randomized warp-scheduler
@@ -86,6 +164,62 @@ mod tests {
     fn clock_quantum_clamps() {
         let t = DeviceTuning { clock_granularity: 256, ..DeviceTuning::none() };
         assert_eq!(t.clock_quantum(), 256);
+    }
+
+    #[test]
+    fn merge_keeps_both_sides_knobs() {
+        // The historical bug: building each mitigation's tuning from
+        // `..DeviceTuning::none()` and taking the last one dropped every
+        // other active defense. Merge must keep both.
+        let partition = DeviceTuning { cache_partitions: 2, ..DeviceTuning::none() };
+        let fuzz = DeviceTuning { clock_granularity: 4096, ..DeviceTuning::none() };
+        let both = partition.merge(fuzz).unwrap();
+        assert_eq!(both.cache_partitions, 2);
+        assert_eq!(both.clock_granularity, 4096);
+        // Merge with a no-op side is the identity, in either order.
+        assert_eq!(both.merge(DeviceTuning::none()).unwrap(), both);
+        assert_eq!(DeviceTuning::none().merge(both).unwrap(), both);
+    }
+
+    #[test]
+    fn merge_conflicts_are_typed_errors() {
+        let two = DeviceTuning { cache_partitions: 2, ..DeviceTuning::none() };
+        let four = DeviceTuning { cache_partitions: 4, ..DeviceTuning::none() };
+        let e = two.merge(four).unwrap_err();
+        match &e {
+            crate::SimError::TuningConflict { field, ours, theirs } => {
+                assert_eq!(*field, "cache_partitions");
+                assert_eq!((ours.as_str(), theirs.as_str()), ("2", "4"));
+            }
+            other => panic!("expected TuningConflict, got {other:?}"),
+        }
+        assert!(e.to_string().contains("cache_partitions"), "{e}");
+        // Identical non-default values are not a conflict.
+        assert_eq!(two.merge(two).unwrap(), two);
+        // Disabled encodings (0 and 1 both mean "off") merge cleanly.
+        let off0 = DeviceTuning { cache_partitions: 0, ..DeviceTuning::none() };
+        let off1 = DeviceTuning { cache_partitions: 1, ..DeviceTuning::none() };
+        assert!(off0.merge(off1).is_ok());
+        let seeded = DeviceTuning { random_warp_scheduler: Some(7), ..DeviceTuning::none() };
+        let reseeded = DeviceTuning { random_warp_scheduler: Some(9), ..DeviceTuning::none() };
+        assert!(matches!(
+            seeded.merge(reseeded),
+            Err(crate::SimError::TuningConflict { field: "random_warp_scheduler", .. })
+        ));
+    }
+
+    #[test]
+    fn defense_specs_lower_onto_merged_tunings() {
+        let d =
+            gpgpu_spec::DefenseSpec::from_spec("partition=2,randsched=0xd1ce,fuzz=4096").unwrap();
+        let t = DeviceTuning::from_defense(&d);
+        assert_eq!(t.cache_partitions, 2);
+        assert_eq!(t.random_warp_scheduler, Some(0xD1CE));
+        assert_eq!(t.clock_granularity, 4096);
+        assert_eq!(
+            DeviceTuning::from_defense(&gpgpu_spec::DefenseSpec::none()),
+            DeviceTuning::none()
+        );
     }
 
     #[test]

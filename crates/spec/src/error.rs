@@ -41,6 +41,13 @@ pub enum SpecError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A defense spec string or composition is malformed (unknown key,
+    /// out-of-range parameter, or two components of the same kind with
+    /// different parameters).
+    InvalidDefense {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -60,6 +67,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::InvalidTopology { reason } => {
                 write!(f, "invalid topology: {reason}")
+            }
+            SpecError::InvalidDefense { reason } => {
+                write!(f, "invalid defense: {reason}")
             }
         }
     }

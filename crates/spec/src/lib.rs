@@ -33,6 +33,7 @@
 
 pub mod arch;
 pub mod cache;
+pub mod defense;
 pub mod device;
 pub mod error;
 pub mod fu;
@@ -44,6 +45,7 @@ pub mod topology;
 
 pub use arch::{Architecture, FuOpKind, FuUnit};
 pub use cache::{CacheGeometry, CacheSpec};
+pub use defense::{DefenseComponent, DefenseSpec};
 pub use device::DeviceSpec;
 pub use error::SpecError;
 pub use fu::{FuPools, FuTiming};

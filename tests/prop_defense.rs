@@ -1,0 +1,103 @@
+//! Property-based tests for the composable defense layer: arbitrary valid
+//! defenses must survive the `--defense` grammar round trip, lowering onto
+//! `DeviceTuning` must commute with spec-level composition, and pooled /
+//! snapshot-restored devices under any non-trivial tuning (including merged
+//! multi-component tunings) must be observably identical to freshly built
+//! `Device::with_tuning` devices.
+//!
+//! Run under a pinned `PROPTEST_RNG_SEED` in CI for reproducible shrinks.
+
+use gpgpu_covert::bits::Message;
+use gpgpu_covert::cache_channel::L1Channel;
+use gpgpu_covert::pool;
+use gpgpu_sim::DeviceTuning;
+use gpgpu_spec::{presets, DefenseComponent, DefenseSpec};
+use proptest::prelude::*;
+
+/// Builds a defense from a component-inclusion bitmask and the three
+/// (always-drawn) in-range parameters.
+fn defense_from(mask: u8, partitions: u32, seed: u64, granularity: u64) -> DefenseSpec {
+    let components = [
+        (mask & 1 != 0).then_some(DefenseComponent::CachePartitioning { partitions }),
+        (mask & 2 != 0).then_some(DefenseComponent::RandomizedWarpScheduling { seed }),
+        (mask & 4 != 0).then_some(DefenseComponent::ClockFuzzing { granularity }),
+    ];
+    DefenseSpec::new(components.into_iter().flatten())
+        .expect("distinct in-range components always compose")
+}
+
+/// A strategy for arbitrary *valid* defenses: any subset of the three
+/// Section-9 components with in-range parameters (the empty subset is the
+/// undefended baseline, `none`).
+fn arb_defense() -> impl Strategy<Value = DefenseSpec> {
+    (0u8..8, 2u32..=16, any::<u64>(), 2u64..=1_000_000)
+        .prop_map(|(m, p, s, f)| defense_from(m, p, s, f))
+}
+
+/// Like [`arb_defense`], but never the empty baseline.
+fn arb_nontrivial_defense() -> impl Strategy<Value = DefenseSpec> {
+    (1u8..8, 2u32..=16, any::<u64>(), 2u64..=1_000_000)
+        .prop_map(|(m, p, s, f)| defense_from(m, p, s, f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Any valid defense survives the `--defense` grammar round trip
+    /// exactly, component parameters included.
+    #[test]
+    fn defense_specs_round_trip(d in arb_defense()) {
+        prop_assert_eq!(DefenseSpec::from_spec(&d.to_spec()), Ok(d));
+    }
+
+    /// Lowering commutes with composition: merging the two lowered tunings
+    /// gives exactly the lowering of the composed spec, and a spec-level
+    /// conflict always surfaces as a tuning-level merge conflict.
+    #[test]
+    fn lowering_commutes_with_composition(a in arb_defense(), b in arb_defense()) {
+        let merged = DeviceTuning::from_defense(&a).merge(DeviceTuning::from_defense(&b));
+        match a.compose(&b) {
+            Ok(both) => prop_assert_eq!(merged, Ok(DeviceTuning::from_defense(&both))),
+            Err(_) => prop_assert!(merged.is_err(), "spec conflict must surface in merge"),
+        }
+    }
+
+    /// Merging a lowered defense with the empty tuning is the identity, in
+    /// both orders.
+    #[test]
+    fn merge_with_none_is_identity(d in arb_defense()) {
+        let t = DeviceTuning::from_defense(&d);
+        prop_assert_eq!(t.merge(DeviceTuning::none()), Ok(t));
+        prop_assert_eq!(DeviceTuning::none().merge(t), Ok(t));
+    }
+}
+
+proptest! {
+    // Each case runs three full transmissions; keep the count small.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Pooled devices are indistinguishable from fresh ones under any
+    /// non-trivial tuning: the same transmission on (1) a fresh device,
+    /// (2) a first pooled checkout, and (3) a snapshot-restored pooled
+    /// checkout yields the identical outcome bit-for-bit. Multi-component
+    /// defenses exercise the merged-tuning path inside `from_defense`.
+    #[test]
+    fn pooled_devices_match_fresh_under_any_tuning(
+        d in arb_nontrivial_defense(),
+        seed in any::<u64>(),
+    ) {
+        let spec = presets::tesla_k40c();
+        let msg = Message::pseudo_random(8, seed);
+        let tuning = DeviceTuning::from_defense(&d);
+        pool::clear();
+        pool::set_disabled(true);
+        let fresh = L1Channel::new(spec.clone()).with_tuning(tuning).transmit(&msg).unwrap();
+        pool::set_disabled(false);
+        // The first pooled transmit builds and shelves the device; the
+        // second restores its pristine snapshot before running.
+        let warmed = L1Channel::new(spec.clone()).with_tuning(tuning).transmit(&msg).unwrap();
+        let restored = L1Channel::new(spec).with_tuning(tuning).transmit(&msg).unwrap();
+        prop_assert_eq!(&warmed, &fresh);
+        prop_assert_eq!(&restored, &fresh);
+    }
+}
