@@ -25,14 +25,22 @@
 //!    engine over the SoA warp tables, pooled devices restored from
 //!    pristine snapshots). Identical sweep points, wall-clock speedup
 //!    asserted, and the numbers are written to `BENCH_sweep.json` for the
-//!    CI regression gate.
-//! 6. **Zero-alloc trials**: a counting global allocator proves that after
+//!    CI regression gate — together with the pruned-sweep numbers of the
+//!    next section.
+//! 6. **Analytical grid pre-pruning** on the same sweep: an
+//!    [`AnalyticalModel`] characterized from the cycle engine flags which
+//!    grid cells sit in the BER transition band; only those are simulated,
+//!    the rest are filled from the closed form. Simulated cells must be
+//!    bit-identical to the unpruned sweep, filled cells within the
+//!    analytical BER band, and the pruned sweep must not be slower.
+//! 7. **Zero-alloc trials**: a counting global allocator proves that after
 //!    the first (warmup) trial, a `reset_for_trial` + launch +
 //!    `run_until_idle` + borrowed-records readback loop performs zero heap
 //!    allocations per trial — the arena/pooling contract of the
 //!    data-oriented core.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_covert::analytic::AnalyticalModel;
 use gpgpu_covert::bits::Message;
 use gpgpu_covert::cache_channel::L1Channel;
 use gpgpu_covert::harness::{Trial, TrialRunner};
@@ -76,9 +84,7 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-fn quick() -> bool {
-    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
-}
+use gpgpu_bench::quick;
 
 /// The Figure-5 sweep on a sequential runner with an explicit engine mode.
 fn fig5_sweep(engine: EngineMode) -> Vec<(f64, f64)> {
@@ -265,17 +271,6 @@ fn bench(c: &mut Criterion) {
         "ablation: fig5 sweep seed path {seed_s:.3}s, data-oriented {opt_s:.3}s \
          -> {core_speedup:.2}x"
     );
-    let json = format!(
-        "{{\n  \"workload\": \"fig5_l1_iteration_sweep\",\n  \"seed_path_s\": {seed_s:.6},\n  \
-         \"optimized_s\": {opt_s:.6},\n  \"speedup\": {core_speedup:.4},\n  \
-         \"points\": {},\n  \"quick\": {}\n}}\n",
-        seed_pts.len(),
-        quick()
-    );
-    // Anchor at the workspace root regardless of the bench's cwd (cargo
-    // runs benches from the package directory).
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-    std::fs::write(out, json).expect("BENCH_sweep.json is writable");
     if !quick() {
         assert!(
             core_speedup >= 2.0,
@@ -284,7 +279,92 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    // --- 6. Zero heap allocations per trial after warmup. ---
+    // --- 6. Analytical pre-pruning of the same Figure-5 sweep. ---
+    // The closed-form model is characterized once from the cycle engine (a
+    // one-time cost, timed and printed separately — it amortizes across
+    // every sweep that reuses the table). At sweep time it flags which grid
+    // cells fall in the BER transition band: only those are simulated, the
+    // rest come from the closed form. The contract: simulated cells are
+    // bit-identical to the unpruned sweep, filled cells stay within the
+    // analytical BER band, and skipping the settled cells cuts wall clock.
+    let grid: [u64; 6] = [20, 12, 8, 4, 2, 1];
+    let sweep_msg = Message::pseudo_random(64, 3);
+    let char_start = Instant::now();
+    let model = AnalyticalModel::characterize_families(&presets::tesla_k40c(), &["l1"])
+        .expect("l1 characterization succeeds");
+    let char_s = char_start.elapsed().as_secs_f64();
+    let channel = L1Channel::new(presets::tesla_k40c())
+        .with_tuning(DeviceTuning { engine: EngineMode::EventDriven, ..DeviceTuning::none() });
+    let runner = TrialRunner::sequential();
+    let mut unpruned_s = f64::INFINITY;
+    let mut pruned_s = f64::INFINITY;
+    let (mut unpruned_pts, mut pruned_pts) = (Vec::new(), Vec::new());
+    let mut mask = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        unpruned_pts =
+            channel.error_rate_sweep_on(&runner, &sweep_msg, &grid).expect("unpruned sweep runs");
+        unpruned_s = unpruned_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let (pts, m) = model
+            .pruned_error_rate_sweep(&runner, &channel, "l1", &sweep_msg, &grid)
+            .expect("pruned sweep runs");
+        pruned_s = pruned_s.min(start.elapsed().as_secs_f64());
+        pruned_pts = pts;
+        mask = m;
+    }
+    let cells_simulated = mask.iter().filter(|&&keep| keep).count();
+    assert!(
+        cells_simulated > 0 && cells_simulated < grid.len(),
+        "the model must prune some cells but not all (simulated {cells_simulated}/{})",
+        grid.len()
+    );
+    let mut max_ber_err: f64 = 0.0;
+    for (i, &keep) in mask.iter().enumerate() {
+        if keep {
+            assert_eq!(
+                unpruned_pts[i], pruned_pts[i],
+                "a simulated cell must be bit-identical to the unpruned sweep"
+            );
+        } else {
+            max_ber_err = max_ber_err.max((unpruned_pts[i].1 - pruned_pts[i].1).abs());
+        }
+    }
+    assert!(
+        max_ber_err <= 0.12,
+        "a model-filled cell left the analytical BER band: max error {max_ber_err:.4}"
+    );
+    let pruned_speedup = unpruned_s / pruned_s;
+    println!(
+        "ablation: fig5 sweep unpruned {unpruned_s:.3}s, pruned {pruned_s:.3}s \
+         ({cells_simulated}/{} cells simulated; one-time characterization {char_s:.3}s) \
+         -> {pruned_speedup:.2}x, max filled-cell BER error {max_ber_err:.4}",
+        grid.len()
+    );
+    if !quick() {
+        assert!(
+            pruned_speedup >= 1.0,
+            "the pruned sweep must not be slower than the unpruned one, got {pruned_speedup:.2}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": \"fig5_l1_iteration_sweep\",\n  \"seed_path_s\": {seed_s:.6},\n  \
+         \"optimized_s\": {opt_s:.6},\n  \"speedup\": {core_speedup:.4},\n  \
+         \"points\": {},\n  \"quick\": {},\n  \"pruned\": {{\n    \"cells_total\": {},\n    \
+         \"cells_simulated\": {cells_simulated},\n    \"unpruned_s\": {unpruned_s:.6},\n    \
+         \"pruned_s\": {pruned_s:.6},\n    \"speedup\": {pruned_speedup:.4},\n    \
+         \"max_ber_err\": {max_ber_err:.6}\n  }}\n}}\n",
+        seed_pts.len(),
+        quick(),
+        grid.len()
+    );
+    // Anchor at the workspace root regardless of the bench's cwd (cargo
+    // runs benches from the package directory).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(out, json).expect("BENCH_sweep.json is writable");
+
+    // --- 7. Zero heap allocations per trial after warmup. ---
     // The trial loop a sweep cell runs: reset the device in place, launch a
     // prebuilt kernel (Arc-backed spec, so clone is a refcount bump), run
     // to idle and read the results through the borrowed accessor. After

@@ -15,9 +15,7 @@ use gpgpu_covert::mitigations::{ChannelFamily, MitigationVerdict};
 use gpgpu_spec::presets;
 use std::time::Instant;
 
-fn quick() -> bool {
-    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
-}
+use gpgpu_bench::quick;
 
 fn main() {
     let bits = if quick() { 8 } else { 16 };

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_bench::data::fault_sweep;
 
-fn quick() -> bool {
-    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
-}
+use gpgpu_bench::quick;
 
 fn bench(c: &mut Criterion) {
     let (bits, intensities): (usize, &[f64]) =

@@ -9,9 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_bench::data::nvlink_bandwidth_sweep;
 use gpgpu_bench::report::render_series;
 
-fn quick() -> bool {
-    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
-}
+use gpgpu_bench::quick;
 
 fn bench(c: &mut Criterion) {
     // The sweep starts at the default window (2048 cycles): below it the

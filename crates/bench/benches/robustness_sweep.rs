@@ -9,9 +9,7 @@ use gpgpu_covert::bits::Message;
 use gpgpu_covert::linkmon::AdaptiveLink;
 use gpgpu_spec::presets;
 
-fn quick() -> bool {
-    std::env::var("GPGPU_BENCH_QUICK").is_ok_and(|v| v == "1")
-}
+use gpgpu_bench::quick;
 
 /// Minimum wall time of `reps` runs of `f` — the minimum is the scheduler-
 /// noise-robust estimator for a deterministic workload.

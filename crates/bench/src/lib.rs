@@ -14,3 +14,48 @@
 
 pub mod data;
 pub mod report;
+
+/// Whether quick (smoke) mode is on: `GPGPU_BENCH_QUICK=1`, the same switch
+/// the vendored criterion honors for iteration counts. Unset, empty and
+/// `0` mean full mode; any other value also means full mode — matching
+/// criterion's strict `== "1"` check — but warns once instead of being
+/// silently ignored (`GPGPU_BENCH_QUICK=true` used to quietly run the full
+/// suite while looking like a smoke run).
+pub fn quick() -> bool {
+    let (quick, rejected) = resolve_quick(std::env::var("GPGPU_BENCH_QUICK"));
+    if let Some(rejected) = rejected {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: unrecognized GPGPU_BENCH_QUICK value `{rejected}` (expected 0 or 1); \
+                 running the full benchmark"
+            );
+        });
+    }
+    quick
+}
+
+/// Testable core of [`quick`]: the resolved flag plus the rejected value,
+/// if any, for the one-time warning.
+fn resolve_quick(raw: Result<String, std::env::VarError>) -> (bool, Option<String>) {
+    match raw.as_deref() {
+        Ok("1") => (true, None),
+        Ok("") | Ok("0") | Err(_) => (false, None),
+        Ok(other) => (false, Some(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::resolve_quick;
+
+    #[test]
+    fn quick_env_resolution_is_typed() {
+        use std::env::VarError;
+        assert_eq!(resolve_quick(Ok("1".into())), (true, None));
+        assert_eq!(resolve_quick(Ok("0".into())), (false, None));
+        assert_eq!(resolve_quick(Ok(String::new())), (false, None));
+        assert_eq!(resolve_quick(Err(VarError::NotPresent)), (false, None));
+        assert_eq!(resolve_quick(Ok("true".into())), (false, Some("true".to_string())));
+    }
+}

@@ -3,6 +3,7 @@
 
 #![deny(missing_docs)]
 
+use gpgpu_covert::analytic::{default_engine_mode, AnalyticalModel, ChannelVerdict};
 use gpgpu_covert::arena::{run_arena, ArenaConfig};
 use gpgpu_covert::atomic_channel::{AtomicChannel, AtomicScenario};
 use gpgpu_covert::bits::Message;
@@ -17,7 +18,7 @@ use gpgpu_covert::noise::{run_sync_with_noise, NoiseKind};
 use gpgpu_covert::nvlink_channel::NvlinkChannel;
 use gpgpu_covert::parallel::ParallelSfuChannel;
 use gpgpu_covert::sync_channel::SyncChannel;
-use gpgpu_sim::DeviceTuning;
+use gpgpu_sim::{DeviceTuning, EngineMode, LatencyTable};
 use gpgpu_spec::{presets, DefenseSpec, DeviceSpec, TopologySpec};
 use std::fmt::Write as _;
 
@@ -41,6 +42,9 @@ commands:
   arena                       attack/defense tournament: every channel family
                               plus the adaptive ladder vs every --defense
                               column, as a residual-bandwidth matrix
+  characterize                extract the per-op latency table and per-family
+                              analytical models from the cycle engine
+                              (--out dumps the table; --table verifies a dump)
 
 options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
@@ -60,6 +64,13 @@ options:
                                     arena, e.g. partition=2,fuzz=4096 or none; repeatable
                                     (l1/robust/nvlink/faults compose repeated flags into
                                     one stacked defense; arena adds one matrix column each)
+  --engine <dense|event|analytical> cycle engine for the l1 command, or the closed-form
+                                    analytical fast path with a simulated cross-check
+                                    (default: GPGPU_ENGINE, else event)
+  --out <path>                      write the characterized latency table here
+                                    (characterize only; default: stdout)
+  --table <path>                    load a characterization dump, verify it round-trips
+                                    (characterize only)
 ";
 
 /// Which subcommand to run.
@@ -90,6 +101,9 @@ pub enum Command {
     /// ladder against every `--defense` column, as a residual-bandwidth
     /// matrix.
     Arena,
+    /// Extract (or verify) the analytical model's latency table from the
+    /// cycle engine.
+    Characterize,
     /// Print usage.
     Help,
 }
@@ -126,6 +140,16 @@ pub struct Args {
     /// [`DefenseSpec::from_spec`]. Single-channel commands compose them
     /// into one stacked defense; `arena` turns each into a matrix column.
     pub defense: Vec<String>,
+    /// Engine selection for `l1`, validated at parse time against
+    /// [`EngineMode::from_str`]. `None` defers to the `GPGPU_ENGINE`
+    /// environment variable (with a one-time warning on unknown values),
+    /// then the event-driven default.
+    pub engine: Option<EngineMode>,
+    /// Output path for the `characterize` dump (stdout when absent).
+    pub out: Option<String>,
+    /// Characterization dump to load and round-trip-verify
+    /// (`characterize` only).
+    pub table: Option<String>,
 }
 
 impl Args {
@@ -148,6 +172,9 @@ impl Args {
             adaptive: false,
             topology: None,
             defense: Vec::new(),
+            engine: None,
+            out: None,
+            table: None,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -186,6 +213,17 @@ impl Args {
                         .map_err(|e| format!("invalid --defense spec: {e}"))?;
                     args.defense.push(v.clone());
                 }
+                "--engine" => {
+                    let v = it.next().ok_or("--engine needs a value")?;
+                    args.engine =
+                        Some(v.parse().map_err(|e| format!("invalid --engine value: {e}"))?);
+                }
+                "--out" => {
+                    args.out = Some(it.next().ok_or("--out needs a path")?.clone());
+                }
+                "--table" => {
+                    args.table = Some(it.next().ok_or("--table needs a path")?.clone());
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other:?}"));
                 }
@@ -207,6 +245,7 @@ impl Args {
             "robust" => Command::Robust,
             "nvlink" => Command::Nvlink,
             "arena" => Command::Arena,
+            "characterize" => Command::Characterize,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}")),
         };
@@ -247,6 +286,15 @@ impl Args {
                 "--defense only applies to the faults, l1, robust, nvlink, and arena commands"
                     .to_string(),
             );
+        }
+        if args.command != Command::L1 && args.engine.is_some() {
+            return Err("--engine only applies to the l1 command".to_string());
+        }
+        if args.command != Command::Characterize && (args.out.is_some() || args.table.is_some()) {
+            return Err("--out/--table only apply to the characterize command".to_string());
+        }
+        if args.out.is_some() && args.table.is_some() {
+            return Err("--out and --table are mutually exclusive".to_string());
         }
         Ok(args)
     }
@@ -407,8 +455,19 @@ pub fn run(args: &Args) -> Result<String, String> {
             let msg = Message::pseudo_random(args.bits, 0xC14);
             let plan = args.faults.as_deref().map(gpgpu_sim::FaultPlan::from_spec).transpose()?;
             let defense = args.defense_spec()?;
-            let mut ch =
-                L1Channel::new(spec.clone()).with_tuning(DeviceTuning::from_defense(&defense));
+            let engine_mode = args.engine.unwrap_or_else(default_engine_mode);
+            if engine_mode == EngineMode::Analytical {
+                if plan.is_some() || !defense.is_none() || args.trace_out.is_some() || args.profile
+                {
+                    return Err("the analytical engine predicts the clean channel only; \
+                                --faults/--defense/--trace-out/--profile need a cycle engine"
+                        .to_string());
+                }
+                return run_l1_analytical(&spec, &msg);
+            }
+            let mut tuning = DeviceTuning::from_defense(&defense);
+            tuning.engine = engine_mode;
+            let mut ch = L1Channel::new(spec.clone()).with_tuning(tuning);
             if let Some(p) = plan {
                 ch = ch.with_faults(p);
             }
@@ -660,10 +719,99 @@ pub fn run(args: &Args) -> Result<String, String> {
                 );
             }
         }
+        Command::Characterize => match &args.table {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read table {path}: {e}"))?;
+                let table = LatencyTable::from_spec(&text).map_err(|e| e.to_string())?;
+                let reparsed =
+                    LatencyTable::from_spec(&table.to_spec()).map_err(|e| e.to_string())?;
+                if reparsed != table {
+                    return Err(format!("table {path} does not round-trip through to_spec"));
+                }
+                let _ = writeln!(
+                    out,
+                    "loaded latency table for {}: {} op classes, {} families",
+                    table.device,
+                    table.ops().count(),
+                    table.families().count()
+                );
+                out.push_str("round trip: ok\n");
+            }
+            None => {
+                let spec = args.spec()?;
+                let mut model = AnalyticalModel::characterize(&spec).map_err(|e| e.to_string())?;
+                model.characterize_nvlink(&args.topology_spec()?).map_err(|e| e.to_string())?;
+                let table = model.table();
+                let _ = writeln!(
+                    out,
+                    "characterized {} from the cycle engine: {} op classes, {} families",
+                    table.device,
+                    table.ops().count(),
+                    table.families().count()
+                );
+                let text = table.to_spec();
+                match &args.out {
+                    Some(path) => {
+                        std::fs::write(path, &text)
+                            .map_err(|e| format!("cannot write table to {path}: {e}"))?;
+                        let _ =
+                            writeln!(out, "wrote latency table ({} bytes) to {path}", text.len());
+                    }
+                    None => out.push_str(&text),
+                }
+            }
+        },
     }
     if args.stats {
         let _ = writeln!(out, "engine: {engine}");
     }
+    Ok(out)
+}
+
+/// The `l1 --engine analytical` path: characterize the L1 family from the
+/// cycle engine, predict the transmission in closed form, then run one
+/// simulated cross-check and report whether the works/dead verdicts agree
+/// (the line CI greps for).
+fn run_l1_analytical(spec: &DeviceSpec, msg: &Message) -> Result<String, String> {
+    let mut out = String::new();
+    let model = AnalyticalModel::characterize_families(spec, &["l1"]).map_err(|e| e.to_string())?;
+    let ch = L1Channel::new(spec.clone());
+    let knob = ch.iterations as f64;
+    let pred = model.predict("l1", knob, msg).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "L1 channel on {} (analytical): {} bits at {} iterations/bit, \
+         predicted {:.1} Kbps, BER {:.1}% [{}]",
+        spec.name,
+        msg.len(),
+        ch.iterations,
+        pred.bandwidth_kbps,
+        pred.ber * 100.0,
+        pred.verdict.label()
+    );
+    let table = model.table();
+    let _ = writeln!(
+        out,
+        "model: cycles/bit = {:.1} + {:.1} x iterations (extracted, no cycle loop at predict \
+         time)",
+        table.family("l1").map_or(0.0, |m| m.base),
+        table.family("l1").map_or(0.0, |m| m.slope)
+    );
+    let sim = ch.transmit(msg).map_err(|e| e.to_string())?;
+    let sim_verdict = ChannelVerdict::from_ber(sim.ber);
+    let _ = writeln!(
+        out,
+        "simulated cross-check (event engine): {:.1} Kbps, BER {:.1}% [{}]",
+        sim.bandwidth_kbps,
+        sim.ber * 100.0,
+        sim_verdict.label()
+    );
+    let _ = writeln!(
+        out,
+        "verdict agreement: {}",
+        if pred.verdict == sim_verdict { "yes" } else { "NO" }
+    );
     Ok(out)
 }
 
@@ -984,6 +1132,95 @@ mod tests {
         .unwrap();
         let err = run(&a).unwrap_err();
         assert!(err.contains("saturated"), "{err}");
+    }
+
+    #[test]
+    fn engine_flag_accept_reject_matrix() {
+        let a = Args::parse(&argv("l1 --engine analytical")).unwrap();
+        assert_eq!(a.engine, Some(EngineMode::Analytical));
+        let a = Args::parse(&argv("l1 --engine dense")).unwrap();
+        assert_eq!(a.engine, Some(EngineMode::Dense));
+        let a = Args::parse(&argv("l1 --engine event")).unwrap();
+        assert_eq!(a.engine, Some(EngineMode::EventDriven));
+        // Absent flag defers to the environment/default at run time.
+        let a = Args::parse(&argv("l1")).unwrap();
+        assert_eq!(a.engine, None);
+        // Unknown engines and misplaced flags fail at parse time.
+        let err = Args::parse(&argv("l1 --engine warp9")).unwrap_err();
+        assert!(err.contains("invalid --engine value"), "{err}");
+        assert!(Args::parse(&argv("l1 --engine")).is_err());
+        for cmd in ["zoo", "nvlink", "arena", "characterize", "chat hi"] {
+            let err = Args::parse(&argv(&format!("{cmd} --engine dense"))).unwrap_err();
+            assert!(err.contains("--engine only applies"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn l1_analytical_predicts_and_cross_checks() {
+        let a = Args::parse(&argv("l1 --engine analytical --bits 16")).unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("(analytical)"), "{out}");
+        assert!(out.contains("predicted"), "{out}");
+        assert!(out.contains("simulated cross-check"), "{out}");
+        assert!(out.contains("verdict agreement: yes"), "{out}");
+        // The closed form cannot model faults, defenses or traces.
+        for flags in ["--faults seed=1,intensity=0", "--defense partition=2", "--profile"] {
+            let a = Args::parse(&argv(&format!("l1 --engine analytical {flags}"))).unwrap();
+            let err = run(&a).unwrap_err();
+            assert!(err.contains("need a cycle engine"), "{flags}: {err}");
+        }
+    }
+
+    #[test]
+    fn l1_dense_engine_matches_the_default_event_engine() {
+        let event = run(&Args::parse(&argv("l1 --engine event --bits 8")).unwrap()).unwrap();
+        let dense = run(&Args::parse(&argv("l1 --engine dense --bits 8")).unwrap()).unwrap();
+        assert_eq!(event, dense, "engine choice must not change the report");
+    }
+
+    #[test]
+    fn characterize_dumps_and_verifies_a_round_tripping_table() {
+        let path = std::env::temp_dir().join("gpgpu_cli_latency_table_test.txt");
+        let path_s = path.to_str().unwrap().to_string();
+        let mut a = Args::parse(&argv("characterize")).unwrap();
+        a.out = Some(path_s.clone());
+        let out = run(&a).unwrap();
+        assert!(out.contains("characterized Tesla K40C"), "{out}");
+        assert!(out.contains("6 op classes, 6 families"), "{out}");
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(dump.starts_with("gpgpu-latency-table v1"), "{dump}");
+        for family in ["l1", "l2", "sfu", "atomic", "sync", "nvlink"] {
+            assert!(dump.contains(&format!("family {family} ")), "{family}: {dump}");
+        }
+        // Loading the dump verifies the round trip.
+        let mut a = Args::parse(&argv("characterize")).unwrap();
+        a.table = Some(path_s);
+        let out = run(&a).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("round trip: ok"), "{out}");
+        // A garbled dump is a typed error naming the bad line.
+        let bad = std::env::temp_dir().join("gpgpu_cli_latency_table_bad.txt");
+        std::fs::write(&bad, "gpgpu-latency-table v1 device=x\nop wat 1\n").unwrap();
+        let mut a = Args::parse(&argv("characterize")).unwrap();
+        a.table = Some(bad.to_str().unwrap().to_string());
+        let err = run(&a).unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn characterize_flag_accept_reject_matrix() {
+        assert!(Args::parse(&argv("characterize")).is_ok());
+        assert!(Args::parse(&argv("characterize --out t.txt")).is_ok());
+        assert!(Args::parse(&argv("characterize --table t.txt")).is_ok());
+        let err = Args::parse(&argv("characterize --out a --table b")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        for cmd in ["zoo", "l1", "arena"] {
+            let err = Args::parse(&argv(&format!("{cmd} --out t.txt"))).unwrap_err();
+            assert!(err.contains("--out/--table only apply"), "{cmd}: {err}");
+        }
+        assert!(Args::parse(&argv("characterize --out")).is_err());
+        assert!(Args::parse(&argv("characterize --table")).is_err());
     }
 
     #[test]

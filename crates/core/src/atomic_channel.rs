@@ -178,6 +178,20 @@ impl AtomicChannel {
     ///
     /// Propagates simulator failures.
     pub fn calibrate_threshold(&self) -> Result<u64, CovertError> {
+        let (idle_mean, hot_mean) = self.measure_service_latencies()?;
+        Ok((idle_mean + hot_mean) / 2)
+    }
+
+    /// Measures the mean per-iteration atomic service latency with no
+    /// contender and under trojan contention, on scratch devices — the raw
+    /// evidence behind [`AtomicChannel::calibrate_threshold`], also recorded
+    /// as the `atomic_idle` / `atomic_contended` rows of an extracted
+    /// [`gpgpu_sim::LatencyTable`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measure_service_latencies(&self) -> Result<(u64, u64), CovertError> {
         let mean = |samples: &[u64]| -> u64 {
             if samples.is_empty() {
                 0
@@ -220,7 +234,7 @@ impl AtomicChannel {
                 idle_mean = mean(&samples);
             }
         }
-        Ok((idle_mean + hot_mean) / 2)
+        Ok((idle_mean, hot_mean))
     }
 
     /// Transmits `msg` over the atomic channel.

@@ -56,6 +56,35 @@ where
     event
 }
 
+/// The three-way form of [`assert_engines_agree`]: Dense and EventDriven
+/// must still be bit-identical, while the `analytical` value — a closed-form
+/// prediction, not another cycle engine — is held to the caller's `within`
+/// comparator (typically [`crate::analytic::Tolerance::check`] wrapped over
+/// the simulated outcome).
+///
+/// Returns the simulated value, like [`assert_engines_agree`].
+///
+/// # Panics
+///
+/// Panics when the cycle engines disagree, or when `within` reports the
+/// analytical value outside tolerance — the panic message names `what` and
+/// repeats the comparator's explanation.
+pub fn assert_engines_agree_within<T, F, W>(what: &str, build: F, analytical: &T, within: W) -> T
+where
+    T: PartialEq + fmt::Debug,
+    F: Fn(gpgpu_sim::EngineMode) -> T,
+    W: FnOnce(&T, &T) -> Result<(), String>,
+{
+    let simulated = assert_engines_agree(what, build);
+    if let Err(reason) = within(&simulated, analytical) {
+        panic!(
+            "analytical divergence in {what}: {reason}\n simulated: {simulated:?}\n \
+             analytical: {analytical:?}"
+        );
+    }
+    simulated
+}
+
 /// One independent unit of work handed to a trial closure: its position in
 /// the batch, a deterministic seed derived from the runner's base seed, and
 /// the runner's per-trial cycle deadline (if any).

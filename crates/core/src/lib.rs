@@ -29,6 +29,7 @@
 //! | [`framing`] | §7.1 | CRC-8 frames with preamble resynchronization and selective-repeat ARQ over faulted channels |
 //! | [`calibrate`] | §8 | pilot-symbol handshake fitting decode thresholds online |
 //! | [`linkmon`] | §8 | link-quality monitor + degradation ladder (re-calibrate, stretch, channel-family fallback) |
+//! | [`analytic`] | — | closed-form bandwidth/BER predictor characterized from the cycle engine; sweep pre-pruner |
 //! | [`harness`] | — | deterministic multi-threaded trial runner powering every sweep |
 //! | [`pool`] | — | thread-local device pool: per-trial runs reuse warmed allocations behind pristine snapshots |
 //!
@@ -50,6 +51,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod analytic;
 pub mod arena;
 pub mod atomic_channel;
 pub mod bits;

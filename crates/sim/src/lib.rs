@@ -47,6 +47,7 @@ mod device;
 mod error;
 mod fault;
 mod kernel;
+pub mod latency;
 mod policy;
 mod sm;
 mod snapshot;
@@ -60,6 +61,7 @@ pub use device::Device;
 pub use error::SimError;
 pub use fault::{FaultInjector, FaultKinds, FaultPlan, FaultStats};
 pub use kernel::{BlockRecord, KernelId, KernelResults, KernelSpec};
+pub use latency::{FamilyModel, LatencyTable, LatencyTableError, OpClass};
 pub use policy::PlacementPolicy;
 pub use snapshot::DeviceSnapshot;
 pub use stats::SimStats;

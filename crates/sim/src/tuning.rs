@@ -14,11 +14,20 @@
 
 /// Cycle-engine mode: how aggressively the engine may skip redundant work.
 ///
-/// Both modes produce **bit-identical simulation results** — the event-driven
-/// engine only skips work that provably cannot change architectural state
-/// (SMs with no issuable or waking warp, placement passes after a fixpoint).
-/// `Dense` exists as the ablation baseline so the speedup is measurable
-/// against the same binary.
+/// `Dense` and `EventDriven` produce **bit-identical simulation results** —
+/// the event-driven engine only skips work that provably cannot change
+/// architectural state (SMs with no issuable or waking warp, placement
+/// passes after a fixpoint). `Dense` exists as the ablation baseline so the
+/// speedup is measurable against the same binary.
+///
+/// `Analytical` opts a *caller* out of cycle simulation entirely: layers
+/// that know how to answer in closed form (the `gpgpu-covert` analytical
+/// predictor, fed by [`crate::latency::LatencyTable`]s extracted from the
+/// cycle engine) answer without running the cycle loop, within documented
+/// error tolerances instead of bit-exactly. When a [`crate::Device`] *is*
+/// constructed under `Analytical` (e.g. by the characterization probes that
+/// build the tables in the first place), the cycle loop runs event-driven —
+/// the device itself has no approximate mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// Visit every SM every cycle and re-run block placement every cycle
@@ -28,6 +37,36 @@ pub enum EngineMode {
     /// placement behind a dirty flag (default).
     #[default]
     EventDriven,
+    /// Closed-form fast path: answer from extracted latency tables where the
+    /// caller supports it; any residual cycle simulation runs event-driven.
+    Analytical,
+}
+
+impl EngineMode {
+    /// Canonical spec label (`dense`, `event`, `analytical`) — the grammar
+    /// accepted by [`EngineMode::from_str`] and the CLI's `--engine` flag.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Dense => "dense",
+            EngineMode::EventDriven => "event",
+            EngineMode::Analytical => "analytical",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    /// Parses an engine label: `dense`, `event` (or `event-driven`), or
+    /// `analytical` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Ok(EngineMode::Dense),
+            "event" | "event-driven" | "eventdriven" => Ok(EngineMode::EventDriven),
+            "analytical" | "analytic" => Ok(EngineMode::Analytical),
+            other => Err(format!("unknown engine `{other}` (expected dense, event or analytical)")),
+        }
+    }
 }
 
 /// Configuration knobs applied at [`crate::Device`] construction.
@@ -220,6 +259,23 @@ mod tests {
             DeviceTuning::from_defense(&gpgpu_spec::DefenseSpec::none()),
             DeviceTuning::none()
         );
+    }
+
+    #[test]
+    fn engine_labels_round_trip_and_merge_as_set_knobs() {
+        for mode in [EngineMode::Dense, EngineMode::EventDriven, EngineMode::Analytical] {
+            assert_eq!(mode.label().parse::<EngineMode>().unwrap(), mode);
+        }
+        assert!("warp9".parse::<EngineMode>().unwrap_err().contains("unknown engine"));
+        // A non-default engine counts as "set": two different requests are a
+        // typed conflict, and a set engine survives a merge with the default.
+        let dense = DeviceTuning { engine: EngineMode::Dense, ..DeviceTuning::none() };
+        let ana = DeviceTuning { engine: EngineMode::Analytical, ..DeviceTuning::none() };
+        assert!(matches!(
+            dense.merge(ana),
+            Err(crate::SimError::TuningConflict { field: "engine", .. })
+        ));
+        assert_eq!(DeviceTuning::none().merge(ana).unwrap().engine, EngineMode::Analytical);
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Golden schema tests for the committed bench artifacts.
+//!
+//! CI gates parse `BENCH_sweep.json` and `BENCH_arena.json` with ad-hoc
+//! python; nothing used to pin their *shape*, so a bench refactor could
+//! silently drop a key and the gates would fail far from the change (or
+//! worse, pass vacuously). These tests parse the committed artifacts with a
+//! small hand-rolled JSON reader (the workspace deliberately has no JSON
+//! dependency) and assert every key and shape the gates and docs rely on —
+//! schema drift now fails `cargo test -q` right next to the code that
+//! caused it.
+
+use std::collections::BTreeMap;
+
+/// Minimal JSON value — just enough to validate the bench artifacts.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn expect_key(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or_else(|| panic!("missing required key `{key}` in {self:?}"))
+    }
+
+    fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn as_bool(&self) -> bool {
+        match self {
+            Json::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over bytes. Supports exactly the grammar
+/// the bench writers emit: objects, arrays, strings with `\"`/`\\` escapes,
+/// numbers, booleans and null. Panics with a byte offset on malformed
+/// input — these are tests, not a library.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value();
+        p.skip_ws();
+        assert!(p.pos == p.bytes.len(), "trailing garbage at byte {}", p.pos);
+        v
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        assert!(self.pos < self.bytes.len(), "unexpected end of input");
+        self.bytes[self.pos]
+    }
+
+    fn eat(&mut self, b: u8) {
+        assert_eq!(self.peek(), b, "expected `{}` at byte {}", b as char, self.pos);
+        self.pos += 1;
+    }
+
+    fn eat_literal(&mut self, lit: &str) {
+        self.skip_ws();
+        assert!(
+            self.bytes[self.pos..].starts_with(lit.as_bytes()),
+            "expected `{lit}` at byte {}",
+            self.pos
+        );
+        self.pos += lit.len();
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => {
+                self.eat_literal("true");
+                Json::Bool(true)
+            }
+            b'f' => {
+                self.eat_literal("false");
+                Json::Bool(false)
+            }
+            b'n' => {
+                self.eat_literal("null");
+                Json::Null
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() != b'}' {
+            loop {
+                let key = self.string();
+                self.eat(b':');
+                let val = self.value();
+                assert!(map.insert(key.clone(), val).is_none(), "duplicate key `{key}`");
+                if self.peek() != b',' {
+                    break;
+                }
+                self.eat(b',');
+            }
+        }
+        self.eat(b'}');
+        Json::Obj(map)
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() != b']' {
+            loop {
+                items.push(self.value());
+                if self.peek() != b',' {
+                    break;
+                }
+                self.eat(b',');
+            }
+        }
+        self.eat(b']');
+        Json::Arr(items)
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            assert!(self.pos < self.bytes.len(), "unterminated string");
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bytes[self.pos];
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => panic!("unsupported escape `\\{}`", other as char),
+                    });
+                    self.pos += 1;
+                }
+                b => {
+                    // The artifacts are ASCII; multi-byte UTF-8 would need
+                    // char-wise iteration.
+                    assert!(b.is_ascii(), "non-ascii byte in string at {}", self.pos);
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number `{text}` at byte {start}")))
+    }
+}
+
+fn read_artifact(name: &str) -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + name;
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed bench artifact {name} must be readable: {e}"));
+    Parser::parse(&text)
+}
+
+#[test]
+fn bench_sweep_artifact_matches_schema() {
+    let doc = read_artifact("BENCH_sweep.json");
+
+    // The keys the CI speedup gate greps for.
+    assert_eq!(doc.expect_key("workload").as_str(), "fig5_l1_iteration_sweep");
+    assert!(doc.expect_key("seed_path_s").as_num() > 0.0);
+    assert!(doc.expect_key("optimized_s").as_num() > 0.0);
+    assert!(doc.expect_key("speedup").as_num() > 0.0);
+    assert_eq!(doc.expect_key("points").as_num(), 6.0, "the fig5 grid has six cells");
+    doc.expect_key("quick").as_bool();
+
+    // The analytical pre-pruner section (PR 8): the pruned sweep must
+    // simulate a strict subset of the grid and reproduce the curve.
+    let pruned = doc.expect_key("pruned");
+    let total = pruned.expect_key("cells_total").as_num();
+    let simulated = pruned.expect_key("cells_simulated").as_num();
+    assert_eq!(total, 6.0, "pruning runs over the same fig5 grid");
+    assert!(simulated > 0.0 && simulated < total, "pruning must drop some cells, not all");
+    assert!(pruned.expect_key("unpruned_s").as_num() > 0.0);
+    assert!(pruned.expect_key("pruned_s").as_num() > 0.0);
+    assert!(pruned.expect_key("speedup").as_num() > 0.0);
+    assert!(
+        pruned.expect_key("max_ber_err").as_num() >= 0.0,
+        "curve-reproduction error must be recorded"
+    );
+}
+
+#[test]
+fn bench_arena_artifact_matches_schema() {
+    let doc = read_artifact("BENCH_arena.json");
+
+    assert!(!doc.expect_key("device").as_str().is_empty());
+    assert!(doc.expect_key("bits").as_num() >= 1.0);
+    assert_eq!(doc.expect_key("min_ber").as_num(), 0.2);
+
+    let defenses: Vec<&str> =
+        doc.expect_key("defenses").as_arr().iter().map(|d| d.as_str()).collect();
+    assert!(defenses.contains(&"none"), "the undefended baseline column is required");
+
+    let rows = doc.expect_key("rows").as_arr();
+    assert!(!rows.is_empty(), "arena matrix has no attacker rows");
+    let mut attackers = Vec::new();
+    for row in rows {
+        attackers.push(row.expect_key("attacker").as_str().to_string());
+        let cells = row.expect_key("cells").as_arr();
+        let cell_defenses: Vec<&str> =
+            cells.iter().map(|c| c.expect_key("defense").as_str()).collect();
+        assert_eq!(
+            cell_defenses, defenses,
+            "every attacker row must cover the defense columns in order"
+        );
+        for cell in cells {
+            // Shape of every cell the docs and CI gate read.
+            let ber = cell.expect_key("ber").as_num();
+            assert!((0.0..=1.0).contains(&ber), "BER {ber} out of range");
+            assert!(cell.expect_key("residual_kbps").as_num() >= 0.0);
+            cell.expect_key("delivered").as_bool();
+            // Fixed-strategy rows carry a defense verdict; the adaptive
+            // row leaves it null and records `final_family` instead.
+            match cell.expect_key("verdict") {
+                Json::Null => {}
+                Json::Str(verdict) => assert!(
+                    ["effective", "degraded", "ineffective"].contains(&verdict.as_str()),
+                    "unknown verdict `{verdict}`"
+                ),
+                other => panic!("`verdict` must be null or string, got {other:?}"),
+            }
+            cell.expect_key("fallback_escape").as_bool();
+            for nullable in ["final_family", "error"] {
+                match cell.expect_key(nullable) {
+                    Json::Null | Json::Str(_) => {}
+                    other => panic!("`{nullable}` must be null or string, got {other:?}"),
+                }
+            }
+            cell.expect_key("escalation").as_arr();
+        }
+    }
+    for required in ["l1", "sync", "atomic", "adaptive"] {
+        assert!(attackers.iter().any(|a| a == required), "attacker row `{required}` missing");
+    }
+}
+
+#[test]
+fn json_reader_handles_the_grammar_the_artifacts_use() {
+    let doc = Parser::parse(r#"{"a": [1, -2.5e1, "x\"y"], "b": {"c": null, "d": true}}"#);
+    assert_eq!(doc.expect_key("a").as_arr()[1].as_num(), -25.0);
+    assert_eq!(doc.expect_key("a").as_arr()[2].as_str(), "x\"y");
+    assert_eq!(doc.expect_key("b").expect_key("c"), &Json::Null);
+    assert!(doc.expect_key("b").expect_key("d").as_bool());
+}

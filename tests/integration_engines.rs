@@ -214,6 +214,63 @@ fn seed_golden_nvlink_with_faults_and_tracing() {
     assert_eq!(trace.len(), 384, "link transfer count diverged");
 }
 
+/// Every single-component defense the arena composes from, as specs.
+const SINGLE_DEFENSES: [&str; 3] = ["partition=2", "randsched=0xd1ce", "fuzz=4096"];
+
+/// Engine tuning with one defense lowered on top: the defended device must
+/// still be engine-equivalent — a defense changes what the simulation
+/// computes, never differently per engine.
+fn defended_tuning(mode: EngineMode, defense: &str) -> DeviceTuning {
+    let defense = gpgpu_spec::DefenseSpec::from_spec(defense).expect("defense spec parses");
+    DeviceTuning::from_defense(&defense)
+        .merge(tuning(mode))
+        .expect("defense and engine tunings touch disjoint knobs")
+}
+
+#[test]
+fn every_family_is_engine_equivalent_under_each_single_defense() {
+    let msg = Message::pseudo_random(8, 0xDEF);
+    for defense in SINGLE_DEFENSES {
+        let what = |family: &str| format!("{family} channel under {defense}");
+        assert_engines_agree(&what("l1"), |mode| {
+            let o = L1Channel::new(presets::tesla_k40c())
+                .with_tuning(defended_tuning(mode, defense))
+                .transmit(&msg)
+                .expect("l1 transmits (possibly garbled) under a defense");
+            fingerprint(&o)
+        });
+        // The synchronized protocol aborts decode under some defenses
+        // (inseparable pilot); abort-vs-outcome must itself be engine-stable.
+        let _ = assert_engines_agree(&what("sync"), |mode| {
+            SyncChannel::new(presets::tesla_k40c())
+                .with_tuning(defended_tuning(mode, defense))
+                .transmit(&msg)
+                .map(|o| fingerprint(&o))
+                .map_err(|e| e.to_string())
+        });
+        assert_engines_agree(&what("atomic"), |mode| {
+            let o = AtomicChannel::new(presets::tesla_k40c(), AtomicScenario::OneAddress)
+                .with_tuning(defended_tuning(mode, defense))
+                .transmit(&msg)
+                .expect("atomic transmits under a defense");
+            fingerprint(&o)
+        });
+        assert_engines_agree(&what("sfu"), |mode| {
+            let o = SfuChannel::new(presets::tesla_k40c())
+                .with_tuning(defended_tuning(mode, defense))
+                .transmit(&msg)
+                .expect("sfu transmits under a defense");
+            fingerprint(&o)
+        });
+        assert_engines_agree(&what("nvlink"), |mode| {
+            let ch = NvlinkChannel::new(TopologySpec::dual("kepler").expect("dual topology"))
+                .expect("channel builds")
+                .with_tuning(defended_tuning(mode, defense));
+            fingerprint(&ch.transmit(&msg).expect("nvlink transmits under a defense"))
+        });
+    }
+}
+
 #[test]
 fn nvlink_channel_under_mild_congestion_is_engine_equivalent() {
     // Link-congestion faults perturb the transfer schedule; the schedule is
