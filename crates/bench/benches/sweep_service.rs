@@ -1,0 +1,168 @@
+//! Resilient sweep service: cold vs warm-cache vs chaos-ridden wall clocks.
+//!
+//! Three runs of the same grid through `gpgpu_serve::SweepService`:
+//!
+//! 1. **cold** — fresh cache directory, every cell simulated;
+//! 2. **warm** — same directory again, every cell served from the
+//!    content-addressed cache;
+//! 3. **chaos** — fresh directory under a `ChaosPlan` that kills and stalls
+//!    workers, with the attempt budget sized so the run still converges.
+//!
+//! The matrix digest must be bit-identical across all three arms — the
+//! service's core determinism contract. On a quiet machine the warm run must
+//! be at least 5x faster than cold and the chaos run must stay under 2x the
+//! cold wall clock (injected failures abort before the simulation starts, so
+//! chaos costs supervision overhead, not repeated compute). The numbers are
+//! written to `BENCH_serve.json` for the CI gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_bench::quick;
+use gpgpu_serve::{ChaosPlan, SweepMatrix, SweepService};
+use gpgpu_spec::SweepRequest;
+use std::path::PathBuf;
+
+/// Minimum wall time of `reps` runs of `f` — the minimum is the scheduler-
+/// noise-robust estimator for a deterministic workload.
+fn min_wall(reps: usize, mut f: impl FnMut()) -> std::time::Duration {
+    (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+/// Fresh per-invocation scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gpgpu-bench-serve-{}-{tag}-{n}", std::process::id()))
+}
+
+fn run_grid(spec: &str, dir: &PathBuf, chaos: Option<ChaosPlan>) -> SweepMatrix {
+    let request = SweepRequest::from_spec(spec).expect("bench grid parses");
+    let mut service = SweepService::new(request)
+        .expect("bench grid resolves")
+        .with_cache_dir(dir)
+        .expect("scratch cache dir opens")
+        .with_backoff_base_ms(0);
+    if let Some(plan) = chaos {
+        service = service.with_chaos(plan).with_max_attempts(plan.attempts_to_converge());
+    }
+    let matrix = service.run().expect("sweep completes");
+    assert!(matrix.is_complete(), "every cell must produce a result:\n{}", matrix.render());
+    matrix
+}
+
+fn bench(c: &mut Criterion) {
+    // 2 devices x 3 families x 2 iteration points x 2 fault plans = 24 cells
+    // (12 in quick mode). Enough simulated work per cell that reading the
+    // cache back is dramatically cheaper than recomputing.
+    let spec = if quick() {
+        "device=kepler;family=l1+sync+atomic;iters=8+16;bits=16;seed=0x5eed;\
+         faults=none|seed=7,intensity=0.5,kinds=evict+storm"
+    } else {
+        "device=kepler+maxwell;family=l1+sync+atomic;iters=16+32;bits=24;seed=0x5eed;\
+         faults=none|seed=7,intensity=0.5,kinds=evict+storm"
+    };
+    let chaos =
+        ChaosPlan::from_spec("seed=0xC4A05,kills=2,stalls=1,corrupt=0").expect("chaos plan parses");
+    let reps = if quick() { 2 } else { 3 };
+
+    // Reference digests: one clean cold run, its warm replay, and a
+    // chaos-ridden cold run — all three must agree bit for bit.
+    let cold_dir = scratch("ref");
+    let cold = run_grid(spec, &cold_dir, None);
+    let cells = cold.outcomes.len();
+    assert_eq!(cold.stats.computed, cells, "reference cold run computes everything");
+    let warm = run_grid(spec, &cold_dir, None);
+    assert_eq!(warm.stats.cached, cells, "warm replay is served entirely from cache");
+    let chaos_dir = scratch("chaos");
+    let stormy = run_grid(spec, &chaos_dir, Some(chaos));
+    assert_eq!(stormy.stats.failed, 0, "the sized attempt budget converges every cell");
+    let digests_identical = warm.digest() == cold.digest() && stormy.digest() == cold.digest();
+    assert!(
+        digests_identical,
+        "matrix digests diverged: cold {:#018x} warm {:#018x} chaos {:#018x}",
+        cold.digest(),
+        warm.digest(),
+        stormy.digest()
+    );
+    let warm_hit_rate = warm.stats.cached as f64 / cells as f64;
+    let chaos_retries = stormy.stats.retries;
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+
+    // Wall clocks, min-of-N. Cold and chaos reps each need a virgin cache
+    // directory; the warm reps deliberately share the populated one.
+    let cold_wall = min_wall(reps, || {
+        let dir = scratch("cold");
+        run_grid(spec, &dir, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    let warm_wall = min_wall(reps, || {
+        run_grid(spec, &cold_dir, None);
+    });
+    let chaos_wall = min_wall(reps, || {
+        let dir = scratch("storm");
+        run_grid(spec, &dir, Some(chaos));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    let _ = std::fs::remove_dir_all(&cold_dir);
+
+    let cold_s = cold_wall.as_secs_f64();
+    let warm_s = warm_wall.as_secs_f64();
+    let chaos_s = chaos_wall.as_secs_f64();
+    let warm_speedup = cold_s / warm_s;
+    let chaos_overhead = chaos_s / cold_s;
+    println!(
+        "sweep_service: {cells} cells, cold {cold_s:.4}s, warm {warm_s:.4}s \
+         ({warm_speedup:.1}x), chaos {chaos_s:.4}s ({chaos_overhead:.2}x, \
+         {chaos_retries} retries), digests identical"
+    );
+    if quick() {
+        // Quick mode (CI smoke) runs on noisy shared runners; skip the
+        // wall-clock magnitude asserts there like robustness_sweep does.
+        // The digest-identity asserts above always run.
+        println!("sweep_service: quick mode, timing asserts skipped");
+    } else {
+        assert!(
+            warm_speedup >= 5.0,
+            "a warm cache must be at least 5x faster than recomputing, got {warm_speedup:.2}x"
+        );
+        assert!(
+            chaos_overhead < 2.0,
+            "chaos supervision must stay under 2x the clean wall clock, got {chaos_overhead:.2}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": \"resilient_sweep_service\",\n  \"cells\": {cells},\n  \
+         \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \
+         \"warm_speedup\": {warm_speedup:.4},\n  \"warm_hit_rate\": {warm_hit_rate:.4},\n  \
+         \"chaos_s\": {chaos_s:.6},\n  \"chaos_overhead\": {chaos_overhead:.4},\n  \
+         \"chaos_retries\": {chaos_retries},\n  \"digests_identical\": {digests_identical},\n  \
+         \"quick\": {}\n}}\n",
+        quick()
+    );
+    // Anchor at the workspace root regardless of the bench's cwd (cargo
+    // runs benches from the package directory).
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, json).expect("BENCH_serve.json is writable");
+
+    c.bench_function("sweep_service_warm_replay", |b| {
+        let dir = scratch("crit");
+        run_grid(spec, &dir, None);
+        b.iter(|| run_grid(spec, &dir, None));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

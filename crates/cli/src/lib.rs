@@ -45,6 +45,9 @@ commands:
   characterize                extract the per-op latency table and per-family
                               analytical models from the cycle engine
                               (--out dumps the table; --table verifies a dump)
+  sweep                       run a --request grid through the supervised sweep
+                              service: content-addressed result cache, crash-safe
+                              journal resume, typed per-cell outcome matrix
 
 options:
   --device <fermi|kepler|maxwell>   target preset (default kepler)
@@ -71,6 +74,14 @@ options:
                                     (characterize only; default: stdout)
   --table <path>                    load a characterization dump, verify it round-trips
                                     (characterize only)
+  --request <spec>                  sweep grid (sweep only; default `default`), e.g.
+                                    device=kepler+fermi;family=l1+atomic;iters=4+20;bits=8
+  --cache-dir <path>                content-addressed result cache directory (sweep only);
+                                    also holds the run journal at <path>/journal.log
+  --resume                          resume the journal in --cache-dir after an
+                                    interrupted sweep (sweep only; requires --cache-dir)
+  --chaos <spec>                    seeded chaos schedule for resilience drills
+                                    (sweep only), e.g. seed=7,kills=2,stalls=1,corrupt=3
 ";
 
 /// Which subcommand to run.
@@ -104,6 +115,9 @@ pub enum Command {
     /// Extract (or verify) the analytical model's latency table from the
     /// cycle engine.
     Characterize,
+    /// Supervised sweep service: run a grid request through the resilient
+    /// job engine with caching, journaling and chaos drills.
+    Sweep,
     /// Print usage.
     Help,
 }
@@ -150,6 +164,16 @@ pub struct Args {
     /// Characterization dump to load and round-trip-verify
     /// (`characterize` only).
     pub table: Option<String>,
+    /// Sweep grid spec (`sweep` only), validated at parse time against
+    /// [`gpgpu_spec::SweepRequest::from_spec`]; `None` means `default`.
+    pub request: Option<String>,
+    /// Result-cache directory (`sweep` only); also hosts the run journal.
+    pub cache_dir: Option<String>,
+    /// Resume the journal in `--cache-dir` (`sweep` only).
+    pub resume: bool,
+    /// Chaos schedule spec (`sweep` only), validated at parse time against
+    /// [`gpgpu_serve::ChaosPlan::from_spec`].
+    pub chaos: Option<String>,
 }
 
 impl Args {
@@ -175,6 +199,10 @@ impl Args {
             engine: None,
             out: None,
             table: None,
+            request: None,
+            cache_dir: None,
+            resume: false,
+            chaos: None,
         };
         let mut it = argv.iter().peekable();
         let cmd = it.next().ok_or("missing command")?;
@@ -224,6 +252,22 @@ impl Args {
                 "--table" => {
                     args.table = Some(it.next().ok_or("--table needs a path")?.clone());
                 }
+                "--request" => {
+                    let v = it.next().ok_or("--request needs a spec")?;
+                    gpgpu_spec::SweepRequest::from_spec(v)
+                        .map_err(|e| format!("invalid --request spec: {e}"))?;
+                    args.request = Some(v.clone());
+                }
+                "--cache-dir" => {
+                    args.cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+                }
+                "--resume" => args.resume = true,
+                "--chaos" => {
+                    let v = it.next().ok_or("--chaos needs a spec")?;
+                    gpgpu_serve::ChaosPlan::from_spec(v)
+                        .map_err(|e| format!("invalid --chaos spec: {e}"))?;
+                    args.chaos = Some(v.clone());
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other:?}"));
                 }
@@ -246,6 +290,7 @@ impl Args {
             "nvlink" => Command::Nvlink,
             "arena" => Command::Arena,
             "characterize" => Command::Characterize,
+            "sweep" => Command::Sweep,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}")),
         };
@@ -295,6 +340,18 @@ impl Args {
         }
         if args.out.is_some() && args.table.is_some() {
             return Err("--out and --table are mutually exclusive".to_string());
+        }
+        if args.command != Command::Sweep
+            && (args.request.is_some()
+                || args.cache_dir.is_some()
+                || args.resume
+                || args.chaos.is_some())
+        {
+            return Err("--request/--cache-dir/--resume/--chaos only apply to the sweep command"
+                .to_string());
+        }
+        if args.resume && args.cache_dir.is_none() {
+            return Err("--resume needs --cache-dir (the journal lives there)".to_string());
         }
         Ok(args)
     }
@@ -762,6 +819,38 @@ pub fn run(args: &Args) -> Result<String, String> {
                 }
             }
         },
+        Command::Sweep => {
+            let request =
+                gpgpu_spec::SweepRequest::from_spec(args.request.as_deref().unwrap_or("default"))
+                    .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "sweep request: {}", request.to_spec());
+            let mut service = gpgpu_serve::SweepService::new(request).map_err(|e| e.to_string())?;
+            if let Some(dir) = &args.cache_dir {
+                service = service.with_cache_dir(dir).map_err(|e| e.to_string())?;
+                let journal = std::path::Path::new(dir).join("journal.log");
+                service = service.with_journal(journal, args.resume);
+                let _ = writeln!(
+                    out,
+                    "cache: {dir} (journal {})",
+                    if args.resume { "resumed" } else { "fresh" }
+                );
+            }
+            if let Some(spec) = &args.chaos {
+                let chaos = gpgpu_serve::ChaosPlan::from_spec(spec)?;
+                service = service
+                    .with_chaos(chaos)
+                    .with_max_attempts(chaos.attempts_to_converge())
+                    .with_backoff_base_ms(0);
+                let _ = writeln!(
+                    out,
+                    "chaos: {} (attempt budget {})",
+                    chaos,
+                    chaos.attempts_to_converge()
+                );
+            }
+            let matrix = service.run().map_err(|e| e.to_string())?;
+            out.push_str(&matrix.render());
+        }
     }
     if args.stats {
         let _ = writeln!(out, "engine: {engine}");
@@ -1221,6 +1310,73 @@ mod tests {
         }
         assert!(Args::parse(&argv("characterize --out")).is_err());
         assert!(Args::parse(&argv("characterize --table")).is_err());
+    }
+
+    #[test]
+    fn sweep_flag_accept_reject_matrix() {
+        assert!(Args::parse(&argv("sweep")).is_ok());
+        assert!(Args::parse(&argv("sweep --request device=kepler;family=l1;iters=4")).is_ok());
+        assert!(Args::parse(&argv("sweep --cache-dir /tmp/c")).is_ok());
+        assert!(Args::parse(&argv("sweep --cache-dir /tmp/c --resume")).is_ok());
+        assert!(Args::parse(&argv("sweep --chaos seed=7,kills=2")).is_ok());
+        // Bad sub-specs fail at parse time with the grammar's reason.
+        let err = Args::parse(&argv("sweep --request family=l3")).unwrap_err();
+        assert!(err.contains("invalid --request spec"), "{err}");
+        let err = Args::parse(&argv("sweep --chaos kills=banana")).unwrap_err();
+        assert!(err.contains("invalid --chaos spec"), "{err}");
+        // --resume without a cache directory has no journal to resume.
+        let err = Args::parse(&argv("sweep --resume")).unwrap_err();
+        assert!(err.contains("--resume needs --cache-dir"), "{err}");
+        // Sweep flags are rejected everywhere else.
+        for cmd in ["zoo", "l1", "arena"] {
+            let err = Args::parse(&argv(&format!("{cmd} --cache-dir /tmp/c"))).unwrap_err();
+            assert!(err.contains("only apply to the sweep command"), "{cmd}: {err}");
+        }
+        assert!(Args::parse(&argv("sweep --request")).is_err());
+        assert!(Args::parse(&argv("sweep --cache-dir")).is_err());
+        assert!(Args::parse(&argv("sweep --chaos")).is_err());
+    }
+
+    #[test]
+    fn sweep_command_prints_the_matrix_and_digest() {
+        let a = Args::parse(&argv("sweep --request device=kepler;family=l1+atomic;iters=4;bits=8"))
+            .unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("sweep request: device=kepler;family=l1+atomic"), "{out}");
+        assert!(out.contains("cells=2 computed=2"), "{out}");
+        assert!(out.contains("matrix digest 0x"), "{out}");
+    }
+
+    #[test]
+    fn sweep_warm_cache_and_chaos_reproduce_the_digest() {
+        let dir = std::env::temp_dir().join(format!("gpgpu-cli-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let request = "--request device=kepler;family=l1;iters=4+8;bits=8";
+        let digest_of = |out: &str| {
+            out.lines()
+                .find_map(|l| l.strip_prefix("matrix digest "))
+                .map(str::to_string)
+                .expect("digest line")
+        };
+        let cold =
+            run(&Args::parse(&argv(&format!("sweep {request} --cache-dir {}", dir.display())))
+                .unwrap())
+            .unwrap();
+        assert!(cold.contains("computed=2"), "{cold}");
+        let warm = run(&Args::parse(&argv(&format!(
+            "sweep {request} --cache-dir {} --resume",
+            dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(warm.contains("resumed=2"), "the journal resumes the finished run: {warm}");
+        let chaotic =
+            run(&Args::parse(&argv(&format!("sweep {request} --chaos seed=3,kills=2,stalls=1")))
+                .unwrap())
+            .unwrap();
+        assert_eq!(digest_of(&cold), digest_of(&warm));
+        assert_eq!(digest_of(&cold), digest_of(&chaotic), "{chaotic}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

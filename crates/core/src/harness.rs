@@ -126,21 +126,62 @@ pub enum TrialError {
         /// The cycle budget that was exhausted.
         budget: u64,
     },
+    /// A multi-GPU link's transfer queue exceeded its limit
+    /// ([`gpgpu_sim::SimError::LinkSaturated`] — a congestion storm or an
+    /// over-aggressive trojan, deterministic for a given cell).
+    LinkSaturated {
+        /// The saturated link index.
+        link: usize,
+        /// The queue delay that exceeded the limit.
+        queue_cycles: u64,
+    },
+    /// Two defense components lowered conflicting values onto one tuning
+    /// knob ([`gpgpu_sim::SimError::TuningConflict`]).
+    TuningConflict {
+        /// The contested tuning knob.
+        field: &'static str,
+    },
+    /// The trial was configured in a way the channel cannot run (a
+    /// [`CovertError::Config`] — e.g. an nvlink cell without a topology, or
+    /// an analytical-model probe on an unsupported family).
+    Misconfigured {
+        /// Human-readable description of the configuration problem.
+        reason: String,
+    },
     /// Any other [`CovertError`], stringified.
     Failed(String),
 }
 
 impl TrialError {
-    /// Classifies a [`CovertError`] from a trial: cycle-limit overruns
-    /// become [`TrialError::DeadlineExceeded`], everything else
-    /// [`TrialError::Failed`].
+    /// Classifies a [`CovertError`] from a trial into the most precise
+    /// variant available: cycle-limit overruns become
+    /// [`TrialError::DeadlineExceeded`], link saturation and tuning
+    /// conflicts keep their typed payloads, configuration problems become
+    /// [`TrialError::Misconfigured`], and only genuinely unclassified
+    /// errors fall through to [`TrialError::Failed`].
     pub fn from_covert(e: &CovertError) -> Self {
         match e {
             CovertError::Sim(gpgpu_sim::SimError::CycleLimitExceeded { limit }) => {
                 TrialError::DeadlineExceeded { budget: *limit }
             }
+            CovertError::Sim(gpgpu_sim::SimError::LinkSaturated { link, queue_cycles }) => {
+                TrialError::LinkSaturated { link: *link, queue_cycles: *queue_cycles }
+            }
+            CovertError::Sim(gpgpu_sim::SimError::TuningConflict { field, .. }) => {
+                TrialError::TuningConflict { field }
+            }
+            CovertError::Config { reason } => TrialError::Misconfigured { reason: reason.clone() },
             other => TrialError::Failed(other.to_string()),
         }
+    }
+
+    /// Whether a supervisor should retry a trial that died with this error.
+    /// Panics and deadline overruns are *transient* (a crashed or stalled
+    /// worker says nothing about the cell itself); everything else is a
+    /// deterministic property of the cell and will fail identically on
+    /// every attempt, so retrying only burns the attempt budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TrialError::Panicked { .. } | TrialError::DeadlineExceeded { .. })
     }
 }
 
@@ -151,12 +192,39 @@ impl fmt::Display for TrialError {
             TrialError::DeadlineExceeded { budget } => {
                 write!(f, "trial exceeded its {budget}-cycle deadline")
             }
+            TrialError::LinkSaturated { link, queue_cycles } => {
+                write!(f, "trial saturated link {link} (transfer queued {queue_cycles} cycles)")
+            }
+            TrialError::TuningConflict { field } => {
+                write!(f, "trial tuning conflict on `{field}`")
+            }
+            TrialError::Misconfigured { reason } => write!(f, "trial misconfigured: {reason}"),
             TrialError::Failed(msg) => write!(f, "trial failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for TrialError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) over `bytes`.
+///
+/// The shared integrity primitive for the workspace's crash-safe file
+/// formats: [`TrialRunner::run_checkpointed`] lines and the `gpgpu-serve`
+/// result-cache entries both carry one, so a flipped byte anywhere in a
+/// stored payload is *detected* (typed error, recompute) instead of being
+/// resumed as silently-wrong data. Bitwise (no table): these files are
+/// small and cold, clarity wins.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Stringifies a panic payload (the `&str` / `String` payloads `panic!`
 /// produces; anything else becomes a placeholder).
@@ -397,11 +465,14 @@ impl TrialRunner {
     /// interrupted sweep resumes instead of recomputing: completed trials
     /// are appended to the file (header + one `encode`d line per trial, in
     /// index order, flushed as the contiguous done-prefix grows), and on
-    /// the next call with the same `path` every line that `decode`s is
-    /// trusted and only the remainder is run. The header pins the base
-    /// seed and trial count, so a checkpoint can never silently resume a
-    /// *different* sweep; an undecodable tail (torn write at the moment of
-    /// a crash) is discarded and recomputed.
+    /// the next call with the same `path` the contiguous prefix of intact
+    /// lines is trusted and only the remainder is run. The header pins the
+    /// base seed and trial count, so a checkpoint can never silently resume
+    /// a *different* sweep; each result line is prefixed with its
+    /// [`crc32`], so a torn tail (crash mid-write) *and* a byte flipped at
+    /// rest (disk rot, hostile edit) both end the trusted prefix instead of
+    /// being resumed as silently-wrong data — `decode` alone could accept a
+    /// corrupted-but-parseable number.
     ///
     /// `encode` must produce a single line (no `\n`).
     ///
@@ -432,10 +503,21 @@ impl TrialRunner {
     {
         use std::io::Write;
         let header =
-            format!("gpgpu-sweep-checkpoint v1 base_seed={:#018x} trials={trials}", self.base_seed);
+            format!("gpgpu-sweep-checkpoint v2 base_seed={:#018x} trials={trials}", self.base_seed);
+        // A stored line is `<crc32 hex> <payload>`; only payloads whose
+        // checksum verifies are offered to `decode`.
+        let armor = |payload: &str| format!("{:08x} {payload}", crc32(payload.as_bytes()));
+        let disarm = |line: &str| -> Option<String> {
+            let (crc_hex, payload) = line.split_once(' ')?;
+            let stored = u32::from_str_radix(crc_hex, 16).ok()?;
+            (crc_hex.len() == 8 && stored == crc32(payload.as_bytes())).then(|| payload.to_string())
+        };
         let mut done: Vec<T> = Vec::new();
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
+        // Read lossily: corruption that breaks UTF-8 should end the trusted
+        // prefix at that line (its CRC cannot verify), not fail the resume.
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
                 let mut lines = text.lines();
                 match lines.next() {
                     Some(h) if h == header => {
@@ -443,7 +525,7 @@ impl TrialRunner {
                             if done.len() >= trials {
                                 break;
                             }
-                            match decode(line) {
+                            match disarm(line).and_then(|payload| decode(&payload)) {
                                 Some(v) => done.push(v),
                                 None => break,
                             }
@@ -465,7 +547,7 @@ impl TrialRunner {
         let mut writer = std::io::BufWriter::new(std::fs::File::create(path)?);
         writeln!(writer, "{header}")?;
         for v in &done {
-            writeln!(writer, "{}", encode(v))?;
+            writeln!(writer, "{}", armor(&encode(v)))?;
         }
         writer.flush()?;
         let resumed_at = done.len();
@@ -501,7 +583,7 @@ impl TrialRunner {
                         match slot.as_ref() {
                             Some(Ok(v)) => {
                                 if err.is_none() {
-                                    let line = encode(v);
+                                    let line = armor(&encode(v));
                                     if let Err(e) =
                                         writeln!(writer, "{line}").and_then(|()| writer.flush())
                                     {
@@ -801,5 +883,83 @@ mod tests {
         let err = a.run_checkpointed(8, &path, enc, dec, |t| t.seed).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn checkpoint_rejects_a_flipped_byte_not_just_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("gpgpu-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flip.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let r = TrialRunner::sequential().with_workers(2).with_base_seed(3);
+        let enc = |v: &u64| v.to_string();
+        let dec = |s: &str| s.parse::<u64>().ok();
+        let full = r.run_checkpointed(6, &path, enc, dec, |t| t.seed).unwrap();
+
+        // Flip one digit inside the *third* stored payload. The corrupted
+        // line still parses as a number, so a CRC-less resume would have
+        // accepted a silently-wrong value; the armor must end the trusted
+        // prefix there instead.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut bytes = lines[3].clone().into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = if bytes[last] == b'0' { b'1' } else { b'0' };
+        lines[3] = String::from_utf8(bytes).unwrap();
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let computed = AtomicUsize::new(0);
+        let resumed = r
+            .run_checkpointed(6, &path, enc, dec, |t| {
+                computed.fetch_add(1, Ordering::Relaxed);
+                t.seed
+            })
+            .unwrap();
+        assert_eq!(resumed, full, "resume reproduces the uncorrupted batch");
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            4,
+            "the intact 2-line prefix is trusted, the corrupt line and after recompute"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_covert_keeps_typed_payloads() {
+        use gpgpu_sim::SimError;
+        let e = TrialError::from_covert(&CovertError::Sim(SimError::LinkSaturated {
+            link: 2,
+            queue_cycles: 77,
+        }));
+        assert_eq!(e, TrialError::LinkSaturated { link: 2, queue_cycles: 77 });
+        let e = TrialError::from_covert(&CovertError::Sim(SimError::TuningConflict {
+            field: "partitions",
+            ours: "2".into(),
+            theirs: "4".into(),
+        }));
+        assert_eq!(e, TrialError::TuningConflict { field: "partitions" });
+        let e = TrialError::from_covert(&CovertError::Config { reason: "no topology".into() });
+        assert_eq!(e, TrialError::Misconfigured { reason: "no topology".into() });
+        // Unclassified errors still fall through to the stringly variant.
+        let e = TrialError::from_covert(&CovertError::ProtocolDesync { expected: 4, got: 2 });
+        assert!(matches!(e, TrialError::Failed(_)));
+    }
+
+    #[test]
+    fn only_crashes_and_stalls_are_transient() {
+        assert!(TrialError::Panicked { message: "boom".into() }.is_transient());
+        assert!(TrialError::DeadlineExceeded { budget: 1 }.is_transient());
+        assert!(!TrialError::LinkSaturated { link: 0, queue_cycles: 1 }.is_transient());
+        assert!(!TrialError::TuningConflict { field: "x" }.is_transient());
+        assert!(!TrialError::Misconfigured { reason: "y".into() }.is_transient());
+        assert!(!TrialError::Failed("z".into()).is_transient());
     }
 }

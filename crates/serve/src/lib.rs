@@ -1,0 +1,48 @@
+//! # gpgpu-serve — resilient sweep service
+//!
+//! A supervised job engine over the [`gpgpu_covert::harness`] worker pool,
+//! turning one [`SweepRequest`](gpgpu_spec::SweepRequest) — a grid of
+//! (device × channel family × fault plan × defense × symbol time) cells —
+//! into a typed [`SweepMatrix`], with the robustness layers a long
+//! unattended characterization campaign needs:
+//!
+//! * [`engine`] — the [`SweepService`]: sharding, panic/stall/overrun
+//!   supervision, seeded-exponential-backoff retries with a capped attempt
+//!   budget, fail-fast on deterministic errors, and graceful per-cell
+//!   degradation (a dead cell is a typed outcome, never an abort);
+//! * [`cache`] — the crash-safe content-addressed [`ResultCache`]:
+//!   atomic-rename entries, CRC-32 + key-echo verification, quarantine and
+//!   recompute on corruption;
+//! * [`journal`] — the append-only run [`Journal`] for hard-kill resume,
+//!   trusting only the contiguous prefix of CRC-intact lines;
+//! * [`chaos`] — the seeded [`ChaosPlan`] fault schedule (kills, stalls,
+//!   cache rot) whose structural convergence bound lets tests assert a
+//!   chaos-ridden sweep is *bit-identical* to a clean one.
+//!
+//! Everything rests on the workspace's determinism contract: a cell result
+//! is a pure function of its canonical spec string, which is therefore also
+//! its cache key.
+//!
+//! ```
+//! use gpgpu_serve::SweepService;
+//! use gpgpu_spec::SweepRequest;
+//!
+//! let request = SweepRequest::from_spec("device=kepler;family=l1+atomic;iters=8;bits=8")?;
+//! let matrix = SweepService::new(request)?.run()?;
+//! assert!(matrix.is_complete());
+//! assert_eq!(matrix.outcomes.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cache;
+pub mod chaos;
+pub mod engine;
+pub mod journal;
+
+pub use cache::{fnv1a64, CacheError, CacheErrorKind, CellResult, ResultCache};
+pub use chaos::{ChaosEvent, ChaosPlan};
+pub use engine::{CellOutcome, CellStatus, ServeError, ServiceStats, SweepMatrix, SweepService};
+pub use journal::{Journal, JournalError, JournalRecovery};

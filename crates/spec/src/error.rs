@@ -48,6 +48,13 @@ pub enum SpecError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A sweep-request spec string is malformed (unknown field, empty or
+    /// duplicated axis value, unknown device/family, or an invalid nested
+    /// defense/topology sub-spec).
+    InvalidSweep {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -70,6 +77,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::InvalidDefense { reason } => {
                 write!(f, "invalid defense: {reason}")
+            }
+            SpecError::InvalidSweep { reason } => {
+                write!(f, "invalid sweep request: {reason}")
             }
         }
     }

@@ -41,6 +41,7 @@ pub mod launch;
 pub mod mem;
 pub mod presets;
 pub mod sm;
+pub mod sweep;
 pub mod topology;
 
 pub use arch::{Architecture, FuOpKind, FuUnit};
@@ -52,6 +53,7 @@ pub use fu::{FuPools, FuTiming};
 pub use launch::{BlockResources, LaunchConfig};
 pub use mem::MemorySpec;
 pub use sm::SmSpec;
+pub use sweep::{SweepCell, SweepRequest};
 pub use topology::{LinkSpec, TopologySpec};
 
 /// Number of threads in a warp. Constant across every NVIDIA architecture

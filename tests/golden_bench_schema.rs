@@ -1,7 +1,7 @@
 //! Golden schema tests for the committed bench artifacts.
 //!
-//! CI gates parse `BENCH_sweep.json` and `BENCH_arena.json` with ad-hoc
-//! python; nothing used to pin their *shape*, so a bench refactor could
+//! CI gates parse `BENCH_sweep.json`, `BENCH_arena.json` and
+//! `BENCH_serve.json` with ad-hoc python; nothing used to pin their *shape*, so a bench refactor could
 //! silently drop a key and the gates would fail far from the change (or
 //! worse, pass vacuously). These tests parse the committed artifacts with a
 //! small hand-rolled JSON reader (the workspace deliberately has no JSON
@@ -298,6 +298,30 @@ fn bench_arena_artifact_matches_schema() {
     for required in ["l1", "sync", "atomic", "adaptive"] {
         assert!(attackers.iter().any(|a| a == required), "attacker row `{required}` missing");
     }
+}
+
+#[test]
+fn bench_serve_artifact_matches_schema() {
+    let doc = read_artifact("BENCH_serve.json");
+
+    assert_eq!(doc.expect_key("workload").as_str(), "resilient_sweep_service");
+    assert!(doc.expect_key("cells").as_num() >= 12.0, "the bench grid has at least a dozen cells");
+    assert!(doc.expect_key("cold_s").as_num() > 0.0);
+    assert!(doc.expect_key("warm_s").as_num() > 0.0);
+    // The CI gate asserts the warm replay is not slower than computing;
+    // the committed artifact comes from a full (non-quick) run where the
+    // bench itself enforces >= 5x.
+    assert!(doc.expect_key("warm_speedup").as_num() > 0.0);
+    let hit_rate = doc.expect_key("warm_hit_rate").as_num();
+    assert!((0.0..=1.0).contains(&hit_rate), "hit rate {hit_rate} out of range");
+    assert!(doc.expect_key("chaos_s").as_num() > 0.0);
+    assert!(doc.expect_key("chaos_overhead").as_num() > 0.0);
+    assert!(doc.expect_key("chaos_retries").as_num() >= 0.0);
+    assert!(
+        doc.expect_key("digests_identical").as_bool(),
+        "cold, warm and chaos matrices must digest identically"
+    );
+    doc.expect_key("quick").as_bool();
 }
 
 #[test]
