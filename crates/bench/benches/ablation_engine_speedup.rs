@@ -32,7 +32,10 @@
 //!    grid cells sit in the BER transition band; only those are simulated,
 //!    the rest are filled from the closed form. Simulated cells must be
 //!    bit-identical to the unpruned sweep, filled cells within the
-//!    analytical BER band, and the pruned sweep must not be slower.
+//!    analytical BER band, and the pruned sweep must not be slower. The
+//!    same contract is then replayed on the sub-core Ampere device and
+//!    recorded under the `ampere` key of `BENCH_sweep.json` (model fit +
+//!    verdict agreement on the modern core).
 //! 7. **Zero-alloc trials**: a counting global allocator proves that after
 //!    the first (warmup) trial, a `reset_for_trial` + launch +
 //!    `run_until_idle` + borrowed-records readback loop performs zero heap
@@ -348,15 +351,60 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    // --- 6b. The same pruned-sweep contract on the sub-core Ampere device:
+    // the arch-generic characterization must fit the modern core well enough
+    // that filled cells stay in the BER band and no confident verdict flips.
+    let ampere_model = AnalyticalModel::characterize_families(&presets::rtx_a4000(), &["l1"])
+        .expect("ampere l1 characterization succeeds");
+    let ampere_channel = L1Channel::new(presets::rtx_a4000())
+        .with_tuning(DeviceTuning { engine: EngineMode::EventDriven, ..DeviceTuning::none() });
+    let ampere_unpruned =
+        ampere_channel.error_rate_sweep_on(&runner, &sweep_msg, &grid).expect("ampere sweep runs");
+    let (ampere_pruned, ampere_mask) = ampere_model
+        .pruned_error_rate_sweep(&runner, &ampere_channel, "l1", &sweep_msg, &grid)
+        .expect("ampere pruned sweep runs");
+    let ampere_simulated = ampere_mask.iter().filter(|&&keep| keep).count();
+    let mut ampere_max_ber_err: f64 = 0.0;
+    let mut ampere_verdicts_agree = true;
+    for (i, &keep) in ampere_mask.iter().enumerate() {
+        if keep {
+            assert_eq!(
+                ampere_unpruned[i], ampere_pruned[i],
+                "an ampere simulated cell must be bit-identical to the unpruned sweep"
+            );
+        } else {
+            ampere_max_ber_err =
+                ampere_max_ber_err.max((ampere_unpruned[i].1 - ampere_pruned[i].1).abs());
+            let confident = ampere_unpruned[i].1 <= 0.05 || ampere_unpruned[i].1 >= 0.35;
+            if confident && ((ampere_unpruned[i].1 > 0.2) != (ampere_pruned[i].1 > 0.2)) {
+                ampere_verdicts_agree = false;
+            }
+        }
+    }
+    assert!(
+        ampere_max_ber_err <= 0.12,
+        "an ampere model-filled cell left the analytical BER band: {ampere_max_ber_err:.4}"
+    );
+    assert!(ampere_verdicts_agree, "an ampere filled cell flipped a confident verdict");
+    println!(
+        "ablation: ampere fig5 sweep {ampere_simulated}/{} cells simulated, \
+         max filled-cell BER error {ampere_max_ber_err:.4}, verdict agreement: yes",
+        grid.len()
+    );
+
     let json = format!(
         "{{\n  \"workload\": \"fig5_l1_iteration_sweep\",\n  \"seed_path_s\": {seed_s:.6},\n  \
          \"optimized_s\": {opt_s:.6},\n  \"speedup\": {core_speedup:.4},\n  \
          \"points\": {},\n  \"quick\": {},\n  \"pruned\": {{\n    \"cells_total\": {},\n    \
          \"cells_simulated\": {cells_simulated},\n    \"unpruned_s\": {unpruned_s:.6},\n    \
          \"pruned_s\": {pruned_s:.6},\n    \"speedup\": {pruned_speedup:.4},\n    \
-         \"max_ber_err\": {max_ber_err:.6}\n  }}\n}}\n",
+         \"max_ber_err\": {max_ber_err:.6}\n  }},\n  \"ampere\": {{\n    \"device\": \"RTX A4000\",\n    \
+         \"cells_total\": {},\n    \"cells_simulated\": {ampere_simulated},\n    \
+         \"max_ber_err\": {ampere_max_ber_err:.6},\n    \
+         \"verdicts_agree\": {ampere_verdicts_agree}\n  }}\n}}\n",
         seed_pts.len(),
         quick(),
+        grid.len(),
         grid.len()
     );
     // Anchor at the workspace root regardless of the bench's cwd (cargo

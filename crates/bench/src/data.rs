@@ -44,12 +44,12 @@ pub fn fig03() -> Vec<(f64, f64)> {
 
 /// Figure 4: baseline cache-channel bandwidth, L1 and L2 on all three GPUs.
 /// Paper values: L1 = 33/42/42 Kbps (also Table 2 column 1); L2 ~ 20 Kbps
-/// on Kepler.
+/// on Kepler. Paper-figure comparison: runs on the paper trio only.
 pub fn fig04(bits: usize) -> Vec<Row> {
     let m = msg(bits);
     let paper_l1 = [33.0, 42.0, 42.0];
     let paper_l2 = [None, Some(20.0), None];
-    let specs = presets::all();
+    let specs = presets::paper_trio();
     // One independent device pair per GPU: fan across the trial harness.
     TrialRunner::new()
         .map(&specs, |t, spec| {
@@ -83,7 +83,7 @@ pub fn fig04(bits: usize) -> Vec<Row> {
 /// Fanned across the trial harness like [`fig04`], then merged.
 pub fn engine_stats(bits: usize) -> gpgpu_sim::SimStats {
     let m = msg(bits);
-    let specs = presets::all();
+    let specs = presets::paper_trio();
     let per_device = TrialRunner::new().map(&specs, |_, spec| {
         let mut s = gpgpu_sim::SimStats::default();
         s.merge(&L1Channel::new(spec.clone()).transmit(&m).expect("L1 transmits").stats);
@@ -117,7 +117,7 @@ pub fn fu_curve(spec: &DeviceSpec, op: FuOpKind, max_warps: u32) -> Vec<(f64, f6
 /// quotes in Section 5.2 (41/18/15 cycles for `__sinf`).
 pub fn fig06_base_latency_rows() -> Vec<Row> {
     let paper = [41.0, 18.0, 15.0];
-    presets::all()
+    presets::paper_trio()
         .into_iter()
         .zip(paper)
         .map(|(spec, p)| {
@@ -141,7 +141,7 @@ pub fn table1() -> Vec<Row> {
         ("Tesla K40C (Kepler)", [4.0, 8.0, 192.0, 64.0, 32.0, 32.0]),
         ("Quadro M4000 (Maxwell)", [4.0, 8.0, 128.0, 0.0, 32.0, 32.0]),
     ];
-    for (spec, (label, p)) in presets::all().into_iter().zip(paper) {
+    for (spec, (label, p)) in presets::paper_trio().into_iter().zip(paper) {
         let got = [
             f64::from(spec.sm.num_warp_schedulers),
             f64::from(spec.sm.dispatch_units),
@@ -160,12 +160,13 @@ pub fn table1() -> Vec<Row> {
     rows
 }
 
-/// Figure 10: global atomic channel bandwidth, scenarios 1-3 x 3 GPUs.
+/// Figure 10: global atomic channel bandwidth, scenarios 1-3 on every
+/// device preset (paper trio plus Ampere).
 /// The paper's text gives no absolute numbers; the shape constraints are
 /// (a) Kepler/Maxwell well above Fermi, (b) scenario 3 lowest.
 pub fn fig10(bits: usize) -> Vec<Row> {
     let m = msg(bits);
-    // 3 GPUs x 3 scenarios = 9 independent transmissions.
+    // devices x 3 scenarios, one independent transmission per cell.
     let cells: Vec<(DeviceSpec, AtomicScenario)> = presets::all()
         .into_iter()
         .flat_map(|spec| AtomicScenario::ALL.into_iter().map(move |s| (spec.clone(), s)))
@@ -190,7 +191,7 @@ pub fn table2(bits: usize) -> Vec<Row> {
     // paper: (baseline, sync, sync+multibit, full) per device.
     let paper =
         [(33.0, 61.0, 207.0, 2800.0), (42.0, 75.0, 285.0, 4250.0), (42.0, 75.0, 285.0, 3700.0)];
-    let specs = presets::all();
+    let specs = presets::paper_trio();
     TrialRunner::new()
         .map(&specs, |t, spec| {
             let p = paper[t.index];
@@ -270,7 +271,7 @@ pub fn table2_multibit_scaling(bits: usize) -> Vec<Row> {
 pub fn table3(bits: usize) -> Vec<Row> {
     let m = msg(bits);
     let paper = [(21.0, 28.0, 380.0), (24.0, 84.0, 1200.0), (28.0, 100.0, 1300.0)];
-    let specs = presets::all();
+    let specs = presets::paper_trio();
     TrialRunner::new()
         .map(&specs, |t, spec| {
             let p = paper[t.index];
@@ -620,6 +621,6 @@ mod tests {
     #[test]
     fn sec3_reports_leftover_policy_everywhere() {
         let s = sec3_summary();
-        assert_eq!(s.matches("leftover policy = true").count(), 3, "{s}");
+        assert_eq!(s.matches("leftover policy = true").count(), presets::all().len(), "{s}");
     }
 }

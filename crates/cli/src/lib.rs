@@ -50,7 +50,7 @@ commands:
                               journal resume, typed per-cell outcome matrix
 
 options:
-  --device <fermi|kepler|maxwell>   target preset (default kepler)
+  --device <fermi|kepler|maxwell|ampere>   target preset (default kepler)
   --bits <n>                        message length in bits (default 24)
   --exclusive                       enable exclusive co-location (noise command)
   --stats                           print cycle-engine counters after the run
@@ -362,8 +362,9 @@ impl Args {
     ///
     /// Unknown device names.
     pub fn spec(&self) -> Result<DeviceSpec, String> {
-        presets::by_name(&self.device)
-            .ok_or_else(|| format!("unknown device {:?} (fermi|kepler|maxwell)", self.device))
+        presets::by_name(&self.device).ok_or_else(|| {
+            format!("unknown device {:?} (fermi|kepler|maxwell|ampere)", self.device)
+        })
     }
 
     /// Resolves the multi-GPU topology: the `--topology` spec when given,

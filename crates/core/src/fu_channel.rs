@@ -23,12 +23,16 @@ pub const DEFAULT_ITERATIONS: u64 = 10;
 
 /// The Section-5.2 per-block warp counts: "each block of the spy and the
 /// trojan use 3 warps, 12 warps and 10 warps, for the Fermi, Kepler and
-/// Maxwell architectures respectively".
+/// Maxwell architectures respectively". Ampere post-dates the paper; its
+/// count (two warps per single-issue sub-core) is the forward projection of
+/// the same rule — enough co-located warps that one kernel's presence moves
+/// the other's burst latency past a contention step.
 pub fn paper_warps_per_block(arch: Architecture) -> u32 {
     match arch {
         Architecture::Fermi => 3,
         Architecture::Kepler => 12,
         Architecture::Maxwell => 10,
+        Architecture::Ampere => 8,
     }
 }
 

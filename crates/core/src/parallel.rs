@@ -28,6 +28,10 @@ pub fn sfu_warps_per_block(arch: Architecture) -> u32 {
         Architecture::Fermi => 4,    // 2 per scheduler
         Architecture::Kepler => 12,  // 3 per scheduler
         Architecture::Maxwell => 12, // 3 per scheduler
+        // Single-issue sub-cores with an 8-cycle SFU occupancy sit on a
+        // contention step already at 2 warps, so each kernel contributes
+        // just one warp per sub-core.
+        Architecture::Ampere => 4,
     }
 }
 
@@ -36,7 +40,15 @@ fn sfu_latency(spec: &DeviceSpec, per_sched: u64) -> u64 {
     let t = FuTiming::for_op(spec.architecture, FuOpKind::SpSinf);
     let occ = u64::from(spec.sm.pools.issue_occupancy(FuUnit::Sfu, spec.sm.num_warp_schedulers))
         * u64::from(t.micro_ops);
-    (u64::from(t.pipeline_depth) + occ).max(per_sched * occ)
+    // Under fixed-latency dependence management (Ampere sub-cores) a timed
+    // burst of `Fu` ops never waits out the pipeline depth — the idle
+    // baseline is just the issue occupancy, which is exactly why the sfu
+    // channel gets *faster* on Ampere (see EXPERIMENTS.md).
+    let idle = match spec.sub_core.dependence {
+        gpgpu_spec::DependenceMode::Scoreboard => u64::from(t.pipeline_depth) + occ,
+        gpgpu_spec::DependenceMode::FixedLatency => occ,
+    };
+    idle.max(per_sched * occ)
 }
 
 /// The Table-3 parallel SFU channel: `num_warp_schedulers x parallel_sms`

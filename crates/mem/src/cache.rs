@@ -5,10 +5,18 @@ use gpgpu_spec::CacheGeometry;
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
-    /// The line was present.
+    /// The line (and, in a sectored cache, the accessed sector) was present.
     Hit,
-    /// The line was absent and has been filled (evicting LRU if needed).
+    /// The line was absent and has been filled (evicting LRU if needed). In
+    /// a sectored cache the fill validates only the accessed sector.
     Miss,
+    /// Sectored caches only: the line's tag was present but the accessed
+    /// sector had not been filled yet. The sector is fetched from the next
+    /// level — same latency class as a miss — but no line is allocated and
+    /// nothing is evicted, which is exactly why sectoring shrinks a
+    /// prime+probe footprint: a partial fill no longer displaces a whole
+    /// victim line. Never produced by unsectored geometries.
+    SectorMiss,
 }
 
 /// An eviction performed by a fill: who filled and whose line was lost.
@@ -45,6 +53,10 @@ struct Line {
     /// Security domain (kernel) that filled the line; used for contention
     /// anomaly detection (CC-Hunter-style, paper Section 9).
     domain: u32,
+    /// Bitmask of valid sectors (bit `i` = sector `i` filled). Geometry
+    /// validation caps sectors-per-line at 8, so `u8` always suffices; an
+    /// unsectored line is born with the full mask set.
+    sector_valid: u8,
 }
 
 /// An LRU set-associative cache tracking line presence (no data).
@@ -77,6 +89,15 @@ pub struct SetAssocCache {
     /// CC-Hunter-style detector alarms on (paper Section 9: "attempt to
     /// detect anomalous contention").
     eviction_alternations: u64,
+    /// Line allocations (tag fills). One per [`AccessOutcome::Miss`].
+    line_fills: u64,
+    /// Sector fetches from the next level: one per [`AccessOutcome::Miss`]
+    /// (a new line validates only the accessed sector) plus one per
+    /// [`AccessOutcome::SectorMiss`]. Because a sector fills at most once
+    /// per line lifetime, `sector_fills * sector_bytes <=
+    /// line_fills * line_bytes` holds for every access pattern (asserted by
+    /// `tests/prop_subcore.rs`), with equality for unsectored geometries.
+    sector_fills: u64,
 }
 
 impl SetAssocCache {
@@ -91,6 +112,8 @@ impl SetAssocCache {
             last_cross_evict,
             cross_domain_evictions: 0,
             eviction_alternations: 0,
+            line_fills: 0,
+            sector_fills: 0,
         }
     }
 
@@ -105,6 +128,18 @@ impl SetAssocCache {
     /// prime+probe signalling.
     pub fn eviction_alternations(&self) -> u64 {
         self.eviction_alternations
+    }
+
+    /// Line allocations performed so far (one per [`AccessOutcome::Miss`]).
+    pub fn line_fills(&self) -> u64 {
+        self.line_fills
+    }
+
+    /// Sector fetches performed so far (one per miss plus one per
+    /// [`AccessOutcome::SectorMiss`]); equals [`SetAssocCache::line_fills`]
+    /// on unsectored geometries.
+    pub fn sector_fills(&self) -> u64 {
+        self.sector_fills
     }
 
     /// The cache's geometry.
@@ -143,16 +178,30 @@ impl SetAssocCache {
     /// Panics if `set_idx >= num_sets`.
     pub fn access_in_set_detailed(&mut self, addr: u64, set_idx: u64, domain: u32) -> SetAccess {
         let tag = self.geometry.line_of_addr(addr);
+        let sector_bit = 1u8 << self.geometry.sector_of_addr(addr);
         self.tick += 1;
         let generation = self.tick;
         let set = &mut self.sets[set_idx as usize];
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.generation = generation;
-            return SetAccess { outcome: AccessOutcome::Hit, eviction: None };
+            if line.sector_valid & sector_bit != 0 {
+                return SetAccess { outcome: AccessOutcome::Hit, eviction: None };
+            }
+            // Tag present, sector not yet filled: fetch just the sector.
+            // The line keeps its allocating domain — a partial fill is not
+            // an eviction, so no contention accounting fires.
+            line.sector_valid |= sector_bit;
+            self.sector_fills += 1;
+            return SetAccess { outcome: AccessOutcome::SectorMiss, eviction: None };
         }
+        // A new line validates only the accessed sector; on an unsectored
+        // geometry sector 0 *is* the whole line, so the mask is full and the
+        // legacy behaviour is reproduced bit-for-bit.
+        self.line_fills += 1;
+        self.sector_fills += 1;
         let mut eviction = None;
         if set.len() < self.geometry.ways() as usize {
-            set.push(Line { tag, generation, domain });
+            set.push(Line { tag, generation, domain, sector_valid: sector_bit });
         } else {
             let victim =
                 set.iter_mut().min_by_key(|l| l.generation).expect("full set is non-empty");
@@ -166,7 +215,7 @@ impl SetAssocCache {
                 }
                 self.last_cross_evict[set_idx as usize] = Some(pair);
             }
-            *victim = Line { tag, generation, domain };
+            *victim = Line { tag, generation, domain, sector_valid: sector_bit };
         }
         SetAccess { outcome: AccessOutcome::Miss, eviction }
     }
@@ -235,6 +284,8 @@ impl SetAssocCache {
         self.last_cross_evict.fill(None);
         self.cross_domain_evictions = 0;
         self.eviction_alternations = 0;
+        self.line_fills = 0;
+        self.sector_fills = 0;
     }
 
     /// Overwrites this cache's state (lines, tick, contention counters) with
@@ -256,6 +307,8 @@ impl SetAssocCache {
         self.last_cross_evict.copy_from_slice(&other.last_cross_evict);
         self.cross_domain_evictions = other.cross_domain_evictions;
         self.eviction_alternations = other.eviction_alternations;
+        self.line_fills = other.line_fills;
+        self.sector_fills = other.sector_fills;
     }
 }
 
@@ -414,6 +467,86 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(src.cross_domain_evictions(), dst.cross_domain_evictions());
         assert!(!dst.probe(0x7000), "pre-copy destination lines are gone");
+    }
+
+    fn sectored_cache() -> SetAssocCache {
+        // 2 KB, 4-way, 64 B lines, 32 B sectors: 8 sets, 2 sectors/line.
+        SetAssocCache::new(CacheGeometry::new_sectored(2048, 64, 4, 32).unwrap())
+    }
+
+    #[test]
+    fn sector_miss_fills_sector_without_evicting() {
+        let mut c = sectored_cache();
+        // First touch allocates the line, validating only sector 0.
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+        assert_eq!(c.access(16), AccessOutcome::Hit); // same sector
+                                                      // Sector 1 of the same line: tag hit, sector invalid.
+        assert_eq!(c.access(32), AccessOutcome::SectorMiss);
+        assert_eq!(c.access(32), AccessOutcome::Hit);
+        assert_eq!(c.line_fills(), 1);
+        assert_eq!(c.sector_fills(), 2);
+        // A sector fill never evicts, even with the set full.
+        for i in 1..4u64 {
+            c.access(i * 512);
+        }
+        assert_eq!(c.set_occupancy(0), 4);
+        let a = c.access_in_set_detailed(512 + 32, 0, 0);
+        assert_eq!(a.outcome, AccessOutcome::SectorMiss);
+        assert_eq!(a.eviction, None);
+        assert_eq!(c.set_occupancy(0), 4);
+        assert!(c.probe(0), "partial fills must not displace resident lines");
+    }
+
+    #[test]
+    fn sector_miss_touches_lru_recency() {
+        let mut c = sectored_cache();
+        for i in 0..4u64 {
+            c.access(i * 512); // fill set 0
+        }
+        // Sector-miss the oldest line: it becomes the newest.
+        assert_eq!(c.access(32), AccessOutcome::SectorMiss);
+        c.access(4 * 512); // spills the set
+        assert!(c.probe(0), "sector-missed line was freshened");
+        assert!(!c.probe(512), "true LRU line was the victim");
+    }
+
+    #[test]
+    fn unsectored_cache_never_sector_misses_and_fills_track_lines() {
+        let mut c = cache();
+        for i in 0..64u64 {
+            let o = c.access((i * 16) % 4096);
+            assert_ne!(o, AccessOutcome::SectorMiss);
+        }
+        assert_eq!(c.sector_fills(), c.line_fills());
+    }
+
+    #[test]
+    fn sector_fill_bytes_never_exceed_line_fill_bytes() {
+        let mut c = sectored_cache();
+        // Dense strided sweep touching every sector of every line, twice.
+        for _ in 0..2 {
+            for a in (0..4096u64).step_by(16) {
+                c.access(a);
+            }
+        }
+        let sector_bytes = c.geometry().sector_bytes();
+        let line_bytes = c.geometry().line_bytes();
+        assert!(c.sector_fills() * sector_bytes <= c.line_fills() * line_bytes);
+        assert!(c.sector_fills() > c.line_fills(), "sweep must exercise partial fills");
+    }
+
+    #[test]
+    fn reset_cold_clears_fill_counters() {
+        let mut c = sectored_cache();
+        c.access(0);
+        c.access(32);
+        assert_eq!((c.line_fills(), c.sector_fills()), (1, 2));
+        c.reset_cold();
+        assert_eq!((c.line_fills(), c.sector_fills()), (0, 0));
+        let mut d = sectored_cache();
+        d.access(96);
+        c.access(96);
+        assert_eq!((c.line_fills(), c.sector_fills()), (d.line_fills(), d.sector_fills()));
     }
 
     #[test]

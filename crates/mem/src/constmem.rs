@@ -121,7 +121,11 @@ impl ConstHierarchy {
                 l2_set: None,
                 l2_eviction: None,
             },
-            AccessOutcome::Miss => {
+            // A sectored L1's SectorMiss fetches through the L2 exactly like
+            // a full miss (the 32 B sector and the 128 B line observe the
+            // same next-level latency), but allocates no line and therefore
+            // never evicts — `l1_access.eviction` is always `None` here.
+            AccessOutcome::Miss | AccessOutcome::SectorMiss => {
                 // L2 lookup contends on the shared L2 ports. Port occupancy
                 // of 1 cycle models the paper's observation that parallel
                 // per-set L2 channels scale ~8x (ports), not 16x (sets).
@@ -135,13 +139,15 @@ impl ConstHierarchy {
                 let l2_access = self.l2.access_in_set_detailed(addr, l2_set, domain);
                 let completes_at = match l2_access.outcome {
                     AccessOutcome::Hit => start + self.l2_hit_latency + queue_delay,
-                    AccessOutcome::Miss => start + self.mem_latency + queue_delay,
+                    AccessOutcome::Miss | AccessOutcome::SectorMiss => {
+                        start + self.mem_latency + queue_delay
+                    }
                 };
                 ConstAccess {
                     completes_at,
                     level: match l2_access.outcome {
                         AccessOutcome::Hit => ConstLevel::L2,
-                        AccessOutcome::Miss => ConstLevel::Memory,
+                        AccessOutcome::Miss | AccessOutcome::SectorMiss => ConstLevel::Memory,
                     },
                     l1_set,
                     l1_eviction: l1_access.eviction,

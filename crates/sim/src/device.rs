@@ -120,6 +120,7 @@ impl Device {
                     i,
                     spec.sm,
                     spec.architecture,
+                    spec.sub_core,
                     tuning.clock_quantum(),
                     tuning.random_warp_scheduler,
                 )

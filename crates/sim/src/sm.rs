@@ -1,5 +1,9 @@
-//! The streaming-multiprocessor model: resident warps, warp schedulers with
-//! per-scheduler functional-unit ports, and per-SM resource accounting.
+//! The streaming-multiprocessor model: resident warps, a [`SubCore`] issue
+//! partition per warp scheduler (each owning its functional-unit ports and
+//! round-robin cursor), and per-SM resource accounting. Legacy generations
+//! use the shared-issue degenerate decomposition; Ampere's sub-cores are
+//! single-issue with fixed-latency dependence management (see
+//! [`gpgpu_spec::SubCoreSpec`] and `DESIGN.md` §10).
 //!
 //! Warp state lives in a struct-of-arrays [`WarpTable`] and the issue scan
 //! walks per-scheduler membership bitsets instead of every warp context —
@@ -12,7 +16,9 @@ use crate::trace::{TraceEvent, TraceSink};
 use crate::warp::{WarpTable, MAX_SCHEDULERS, UNTIL_AT_BARRIER, UNTIL_HALTED};
 use gpgpu_isa::{Instr, LanePattern, Operand, Special};
 use gpgpu_mem::{AtomicSystem, ConstHierarchy, GlobalMemory, PortSet};
-use gpgpu_spec::{Architecture, BlockResources, FuOpKind, FuTiming, FuUnit, SmSpec};
+use gpgpu_spec::{
+    Architecture, BlockResources, DependenceMode, FuOpKind, FuTiming, FuUnit, SmSpec, SubCoreSpec,
+};
 use std::sync::Arc;
 
 /// Mutable references to the device-wide memory subsystems, threaded through
@@ -48,14 +54,32 @@ pub(crate) struct ResidentBlock {
     pub res: BlockResources,
 }
 
-/// Snapshot of one SM's timing state (issue-port horizons and round-robin
-/// cursors) — everything an *idle* SM carries besides its static spec. Used
-/// by [`crate::DeviceSnapshot`].
+/// Snapshot of one SM's timing state (per-sub-core issue-port horizons and
+/// round-robin cursors) — everything an *idle* SM carries besides its static
+/// spec. Used by [`crate::DeviceSnapshot`].
 #[derive(Debug, Clone)]
 pub(crate) struct SmTimingState {
-    fu_ports: Vec<[PortSet; 4]>,
+    sub_cores: Vec<SubCore>,
     shared_port: PortSet,
-    cursor: Vec<usize>,
+}
+
+/// One sub-core (issue partition) of an SM: one warp scheduler plus its
+/// private share of every functional-unit class and its round-robin issue
+/// cursor. On Fermi/Kepler/Maxwell this is the *shared-issue* degenerate
+/// decomposition — one sub-core per legacy warp scheduler with the legacy
+/// dispatch width — so the clocked state is regrouped, not changed, and the
+/// three legacy architectures stay bit-identical. On Ampere the sub-cores
+/// are architectural: single-issue, private register-file slice, and (per
+/// the device's [`SubCoreSpec`]) fixed-latency dependence management.
+#[derive(Debug, Clone)]
+pub(crate) struct SubCore {
+    /// `ports[unit_index(unit)]`: issue ports for this sub-core's share of
+    /// each unit class. Contention through these ports is isolated per
+    /// sub-core — the paper's central Section 5 observation, sharpened on
+    /// Ampere where the partition is physical.
+    ports: [PortSet; 4],
+    /// Round-robin cursor into the warp table for this sub-core's scheduler.
+    cursor: usize,
 }
 
 /// Shared-memory banking constants (uniform across the modelled
@@ -128,13 +152,14 @@ pub(crate) struct Sm {
     pub id: u32,
     spec: SmSpec,
     arch: Architecture,
+    /// Issue-partition decomposition: sub-core count/width and the
+    /// dependence-management flag ([`DependenceMode`]). Validated against
+    /// `spec` at construction so the two descriptions cannot drift.
+    sub_core_spec: SubCoreSpec,
     pub warps: WarpTable,
-    /// `fu_ports[scheduler][unit]`: issue ports for each scheduler's share
-    /// of each unit class. Contention through these ports is isolated per
-    /// scheduler — the paper's central Section 5 observation.
-    fu_ports: Vec<[PortSet; 4]>,
-    /// Per-scheduler round-robin cursor into the warp table.
-    cursor: Vec<usize>,
+    /// One [`SubCore`] per warp scheduler (legacy: the shared-issue
+    /// degenerate case; Ampere: architectural issue partitions).
+    sub_cores: Vec<SubCore>,
     pub used_threads: u32,
     pub used_blocks: u32,
     pub used_shared: u64,
@@ -168,38 +193,44 @@ pub(crate) struct Sm {
 impl Sm {
     #[cfg(test)]
     pub fn new(id: u32, spec: SmSpec, arch: Architecture) -> Self {
-        Self::new_tuned(id, spec, arch, 1, None)
+        let sub_core = SubCoreSpec::shared_issue(&spec);
+        Self::new_tuned(id, spec, arch, sub_core, 1, None)
     }
 
     pub fn new_tuned(
         id: u32,
         spec: SmSpec,
         arch: Architecture,
+        sub_core_spec: SubCoreSpec,
         clock_quantum: u64,
         sched_seed: Option<u64>,
     ) -> Self {
         let nsched = spec.num_warp_schedulers as usize;
         assert!(nsched <= MAX_SCHEDULERS, "unsupported scheduler count {nsched}");
+        sub_core_spec
+            .validate_against(&spec)
+            .expect("device sub-core spec is consistent with its SM spec");
         let ports_for = |unit: FuUnit| -> PortSet {
             PortSet::new(spec.pools.scheduler_ports(unit, spec.num_warp_schedulers))
         };
-        let fu_ports = (0..nsched)
-            .map(|_| {
-                [
+        let sub_cores = (0..nsched)
+            .map(|_| SubCore {
+                ports: [
                     ports_for(FuUnit::Sp),
                     ports_for(FuUnit::Dpu),
                     ports_for(FuUnit::Sfu),
                     ports_for(FuUnit::LdSt),
-                ]
+                ],
+                cursor: 0,
             })
             .collect();
         Sm {
             id,
             spec,
             arch,
+            sub_core_spec,
             warps: WarpTable::new(),
-            fu_ports,
-            cursor: vec![0; nsched],
+            sub_cores,
             used_threads: 0,
             used_blocks: 0,
             used_shared: 0,
@@ -325,7 +356,9 @@ impl Sm {
         batch_until: u64,
     ) -> bool {
         let nsched = self.spec.num_warp_schedulers as usize;
-        let dispatch = self.spec.dispatch_per_scheduler() as usize;
+        // Per-sub-core issue width: the legacy dispatch width for the
+        // shared-issue decomposition, 1 on single-issue Ampere sub-cores.
+        let dispatch = self.sub_core_spec.issue_slots as usize;
         let n = self.warps.len();
         let mut issued_any = false;
         if n > 0 {
@@ -337,7 +370,7 @@ impl Sm {
                 if mask == 0 {
                     continue;
                 }
-                let start = self.cursor[sched] % n;
+                let start = self.sub_cores[sched].cursor % n;
                 let mut issued = 0;
                 // High half first (slots >= start, ascending), then the
                 // wrapped low half (slots < start, ascending).
@@ -357,7 +390,7 @@ impl Sm {
                             issued_any = true;
                             issued += 1;
                             if issued >= dispatch {
-                                self.cursor[sched] = (idx + 1) % n;
+                                self.sub_cores[sched].cursor = (idx + 1) % n;
                                 break 'scan;
                             }
                         }
@@ -463,8 +496,8 @@ impl Sm {
         self.used_regs -= rb.res.total_registers();
         let (lo, hi) = self.warp_range(kernel, block_id, rb.warps_total);
         self.warps.remove_range(lo, hi);
-        for c in &mut self.cursor {
-            *c = 0;
+        for sc in &mut self.sub_cores {
+            sc.cursor = 0;
         }
         self.recompute_next_wake();
     }
@@ -488,17 +521,15 @@ impl Sm {
         self.used_blocks = 0;
         self.used_shared = 0;
         self.used_regs = 0;
-        for ports in &mut self.fu_ports {
-            for p in ports.iter_mut() {
+        for sc in &mut self.sub_cores {
+            for p in sc.ports.iter_mut() {
                 p.reset();
             }
+            sc.cursor = 0;
         }
         self.shared_port.reset();
         for p in &mut self.programs {
             *p = None;
-        }
-        for c in &mut self.cursor {
-            *c = 0;
         }
         self.next_wake_cache = u64::MAX;
         self.sched_wake = [u64::MAX; MAX_SCHEDULERS];
@@ -508,11 +539,7 @@ impl Sm {
     /// Clones the SM's timing state for a [`crate::DeviceSnapshot`]. Only
     /// meaningful on an idle SM (no resident warps or blocks).
     pub fn capture_timing(&self) -> SmTimingState {
-        SmTimingState {
-            fu_ports: self.fu_ports.clone(),
-            shared_port: self.shared_port.clone(),
-            cursor: self.cursor.clone(),
-        }
+        SmTimingState { sub_cores: self.sub_cores.clone(), shared_port: self.shared_port.clone() }
     }
 
     /// Restores the timing state captured by [`Sm::capture_timing`] in
@@ -521,13 +548,13 @@ impl Sm {
     /// kernel in the snapshot's history has completed, so no future warp
     /// can fetch from it.
     pub fn restore_timing(&mut self, snap: &SmTimingState) {
-        for (mine, theirs) in self.fu_ports.iter_mut().zip(&snap.fu_ports) {
-            for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+        for (mine, theirs) in self.sub_cores.iter_mut().zip(&snap.sub_cores) {
+            for (a, b) in mine.ports.iter_mut().zip(theirs.ports.iter()) {
                 a.copy_state_from(b);
             }
+            mine.cursor = theirs.cursor;
         }
         self.shared_port.copy_state_from(&snap.shared_port);
-        self.cursor.copy_from_slice(&snap.cursor);
         self.warps.clear();
         self.resident.clear();
         self.used_threads = 0;
@@ -626,8 +653,8 @@ impl Sm {
         }
         if finished_any {
             // Warp slots shifted; reset cursors defensively.
-            for c in &mut self.cursor {
-                *c = 0;
+            for sc in &mut self.sub_cores {
+                sc.cursor = 0;
             }
         }
     }
@@ -1001,8 +1028,21 @@ impl Sm {
         let timing = FuTiming::for_op(self.arch, op);
         let occupancy =
             u64::from(self.spec.pools.issue_occupancy(unit, nsched)) * u64::from(timing.micro_ops);
-        let start = self.fu_ports[sched][unit_index(unit)].acquire(now, occupancy);
-        start + occupancy + u64::from(timing.pipeline_depth)
+        let start = self.sub_cores[sched].ports[unit_index(unit)].acquire(now, occupancy);
+        match self.sub_core_spec.dependence {
+            // Scoreboarded issue holds the warp until the result would be
+            // available — conservative, since `Fu` ops in this ISA produce
+            // no register value anyone reads.
+            DependenceMode::Scoreboard => start + occupancy + u64::from(timing.pipeline_depth),
+            // Fixed-latency dependence management (Ampere sub-cores): the
+            // compiler's control words know nothing consumes the result, so
+            // the warp is eligible again as soon as its issue occupancy
+            // drains. Port *queueing* (`start - now`) is a dynamic quantity
+            // no control word can hide — the contention signal the
+            // parallel-sfu channel reads survives, riding on a lower idle
+            // baseline, which is exactly what makes the channel faster.
+            DependenceMode::FixedLatency => start + occupancy,
+        }
     }
 
     fn acquire_ldst(&mut self, idx: usize, now: u64) -> u64 {
@@ -1020,7 +1060,7 @@ impl Sm {
         let sched = self.warps.scheduler[idx] as usize;
         let occupancy =
             u64::from(self.spec.pools.issue_occupancy(FuUnit::LdSt, self.spec.num_warp_schedulers));
-        let start = self.fu_ports[sched][unit_index(FuUnit::LdSt)].acquire(now, occupancy);
+        let start = self.sub_cores[sched].ports[unit_index(FuUnit::LdSt)].acquire(now, occupancy);
         start + occupancy * replays.max(1)
     }
 }

@@ -6,7 +6,10 @@
 //! of an array of `Warp` structs. Registers live in one flat slab
 //! (`slot * NUM_REGS`), and per-scheduler membership is tracked as fixed
 //! width bitsets so the issue scan is a mask iteration rather than a walk
-//! over every warp context.
+//! over every warp context. A warp's scheduler assignment is also its
+//! *sub-core* assignment: each scheduler owns one `SubCore` issue
+//! partition (see `sm.rs` and `DESIGN.md` §10), so the membership bitsets
+//! double as the sub-core residency sets on every generation.
 //!
 //! Scheduling state is encoded in the `until` column alone:
 //!

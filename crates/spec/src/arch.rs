@@ -21,22 +21,30 @@ pub enum Architecture {
     /// Maxwell (e.g. Quadro M4000): SM split into four quadrants, each warp
     /// scheduler owns dedicated functional units; no double-precision units.
     Maxwell,
+    /// Ampere (e.g. RTX A4000): SM split into four *sub-cores*, each with a
+    /// private register-file slice and single-issue slot; dependence
+    /// management uses compiler-scheduled fixed-latency hints instead of a
+    /// pure scoreboard, and the L1 is sectored (32-byte fills into 128-byte
+    /// lines).
+    Ampere,
 }
 
 impl Architecture {
     /// All architectures modelled by this workspace, in generation order.
-    pub const ALL: [Architecture; 3] =
-        [Architecture::Fermi, Architecture::Kepler, Architecture::Maxwell];
+    /// Matrix-style consumers (arena, sweeps, figures) iterate this constant
+    /// so the grid grows automatically when a generation is added.
+    pub const ALL: [Architecture; 4] =
+        [Architecture::Fermi, Architecture::Kepler, Architecture::Maxwell, Architecture::Ampere];
 
     /// Whether the warp schedulers of this generation own *dedicated*
-    /// functional units (Maxwell quadrants) as opposed to issuing into a
-    /// soft-shared pool (Fermi/Kepler).
+    /// functional units (Maxwell quadrants, Ampere sub-cores) as opposed to
+    /// issuing into a soft-shared pool (Fermi/Kepler).
     ///
     /// Either way the paper finds — and the simulator reproduces — that
     /// functional-unit contention is isolated to warps on the *same* warp
     /// scheduler.
     pub fn has_dedicated_scheduler_units(self) -> bool {
-        matches!(self, Architecture::Maxwell)
+        matches!(self, Architecture::Maxwell | Architecture::Ampere)
     }
 
     /// Whether atomic operations are serviced at the L2 cache (Kepler and
@@ -44,6 +52,23 @@ impl Architecture {
     /// are roughly 9x faster for same-address traffic (paper Section 6).
     pub fn has_l2_atomics(self) -> bool {
         !matches!(self, Architecture::Fermi)
+    }
+
+    /// Lowercase canonical label, matching the alias accepted by
+    /// [`crate::presets::by_name`] and the sweep/topology grammars.
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::Fermi => "fermi",
+            Architecture::Kepler => "kepler",
+            Architecture::Maxwell => "maxwell",
+            Architecture::Ampere => "ampere",
+        }
+    }
+
+    /// Parses a canonical lowercase label back into the generation — the
+    /// inverse of [`Architecture::label`].
+    pub fn from_label(label: &str) -> Option<Architecture> {
+        Architecture::ALL.into_iter().find(|a| a.label() == label)
     }
 }
 
@@ -53,6 +78,7 @@ impl fmt::Display for Architecture {
             Architecture::Fermi => "Fermi",
             Architecture::Kepler => "Kepler",
             Architecture::Maxwell => "Maxwell",
+            Architecture::Ampere => "Ampere",
         };
         f.write_str(name)
     }
@@ -185,12 +211,23 @@ mod tests {
         assert!(!Architecture::Fermi.has_l2_atomics());
         assert!(Architecture::Kepler.has_l2_atomics());
         assert!(Architecture::Maxwell.has_l2_atomics());
+        assert!(Architecture::Ampere.has_l2_atomics());
     }
 
     #[test]
-    fn quadrant_model_is_maxwell_only() {
+    fn dedicated_units_start_at_maxwell() {
         assert!(Architecture::Maxwell.has_dedicated_scheduler_units());
+        assert!(Architecture::Ampere.has_dedicated_scheduler_units());
         assert!(!Architecture::Fermi.has_dedicated_scheduler_units());
         assert!(!Architecture::Kepler.has_dedicated_scheduler_units());
+    }
+
+    #[test]
+    fn labels_round_trip_for_every_generation() {
+        for arch in Architecture::ALL {
+            assert_eq!(Architecture::from_label(arch.label()), Some(arch));
+        }
+        assert_eq!(Architecture::from_label("volta"), None);
+        assert_eq!(Architecture::from_label("Ampere"), None, "labels are lowercase-canonical");
     }
 }

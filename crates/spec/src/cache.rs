@@ -26,10 +26,15 @@ pub struct CacheGeometry {
     size_bytes: u64,
     line_bytes: u64,
     ways: u64,
+    /// Fill granularity. Equal to `line_bytes` on the unsectored legacy
+    /// caches; smaller on sectored caches (Ampere L1), where a miss fetches
+    /// only the accessed sector of the allocated line.
+    sector_bytes: u64,
 }
 
 impl CacheGeometry {
-    /// Creates a geometry after validating self-consistency.
+    /// Creates an unsectored geometry (fills are whole lines) after
+    /// validating self-consistency.
     ///
     /// # Errors
     ///
@@ -37,6 +42,24 @@ impl CacheGeometry {
     /// field is not a power of two, or `size` is not `line * ways * sets`
     /// for an integral power-of-two number of sets.
     pub fn new(size_bytes: u64, line_bytes: u64, ways: u64) -> Result<Self, SpecError> {
+        Self::new_sectored(size_bytes, line_bytes, ways, line_bytes)
+    }
+
+    /// Creates a geometry with sector-granularity fills: a miss allocates
+    /// the line but fetches only `sector_bytes` of it.
+    ///
+    /// # Errors
+    ///
+    /// As [`CacheGeometry::new`], plus [`SpecError::InvalidCacheGeometry`]
+    /// when `sector_bytes` is zero, not a power of two, larger than the
+    /// line, or yields more than 8 sectors per line (the valid-mask width
+    /// the cache model carries per line).
+    pub fn new_sectored(
+        size_bytes: u64,
+        line_bytes: u64,
+        ways: u64,
+        sector_bytes: u64,
+    ) -> Result<Self, SpecError> {
         let fail = |reason: String| Err(SpecError::InvalidCacheGeometry { reason });
         if size_bytes == 0 || line_bytes == 0 || ways == 0 {
             return fail("size, line and ways must all be positive".to_string());
@@ -44,6 +67,17 @@ impl CacheGeometry {
         if !size_bytes.is_power_of_two() || !line_bytes.is_power_of_two() {
             return fail(format!(
                 "size ({size_bytes}) and line ({line_bytes}) must be powers of two"
+            ));
+        }
+        if sector_bytes == 0 || !sector_bytes.is_power_of_two() || sector_bytes > line_bytes {
+            return fail(format!(
+                "sector ({sector_bytes}) must be a positive power of two no larger than the \
+                 line ({line_bytes})"
+            ));
+        }
+        if line_bytes / sector_bytes > 8 {
+            return fail(format!(
+                "at most 8 sectors per line are supported ({line_bytes}/{sector_bytes})"
             ));
         }
         let way_bytes = line_bytes * ways;
@@ -56,7 +90,7 @@ impl CacheGeometry {
         if !sets.is_power_of_two() {
             return fail(format!("derived set count ({sets}) must be a power of two"));
         }
-        Ok(CacheGeometry { size_bytes, line_bytes, ways })
+        Ok(CacheGeometry { size_bytes, line_bytes, ways, sector_bytes })
     }
 
     /// Total capacity in bytes.
@@ -99,6 +133,26 @@ impl CacheGeometry {
     pub fn same_set_stride(&self) -> u64 {
         self.num_sets() * self.line_bytes
     }
+
+    /// Fill granularity in bytes (equals the line size when unsectored).
+    pub fn sector_bytes(&self) -> u64 {
+        self.sector_bytes
+    }
+
+    /// Sectors per line (`line / sector`); 1 when unsectored.
+    pub fn sectors_per_line(&self) -> u64 {
+        self.line_bytes / self.sector_bytes
+    }
+
+    /// Whether fills are sector-granularity (sector smaller than the line).
+    pub fn is_sectored(&self) -> bool {
+        self.sector_bytes < self.line_bytes
+    }
+
+    /// The index (0-based, within its line) of the sector holding `addr`.
+    pub fn sector_of_addr(&self, addr: u64) -> u64 {
+        (addr % self.line_bytes) / self.sector_bytes
+    }
 }
 
 /// A cache level: geometry plus access timing.
@@ -130,6 +184,27 @@ impl CacheSpec {
     ) -> Result<Self, SpecError> {
         Ok(CacheSpec {
             geometry: CacheGeometry::new(size_bytes, line_bytes, ways)?,
+            hit_latency,
+            ports_per_cycle,
+        })
+    }
+
+    /// As [`CacheSpec::new`] with sector-granularity fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError::InvalidCacheGeometry`] from
+    /// [`CacheGeometry::new_sectored`].
+    pub fn new_sectored(
+        size_bytes: u64,
+        line_bytes: u64,
+        ways: u64,
+        sector_bytes: u64,
+        hit_latency: u64,
+        ports_per_cycle: u32,
+    ) -> Result<Self, SpecError> {
+        Ok(CacheSpec {
+            geometry: CacheGeometry::new_sectored(size_bytes, line_bytes, ways, sector_bytes)?,
             hit_latency,
             ports_per_cycle,
         })
@@ -200,6 +275,37 @@ mod tests {
     fn rejects_inconsistent_size() {
         // 2048 bytes with 64-byte lines and 3 ways: 2048 % 192 != 0.
         assert!(CacheGeometry::new(2048, 64, 3).is_err());
+    }
+
+    #[test]
+    fn unsectored_geometry_degenerates_to_one_sector_per_line() {
+        let g = CacheGeometry::new(2048, 64, 4).unwrap();
+        assert_eq!(g.sector_bytes(), 64);
+        assert_eq!(g.sectors_per_line(), 1);
+        assert!(!g.is_sectored());
+        assert_eq!(g.sector_of_addr(63), 0);
+    }
+
+    #[test]
+    fn ampere_style_sectored_geometry() {
+        // 4 KB, 4-way, 128 B lines, 32 B sectors => 8 sets, 4 sectors/line.
+        let g = CacheGeometry::new_sectored(4096, 128, 4, 32).unwrap();
+        assert_eq!(g.num_sets(), 8);
+        assert_eq!(g.sectors_per_line(), 4);
+        assert!(g.is_sectored());
+        assert_eq!(g.sector_of_addr(0), 0);
+        assert_eq!(g.sector_of_addr(33), 1);
+        assert_eq!(g.sector_of_addr(127), 3);
+        assert_eq!(g.sector_of_addr(128), 0); // next line
+    }
+
+    #[test]
+    fn rejects_bad_sector_geometry() {
+        assert!(CacheGeometry::new_sectored(4096, 128, 4, 0).is_err());
+        assert!(CacheGeometry::new_sectored(4096, 128, 4, 48).is_err()); // not a power of two
+        assert!(CacheGeometry::new_sectored(4096, 128, 4, 256).is_err()); // larger than line
+        assert!(CacheGeometry::new_sectored(4096, 128, 4, 8).is_err()); // 16 sectors > mask width
+        assert!(CacheGeometry::new_sectored(4096, 128, 4, 16).is_ok()); // 8 sectors: boundary
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::cache::CacheSpec;
 use crate::error::SpecError;
 use crate::mem::MemorySpec;
 use crate::sm::SmSpec;
+use crate::subcore::SubCoreSpec;
 
 /// Complete static description of a GPGPU device.
 ///
@@ -23,6 +24,10 @@ pub struct DeviceSpec {
     pub clock_hz: u64,
     /// Per-SM resources.
     pub sm: SmSpec,
+    /// Sub-core (issue-partition) decomposition of each SM. Legacy devices
+    /// use [`SubCoreSpec::shared_issue`] (one scoreboarded sub-core per warp
+    /// scheduler); Ampere-class devices set fixed-latency dependence hints.
+    pub sub_core: SubCoreSpec,
     /// Per-SM constant L1 cache.
     pub const_l1: CacheSpec,
     /// Device-wide constant L2 cache (shared by all SMs).

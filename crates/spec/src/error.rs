@@ -55,6 +55,13 @@ pub enum SpecError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A sub-core descriptor or arch spec string is malformed (unknown key
+    /// or architecture label, missing field, or a decomposition that does
+    /// not mirror the SM's scheduler fields).
+    InvalidSubCore {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -80,6 +87,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::InvalidSweep { reason } => {
                 write!(f, "invalid sweep request: {reason}")
+            }
+            SpecError::InvalidSubCore { reason } => {
+                write!(f, "invalid sub-core spec: {reason}")
             }
         }
     }

@@ -114,6 +114,19 @@ impl FuTiming {
             (Maxwell, SpSinf) => (11, 1),                  // base 15, 20 under contention
             (Maxwell, SpSqrt) => (96, 6),                  // base ~120, ~190 @32 warps
             (Maxwell, DpAdd) | (Maxwell, DpMul) => (6, 1),
+
+            // ---- Ampere (RTX A4000): 4 sub-cores; per-op unit timings are
+            // calibrated to the Maxwell values (the quadrant and sub-core
+            // datapaths are close per "Analyzing Modern NVIDIA GPU cores");
+            // Ampere's observable differences come from the sub-core spec —
+            // fixed-latency dependence hints and single-issue slots — not
+            // from these rows. Keeping the rows identical is also what makes
+            // a scoreboarded, unsectored Ampere cycle-identical to Maxwell
+            // (asserted by `tests/prop_subcore.rs`).
+            (Ampere, SpAdd) | (Ampere, SpMul) => (5, 1),
+            (Ampere, SpSinf) => (11, 1),
+            (Ampere, SpSqrt) => (96, 6),
+            (Ampere, DpAdd) | (Ampere, DpMul) => (6, 1),
         };
         FuTiming { pipeline_depth, micro_ops }
     }

@@ -5,11 +5,14 @@
 //! unit pools and their timing, cache geometries, memory-system parameters,
 //! and whole-device presets for the three GPUs evaluated in the paper
 //! (Naghibijouybari et al., *Constructing and Characterizing Covert Channels
-//! on GPGPUs*, MICRO-50 2017):
+//! on GPGPUs*, MICRO-50 2017) plus a modern sub-core device for forward
+//! projection:
 //!
 //! * NVIDIA **Tesla C2075** (Fermi)
 //! * NVIDIA **Tesla K40C** (Kepler)
 //! * NVIDIA **Quadro M4000** (Maxwell)
+//! * NVIDIA **RTX A4000** (Ampere — sub-core issue partitions, fixed-latency
+//!   dependence hints, sectored L1; see [`subcore`])
 //!
 //! The per-SM resource counts come straight from the paper's Table 1; the
 //! functional-unit pipeline depths are calibrated so that the contention
@@ -41,6 +44,7 @@ pub mod launch;
 pub mod mem;
 pub mod presets;
 pub mod sm;
+pub mod subcore;
 pub mod sweep;
 pub mod topology;
 
@@ -53,6 +57,7 @@ pub use fu::{FuPools, FuTiming};
 pub use launch::{BlockResources, LaunchConfig};
 pub use mem::MemorySpec;
 pub use sm::SmSpec;
+pub use subcore::{ArchDescriptor, DependenceMode, SubCoreSpec};
 pub use sweep::{SweepCell, SweepRequest};
 pub use topology::{LinkSpec, TopologySpec};
 

@@ -1,10 +1,13 @@
-//! Device presets for the three GPUs the paper evaluates.
+//! Device presets for the paper's three GPUs plus a modern Ampere part.
 //!
-//! Resource counts are the paper's Table 1; cache geometries are the values
-//! the paper's Section 4.1 microbenchmarks recover; functional-unit timing is
-//! calibrated in [`crate::fu::FuTiming`]. Launch overheads and memory timing
-//! are calibrated so the end-to-end channel bandwidths land in the paper's
-//! ranges (see `EXPERIMENTS.md` for paper-vs-measured).
+//! Resource counts for the paper trio are the paper's Table 1; cache
+//! geometries are the values the paper's Section 4.1 microbenchmarks
+//! recover; functional-unit timing is calibrated in [`crate::fu::FuTiming`].
+//! Launch overheads and memory timing are calibrated so the end-to-end
+//! channel bandwidths land in the paper's ranges (see `EXPERIMENTS.md` for
+//! paper-vs-measured). The RTX A4000 extends the matrix past the paper: its
+//! sub-core decomposition and sectored L1 follow "Analyzing Modern NVIDIA
+//! GPU cores" (see `crate::subcore`).
 
 use crate::arch::Architecture;
 use crate::cache::CacheSpec;
@@ -12,25 +15,28 @@ use crate::device::DeviceSpec;
 use crate::fu::FuPools;
 use crate::mem::MemorySpec;
 use crate::sm::SmSpec;
+use crate::subcore::{DependenceMode, SubCoreSpec};
 
 /// NVIDIA Tesla C2075 (Fermi): 14 SMs, 2 warp schedulers per SM,
 /// 32 SP / 16 DPU / 4 SFU / 16 LD-ST per SM, 1.15 GHz.
 pub fn tesla_c2075() -> DeviceSpec {
+    let sm = SmSpec {
+        num_warp_schedulers: 2,
+        dispatch_units: 2,
+        pools: FuPools { sp: 32, dpu: 16, sfu: 4, ldst: 16 },
+        max_threads: 1536,
+        max_blocks: 8,
+        shared_mem_bytes: 48 * 1024,
+        max_shared_mem_per_block: 48 * 1024,
+        registers: 32 * 1024,
+    };
     DeviceSpec {
         name: "Tesla C2075".to_string(),
         architecture: Architecture::Fermi,
         num_sms: 14,
         clock_hz: 1_150_000_000,
-        sm: SmSpec {
-            num_warp_schedulers: 2,
-            dispatch_units: 2,
-            pools: FuPools { sp: 32, dpu: 16, sfu: 4, ldst: 16 },
-            max_threads: 1536,
-            max_blocks: 8,
-            shared_mem_bytes: 48 * 1024,
-            max_shared_mem_per_block: 48 * 1024,
-            registers: 32 * 1024,
-        },
+        sub_core: SubCoreSpec::shared_issue(&sm),
+        sm,
         // Fermi constant L1: 4 KB, 4-way, 64 B lines (16 sets).
         const_l1: CacheSpec::new(4 * 1024, 64, 4, 46, 1)
             .expect("Fermi constant L1 geometry is self-consistent"),
@@ -56,21 +62,23 @@ pub fn tesla_c2075() -> DeviceSpec {
 /// NVIDIA Tesla K40C (Kepler): 15 SMs, 4 warp schedulers / 8 dispatch units
 /// per SM, 192 SP / 64 DPU / 32 SFU / 32 LD-ST per SM, 745 MHz.
 pub fn tesla_k40c() -> DeviceSpec {
+    let sm = SmSpec {
+        num_warp_schedulers: 4,
+        dispatch_units: 8,
+        pools: FuPools { sp: 192, dpu: 64, sfu: 32, ldst: 32 },
+        max_threads: 2048,
+        max_blocks: 16,
+        shared_mem_bytes: 48 * 1024,
+        max_shared_mem_per_block: 48 * 1024,
+        registers: 64 * 1024,
+    };
     DeviceSpec {
         name: "Tesla K40C".to_string(),
         architecture: Architecture::Kepler,
         num_sms: 15,
         clock_hz: 745_000_000,
-        sm: SmSpec {
-            num_warp_schedulers: 4,
-            dispatch_units: 8,
-            pools: FuPools { sp: 192, dpu: 64, sfu: 32, ldst: 32 },
-            max_threads: 2048,
-            max_blocks: 16,
-            shared_mem_bytes: 48 * 1024,
-            max_shared_mem_per_block: 48 * 1024,
-            registers: 64 * 1024,
-        },
+        sub_core: SubCoreSpec::shared_issue(&sm),
+        sm,
         // Kepler constant L1: 2 KB, 4-way, 64 B lines (8 sets).
         const_l1: CacheSpec::new(2 * 1024, 64, 4, 49, 1)
             .expect("Kepler constant L1 geometry is self-consistent"),
@@ -93,23 +101,25 @@ pub fn tesla_k40c() -> DeviceSpec {
 /// NVIDIA Quadro M4000 (Maxwell): 13 SMs split into four quadrants each,
 /// 128 SP / 0 DPU / 32 SFU / 32 LD-ST per SM, 773 MHz.
 pub fn quadro_m4000() -> DeviceSpec {
+    let sm = SmSpec {
+        num_warp_schedulers: 4,
+        dispatch_units: 8,
+        pools: FuPools { sp: 128, dpu: 0, sfu: 32, ldst: 32 },
+        max_threads: 2048,
+        max_blocks: 32,
+        // Paper Section 8: "on our Maxwell GPU the maximum shared memory
+        // per SM is twice the maximum shared memory per thread block".
+        shared_mem_bytes: 96 * 1024,
+        max_shared_mem_per_block: 48 * 1024,
+        registers: 64 * 1024,
+    };
     DeviceSpec {
         name: "Quadro M4000".to_string(),
         architecture: Architecture::Maxwell,
         num_sms: 13,
         clock_hz: 773_000_000,
-        sm: SmSpec {
-            num_warp_schedulers: 4,
-            dispatch_units: 8,
-            pools: FuPools { sp: 128, dpu: 0, sfu: 32, ldst: 32 },
-            max_threads: 2048,
-            max_blocks: 32,
-            // Paper Section 8: "on our Maxwell GPU the maximum shared memory
-            // per SM is twice the maximum shared memory per thread block".
-            shared_mem_bytes: 96 * 1024,
-            max_shared_mem_per_block: 48 * 1024,
-            registers: 64 * 1024,
-        },
+        sub_core: SubCoreSpec::shared_issue(&sm),
+        sm,
         // Maxwell constant L1: 2 KB, 4-way, 64 B lines (8 sets).
         const_l1: CacheSpec::new(2 * 1024, 64, 4, 49, 1)
             .expect("Maxwell constant L1 geometry is self-consistent"),
@@ -129,8 +139,67 @@ pub fn quadro_m4000() -> DeviceSpec {
     }
 }
 
-/// The three paper GPUs, in generation order (Fermi, Kepler, Maxwell).
+/// NVIDIA RTX A4000 (Ampere, GA104-class): 48 SMs, each split into four
+/// single-issue sub-cores with private 16 K register slices; dependences
+/// managed by compiler fixed-latency hints; sectored constant L1 (32 B
+/// sectors in 128 B lines). FP64 is modelled as absent (GA104 runs doubles
+/// at 1/64 rate through a vestigial pool, like Maxwell's omission in the
+/// paper's Figure 7).
+pub fn rtx_a4000() -> DeviceSpec {
+    let sm = SmSpec {
+        num_warp_schedulers: 4,
+        dispatch_units: 4, // one issue slot per sub-core (single-issue)
+        pools: FuPools { sp: 128, dpu: 0, sfu: 16, ldst: 16 },
+        max_threads: 1536,
+        max_blocks: 16,
+        shared_mem_bytes: 96 * 1024,
+        max_shared_mem_per_block: 48 * 1024,
+        registers: 64 * 1024,
+    };
+    DeviceSpec {
+        name: "RTX A4000".to_string(),
+        architecture: Architecture::Ampere,
+        num_sms: 48,
+        clock_hz: 1_560_000_000,
+        sub_core: SubCoreSpec {
+            sub_cores: 4,
+            issue_slots: 1,
+            registers_per_subcore: 16 * 1024,
+            dependence: DependenceMode::FixedLatency,
+        },
+        sm,
+        // Ampere constant L1: 4 KB, 4-way, 128 B lines (8 sets), filled at
+        // 32 B sector granularity.
+        const_l1: CacheSpec::new_sectored(4 * 1024, 128, 4, 32, 32, 1)
+            .expect("Ampere constant L1 geometry is self-consistent"),
+        const_l2: CacheSpec::new(32 * 1024, 256, 8, 100, 8)
+            .expect("constant L2 geometry is self-consistent"),
+        mem: MemorySpec {
+            global_load_latency: 400,
+            const_mem_latency: 215,
+            atomic_base_latency: 150,
+            atomic_service_cycles: 1,
+            atomic_uncoalesced_penalty: 9,
+            atomic_units: 16,
+            coalesce_segment: 128,
+            transactions_per_cycle: 8,
+        },
+        launch_overhead_cycles: 7_800, // ~5 us at 1.56 GHz
+    }
+}
+
+/// Every modelled single-device GPU, in generation order (Fermi, Kepler,
+/// Maxwell, Ampere) — one preset per [`Architecture::ALL`] entry, asserted
+/// by a test so the matrix grows with the enum.
 pub fn all() -> Vec<DeviceSpec> {
+    vec![tesla_c2075(), tesla_k40c(), quadro_m4000(), rtx_a4000()]
+}
+
+/// The three GPUs the paper evaluates, in generation order. Paper-figure
+/// comparisons zip this with per-GPU data from the paper, so it must *not*
+/// grow when a post-paper generation is added — matrix-style consumers use
+/// [`all`] instead.
+pub fn paper_trio() -> Vec<DeviceSpec> {
     vec![tesla_c2075(), tesla_k40c(), quadro_m4000()]
 }
 
@@ -138,14 +207,15 @@ pub fn all() -> Vec<DeviceSpec> {
 ///
 /// Accepts the architecture name, the short model name, or the full
 /// marketing name, case-insensitively: `fermi`/`c2075`/`tesla-c2075`,
-/// `kepler`/`k40c`/`tesla-k40c`, `maxwell`/`m4000`/`quadro-m4000`.
-/// Returns `None` for anything else so callers can produce a typed error
-/// instead of panicking on user input.
+/// `kepler`/`k40c`/`tesla-k40c`, `maxwell`/`m4000`/`quadro-m4000`,
+/// `ampere`/`a4000`/`rtx-a4000`. Returns `None` for anything else so
+/// callers can produce a typed error instead of panicking on user input.
 pub fn by_name(name: &str) -> Option<DeviceSpec> {
     match name.to_ascii_lowercase().as_str() {
         "fermi" | "c2075" | "tesla-c2075" | "tesla c2075" => Some(tesla_c2075()),
         "kepler" | "k40c" | "tesla-k40c" | "tesla k40c" => Some(tesla_k40c()),
         "maxwell" | "m4000" | "quadro-m4000" | "quadro m4000" => Some(quadro_m4000()),
+        "ampere" | "a4000" | "rtx-a4000" | "rtx a4000" => Some(rtx_a4000()),
         _ => None,
     }
 }
@@ -202,6 +272,7 @@ mod tests {
         assert_eq!(tesla_k40c().num_sms, 15);
         assert_eq!(tesla_c2075().num_sms, 14);
         assert_eq!(quadro_m4000().num_sms, 13);
+        assert_eq!(rtx_a4000().num_sms, 48);
     }
 
     #[test]
@@ -220,6 +291,42 @@ mod tests {
     }
 
     #[test]
+    fn only_the_ampere_l1_is_sectored() {
+        for d in paper_trio() {
+            assert!(!d.const_l1.geometry.is_sectored(), "{}", d.name);
+            assert!(!d.const_l2.geometry.is_sectored(), "{}", d.name);
+        }
+        let a = rtx_a4000();
+        assert!(a.const_l1.geometry.is_sectored());
+        assert_eq!(a.const_l1.geometry.sector_bytes(), 32);
+        assert_eq!(a.const_l1.geometry.sectors_per_line(), 4);
+        assert_eq!(a.const_l1.geometry.num_sets(), 8);
+        assert!(!a.const_l2.geometry.is_sectored(), "only the L1 is sectored");
+    }
+
+    #[test]
+    fn sub_core_specs_mirror_sm_schedulers_and_descriptors() {
+        for d in all() {
+            d.sub_core.validate_against(&d.sm).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert_eq!(
+                d.sub_core,
+                d.architecture.descriptor().sub_core,
+                "{}: preset sub-core departs from the canonical arch descriptor",
+                d.name
+            );
+            let sector = d.architecture.descriptor().l1_sector;
+            let geom = d.const_l1.geometry;
+            match sector {
+                None => assert!(!geom.is_sectored(), "{}", d.name),
+                Some((bytes, per_line)) => {
+                    assert_eq!(geom.sector_bytes(), bytes, "{}", d.name);
+                    assert_eq!(geom.sectors_per_line(), per_line, "{}", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn atomic_throughput_ratio_is_9x() {
         let f = tesla_c2075();
         let k = tesla_k40c();
@@ -235,14 +342,24 @@ mod tests {
     }
 
     #[test]
-    fn maxwell_has_no_dpus() {
+    fn maxwell_and_ampere_have_no_dpus() {
         assert_eq!(quadro_m4000().sm.pools.count(FuUnit::Dpu), 0);
+        assert_eq!(rtx_a4000().sm.pools.count(FuUnit::Dpu), 0);
     }
 
     #[test]
-    fn all_returns_generation_order() {
-        let names: Vec<String> = all().into_iter().map(|d| d.name).collect();
-        assert_eq!(names, vec!["Tesla C2075", "Tesla K40C", "Quadro M4000"]);
+    fn all_returns_generation_order_and_tracks_the_arch_enum() {
+        let devices = all();
+        let names: Vec<&str> = devices.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["Tesla C2075", "Tesla K40C", "Quadro M4000", "RTX A4000"]);
+        // One preset per architecture, in enum order — the property that
+        // lets matrix consumers iterate `Architecture::ALL`.
+        assert_eq!(devices.len(), Architecture::ALL.len());
+        for (d, a) in devices.iter().zip(Architecture::ALL) {
+            assert_eq!(d.architecture, a);
+        }
+        let trio: Vec<String> = paper_trio().into_iter().map(|d| d.name).collect();
+        assert_eq!(trio, vec!["Tesla C2075", "Tesla K40C", "Quadro M4000"]);
     }
 
     #[test]
@@ -253,7 +370,18 @@ mod tests {
         assert_eq!(by_name("fermi").unwrap().name, "Tesla C2075");
         assert_eq!(by_name("maxwell").unwrap().name, "Quadro M4000");
         assert_eq!(by_name("quadro m4000").unwrap().name, "Quadro M4000");
+        assert_eq!(by_name("ampere").unwrap().name, "RTX A4000");
+        assert_eq!(by_name("A4000").unwrap().name, "RTX A4000");
+        assert_eq!(by_name("rtx-a4000").unwrap().name, "RTX A4000");
         assert!(by_name("volta").is_none());
         assert!(by_name("").is_none());
+    }
+
+    #[test]
+    fn every_arch_label_resolves_to_its_preset() {
+        for arch in Architecture::ALL {
+            let d = by_name(arch.label()).expect("every generation has a preset alias");
+            assert_eq!(d.architecture, arch);
+        }
     }
 }

@@ -390,12 +390,7 @@ fn canonical_device(alias: &str) -> Result<String, SpecError> {
         reason: format!("unknown device alias `{alias}`"),
     })?;
     // Map back through the spec's architecture to the canonical short alias.
-    Ok(match spec.architecture {
-        crate::arch::Architecture::Fermi => "fermi",
-        crate::arch::Architecture::Kepler => "kepler",
-        crate::arch::Architecture::Maxwell => "maxwell",
-    }
-    .to_string())
+    Ok(spec.architecture.label().to_string())
 }
 
 /// Canonicalizes a defense sub-spec through [`DefenseSpec`].

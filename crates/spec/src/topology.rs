@@ -30,7 +30,6 @@
 //! assert_eq!(TopologySpec::from_spec(&t.to_spec()).unwrap(), t);
 //! ```
 
-use crate::arch::Architecture;
 use crate::device::DeviceSpec;
 use crate::error::SpecError;
 use crate::presets;
@@ -137,14 +136,11 @@ impl LinkSpec {
     }
 }
 
-/// The canonical alias a device name is stored under (`fermi`, `kepler`,
-/// `maxwell`), or `None` for names [`presets::by_name`] cannot resolve.
+/// The canonical alias a device name is stored under (one of the
+/// [`crate::arch::Architecture::label`] values), or `None` for names
+/// [`presets::by_name`] cannot resolve.
 pub fn canonical_alias(name: &str) -> Option<&'static str> {
-    presets::by_name(name).map(|spec| match spec.architecture {
-        Architecture::Fermi => "fermi",
-        Architecture::Kepler => "kepler",
-        Architecture::Maxwell => "maxwell",
-    })
+    presets::by_name(name).map(|spec| spec.architecture.label())
 }
 
 /// A validated multi-GPU topology: device preset names plus the links that

@@ -243,12 +243,32 @@ fn bench_sweep_artifact_matches_schema() {
         pruned.expect_key("max_ber_err").as_num() >= 0.0,
         "curve-reproduction error must be recorded"
     );
+
+    // The Ampere cross-check (PR 10): the same pruned-sweep contract on the
+    // sub-core device, recorded so CI can gate model fit on the modern core.
+    let ampere = doc.expect_key("ampere");
+    assert_eq!(ampere.expect_key("device").as_str(), "RTX A4000");
+    assert_eq!(ampere.expect_key("cells_total").as_num(), 6.0, "same fig5 grid");
+    let ampere_simulated = ampere.expect_key("cells_simulated").as_num();
+    assert!(
+        ampere_simulated > 0.0 && ampere_simulated <= 6.0,
+        "the transition band must cover at least one ampere cell"
+    );
+    let ampere_err = ampere.expect_key("max_ber_err").as_num();
+    assert!(
+        (0.0..=0.12).contains(&ampere_err),
+        "ampere filled-cell BER error {ampere_err} outside the analytical band"
+    );
+    assert!(
+        ampere.expect_key("verdicts_agree").as_bool(),
+        "an ampere filled cell flipped a confident verdict"
+    );
 }
 
-#[test]
-fn bench_arena_artifact_matches_schema() {
-    let doc = read_artifact("BENCH_arena.json");
-
+/// Asserts the full arena-report shape on one matrix object — applied to
+/// the top-level Kepler report and to the nested Ampere report, which must
+/// be structurally identical.
+fn assert_arena_report(doc: &Json, label: &str) {
     assert!(!doc.expect_key("device").as_str().is_empty());
     assert!(doc.expect_key("bits").as_num() >= 1.0);
     assert_eq!(doc.expect_key("min_ber").as_num(), 0.2);
@@ -258,7 +278,7 @@ fn bench_arena_artifact_matches_schema() {
     assert!(defenses.contains(&"none"), "the undefended baseline column is required");
 
     let rows = doc.expect_key("rows").as_arr();
-    assert!(!rows.is_empty(), "arena matrix has no attacker rows");
+    assert!(!rows.is_empty(), "{label}: arena matrix has no attacker rows");
     let mut attackers = Vec::new();
     for row in rows {
         attackers.push(row.expect_key("attacker").as_str().to_string());
@@ -296,8 +316,30 @@ fn bench_arena_artifact_matches_schema() {
         }
     }
     for required in ["l1", "sync", "atomic", "adaptive"] {
-        assert!(attackers.iter().any(|a| a == required), "attacker row `{required}` missing");
+        assert!(
+            attackers.iter().any(|a| a == required),
+            "{label}: attacker row `{required}` missing"
+        );
     }
+}
+
+#[test]
+fn bench_arena_artifact_matches_schema() {
+    let doc = read_artifact("BENCH_arena.json");
+
+    // The paper's Kepler matrix stays at the top level (existing consumers
+    // keep their paths); the sub-core Ampere matrix rides under `ampere`
+    // with the identical report shape.
+    assert_arena_report(&doc, "kepler");
+    assert_eq!(doc.expect_key("device").as_str(), "Tesla K40C");
+    let ampere = doc.expect_key("ampere");
+    assert_arena_report(ampere, "ampere");
+    assert_eq!(ampere.expect_key("device").as_str(), "RTX A4000");
+    assert_eq!(
+        ampere.expect_key("bits").as_num(),
+        doc.expect_key("bits").as_num(),
+        "both matrices must carry the same payload"
+    );
 }
 
 #[test]

@@ -245,6 +245,69 @@ fn exhausted_ladder_records_every_stage_in_order_then_aborts() {
 }
 
 #[test]
+fn exhausted_ladder_on_ampere_walks_the_same_rungs_in_order() {
+    // The sub-core arch runs the identical ladder: total interference must
+    // walk Static/Recalibrate/Stretch per family with a Fallback marker at
+    // each family switch and a final Abort, exactly as on the paper trio.
+    // This pins the adaptive layer's arch-independence through the sub-core
+    // decomposition (issue partitions and the sectored L1 change latencies,
+    // not the escalation policy).
+    let spec = presets::rtx_a4000();
+    let msg = Message::pseudo_random(16, 0xABD1);
+    let plan = FaultPlan::new(0xDEAD_11AC)
+        .with_intensity(1.0)
+        .with_period(200_000)
+        .with_burst(200_000)
+        .with_target_set(2)
+        .with_kinds(FaultKinds { link: true, skew: true, ..FaultKinds::cache() });
+    let env = LinkEnvironment::clean()
+        .with_faults(plan)
+        .with_noise(total_noise(), 40 + 30 * msg.len() as u64)
+        .with_topology(gpgpu_spec::TopologySpec::dual("ampere").unwrap());
+    let link = AdaptiveLink::new(spec).with_env(env);
+
+    let out = link.transmit(&msg).expect("exhaustion is an outcome, not an Err");
+    let d = &out.diagnostic;
+    assert!(!d.delivered, "no family may deliver under total interference: {d}");
+    assert!(d.reason.contains("exhausted"), "{}", d.reason);
+
+    use ChannelFamily::{Atomic, CacheL1Sync, Nvlink, Sfu};
+    use LadderStage::{Abort, Fallback, Recalibrate, Static, Stretch};
+    let got: Vec<(LadderStage, ChannelFamily)> =
+        d.stages.iter().map(|e| (e.stage, e.family)).collect();
+    let want = vec![
+        (Static, CacheL1Sync),
+        (Recalibrate, CacheL1Sync),
+        (Stretch, CacheL1Sync),
+        (Fallback, Atomic),
+        (Static, Atomic),
+        (Recalibrate, Atomic),
+        (Stretch, Atomic),
+        (Fallback, Sfu),
+        (Static, Sfu),
+        (Recalibrate, Sfu),
+        (Stretch, Sfu),
+        (Fallback, Nvlink),
+        (Static, Nvlink),
+        (Recalibrate, Nvlink),
+        (Stretch, Nvlink),
+    ];
+    assert_eq!(&got[..want.len()], &want[..], "ampere ladder order diverged: {d}");
+    assert_eq!(d.stages.last().unwrap().stage, Abort, "{d}");
+    assert!(d.stages.iter().all(|e| !e.recovered), "no rung may recover: {d}");
+}
+
+#[test]
+fn ampere_adaptive_delivers_bit_exact_on_a_clean_device() {
+    let link = AdaptiveLink::new(presets::rtx_a4000());
+    let msg = Message::pseudo_random(32, 0xA4_000);
+    let a = link.transmit(&msg).expect("adaptive");
+    assert!(a.diagnostic.delivered, "{}", a.diagnostic);
+    assert_eq!(a.received, msg);
+    assert_eq!(a.diagnostic.stages.len(), 1, "no escalation on a clean device");
+}
+
+#[test]
 fn exhausted_ladder_without_a_topology_reports_the_nvlink_config_error() {
     // Same total interference, but no multi-GPU topology in the
     // environment: the NVLink rungs cannot even construct a channel and

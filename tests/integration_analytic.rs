@@ -38,6 +38,21 @@ fn kepler_model() -> &'static AnalyticalModel {
     })
 }
 
+/// The characterized Ampere model: the analytical layer is arch-generic, so
+/// the same extraction suite must fit the sub-core device (single-issue
+/// partitions, fixed-latency dependence management, sectored L1) without any
+/// model-side special casing.
+fn ampere_model() -> &'static AnalyticalModel {
+    static MODEL: OnceLock<AnalyticalModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut m = AnalyticalModel::characterize(&presets::rtx_a4000())
+            .expect("ampere characterization suite runs");
+        m.characterize_nvlink(&TopologySpec::dual("ampere").expect("dual topology"))
+            .expect("ampere nvlink characterization runs");
+        m
+    })
+}
+
 fn tuning(mode: EngineMode) -> DeviceTuning {
     DeviceTuning { engine: mode, ..DeviceTuning::none() }
 }
@@ -57,13 +72,19 @@ fn observed(family: &str, knob: f64, o: &ChannelOutcome) -> AnalyticalPrediction
     }
 }
 
-/// Runs one sweep cell three ways and asserts the family's tolerance.
-/// Returns the simulated cell for further checks.
-fn three_way_cell<F>(family: &str, knob: f64, msg: &Message, transmit: F) -> AnalyticalPrediction
+/// Runs one sweep cell three ways against `model` and asserts the family's
+/// tolerance. Returns the simulated cell for further checks.
+fn three_way_cell_on<F>(
+    model: &AnalyticalModel,
+    family: &str,
+    knob: f64,
+    msg: &Message,
+    transmit: F,
+) -> AnalyticalPrediction
 where
     F: Fn(EngineMode) -> ChannelOutcome,
 {
-    let pred = kepler_model().predict(family, knob, msg).expect("family is characterized");
+    let pred = model.predict(family, knob, msg).expect("family is characterized");
     let what = format!("{family} channel at knob {knob}");
     assert_engines_agree_within(
         &what,
@@ -71,6 +92,14 @@ where
         &pred,
         |sim, pred| tolerance(family).check(sim.ber, sim.bandwidth_kbps, pred),
     )
+}
+
+/// [`three_way_cell_on`] against the Kepler model (the paper's device).
+fn three_way_cell<F>(family: &str, knob: f64, msg: &Message, transmit: F) -> AnalyticalPrediction
+where
+    F: Fn(EngineMode) -> ChannelOutcome,
+{
+    three_way_cell_on(kepler_model(), family, knob, msg, transmit)
 }
 
 /// The Figure-5 message: pseudo-random (about half ones), like the paper's
@@ -166,6 +195,87 @@ fn nvlink_three_way_agreement_on_window_grid() {
                 .transmit(&msg)
                 .expect("nvlink transmits")
         });
+    }
+}
+
+/// The Ampere three-way grid: every single-device family holds its
+/// documented tolerance band on the sub-core arch too. Smaller knob grids
+/// than the Kepler suites — the point is per-family coverage of the modern
+/// core, not a second full Figure-5 sweep.
+#[test]
+fn ampere_three_way_agreement_per_family() {
+    let model = ampere_model();
+    let spec = presets::rtx_a4000();
+
+    let msg = fig5_message();
+    for &iterations in &[20u64, 8, 2] {
+        three_way_cell_on(model, "l1", iterations as f64, &msg, |mode| {
+            L1Channel::new(spec.clone())
+                .with_tuning(tuning(mode))
+                .with_iterations(iterations)
+                .transmit(&msg)
+                .expect("l1 transmits")
+        });
+    }
+
+    let msg = Message::pseudo_random(24, 0x5F0);
+    for &iterations in &[10u64, 3] {
+        three_way_cell_on(model, "sfu", iterations as f64, &msg, |mode| {
+            SfuChannel::new(spec.clone())
+                .with_tuning(tuning(mode))
+                .with_iterations(iterations)
+                .transmit(&msg)
+                .expect("sfu transmits")
+        });
+    }
+
+    // Balanced seed (12/24 ones): the model is characterized from half-ones
+    // probes, and Ampere's wider idle/contended atomic gap makes predictions
+    // for ones-poor payloads overshoot the bandwidth band.
+    let msg = Message::pseudo_random(24, 0xF165);
+    for &iterations in &[12u64, 3] {
+        three_way_cell_on(model, "atomic", iterations as f64, &msg, |mode| {
+            AtomicChannel::new(spec.clone(), AtomicScenario::OneAddress)
+                .with_tuning(tuning(mode))
+                .with_iterations(iterations)
+                .transmit(&msg)
+                .expect("atomic transmits")
+        });
+    }
+
+    let msg = Message::pseudo_random(16, 0x57AC);
+    three_way_cell_on(model, "sync", 0.0, &msg, |mode| {
+        SyncChannel::new(spec.clone())
+            .with_tuning(tuning(mode))
+            .transmit(&msg)
+            .expect("sync transmits")
+    });
+
+    let msg = Message::pseudo_random(16, 0x12);
+    for &window in &[2_048u64, 8_192] {
+        three_way_cell_on(model, "nvlink", window as f64, &msg, |mode| {
+            NvlinkChannel::new(TopologySpec::dual("ampere").expect("dual topology"))
+                .expect("channel builds")
+                .with_tuning(tuning(mode))
+                .with_window(window)
+                .transmit(&msg)
+                .expect("nvlink transmits")
+        });
+    }
+}
+
+#[test]
+fn ampere_characterized_table_round_trips_through_spec() {
+    let model = ampere_model();
+    let spec = model.table().to_spec();
+    let parsed = LatencyTable::from_spec(&spec).expect("ampere table parses back");
+    assert_eq!(
+        &parsed,
+        model.table(),
+        "to_spec/from_spec must round-trip the ampere table exactly"
+    );
+    for family in ["l1", "l2", "sfu", "atomic", "sync", "nvlink"] {
+        assert!(parsed.family(family).is_some(), "family {family} missing from the ampere table");
     }
 }
 

@@ -14,6 +14,7 @@ use gpgpu_covert::cache_channel::L1Channel;
 use gpgpu_covert::fu_channel::SfuChannel;
 use gpgpu_covert::harness::assert_engines_agree;
 use gpgpu_covert::nvlink_channel::NvlinkChannel;
+use gpgpu_covert::parallel::ParallelSfuChannel;
 use gpgpu_covert::sync_channel::SyncChannel;
 use gpgpu_covert::ChannelOutcome;
 use gpgpu_sim::{DeviceTuning, EngineMode, FaultKinds, FaultPlan};
@@ -99,6 +100,54 @@ fn nvlink_channel_is_engine_equivalent() {
         fingerprint(&ch.transmit(&msg).expect("nvlink transmits"))
     });
     assert_eq!(out.0, msg.bits());
+}
+
+/// The full architecture × family grid: every device preset (the paper trio
+/// plus sub-core Ampere) runs every channel family under both cycle engines,
+/// and the engines must stay bit-identical everywhere. This is the
+/// regression net for the sub-core decomposition: Ampere exercises
+/// single-issue sub-cores, fixed-latency dependence management and the
+/// sectored L1, while the legacy archs pin the shared-issue degenerate case.
+#[test]
+fn every_arch_runs_every_family_engine_equivalent() {
+    let msg = Message::pseudo_random(8, 0x4A5C);
+    for spec in presets::all() {
+        let arch = spec.architecture.label();
+        assert_engines_agree(&format!("l1 channel on {arch}"), |mode| {
+            let o = L1Channel::new(spec.clone())
+                .with_tuning(tuning(mode))
+                .transmit(&msg)
+                .expect("l1 transmits");
+            fingerprint(&o)
+        });
+        assert_engines_agree(&format!("sync channel on {arch}"), |mode| {
+            let o = SyncChannel::new(spec.clone())
+                .with_tuning(tuning(mode))
+                .transmit(&msg)
+                .expect("sync transmits");
+            fingerprint(&o)
+        });
+        assert_engines_agree(&format!("parallel-sfu channel on {arch}"), |mode| {
+            let o = ParallelSfuChannel::new(spec.clone())
+                .with_tuning(tuning(mode))
+                .transmit(&msg)
+                .expect("parallel-sfu transmits");
+            fingerprint(&o)
+        });
+        assert_engines_agree(&format!("atomic channel on {arch}"), |mode| {
+            let o = AtomicChannel::new(spec.clone(), AtomicScenario::OneAddress)
+                .with_tuning(tuning(mode))
+                .transmit(&msg)
+                .expect("atomic transmits");
+            fingerprint(&o)
+        });
+        assert_engines_agree(&format!("nvlink channel on {arch}"), |mode| {
+            let ch = NvlinkChannel::new(TopologySpec::dual(arch).expect("dual topology"))
+                .expect("channel builds")
+                .with_tuning(tuning(mode));
+            fingerprint(&ch.transmit(&msg).expect("nvlink transmits"))
+        });
+    }
 }
 
 /// The fault plan the seed-golden tests ran under when their fingerprints

@@ -1,0 +1,220 @@
+//! Property-based tests for the sub-core decomposition (spec grammar,
+//! degenerate legacy identity, sectored-fill accounting).
+//!
+//! Three invariants hold for *arbitrary* inputs, not just the four shipped
+//! generations:
+//!
+//! 1. The [`ArchDescriptor`] grammar is a faithful, injective serialization
+//!    over the whole descriptor space.
+//! 2. An Ampere-tagged device configured as the degenerate legacy case
+//!    (single scoreboarded sub-core, unsectored L1) is cycle-identical to
+//!    its Maxwell twin on arbitrary kernels — the sub-core engine refactor
+//!    cannot perturb legacy timing through any code path.
+//! 3. Sector-fill accounting never exceeds line-fill accounting in bytes
+//!    for any access pattern (each sector fills at most once per line
+//!    lifetime), with equality when the geometry is unsectored.
+//!
+//! Run under a pinned `PROPTEST_RNG_SEED` in CI for reproducible shrinks.
+
+use gpgpu_isa::{ProgramBuilder, Reg};
+use gpgpu_mem::SetAssocCache;
+use gpgpu_sim::{Device, KernelSpec};
+use gpgpu_spec::{
+    presets, ArchDescriptor, Architecture, CacheGeometry, DependenceMode, DeviceSpec, FuOpKind,
+    LaunchConfig, SubCoreSpec,
+};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ (a) grammar
+
+/// Arbitrary descriptors over the full field space — not just the four
+/// canonical generations — so the grammar is pinned as a total codec.
+fn arb_descriptor() -> impl Strategy<Value = ArchDescriptor> {
+    let arch = prop_oneof![
+        Just(Architecture::Fermi),
+        Just(Architecture::Kepler),
+        Just(Architecture::Maxwell),
+        Just(Architecture::Ampere),
+    ];
+    let dep = prop_oneof![Just(DependenceMode::Scoreboard), Just(DependenceMode::FixedLatency)];
+    let sector =
+        prop_oneof![Just(None), (1u32..=7, 1u64..=8).prop_map(|(b, n)| Some((1u64 << b, n))),];
+    (arch, 1u32..=8, 1u32..=4, 1u32..=65_536, dep, sector).prop_map(
+        |(arch, sub_cores, issue_slots, registers_per_subcore, dependence, l1_sector)| {
+            ArchDescriptor {
+                arch,
+                sub_core: SubCoreSpec { sub_cores, issue_slots, registers_per_subcore, dependence },
+                l1_sector,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Any descriptor survives the spec-string round trip exactly.
+    #[test]
+    fn descriptor_grammar_round_trips(d in arb_descriptor()) {
+        prop_assert_eq!(ArchDescriptor::parse(&d.to_spec()), Ok(d));
+    }
+
+    /// `to_spec` is injective on the descriptor space: distinct descriptors
+    /// render to distinct strings (a collision would make the
+    /// content-addressed spec key ambiguous).
+    #[test]
+    fn distinct_descriptors_render_distinct_specs(
+        a in arb_descriptor(),
+        b in arb_descriptor(),
+    ) {
+        if a != b {
+            prop_assert!(a.to_spec() != b.to_spec(), "collision: {}", a.to_spec());
+        }
+    }
+}
+
+// ------------------------------------- (b) degenerate identity to Maxwell
+
+/// A 1-sub-core Maxwell device and its Ampere-tagged twin: identical SM
+/// resources, a single scoreboarded single-issue sub-core owning the whole
+/// register file, and an unsectored L1. The architecture tag is the *only*
+/// difference, and the Ampere functional-unit timing rows equal Maxwell's,
+/// so every kernel must replay cycle-for-cycle.
+fn degenerate_pair() -> (DeviceSpec, DeviceSpec) {
+    let mut maxwell = presets::quadro_m4000();
+    maxwell.sm.num_warp_schedulers = 1;
+    maxwell.sm.dispatch_units = 1;
+    maxwell.sub_core = SubCoreSpec::shared_issue(&maxwell.sm);
+    let mut ampere = maxwell.clone();
+    ampere.name = "Degenerate A4000".to_string();
+    ampere.architecture = Architecture::Ampere;
+    ampere.sub_core = SubCoreSpec {
+        sub_cores: 1,
+        issue_slots: 1,
+        registers_per_subcore: maxwell.sm.registers,
+        dependence: DependenceMode::Scoreboard,
+    };
+    (maxwell, ampere)
+}
+
+/// One step of an arbitrary kernel: a constant load, a functional-unit op,
+/// or a timed drain point that pushes the warp clock into the results.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    ConstLoad(u64),
+    Fu(FuOpKind),
+    PushClock,
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (0u64..4096).prop_map(Step::ConstLoad),
+        prop_oneof![
+            Just(FuOpKind::SpAdd),
+            Just(FuOpKind::SpMul),
+            Just(FuOpKind::SpSinf),
+            Just(FuOpKind::SpSqrt),
+        ]
+        .prop_map(Step::Fu),
+        Just(Step::PushClock),
+    ];
+    proptest::collection::vec(step, 1..48)
+}
+
+fn run_kernel(spec: &DeviceSpec, steps: &[Step], warps: u32) -> (u64, Vec<Vec<u64>>) {
+    let mut b = ProgramBuilder::new();
+    let (addr, clock) = (Reg(0), Reg(1));
+    for step in steps {
+        match *step {
+            Step::ConstLoad(offset) => {
+                b.mov_imm(addr, offset);
+                b.const_load(addr);
+            }
+            Step::Fu(op) => {
+                b.fu(op);
+            }
+            Step::PushClock => {
+                b.read_clock(clock);
+                b.push_result(clock);
+            }
+        }
+    }
+    b.read_clock(clock);
+    b.push_result(clock);
+    let mut dev = Device::new(spec.clone());
+    dev.alloc_constant(4096);
+    let k = dev
+        .launch(
+            0,
+            KernelSpec::new(
+                "prop-subcore",
+                b.build().expect("assembles"),
+                LaunchConfig::new(1, warps * 32),
+            ),
+        )
+        .expect("launches");
+    dev.run_until_idle(200_000_000).expect("completes");
+    let r = dev.results(k).expect("results");
+    let per_warp = (0..warps).map(|w| r.warp_results(0, w).unwrap_or(&[]).to_vec()).collect();
+    (dev.now(), per_warp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The degenerate Ampere twin replays arbitrary kernels cycle-for-cycle
+    /// against Maxwell: same device clock at idle, same per-warp clock
+    /// observations.
+    #[test]
+    fn degenerate_ampere_is_cycle_identical_to_maxwell(
+        steps in arb_program(),
+        warps in 1u32..=4,
+    ) {
+        let (maxwell, ampere) = degenerate_pair();
+        let (m_now, m_results) = run_kernel(&maxwell, &steps, warps);
+        let (a_now, a_results) = run_kernel(&ampere, &steps, warps);
+        prop_assert_eq!(m_now, a_now, "device clocks diverged");
+        prop_assert_eq!(m_results, a_results, "warp clock observations diverged");
+    }
+}
+
+// --------------------------------------------- (c) sector-fill accounting
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// For any access pattern, the bytes fetched by sector fills never
+    /// exceed the bytes the same trace would fetch filling whole lines:
+    /// a sector fills at most once per line lifetime, so
+    /// `sector_fills * sector_bytes <= line_fills * line_bytes`, with
+    /// equality exactly when the geometry is unsectored.
+    #[test]
+    fn sector_fill_bytes_never_exceed_line_fill_bytes(
+        sector_shift in 3u32..=6, // 8..=64 B sectors in a 64 B line
+        addrs in proptest::collection::vec(0u64..16 * 1024, 1..256),
+    ) {
+        let sector_bytes = 1u64 << sector_shift;
+        let geom = CacheGeometry::new_sectored(2048, 64, 4, sector_bytes).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(
+                cache.sector_fills() * geom.sector_bytes()
+                    <= cache.line_fills() * geom.line_bytes(),
+                "sector-fill bytes overtook line-fill bytes after {} accesses",
+                addrs.len()
+            );
+            prop_assert!(
+                cache.sector_fills() >= cache.line_fills(),
+                "every line fill fetches its first sector"
+            );
+        }
+        if !geom.is_sectored() {
+            prop_assert_eq!(
+                cache.sector_fills() * geom.sector_bytes(),
+                cache.line_fills() * geom.line_bytes(),
+                "unsectored fills are whole lines"
+            );
+        }
+    }
+}
